@@ -1,0 +1,167 @@
+(* Benchmark harness. One Bechamel Test.make per experiment id of
+   DESIGN.md section 4 (the paper has no numbered tables; its theorems
+   and figures play that role), plus micro-benchmarks of the hot
+   primitives underneath them. After the timing runs, the harness
+   re-prints the experiment tables themselves in quick mode, so a
+   single `dune exec bench/main.exe` regenerates every row the paper
+   reports.
+
+   Pass --timings-only or --tables-only to run half of it. *)
+
+open Bechamel
+open Ftr_graph
+open Ftr_core
+module A = Ftr_analysis
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures (built once, outside the timed region).            *)
+(* ------------------------------------------------------------------ *)
+
+let torus55 = Families.torus 5 5
+let torus77 = Families.torus 7 7
+let cycle45 = Families.cycle 45
+let cycle27 = Families.cycle 27
+let cycle16 = Families.cycle 16
+let ccc4 = Families.ccc 4
+let petersen = Families.petersen ()
+let kernel_t55 = Kernel.make torus55 ~t:3
+let circular_c45 = Circular.make cycle45 ~t:1
+let rng () = Random.State.make [| 17 |]
+let three_faults = Bitset.of_list 25 [ 6; 13; 19 ]
+let stage = Staged.stage
+
+(* One Test.make per experiment id: time the operation that experiment
+   is built around. *)
+let experiment_tests =
+  [
+    Test.make ~name:"e1_kernel_2t:build+check"
+      (stage (fun () ->
+           let c = Kernel.make torus55 ~t:3 in
+           Surviving.diameter c.Construction.routing ~faults:three_faults));
+    Test.make ~name:"e2_kernel_half:check_f1"
+      (stage (fun () -> Tolerance.exhaustive kernel_t55.Construction.routing ~f:1));
+    Test.make ~name:"e3_circular:build" (stage (fun () -> Circular.make torus77 ~t:3));
+    Test.make ~name:"e4_tricircular:build"
+      (stage (fun () -> Tri_circular.make cycle45 ~t:1 ~variant:Tri_circular.Full));
+    Test.make ~name:"e5_tricircular_small:build"
+      (stage (fun () -> Tri_circular.make cycle27 ~t:1 ~variant:Tri_circular.Small));
+    Test.make ~name:"e6_bipolar_uni:build"
+      (stage (fun () -> Bipolar.make_unidirectional cycle16 ~t:1));
+    Test.make ~name:"e7_bipolar_bi:build"
+      (stage (fun () -> Bipolar.make_bidirectional cycle16 ~t:1));
+    Test.make ~name:"e8_neighborhood:greedy" (stage (fun () -> Independent.greedy ccc4));
+    Test.make ~name:"e9_two_trees:find"
+      (stage
+         (let g = Random_graphs.gnp ~rng:(rng ()) 128 0.02 in
+          fun () -> Two_trees.find g));
+    Test.make ~name:"e10_multi_full:build"
+      (stage (fun () -> Multirouting.full petersen ~t:2));
+    Test.make ~name:"e11_multi_kernel:build"
+      (stage (fun () -> Multirouting.kernel_plus torus55 ~t:3));
+    Test.make ~name:"e12_augment:build"
+      (stage (fun () -> Augment.clique_concentrator torus55 ~t:3));
+    Test.make ~name:"f1_fig_circular:dot"
+      (stage (fun () ->
+           Dot.with_colored_groups
+             ~groups:[ ("M", circular_c45.Construction.concentrator) ]
+             cycle45));
+    Test.make ~name:"f2_fig_tricircular:dot" (stage (fun () -> Dot.of_graph cycle27));
+    Test.make ~name:"f3_fig_bipolar:dot" (stage (fun () -> Dot.of_graph cycle16));
+    Test.make ~name:"e13_components:diameters"
+      (stage (fun () ->
+           Surviving.component_diameters kernel_t55.Construction.routing
+             ~faults:(Bitset.of_list 25 [ 6; 13; 19; 2 ])));
+    Test.make ~name:"e14_baseline:build"
+      (stage (fun () -> Minimal_routing.make torus55));
+    Test.make ~name:"e15_ecube:build" (stage (fun () -> Hypercube_routing.ecube 4));
+    Test.make ~name:"e16_kernel_growth:q5"
+      (stage
+         (let q5 = Families.hypercube 5 in
+          fun () -> Kernel.make q5 ~t:4));
+    Test.make ~name:"s1_simulator:200msgs"
+      (stage (fun () ->
+           let net = Ftr_sim.Network.create kernel_t55.Construction.routing in
+           let sim = Ftr_sim.Sim.create () in
+           let entries =
+             Ftr_sim.Workload.uniform ~rng:(rng ()) ~n:25 ~count:200 ~horizon:100.0
+           in
+           Ftr_sim.Protocol.deliver_all sim net Ftr_sim.Protocol.default_config entries));
+  ]
+
+(* Micro-benchmarks of the primitives the constructions lean on. *)
+let primitive_tests =
+  [
+    Test.make ~name:"prim:maxflow_dinic_torus77"
+      (stage (fun () -> Disjoint_paths.st_connectivity torus77 ~src:0 ~dst:24 ()));
+    Test.make ~name:"prim:tree_routing_torus77"
+      (stage
+         (let m = Array.to_list (Graph.neighbors torus77 24) in
+          fun () -> Tree_routing.make torus77 ~src:0 ~targets:m ~k:4));
+    Test.make ~name:"prim:vertex_connectivity_ccc4"
+      (stage (fun () -> Connectivity.vertex_connectivity ccc4));
+    Test.make ~name:"prim:surviving_diameter_torus55"
+      (stage (fun () ->
+           Surviving.diameter kernel_t55.Construction.routing ~faults:three_faults));
+    Test.make ~name:"prim:bfs_torus77" (stage (fun () -> Traversal.bfs torus77 0));
+    Test.make ~name:"prim:graph_diameter_torus77"
+      (stage (fun () -> Metrics.diameter torus77));
+    Test.make ~name:"prim:properties_check_torus55"
+      (stage (fun () -> Properties.check kernel_t55 ~faults:three_faults));
+    Test.make ~name:"prim:routing_io_roundtrip"
+      (stage
+         (let text = Routing_io.to_string kernel_t55.Construction.routing in
+          fun () -> Routing_io.load torus55 text));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_timings () =
+  let tests = Test.make_grouped ~name:"ftr" (experiment_tests @ primitive_tests) in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:1500 ~quota:(Time.second 0.25) ~kde:None ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%-48s %16s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 66 '-');
+  List.iter
+    (fun (name, ols) ->
+      let cell =
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) ->
+            if est >= 1e9 then Printf.sprintf "%10.2f s " (est /. 1e9)
+            else if est >= 1e6 then Printf.sprintf "%10.2f ms" (est /. 1e6)
+            else if est >= 1e3 then Printf.sprintf "%10.2f us" (est /. 1e3)
+            else Printf.sprintf "%10.2f ns" est
+        | Some [] | None -> "n/a"
+      in
+      Printf.printf "%-48s %16s\n" name cell)
+    rows
+
+let run_tables () =
+  let ctx = A.Experiments.default_context ~seed:0xBEEF ~quick:true () in
+  let results = A.Experiments.all ctx in
+  print_string (A.Report.console results);
+  match A.Report.violations results with
+  | [] -> print_endline "roll-up: every checked claim held."
+  | bad ->
+      Printf.printf "roll-up: VIOLATIONS in %s\n" (String.concat ", " (List.map fst bad))
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let timings = not (List.mem "--tables-only" args) in
+  let tables = not (List.mem "--timings-only" args) in
+  if timings then begin
+    print_endline "== timing: one benchmark per experiment id (see DESIGN.md) ==";
+    run_timings ()
+  end;
+  if tables then begin
+    print_endline "\n== experiment tables (quick mode) ==";
+    run_tables ()
+  end

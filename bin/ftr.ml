@@ -1,0 +1,303 @@
+(* ftr: command-line front end for the fault-tolerant routing library.
+
+   Subcommands:
+     info      structural properties of a graph
+     route     build a routing (auto or named strategy) and show stats
+     tolerate  fault-injection check of a construction's claims
+     simulate  message-level simulation with crashes
+     dot       DOT export                                           *)
+
+open Cmdliner
+open Ftr_graph
+open Ftr_core
+
+let graph_arg =
+  let graph_conv = Arg.conv' Ftr_analysis.Graph_spec.conv in
+  Arg.(
+    required
+    & pos 0 (some graph_conv) None
+    & info [] ~docv:"GRAPH"
+        ~doc:
+          "Graph spec, e.g. torus:5x5, hypercube:4, ccc:3, cycle:12, petersen, \
+           gnp:64:0.1:7, regular:24:4:7.")
+
+let seed_arg = Arg.(value & opt int 0xBEEF & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let dist_cell = Format.asprintf "%a" Metrics.pp_distance
+
+(* ---------------- info ---------------- *)
+
+let info_cmd =
+  let run g =
+    let kappa = Connectivity.vertex_connectivity g in
+    Printf.printf "vertices            %d\n" (Graph.n g);
+    Printf.printf "edges               %d\n" (Graph.m g);
+    Printf.printf "degree (min/avg/max) %d / %.2f / %d\n" (Graph.min_degree g)
+      (Metrics.average_degree g) (Graph.max_degree g);
+    Printf.printf "vertex connectivity %d (t = %d)\n" kappa (kappa - 1);
+    Printf.printf "edge connectivity   %d\n" (Connectivity.edge_connectivity g);
+    (match Connectivity.articulation_points g with
+    | [] -> ()
+    | pts ->
+        Printf.printf "articulation points %s\n"
+          (String.concat "," (List.map string_of_int pts)));
+    Printf.printf "diameter            %s\n" (dist_cell (Metrics.diameter g));
+    Printf.printf "girth               %s\n"
+      (match Metrics.girth g with Some gth -> string_of_int gth | None -> "acyclic");
+    let m = Independent.greedy g in
+    Printf.printf "neighborhood set    K=%d (Lemma 15 bound %d)\n" (List.length m)
+      (Independent.greedy_bound g);
+    (match Two_trees.find g with
+    | Some (r1, r2) -> Printf.printf "two-trees roots     %d, %d\n" r1 r2
+    | None -> Printf.printf "two-trees roots     none\n");
+    if kappa >= 1 && Graph.n g >= 3 then begin
+      let t = kappa - 1 in
+      let strategies = Builder.applicable g ~t in
+      Printf.printf "applicable routings %s\n"
+        (String.concat ", " (List.map Builder.strategy_name strategies))
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"structural properties relevant to the constructions")
+    Term.(const run $ graph_arg)
+
+(* ---------------- route ---------------- *)
+
+let strategy_arg =
+  let strategies =
+    [
+      ("auto", `Auto); ("kernel", `Kernel); ("circular", `Circular);
+      ("tri-circular", `Tri_full); ("tri-circular-small", `Tri_small);
+      ("bipolar-uni", `Bipolar_uni); ("bipolar-bi", `Bipolar_bi);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum strategies) `Auto
+    & info [ "strategy"; "s" ] ~docv:"STRATEGY"
+        ~doc:"One of auto, kernel, circular, tri-circular, tri-circular-small, \
+              bipolar-uni, bipolar-bi.")
+
+let build_construction g strategy seed =
+  let rng = Random.State.make [| seed |] in
+  let t = Connectivity.vertex_connectivity g - 1 in
+  let m () = Independent.best_of ~rng ~tries:30 g in
+  match strategy with
+  | `Auto -> (Builder.auto ~rng g).Builder.construction
+  | `Kernel -> Kernel.make g ~t
+  | `Circular -> Circular.make ~m:(m ()) g ~t
+  | `Tri_full -> Tri_circular.make ~m:(m ()) g ~t ~variant:Tri_circular.Full
+  | `Tri_small -> Tri_circular.make ~m:(m ()) g ~t ~variant:Tri_circular.Small
+  | `Bipolar_uni -> Bipolar.make_unidirectional g ~t
+  | `Bipolar_bi -> Bipolar.make_bidirectional g ~t
+
+let route_cmd =
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Write the route table (ftr-routing format).")
+  in
+  let run g strategy seed save =
+    match build_construction g strategy seed with
+    | exception Invalid_argument msg ->
+        Printf.eprintf "cannot build: %s\n" msg;
+        1
+    | c ->
+        Format.printf "%a@." Construction.pp c;
+        Printf.printf "max route length    %d\n" (Routing.max_route_length c.routing);
+        Printf.printf "total route edges   %d\n" (Routing.total_route_edges c.routing);
+        Printf.printf "max stretch         %.2f\n" (Routing.stretch c.routing);
+        (match save with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Routing_io.to_string c.routing);
+            close_out oc;
+            Printf.printf "saved               %s\n" path);
+        (match Routing.validate c.routing with
+        | Ok () ->
+            Printf.printf "validation          ok\n";
+            0
+        | Error e ->
+            Printf.printf "validation          FAILED: %s\n" e;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"build a routing and report its statistics")
+    Term.(const run $ graph_arg $ strategy_arg $ seed_arg $ save_arg)
+
+(* ---------------- tolerate ---------------- *)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "faults"; "f" ] ~docv:"F" ~doc:"Fault budget (default: each claim's f).")
+
+let tolerate_cmd =
+  let run g strategy seed faults =
+    match build_construction g strategy seed with
+    | exception Invalid_argument msg ->
+        Printf.eprintf "cannot build: %s\n" msg;
+        1
+    | c ->
+        let rng = Random.State.make [| seed; 1 |] in
+        let failures = ref 0 in
+        List.iter
+          (fun (claim : Construction.claim) ->
+            let f = Option.value faults ~default:claim.max_faults in
+            let v = Tolerance.evaluate ~rng c ~f in
+            let ok = Tolerance.respects v ~bound:claim.diameter_bound in
+            if not ok then incr failures;
+            Printf.printf "%-28s f=%d bound=%d worst=%s sets=%d%s -> %s\n" claim.source f
+              claim.diameter_bound (dist_cell v.Tolerance.worst) v.Tolerance.sets_checked
+              (if v.Tolerance.definitive then " (exhaustive)" else "")
+              (if ok then "ok" else "VIOLATION");
+            if not ok then
+              Printf.printf "  witness fault set: {%s}\n"
+                (String.concat "," (List.map string_of_int v.Tolerance.witness)))
+          c.claims;
+        if !failures = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "tolerate" ~doc:"fault-injection check of a construction's claims")
+    Term.(const run $ graph_arg $ strategy_arg $ seed_arg $ faults_arg)
+
+(* ---------------- props ---------------- *)
+
+let props_cmd =
+  let faults_list =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "kill" ] ~docv:"V1,V2,..." ~doc:"Fault set to apply before checking.")
+  in
+  let run g strategy seed faults =
+    match build_construction g strategy seed with
+    | exception Invalid_argument msg ->
+        Printf.eprintf "cannot build: %s\n" msg;
+        1
+    | c ->
+        let fault_set = Bitset.of_list (Graph.n g) faults in
+        let reports = Properties.check c ~faults:fault_set in
+        if reports = [] then begin
+          Printf.printf "no lemma-level properties for %s\n" c.Construction.name;
+          0
+        end
+        else begin
+          List.iter (fun r -> Format.printf "%a@." Properties.pp_report r) reports;
+          if Properties.all_hold reports then 0 else 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "props"
+       ~doc:"check the construction's lemma-level properties under a fault set")
+    Term.(const run $ graph_arg $ strategy_arg $ seed_arg $ faults_list)
+
+(* ---------------- simulate ---------------- *)
+
+let simulate_cmd =
+  let crashes = Arg.(value & opt int 1 & info [ "crashes" ] ~docv:"K" ~doc:"Nodes to crash.") in
+  let messages =
+    Arg.(value & opt int 200 & info [ "messages" ] ~docv:"M" ~doc:"Messages to send.")
+  in
+  let run g strategy seed crashes messages =
+    match build_construction g strategy seed with
+    | exception Invalid_argument msg ->
+        Printf.eprintf "cannot build: %s\n" msg;
+        1
+    | c ->
+        let rng = Random.State.make [| seed; 2 |] in
+        let net = Ftr_sim.Network.create c.routing in
+        let sim = Ftr_sim.Sim.create () in
+        let n = Graph.n g in
+        Ftr_sim.Faults.schedule_on sim net
+          (Ftr_sim.Faults.random_crashes ~rng ~n ~count:crashes ~window:(50.0, 50.0));
+        let entries =
+          Ftr_sim.Workload.uniform ~rng ~n ~count:messages ~horizon:200.0
+        in
+        let msgs =
+          Ftr_sim.Protocol.deliver_all sim net Ftr_sim.Protocol.default_config entries
+        in
+        let delivered =
+          List.filter (fun m -> m.Ftr_sim.Message.status = Ftr_sim.Message.Delivered) msgs
+        in
+        Printf.printf "delivered           %d/%d\n" (List.length delivered)
+          (List.length msgs);
+        (match
+           Ftr_sim.Stats.of_ints
+             (List.map (fun m -> m.Ftr_sim.Message.routes_traversed) delivered)
+         with
+        | Some s -> Format.printf "routes traversed    %a@." Ftr_sim.Stats.pp_summary s
+        | None -> ());
+        (match
+           Ftr_sim.Stats.summarize (List.filter_map Ftr_sim.Message.latency delivered)
+         with
+        | Some s -> Format.printf "latency             %a@." Ftr_sim.Stats.pp_summary s
+        | None -> ());
+        Printf.printf "surviving diameter  %s\n"
+          (dist_cell (Ftr_sim.Network.surviving_diameter net));
+        Printf.printf "events executed     %d\n" (Ftr_sim.Sim.events_executed sim);
+        0
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"message-level simulation with node crashes")
+    Term.(const run $ graph_arg $ strategy_arg $ seed_arg $ crashes $ messages)
+
+(* ---------------- check ---------------- *)
+
+let check_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Route table file (ftr-routing format).")
+  in
+  let run g file faults =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    match Routing_io.load g text with
+    | Error e ->
+        Printf.eprintf "cannot load %s: %s\n" file e;
+        1
+    | Ok routing -> (
+        Printf.printf "loaded %d routes (max length %d, stretch %.2f)\n"
+          (Routing.route_count routing)
+          (Routing.max_route_length routing)
+          (Routing.stretch routing);
+        let f = Option.value faults ~default:1 in
+        match Tolerance.exhaustive routing ~f with
+        | v ->
+            Printf.printf "worst surviving diameter over %d fault sets (<=%d faults): %s\n"
+              v.Tolerance.sets_checked f
+              (dist_cell v.Tolerance.worst);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"load a saved route table and fault-check it against its graph")
+    Term.(const run $ graph_arg $ file_arg $ faults_arg)
+
+(* ---------------- dot ---------------- *)
+
+let dot_cmd =
+  let out = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output file.") in
+  let run g out =
+    let dot = Dot.of_graph g in
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc dot;
+        close_out oc
+    | None -> print_string dot);
+    0
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Graphviz export") Term.(const run $ graph_arg $ out)
+
+let () =
+  let doc = "fault-tolerant routings in general networks (Peleg & Simons 1986)" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "ftr" ~doc)
+          [ info_cmd; route_cmd; tolerate_cmd; props_cmd; check_cmd; simulate_cmd; dot_cmd ]))

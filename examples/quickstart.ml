@@ -1,0 +1,49 @@
+(* Quickstart: build a fault-tolerant routing for a small torus, break
+   it, and watch the surviving route graph stay small.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Ftr_graph
+open Ftr_core
+
+let () =
+  (* 1. A network: the 5x5 torus, a classic interconnect topology. *)
+  let g = Families.torus 5 5 in
+  let kappa = Connectivity.vertex_connectivity g in
+  let t = kappa - 1 in
+  Printf.printf "network: torus 5x5, %d nodes, connectivity %d -> tolerate %d faults\n"
+    (Graph.n g) kappa t;
+
+  (* 2. A routing: let the library pick the best construction the
+     graph's structure admits. *)
+  let choice = Builder.auto g in
+  let c = choice.Builder.construction in
+  Printf.printf "construction: %s (%s)\n"
+    (Builder.strategy_name choice.Builder.strategy)
+    c.Construction.name;
+  let claim = Construction.strongest_claim c in
+  Printf.printf "claim: surviving diameter <= %d for up to %d faults [%s]\n"
+    claim.Construction.diameter_bound claim.Construction.max_faults
+    claim.Construction.source;
+
+  (* 3. Fixed routes between pairs: *)
+  (match Routing.find c.Construction.routing 0 12 with
+  | Some p -> Format.printf "route 0 -> 12: %a@." Path.pp p
+  | None -> print_endline "no direct route 0 -> 12 (pairs route via the concentrator)");
+
+  (* 4. Break things: fail t nodes and measure the surviving graph. *)
+  let faults = Bitset.of_list (Graph.n g) [ 6; 13; 19 ] in
+  Format.printf "after killing {6,13,19}: surviving diameter = %a (claimed <= %d)@."
+    Metrics.pp_distance
+    (Surviving.diameter c.Construction.routing ~faults)
+    claim.Construction.diameter_bound;
+
+  (* 5. Or let the checker hunt for the worst fault set of size t. *)
+  let rng = Random.State.make [| 1 |] in
+  let v = Tolerance.evaluate ~rng c ~f:t in
+  Format.printf "worst over %d fault sets%s: %a -> %s@." v.Tolerance.sets_checked
+    (if v.Tolerance.definitive then " (exhaustive)" else "")
+    Metrics.pp_distance v.Tolerance.worst
+    (if Tolerance.respects v ~bound:claim.Construction.diameter_bound then
+       "claim holds"
+     else "claim VIOLATED")

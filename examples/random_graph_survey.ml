@@ -1,0 +1,75 @@
+(* Section 5 in action, in two parts.
+
+   Part 1 (Lemma 24 / Theorem 25): at the paper's density regime
+   (average degree ~ n^eps, eps < 1/4) almost every G(n,p) sample has
+   the two-trees property. No connectivity is needed for that claim,
+   and indeed at this density the samples are usually disconnected -
+   the asymptotic theorem regimes only overlap for much larger n.
+
+   Part 2 (Theorem 20/23): to actually attack a bipolar routing with
+   faults we need a connected sparse graph, so we sample a random
+   3-regular graph (connectivity 3 with high probability, few short
+   cycles, diameter ~ log n): it almost always has two-trees roots.
+
+   Run with:  dune exec examples/random_graph_survey.exe *)
+
+open Ftr_graph
+open Ftr_core
+
+let part1_two_trees_frequency rng =
+  print_endline "-- Part 1: the two-trees property in G(n,p), p = n^eps / n --";
+  List.iter
+    (fun (n, eps) ->
+      let p = (float_of_int n ** eps) /. float_of_int n in
+      let trials = 30 in
+      let weak = ref 0 and formal = ref 0 and connected = ref 0 in
+      for _ = 1 to trials do
+        let g = Random_graphs.gnp ~rng n p in
+        if Two_trees.find_weak g <> None then incr weak;
+        if Two_trees.find g <> None then incr formal;
+        if Traversal.is_connected g then incr connected
+      done;
+      Printf.printf
+        "  n=%4d eps=%.2f: prose %2d/%d, formal %2d/%d (connected samples: %d)\n" n
+        eps !weak trials !formal trials !connected)
+    [ (100, 0.15); (200, 0.15); (400, 0.15); (200, 0.24) ]
+
+let part2_bipolar_attack rng =
+  print_endline "-- Part 2: bipolar routings on a sparse random regular graph --";
+  let rec sample tries =
+    if tries = 0 then None
+    else
+      let g = Random_graphs.regular ~rng 150 3 in
+      if Connectivity.is_k_connected g 3 && Two_trees.find g <> None then Some g
+      else sample (tries - 1)
+  in
+  match sample 50 with
+  | None -> print_endline "  no suitable sample in 50 tries (unlucky seed)"
+  | Some g ->
+      let t = 2 in
+      let r1, r2 = Option.get (Two_trees.find g) in
+      Printf.printf "  random 3-regular, n=150: two-trees roots %d, %d (distance %s)\n" r1
+        r2
+        (match Traversal.distance g r1 r2 with
+        | Some d -> string_of_int d
+        | None -> "inf");
+      List.iter
+        (fun (c : Construction.t) ->
+          let claim = List.hd c.Construction.claims in
+          let v = Tolerance.evaluate ~rng c ~f:t in
+          Format.printf
+            "  %-24s %6d routes, worst surviving diameter %a over %d fault sets \
+             (claim <= %d, %s)@."
+            c.Construction.name
+            (Routing.route_count c.Construction.routing)
+            Metrics.pp_distance v.Tolerance.worst v.Tolerance.sets_checked
+            claim.Construction.diameter_bound claim.Construction.source)
+        [
+          Bipolar.make_unidirectional ~roots:(r1, r2) g ~t;
+          Bipolar.make_bidirectional ~roots:(r1, r2) g ~t;
+        ]
+
+let () =
+  let rng = Random.State.make [| 99 |] in
+  part1_two_trees_frequency rng;
+  part2_bipolar_attack rng

@@ -1,0 +1,27 @@
+(** The per-experiment index of DESIGN.md, executable.
+
+    Each experiment id (E1-E12, F1-F3, S1) regenerates one of the
+    paper's quantitative claims (there are no tables in the paper; the
+    theorems play that role) or one of its three figures. Running an
+    experiment returns a {!Table.t}; figure experiments additionally
+    write DOT files when the context carries an output directory. *)
+
+type context = {
+  seed : int;  (** every experiment derives its own PRNG from this *)
+  quick : bool;  (** smaller testbeds and sampling budgets *)
+  out_dir : string option;  (** where figure DOT files are written *)
+}
+
+val default_context : ?seed:int -> ?quick:bool -> ?out_dir:string -> unit -> context
+
+val ids : string list
+(** In presentation order. *)
+
+val describe : string -> string
+(** One-line description of an experiment id; raises [Not_found] on
+    unknown ids. *)
+
+val run : context -> string -> Table.t
+(** Raises [Not_found] on unknown ids. *)
+
+val all : context -> (string * Table.t) list

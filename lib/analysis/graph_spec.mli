@@ -1,0 +1,20 @@
+(** Parsing of textual graph descriptions (used by the CLI and handy
+    in scripts).
+
+    Grammar (':'-separated):
+    {v
+    cycle:N  path:N  complete:N  star:N  wheel:N
+    grid:RxC  torus:RxC  torus3:AxBxC
+    hypercube:D  ccc:D  butterfly:D  debruijn:D  shuffle:D
+    petersen
+    bipartite:A:B  circulant:N:o1,o2,...
+    gnp:N:P[:SEED]  gnm:N:M[:SEED]  regular:N:D[:SEED]
+    v} *)
+
+open Ftr_graph
+
+val parse : string -> (Graph.t, string) result
+
+val conv :
+  (string -> (Graph.t, string) result) * (Format.formatter -> Graph.t -> unit)
+(** A cmdliner [Arg.conv'] compatible pair. *)

@@ -1,0 +1,32 @@
+let console results =
+  String.concat "\n" (List.map (fun (_, t) -> Table.render t) results)
+
+let last_cell row = List.nth_opt row (List.length row - 1)
+
+let violations results =
+  List.filter_map
+    (fun (id, table) ->
+      let bad =
+        List.filter (fun row -> last_cell row = Some "VIOLATION") table.Table.rows
+      in
+      if bad = [] then None else Some (id, List.map (String.concat " | ") bad))
+    results
+
+let markdown ~header results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_string buf "\n";
+  List.iter
+    (fun (_, table) ->
+      Buffer.add_string buf (Table.to_markdown table);
+      Buffer.add_string buf "\n\n")
+    results;
+  (match violations results with
+  | [] -> Buffer.add_string buf "**Roll-up: every checked claim held.**\n"
+  | bad ->
+      Buffer.add_string buf "**Roll-up: VIOLATIONS FOUND:**\n\n";
+      List.iter
+        (fun (id, rows) ->
+          List.iter (fun r -> Buffer.add_string buf (Printf.sprintf "- %s: %s\n" id r)) rows)
+        bad);
+  Buffer.contents buf

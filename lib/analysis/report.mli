@@ -1,0 +1,12 @@
+(** Rendering experiment results for EXPERIMENTS.md and the console. *)
+
+val console : (string * Table.t) list -> string
+(** All tables, ASCII-rendered, separated by blank lines. *)
+
+val markdown : header:string -> (string * Table.t) list -> string
+(** A self-contained markdown document: [header] (verbatim), then one
+    section per experiment with its table and a pass/fail roll-up. *)
+
+val violations : (string * Table.t) list -> (string * string list) list
+(** Rows whose last cell reads "VIOLATION", grouped by experiment id
+    (an empty result means every checked claim held). *)

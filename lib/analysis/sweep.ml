@@ -1,0 +1,11 @@
+let cartesian xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
+let frequency ~trials pred =
+  let hits = ref 0 in
+  for i = 0 to trials - 1 do
+    if pred i then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials
+
+let float_cell v = Printf.sprintf "%.2f" v
+let ratio_cell k n = Printf.sprintf "%d/%d" k n

@@ -1,0 +1,13 @@
+(** Parameter-sweep helpers for the experiment harness. *)
+
+val cartesian : 'a list -> 'b list -> ('a * 'b) list
+
+val frequency : trials:int -> (int -> bool) -> float
+(** Fraction of trial indices [0 .. trials-1] on which the predicate
+    holds. *)
+
+val float_cell : float -> string
+(** Two-decimal rendering. *)
+
+val ratio_cell : int -> int -> string
+(** "k/n" rendering. *)

@@ -1,0 +1,74 @@
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~title ~headers ?(notes = []) rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length headers then
+        invalid_arg
+          (Printf.sprintf "Table.make(%s): row width %d vs %d headers" title
+             (List.length row) (List.length headers)))
+    rows;
+  { title; headers; rows; notes }
+
+let widths t =
+  let cols = List.length t.headers in
+  let w = Array.make cols 0 in
+  let feed row = List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row in
+  feed t.headers;
+  List.iter feed t.rows;
+  w
+
+let pad s width = s ^ String.make (width - String.length s) ' '
+
+let render t =
+  let w = widths t in
+  let buf = Buffer.create 1024 in
+  let line ch =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun width ->
+        Buffer.add_string buf (String.make (width + 2) ch);
+        Buffer.add_char buf '+')
+      w;
+    Buffer.add_char buf '\n'
+  in
+  let row cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad cell w.(i));
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  line '-';
+  row t.headers;
+  line '=';
+  List.iter row t.rows;
+  line '-';
+  List.iter (fun n -> Buffer.add_string buf ("note: " ^ n ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let escape_csv cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line cells = String.concat "," (List.map escape_csv cells) in
+  String.concat "\n" (line t.headers :: List.map line t.rows) ^ "\n"
+
+let to_markdown t =
+  let line cells = "| " ^ String.concat " | " cells ^ " |" in
+  let sep = "|" ^ String.concat "|" (List.map (fun _ -> "---") t.headers) ^ "|" in
+  let body = line t.headers :: sep :: List.map line t.rows in
+  let notes = List.map (fun n -> "\n*" ^ n ^ "*") t.notes in
+  "### " ^ t.title ^ "\n\n" ^ String.concat "\n" body ^ "\n"
+  ^ String.concat "" notes

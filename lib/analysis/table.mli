@@ -1,0 +1,19 @@
+(** Plain-text result tables (the experiment harness's output
+    format). *)
+
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  title:string -> headers:string list -> ?notes:string list -> string list list -> t
+
+val render : t -> string
+(** ASCII box rendering with per-column widths. *)
+
+val to_csv : t -> string
+
+val to_markdown : t -> string

@@ -1,0 +1,50 @@
+open Ftr_graph
+
+type result = {
+  augmented : Graph.t;
+  construction : Construction.t;
+  added : (int * int) list;
+}
+
+let default_separator who g =
+  match Separator.minimum g with
+  | Some (_ :: _ as m) -> m
+  | _ -> invalid_arg (who ^ ": no separating set")
+
+let build_augmented ~who ~name ~claims ?m g ~t ~extra_edges =
+  let m = match m with Some m -> m | None -> default_separator who g in
+  let added =
+    List.filter (fun (u, v) -> not (Graph.mem_edge g u v)) (extra_edges m)
+  in
+  let augmented = Graph.add_edges g added in
+  let c = Kernel.make ~m augmented ~t in
+  let construction = { c with Construction.name = name; claims = claims ~t } in
+  { augmented; construction; added }
+
+let clique_concentrator ?m g ~t =
+  let extra_edges m =
+    let members = Array.of_list m in
+    let acc = ref [] in
+    Array.iteri
+      (fun i u ->
+        Array.iteri (fun j v -> if i < j then acc := (u, v) :: !acc) members)
+      members;
+    !acc
+  in
+  build_augmented ~who:"Augment.clique_concentrator" ~name:"kernel+clique"
+    ~claims:(fun ~t -> [ Construction.claim ~bound:3 ~faults:t "Section 6 (augmentation)" ])
+    ?m g ~t ~extra_edges
+
+let ring_concentrator ?m g ~t =
+  let extra_edges m =
+    let members = Array.of_list m in
+    let k = Array.length members in
+    if k < 2 then []
+    else if k = 2 then [ (members.(0), members.(1)) ]
+    else List.init k (fun i -> (members.(i), members.((i + 1) mod k)))
+  in
+  build_augmented ~who:"Augment.ring_concentrator" ~name:"kernel+ring"
+    ~claims:(fun ~t ->
+      ignore t;
+      [])
+    ?m g ~t ~extra_edges

@@ -1,0 +1,25 @@
+(** Network modification (Section 6): make the kernel concentrator a
+    clique.
+
+    Adding at most [t(t+1)/2] links between concentrator members turns
+    the kernel routing into a [(3, t)]-tolerant routing {e of the
+    modified network}. *)
+
+open Ftr_graph
+
+type result = {
+  augmented : Graph.t;  (** the graph with the clique edges added *)
+  construction : Construction.t;  (** kernel-style routing on it *)
+  added : (int * int) list;  (** the new links *)
+}
+
+val clique_concentrator : ?m:int list -> Graph.t -> t:int -> result
+(** [m] defaults to a minimum vertex cut of the original graph; it
+    remains a separating set after augmentation. *)
+
+val ring_concentrator : ?m:int list -> Graph.t -> t:int -> result
+(** Open problem (2) probe: add only a cycle on the concentrator —
+    [O(t)] new links instead of the clique's [O(t^2)] — and build the
+    kernel routing on the result. The construction makes {e no}
+    tolerance claim (the paper leaves the question open); experiment
+    E19 measures what the ring actually achieves. *)

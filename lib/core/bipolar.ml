@@ -1,0 +1,112 @@
+open Ftr_graph
+
+type setup = {
+  r1 : int;
+  r2 : int;
+  m1 : int list;
+  m2 : int list;
+  gamma1 : Bitset.t;  (* union of Gamma(m) over m in M1, r1 included *)
+  gamma2 : Bitset.t;
+}
+
+let prepare ?roots g =
+  let r1, r2 =
+    match roots with
+    | Some (r1, r2) ->
+        if not (Two_trees.verify g r1 r2) then
+          invalid_arg "Bipolar: supplied roots fail the two-trees property";
+        (r1, r2)
+    | None -> (
+        match Two_trees.find g with
+        | Some pair -> pair
+        | None -> invalid_arg "Bipolar: graph lacks the two-trees property")
+  in
+  let m1 = Array.to_list (Graph.neighbors g r1) in
+  let m2 = Array.to_list (Graph.neighbors g r2) in
+  let union_of members =
+    let s = Bitset.create (Graph.n g) in
+    List.iter (fun m -> Array.iter (Bitset.add s) (Graph.neighbors g m)) members;
+    s
+  in
+  { r1; r2; m1; m2; gamma1 = union_of m1; gamma2 = union_of m2 }
+
+let pools g s =
+  let nbhd v = Array.to_list (Graph.neighbors g v) in
+  [ s.m1; s.m2; s.m1 @ s.m2; s.r1 :: s.r2 :: (s.m1 @ s.m2) ]
+  @ List.map nbhd s.m1 @ List.map nbhd s.m2
+
+let fringe_trees routing g members ~t =
+  (* Components (2)B-POL 3/4: from every member of M_side to the
+     neighborhood of every member of the same side. *)
+  List.iter
+    (fun src ->
+      List.iter
+        (fun m' ->
+          let targets = Array.to_list (Graph.neighbors g m') in
+          Tree_routing.add_to routing (Tree_routing.make g ~src ~targets ~k:(t + 1)))
+        members)
+    members
+
+let make_unidirectional ?roots g ~t =
+  let s = prepare ?roots g in
+  let n = Graph.n g in
+  let in_m1 = Bitset.of_list n s.m1 and in_m2 = Bitset.of_list n s.m2 in
+  let routing = Routing.create g Routing.Unidirectional in
+  let tree x targets =
+    Tree_routing.add_to routing (Tree_routing.make g ~src:x ~targets ~k:(t + 1))
+  in
+  (* B-POL 1 and B-POL 2: every node outside M_side routes to it. *)
+  Graph.iter_vertices (fun x -> if not (Bitset.mem in_m1 x) then tree x s.m1) g;
+  Graph.iter_vertices (fun x -> if not (Bitset.mem in_m2 x) then tree x s.m2) g;
+  (* B-POL 3 and B-POL 4. *)
+  fringe_trees routing g s.m1 ~t;
+  fringe_trees routing g s.m2 ~t;
+  (* B-POL 5: complete missing reverse directions along the same path. *)
+  Routing.complete_reverses routing;
+  (* B-POL 6: direct edge routes. *)
+  Routing.add_edge_routes routing;
+  {
+    Construction.name = Printf.sprintf "bipolar/uni(r1=%d,r2=%d)" s.r1 s.r2;
+    routing;
+    concentrator = s.m1 @ s.m2;
+    structure = Construction.Two_poles { r1 = s.r1; r2 = s.r2 };
+    pools = pools g s;
+    claims = [ Construction.claim ~bound:4 ~faults:t "Theorem 20" ];
+  }
+
+let make_bidirectional ?roots g ~t =
+  let s = prepare ?roots g in
+  let n = Graph.n g in
+  let in_m1 = Bitset.of_list n s.m1 and in_m2 = Bitset.of_list n s.m2 in
+  let routing = Routing.create g Routing.Bidirectional in
+  let tree x targets =
+    Tree_routing.add_to routing (Tree_routing.make g ~src:x ~targets ~k:(t + 1))
+  in
+  (* 2B-POL 1: x outside M and Gamma_1 routes to M1. *)
+  Graph.iter_vertices
+    (fun x ->
+      if
+        (not (Bitset.mem in_m1 x))
+        && (not (Bitset.mem in_m2 x))
+        && not (Bitset.mem s.gamma1 x)
+      then tree x s.m1)
+    g;
+  (* 2B-POL 2: x outside M2 and Gamma_2 routes to M2 (this includes
+     all of M1, which realises Property 2B-POL 3). *)
+  Graph.iter_vertices
+    (fun x ->
+      if (not (Bitset.mem in_m2 x)) && not (Bitset.mem s.gamma2 x) then tree x s.m2)
+    g;
+  (* 2B-POL 3 and 2B-POL 4. *)
+  fringe_trees routing g s.m1 ~t;
+  fringe_trees routing g s.m2 ~t;
+  (* 2B-POL 5: direct edge routes. *)
+  Routing.add_edge_routes routing;
+  {
+    Construction.name = Printf.sprintf "bipolar/bi(r1=%d,r2=%d)" s.r1 s.r2;
+    routing;
+    concentrator = s.m1 @ s.m2;
+    structure = Construction.Two_poles { r1 = s.r1; r2 = s.r2 };
+    pools = pools g s;
+    claims = [ Construction.claim ~bound:5 ~faults:t "Theorem 23" ];
+  }

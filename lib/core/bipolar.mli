@@ -1,0 +1,17 @@
+(** The bipolar constructions (Section 5, Theorems 20 and 23).
+
+    Both need the two-trees property: roots [r1, r2] whose depth-2
+    neighborhoods form disjoint trees. The concentrator is
+    [M = Gamma(r1) + Gamma(r2)]. The unidirectional variant is
+    [(4, t)]-tolerant; the bidirectional one [(5, t)]-tolerant. *)
+
+open Ftr_graph
+
+val make_unidirectional : ?roots:int * int -> Graph.t -> t:int -> Construction.t
+(** Components B-POL 1-6 of the paper. [roots] defaults to
+    {!Ftr_graph.Two_trees.find}; raises [Invalid_argument] when the
+    graph lacks the two-trees property (or the supplied roots fail
+    {!Ftr_graph.Two_trees.verify}). *)
+
+val make_bidirectional : ?roots:int * int -> Graph.t -> t:int -> Construction.t
+(** Components 2B-POL 1-5. Same root handling. *)

@@ -1,0 +1,56 @@
+open Ftr_graph
+
+let required_k ~t = if t mod 2 = 0 then t + 1 else t + 2
+
+let shared_pools ~m ~gammas =
+  let fringe = List.sort_uniq compare (List.concat gammas) in
+  (m :: gammas) @ [ m @ fringe ]
+
+let make ?m ?window g ~t =
+  let m = match m with Some m -> m | None -> Independent.greedy g in
+  let k_sets = List.length m in
+  if k_sets < required_k ~t then
+    invalid_arg
+      (Printf.sprintf "Circular.make: need a neighborhood set of size >= %d, got %d"
+         (required_k ~t) k_sets);
+  if not (Independent.is_neighborhood_set g m) then
+    invalid_arg "Circular.make: M is not a neighborhood set";
+  let max_window = ((k_sets + 1) / 2) - 1 in
+  (match window with
+  | Some w when w < 1 || w > max_window ->
+      invalid_arg
+        (Printf.sprintf "Circular.make: window must be in [1,%d], got %d" max_window w)
+  | Some _ | None -> ());
+  let members = Array.of_list m in
+  let gammas = Array.map (fun mi -> Array.to_list (Graph.neighbors g mi)) members in
+  let n = Graph.n g in
+  (* owner.(x) = ring index i when x is in Gamma_i, -1 otherwise. *)
+  let owner = Array.make n (-1) in
+  Array.iteri (fun i gamma -> List.iter (fun x -> owner.(x) <- i) gamma) gammas;
+  let routing = Routing.create g Routing.Bidirectional in
+  let tree x targets = Tree_routing.add_to routing (Tree_routing.make g ~src:x ~targets ~k:(t + 1)) in
+  let window = Option.value window ~default:max_window in
+  Graph.iter_vertices
+    (fun x ->
+      if owner.(x) < 0 then
+        (* Component CIRC 1: x outside Gamma routes to every ring set. *)
+        Array.iter (fun gamma -> tree x gamma) gammas
+      else begin
+        (* Component CIRC 2: x in Gamma_i routes to the next
+           ceil(K/2)-1 sets around the circle. *)
+        let i = owner.(x) in
+        for j = 1 to window do
+          tree x gammas.((i + j) mod k_sets)
+        done
+      end)
+    g;
+  (* Component CIRC 3: direct edge routes. *)
+  Routing.add_edge_routes routing;
+  {
+    Construction.name = Printf.sprintf "circular(K=%d,w=%d)" k_sets window;
+    routing;
+    concentrator = m;
+    structure = Construction.Neighborhood { members = m; window };
+    pools = shared_pools ~m ~gammas:(Array.to_list gammas);
+    claims = [ Construction.claim ~bound:6 ~faults:t "Theorem 10" ];
+  }

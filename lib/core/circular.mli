@@ -1,0 +1,27 @@
+(** The circular construction (Section 4, Theorem 10).
+
+    Given a neighborhood set [M = {m_0 .. m_(K-1)}], every node
+    outside [Gamma = union of the neighborhoods Gamma_i] gets tree
+    routings to every [Gamma_i]; every node in [Gamma_i] gets tree
+    routings to the next [ceil(K/2) - 1] neighborhoods around the
+    circle; adjacent pairs get direct edges. The result is
+    [(6, t)]-tolerant for [K >= t+2] ([t+1] suffices for even [t],
+    Lemma 9); [K >= 2t+1] realises the stronger Properties CIRC 1-2 of
+    Lemma 7. *)
+
+open Ftr_graph
+
+val required_k : t:int -> int
+(** [t+1] for even [t], [t+2] for odd [t]. *)
+
+val make : ?m:int list -> ?window:int -> Graph.t -> t:int -> Construction.t
+(** [m] defaults to the greedy neighborhood set of Lemma 15. [window]
+    is the number of onward ring sets each fringe node routes to
+    (Component CIRC 2); it defaults to the paper's [ceil(K/2) - 1] and
+    must stay in [[1, ceil(K/2) - 1]] — larger values would let two
+    fringe nodes route to each other from both sides and conflict.
+    Shrinking the window shrinks the route table but weakens the
+    surviving-graph properties; the E18 ablation measures that
+    trade-off. Raises [Invalid_argument] when [m] is not a
+    neighborhood set, is smaller than {!required_k}, or [window] is
+    out of range. *)

@@ -1,0 +1,46 @@
+open Ftr_graph
+
+type t = {
+  g : Graph.t;
+  nodes : Bitset.t;
+  edges : (int * int, unit) Hashtbl.t; (* normalised (min, max) *)
+}
+
+let create g = { g; nodes = Bitset.create (Graph.n g); edges = Hashtbl.create 16 }
+
+let fail_node t v =
+  if v < 0 || v >= Graph.n t.g then invalid_arg "Fault_model.fail_node: bad vertex";
+  Bitset.add t.nodes v
+
+let fail_edge t u v =
+  if not (Graph.mem_edge t.g u v) then invalid_arg "Fault_model.fail_edge: not an edge";
+  Hashtbl.replace t.edges (min u v, max u v) ()
+
+let node_faults t = t.nodes
+let edge_fault_count t = Hashtbl.length t.edges
+
+let edge_failed t u v = Hashtbl.mem t.edges (min u v, max u v)
+
+let affects t p =
+  Path.hits p t.nodes
+  ||
+  let a = Path.to_array p in
+  let rec scan i =
+    i + 1 < Array.length a && (edge_failed t a.(i) a.(i + 1) || scan (i + 1))
+  in
+  scan 0
+
+let endpoint_projection t =
+  let s = Bitset.copy t.nodes in
+  Hashtbl.iter (fun (u, _) () -> Bitset.add s u) t.edges;
+  s
+
+let surviving routing t =
+  let b = Digraph.Builder.create (Graph.n t.g) in
+  Routing.iter
+    (fun src dst p -> if not (affects t p) then Digraph.Builder.add_arc b src dst)
+    routing;
+  Digraph.Builder.to_digraph b
+
+let diameter routing t =
+  Surviving.diameter_of_digraph (surviving routing t) ~faults:t.nodes

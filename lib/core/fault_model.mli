@@ -1,0 +1,38 @@
+(** Mixed node/edge fault sets.
+
+    The paper handles faulty edges "by assuming that one of the
+    endpoints of the faulty edge is a faulty node, an assumption that
+    can only weaken our results". This module makes edge faults
+    first-class so that claim can be exercised: a route is affected by
+    an edge fault only if it traverses that exact edge, so for the
+    surviving nodes the edge-fault surviving graph is a supergraph of
+    the endpoint-fault one. *)
+
+open Ftr_graph
+
+type t
+
+val create : Graph.t -> t
+
+val fail_node : t -> int -> unit
+
+val fail_edge : t -> int -> int -> unit
+(** Undirected: both traversal directions die. *)
+
+val node_faults : t -> Bitset.t
+
+val edge_fault_count : t -> int
+
+val affects : t -> Path.t -> bool
+(** True when the route crosses a failed node or traverses a failed
+    edge. *)
+
+val endpoint_projection : t -> Bitset.t
+(** The paper's reduction: node faults plus, for every failed edge,
+    its smaller endpoint. *)
+
+val surviving : Routing.t -> t -> Digraph.t
+
+val diameter : Routing.t -> t -> Metrics.distance
+(** Diameter of the surviving graph over non-faulty nodes (endpoints
+    of failed edges remain alive). *)

@@ -1,0 +1,43 @@
+open Ftr_graph
+
+let ecube_path ~d ~src ~dst =
+  let rec go cur bit acc =
+    if bit = d then List.rev acc
+    else
+      let mask = 1 lsl bit in
+      if cur land mask <> dst land mask then go (cur lxor mask) (bit + 1) (cur lxor mask :: acc)
+      else go cur (bit + 1) acc
+  in
+  Path.of_list (src :: go src 0 [])
+
+let build ~name ~kind d =
+  let g = Families.hypercube d in
+  let routing = Routing.create g kind in
+  let n = Graph.n g in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then begin
+        let forward_only =
+          match kind with
+          | Routing.Unidirectional -> true
+          | Routing.Bidirectional -> src < dst
+        in
+        if forward_only then Routing.add routing (ecube_path ~d ~src ~dst)
+      end
+    done
+  done;
+  {
+    Construction.name;
+    routing;
+    concentrator = [];
+    structure = Construction.Unstructured;
+    pools = [];
+    claims = [];
+  }
+
+let ecube d = build ~name:(Printf.sprintf "ecube(Q%d)" d) ~kind:Routing.Unidirectional d
+
+let ecube_bidirectional d =
+  build ~name:(Printf.sprintf "ecube-bi(Q%d)" d) ~kind:Routing.Bidirectional d
+
+let graph_of (c : Construction.t) = Routing.graph c.Construction.routing

@@ -1,0 +1,24 @@
+(** Hypercube-specific routings (the reference point of the paper's
+    introduction).
+
+    Dolev, Halpern, Simons and Strong (1984) showed the [d]-cube has a
+    bidirectional routing whose surviving diameter is at most 3 and a
+    unidirectional one achieving 2 — the result whose conjectured
+    generalisation this paper partially confirms. The natural
+    dimension-ordered ("e-cube") routing is the standard concrete
+    scheme; we build it here and let the experiments measure what it
+    actually achieves under [d - 1] faults. *)
+
+open Ftr_graph
+
+val ecube : int -> Construction.t
+(** [ecube d]: unidirectional dimension-ordered routing on the
+    [d]-cube: the route from [x] to [y] flips the differing bits in
+    increasing bit order. Claims are empty; the experiments report the
+    measured surviving diameter. *)
+
+val ecube_bidirectional : int -> Construction.t
+(** Bidirectional variant: the path between [x] and [y] is the e-cube
+    path from [min x y], used in both directions. *)
+
+val graph_of : Construction.t -> Graph.t

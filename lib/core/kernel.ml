@@ -1,0 +1,41 @@
+open Ftr_graph
+
+let default_separator g =
+  match Separator.minimum g with
+  | Some (_ :: _ as m) -> m
+  | Some [] -> invalid_arg "Kernel.make: graph is disconnected"
+  | None -> invalid_arg "Kernel.make: complete graph has no separating set"
+
+let pools g ~m =
+  let neighborhoods = List.map (fun v -> Array.to_list (Graph.neighbors g v)) m in
+  let fringe = List.sort_uniq compare (List.concat neighborhoods) in
+  (m :: neighborhoods) @ [ m @ fringe ]
+
+let make ?m g ~t =
+  let m = match m with Some m -> m | None -> default_separator g in
+  if List.length m < t + 1 then
+    invalid_arg "Kernel.make: separating set smaller than t+1";
+  if not (Separator.is_separator g m) then
+    invalid_arg "Kernel.make: M is not a separating set";
+  let routing = Routing.create g Routing.Bidirectional in
+  let in_m = Bitset.of_list (Graph.n g) m in
+  (* Component KERNEL 1: a tree routing from each outside node to M. *)
+  Graph.iter_vertices
+    (fun x ->
+      if not (Bitset.mem in_m x) then
+        Tree_routing.add_to routing (Tree_routing.make g ~src:x ~targets:m ~k:(t + 1)))
+    g;
+  (* Component KERNEL 2: direct edge routes. *)
+  Routing.add_edge_routes routing;
+  {
+    Construction.name = "kernel";
+    routing;
+    concentrator = m;
+    structure = Construction.Separator m;
+    pools = pools g ~m;
+    claims =
+      [
+        Construction.claim ~bound:(max (2 * t) 4) ~faults:t "Theorem 3 (Dolev et al.)";
+        Construction.claim ~bound:4 ~faults:(t / 2) "Theorem 4";
+      ];
+  }

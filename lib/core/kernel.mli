@@ -1,0 +1,16 @@
+(** The basic kernel construction of Dolev, Halpern, Simons and Strong
+    (Section 3).
+
+    Given a minimal separating set [M] of a [(t+1)]-connected graph,
+    route every outside vertex to [M] by a tree routing and give every
+    adjacent pair the direct edge. Theorem 3: the result is
+    [(max(2t,4), t)]-tolerant; Theorem 4 (this paper): it is also
+    [(4, floor(t/2))]-tolerant. *)
+
+open Ftr_graph
+
+val make : ?m:int list -> Graph.t -> t:int -> Construction.t
+(** [m] defaults to a minimum vertex cut. Raises [Invalid_argument] if
+    the graph is complete (no separating set exists) or [m] is not a
+    separating set of size at least [t+1]; {!Tree_routing.Insufficient}
+    propagates if the graph is not [(t+1)]-connected. *)

@@ -1,0 +1,42 @@
+open Ftr_graph
+
+(* BFS parents with deterministic tie-breaking: neighbors are scanned
+   in sorted order, so the parent of each vertex is the smallest-index
+   vertex on the previous BFS level. *)
+let shortest_paths_from g src =
+  let dist, parent = Traversal.bfs_parents g src in
+  (dist, parent)
+
+let path_from_parents parent ~src ~dst =
+  let rec walk v acc = if v = src then v :: acc else walk parent.(v) (v :: acc) in
+  Path.of_list (walk dst [])
+
+let build ~name ~kind g =
+  let routing = Routing.create g kind in
+  let n = Graph.n g in
+  for src = 0 to n - 1 do
+    let dist, parent = shortest_paths_from g src in
+    for dst = 0 to n - 1 do
+      if dst <> src && dist.(dst) >= 0 then begin
+        let forward_only =
+          match kind with
+          | Routing.Unidirectional -> true
+          | Routing.Bidirectional -> src < dst
+        in
+        if forward_only then Routing.add routing (path_from_parents parent ~src ~dst)
+      end
+    done
+  done;
+  {
+    Construction.name;
+    routing;
+    concentrator = [];
+    structure = Construction.Unstructured;
+    pools = [];
+    claims = [];
+  }
+
+let make g = build ~name:"minimal (shortest paths)" ~kind:Routing.Bidirectional g
+
+let make_unidirectional g =
+  build ~name:"minimal/uni (shortest paths)" ~kind:Routing.Unidirectional g

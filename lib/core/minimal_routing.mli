@@ -1,0 +1,21 @@
+(** The shortest-path routing baseline.
+
+    The paper contrasts its constructions with {e minimal path
+    routings}, whose fault tolerance Feldman (STOC 1985) analysed: fix
+    a shortest path for every pair and hope. This module builds that
+    baseline with deterministic tie-breaking so experiments can compare
+    surviving diameters against the paper's constructions on equal
+    terms. *)
+
+open Ftr_graph
+
+val make : Graph.t -> Construction.t
+(** A bidirectional shortest-path routing: the route for [(x, y)] is
+    the lexicographically-first BFS shortest path from [min x y],
+    reversed for the other direction. Every pair of distinct vertices
+    in the same component is routed; claims are empty (the baseline
+    promises nothing). *)
+
+val make_unidirectional : Graph.t -> Construction.t
+(** Independent BFS-tree shortest paths per source; routes for [(x,y)]
+    and [(y,x)] may differ. *)

@@ -1,0 +1,115 @@
+open Ftr_graph
+
+type t = { g : Graph.t; table : (int * int, Path.t list) Hashtbl.t }
+
+let create g = { g; table = Hashtbl.create 256 }
+let graph t = t.g
+
+let routes t src dst =
+  Option.value ~default:[] (Hashtbl.find_opt t.table (src, dst))
+
+let install t p =
+  let key = (Path.source p, Path.target p) in
+  let existing = routes t (fst key) (snd key) in
+  if not (List.exists (Path.equal p) existing) then
+    Hashtbl.replace t.table key (existing @ [ p ])
+
+let add t p =
+  if Path.length p < 1 then invalid_arg "Multirouting.add: trivial path";
+  if not (Path.is_valid_in t.g p) then invalid_arg "Multirouting.add: path not in graph";
+  install t p;
+  install t (Path.rev p)
+
+let route_count t = Hashtbl.fold (fun _ ps acc -> acc + List.length ps) t.table 0
+let max_width t = Hashtbl.fold (fun _ ps acc -> max acc (List.length ps)) t.table 0
+
+let surviving t ~faults =
+  let b = Digraph.Builder.create (Graph.n t.g) in
+  Hashtbl.iter
+    (fun (src, dst) ps ->
+      if List.exists (fun p -> not (Path.hits p faults)) ps then
+        Digraph.Builder.add_arc b src dst)
+    t.table;
+  Digraph.Builder.to_digraph b
+
+let diameter t ~faults = Surviving.diameter_of_digraph (surviving t ~faults) ~faults
+
+let disjoint_bundle t ~k u v =
+  List.iter (add t) (Disjoint_paths.st_paths t.g ~src:u ~dst:v ~k ())
+
+let full g ~t:tol =
+  let mt = create g in
+  let n = Graph.n g in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      disjoint_bundle mt ~k:(tol + 1) u v
+    done
+  done;
+  mt
+
+let default_separator g =
+  match Separator.minimum g with
+  | Some m when m <> [] -> m
+  | _ -> invalid_arg "Multirouting: no separating set available"
+
+let kernel_plus ?m g ~t:tol =
+  let m = match m with Some m -> m | None -> default_separator g in
+  let mt = create g in
+  let in_m = Bitset.of_list (Graph.n g) m in
+  Graph.iter_vertices
+    (fun x ->
+      if not (Bitset.mem in_m x) then
+        List.iter (add mt) (Tree_routing.make g ~src:x ~targets:m ~k:(tol + 1)))
+    g;
+  (* t+1 parallel routes inside the concentrator. *)
+  let members = Array.of_list m in
+  Array.iteri
+    (fun i u ->
+      Array.iteri (fun j v -> if i < j then disjoint_bundle mt ~k:(tol + 1) u v) members)
+    members;
+  Graph.iter_edges (fun u v -> add mt (Path.edge u v)) g;
+  (mt, m)
+
+let mult ?m g ~t:tol =
+  let m = match m with Some m -> m | None -> default_separator g in
+  let mt = create g in
+  let in_m = Bitset.of_list (Graph.n g) m in
+  (* The observation allows at most two parallel routes. Unlike the
+     circular constructions, a plain separating set can have
+     overlapping member neighborhoods, so the MULT 2 trees may offer a
+     third route for some pairs; those are dropped (an identical route
+     never counts twice). *)
+  let add_capped p =
+    let existing = routes mt (Path.source p) (Path.target p) in
+    if List.exists (Path.equal p) existing || List.length existing < 2 then add mt p
+  in
+  (* Component MULT 1: tree routing from each outside node to M. *)
+  Graph.iter_vertices
+    (fun x ->
+      if not (Bitset.mem in_m x) then
+        List.iter add_capped (Tree_routing.make g ~src:x ~targets:m ~k:(tol + 1)))
+    g;
+  (* Component MULT 2: tree routings from each member to every
+     member's neighborhood. M is a plain separating set, so a source
+     may be adjacent to the target's center; route the direct edge
+     separately and fan to the remaining neighbors. *)
+  List.iter
+    (fun src ->
+      List.iter
+        (fun m' ->
+          let nbrs = Array.to_list (Graph.neighbors g m') in
+          if List.mem src nbrs then begin
+            add_capped (Path.edge src m');
+            let others = List.filter (fun v -> v <> src) nbrs in
+            let k = min tol (List.length others) in
+            if k > 0 then
+              List.iter add_capped (Tree_routing.make g ~src ~targets:others ~k)
+          end
+          else
+            List.iter add_capped
+              (Tree_routing.make g ~src ~targets:nbrs ~k:(tol + 1)))
+        m)
+    m;
+  (* Component MULT 3: direct edge routes. *)
+  Graph.iter_edges (fun u v -> add_capped (Path.edge u v)) g;
+  (mt, m)

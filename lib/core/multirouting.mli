@@ -1,0 +1,52 @@
+(** Multiroutings (Section 6): more than one route per ordered pair.
+
+    The surviving graph has an arc [x -> y] when {e any} of the routes
+    attached to [(x, y)] avoids the faults. The paper's observations:
+    (1) [t+1] disjoint parallel routes everywhere give surviving
+    diameter 1; (2) the kernel routing plus [t+1] parallel routes
+    inside the concentrator gives 3; (3) with at most two parallel
+    routes, a single separating set supports a bipolar-like routing
+    (Components MULT 1-3). *)
+
+open Ftr_graph
+
+type t
+
+val create : Graph.t -> t
+(** An empty bidirectional multirouting table. *)
+
+val add : t -> Path.t -> unit
+(** Appends the path (and its reverse for the reverse pair) unless an
+    identical route is already attached to the pair. *)
+
+val graph : t -> Graph.t
+
+val routes : t -> int -> int -> Path.t list
+
+val route_count : t -> int
+(** Number of (pair, route) entries. *)
+
+val max_width : t -> int
+(** Largest number of parallel routes attached to one ordered pair. *)
+
+val surviving : t -> faults:Bitset.t -> Digraph.t
+
+val diameter : t -> faults:Bitset.t -> Metrics.distance
+
+(** {1 Section 6 constructions} *)
+
+val full : Graph.t -> t:int -> t
+(** Observation (1): [t+1] internally-disjoint routes between every
+    pair. Quadratically many flow computations; for small graphs. *)
+
+val kernel_plus : ?m:int list -> Graph.t -> t:int -> t * int list
+(** Observation (2): kernel routing augmented with [t+1] parallel
+    routes between concentrator members. Returns the multirouting and
+    the concentrator. *)
+
+val mult : ?m:int list -> Graph.t -> t:int -> t * int list
+(** Observation (3): Components MULT 1-3 around a single separating
+    set, with the observation's budget of at most two parallel routes
+    per pair enforced. (A plain separating set may have overlapping
+    member neighborhoods, which would otherwise occasionally offer a
+    third route; extra routes are dropped first-come.) *)

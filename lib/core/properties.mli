@@ -1,0 +1,41 @@
+(** Lemma-level property checking.
+
+    Each construction's tolerance theorem rests on structural
+    properties of the surviving graph (Properties CIRC 1-2, CIRC,
+    T-CIRC, B-POL 1-4, 2B-POL 1-3 in the paper). Checking those
+    directly — rather than only the diameter they imply — pins the
+    implementation to the proofs: a construction bug can keep the
+    diameter small by luck while violating the property the proof
+    needs. *)
+
+open Ftr_graph
+
+type report = {
+  property : string;  (** the paper's name for it, e.g. "CIRC 1" *)
+  holds : bool;
+  counterexample : string option;
+}
+
+val check : Construction.t -> faults:Bitset.t -> report list
+(** Dispatches on the construction's {!Construction.structure}:
+
+    - [Separator m] — Lemma 1's consequence: every non-faulty node
+      outside [M] keeps a surviving-graph edge to and from some
+      non-faulty member of [M].
+    - [Neighborhood _] — Properties CIRC 1 and CIRC 2 when the set has
+      at least [2t+1] members (Lemma 7); Property CIRC (a common
+      member within distance 3 of both endpoints) otherwise (Lemma 9).
+      [t] is inferred from the strongest claim's fault budget.
+    - [Tri_rings _] — Property T-CIRC (common member within distance 2)
+      for the full variant; the (2,3)-radius variant backing Remark 14
+      otherwise.
+    - [Two_poles _] — B-POL 1-4 for a unidirectional routing,
+      2B-POL 1-3 for a bidirectional one.
+    - [Unstructured] — no properties; the empty list.
+
+    All properties are checked under the given fault set; they are
+    only guaranteed by the paper for [|faults| <= t]. *)
+
+val all_hold : report list -> bool
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,99 @@
+open Ftr_graph
+
+type kind = Unidirectional | Bidirectional
+
+type t = {
+  g : Graph.t;
+  kind : kind;
+  table : (int * int, Path.t) Hashtbl.t;
+}
+
+exception Conflict of { src : int; dst : int; existing : Path.t; proposed : Path.t }
+
+let create g kind = { g; kind; table = Hashtbl.create 256 }
+let graph t = t.g
+let kind t = t.kind
+
+let install t p =
+  let src = Path.source p and dst = Path.target p in
+  match Hashtbl.find_opt t.table (src, dst) with
+  | Some existing ->
+      if not (Path.equal existing p) then
+        raise (Conflict { src; dst; existing; proposed = p })
+  | None -> Hashtbl.replace t.table (src, dst) p
+
+let add t p =
+  if Path.length p < 1 then invalid_arg "Routing.add: trivial path";
+  if not (Path.is_valid_in t.g p) then invalid_arg "Routing.add: path not in graph";
+  install t p;
+  match t.kind with
+  | Unidirectional -> ()
+  | Bidirectional -> install t (Path.rev p)
+
+let add_edge_routes t =
+  Graph.iter_edges
+    (fun u v ->
+      install t (Path.edge u v);
+      install t (Path.edge v u))
+    t.g
+
+let complete_reverses t =
+  (match t.kind with
+  | Unidirectional -> ()
+  | Bidirectional ->
+      invalid_arg "Routing.complete_reverses: bidirectional tables are already symmetric");
+  let missing =
+    Hashtbl.fold
+      (fun (src, dst) p acc ->
+        if Hashtbl.mem t.table (dst, src) then acc else Path.rev p :: acc)
+      t.table []
+  in
+  List.iter (install t) missing
+
+let find t src dst = Hashtbl.find_opt t.table (src, dst)
+let mem t src dst = Hashtbl.mem t.table (src, dst)
+let iter f t = Hashtbl.iter (fun (src, dst) p -> f src dst p) t.table
+let route_count t = Hashtbl.length t.table
+
+let max_route_length t =
+  Hashtbl.fold (fun _ p acc -> max acc (Path.length p)) t.table 0
+
+let total_route_edges t =
+  Hashtbl.fold (fun _ p acc -> acc + Path.length p) t.table 0
+
+let stretch t =
+  (* One BFS per distinct source appearing in the table. *)
+  let dists = Hashtbl.create 64 in
+  let dist_from src =
+    match Hashtbl.find_opt dists src with
+    | Some d -> d
+    | None ->
+        let d = Traversal.bfs t.g src in
+        Hashtbl.add dists src d;
+        d
+  in
+  Hashtbl.fold
+    (fun (src, dst) p acc ->
+      let shortest = (dist_from src).(dst) in
+      if shortest <= 0 then acc
+      else max acc (float_of_int (Path.length p) /. float_of_int shortest))
+    t.table 0.0
+
+let validate t =
+  let problem = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt in
+  iter
+    (fun src dst p ->
+      if Path.source p <> src || Path.target p <> dst then
+        fail "route (%d,%d) has endpoints (%d,%d)" src dst (Path.source p) (Path.target p);
+      if src = dst then fail "route (%d,%d) is a self-route" src dst;
+      if not (Path.is_valid_in t.g p) then fail "route (%d,%d) leaves the graph" src dst;
+      match t.kind with
+      | Unidirectional -> ()
+      | Bidirectional -> (
+          match find t dst src with
+          | Some q when Path.equal q (Path.rev p) -> ()
+          | Some _ -> fail "bidirectional route (%d,%d) has an asymmetric reverse" src dst
+          | None -> fail "bidirectional route (%d,%d) lacks its reverse" src dst))
+    t;
+  match !problem with None -> Ok () | Some msg -> Error msg

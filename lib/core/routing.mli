@@ -1,0 +1,64 @@
+(** Routings: partial functions from ordered vertex pairs to fixed
+    simple paths (Section 2 of the paper).
+
+    The model is "miserly": at most one route per ordered pair. A
+    bidirectional routing uses the same path in both directions; adding
+    a route to a bidirectional table inserts both orientations and any
+    disagreement raises {!Conflict}. *)
+
+open Ftr_graph
+
+type kind = Unidirectional | Bidirectional
+
+type t
+
+exception Conflict of { src : int; dst : int; existing : Path.t; proposed : Path.t }
+
+val create : Graph.t -> kind -> t
+
+val graph : t -> Graph.t
+
+val kind : t -> kind
+
+val add : t -> Path.t -> unit
+(** Install a route for (source, target). Requirements checked here:
+    the path is a simple path of the underlying graph with at least one
+    edge. Re-adding the identical path is a no-op; a different path for
+    an already-routed ordered pair raises {!Conflict}. For a
+    bidirectional routing the reversed path is installed for the
+    reverse pair under the same rules. *)
+
+val add_edge_routes : t -> unit
+(** The "direct edge route between any two neighboring nodes"
+    component present in every construction of the paper. Compatible
+    with tree-routing normalisation: raises {!Conflict} if some
+    adjacent pair was previously routed over a longer path. *)
+
+val complete_reverses : t -> unit
+(** Component B-POL 5: for every ordered pair routed in one direction
+    only, install the reversed path for the other direction. Only
+    meaningful (and only allowed) on unidirectional routings. *)
+
+val find : t -> int -> int -> Path.t option
+
+val mem : t -> int -> int -> bool
+
+val iter : (int -> int -> Path.t -> unit) -> t -> unit
+
+val route_count : t -> int
+(** Number of ordered pairs routed. *)
+
+val max_route_length : t -> int
+(** Longest route, in edges; [0] if the table is empty. *)
+
+val total_route_edges : t -> int
+(** Sum of route lengths (a size measure of the route table). *)
+
+val stretch : t -> float
+(** Maximum over routed pairs of [route length / graph distance] — how
+    far the fixed routes deviate from shortest paths. [1.0] when every
+    route is shortest; [0.0] for an empty table. *)
+
+val validate : t -> (unit, string) result
+(** Re-checks every invariant of the table: simple paths of [g],
+    endpoint consistency, bidirectional symmetry. Meant for tests. *)

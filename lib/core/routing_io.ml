@@ -1,0 +1,93 @@
+open Ftr_graph
+
+let kind_tag = function
+  | Routing.Unidirectional -> "uni"
+  | Routing.Bidirectional -> "bi"
+
+let save buf routing =
+  let n = Graph.n (Routing.graph routing) in
+  Buffer.add_string buf
+    (Printf.sprintf "ftr-routing 1 %d %s\n" n (kind_tag (Routing.kind routing)));
+  let emit src dst p =
+    Buffer.add_string buf
+      (Printf.sprintf "%d %d %s\n" src dst
+         (String.concat "," (List.map string_of_int (Path.to_list p))))
+  in
+  (* Stable output order; one orientation per pair for bidirectional
+     tables. *)
+  let rows = ref [] in
+  Routing.iter
+    (fun src dst p ->
+      let keep =
+        match Routing.kind routing with
+        | Routing.Unidirectional -> true
+        | Routing.Bidirectional -> src < dst
+      in
+      if keep then rows := (src, dst, p) :: !rows)
+    routing;
+  List.iter
+    (fun (src, dst, p) -> emit src dst p)
+    (List.sort compare !rows)
+
+let to_string routing =
+  let buf = Buffer.create 4096 in
+  save buf routing;
+  Buffer.contents buf
+
+let load g text =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match String.split_on_char '\n' (String.trim text) with
+  | [] | [ "" ] -> Error "empty routing file"
+  | header :: lines -> (
+      match String.split_on_char ' ' header with
+      | [ "ftr-routing"; "1"; n_str; kind_str ] -> (
+          let kind =
+            match kind_str with
+            | "uni" -> Some Routing.Unidirectional
+            | "bi" -> Some Routing.Bidirectional
+            | _ -> None
+          in
+          match (int_of_string_opt n_str, kind) with
+          | Some n, Some kind when n = Graph.n g -> (
+              let routing = Routing.create g kind in
+              let parse_line idx line =
+                match String.split_on_char ' ' line with
+                | [ src_s; dst_s; path_s ] -> (
+                    let vertices =
+                      List.map int_of_string_opt (String.split_on_char ',' path_s)
+                    in
+                    match
+                      (int_of_string_opt src_s, int_of_string_opt dst_s, vertices)
+                    with
+                    | Some src, Some dst, vs when List.for_all Option.is_some vs -> (
+                        let vs = List.map Option.get vs in
+                        match Path.of_list vs with
+                        | exception Invalid_argument m -> err "line %d: %s" idx m
+                        | p ->
+                            if Path.source p <> src || Path.target p <> dst then
+                              err "line %d: endpoints disagree with path" idx
+                            else (
+                              try
+                                Routing.add routing p;
+                                Ok ()
+                              with
+                              | Invalid_argument m -> err "line %d: %s" idx m
+                              | Routing.Conflict _ ->
+                                  err "line %d: conflicting route for (%d,%d)" idx src
+                                    dst))
+                    | _ -> err "line %d: malformed integers" idx)
+                | _ -> err "line %d: expected 'src dst v0,v1,...'" idx
+              in
+              let rec go idx = function
+                | [] -> Ok routing
+                | "" :: rest -> go (idx + 1) rest
+                | line :: rest -> (
+                    match parse_line idx line with
+                    | Ok () -> go (idx + 1) rest
+                    | Error e -> Error e)
+              in
+              go 2 lines)
+          | Some n, Some _ when n <> Graph.n g ->
+              err "vertex count mismatch: file has %d, graph has %d" n (Graph.n g)
+          | _ -> err "malformed header: %s" header)
+      | _ -> err "not an ftr-routing file")

@@ -1,0 +1,25 @@
+(** Route-table persistence.
+
+    The whole point of fixed routings is that the table is computed
+    once and reused (Section 1), so a real deployment stores it. The
+    format is line-oriented text:
+
+    {v
+    ftr-routing 1 <n> <uni|bi>
+    <src> <dst> <v0>,<v1>,...,<vk>
+    ...
+    v}
+
+    For bidirectional tables only one orientation per pair is stored;
+    the loader restores the symmetric closure. *)
+
+open Ftr_graph
+
+val save : Buffer.t -> Routing.t -> unit
+
+val to_string : Routing.t -> string
+
+val load : Graph.t -> string -> (Routing.t, string) result
+(** Re-validates every line against the given graph: unknown vertices,
+    non-edges, duplicate pairs and conflicting reverses are reported
+    as errors, not silently accepted. *)

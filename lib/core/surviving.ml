@@ -1,0 +1,192 @@
+open Ftr_graph
+
+let graph routing ~faults =
+  let g = Routing.graph routing in
+  let b = Digraph.Builder.create (Graph.n g) in
+  Routing.iter
+    (fun src dst p -> if not (Path.hits p faults) then Digraph.Builder.add_arc b src dst)
+    routing;
+  Digraph.Builder.to_digraph b
+
+let alive faults v = not (Bitset.mem faults v)
+
+let distance routing ~faults x y =
+  if Bitset.mem faults x || Bitset.mem faults y then
+    invalid_arg "Surviving.distance: faulty endpoint";
+  let dg = graph routing ~faults in
+  let dist = Digraph.bfs dg ~allowed:(alive faults) x in
+  if dist.(y) < 0 then Metrics.Infinite else Metrics.Finite dist.(y)
+
+let diameter_of_digraph dg ~faults =
+  let n = Digraph.n dg in
+  let worst = ref (Metrics.Finite 0) in
+  for x = 0 to n - 1 do
+    if alive faults x then begin
+      let dist = Digraph.bfs dg ~allowed:(alive faults) x in
+      for y = 0 to n - 1 do
+        if y <> x && alive faults y then
+          let d = if dist.(y) < 0 then Metrics.Infinite else Metrics.Finite dist.(y) in
+          worst := Metrics.max_distance !worst d
+      done
+    end
+  done;
+  !worst
+
+let diameter routing ~faults = diameter_of_digraph (graph routing ~faults) ~faults
+
+(* Routes grouped by source in CSR layout, so the per-fault-set work
+   is two allocation-free passes over flat arrays. *)
+type compiled = {
+  n : int;
+  row_start : int array; (* length n+1; routes of src v are row_start.(v) .. *)
+  dsts : int array; (* destination per route, CSR order *)
+  paths : int array array; (* vertex sequence per route, CSR order *)
+  (* scratch, reused across calls *)
+  live : int array; (* 0/1 per route *)
+  out_deg : int array;
+  succ_start : int array;
+  succ : int array;
+  dist : int array;
+  queue : int array;
+}
+
+let compile routing =
+  let n = Graph.n (Routing.graph routing) in
+  let acc = ref [] in
+  let count = Array.make (n + 1) 0 in
+  Routing.iter
+    (fun src dst p ->
+      acc := (src, dst, Path.to_array p) :: !acc;
+      count.(src) <- count.(src) + 1)
+    routing;
+  let row_start = Array.make (n + 1) 0 in
+  for v = 1 to n do
+    row_start.(v) <- row_start.(v - 1) + count.(v - 1)
+  done;
+  let total = row_start.(n) in
+  let fill = Array.copy row_start in
+  let dsts = Array.make total 0 in
+  let paths = Array.make total [||] in
+  List.iter
+    (fun (src, dst, p) ->
+      let i = fill.(src) in
+      fill.(src) <- i + 1;
+      dsts.(i) <- dst;
+      paths.(i) <- p)
+    !acc;
+  {
+    n;
+    row_start;
+    dsts;
+    paths;
+    live = Array.make total 0;
+    out_deg = Array.make n 0;
+    succ_start = Array.make (n + 1) 0;
+    succ = Array.make total 0;
+    dist = Array.make n (-1);
+    queue = Array.make n 0;
+  }
+
+let diameter_compiled c ~faults =
+  let total = Array.length c.dsts in
+  (* Pass 1: which routes survive. *)
+  for i = 0 to total - 1 do
+    let p = c.paths.(i) in
+    let len = Array.length p in
+    let rec clean j = j >= len || ((not (Bitset.mem faults p.(j))) && clean (j + 1)) in
+    c.live.(i) <- (if clean 0 then 1 else 0)
+  done;
+  (* Pass 2: CSR adjacency of the surviving graph. *)
+  Array.fill c.out_deg 0 c.n 0;
+  for v = 0 to c.n - 1 do
+    for i = c.row_start.(v) to c.row_start.(v + 1) - 1 do
+      c.out_deg.(v) <- c.out_deg.(v) + c.live.(i)
+    done
+  done;
+  c.succ_start.(0) <- 0;
+  for v = 1 to c.n do
+    c.succ_start.(v) <- c.succ_start.(v - 1) + c.out_deg.(v - 1)
+  done;
+  for v = 0 to c.n - 1 do
+    let k = ref c.succ_start.(v) in
+    for i = c.row_start.(v) to c.row_start.(v + 1) - 1 do
+      if c.live.(i) = 1 then begin
+        c.succ.(!k) <- c.dsts.(i);
+        incr k
+      end
+    done
+  done;
+  let alive_count = ref 0 in
+  for v = 0 to c.n - 1 do
+    if not (Bitset.mem faults v) then incr alive_count
+  done;
+  if !alive_count <= 1 then Metrics.Finite 0
+  else begin
+    let dist = c.dist and queue = c.queue in
+    let worst = ref 0 in
+    let disconnected = ref false in
+    let v = ref 0 in
+    while (not !disconnected) && !v < c.n do
+      if not (Bitset.mem faults !v) then begin
+        Array.fill dist 0 c.n (-1);
+        dist.(!v) <- 0;
+        queue.(0) <- !v;
+        let head = ref 0 and tail = ref 1 in
+        while !head < !tail do
+          let u = queue.(!head) in
+          incr head;
+          for k = c.succ_start.(u) to c.succ_start.(u + 1) - 1 do
+            let w = c.succ.(k) in
+            if dist.(w) < 0 then begin
+              dist.(w) <- dist.(u) + 1;
+              queue.(!tail) <- w;
+              incr tail
+            end
+          done
+        done;
+        if !tail < !alive_count then disconnected := true
+        else worst := max !worst dist.(queue.(!tail - 1))
+      end;
+      incr v
+    done;
+    if !disconnected then Metrics.Infinite else Metrics.Finite !worst
+  end
+
+let component_diameters routing ~faults =
+  let dg = graph routing ~faults in
+  let n = Digraph.n dg in
+  (* Weak components: union arcs in both directions. *)
+  let undirected =
+    Graph.of_edges ~n
+      (List.concat
+         (List.init n (fun u ->
+              Array.to_list (Array.map (fun v -> (u, v)) (Digraph.succ dg u)))))
+  in
+  let seen = Bitset.create n in
+  let components = ref [] in
+  for v = 0 to n - 1 do
+    if alive faults v && not (Bitset.mem seen v) then begin
+      let comp =
+        Traversal.component_of undirected ~allowed:(alive faults) v
+      in
+      Bitset.union_into seen comp;
+      let members = Bitset.elements comp in
+      (* Directed diameter inside the component. *)
+      let inside u = Bitset.mem comp u in
+      let worst = ref (Metrics.Finite 0) in
+      List.iter
+        (fun x ->
+          let dist = Digraph.bfs dg ~allowed:inside x in
+          List.iter
+            (fun y ->
+              if y <> x then
+                let d =
+                  if dist.(y) < 0 then Metrics.Infinite else Metrics.Finite dist.(y)
+                in
+                worst := Metrics.max_distance !worst d)
+            members)
+        members;
+      components := (members, !worst) :: !components
+    end
+  done;
+  List.rev !components

@@ -1,0 +1,46 @@
+(** The surviving route graph [R(G, rho)/F] (Section 2).
+
+    Vertices are the non-faulty nodes of [G]; there is an arc from [x]
+    to [y] exactly when [rho(x, y)] is defined and no vertex of the
+    route (endpoints included) is faulty. For a bidirectional routing
+    the result is symmetric. *)
+
+open Ftr_graph
+
+val graph : Routing.t -> faults:Bitset.t -> Digraph.t
+(** The surviving route graph, on the original vertex numbering
+    (faulty vertices remain as isolated vertices and are ignored by
+    the distance functions below). *)
+
+val distance : Routing.t -> faults:Bitset.t -> int -> int -> Metrics.distance
+(** Directed distance between two non-faulty vertices in the surviving
+    graph. *)
+
+val diameter : Routing.t -> faults:Bitset.t -> Metrics.distance
+(** Max distance over ordered pairs of distinct non-faulty vertices;
+    [Infinite] when some pair is unreachable, [Finite 0] when fewer
+    than two vertices survive. *)
+
+val diameter_of_digraph : Digraph.t -> faults:Bitset.t -> Metrics.distance
+(** Same computation given an already-built surviving graph (used by
+    the multirouting variant). *)
+
+(** {1 Batch evaluation}
+
+    Fault injection evaluates thousands of fault sets against one
+    routing; compiling the table once into flat arrays avoids the
+    per-set hashtable walk and graph construction. *)
+
+type compiled
+
+val compile : Routing.t -> compiled
+
+val diameter_compiled : compiled -> faults:Bitset.t -> Metrics.distance
+(** Same result as {!diameter}, much faster in a loop. *)
+
+val component_diameters : Routing.t -> faults:Bitset.t -> (int list * Metrics.distance) list
+(** Open problem (3) of the paper: when more than [t] faults
+    disconnect the network, is the routing still "well behaved" inside
+    each surviving component? This reports, for every weakly-connected
+    component of the surviving graph, its member list and its internal
+    (directed) diameter. Components are ordered by smallest member. *)

@@ -1,0 +1,116 @@
+open Ftr_graph
+
+type verdict = {
+  worst : Metrics.distance;
+  witness : int list;
+  sets_checked : int;
+  definitive : bool;
+}
+
+(* Lazy enumeration of subsets of [items] of size exactly [k]. *)
+let rec subsets_exact items k : int list Seq.t =
+  if k = 0 then Seq.return []
+  else
+    match items with
+    | [] -> Seq.empty
+    | x :: rest ->
+        Seq.append
+          (Seq.map (fun s -> x :: s) (fun () -> subsets_exact rest (k - 1) ()))
+          (fun () -> subsets_exact rest k ())
+
+let subsets_up_to items k =
+  let sizes = List.init (k + 1) Fun.id in
+  List.fold_left
+    (fun acc size -> Seq.append acc (subsets_exact items size))
+    Seq.empty sizes
+
+(* Saturating Pascal-triangle computation of sum_{i<=k} C(n, i). *)
+let count_subsets_up_to ~n ~k =
+  let c = Array.make (k + 1) 0 in
+  c.(0) <- 1;
+  for row = 1 to n do
+    for j = min k row downto 1 do
+      let sum = c.(j) + c.(j - 1) in
+      c.(j) <- (if sum < 0 then max_int else sum)
+    done
+  done;
+  Array.fold_left
+    (fun acc x -> if acc + x < 0 then max_int else acc + x)
+    0 c
+
+let check_sets routing sets =
+  let n = Graph.n (Routing.graph routing) in
+  let compiled = Surviving.compile routing in
+  let worst = ref (Metrics.Finite (-1)) in
+  let witness = ref [] in
+  let checked = ref 0 in
+  let faults = Bitset.create n in
+  Seq.iter
+    (fun faults_list ->
+      incr checked;
+      Bitset.clear faults;
+      List.iter (Bitset.add faults) faults_list;
+      let d = Surviving.diameter_compiled compiled ~faults in
+      if not (Metrics.distance_le d !worst) then begin
+        worst := d;
+        witness := faults_list
+      end)
+    sets;
+  let worst = if !checked = 0 then Metrics.Finite 0 else !worst in
+  { worst; witness = !witness; sets_checked = !checked; definitive = false }
+
+let exhaustive routing ~f =
+  let n = Graph.n (Routing.graph routing) in
+  let vertices = List.init n Fun.id in
+  let v = check_sets routing (subsets_up_to vertices f) in
+  { v with definitive = true }
+
+let random_subset rng n f =
+  (* Floyd's algorithm for a uniform f-subset of [0, n). *)
+  let chosen = Hashtbl.create (2 * f) in
+  for j = n - f to n - 1 do
+    let r = Random.State.int rng (j + 1) in
+    let pick = if Hashtbl.mem chosen r then j else r in
+    Hashtbl.replace chosen pick ()
+  done;
+  Hashtbl.fold (fun v () acc -> v :: acc) chosen []
+
+let random routing ~f ~rng ~samples =
+  let n = Graph.n (Routing.graph routing) in
+  let f = min f n in
+  let sets =
+    Seq.append (Seq.return [])
+      (Seq.init samples (fun _ -> random_subset rng n f))
+  in
+  check_sets routing sets
+
+let adversarial ?(per_pool_cap = 2000) routing ~f ~pools =
+  let sets =
+    List.fold_left
+      (fun acc pool ->
+        let pool = List.sort_uniq compare pool in
+        Seq.append acc (Seq.take per_pool_cap (subsets_up_to pool f)))
+      Seq.empty pools
+  in
+  check_sets routing sets
+
+let merge a b =
+  {
+    worst = Metrics.max_distance a.worst b.worst;
+    witness =
+      (if Metrics.distance_le b.worst a.worst then a.witness else b.witness);
+    sets_checked = a.sets_checked + b.sets_checked;
+    definitive = a.definitive && b.definitive;
+  }
+
+let evaluate ?(exhaustive_budget = 20_000) ?(samples = 300) ~rng
+    (c : Construction.t) ~f =
+  let routing = c.Construction.routing in
+  let n = Graph.n (Routing.graph routing) in
+  if count_subsets_up_to ~n ~k:f <= exhaustive_budget then exhaustive routing ~f
+  else
+    let adv = adversarial routing ~f ~pools:c.Construction.pools in
+    let rnd = random routing ~f ~rng ~samples in
+    merge { adv with definitive = false } rnd
+
+let respects v ~bound = Metrics.distance_le v.worst (Metrics.Finite bound)

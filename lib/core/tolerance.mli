@@ -1,0 +1,52 @@
+(** Empirical (d, f)-tolerance checking by fault injection.
+
+    A claim "the routing is (d, f)-tolerant" quantifies over all fault
+    sets of size at most f. For small instances we enumerate them all
+    (a definitive verdict); otherwise we combine adversarial fault
+    families — subsets of the vertex pools the proofs identify as
+    critical (the concentrator, single neighborhoods, minimum cuts) —
+    with seeded uniform sampling. *)
+
+open Ftr_graph
+
+type verdict = {
+  worst : Metrics.distance;  (** largest surviving diameter seen *)
+  witness : int list;  (** a fault set achieving [worst] *)
+  sets_checked : int;
+  definitive : bool;  (** true when enumeration was exhaustive *)
+}
+
+val subsets_up_to : int list -> int -> int list Seq.t
+(** All subsets of the list with size [<= k] (including the empty
+    set), lazily. *)
+
+val count_subsets_up_to : n:int -> k:int -> int
+(** [sum_{i<=k} C(n, i)], saturating at [max_int]. *)
+
+val check_sets : Routing.t -> int list Seq.t -> verdict
+(** Evaluate the surviving diameter on each fault set of the sequence
+    (marked non-definitive). *)
+
+val exhaustive : Routing.t -> f:int -> verdict
+(** All fault sets of size [<= f]; definitive. *)
+
+val random : Routing.t -> f:int -> rng:Random.State.t -> samples:int -> verdict
+(** Uniform fault sets of size exactly [f] (plus the empty set). *)
+
+val adversarial : ?per_pool_cap:int -> Routing.t -> f:int -> pools:int list list -> verdict
+(** Subsets of size [<= f] of each pool, at most [per_pool_cap]
+    (default 2000) sets per pool. *)
+
+val evaluate :
+  ?exhaustive_budget:int ->
+  ?samples:int ->
+  rng:Random.State.t ->
+  Construction.t ->
+  f:int ->
+  verdict
+(** Exhaustive when [count_subsets_up_to n f] fits the budget (default
+    20000); otherwise adversarial pools plus [samples] (default 300)
+    random sets. *)
+
+val respects : verdict -> bound:int -> bool
+(** Did every checked fault set keep the diameter within the bound? *)

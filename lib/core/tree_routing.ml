@@ -1,0 +1,49 @@
+open Ftr_graph
+
+exception Insufficient of { src : int; wanted : int; got : int }
+
+let normalize g src p =
+  let tgt = Path.target p in
+  if Graph.mem_edge g src tgt then Path.edge src tgt else p
+
+let make g ~src ~targets ~k =
+  let paths = Disjoint_paths.fan_to_set g ~src ~targets ~k () in
+  let got = List.length paths in
+  if got < k then raise (Insufficient { src; wanted = k; got });
+  List.map (normalize g src) paths
+
+let add_to routing paths = List.iter (Routing.add routing) paths
+
+let verify g ~src ~targets ~k paths =
+  let target_set = Bitset.of_list (Graph.n g) targets in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if List.length paths <> k then err "expected %d paths, got %d" k (List.length paths)
+  else
+    let seen_targets = Hashtbl.create k in
+    let seen_interior = Hashtbl.create 16 in
+    let rec check = function
+      | [] -> Ok ()
+      | p :: rest ->
+          let tgt = Path.target p in
+          if Path.source p <> src then err "path does not start at %d" src
+          else if not (Bitset.mem target_set tgt) then err "path ends at non-target %d" tgt
+          else if Hashtbl.mem seen_targets tgt then err "target %d reused" tgt
+          else if not (Path.is_valid_in g p) then err "path leaves the graph"
+          else if Graph.mem_edge g src tgt && Path.length p > 1 then
+            err "direct edge to %d exists but a longer path was used" tgt
+          else begin
+            Hashtbl.add seen_targets tgt ();
+            let clash = ref None in
+            List.iter
+              (fun v ->
+                if Bitset.mem target_set v then clash := Some (`Target v)
+                else if Hashtbl.mem seen_interior v then clash := Some (`Shared v)
+                else Hashtbl.add seen_interior v ())
+              (Path.interior p);
+            match !clash with
+            | Some (`Target v) -> err "interior vertex %d lies in the target set" v
+            | Some (`Shared v) -> err "interior vertex %d shared between paths" v
+            | None -> check rest
+          end
+    in
+    check paths

@@ -1,0 +1,24 @@
+(** Tree routings (Section 3, Lemma 2).
+
+    A tree routing from [x] to a separating set [M] connects [x] to
+    exactly [k] (= [t+1]) distinct nodes of [M] by paths that are
+    vertex-disjoint except at [x], avoid [M] in their interiors, and
+    use the direct edge whenever [x] is adjacent to the chosen target.
+    Lemma 1: killing all [k] routes simultaneously takes at least [k]
+    faults, so with at most [t] faults [x] keeps a surviving edge into
+    [M]. *)
+
+open Ftr_graph
+
+exception Insufficient of { src : int; wanted : int; got : int }
+
+val make : Graph.t -> src:int -> targets:int list -> k:int -> Path.t list
+(** Raises {!Insufficient} when fewer than [k] disjoint paths exist
+    (i.e. [targets] does not [k]-separate [src] in a [k]-connected
+    graph), [Invalid_argument] if [src] is a target. *)
+
+val add_to : Routing.t -> Path.t list -> unit
+(** Install every path of a tree routing into a routing table. *)
+
+val verify : Graph.t -> src:int -> targets:int list -> k:int -> Path.t list -> (unit, string) result
+(** Checks all the defining properties; used by tests. *)

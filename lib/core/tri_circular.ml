@@ -1,0 +1,87 @@
+open Ftr_graph
+
+type variant = Full | Small
+
+let required_k ~t ~variant =
+  match variant with
+  | Full -> (6 * t) + 9
+  | Small -> 3 * Circular.required_k ~t
+
+let variant_name = function Full -> "full" | Small -> "small"
+
+let make ?m g ~t ~variant =
+  let m = match m with Some m -> m | None -> Independent.greedy g in
+  let usable = 3 * (List.length m / 3) in
+  if usable < required_k ~t ~variant then
+    invalid_arg
+      (Printf.sprintf
+         "Tri_circular.make: need a neighborhood set of size >= %d, got %d usable"
+         (required_k ~t ~variant)
+         usable);
+  let m = List.filteri (fun i _ -> i < usable) m in
+  if not (Independent.is_neighborhood_set g m) then
+    invalid_arg "Tri_circular.make: M is not a neighborhood set";
+  let ring_size = usable / 3 in
+  let members = Array.of_list m in
+  (* Ring j holds members [j*ring_size, (j+1)*ring_size). *)
+  let gamma j i =
+    Array.to_list (Graph.neighbors g members.((j * ring_size) + i))
+  in
+  let n = Graph.n g in
+  (* owner.(x) = (ring, index) when x lies in some Gamma^j_i. *)
+  let owner = Array.make n None in
+  for j = 0 to 2 do
+    for i = 0 to ring_size - 1 do
+      List.iter (fun x -> owner.(x) <- Some (j, i)) (gamma j i)
+    done
+  done;
+  let routing = Routing.create g Routing.Bidirectional in
+  let tree x targets =
+    Tree_routing.add_to routing (Tree_routing.make g ~src:x ~targets ~k:(t + 1))
+  in
+  let within_window =
+    match variant with
+    | Full -> t + 1
+    | Small -> ((ring_size + 1) / 2) - 1
+  in
+  Graph.iter_vertices
+    (fun x ->
+      match owner.(x) with
+      | None ->
+          (* Component T-CIRC 1: outside Gamma, route to every set of
+             every ring. *)
+          for j = 0 to 2 do
+            for i = 0 to ring_size - 1 do
+              tree x (gamma j i)
+            done
+          done
+      | Some (j, i) ->
+          (* Component T-CIRC 2: within the own ring. *)
+          for k = 1 to within_window do
+            tree x (gamma j ((i + k) mod ring_size))
+          done;
+          (* Component T-CIRC 3: to every set of the next ring. *)
+          for k = 0 to ring_size - 1 do
+            tree x (gamma ((j + 1) mod 3) k)
+          done)
+    g;
+  (* Component T-CIRC 4: direct edge routes. *)
+  Routing.add_edge_routes routing;
+  let gammas =
+    List.concat_map (fun j -> List.init ring_size (fun i -> gamma j i)) [ 0; 1; 2 ]
+  in
+  let claims =
+    match variant with
+    | Full -> [ Construction.claim ~bound:4 ~faults:t "Theorem 13" ]
+    | Small -> [ Construction.claim ~bound:5 ~faults:t "Remark 14" ]
+  in
+  {
+    Construction.name =
+      Printf.sprintf "tri-circular/%s(K=%d)" (variant_name variant) usable;
+    routing;
+    concentrator = m;
+    structure =
+      Construction.Tri_rings { members = m; ring = ring_size; within_window };
+    pools = (m :: gammas) @ [ m @ List.sort_uniq compare (List.concat gammas) ];
+    claims;
+  }

@@ -1,0 +1,20 @@
+(** The tri-circular construction (Section 4, Theorem 13 and
+    Remark 14).
+
+    The neighborhood set is split into three rings. Every vertex of a
+    ring's fringe routes within its ring (to the next [t+1] sets for
+    the full variant, to the circular window for the small variant)
+    and to {e every} set of the next ring, cyclically. Full variant
+    ([K >= 6t+9]): [(4, t)]-tolerant. Small variant ([K >= 3(t+1)] or
+    [3(t+2)] as for the circular base): [(5, t)]-tolerant. *)
+
+open Ftr_graph
+
+type variant = Full | Small
+
+val required_k : t:int -> variant:variant -> int
+
+val make : ?m:int list -> Graph.t -> t:int -> variant:variant -> Construction.t
+(** [m] defaults to the greedy neighborhood set; only the first
+    [3 * floor(|m| / 3)] members are used (rings must be equal).
+    Raises [Invalid_argument] on an undersized or invalid [m]. *)

@@ -1,0 +1,102 @@
+type t = { words : int array; capacity : int }
+
+let word_bits = Sys.int_size
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Array.make ((capacity + word_bits - 1) / word_bits) 0; capacity }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then
+    invalid_arg (Printf.sprintf "Bitset: element %d out of [0,%d)" i t.capacity)
+
+let mem t i =
+  check t i;
+  t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / word_bits in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod word_bits))
+
+let remove t i =
+  check t i;
+  let w = i / word_bits in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod word_bits))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let copy t = { t with words = Array.copy t.words }
+
+let same_capacity a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch"
+
+let equal a b =
+  same_capacity a b;
+  a.words = b.words
+
+let subset a b =
+  same_capacity a b;
+  let ok = ref true in
+  Array.iteri (fun i w -> if w land lnot b.words.(i) <> 0 then ok := false) a.words;
+  !ok
+
+let disjoint a b =
+  same_capacity a b;
+  let ok = ref true in
+  Array.iteri (fun i w -> if w land b.words.(i) <> 0 then ok := false) a.words;
+  !ok
+
+let union_into dst src =
+  same_capacity dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
+
+let inter_into dst src =
+  same_capacity dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land w) src.words
+
+let diff_into dst src =
+  same_capacity dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land lnot w) src.words
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to word_bits - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * word_bits) + b)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list capacity xs =
+  let t = create capacity in
+  List.iter (add t) xs;
+  t
+
+exception Found of int
+
+let choose t =
+  try
+    iter (fun i -> raise (Found i)) t;
+    None
+  with Found i -> Some i
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") int) (elements t)

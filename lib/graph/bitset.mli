@@ -1,0 +1,66 @@
+(** Dense bitsets over the integer range [0, capacity).
+
+    Used throughout the library to represent fault sets, separator
+    membership and "allowed vertex" predicates without allocation in the
+    inner loops of BFS and surviving-graph construction. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is an empty set able to hold elements in
+    [0, capacity). *)
+
+val capacity : t -> int
+(** Maximal number of distinct elements (the [capacity] given at
+    creation). *)
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val clear : t -> unit
+(** Remove every element. *)
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+(** Set equality; capacities must match. *)
+
+val subset : t -> t -> bool
+(** [subset a b] is true when every element of [a] is in [b]. *)
+
+val disjoint : t -> t -> bool
+
+val union_into : t -> t -> unit
+(** [union_into dst src] adds every element of [src] to [dst]. *)
+
+val inter_into : t -> t -> unit
+(** [inter_into dst src] removes from [dst] everything absent from
+    [src]. *)
+
+val diff_into : t -> t -> unit
+(** [diff_into dst src] removes every element of [src] from [dst]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate elements in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over elements in increasing order. *)
+
+val elements : t -> int list
+(** Elements in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list capacity xs] builds a set from [xs]; raises
+    [Invalid_argument] on out-of-range elements. *)
+
+val choose : t -> int option
+(** Smallest element, if any. *)
+
+val pp : Format.formatter -> t -> unit

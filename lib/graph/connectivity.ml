@@ -1,0 +1,143 @@
+let is_complete g =
+  let n = Graph.n g in
+  Graph.m g = n * (n - 1) / 2
+
+(* Candidate pairs per Even: (s, t) for every t non-adjacent to s, and
+   (u, t) for every neighbor u of s and t non-adjacent to u. [s] is
+   chosen with minimum degree so the initial upper bound is tight. *)
+let candidate_pairs g =
+  let n = Graph.n g in
+  let s =
+    Graph.fold_vertices
+      (fun v best -> if Graph.degree g v < Graph.degree g best then v else best)
+      g 0
+  in
+  let pairs_from u =
+    let nbrs = Graph.neighbors g u in
+    let adjacent = Bitset.create n in
+    Array.iter (Bitset.add adjacent) nbrs;
+    Bitset.add adjacent u;
+    List.filter_map
+      (fun t -> if Bitset.mem adjacent t then None else Some (u, t))
+      (List.init n Fun.id)
+  in
+  List.concat_map pairs_from (s :: Array.to_list (Graph.neighbors g s))
+
+let vertex_connectivity g =
+  let n = Graph.n g in
+  if n <= 1 then max 0 (n - 1)
+  else if not (Traversal.is_connected g) then 0
+  else if is_complete g then n - 1
+  else begin
+    let best = ref (Graph.min_degree g) in
+    List.iter
+      (fun (u, t) ->
+        if !best > 0 then
+          let k = Disjoint_paths.st_connectivity g ~src:u ~dst:t ~limit:!best () in
+          if k < !best then best := k)
+      (candidate_pairs g);
+    !best
+  end
+
+let is_k_connected g k =
+  let n = Graph.n g in
+  if k <= 0 then true
+  else if n < k + 1 then false
+  else if Graph.min_degree g < k then false
+  else if not (Traversal.is_connected g) then false
+  else if is_complete g then true
+  else
+    List.for_all
+      (fun (u, t) -> Disjoint_paths.st_connectivity g ~src:u ~dst:t ~limit:k () >= k)
+      (candidate_pairs g)
+
+let edge_connectivity g =
+  let n = Graph.n g in
+  if n <= 1 then 0
+  else if not (Traversal.is_connected g) then 0
+  else begin
+    (* lambda = min over t <> s of the s-t edge-disjoint path count;
+       each undirected edge becomes a pair of antiparallel unit arcs. *)
+    let flow_net () =
+      let net = Maxflow.create n in
+      Graph.iter_edges
+        (fun u v ->
+          Maxflow.add_edge net ~src:u ~dst:v ~cap:1;
+          Maxflow.add_edge net ~src:v ~dst:u ~cap:1)
+        g;
+      net
+    in
+    let best = ref (Graph.min_degree g) in
+    for t = 1 to n - 1 do
+      if !best > 0 then begin
+        let net = flow_net () in
+        let f = Maxflow.max_flow net ~src:0 ~dst:t ~limit:!best () in
+        if f < !best then best := f
+      end
+    done;
+    !best
+  end
+
+(* Tarjan lowpoint DFS shared by articulation points and bridges. *)
+let lowpoint_scan g ~on_articulation ~on_bridge =
+  let n = Graph.n g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let time = ref 0 in
+  let rec dfs parent v =
+    disc.(v) <- !time;
+    low.(v) <- !time;
+    incr time;
+    let children = ref 0 in
+    let v_cuts = ref false in
+    Array.iter
+      (fun w ->
+        if disc.(w) < 0 then begin
+          incr children;
+          dfs v w;
+          low.(v) <- min low.(v) low.(w);
+          if low.(w) > disc.(v) then on_bridge (min v w) (max v w);
+          if parent >= 0 && low.(w) >= disc.(v) then v_cuts := true
+        end
+        else if w <> parent then low.(v) <- min low.(v) disc.(w))
+      (Graph.neighbors g v);
+    if (parent < 0 && !children >= 2) || (parent >= 0 && !v_cuts) then
+      on_articulation v
+  in
+  for v = 0 to n - 1 do
+    if disc.(v) < 0 then dfs (-1) v
+  done
+
+let articulation_points g =
+  let acc = ref [] in
+  lowpoint_scan g ~on_articulation:(fun v -> acc := v :: !acc) ~on_bridge:(fun _ _ -> ());
+  List.sort_uniq compare !acc
+
+let bridges g =
+  let acc = ref [] in
+  lowpoint_scan g ~on_articulation:(fun _ -> ()) ~on_bridge:(fun u v -> acc := (u, v) :: !acc);
+  List.sort_uniq compare !acc
+
+let min_vertex_cut g =
+  let n = Graph.n g in
+  if n <= 1 then None
+  else if not (Traversal.is_connected g) then Some []
+  else if is_complete g then None
+  else begin
+    let best = ref (Graph.min_degree g) in
+    let best_pair = ref None in
+    List.iter
+      (fun (u, t) ->
+        let k = Disjoint_paths.st_connectivity g ~src:u ~dst:t ~limit:(!best + 1) () in
+        if k <= !best then begin
+          best := k;
+          best_pair := Some (u, t)
+        end)
+      (candidate_pairs g);
+    match !best_pair with
+    | Some (u, t) -> Some (Disjoint_paths.st_min_separator g ~src:u ~dst:t)
+    | None ->
+        (* Every candidate flow exceeded the minimum degree, impossible
+           for a non-complete connected graph. *)
+        assert false
+  end

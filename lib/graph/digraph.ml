@@ -1,0 +1,77 @@
+type t = { n : int; succ : int array array; arcs : int }
+
+let check_vertex n v =
+  if v < 0 || v >= n then
+    invalid_arg (Printf.sprintf "Digraph: vertex %d out of [0,%d)" v n)
+
+let of_edges ~n edges =
+  let lists = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      check_vertex n u;
+      check_vertex n v;
+      if u <> v then lists.(u) <- v :: lists.(u))
+    edges;
+  let succ = Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) lists in
+  let arcs = Array.fold_left (fun acc a -> acc + Array.length a) 0 succ in
+  { n; succ; arcs }
+
+module Builder = struct
+  type t = { n : int; mutable acc : (int * int) list }
+
+  let create n = { n; acc = [] }
+
+  let add_arc t u v =
+    check_vertex t.n u;
+    check_vertex t.n v;
+    if u <> v then t.acc <- (u, v) :: t.acc
+
+  let to_digraph t = of_edges ~n:t.n t.acc
+end
+
+let n t = t.n
+let arc_count t = t.arcs
+
+let succ t v =
+  check_vertex t.n v;
+  t.succ.(v)
+
+let mem_arc t u v =
+  let a = succ t u in
+  let rec search lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then true
+      else if a.(mid) < v then search (mid + 1) hi
+      else search lo mid
+  in
+  check_vertex t.n v;
+  search 0 (Array.length a)
+
+let is_symmetric t =
+  let ok = ref true in
+  for u = 0 to t.n - 1 do
+    Array.iter (fun v -> if not (mem_arc t v u) then ok := false) t.succ.(u)
+  done;
+  !ok
+
+let bfs t ?(allowed = fun _ -> true) src =
+  check_vertex t.n src;
+  let dist = Array.make t.n (-1) in
+  if allowed src then begin
+    let q = Queue.create () in
+    dist.(src) <- 0;
+    Queue.push src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Array.iter
+        (fun v ->
+          if dist.(v) < 0 && allowed v then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.push v q
+          end)
+        t.succ.(u)
+    done
+  end;
+  dist

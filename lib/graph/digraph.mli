@@ -1,0 +1,38 @@
+(** Directed graphs on vertices [0 .. n-1].
+
+    Surviving route graphs [R(G, rho)/F] are directed in general (a
+    unidirectional routing may define a route from [x] to [y] and not
+    the converse), so distance computations on them live here. *)
+
+type t
+
+val of_edges : n:int -> (int * int) list -> t
+(** Duplicate arcs are collapsed; self-loops dropped. *)
+
+(** Incremental construction. *)
+module Builder : sig
+  type digraph := t
+  type t
+
+  val create : int -> t
+  val add_arc : t -> int -> int -> unit
+  val to_digraph : t -> digraph
+end
+
+val n : t -> int
+
+val arc_count : t -> int
+
+val succ : t -> int -> int array
+(** Out-neighbors, sorted; shared array, do not mutate. *)
+
+val mem_arc : t -> int -> int -> bool
+
+val is_symmetric : t -> bool
+(** True when every arc has its reverse (the bidirectional-routing
+    case, where the surviving graph is effectively undirected). *)
+
+val bfs : t -> ?allowed:(int -> bool) -> int -> int array
+(** [bfs t src] is the array of directed distances from [src]; [-1]
+    marks unreachable vertices. [allowed] restricts the traversal
+    (source included only if allowed). *)

@@ -1,0 +1,127 @@
+(* Node-splitting: graph vertex [v] becomes flow nodes [2v] (in-copy)
+   and [2v+1] (out-copy). A unit arc 2v -> 2v+1 enforces that a vertex
+   carries at most one path. *)
+
+let in_node v = 2 * v
+let out_node v = (2 * v) + 1
+
+let build_st_network g ~src ~dst ~edge_cap =
+  let n = Graph.n g in
+  let net = Maxflow.create (2 * n) in
+  for v = 0 to n - 1 do
+    let cap = if v = src || v = dst then n else 1 in
+    Maxflow.add_edge net ~src:(in_node v) ~dst:(out_node v) ~cap
+  done;
+  Graph.iter_edges
+    (fun u v ->
+      Maxflow.add_edge net ~src:(out_node u) ~dst:(in_node v) ~cap:edge_cap;
+      Maxflow.add_edge net ~src:(out_node v) ~dst:(in_node u) ~cap:edge_cap)
+    g;
+  net
+
+(* Walk unit flows out of [start], peeling one path per call. [flows]
+   maps each edge index to its remaining unconsumed flow. *)
+let peel_path net flows ~start ~stop ~vertex_of =
+  let rec walk node acc =
+    if node = stop then List.rev acc
+    else
+      let next =
+        List.find_opt (fun (i, _, _) -> flows.(i) > 0) (Maxflow.out_edges net node)
+      in
+      match next with
+      | None -> invalid_arg "Disjoint_paths: broken flow decomposition"
+      | Some (i, dst, _) ->
+          flows.(i) <- flows.(i) - 1;
+          let acc = match vertex_of dst with Some v -> v :: acc | None -> acc in
+          walk dst acc
+  in
+  walk start []
+
+let st_paths g ~src ~dst ?k () =
+  if src = dst then invalid_arg "Disjoint_paths.st_paths: src = dst";
+  let n = Graph.n g in
+  let net = build_st_network g ~src ~dst ~edge_cap:1 in
+  let limit = match k with Some k -> k | None -> max_int in
+  let value = Maxflow.max_flow net ~src:(out_node src) ~dst:(in_node dst) ~limit () in
+  let edge_count = n + (2 * Graph.m g) in
+  let flows = Array.init edge_count (Maxflow.flow_on net) in
+  (* A flow node [2v] or [2v+1] maps back to vertex [v]; we record a
+     vertex when traversing its in->out arc, plus the endpoints. *)
+  let vertex_of node = if node land 1 = 1 then Some (node / 2) else None in
+  List.init value (fun _ ->
+      let vs = peel_path net flows ~start:(out_node src) ~stop:(in_node dst) ~vertex_of in
+      Path.of_list ((src :: vs) @ [ dst ]))
+
+let st_connectivity g ~src ~dst ?limit () =
+  if src = dst then invalid_arg "Disjoint_paths.st_connectivity: src = dst";
+  let net = build_st_network g ~src ~dst ~edge_cap:1 in
+  let limit = Option.value limit ~default:max_int in
+  Maxflow.max_flow net ~src:(out_node src) ~dst:(in_node dst) ~limit ()
+
+let st_min_separator g ~src ~dst =
+  if src = dst then invalid_arg "Disjoint_paths.st_min_separator: src = dst";
+  if Graph.mem_edge g src dst then
+    invalid_arg "Disjoint_paths.st_min_separator: adjacent vertices";
+  let n = Graph.n g in
+  (* Fat edge arcs force the minimum cut onto the unit in->out arcs,
+     i.e. onto vertices. *)
+  let net = build_st_network g ~src ~dst ~edge_cap:n in
+  let _ = Maxflow.max_flow net ~src:(out_node src) ~dst:(in_node dst) () in
+  let side = Maxflow.min_cut_side net ~src:(out_node src) in
+  let cut = ref [] in
+  for v = n - 1 downto 0 do
+    if Bitset.mem side (in_node v) && not (Bitset.mem side (out_node v)) then
+      cut := v :: !cut
+  done;
+  !cut
+
+let fan_to_set g ~src ~targets ?k () =
+  let n = Graph.n g in
+  let targets = List.sort_uniq compare targets in
+  if List.mem src targets then
+    invalid_arg "Disjoint_paths.fan_to_set: src is a target";
+  let is_target = Bitset.of_list n targets in
+  let sink = 2 * n in
+  let net = Maxflow.create ((2 * n) + 1) in
+  (* Interior vertices get unit capacity; targets absorb flow into the
+     sink and have no outgoing arcs, so path interiors avoid them. *)
+  for v = 0 to n - 1 do
+    if v <> src then
+      if Bitset.mem is_target v then
+        Maxflow.add_edge net ~src:(in_node v) ~dst:sink ~cap:1
+      else Maxflow.add_edge net ~src:(in_node v) ~dst:(out_node v) ~cap:1
+  done;
+  Graph.iter_edges
+    (fun u v ->
+      let arc a b =
+        (* No arcs into the source, none out of targets. *)
+        if a <> src && b <> src && not (Bitset.mem is_target a) then
+          Maxflow.add_edge net ~src:(out_node a) ~dst:(in_node b) ~cap:1
+      in
+      if u = src then Maxflow.add_edge net ~src:(out_node src) ~dst:(in_node v) ~cap:1
+      else if v = src then Maxflow.add_edge net ~src:(out_node src) ~dst:(in_node u) ~cap:1
+      else begin
+        arc u v;
+        arc v u
+      end)
+    g;
+  let limit = match k with Some k -> k | None -> max_int in
+  let value = Maxflow.max_flow net ~src:(out_node src) ~dst:sink ~limit () in
+  (* Edge count is whatever was added; recover flows lazily by index. *)
+  let edge_count =
+    let c = ref 0 in
+    for v = 0 to 2 * n do
+      List.iter (fun _ -> incr c) (Maxflow.out_edges net v)
+    done;
+    !c
+  in
+  let flows = Array.init edge_count (Maxflow.flow_on net) in
+  let vertex_of node =
+    if node = sink then None
+    else if node land 1 = 1 then Some (node / 2)
+    else if Bitset.mem is_target (node / 2) then Some (node / 2)
+    else None
+  in
+  List.init value (fun _ ->
+      let vs = peel_path net flows ~start:(out_node src) ~stop:sink ~vertex_of in
+      Path.of_list (src :: vs))

@@ -1,0 +1,60 @@
+let buffer_add_vertices buf ~label ~attrs n =
+  for v = 0 to n - 1 do
+    let extra = attrs v in
+    Buffer.add_string buf
+      (Printf.sprintf "  %d [label=\"%s\"%s];\n" v (label v) extra)
+  done
+
+let of_graph ?(name = "G") ?(label = string_of_int) ?(highlight = []) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Buffer.add_string buf "  node [shape=circle fontsize=10];\n";
+  let hi = Bitset.of_list (Graph.n g) highlight in
+  buffer_add_vertices buf ~label
+    ~attrs:(fun v ->
+      if Bitset.mem hi v then " style=filled fillcolor=gold" else "")
+    (Graph.n g);
+  Graph.iter_edges (fun u v -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v)) g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_digraph ?(name = "G") ?(label = string_of_int) dg =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  node [shape=circle fontsize=10];\n";
+  buffer_add_vertices buf ~label ~attrs:(fun _ -> "") (Digraph.n dg);
+  for u = 0 to Digraph.n dg - 1 do
+    Array.iter
+      (fun v -> Buffer.add_string buf (Printf.sprintf "  %d -> %d;\n" u v))
+      (Digraph.succ dg u)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let palette =
+  [| "gold"; "skyblue"; "palegreen"; "salmon"; "plum"; "khaki"; "orange";
+     "turquoise"; "pink"; "lightgray" |]
+
+let with_colored_groups ?(name = "G") ?(label = string_of_int) ~groups g =
+  let n = Graph.n g in
+  let color = Array.make n None in
+  let legend = Buffer.create 128 in
+  List.iteri
+    (fun i (gname, vs) ->
+      let c = palette.(i mod Array.length palette) in
+      Buffer.add_string legend (Printf.sprintf "  // %s: %s\n" c gname);
+      List.iter (fun v -> if v >= 0 && v < n then color.(v) <- Some c) vs)
+    groups;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Buffer.add_buffer buf legend;
+  Buffer.add_string buf "  node [shape=circle fontsize=10];\n";
+  buffer_add_vertices buf ~label
+    ~attrs:(fun v ->
+      match color.(v) with
+      | Some c -> Printf.sprintf " style=filled fillcolor=%s" c
+      | None -> "")
+    n;
+  Graph.iter_edges (fun u v -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v)) g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Graphviz DOT export, used to regenerate the paper's Figures 1-3
+    (the routing-structure diagrams). *)
+
+val of_graph :
+  ?name:string ->
+  ?label:(int -> string) ->
+  ?highlight:int list ->
+  Graph.t ->
+  string
+(** Undirected DOT rendering. [highlight] vertices are filled. *)
+
+val of_digraph : ?name:string -> ?label:(int -> string) -> Digraph.t -> string
+
+val with_colored_groups :
+  ?name:string ->
+  ?label:(int -> string) ->
+  groups:(string * int list) list ->
+  Graph.t ->
+  string
+(** Like {!of_graph} but each named group of vertices gets its own
+    color (cycling through a fixed palette); used to show concentrator
+    structure (the sets [M], [Gamma_i], the bipolar roots...). *)

@@ -1,0 +1,171 @@
+let require cond msg = if not cond then invalid_arg msg
+
+let path_graph n =
+  require (n >= 1) "Families.path_graph: n >= 1";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle n =
+  require (n >= 3) "Families.cycle: n >= 3";
+  Graph.of_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let complete n =
+  let b = Graph.Builder.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Graph.Builder.add_edge b u v
+    done
+  done;
+  Graph.Builder.to_graph b
+
+let complete_bipartite a b =
+  require (a >= 1 && b >= 1) "Families.complete_bipartite: sides >= 1";
+  let bl = Graph.Builder.create (a + b) in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      Graph.Builder.add_edge bl u v
+    done
+  done;
+  Graph.Builder.to_graph bl
+
+let star n =
+  require (n >= 1) "Families.star: n >= 1";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let wheel n =
+  require (n >= 4) "Families.wheel: n >= 4";
+  let rim = n - 1 in
+  let edges =
+    List.init rim (fun i -> (1 + i, 1 + ((i + 1) mod rim)))
+    @ List.init rim (fun i -> (0, 1 + i))
+  in
+  Graph.of_edges ~n edges
+
+let grid rows cols =
+  require (rows >= 1 && cols >= 1) "Families.grid: dims >= 1";
+  let id r c = (r * cols) + c in
+  let b = Graph.Builder.create (rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then Graph.Builder.add_edge b (id r c) (id r (c + 1));
+      if r + 1 < rows then Graph.Builder.add_edge b (id r c) (id (r + 1) c)
+    done
+  done;
+  Graph.Builder.to_graph b
+
+let torus rows cols =
+  require (rows >= 3 && cols >= 3) "Families.torus: dims >= 3";
+  let id r c = (r * cols) + c in
+  let b = Graph.Builder.create (rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Graph.Builder.add_edge b (id r c) (id r ((c + 1) mod cols));
+      Graph.Builder.add_edge b (id r c) (id ((r + 1) mod rows) c)
+    done
+  done;
+  Graph.Builder.to_graph b
+
+let torus3 da db dc =
+  require (da >= 3 && db >= 3 && dc >= 3) "Families.torus3: dims >= 3";
+  let id a bb c = (((a * db) + bb) * dc) + c in
+  let b = Graph.Builder.create (da * db * dc) in
+  for a = 0 to da - 1 do
+    for bb = 0 to db - 1 do
+      for c = 0 to dc - 1 do
+        Graph.Builder.add_edge b (id a bb c) (id ((a + 1) mod da) bb c);
+        Graph.Builder.add_edge b (id a bb c) (id a ((bb + 1) mod db) c);
+        Graph.Builder.add_edge b (id a bb c) (id a bb ((c + 1) mod dc))
+      done
+    done
+  done;
+  Graph.Builder.to_graph b
+
+let hypercube d =
+  require (d >= 1) "Families.hypercube: d >= 1";
+  require (d < 20) "Families.hypercube: d too large";
+  let n = 1 lsl d in
+  let b = Graph.Builder.create n in
+  for x = 0 to n - 1 do
+    for i = 0 to d - 1 do
+      let y = x lxor (1 lsl i) in
+      if x < y then Graph.Builder.add_edge b x y
+    done
+  done;
+  Graph.Builder.to_graph b
+
+let ccc d =
+  require (d >= 3) "Families.ccc: d >= 3";
+  require (d < 20) "Families.ccc: d too large";
+  let rows = 1 lsl d in
+  let id i x = (x * d) + i in
+  let b = Graph.Builder.create (d * rows) in
+  for x = 0 to rows - 1 do
+    for i = 0 to d - 1 do
+      (* cycle edge within the row's small cycle *)
+      Graph.Builder.add_edge b (id i x) (id ((i + 1) mod d) x);
+      (* hypercube edge along dimension i *)
+      let y = x lxor (1 lsl i) in
+      if x < y then Graph.Builder.add_edge b (id i x) (id i y)
+    done
+  done;
+  Graph.Builder.to_graph b
+
+let butterfly d =
+  require (d >= 3) "Families.butterfly: d >= 3";
+  require (d < 20) "Families.butterfly: d too large";
+  let rows = 1 lsl d in
+  let id i x = (x * d) + i in
+  let b = Graph.Builder.create (d * rows) in
+  for x = 0 to rows - 1 do
+    for i = 0 to d - 1 do
+      let i' = (i + 1) mod d in
+      (* straight edge and cross edge into the next level *)
+      Graph.Builder.add_edge b (id i x) (id i' x);
+      Graph.Builder.add_edge b (id i x) (id i' (x lxor (1 lsl i')))
+    done
+  done;
+  Graph.Builder.to_graph b
+
+let de_bruijn d =
+  require (d >= 2) "Families.de_bruijn: d >= 2";
+  require (d < 20) "Families.de_bruijn: d too large";
+  let n = 1 lsl d in
+  let b = Graph.Builder.create n in
+  for x = 0 to n - 1 do
+    Graph.Builder.add_edge b x ((2 * x) mod n);
+    Graph.Builder.add_edge b x (((2 * x) + 1) mod n)
+  done;
+  Graph.Builder.to_graph b
+
+let shuffle_exchange d =
+  require (d >= 2) "Families.shuffle_exchange: d >= 2";
+  require (d < 20) "Families.shuffle_exchange: d too large";
+  let n = 1 lsl d in
+  let rotate_left x = ((x lsl 1) land (n - 1)) lor (x lsr (d - 1)) in
+  let b = Graph.Builder.create n in
+  for x = 0 to n - 1 do
+    Graph.Builder.add_edge b x (x lxor 1);
+    Graph.Builder.add_edge b x (rotate_left x)
+  done;
+  Graph.Builder.to_graph b
+
+let petersen () =
+  (* Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5. *)
+  let edges =
+    List.init 5 (fun i -> (i, (i + 1) mod 5))
+    @ List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5)))
+    @ List.init 5 (fun i -> (i, i + 5))
+  in
+  Graph.of_edges ~n:10 edges
+
+let circulant n offsets =
+  require (n >= 1) "Families.circulant: n >= 1";
+  let b = Graph.Builder.create n in
+  List.iter
+    (fun o ->
+      let o = ((o mod n) + n) mod n in
+      if o <> 0 then
+        for v = 0 to n - 1 do
+          Graph.Builder.add_edge b v ((v + o) mod n)
+        done)
+    offsets;
+  Graph.Builder.to_graph b

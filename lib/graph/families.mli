@@ -1,0 +1,63 @@
+(** Deterministic graph families.
+
+    Includes the interconnection networks the paper names as carriers
+    of its properties — the hypercube and its bounded-degree
+    realisations (cube-connected cycles, wrapped butterfly; cf. Ullman
+    1984) — plus standard small families used in tests and
+    experiments. *)
+
+val path_graph : int -> Graph.t
+(** [n >= 1] vertices in a line. *)
+
+val cycle : int -> Graph.t
+(** [n >= 3]. Connectivity 2. *)
+
+val complete : int -> Graph.t
+
+val complete_bipartite : int -> int -> Graph.t
+
+val star : int -> Graph.t
+(** [star n]: one hub (vertex 0) and [n - 1] leaves. *)
+
+val wheel : int -> Graph.t
+(** [wheel n], [n >= 4]: hub 0 plus a cycle on the rest. *)
+
+val grid : int -> int -> Graph.t
+(** [grid rows cols]; vertex [(r, c)] is [r * cols + c].
+    Connectivity 2 (for both dims >= 2). *)
+
+val torus : int -> int -> Graph.t
+(** Wrap-around grid; both dimensions must be [>= 3]. Connectivity 4. *)
+
+val torus3 : int -> int -> int -> Graph.t
+(** 3-dimensional torus, all dimensions [>= 3]. Connectivity 6. *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d]: [2^d] vertices, connectivity [d]. *)
+
+val ccc : int -> Graph.t
+(** Cube-connected cycles of dimension [d >= 3]: [d * 2^d] vertices,
+    vertex [(i, x)] is [x * d + i]. Connectivity 3. *)
+
+val butterfly : int -> Graph.t
+(** Wrapped butterfly of dimension [d >= 3]: [d * 2^d] vertices,
+    vertex [(level i, row x)] is [x * d + i]; straight and cross edges
+    to level [i+1 mod d]. Connectivity 4. *)
+
+val de_bruijn : int -> Graph.t
+(** Undirected binary de Bruijn graph on [2^d] vertices: [x] is
+    adjacent to [2x mod n] and [2x + 1 mod n]. *)
+
+val shuffle_exchange : int -> Graph.t
+(** Shuffle-exchange graph on [2^d] vertices, [d >= 2] (the "d-way
+    shuffle" family the paper mentions): exchange edges
+    [x -- x lxor 1] and shuffle edges [x -- rotate-left_d(x)]
+    (self-loops at the all-zero/all-one words are dropped, leaving
+    those two vertices with degree 1). *)
+
+val petersen : unit -> Graph.t
+(** The Petersen graph: 10 vertices, 3-regular, girth 5. *)
+
+val circulant : int -> int list -> Graph.t
+(** [circulant n offsets] connects [v] to [v +- o mod n] for each
+    offset. *)

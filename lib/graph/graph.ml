@@ -1,0 +1,139 @@
+type t = { n : int; adj : int array array; m : int }
+
+let check_vertex n v =
+  if v < 0 || v >= n then
+    invalid_arg (Printf.sprintf "Graph: vertex %d out of [0,%d)" v n)
+
+let of_adj_lists n lists =
+  let adj =
+    Array.map
+      (fun l ->
+        let a = Array.of_list (List.sort_uniq compare l) in
+        a)
+      lists
+  in
+  ignore n;
+  let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
+  { n = Array.length adj; adj; m }
+
+let of_edges ~n edges =
+  let lists = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      check_vertex n u;
+      check_vertex n v;
+      if u <> v then begin
+        lists.(u) <- v :: lists.(u);
+        lists.(v) <- u :: lists.(v)
+      end)
+    edges;
+  of_adj_lists n lists
+
+let empty n = { n; adj = Array.make n [||]; m = 0 }
+
+module Builder = struct
+  type t = { n : int; mutable acc : (int * int) list }
+
+  let create n = { n; acc = [] }
+
+  let add_edge t u v =
+    check_vertex t.n u;
+    check_vertex t.n v;
+    if u <> v then t.acc <- (u, v) :: t.acc
+
+  let to_graph t = of_edges ~n:t.n t.acc
+end
+
+let n t = t.n
+let m t = t.m
+
+let neighbors t v =
+  check_vertex t.n v;
+  t.adj.(v)
+
+let degree t v = Array.length (neighbors t v)
+
+let mem_edge t u v =
+  check_vertex t.n u;
+  check_vertex t.n v;
+  let a = t.adj.(u) in
+  let rec search lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then true
+      else if a.(mid) < v then search (mid + 1) hi
+      else search lo mid
+  in
+  search 0 (Array.length a)
+
+let iter_edges f t =
+  for u = 0 to t.n - 1 do
+    Array.iter (fun v -> if u < v then f u v) t.adj.(u)
+  done
+
+let fold_edges f t init =
+  let acc = ref init in
+  iter_edges (fun u v -> acc := f u v !acc) t;
+  !acc
+
+let edges t = List.rev (fold_edges (fun u v acc -> (u, v) :: acc) t [])
+
+let iter_vertices f t =
+  for v = 0 to t.n - 1 do
+    f v
+  done
+
+let fold_vertices f t init =
+  let acc = ref init in
+  iter_vertices (fun v -> acc := f v !acc) t;
+  !acc
+
+let max_degree t = fold_vertices (fun v acc -> max acc (degree t v)) t 0
+
+let min_degree t =
+  if t.n = 0 then 0
+  else fold_vertices (fun v acc -> min acc (degree t v)) t max_int
+
+let remove_vertices t s =
+  let adj =
+    Array.mapi
+      (fun u nbrs ->
+        if Bitset.mem s u then [||]
+        else Array.of_list (List.filter (fun v -> not (Bitset.mem s v)) (Array.to_list nbrs)))
+      t.adj
+  in
+  let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
+  { n = t.n; adj; m }
+
+let add_edges t extra = of_edges ~n:t.n (extra @ edges t)
+
+let induced t vs =
+  let vs = List.sort_uniq compare vs in
+  List.iter (check_vertex t.n) vs;
+  let map = Array.of_list vs in
+  let inv = Array.make t.n (-1) in
+  Array.iteri (fun i v -> inv.(v) <- i) map;
+  let edges =
+    fold_edges
+      (fun u v acc ->
+        if inv.(u) >= 0 && inv.(v) >= 0 then (inv.(u), inv.(v)) :: acc else acc)
+      t []
+  in
+  (of_edges ~n:(Array.length map) edges, map)
+
+let complement t =
+  let b = Builder.create t.n in
+  for u = 0 to t.n - 1 do
+    for v = u + 1 to t.n - 1 do
+      if not (mem_edge t u v) then Builder.add_edge b u v
+    done
+  done;
+  Builder.to_graph b
+
+let equal a b = a.n = b.n && a.adj = b.adj
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>graph n=%d m=%d@,%a@]" t.n t.m
+    Fmt.(list ~sep:sp (pair ~sep:(any "-") int int))
+    (edges t)

@@ -1,0 +1,86 @@
+(** Immutable undirected graphs on vertices [0 .. n-1].
+
+    This is the underlying-network model of the paper: a finite,
+    simple, undirected graph [G = (V, E)]. Adjacency lists are stored as
+    sorted arrays, so membership tests are logarithmic and neighbor
+    iteration is cache-friendly. *)
+
+type t
+
+(** {1 Construction} *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds the graph with vertex set [0 .. n-1] and
+    the given edge list. Self-loops are dropped and duplicate edges (in
+    either orientation) are collapsed. Raises [Invalid_argument] if an
+    endpoint is out of range. *)
+
+val empty : int -> t
+(** [empty n] has [n] vertices and no edges. *)
+
+(** Incremental construction. *)
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : int -> t
+  val add_edge : t -> int -> int -> unit
+  (** Idempotent; self-loops are ignored. *)
+
+  val to_graph : t -> graph
+end
+
+(** {1 Accessors} *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val neighbors : t -> int -> int array
+(** Sorted array of neighbors. The returned array is shared: do not
+    mutate it. *)
+
+val degree : t -> int -> int
+
+val mem_edge : t -> int -> int -> bool
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+(** Each undirected edge [(u, v)] with [u < v] is visited once. *)
+
+val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val edges : t -> (int * int) list
+(** All edges as [(u, v)] with [u < v], lexicographically sorted. *)
+
+val iter_vertices : (int -> unit) -> t -> unit
+
+val fold_vertices : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val max_degree : t -> int
+
+val min_degree : t -> int
+(** Minimum degree; [0] for the empty graph on zero vertices. *)
+
+(** {1 Derived graphs} *)
+
+val remove_vertices : t -> Bitset.t -> t
+(** [remove_vertices g s] keeps the vertex numbering but deletes every
+    vertex in [s] together with its incident edges (deleted vertices
+    become isolated). *)
+
+val add_edges : t -> (int * int) list -> t
+(** Functional edge addition (used by the Section 6 network
+    augmentation). *)
+
+val induced : t -> int list -> t * int array
+(** [induced g vs] is the subgraph induced by [vs] with vertices
+    renumbered [0 .. length vs - 1], plus the map from new index to
+    original vertex. *)
+
+val complement : t -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+let is_neighborhood_set g members =
+  let distinct = List.length (List.sort_uniq compare members) = List.length members in
+  distinct
+  &&
+  let rec pairs = function
+    | [] -> true
+    | x :: rest ->
+        List.for_all
+          (fun y ->
+            match Traversal.distance g x y with
+            | Some d -> d >= 3
+            | None -> true)
+          rest
+        && pairs rest
+  in
+  pairs members
+
+let greedy ?order g =
+  let n = Graph.n g in
+  let order = match order with Some o -> o | None -> List.init n Fun.id in
+  let discarded = Bitset.create n in
+  let members = ref [] in
+  List.iter
+    (fun v ->
+      if not (Bitset.mem discarded v) then begin
+        members := v :: !members;
+        (* Remove the radius-2 ball around v from the candidate pool. *)
+        Bitset.add discarded v;
+        Array.iter
+          (fun u ->
+            Bitset.add discarded u;
+            Array.iter (Bitset.add discarded) (Graph.neighbors g u))
+          (Graph.neighbors g v)
+      end)
+    order;
+  List.rev !members
+
+let greedy_bound g =
+  let n = Graph.n g in
+  if n = 0 then 0
+  else
+    let d = Graph.max_degree g in
+    (n + (d * d)) / ((d * d) + 1)
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+let best_of ~rng ~tries g =
+  let n = Graph.n g in
+  let best = ref (greedy g) in
+  for _ = 1 to tries do
+    let order = Array.init n Fun.id in
+    shuffle rng order;
+    let candidate = greedy ~order:(Array.to_list order) g in
+    if List.length candidate > List.length !best then best := candidate
+  done;
+  !best
+
+let circular_threshold = 0.79
+let tri_circular_threshold = 0.46

@@ -1,0 +1,29 @@
+(** Neighborhood sets (Section 4 of the paper).
+
+    A neighborhood set is an independent set [M] whose members have
+    pairwise-disjoint neighbor sets — equivalently, a set of vertices
+    at pairwise distance at least 3. The greedy algorithm of Lemma 15
+    guarantees [|M| >= ceil(n / (d^2 + 1))] for maximal degree [d]. *)
+
+val is_neighborhood_set : Graph.t -> int list -> bool
+(** Pairwise distance at least 3 (members distinct). *)
+
+val greedy : ?order:int list -> Graph.t -> int list
+(** The greedy construction of Lemma 15: scan candidates in [order]
+    (default [0 .. n-1]), add a vertex, discard its radius-2 ball.
+    The result is a maximal neighborhood set. *)
+
+val greedy_bound : Graph.t -> int
+(** The Lemma 15 lower bound [ceil(n / (d^2 + 1))] (with [d] the
+    maximal degree), which {!greedy} always meets. *)
+
+val best_of : rng:Random.State.t -> tries:int -> Graph.t -> int list
+(** Randomized-restart greedy: the largest set found over [tries]
+    random candidate orders (plus the default order). *)
+
+val circular_threshold : float
+(** [0.79]: Corollary 17 guarantees a circular routing whenever the
+    maximal degree is below [0.79 * n^(1/3)]. *)
+
+val tri_circular_threshold : float
+(** [0.46]: same for the tri-circular routing. *)

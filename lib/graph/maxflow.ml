@@ -1,0 +1,152 @@
+type t = {
+  n : int;
+  mutable eto : int array;
+  mutable ecap : int array;
+  mutable eorig : int array;
+  mutable count : int; (* arcs stored; forward/reverse pairs, so even *)
+  adj : int list array; (* arc indices leaving each node *)
+}
+
+let create n =
+  {
+    n;
+    eto = Array.make 16 0;
+    ecap = Array.make 16 0;
+    eorig = Array.make 16 0;
+    count = 0;
+    adj = Array.make n [];
+  }
+
+let check_node t v =
+  if v < 0 || v >= t.n then
+    invalid_arg (Printf.sprintf "Maxflow: node %d out of [0,%d)" v t.n)
+
+let grow t =
+  let cap = Array.length t.eto in
+  if t.count + 2 > cap then begin
+    let cap' = 2 * cap in
+    let extend a = Array.append a (Array.make cap' 0) in
+    t.eto <- extend t.eto;
+    t.ecap <- extend t.ecap;
+    t.eorig <- extend t.eorig
+  end
+
+let add_arc t src dst cap =
+  grow t;
+  let i = t.count in
+  t.eto.(i) <- dst;
+  t.ecap.(i) <- cap;
+  t.eorig.(i) <- cap;
+  t.adj.(src) <- i :: t.adj.(src);
+  t.count <- t.count + 1
+
+let add_edge t ~src ~dst ~cap =
+  check_node t src;
+  check_node t dst;
+  if cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  add_arc t src dst cap;
+  add_arc t dst src 0
+
+let bfs_levels t src dst =
+  let level = Array.make t.n (-1) in
+  let q = Queue.create () in
+  level.(src) <- 0;
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun a ->
+        let v = t.eto.(a) in
+        if t.ecap.(a) > 0 && level.(v) < 0 then begin
+          level.(v) <- level.(u) + 1;
+          Queue.push v q
+        end)
+      t.adj.(u)
+  done;
+  if level.(dst) < 0 then None else Some level
+
+let max_flow t ~src ~dst ?(limit = max_int) () =
+  check_node t src;
+  check_node t dst;
+  if src = dst then invalid_arg "Maxflow.max_flow: src = dst";
+  let total = ref 0 in
+  let continue_phases = ref true in
+  while !continue_phases && !total < limit do
+    match bfs_levels t src dst with
+    | None -> continue_phases := false
+    | Some level ->
+        let it = Array.map (fun l -> ref l) t.adj in
+        let rec dfs u pushed =
+          if u = dst then pushed
+          else begin
+            let sent = ref 0 in
+            let rec advance () =
+              match !(it.(u)) with
+              | [] -> ()
+              | a :: rest ->
+                  let v = t.eto.(a) in
+                  if t.ecap.(a) > 0 && level.(v) = level.(u) + 1 then begin
+                    let d = dfs v (min pushed t.ecap.(a)) in
+                    if d > 0 then begin
+                      t.ecap.(a) <- t.ecap.(a) - d;
+                      t.ecap.(a lxor 1) <- t.ecap.(a lxor 1) + d;
+                      sent := d
+                    end
+                    else begin
+                      it.(u) := rest;
+                      advance ()
+                    end
+                  end
+                  else begin
+                    it.(u) := rest;
+                    advance ()
+                  end
+            in
+            advance ();
+            !sent
+          end
+        in
+        let rec push () =
+          if !total < limit then begin
+            let d = dfs src (limit - !total) in
+            if d > 0 then begin
+              total := !total + d;
+              push ()
+            end
+          end
+        in
+        push ()
+  done;
+  !total
+
+let flow_on t i =
+  let a = 2 * i in
+  if a < 0 || a >= t.count then invalid_arg "Maxflow.flow_on: bad edge index";
+  t.eorig.(a) - t.ecap.(a)
+
+let min_cut_side t ~src =
+  check_node t src;
+  let side = Bitset.create t.n in
+  let q = Queue.create () in
+  Bitset.add side src;
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun a ->
+        let v = t.eto.(a) in
+        if t.ecap.(a) > 0 && not (Bitset.mem side v) then begin
+          Bitset.add side v;
+          Queue.push v q
+        end)
+      t.adj.(u)
+  done;
+  side
+
+let out_edges t v =
+  check_node t v;
+  List.filter_map
+    (fun a ->
+      if a land 1 = 0 then Some (a / 2, t.eto.(a), t.eorig.(a) - t.ecap.(a))
+      else None)
+    t.adj.(v)

@@ -1,0 +1,32 @@
+(** Maximum flow on directed networks with integer capacities (Dinic's
+    algorithm).
+
+    The library only ever needs small integral capacities (vertex
+    connectivity, disjoint paths) but the implementation is a general
+    blocking-flow Dinic. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty network on nodes [0 .. n-1]. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> unit
+(** Adds a directed edge; a residual reverse edge of capacity [0] is
+    added automatically. Parallel edges are allowed. *)
+
+val max_flow : t -> src:int -> dst:int -> ?limit:int -> unit -> int
+(** Computes a maximum (or [limit]-capped) flow from [src] to [dst],
+    mutating the network's residual capacities, and returns its value.
+    Subsequent calls continue from the current residual state. *)
+
+val flow_on : t -> int -> int
+(** [flow_on t i] is the flow currently carried by the [i]-th added
+    edge (edges are numbered in insertion order, starting at 0). *)
+
+val min_cut_side : t -> src:int -> Bitset.t
+(** After a max-flow computation, the set of nodes reachable from [src]
+    in the residual network (the source side of a minimum cut). *)
+
+val out_edges : t -> int -> (int * int * int) list
+(** [out_edges t v] lists [(edge_index, dst, current_flow)] for the
+    forward edges added out of [v]. *)

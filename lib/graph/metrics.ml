@@ -1,0 +1,67 @@
+type distance = Finite of int | Infinite
+
+let pp_distance ppf = function
+  | Finite d -> Fmt.int ppf d
+  | Infinite -> Fmt.string ppf "inf"
+
+let distance_le a b =
+  match (a, b) with
+  | Finite x, Finite y -> x <= y
+  | Finite _, Infinite -> true
+  | Infinite, Infinite -> true
+  | Infinite, Finite _ -> false
+
+let max_distance a b = if distance_le a b then b else a
+
+let eccentricity g v =
+  let dist = Traversal.bfs g v in
+  let worst = ref 0 in
+  let unreachable = ref false in
+  Array.iter
+    (fun d -> if d < 0 then unreachable := true else worst := max !worst d)
+    dist;
+  if !unreachable then Infinite else Finite !worst
+
+let diameter g =
+  if Graph.n g <= 1 then Finite 0
+  else
+    Graph.fold_vertices
+      (fun v acc -> max_distance acc (eccentricity g v))
+      g (Finite 0)
+
+let radius g =
+  if Graph.n g <= 1 then Finite 0
+  else
+    Graph.fold_vertices
+      (fun v acc -> if distance_le (eccentricity g v) acc then eccentricity g v else acc)
+      g Infinite
+
+(* Girth by the classic all-roots BFS: for every root, every non-tree
+   edge (u, w) closes a cycle of length dist(u) + dist(w) + 1 through the
+   root's BFS tree. A single root can overestimate the shortest cycle,
+   but the minimum over all roots is exact. *)
+let girth g =
+  let best = ref max_int in
+  Graph.iter_vertices
+    (fun root ->
+      let dist, parent = Traversal.bfs_parents g root in
+      Graph.iter_edges
+        (fun u w ->
+          if dist.(u) >= 0 && dist.(w) >= 0 && parent.(u) <> w && parent.(w) <> u
+          then best := min !best (dist.(u) + dist.(w) + 1))
+        g)
+    g;
+  if !best = max_int then None else Some !best
+
+let average_degree g =
+  if Graph.n g = 0 then 0.0
+  else 2.0 *. float_of_int (Graph.m g) /. float_of_int (Graph.n g)
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  Graph.iter_vertices
+    (fun v ->
+      let d = Graph.degree g v in
+      Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+    g;
+  List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [])

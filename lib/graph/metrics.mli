@@ -1,0 +1,28 @@
+(** Global graph metrics: diameter, radius, girth, degree statistics. *)
+
+type distance = Finite of int | Infinite
+
+val pp_distance : Format.formatter -> distance -> unit
+
+val distance_le : distance -> distance -> bool
+(** Order with [Infinite] as top. *)
+
+val max_distance : distance -> distance -> distance
+
+val eccentricity : Graph.t -> int -> distance
+(** Greatest distance from the vertex to any other vertex; [Infinite]
+    if some vertex is unreachable. For a 1-vertex graph this is
+    [Finite 0]. *)
+
+val diameter : Graph.t -> distance
+(** [Finite 0] for graphs with at most one vertex. *)
+
+val radius : Graph.t -> distance
+
+val girth : Graph.t -> int option
+(** Length of a shortest cycle, [None] for forests. *)
+
+val average_degree : Graph.t -> float
+
+val degree_histogram : Graph.t -> (int * int) list
+(** [(degree, count)] pairs, sorted by degree. *)

@@ -1,0 +1,50 @@
+type t = int array
+
+let check_simple a =
+  let seen = Hashtbl.create (Array.length a) in
+  Array.iter
+    (fun v ->
+      if Hashtbl.mem seen v then
+        invalid_arg (Printf.sprintf "Path: repeated vertex %d" v);
+      Hashtbl.add seen v ())
+    a
+
+let of_array a =
+  if Array.length a = 0 then invalid_arg "Path: empty";
+  check_simple a;
+  Array.copy a
+
+let of_list l = of_array (Array.of_list l)
+let to_list = Array.to_list
+let to_array = Array.copy
+let source p = p.(0)
+let target p = p.(Array.length p - 1)
+let length p = Array.length p - 1
+let vertex_count = Array.length
+let nth p i = p.(i)
+let mem p v = Array.exists (fun x -> x = v) p
+
+let interior p =
+  let l = Array.length p in
+  Array.to_list (Array.sub p 1 (max 0 (l - 2)))
+
+let rev p =
+  let l = Array.length p in
+  Array.init l (fun i -> p.(l - 1 - i))
+
+let concat p q =
+  if target p <> source q then invalid_arg "Path.concat: endpoints differ";
+  of_array (Array.append p (Array.sub q 1 (Array.length q - 1)))
+
+let is_valid_in g p =
+  let ok = ref true in
+  for i = 0 to Array.length p - 2 do
+    if not (Graph.mem_edge g p.(i) p.(i + 1)) then ok := false
+  done;
+  !ok
+
+let hits p s = Array.exists (Bitset.mem s) p
+let edge u v = of_array [| u; v |]
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = compare a b
+let pp ppf p = Fmt.pf ppf "%a" Fmt.(list ~sep:(any "->") int) (to_list p)

@@ -1,0 +1,59 @@
+(** Simple paths in a graph, the raw material of routes.
+
+    A path is a non-empty sequence of pairwise-distinct vertices in
+    which consecutive vertices are adjacent in the underlying graph. A
+    single-vertex path is permitted by the type but routes (see
+    {!module:Ftr_core.Route}) always connect two distinct endpoints. *)
+
+type t
+
+val of_list : int list -> t
+(** Raises [Invalid_argument] on the empty list or on repeated
+    vertices. Adjacency is not checked here; see {!is_valid_in}. *)
+
+val of_array : int array -> t
+
+val to_list : t -> int list
+
+val to_array : t -> int array
+(** A fresh array. *)
+
+val source : t -> int
+
+val target : t -> int
+
+val length : t -> int
+(** Number of edges, i.e. [number of vertices - 1]. *)
+
+val vertex_count : t -> int
+
+val nth : t -> int -> int
+(** [nth p i] is the [i]-th vertex, [0]-based from the source. *)
+
+val mem : t -> int -> bool
+
+val interior : t -> int list
+(** Vertices other than source and target, in order. *)
+
+val rev : t -> t
+
+val concat : t -> t -> t
+(** [concat p q] requires [target p = source q] and the concatenation
+    to remain simple; raises [Invalid_argument] otherwise. *)
+
+val is_valid_in : Graph.t -> t -> bool
+(** True when every consecutive pair is an edge of the graph (the
+    simplicity invariant already holds by construction). *)
+
+val hits : t -> Bitset.t -> bool
+(** [hits p s] is true when some vertex of [p] belongs to [s]. In the
+    paper's terms: the route is {e affected} by the fault set [s]. *)
+
+val edge : int -> int -> t
+(** The two-vertex path [u; v]. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

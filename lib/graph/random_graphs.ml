@@ -1,0 +1,72 @@
+let gnp ~rng n p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Random_graphs.gnp: p outside [0,1]";
+  let b = Graph.Builder.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then Graph.Builder.add_edge b u v
+    done
+  done;
+  Graph.Builder.to_graph b
+
+let gnm ~rng n m =
+  let total = n * (n - 1) / 2 in
+  if m < 0 || m > total then invalid_arg "Random_graphs.gnm: bad edge count";
+  let chosen = Hashtbl.create (2 * m) in
+  let edges = ref [] in
+  while Hashtbl.length chosen < m do
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    let e = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem chosen e) then begin
+      Hashtbl.add chosen e ();
+      edges := e :: !edges
+    end
+  done;
+  Graph.of_edges ~n !edges
+
+(* Pairing (configuration) model: d stubs per vertex, random perfect
+   matching on stubs, retry on self-loops or multi-edges. *)
+let regular ~rng n d =
+  if d < 0 || d >= n then invalid_arg "Random_graphs.regular: need 0 <= d < n";
+  if n * d mod 2 = 1 then invalid_arg "Random_graphs.regular: n * d must be even";
+  let stubs = Array.init (n * d) (fun i -> i / d) in
+  let attempt () =
+    for i = Array.length stubs - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = stubs.(i) in
+      stubs.(i) <- stubs.(j);
+      stubs.(j) <- t
+    done;
+    let seen = Hashtbl.create (n * d) in
+    let rec pair i acc =
+      if i >= Array.length stubs then Some acc
+      else
+        let u = stubs.(i) and v = stubs.(i + 1) in
+        let e = (min u v, max u v) in
+        if u = v || Hashtbl.mem seen e then None
+        else begin
+          Hashtbl.add seen e ();
+          pair (i + 2) (e :: acc)
+        end
+    in
+    pair 0 []
+  in
+  let rec retry k =
+    if k = 0 then failwith "Random_graphs.regular: too many retries"
+    else match attempt () with Some edges -> edges | None -> retry (k - 1)
+  in
+  Graph.of_edges ~n (retry 10_000)
+
+let first_sample ~max_tries sample accept =
+  let rec go k =
+    if k = 0 then None
+    else
+      let g = sample () in
+      if accept g then Some g else go (k - 1)
+  in
+  go max_tries
+
+let connected_gnp ~rng ?(max_tries = 100) n p =
+  first_sample ~max_tries (fun () -> gnp ~rng n p) Traversal.is_connected
+
+let sample_k_connected ~rng ?(max_tries = 100) n p ~k =
+  first_sample ~max_tries (fun () -> gnp ~rng n p) (fun g -> Connectivity.is_k_connected g k)

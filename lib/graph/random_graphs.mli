@@ -1,0 +1,25 @@
+(** Random graph models (Section 5 works in [G(n,p)]).
+
+    All generators take an explicit PRNG state, so every experiment is
+    reproducible from its seed. *)
+
+val gnp : rng:Random.State.t -> int -> float -> Graph.t
+(** Erdos-Renyi [G(n,p)]: each of the [n(n-1)/2] potential edges is
+    present independently with probability [p]. *)
+
+val gnm : rng:Random.State.t -> int -> int -> Graph.t
+(** Uniform graph with exactly [m] distinct edges
+    ([m <= n(n-1)/2]). *)
+
+val regular : rng:Random.State.t -> int -> int -> Graph.t
+(** Random [d]-regular graph by the pairing model, retried until
+    simple. Requires [n * d] even, [d < n]. May be slow for large [d];
+    intended for the small degrees the paper cares about. *)
+
+val connected_gnp :
+  rng:Random.State.t -> ?max_tries:int -> int -> float -> Graph.t option
+(** First connected [G(n,p)] sample among [max_tries] (default 100). *)
+
+val sample_k_connected :
+  rng:Random.State.t -> ?max_tries:int -> int -> float -> k:int -> Graph.t option
+(** First sample with vertex connectivity at least [k]. *)

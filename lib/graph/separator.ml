@@ -1,0 +1,21 @@
+let to_set g m = Bitset.of_list (Graph.n g) m
+
+let is_separator g m =
+  let s = to_set g m in
+  let n = Graph.n g in
+  let remaining = n - Bitset.cardinal s in
+  remaining >= 2 && not (Traversal.is_connected_excluding g s)
+
+let separates g m x y =
+  let s = to_set g m in
+  if Bitset.mem s x || Bitset.mem s y then
+    invalid_arg "Separator.separates: endpoint inside the separator";
+  let allowed v = not (Bitset.mem s v) in
+  Traversal.distance g ~allowed x y = None
+
+let minimum = Connectivity.min_vertex_cut
+
+let side_of g m x =
+  let s = to_set g m in
+  if Bitset.mem s x then invalid_arg "Separator.side_of: vertex inside separator";
+  Traversal.component_of g ~allowed:(fun v -> not (Bitset.mem s v)) x

@@ -1,0 +1,22 @@
+(** Separating sets (Section 3 of the paper).
+
+    A separating set [M] is a vertex set whose removal splits [G] into
+    at least two non-empty parts. The kernel construction needs a
+    minimal one (size [t + 1] in a [(t+1)]-connected graph). *)
+
+val is_separator : Graph.t -> int list -> bool
+(** Does removing the set disconnect the remaining (non-empty)
+    graph? *)
+
+val separates : Graph.t -> int list -> int -> int -> bool
+(** [separates g m x y]: are [x] and [y] (both outside [m]) in
+    different components of [G - m]? *)
+
+val minimum : Graph.t -> int list option
+(** A minimum separating set ([None] for complete graphs). In a
+    [(t+1)]-connected non-complete graph the result has exactly [t+1]
+    vertices. *)
+
+val side_of : Graph.t -> int list -> int -> Bitset.t
+(** [side_of g m x] is the component of [x] in [G - m]; [x] must lie
+    outside [m]. *)

@@ -1,0 +1,85 @@
+let bfs_parents g ?(allowed = fun _ -> true) src =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  if allowed src then begin
+    let q = Queue.create () in
+    dist.(src) <- 0;
+    Queue.push src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Array.iter
+        (fun v ->
+          if dist.(v) < 0 && allowed v then begin
+            dist.(v) <- dist.(u) + 1;
+            parent.(v) <- u;
+            Queue.push v q
+          end)
+        (Graph.neighbors g u)
+    done
+  end;
+  (dist, parent)
+
+let bfs g ?allowed src = fst (bfs_parents g ?allowed src)
+
+let shortest_path g ?allowed src dst =
+  let dist, parent = bfs_parents g ?allowed src in
+  if dist.(dst) < 0 then None
+  else begin
+    let rec walk v acc = if v = src then v :: acc else walk parent.(v) (v :: acc) in
+    Some (Path.of_list (walk dst []))
+  end
+
+let distance g ?allowed src dst =
+  let dist = bfs g ?allowed src in
+  if dist.(dst) < 0 then None else Some dist.(dst)
+
+let component_of g ?allowed src =
+  let dist = bfs g ?allowed src in
+  let s = Bitset.create (Graph.n g) in
+  Array.iteri (fun v d -> if d >= 0 then Bitset.add s v) dist;
+  s
+
+let components g =
+  let n = Graph.n g in
+  let seen = Bitset.create n in
+  let comps = ref [] in
+  for v = 0 to n - 1 do
+    if not (Bitset.mem seen v) then begin
+      let c = component_of g v in
+      Bitset.union_into seen c;
+      comps := Bitset.elements c :: !comps
+    end
+  done;
+  List.rev !comps
+
+let is_connected g =
+  Graph.n g <= 1 || Array.for_all (fun d -> d >= 0) (bfs g 0)
+
+let is_connected_excluding g s =
+  let n = Graph.n g in
+  let allowed v = not (Bitset.mem s v) in
+  let rec first v = if v >= n then None else if allowed v then Some v else first (v + 1) in
+  match first 0 with
+  | None -> true
+  | Some src ->
+      let dist = bfs g ~allowed src in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        if allowed v && dist.(v) < 0 then ok := false
+      done;
+      !ok
+
+let dfs_order g root =
+  let n = Graph.n g in
+  let seen = Bitset.create n in
+  let order = ref [] in
+  let rec go v =
+    if not (Bitset.mem seen v) then begin
+      Bitset.add seen v;
+      order := v :: !order;
+      Array.iter go (Graph.neighbors g v)
+    end
+  in
+  go root;
+  List.rev !order

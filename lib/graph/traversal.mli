@@ -1,0 +1,34 @@
+(** Breadth-first and depth-first traversal of undirected graphs. *)
+
+val bfs : Graph.t -> ?allowed:(int -> bool) -> int -> int array
+(** [bfs g src] is the array of distances from [src] in [g]; [-1] marks
+    unreachable vertices. [allowed] restricts the traversal to a vertex
+    subset (if [allowed src] is false, every distance is [-1]). *)
+
+val bfs_parents : Graph.t -> ?allowed:(int -> bool) -> int -> int array * int array
+(** [(dist, parent)] where [parent.(v)] is the BFS-tree predecessor of
+    [v] ([-1] for the source and unreachable vertices). *)
+
+val shortest_path : Graph.t -> ?allowed:(int -> bool) -> int -> int -> Path.t option
+(** A shortest path between two vertices, if one exists within the
+    allowed subset. *)
+
+val distance : Graph.t -> ?allowed:(int -> bool) -> int -> int -> int option
+
+val component_of : Graph.t -> ?allowed:(int -> bool) -> int -> Bitset.t
+(** Vertices reachable from the given source (itself included when
+    allowed). *)
+
+val components : Graph.t -> int list list
+(** Connected components, each sorted, ordered by smallest member. *)
+
+val is_connected : Graph.t -> bool
+(** True for graphs with at most one vertex, and for connected
+    graphs. *)
+
+val is_connected_excluding : Graph.t -> Bitset.t -> bool
+(** [is_connected_excluding g s]: is [G - s] connected? True when
+    [G - s] has at most one vertex. *)
+
+val dfs_order : Graph.t -> int -> int list
+(** Preorder of the DFS from the given root (its component only). *)

@@ -1,0 +1,65 @@
+let root_ok g r =
+  let nbrs = Graph.neighbors g r in
+  let k = Array.length nbrs in
+  let ok = ref true in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let x = nbrs.(i) and y = nbrs.(j) in
+      if Graph.mem_edge g x y then ok := false (* 3-cycle through r *)
+      else
+        (* A common neighbor z <> r closes a 4-cycle r-x-z-y-r. *)
+        Array.iter
+          (fun z -> if z <> r && Graph.mem_edge g y z then ok := false)
+          (Graph.neighbors g x)
+    done
+  done;
+  !ok
+
+(* The depth-2 family of a root: Gamma(r) and, for each x in Gamma(r),
+   Gamma(x) - {r}. *)
+let depth2_sets g r =
+  let m = Array.to_list (Graph.neighbors g r) in
+  m
+  :: List.map
+       (fun x -> List.filter (fun v -> v <> r) (Array.to_list (Graph.neighbors g x)))
+       m
+
+let verify g r1 r2 =
+  r1 <> r2
+  && (not (Graph.mem_edge g r1 r2))
+  &&
+  let sets = depth2_sets g r1 @ depth2_sets g r2 in
+  let n = Graph.n g in
+  let seen = Bitset.create n in
+  let disjoint = ref true in
+  List.iter
+    (fun set ->
+      List.iter
+        (fun v ->
+          if Bitset.mem seen v then disjoint := false else Bitset.add seen v)
+        set)
+    sets;
+  (* The roots themselves must not appear in any fringe set either:
+     r2 in Gamma(x) for x in M1 would mean dist(r1, r2) = 2. *)
+  !disjoint && (not (Bitset.mem seen r1)) && not (Bitset.mem seen r2)
+
+let holds_weak g r1 r2 =
+  r1 <> r2
+  && root_ok g r1
+  && root_ok g r2
+  && match Traversal.distance g r1 r2 with Some d -> d >= 4 | None -> true
+
+let generic_find check g =
+  let n = Graph.n g in
+  let candidates = List.filter (root_ok g) (List.init n Fun.id) in
+  let rec scan = function
+    | [] -> None
+    | r1 :: rest -> (
+        match List.find_opt (fun r2 -> check g r1 r2) rest with
+        | Some r2 -> Some (r1, r2)
+        | None -> scan rest)
+  in
+  scan candidates
+
+let find g = generic_find verify g
+let find_weak g = generic_find holds_weak g

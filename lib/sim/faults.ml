@@ -1,0 +1,24 @@
+type event = { at : float; node : int; kind : [ `Crash | `Recover ] }
+
+let crash_set_at ~at nodes = List.map (fun node -> { at; node; kind = `Crash }) nodes
+
+let random_crashes ~rng ~n ~count ~window:(lo, hi) =
+  if count > n then invalid_arg "Faults.random_crashes: count > n";
+  let nodes = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = nodes.(i) in
+    nodes.(i) <- nodes.(j);
+    nodes.(j) <- t
+  done;
+  List.init count (fun i ->
+      { at = lo +. Random.State.float rng (hi -. lo); node = nodes.(i); kind = `Crash })
+
+let schedule_on sim net events =
+  List.iter
+    (fun { at; node; kind } ->
+      Sim.at sim ~time:at (fun () ->
+          match kind with
+          | `Crash -> Network.crash net node
+          | `Recover -> Network.recover net node))
+    events

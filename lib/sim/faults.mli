@@ -1,0 +1,13 @@
+(** Fault injection schedules for simulations. *)
+
+type event = { at : float; node : int; kind : [ `Crash | `Recover ] }
+
+val crash_set_at : at:float -> int list -> event list
+
+val random_crashes :
+  rng:Random.State.t -> n:int -> count:int -> window:float * float -> event list
+(** [count] distinct nodes crash at uniform times within the
+    window. *)
+
+val schedule_on : Sim.t -> Network.t -> event list -> unit
+(** Install the schedule into the simulator. *)

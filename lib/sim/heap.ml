@@ -1,0 +1,64 @@
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+let size t = t.size
+let is_empty t = t.size = 0
+
+let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let swap t i j =
+  let x = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && before t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t key value =
+  if t.size = Array.length t.data then begin
+    let grown =
+      Array.make (max 16 (2 * t.size)) { key; seq = 0; value }
+    in
+    Array.blit t.data 0 grown 0 t.size;
+    t.data <- grown
+  end;
+  t.data.(t.size) <- { key; seq = t.next_seq; value };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek t = if t.size = 0 then None else Some (t.data.(0).key, t.data.(0).value)

@@ -1,0 +1,19 @@
+(** Binary min-heap keyed by floats, with FIFO tie-breaking.
+
+    The event queue of the discrete-event simulator: events scheduled
+    for the same instant fire in insertion order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Smallest key (earliest insertion among ties), removed. *)
+
+val peek : 'a t -> (float * 'a) option

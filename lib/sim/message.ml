@@ -1,0 +1,38 @@
+type status = Pending | Delivered | Undeliverable
+
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  sent_at : float;
+  mutable status : status;
+  mutable delivered_at : float;
+  mutable routes_traversed : int;
+  mutable hops : int;
+  mutable retries : int;
+}
+
+let make ~id ~src ~dst ~sent_at =
+  {
+    id;
+    src;
+    dst;
+    sent_at;
+    status = Pending;
+    delivered_at = nan;
+    routes_traversed = 0;
+    hops = 0;
+    retries = 0;
+  }
+
+let latency t =
+  match t.status with Delivered -> Some (t.delivered_at -. t.sent_at) | _ -> None
+
+let status_string = function
+  | Pending -> "pending"
+  | Delivered -> "delivered"
+  | Undeliverable -> "undeliverable"
+
+let pp ppf t =
+  Fmt.pf ppf "msg#%d %d->%d [%s] routes=%d hops=%d retries=%d" t.id t.src t.dst
+    (status_string t.status) t.routes_traversed t.hops t.retries

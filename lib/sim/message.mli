@@ -1,0 +1,24 @@
+(** Messages and their delivery records. *)
+
+type status = Pending | Delivered | Undeliverable
+
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  sent_at : float;
+  mutable status : status;
+  mutable delivered_at : float;
+  mutable routes_traversed : int;
+      (** the paper's cost measure: endpoint processing dominates, so
+          transmission time is proportional to this *)
+  mutable hops : int;  (** total link traversals *)
+  mutable retries : int;  (** failed route attempts before success *)
+}
+
+val make : id:int -> src:int -> dst:int -> sent_at:float -> t
+
+val latency : t -> float option
+(** Delivery time minus send time, when delivered. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+open Ftr_graph
+open Ftr_core
+
+type t = {
+  routing : Routing.t;
+  faults : Bitset.t;
+  mutable cache : Digraph.t option;
+}
+
+let create routing =
+  {
+    routing;
+    faults = Bitset.create (Graph.n (Routing.graph routing));
+    cache = None;
+  }
+
+let graph t = Routing.graph t.routing
+let routing t = t.routing
+let faults t = t.faults
+
+let crash t v =
+  Bitset.add t.faults v;
+  t.cache <- None
+
+let recover t v =
+  Bitset.remove t.faults v;
+  t.cache <- None
+
+let is_faulty t v = Bitset.mem t.faults v
+let fault_count t = Bitset.cardinal t.faults
+
+let surviving t =
+  match t.cache with
+  | Some dg -> dg
+  | None ->
+      let dg = Surviving.graph t.routing ~faults:t.faults in
+      t.cache <- Some dg;
+      dg
+
+let surviving_diameter t =
+  Surviving.diameter_of_digraph (surviving t) ~faults:t.faults
+
+let route_plan t ~src ~dst =
+  if is_faulty t src || is_faulty t dst then None
+  else if src = dst then Some [ src ]
+  else begin
+    let dg = surviving t in
+    let n = Digraph.n dg in
+    let alive v = not (Bitset.mem t.faults v) in
+    (* BFS with parents over the surviving digraph. *)
+    let parent = Array.make n (-1) in
+    let dist = Array.make n (-1) in
+    let q = Queue.create () in
+    dist.(src) <- 0;
+    Queue.push src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Array.iter
+        (fun v ->
+          if dist.(v) < 0 && alive v then begin
+            dist.(v) <- dist.(u) + 1;
+            parent.(v) <- u;
+            Queue.push v q
+          end)
+        (Digraph.succ dg u)
+    done;
+    if dist.(dst) < 0 then None
+    else begin
+      let rec walk v acc = if v = src then v :: acc else walk parent.(v) (v :: acc) in
+      Some (walk dst [])
+    end
+  end
+
+let route_survives t ~src ~dst =
+  match Routing.find t.routing src dst with
+  | None -> false
+  | Some p -> not (Path.hits p t.faults)

@@ -1,0 +1,44 @@
+(** A network instance: a graph, a fixed routing, and the current
+    fault state.
+
+    Models the system of the paper's introduction — route tables are
+    computed once; nodes crash; the surviving route graph determines
+    which fixed routes still work. *)
+
+open Ftr_graph
+open Ftr_core
+
+type t
+
+val create : Routing.t -> t
+
+val graph : t -> Graph.t
+
+val routing : t -> Routing.t
+
+val faults : t -> Bitset.t
+(** The current crash set (shared, do not mutate directly). *)
+
+val crash : t -> int -> unit
+
+val recover : t -> int -> unit
+
+val is_faulty : t -> int -> bool
+
+val fault_count : t -> int
+
+val surviving : t -> Digraph.t
+(** Surviving route graph under the current faults; cached and
+    invalidated by {!crash}/{!recover}. *)
+
+val surviving_diameter : t -> Metrics.distance
+
+val route_plan : t -> src:int -> dst:int -> int list option
+(** Shortest sequence of surviving routes from [src] to [dst] (the
+    intermediate endpoints, [src] first, [dst] last); [None] if the
+    surviving graph disconnects them. The number of routes traversed is
+    [length - 1]. *)
+
+val route_survives : t -> src:int -> dst:int -> bool
+(** Is [rho(src, dst)] defined and unaffected by the current
+    faults? *)

@@ -1,0 +1,184 @@
+open Ftr_graph
+open Ftr_core
+
+type config = {
+  hop_latency : float;
+  endpoint_overhead : float;
+  nack_latency : float;
+}
+
+let default_config = { hop_latency = 1.0; endpoint_overhead = 10.0; nack_latency = 5.0 }
+
+let finish sim msg status on_done =
+  msg.Message.status <- status;
+  if status = Message.Delivered then msg.Message.delivered_at <- Sim.now sim;
+  match on_done with Some f -> f msg | None -> ()
+
+(* Endpoint processing model: a fixed per-route overhead, or a shared
+   FIFO server per node (the queued variant). *)
+type endpoint = Fixed | Queued of Queueing.t
+
+let process endpoint sim config ~node k =
+  match endpoint with
+  | Fixed -> Sim.schedule sim ~delay:config.endpoint_overhead k
+  | Queued servers -> Queueing.enqueue servers sim ~node k
+
+(* Traverse the remaining waypoint list; each step re-reads the fault
+   state, so crashes that happen mid-flight force a re-plan. A message
+   sitting at a node that crashed is lost; the sender's end-to-end
+   timeout retransmits from the source. *)
+let rec traverse sim net endpoint config msg waypoints on_done =
+  match waypoints with
+  | [] -> finish sim msg Message.Delivered on_done
+  | a :: _ when Network.is_faulty net a ->
+      msg.Message.retries <- msg.Message.retries + 1;
+      Sim.schedule sim ~delay:config.nack_latency (fun () ->
+          replan sim net endpoint config msg ~from:msg.Message.src on_done)
+  | [ _ ] -> finish sim msg Message.Delivered on_done
+  | a :: (b :: _ as rest) ->
+      if Network.route_survives net ~src:a ~dst:b then begin
+        let p = Option.get (Routing.find (Network.routing net) a b) in
+        msg.Message.routes_traversed <- msg.Message.routes_traversed + 1;
+        msg.Message.hops <- msg.Message.hops + Path.length p;
+        let transit = config.hop_latency *. float_of_int (Path.length p) in
+        Sim.schedule sim ~delay:transit (fun () ->
+            process endpoint sim config ~node:b (fun () ->
+                traverse sim net endpoint config msg rest on_done))
+      end
+      else begin
+        (* Route died under us: pay the detection cost and re-plan
+           from the current node. *)
+        msg.Message.retries <- msg.Message.retries + 1;
+        Sim.schedule sim ~delay:config.nack_latency (fun () ->
+            replan sim net endpoint config msg ~from:a on_done)
+      end
+
+and replan sim net endpoint config msg ~from on_done =
+  if Network.is_faulty net from || Network.is_faulty net msg.Message.dst then
+    finish sim msg Message.Undeliverable on_done
+  else
+    match Network.route_plan net ~src:from ~dst:msg.Message.dst with
+    | None -> finish sim msg Message.Undeliverable on_done
+    | Some waypoints -> traverse sim net endpoint config msg waypoints on_done
+
+let send_with sim net endpoint config ?on_done ~id ~src ~dst () =
+  let msg = Message.make ~id ~src ~dst ~sent_at:(Sim.now sim) in
+  if Network.is_faulty net src then begin
+    finish sim msg Message.Undeliverable on_done;
+    msg
+  end
+  else if src = dst then begin
+    finish sim msg Message.Delivered on_done;
+    msg
+  end
+  else begin
+    (* Optimistically try the fixed direct route first; otherwise we
+       pay one failed attempt before re-planning, as a sender with a
+       stale table would. *)
+    if Network.route_survives net ~src ~dst then
+      traverse sim net endpoint config msg [ src; dst ] on_done
+    else if Routing.mem (Network.routing net) src dst then begin
+      msg.Message.retries <- msg.Message.retries + 1;
+      Sim.schedule sim ~delay:config.nack_latency (fun () ->
+          replan sim net endpoint config msg ~from:src on_done)
+    end
+    else replan sim net endpoint config msg ~from:src on_done;
+    msg
+  end
+
+let send sim net config ?on_done ~id ~src ~dst () =
+  send_with sim net Fixed config ?on_done ~id ~src ~dst ()
+
+let send_queued sim net servers config ?on_done ~id ~src ~dst () =
+  send_with sim net (Queued servers) config ?on_done ~id ~src ~dst ()
+
+type broadcast_result = { reached : int; rounds : int }
+
+let broadcast net ~origin ~counter_bound =
+  if Network.is_faulty net origin then invalid_arg "Protocol.broadcast: faulty origin";
+  let dg = Network.surviving net in
+  let n = Digraph.n dg in
+  let counter = Array.make n (-1) in
+  counter.(origin) <- 0;
+  let frontier = ref [ origin ] in
+  let rounds = ref 0 in
+  (* Synchronous flooding rounds: every holder forwards along all of
+     its surviving routes; the route counter is the round number. *)
+  while !frontier <> [] && !rounds < counter_bound do
+    incr rounds;
+    let next = ref [] in
+    List.iter
+      (fun u ->
+        Array.iter
+          (fun v ->
+            if counter.(v) < 0 && not (Network.is_faulty net v) then begin
+              counter.(v) <- !rounds;
+              next := v :: !next
+            end)
+          (Digraph.succ dg u))
+      !frontier;
+    if !next = [] then decr rounds (* last round reached nobody new *);
+    frontier := !next
+  done;
+  let reached = Array.fold_left (fun acc c -> if c >= 0 then acc + 1 else acc) 0 counter in
+  { reached; rounds = !rounds }
+
+type async_broadcast_result = {
+  a_reached : int;
+  a_copies : int;
+  a_finished_at : float;
+}
+
+let broadcast_async sim net config ~origin ~counter_bound =
+  if Network.is_faulty net origin then
+    invalid_arg "Protocol.broadcast_async: faulty origin";
+  let n = Graph.n (Network.graph net) in
+  let received = Array.make n false in
+  let copies = ref 0 in
+  let finished_at = ref (Sim.now sim) in
+  let rec arrive node counter =
+    if (not (Network.is_faulty net node)) && not received.(node) then begin
+      received.(node) <- true;
+      finished_at := Sim.now sim;
+      if counter < counter_bound then
+        (* Forward along every surviving fixed route out of this node;
+           each copy pays the route's transit plus endpoint cost. *)
+        Routing.iter
+          (fun src dst p ->
+            if src = node && not (Path.hits p (Network.faults net)) then begin
+              incr copies;
+              let cost =
+                config.endpoint_overhead
+                +. (config.hop_latency *. float_of_int (Path.length p))
+              in
+              Sim.schedule sim ~delay:cost (fun () -> arrive dst (counter + 1))
+            end)
+          (Network.routing net)
+    end
+  in
+  arrive origin 0;
+  Sim.run sim;
+  {
+    a_reached = Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 received;
+    a_copies = !copies;
+    a_finished_at = !finished_at;
+  }
+
+let deliver_all_with sender sim entries =
+  let acc = ref [] in
+  List.iteri
+    (fun id (time, src, dst) ->
+      Sim.at sim ~time (fun () ->
+          let msg = sender ~id ~src ~dst () in
+          acc := msg :: !acc))
+    entries;
+  Sim.run sim;
+  List.sort (fun a b -> compare a.Message.id b.Message.id) !acc
+
+let deliver_all sim net config entries =
+  deliver_all_with (fun ~id ~src ~dst () -> send sim net config ~id ~src ~dst ()) sim entries
+
+let deliver_all_queued sim net servers config entries =
+  deliver_all_with
+    (fun ~id ~src ~dst () -> send_queued sim net servers config ~id ~src ~dst ())
+    sim entries

@@ -1,0 +1,96 @@
+(** Message forwarding over fixed routes, with rerouting through
+    surviving routes (Section 1 of the paper).
+
+    A message travels along a {e sequence of routes}: each route is
+    traversed link by link ([hop_latency] per link) and incurs a fixed
+    [endpoint_overhead] at its endpoint (the encryption / error
+    correction processing the paper describes as dominating). When the
+    fixed route between source and destination is dead, the sender
+    pays [nack_latency] to discover it (one [retry]) and re-plans via
+    a shortest sequence of surviving routes. *)
+
+type config = {
+  hop_latency : float;
+  endpoint_overhead : float;
+  nack_latency : float;
+}
+
+val default_config : config
+(** hop 1.0, endpoint 10.0, nack 5.0 — endpoint processing dominates,
+    matching the paper's cost model. *)
+
+val send :
+  Sim.t ->
+  Network.t ->
+  config ->
+  ?on_done:(Message.t -> unit) ->
+  id:int ->
+  src:int ->
+  dst:int ->
+  unit ->
+  Message.t
+(** Schedule the delivery of one message starting now. The returned
+    record is filled in as the simulation runs; [on_done] fires at
+    delivery or at the undeliverable verdict. Faults are read at each
+    route boundary, so crashes occurring mid-flight are observed. *)
+
+val send_queued :
+  Sim.t ->
+  Network.t ->
+  Queueing.t ->
+  config ->
+  ?on_done:(Message.t -> unit) ->
+  id:int ->
+  src:int ->
+  dst:int ->
+  unit ->
+  Message.t
+(** Like {!send} but endpoint processing goes through the shared
+    per-node FIFO servers instead of costing a fixed
+    [endpoint_overhead]: concurrent routes through a hot endpoint
+    queue up behind each other. *)
+
+val deliver_all_queued :
+  Sim.t ->
+  Network.t ->
+  Queueing.t ->
+  config ->
+  (float * int * int) list ->
+  Message.t list
+
+type broadcast_result = {
+  reached : int;  (** non-faulty nodes that received the message *)
+  rounds : int;
+      (** largest route counter used; bounded by the surviving
+          diameter (Section 1's table-rebuild argument) *)
+}
+
+val broadcast : Network.t -> origin:int -> counter_bound:int -> broadcast_result
+(** Route-counter flooding: every node that first receives the
+    message with counter [c] forwards it along all of its surviving
+    routes with counter [c + 1]; copies whose counter would exceed
+    [counter_bound] are discarded. Synchronous-round abstraction. *)
+
+type async_broadcast_result = {
+  a_reached : int;
+  a_copies : int;  (** total message copies transmitted *)
+  a_finished_at : float;  (** virtual time of the last delivery *)
+}
+
+val broadcast_async :
+  Sim.t -> Network.t -> config -> origin:int -> counter_bound:int ->
+  async_broadcast_result
+(** The same protocol run as actual timed messages on the simulator:
+    each forwarded copy pays its route's transit and endpoint costs,
+    so arrival order depends on route lengths rather than rounds.
+    Counters still bound the flooding exactly as in Section 1. *)
+
+val deliver_all :
+  Sim.t ->
+  Network.t ->
+  config ->
+  (float * int * int) list ->
+  Message.t list
+(** Schedule one send per [(time, src, dst)] triple, run the
+    simulation to completion, and return the messages (in input
+    order). *)

@@ -1,0 +1,34 @@
+type t = {
+  service : float;
+  busy_until : float array;
+  served : int array;
+  mutable total_wait : float;
+}
+
+let create ~n ~service_time =
+  if service_time < 0.0 then invalid_arg "Queueing.create: negative service time";
+  {
+    service = service_time;
+    busy_until = Array.make n 0.0;
+    served = Array.make n 0;
+    total_wait = 0.0;
+  }
+
+let service_time t = t.service
+
+let enqueue t sim ~node k =
+  let now = Sim.now sim in
+  let start = Float.max now t.busy_until.(node) in
+  t.total_wait <- t.total_wait +. (start -. now);
+  t.busy_until.(node) <- start +. t.service;
+  t.served.(node) <- t.served.(node) + 1;
+  Sim.at sim ~time:(start +. t.service) k
+
+let served t = Array.fold_left ( + ) 0 t.served
+let served_at t node = t.served.(node)
+let total_wait t = t.total_wait
+
+let busiest t =
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > t.served.(!best) then best := i) t.served;
+  (!best, t.served.(!best))

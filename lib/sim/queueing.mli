@@ -1,0 +1,31 @@
+(** Per-node endpoint servers with FIFO queueing.
+
+    The paper's cost model has per-route endpoint processing
+    (encryption, error-correction) dominating transmission time. Under
+    load that processing is a shared resource: each node serves one
+    message at a time, so concurrent routes through the same endpoint
+    queue up. This module models that as a busy-until server per
+    node. *)
+
+type t
+
+val create : n:int -> service_time:float -> t
+
+val service_time : t -> float
+
+val enqueue : t -> Sim.t -> node:int -> (unit -> unit) -> unit
+(** Schedule the continuation for when the node's server has finished
+    all earlier work plus one service time for this job. *)
+
+val served : t -> int
+(** Jobs completed or scheduled so far. *)
+
+val served_at : t -> int -> int
+(** Jobs at one node. *)
+
+val total_wait : t -> float
+(** Cumulative time jobs spent waiting behind earlier jobs (excluding
+    their own service). *)
+
+val busiest : t -> int * int
+(** [(node, jobs)] with the most jobs served. *)

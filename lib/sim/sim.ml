@@ -1,0 +1,40 @@
+type t = {
+  queue : (unit -> unit) Heap.t;
+  mutable clock : float;
+  mutable executed : int;
+}
+
+let create () = { queue = Heap.create (); clock = 0.0; executed = 0 }
+let now t = t.clock
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  Heap.push t.queue (t.clock +. delay) f
+
+let at t ~time f =
+  if time < t.clock then invalid_arg "Sim.at: time in the past";
+  Heap.push t.queue time f
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.executed <- t.executed + 1;
+      f ();
+      true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> not (Heap.is_empty t.queue)
+    | Some limit -> (
+        match Heap.peek t.queue with
+        | None -> false
+        | Some (time, _) -> time <= limit)
+  in
+  while continue () do
+    ignore (step t)
+  done
+
+let events_executed t = t.executed

@@ -1,0 +1,23 @@
+(** Discrete-event simulation core: a virtual clock and an event
+    queue of closures. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Enqueue an event [delay >= 0] time units from now. *)
+
+val at : t -> time:float -> (unit -> unit) -> unit
+(** Enqueue an event at an absolute time [>= now]. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the queue (or stop once the clock would pass [until]);
+    events may schedule further events. *)
+
+val step : t -> bool
+(** Execute one event; false when the queue is empty. *)
+
+val events_executed : t -> int

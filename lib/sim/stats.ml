@@ -1,0 +1,57 @@
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let summarize values =
+  match values with
+  | [] -> None
+  | _ ->
+      let sorted = Array.of_list values in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      let total = Array.fold_left ( +. ) 0.0 sorted in
+      Some
+        {
+          count = n;
+          mean = total /. float_of_int n;
+          min = sorted.(0);
+          max = sorted.(n - 1);
+          p50 = percentile sorted 50.0;
+          p95 = percentile sorted 95.0;
+          p99 = percentile sorted 99.0;
+        }
+
+let of_ints values = summarize (List.map float_of_int values)
+
+let histogram ~buckets values =
+  match (values, buckets) with
+  | [], _ | _, 0 -> []
+  | _ ->
+      let lo = List.fold_left min infinity values in
+      let hi = List.fold_left max neg_infinity values in
+      let width = if hi > lo then (hi -. lo) /. float_of_int buckets else 1.0 in
+      let counts = Array.make buckets 0 in
+      List.iter
+        (fun v ->
+          let i = min (buckets - 1) (int_of_float ((v -. lo) /. width)) in
+          counts.(i) <- counts.(i) + 1)
+        values;
+      List.init buckets (fun i ->
+          ( lo +. (width *. float_of_int i),
+            lo +. (width *. float_of_int (i + 1)),
+            counts.(i) ))
+
+let pp_summary ppf s =
+  Fmt.pf ppf "n=%d mean=%.2f min=%.0f p50=%.0f p95=%.0f p99=%.0f max=%.0f" s.count
+    s.mean s.min s.p50 s.p95 s.p99 s.max

@@ -1,0 +1,23 @@
+(** Summary statistics for simulation measurements. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary option
+(** [None] on the empty list. Percentiles by the nearest-rank
+    method. *)
+
+val of_ints : int list -> summary option
+
+val histogram : buckets:int -> float list -> (float * float * int) list
+(** Equal-width buckets [(lo, hi, count)] spanning [min, max]; empty
+    input gives []. *)
+
+val pp_summary : Format.formatter -> summary -> unit

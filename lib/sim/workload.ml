@@ -1,0 +1,61 @@
+type entry = float * int * int
+
+let all_pairs ~n ~spacing =
+  let acc = ref [] in
+  let k = ref 0 in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then begin
+        acc := (spacing *. float_of_int !k, src, dst) :: !acc;
+        incr k
+      end
+    done
+  done;
+  List.rev !acc
+
+let random_pair rng n =
+  let src = Random.State.int rng n in
+  let rec pick () =
+    let dst = Random.State.int rng n in
+    if dst = src then pick () else dst
+  in
+  (src, pick ())
+
+let uniform ~rng ~n ~count ~horizon =
+  if n < 2 then invalid_arg "Workload.uniform: need n >= 2";
+  let entries =
+    List.init count (fun _ ->
+        let src, dst = random_pair rng n in
+        (Random.State.float rng horizon, src, dst))
+  in
+  List.sort compare entries
+
+let hotspot ~rng ~n ~hub ~fraction ~count ~horizon =
+  if n < 2 then invalid_arg "Workload.hotspot: need n >= 2";
+  let entries =
+    List.init count (fun _ ->
+        let time = Random.State.float rng horizon in
+        if Random.State.float rng 1.0 < fraction then begin
+          let rec pick () =
+            let src = Random.State.int rng n in
+            if src = hub then pick () else src
+          in
+          (time, pick (), hub)
+        end
+        else
+          let src, dst = random_pair rng n in
+          (time, src, dst))
+  in
+  List.sort compare entries
+
+let permutation ~rng ~n ~at =
+  let perm = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  Array.to_list perm
+  |> List.mapi (fun src dst -> (at, src, dst))
+  |> List.filter (fun (_, src, dst) -> src <> dst)

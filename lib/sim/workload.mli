@@ -1,0 +1,26 @@
+(** Traffic generators: lists of [(time, src, dst)] send requests. *)
+
+type entry = float * int * int
+
+val all_pairs : n:int -> spacing:float -> entry list
+(** Every ordered pair once, staggered [spacing] apart. *)
+
+val uniform : rng:Random.State.t -> n:int -> count:int -> horizon:float -> entry list
+(** [count] random distinct-endpoint pairs at uniform times in
+    [0, horizon). *)
+
+val hotspot :
+  rng:Random.State.t ->
+  n:int ->
+  hub:int ->
+  fraction:float ->
+  count:int ->
+  horizon:float ->
+  entry list
+(** Like {!uniform} but each message targets [hub] with probability
+    [fraction] (a server node). *)
+
+val permutation : rng:Random.State.t -> n:int -> at:float -> entry list
+(** A random permutation workload: every node sends one message, the
+    destination pattern is a uniformly random derangement-ish
+    permutation (fixed points skipped). *)

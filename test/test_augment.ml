@@ -1,0 +1,94 @@
+open Ftr_graph
+open Ftr_core
+
+let test_adds_clique () =
+  let g = Families.cycle 12 in
+  let r = Augment.clique_concentrator ~m:[ 0; 6 ] g ~t:1 in
+  Alcotest.(check int) "one edge added" 1 (List.length r.Augment.added);
+  Alcotest.(check bool) "0-6 now an edge" true (Graph.mem_edge r.Augment.augmented 0 6);
+  Alcotest.(check bool) "original untouched" false (Graph.mem_edge g 0 6)
+
+let test_edge_cap () =
+  (* at most t(t+1)/2 edges are needed when |M| = t+1 *)
+  let g = Families.torus 5 5 in
+  let r = Augment.clique_concentrator g ~t:3 in
+  Alcotest.(check bool) "cap" true (List.length r.Augment.added <= 3 * 4 / 2)
+
+let test_existing_edges_not_duplicated () =
+  let g = Families.cycle 6 in
+  (* M = {0, 3}: not adjacent; M = {0,1,3} via explicit m with a pair
+     already adjacent *)
+  let r = Augment.clique_concentrator ~m:[ 0; 1; 3 ] g ~t:1 in
+  Alcotest.(check int) "only missing pairs" 2 (List.length r.Augment.added)
+
+let test_claims_3_t () =
+  let g = Families.cycle 12 in
+  let r = Augment.clique_concentrator g ~t:1 in
+  let claim = List.hd r.Augment.construction.Construction.claims in
+  Alcotest.(check int) "bound 3" 3 claim.Construction.diameter_bound;
+  Alcotest.(check int) "faults t" 1 claim.Construction.max_faults;
+  Alcotest.(check string) "name" "kernel+clique" r.Augment.construction.Construction.name
+
+let test_exhaustive_bound_3 () =
+  let g = Families.cycle 12 in
+  let r = Augment.clique_concentrator g ~t:1 in
+  let v = Tolerance.exhaustive r.Augment.construction.Construction.routing ~f:1 in
+  Alcotest.(check bool) "within 3" true (Tolerance.respects v ~bound:3)
+
+let test_exhaustive_ccc3 () =
+  let g = Families.ccc 3 in
+  let r = Augment.clique_concentrator g ~t:2 in
+  let v = Tolerance.exhaustive r.Augment.construction.Construction.routing ~f:2 in
+  Alcotest.(check bool) "within 3" true (Tolerance.respects v ~bound:3)
+
+let test_ring_adds_linear_edges () =
+  let g = Families.torus 5 5 in
+  let clique = Augment.clique_concentrator g ~t:3 in
+  let ring = Augment.ring_concentrator g ~t:3 in
+  let m = List.length ring.Augment.construction.Construction.concentrator in
+  Alcotest.(check bool) "ring adds <= |M| edges" true
+    (List.length ring.Augment.added <= m);
+  Alcotest.(check bool) "ring adds fewer than clique" true
+    (List.length ring.Augment.added <= List.length clique.Augment.added);
+  Alcotest.(check int) "ring makes no claim" 0
+    (List.length ring.Augment.construction.Construction.claims)
+
+let test_ring_two_member_separator () =
+  let g = Families.cycle 12 in
+  let r = Augment.ring_concentrator ~m:[ 0; 6 ] g ~t:1 in
+  Alcotest.(check (list (pair int int))) "single joining edge" [ (0, 6) ] r.Augment.added
+
+let test_ring_measured_tolerance () =
+  (* No theorem covers this; measure it. The kernel base guarantees
+     max(2t,4) regardless, so the ring can only help. *)
+  let g = Families.ccc 3 in
+  let r = Augment.ring_concentrator g ~t:2 in
+  let v = Tolerance.exhaustive r.Augment.construction.Construction.routing ~f:2 in
+  Alcotest.(check bool) "within the kernel bound" true (Tolerance.respects v ~bound:4)
+
+let test_routing_lives_on_augmented () =
+  let g = Families.cycle 12 in
+  let r = Augment.clique_concentrator ~m:[ 0; 6 ] g ~t:1 in
+  let routing = r.Augment.construction.Construction.routing in
+  Alcotest.(check bool) "graph is augmented" true
+    (Graph.equal (Routing.graph routing) r.Augment.augmented);
+  (* the clique edge itself is a route *)
+  Alcotest.(check bool) "direct M route" true (Routing.mem routing 0 6)
+
+let () =
+  Alcotest.run "augment"
+    [
+      ( "augment",
+        [
+          Alcotest.test_case "adds clique" `Quick test_adds_clique;
+          Alcotest.test_case "edge cap" `Quick test_edge_cap;
+          Alcotest.test_case "no duplicates" `Quick test_existing_edges_not_duplicated;
+          Alcotest.test_case "claims (3,t)" `Quick test_claims_3_t;
+          Alcotest.test_case "exhaustive cycle" `Quick test_exhaustive_bound_3;
+          Alcotest.test_case "exhaustive ccc3" `Slow test_exhaustive_ccc3;
+          Alcotest.test_case "augmented routing" `Quick test_routing_lives_on_augmented;
+          Alcotest.test_case "ring: O(t) edges" `Quick test_ring_adds_linear_edges;
+          Alcotest.test_case "ring: |M|=2" `Quick test_ring_two_member_separator;
+          Alcotest.test_case "ring: measured" `Slow test_ring_measured_tolerance;
+        ] );
+    ]

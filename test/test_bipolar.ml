@@ -1,0 +1,108 @@
+open Ftr_graph
+open Ftr_core
+
+let test_uni_structure () =
+  let g = Families.cycle 12 in
+  let c = Bipolar.make_unidirectional g ~t:1 in
+  Alcotest.(check bool) "valid" true (Routing.validate c.Construction.routing = Ok ());
+  Alcotest.(check int) "claim bound" 4
+    (List.hd c.Construction.claims).Construction.diameter_bound;
+  (* concentrator is Gamma(r1) + Gamma(r2): 4 vertices on a cycle *)
+  Alcotest.(check int) "concentrator" 4 (List.length c.Construction.concentrator)
+
+let test_bi_structure () =
+  let g = Families.cycle 12 in
+  let c = Bipolar.make_bidirectional g ~t:1 in
+  Alcotest.(check bool) "valid" true (Routing.validate c.Construction.routing = Ok ());
+  Alcotest.(check int) "claim bound" 5
+    (List.hd c.Construction.claims).Construction.diameter_bound
+
+let test_uni_exhaustive () =
+  let g = Families.cycle 12 in
+  let c = Bipolar.make_unidirectional g ~t:1 in
+  let v = Tolerance.exhaustive c.Construction.routing ~f:1 in
+  Alcotest.(check bool) "within 4" true (Tolerance.respects v ~bound:4)
+
+let test_bi_exhaustive () =
+  let g = Families.cycle 12 in
+  let c = Bipolar.make_bidirectional g ~t:1 in
+  let v = Tolerance.exhaustive c.Construction.routing ~f:1 in
+  Alcotest.(check bool) "within 5" true (Tolerance.respects v ~bound:5)
+
+let test_ccc5_pairs () =
+  (* t = 2 on CCC(5): check all pairs drawn from the adversarial pools
+     plus a random sample rather than the full C(160,2) space. *)
+  let g = Families.ccc 5 in
+  let c = Bipolar.make_unidirectional g ~t:2 in
+  let v = Tolerance.adversarial c.Construction.routing ~f:2 ~pools:c.Construction.pools in
+  Alcotest.(check bool) "pools within 4" true (Tolerance.respects v ~bound:4);
+  let rng = Random.State.make [| 9 |] in
+  let vr = Tolerance.random c.Construction.routing ~f:2 ~rng ~samples:100 in
+  Alcotest.(check bool) "random within 4" true (Tolerance.respects vr ~bound:4)
+
+let test_explicit_roots_validated () =
+  let g = Families.cycle 12 in
+  Alcotest.check_raises "bad roots"
+    (Invalid_argument "Bipolar: supplied roots fail the two-trees property") (fun () ->
+      ignore (Bipolar.make_unidirectional ~roots:(0, 2) g ~t:1))
+
+let test_no_roots_rejected () =
+  let g = Families.hypercube 3 in
+  Alcotest.check_raises "no two-trees"
+    (Invalid_argument "Bipolar: graph lacks the two-trees property") (fun () ->
+      ignore (Bipolar.make_unidirectional g ~t:2))
+
+let test_uni_covers_m1_from_everywhere () =
+  let g = Families.cycle 12 in
+  let c = Bipolar.make_unidirectional ~roots:(0, 6) g ~t:1 in
+  let r = c.Construction.routing in
+  let m1 = Array.to_list (Graph.neighbors g 0) in
+  Graph.iter_vertices
+    (fun x ->
+      if not (List.mem x m1) then
+        Alcotest.(check bool)
+          (Printf.sprintf "%d routes into M1" x)
+          true
+          (List.exists (fun y -> Routing.mem r x y) m1))
+    g
+
+let test_uni_property_bpol3 () =
+  (* Property B-POL 3: every node outside M has an in-neighbor in M in
+     the fault-free surviving graph. *)
+  let g = Families.cycle 12 in
+  let c = Bipolar.make_unidirectional ~roots:(0, 6) g ~t:1 in
+  let m = c.Construction.concentrator in
+  let faults = Bitset.create 12 in
+  let dg = Surviving.graph c.Construction.routing ~faults in
+  Graph.iter_vertices
+    (fun x ->
+      if not (List.mem x m) then
+        Alcotest.(check bool)
+          (Printf.sprintf "M -> %d" x)
+          true
+          (List.exists (fun y -> Digraph.mem_arc dg y x) m))
+    g
+
+let test_bi_symmetric_surviving () =
+  let g = Families.cycle 12 in
+  let c = Bipolar.make_bidirectional g ~t:1 in
+  let dg = Surviving.graph c.Construction.routing ~faults:(Bitset.create 12) in
+  Alcotest.(check bool) "symmetric" true (Digraph.is_symmetric dg)
+
+let () =
+  Alcotest.run "bipolar"
+    [
+      ( "bipolar",
+        [
+          Alcotest.test_case "uni structure" `Quick test_uni_structure;
+          Alcotest.test_case "bi structure" `Quick test_bi_structure;
+          Alcotest.test_case "uni exhaustive" `Quick test_uni_exhaustive;
+          Alcotest.test_case "bi exhaustive" `Quick test_bi_exhaustive;
+          Alcotest.test_case "ccc5 adversarial" `Slow test_ccc5_pairs;
+          Alcotest.test_case "explicit roots validated" `Quick test_explicit_roots_validated;
+          Alcotest.test_case "no roots rejected" `Quick test_no_roots_rejected;
+          Alcotest.test_case "covers M1" `Quick test_uni_covers_m1_from_everywhere;
+          Alcotest.test_case "Property B-POL 3" `Quick test_uni_property_bpol3;
+          Alcotest.test_case "bi symmetric" `Quick test_bi_symmetric_surviving;
+        ] );
+    ]

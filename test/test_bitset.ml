@@ -1,0 +1,106 @@
+open Ftr_graph
+
+let test_empty () =
+  let s = Bitset.create 100 in
+  Alcotest.(check bool) "is_empty" true (Bitset.is_empty s);
+  Alcotest.(check int) "cardinal" 0 (Bitset.cardinal s);
+  Alcotest.(check int) "capacity" 100 (Bitset.capacity s);
+  Alcotest.(check (option int)) "choose" None (Bitset.choose s)
+
+let test_add_remove () =
+  let s = Bitset.create 100 in
+  Bitset.add s 5;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  Alcotest.(check bool) "mem 5" true (Bitset.mem s 5);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem s 63);
+  Alcotest.(check bool) "mem 64" true (Bitset.mem s 64);
+  Alcotest.(check bool) "mem 6" false (Bitset.mem s 6);
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal s);
+  Bitset.remove s 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 63);
+  Alcotest.(check int) "cardinal after remove" 3 (Bitset.cardinal s);
+  Bitset.remove s 63;
+  Alcotest.(check int) "idempotent remove" 3 (Bitset.cardinal s)
+
+let test_add_idempotent () =
+  let s = Bitset.create 10 in
+  Bitset.add s 3;
+  Bitset.add s 3;
+  Alcotest.(check int) "cardinal" 1 (Bitset.cardinal s)
+
+let test_out_of_range () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "add -1" (Invalid_argument "Bitset: element -1 out of [0,10)")
+    (fun () -> Bitset.add s (-1));
+  Alcotest.check_raises "mem 10" (Invalid_argument "Bitset: element 10 out of [0,10)")
+    (fun () -> ignore (Bitset.mem s 10))
+
+let test_elements_sorted () =
+  let s = Bitset.of_list 200 [ 150; 3; 77; 3; 0 ] in
+  Alcotest.(check (list int)) "sorted unique" [ 0; 3; 77; 150 ] (Bitset.elements s)
+
+let test_iter_order () =
+  let s = Bitset.of_list 128 [ 127; 0; 64; 63 ] in
+  let acc = ref [] in
+  Bitset.iter (fun i -> acc := i :: !acc) s;
+  Alcotest.(check (list int)) "increasing" [ 0; 63; 64; 127 ] (List.rev !acc)
+
+let test_set_ops () =
+  let a = Bitset.of_list 64 [ 1; 2; 3 ] in
+  let b = Bitset.of_list 64 [ 3; 4 ] in
+  let u = Bitset.copy a in
+  Bitset.union_into u b;
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ] (Bitset.elements u);
+  let i = Bitset.copy a in
+  Bitset.inter_into i b;
+  Alcotest.(check (list int)) "inter" [ 3 ] (Bitset.elements i);
+  let d = Bitset.copy a in
+  Bitset.diff_into d b;
+  Alcotest.(check (list int)) "diff" [ 1; 2 ] (Bitset.elements d)
+
+let test_subset_disjoint () =
+  let a = Bitset.of_list 32 [ 1; 2 ] in
+  let b = Bitset.of_list 32 [ 1; 2; 9 ] in
+  let c = Bitset.of_list 32 [ 5 ] in
+  Alcotest.(check bool) "a subset b" true (Bitset.subset a b);
+  Alcotest.(check bool) "b not subset a" false (Bitset.subset b a);
+  Alcotest.(check bool) "a disjoint c" true (Bitset.disjoint a c);
+  Alcotest.(check bool) "a not disjoint b" false (Bitset.disjoint a b)
+
+let test_equal_copy () =
+  let a = Bitset.of_list 32 [ 7; 8 ] in
+  let b = Bitset.copy a in
+  Alcotest.(check bool) "copies equal" true (Bitset.equal a b);
+  Bitset.add b 9;
+  Alcotest.(check bool) "copy independent" false (Bitset.equal a b)
+
+let test_clear () =
+  let s = Bitset.of_list 32 [ 1; 5; 31 ] in
+  Bitset.clear s;
+  Alcotest.(check bool) "empty after clear" true (Bitset.is_empty s)
+
+let test_capacity_mismatch () =
+  let a = Bitset.create 10 and b = Bitset.create 11 in
+  Alcotest.check_raises "equal mismatch" (Invalid_argument "Bitset: capacity mismatch")
+    (fun () -> ignore (Bitset.equal a b))
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add/remove" `Quick test_add_remove;
+          Alcotest.test_case "add idempotent" `Quick test_add_idempotent;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "elements sorted" `Quick test_elements_sorted;
+          Alcotest.test_case "iter order" `Quick test_iter_order;
+          Alcotest.test_case "set operations" `Quick test_set_ops;
+          Alcotest.test_case "subset/disjoint" `Quick test_subset_disjoint;
+          Alcotest.test_case "equal/copy" `Quick test_equal_copy;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "capacity mismatch" `Quick test_capacity_mismatch;
+        ] );
+    ]

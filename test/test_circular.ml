@@ -1,0 +1,118 @@
+open Ftr_graph
+open Ftr_core
+
+let test_required_k () =
+  Alcotest.(check int) "even t" 3 (Circular.required_k ~t:2);
+  Alcotest.(check int) "odd t" 3 (Circular.required_k ~t:1);
+  Alcotest.(check int) "t=4" 5 (Circular.required_k ~t:4);
+  Alcotest.(check int) "t=3" 5 (Circular.required_k ~t:3)
+
+let test_structure () =
+  let g = Families.torus 7 7 in
+  let m = Independent.greedy g in
+  let c = Circular.make ~m g ~t:3 in
+  Alcotest.(check bool) "valid routing" true (Routing.validate c.Construction.routing = Ok ());
+  Alcotest.(check (list int)) "concentrator" m c.Construction.concentrator;
+  let claim = List.hd c.Construction.claims in
+  Alcotest.(check int) "bound 6" 6 claim.Construction.diameter_bound;
+  Alcotest.(check int) "f = t" 3 claim.Construction.max_faults
+
+let test_rejects_small_m () =
+  let g = Families.torus 7 7 in
+  Alcotest.(check bool) "undersized rejected" true
+    (match Circular.make ~m:[ 0 ] g ~t:3 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_rejects_non_neighborhood_set () =
+  let g = Families.cycle 12 in
+  Alcotest.check_raises "adjacent members"
+    (Invalid_argument "Circular.make: M is not a neighborhood set") (fun () ->
+      ignore (Circular.make ~m:[ 0; 1; 6 ] g ~t:1))
+
+let test_exhaustive_cycle () =
+  (* cycle 12, t=1, K=4: exhaust all single faults *)
+  let g = Families.cycle 12 in
+  let c = Circular.make g ~t:1 in
+  let v = Tolerance.exhaustive c.Construction.routing ~f:1 in
+  Alcotest.(check bool) "within 6" true (Tolerance.respects v ~bound:6);
+  Alcotest.(check bool) "definitive" true v.Tolerance.definitive
+
+let test_exhaustive_ccc3_pairs () =
+  (* ccc(3): t = 2; all fault pairs. *)
+  let g = Families.ccc 3 in
+  let m = Independent.greedy g in
+  if List.length m >= Circular.required_k ~t:2 then begin
+    let c = Circular.make ~m g ~t:2 in
+    let v = Tolerance.exhaustive c.Construction.routing ~f:2 in
+    Alcotest.(check bool) "within 6" true (Tolerance.respects v ~bound:6)
+  end
+
+let test_outside_nodes_route_to_all_rings () =
+  let g = Families.cycle 12 in
+  let m = [ 0; 3; 6; 9 ] in
+  let c = Circular.make ~m g ~t:1 in
+  let r = c.Construction.routing in
+  (* vertex 0 is in M (outside Gamma): must have routes into every
+     ring's neighborhood *)
+  List.iter
+    (fun mi ->
+      let gamma = Array.to_list (Graph.neighbors g mi) in
+      let reached = List.filter (fun y -> Routing.mem r 0 y) gamma in
+      Alcotest.(check bool)
+        (Printf.sprintf "0 reaches Gamma(%d)" mi)
+        true
+        (List.length reached >= 2))
+    m
+
+let test_fringe_windows () =
+  (* x in Gamma_i must have routes to the next ceil(K/2)-1 rings and
+     not to itself-ring targets beyond edges. *)
+  let g = Families.cycle 12 in
+  let m = [ 0; 3; 6; 9 ] in
+  let c = Circular.make ~m g ~t:1 in
+  let r = c.Construction.routing in
+  (* 1 is in Gamma_0 = {1, 11}; window = 1: routes to Gamma_1 = {2,4} *)
+  Alcotest.(check bool) "1 -> Gamma_1 member" true
+    (Routing.mem r 1 2 || Routing.mem r 1 4)
+
+let test_window_override () =
+  let g = Families.ccc 4 in
+  let m = Independent.greedy g in
+  let narrow = Circular.make ~m ~window:1 g ~t:2 in
+  let wide = Circular.make ~m g ~t:2 in
+  Alcotest.(check bool) "fewer routes" true
+    (Routing.route_count narrow.Construction.routing
+    < Routing.route_count wide.Construction.routing);
+  Alcotest.(check bool) "still valid" true
+    (Routing.validate narrow.Construction.routing = Ok ());
+  (match narrow.Construction.structure with
+  | Construction.Neighborhood { window; _ } -> Alcotest.(check int) "window" 1 window
+  | _ -> Alcotest.fail "structure");
+  Alcotest.(check bool) "out of range rejected" true
+    (match Circular.make ~m ~window:99 g ~t:2 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_greedy_default () =
+  let g = Families.cycle 15 in
+  let c = Circular.make g ~t:1 in
+  Alcotest.(check int) "greedy K=5" 5 (List.length c.Construction.concentrator)
+
+let () =
+  Alcotest.run "circular"
+    [
+      ( "circular",
+        [
+          Alcotest.test_case "required_k" `Quick test_required_k;
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "rejects small M" `Quick test_rejects_small_m;
+          Alcotest.test_case "rejects bad M" `Quick test_rejects_non_neighborhood_set;
+          Alcotest.test_case "exhaustive cycle" `Quick test_exhaustive_cycle;
+          Alcotest.test_case "exhaustive ccc3" `Slow test_exhaustive_ccc3_pairs;
+          Alcotest.test_case "outside coverage" `Quick test_outside_nodes_route_to_all_rings;
+          Alcotest.test_case "fringe windows" `Quick test_fringe_windows;
+          Alcotest.test_case "window override" `Quick test_window_override;
+          Alcotest.test_case "greedy default" `Quick test_greedy_default;
+        ] );
+    ]

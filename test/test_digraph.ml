@@ -1,0 +1,61 @@
+open Ftr_graph
+
+let test_of_edges () =
+  let d = Digraph.of_edges ~n:3 [ (0, 1); (1, 2); (0, 1); (2, 2) ] in
+  Alcotest.(check int) "arcs deduped, self dropped" 2 (Digraph.arc_count d);
+  Alcotest.(check bool) "0->1" true (Digraph.mem_arc d 0 1);
+  Alcotest.(check bool) "1->0 absent" false (Digraph.mem_arc d 1 0)
+
+let test_builder () =
+  let b = Digraph.Builder.create 4 in
+  Digraph.Builder.add_arc b 0 1;
+  Digraph.Builder.add_arc b 1 0;
+  Digraph.Builder.add_arc b 3 2;
+  let d = Digraph.Builder.to_digraph b in
+  Alcotest.(check int) "arcs" 3 (Digraph.arc_count d);
+  Alcotest.(check (array int)) "succ 0" [| 1 |] (Digraph.succ d 0)
+
+let test_symmetric () =
+  let sym = Digraph.of_edges ~n:2 [ (0, 1); (1, 0) ] in
+  let asym = Digraph.of_edges ~n:2 [ (0, 1) ] in
+  Alcotest.(check bool) "symmetric" true (Digraph.is_symmetric sym);
+  Alcotest.(check bool) "asymmetric" false (Digraph.is_symmetric asym)
+
+let test_bfs_directed () =
+  (* 0 -> 1 -> 2, and 2 -> 0: distances follow arc direction. *)
+  let d = Digraph.of_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  let dist = Digraph.bfs d 0 in
+  Alcotest.(check (array int)) "dist from 0" [| 0; 1; 2 |] dist;
+  let dist2 = Digraph.bfs d 2 in
+  Alcotest.(check (array int)) "dist from 2" [| 1; 2; 0 |] dist2
+
+let test_bfs_unreachable () =
+  let d = Digraph.of_edges ~n:3 [ (0, 1) ] in
+  let dist = Digraph.bfs d 1 in
+  Alcotest.(check (array int)) "only self" [| -1; 0; -1 |] dist
+
+let test_bfs_allowed () =
+  let d = Digraph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3); (0, 3) ] in
+  let dist = Digraph.bfs d ~allowed:(fun v -> v <> 3) 0 in
+  Alcotest.(check int) "3 blocked" (-1) dist.(3);
+  Alcotest.(check int) "2 via 1" 2 dist.(2)
+
+let test_bfs_blocked_source () =
+  let d = Digraph.of_edges ~n:2 [ (0, 1) ] in
+  let dist = Digraph.bfs d ~allowed:(fun _ -> false) 0 in
+  Alcotest.(check (array int)) "all -1" [| -1; -1 |] dist
+
+let () =
+  Alcotest.run "digraph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "of_edges" `Quick test_of_edges;
+          Alcotest.test_case "builder" `Quick test_builder;
+          Alcotest.test_case "symmetric" `Quick test_symmetric;
+          Alcotest.test_case "bfs directed" `Quick test_bfs_directed;
+          Alcotest.test_case "bfs unreachable" `Quick test_bfs_unreachable;
+          Alcotest.test_case "bfs allowed" `Quick test_bfs_allowed;
+          Alcotest.test_case "bfs blocked source" `Quick test_bfs_blocked_source;
+        ] );
+    ]

@@ -1,0 +1,128 @@
+open Ftr_graph
+
+(* Shared checker: paths from src to dst, internally disjoint. *)
+let check_disjoint_family g ~src ~dst paths =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "src" src (Path.source p);
+      Alcotest.(check int) "dst" dst (Path.target p);
+      Alcotest.(check bool) "valid" true (Path.is_valid_in g p);
+      List.iter
+        (fun v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "interior %d unshared" v)
+            false (Hashtbl.mem seen v);
+          Hashtbl.add seen v ())
+        (Path.interior p))
+    paths
+
+let test_cycle_two_paths () =
+  let g = Families.cycle 6 in
+  let paths = Disjoint_paths.st_paths g ~src:0 ~dst:3 () in
+  Alcotest.(check int) "two ways around" 2 (List.length paths);
+  check_disjoint_family g ~src:0 ~dst:3 paths
+
+let test_hypercube_count () =
+  let g = Families.hypercube 4 in
+  let paths = Disjoint_paths.st_paths g ~src:0 ~dst:15 () in
+  Alcotest.(check int) "d paths" 4 (List.length paths);
+  check_disjoint_family g ~src:0 ~dst:15 paths
+
+let test_k_cap () =
+  let g = Families.hypercube 4 in
+  let paths = Disjoint_paths.st_paths g ~src:0 ~dst:15 ~k:2 () in
+  Alcotest.(check int) "capped" 2 (List.length paths);
+  check_disjoint_family g ~src:0 ~dst:15 paths
+
+let test_adjacent_includes_edge () =
+  let g = Families.complete 5 in
+  let paths = Disjoint_paths.st_paths g ~src:0 ~dst:1 () in
+  Alcotest.(check int) "n-1 paths" 4 (List.length paths);
+  Alcotest.(check bool) "direct edge present" true
+    (List.exists (fun p -> Path.length p = 1) paths);
+  check_disjoint_family g ~src:0 ~dst:1 paths
+
+let test_st_connectivity () =
+  let g = Families.petersen () in
+  Alcotest.(check int) "3-connected pair" 3
+    (Disjoint_paths.st_connectivity g ~src:0 ~dst:7 ());
+  Alcotest.(check int) "limited" 2
+    (Disjoint_paths.st_connectivity g ~src:0 ~dst:7 ~limit:2 ())
+
+let test_min_separator () =
+  let g = Families.cycle 8 in
+  let cut = Disjoint_paths.st_min_separator g ~src:0 ~dst:4 in
+  Alcotest.(check int) "size 2" 2 (List.length cut);
+  Alcotest.(check bool) "separates" true (Separator.separates g cut 0 4)
+
+let test_min_separator_adjacent_rejected () =
+  let g = Families.cycle 8 in
+  Alcotest.check_raises "adjacent"
+    (Invalid_argument "Disjoint_paths.st_min_separator: adjacent vertices") (fun () ->
+      ignore (Disjoint_paths.st_min_separator g ~src:0 ~dst:1))
+
+let test_fan_basic () =
+  let g = Families.torus 5 5 in
+  let targets = Array.to_list (Graph.neighbors g 12) in
+  let paths = Disjoint_paths.fan_to_set g ~src:0 ~targets () in
+  Alcotest.(check int) "four fans" 4 (List.length paths);
+  let target_set = Bitset.of_list 25 targets in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "src" 0 (Path.source p);
+      Alcotest.(check bool) "ends in target" true (Bitset.mem target_set (Path.target p));
+      Alcotest.(check bool) "valid" true (Path.is_valid_in g p);
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "interior avoids targets" false (Bitset.mem target_set v);
+          Alcotest.(check bool) "interior unshared" false (Hashtbl.mem seen v);
+          Hashtbl.add seen v ())
+        (Path.interior p))
+    paths;
+  let endpoints = List.map Path.target paths in
+  Alcotest.(check int) "distinct targets" 4 (List.length (List.sort_uniq compare endpoints))
+
+let test_fan_k_cap () =
+  let g = Families.torus 5 5 in
+  let targets = Array.to_list (Graph.neighbors g 12) in
+  Alcotest.(check int) "capped at 2" 2
+    (List.length (Disjoint_paths.fan_to_set g ~src:0 ~targets ~k:2 ()))
+
+let test_fan_src_is_target () =
+  let g = Families.cycle 4 in
+  Alcotest.check_raises "src in targets"
+    (Invalid_argument "Disjoint_paths.fan_to_set: src is a target") (fun () ->
+      ignore (Disjoint_paths.fan_to_set g ~src:0 ~targets:[ 0; 2 ] ()))
+
+let test_fan_more_targets_than_connectivity () =
+  (* On a cycle only 2 disjoint fans exist no matter how many targets. *)
+  let g = Families.cycle 10 in
+  let paths = Disjoint_paths.fan_to_set g ~src:0 ~targets:[ 3; 5; 7 ] () in
+  Alcotest.(check int) "two fans" 2 (List.length paths)
+
+let () =
+  Alcotest.run "disjoint_paths"
+    [
+      ( "st_paths",
+        [
+          Alcotest.test_case "cycle" `Quick test_cycle_two_paths;
+          Alcotest.test_case "hypercube count" `Quick test_hypercube_count;
+          Alcotest.test_case "k cap" `Quick test_k_cap;
+          Alcotest.test_case "adjacent includes edge" `Quick test_adjacent_includes_edge;
+        ] );
+      ( "st_connectivity",
+        [
+          Alcotest.test_case "petersen pair" `Quick test_st_connectivity;
+          Alcotest.test_case "min separator" `Quick test_min_separator;
+          Alcotest.test_case "adjacent rejected" `Quick test_min_separator_adjacent_rejected;
+        ] );
+      ( "fan_to_set",
+        [
+          Alcotest.test_case "basic" `Quick test_fan_basic;
+          Alcotest.test_case "k cap" `Quick test_fan_k_cap;
+          Alcotest.test_case "src is target" `Quick test_fan_src_is_target;
+          Alcotest.test_case "limited by connectivity" `Quick test_fan_more_targets_than_connectivity;
+        ] );
+    ]

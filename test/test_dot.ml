@@ -1,0 +1,52 @@
+open Ftr_graph
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_of_graph () =
+  let g = Families.cycle 3 in
+  let dot = Dot.of_graph g in
+  Alcotest.(check bool) "graph keyword" true (contains dot "graph G {");
+  Alcotest.(check bool) "edge 0--1" true (contains dot "0 -- 1;");
+  Alcotest.(check bool) "edge 0--2" true (contains dot "0 -- 2;");
+  Alcotest.(check bool) "closes" true (contains dot "}")
+
+let test_highlight () =
+  let dot = Dot.of_graph ~highlight:[ 1 ] (Families.cycle 3) in
+  Alcotest.(check bool) "vertex 1 filled" true
+    (contains dot "1 [label=\"1\" style=filled fillcolor=gold];")
+
+let test_labels () =
+  let dot = Dot.of_graph ~label:(fun v -> Printf.sprintf "v%d" v) (Families.cycle 3) in
+  Alcotest.(check bool) "custom label" true (contains dot "[label=\"v2\"]")
+
+let test_of_digraph () =
+  let d = Digraph.of_edges ~n:2 [ (0, 1) ] in
+  let dot = Dot.of_digraph d in
+  Alcotest.(check bool) "digraph keyword" true (contains dot "digraph G {");
+  Alcotest.(check bool) "arrow" true (contains dot "0 -> 1;")
+
+let test_groups () =
+  let dot =
+    Dot.with_colored_groups ~groups:[ ("M", [ 0 ]); ("Gamma", [ 1; 2 ]) ]
+      (Families.cycle 4)
+  in
+  Alcotest.(check bool) "legend" true (contains dot "// gold: M");
+  Alcotest.(check bool) "group color" true (contains dot "fillcolor=gold");
+  Alcotest.(check bool) "second color" true (contains dot "fillcolor=skyblue");
+  Alcotest.(check bool) "ungrouped plain" true (contains dot "3 [label=\"3\"];")
+
+let () =
+  Alcotest.run "dot"
+    [
+      ( "dot",
+        [
+          Alcotest.test_case "of_graph" `Quick test_of_graph;
+          Alcotest.test_case "highlight" `Quick test_highlight;
+          Alcotest.test_case "labels" `Quick test_labels;
+          Alcotest.test_case "of_digraph" `Quick test_of_digraph;
+          Alcotest.test_case "colored groups" `Quick test_groups;
+        ] );
+    ]

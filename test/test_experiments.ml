@@ -1,0 +1,87 @@
+open Ftr_analysis
+
+let quick_ctx = Experiments.default_context ~seed:42 ~quick:true ()
+
+let test_registry () =
+  Alcotest.(check int) "24 experiments" 24 (List.length Experiments.ids);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " described") true
+        (String.length (Experiments.describe id) > 0))
+    Experiments.ids
+
+let test_unknown_id () =
+  Alcotest.check_raises "describe" Not_found (fun () ->
+      ignore (Experiments.describe "E99"));
+  Alcotest.check_raises "run" Not_found (fun () ->
+      ignore (Experiments.run quick_ctx "E99"))
+
+let test_no_violations_in_core_claims () =
+  (* The cheapest theorem experiments, end to end. *)
+  List.iter
+    (fun id ->
+      let table = Experiments.run quick_ctx id in
+      Alcotest.(check bool) (id ^ " has rows") true (List.length table.Table.rows > 0);
+      Alcotest.(check (list string)) (id ^ " no violations") []
+        (List.concat_map
+           (fun row -> List.filter (fun c -> c = "VIOLATION") row)
+           table.Table.rows))
+    [ "E2"; "E5"; "E10"; "E12" ]
+
+let test_e8_bound_always_met () =
+  let table = Experiments.run quick_ctx "E8" in
+  List.iter
+    (fun row ->
+      Alcotest.(check string) "Lemma 15 met" "ok" (List.nth row 5))
+    table.Table.rows
+
+let test_figures_without_outdir () =
+  let table = Experiments.run quick_ctx "F1" in
+  Alcotest.(check int) "one row" 1 (List.length table.Table.rows)
+
+let test_figures_with_outdir () =
+  let dir = Filename.temp_file "ftr" "" in
+  Sys.remove dir;
+  let ctx = Experiments.default_context ~seed:42 ~quick:true ~out_dir:dir () in
+  let table = Experiments.run ctx "F3" in
+  let file = List.nth (List.hd table.Table.rows) 3 in
+  Alcotest.(check bool) "file written" true (Sys.file_exists file);
+  let ic = open_in file in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "dot preamble" "graph bipolar {" line
+
+let test_deterministic () =
+  let a = Experiments.run quick_ctx "E2" in
+  let b = Experiments.run quick_ctx "E2" in
+  Alcotest.(check bool) "same rows" true (a.Table.rows = b.Table.rows)
+
+let test_all_quick_experiments_clean () =
+  (* The whole harness in quick mode: no VIOLATION cell anywhere. *)
+  List.iter
+    (fun (id, table) ->
+      List.iter
+        (fun row ->
+          List.iter
+            (fun cell ->
+              if cell = "VIOLATION" then
+                Alcotest.failf "%s: %s" id (String.concat " | " row))
+            row)
+        table.Table.rows)
+    (Experiments.all quick_ctx)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "experiments",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "unknown id" `Quick test_unknown_id;
+          Alcotest.test_case "core claims clean" `Slow test_no_violations_in_core_claims;
+          Alcotest.test_case "E8 bound met" `Quick test_e8_bound_always_met;
+          Alcotest.test_case "figure no outdir" `Quick test_figures_without_outdir;
+          Alcotest.test_case "figure with outdir" `Quick test_figures_with_outdir;
+          Alcotest.test_case "deterministic" `Slow test_deterministic;
+          Alcotest.test_case "all quick experiments clean" `Slow test_all_quick_experiments_clean;
+        ] );
+    ]

@@ -1,0 +1,104 @@
+open Ftr_graph
+
+let check_graph name ~n ~m ~regular g =
+  Alcotest.(check int) (name ^ " n") n (Graph.n g);
+  Alcotest.(check int) (name ^ " m") m (Graph.m g);
+  (match regular with
+  | Some d ->
+      Alcotest.(check int) (name ^ " min deg") d (Graph.min_degree g);
+      Alcotest.(check int) (name ^ " max deg") d (Graph.max_degree g)
+  | None -> ());
+  Alcotest.(check bool) (name ^ " connected") true (Traversal.is_connected g)
+
+let test_basic_families () =
+  check_graph "path 5" ~n:5 ~m:4 ~regular:None (Families.path_graph 5);
+  check_graph "cycle 7" ~n:7 ~m:7 ~regular:(Some 2) (Families.cycle 7);
+  check_graph "complete 6" ~n:6 ~m:15 ~regular:(Some 5) (Families.complete 6);
+  check_graph "star 5" ~n:5 ~m:4 ~regular:None (Families.star 5);
+  check_graph "wheel 7" ~n:7 ~m:12 ~regular:None (Families.wheel 7);
+  check_graph "bipartite 3,4" ~n:7 ~m:12 ~regular:None (Families.complete_bipartite 3 4)
+
+let test_grids () =
+  check_graph "grid 3x4" ~n:12 ~m:17 ~regular:None (Families.grid 3 4);
+  check_graph "torus 4x5" ~n:20 ~m:40 ~regular:(Some 4) (Families.torus 4 5);
+  check_graph "torus3 3x3x3" ~n:27 ~m:81 ~regular:(Some 6) (Families.torus3 3 3 3)
+
+let test_hypercube () =
+  let g = Families.hypercube 5 in
+  check_graph "Q5" ~n:32 ~m:80 ~regular:(Some 5) g;
+  (* neighbors differ in exactly one bit *)
+  Graph.iter_edges
+    (fun u v ->
+      let diff = u lxor v in
+      Alcotest.(check bool) "one bit" true (diff land (diff - 1) = 0))
+    g
+
+let test_ccc () =
+  let g = Families.ccc 3 in
+  check_graph "ccc3" ~n:24 ~m:36 ~regular:(Some 3) g;
+  let g4 = Families.ccc 4 in
+  check_graph "ccc4" ~n:64 ~m:96 ~regular:(Some 3) g4;
+  Alcotest.(check int) "ccc4 connectivity" 3 (Connectivity.vertex_connectivity g4)
+
+let test_butterfly () =
+  let g = Families.butterfly 3 in
+  check_graph "bf3" ~n:24 ~m:48 ~regular:(Some 4) g;
+  Alcotest.(check int) "bf3 connectivity" 4 (Connectivity.vertex_connectivity g)
+
+let test_de_bruijn () =
+  let g = Families.de_bruijn 4 in
+  Alcotest.(check int) "n" 16 (Graph.n g);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g);
+  Alcotest.(check bool) "0-1 edge" true (Graph.mem_edge g 0 1);
+  Alcotest.(check bool) "max degree 4" true (Graph.max_degree g <= 4)
+
+let test_shuffle_exchange () =
+  let g = Families.shuffle_exchange 4 in
+  Alcotest.(check int) "n" 16 (Graph.n g);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g);
+  Alcotest.(check bool) "exchange edge" true (Graph.mem_edge g 6 7);
+  (* shuffle: 0b0110 -> 0b1100 *)
+  Alcotest.(check bool) "shuffle edge" true (Graph.mem_edge g 6 12);
+  Alcotest.(check bool) "degree <= 3" true (Graph.max_degree g <= 3);
+  (* all-zero and all-one words lose their shuffle self-loop *)
+  Alcotest.(check int) "0 has degree 1" 1 (Graph.degree g 0);
+  Alcotest.(check int) "15 has degree 1" 1 (Graph.degree g 15)
+
+let test_petersen () =
+  let g = Families.petersen () in
+  check_graph "petersen" ~n:10 ~m:15 ~regular:(Some 3) g;
+  Alcotest.(check (option int)) "girth 5" (Some 5) (Metrics.girth g)
+
+let test_circulant () =
+  let g = Families.circulant 10 [ 1; 2 ] in
+  check_graph "circulant" ~n:10 ~m:20 ~regular:(Some 4) g;
+  Alcotest.(check bool) "offset 2" true (Graph.mem_edge g 0 2);
+  (* negative and out-of-range offsets are normalised *)
+  let g' = Families.circulant 10 [ -1; 11 ] in
+  Alcotest.(check bool) "same as offset 1" true (Graph.equal g' (Families.cycle 10))
+
+let test_validation () =
+  Alcotest.check_raises "cycle too small" (Invalid_argument "Families.cycle: n >= 3")
+    (fun () -> ignore (Families.cycle 2));
+  Alcotest.check_raises "ccc too small" (Invalid_argument "Families.ccc: d >= 3") (fun () ->
+      ignore (Families.ccc 2));
+  Alcotest.check_raises "torus too small" (Invalid_argument "Families.torus: dims >= 3")
+    (fun () -> ignore (Families.torus 2 5))
+
+let () =
+  Alcotest.run "families"
+    [
+      ( "families",
+        [
+          Alcotest.test_case "basic" `Quick test_basic_families;
+          Alcotest.test_case "grids & tori" `Quick test_grids;
+          Alcotest.test_case "hypercube" `Quick test_hypercube;
+          Alcotest.test_case "ccc" `Quick test_ccc;
+          Alcotest.test_case "butterfly" `Quick test_butterfly;
+          Alcotest.test_case "de bruijn" `Quick test_de_bruijn;
+          Alcotest.test_case "shuffle exchange" `Quick test_shuffle_exchange;
+          Alcotest.test_case "petersen" `Quick test_petersen;
+          Alcotest.test_case "circulant" `Quick test_circulant;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]

@@ -1,0 +1,116 @@
+open Ftr_graph
+open Ftr_core
+
+let distance = Alcotest.testable Metrics.pp_distance ( = )
+
+let edge_routing g =
+  let r = Routing.create g Routing.Bidirectional in
+  Routing.add_edge_routes r;
+  r
+
+let test_affects_edge () =
+  let g = Families.cycle 6 in
+  let fm = Fault_model.create g in
+  Fault_model.fail_edge fm 1 2;
+  Alcotest.(check bool) "route using edge dies" true
+    (Fault_model.affects fm (Path.of_list [ 0; 1; 2 ]));
+  Alcotest.(check bool) "other direction too" true
+    (Fault_model.affects fm (Path.of_list [ 2; 1; 0 ]));
+  Alcotest.(check bool) "vertex-only touch survives" false
+    (Fault_model.affects fm (Path.of_list [ 0; 1 ]))
+
+let test_affects_node () =
+  let g = Families.cycle 6 in
+  let fm = Fault_model.create g in
+  Fault_model.fail_node fm 3;
+  Alcotest.(check bool) "interior" true (Fault_model.affects fm (Path.of_list [ 2; 3; 4 ]));
+  Alcotest.(check bool) "endpoint" true (Fault_model.affects fm (Path.of_list [ 3; 4 ]));
+  Alcotest.(check bool) "unrelated" false (Fault_model.affects fm (Path.of_list [ 0; 1 ]))
+
+let test_fail_edge_validates () =
+  let g = Families.cycle 6 in
+  let fm = Fault_model.create g in
+  Alcotest.check_raises "non-edge" (Invalid_argument "Fault_model.fail_edge: not an edge")
+    (fun () -> Fault_model.fail_edge fm 0 3)
+
+let test_endpoint_projection () =
+  let g = Families.cycle 6 in
+  let fm = Fault_model.create g in
+  Fault_model.fail_node fm 5;
+  Fault_model.fail_edge fm 2 1;
+  let proj = Fault_model.endpoint_projection fm in
+  Alcotest.(check (list int)) "node + smaller endpoint" [ 1; 5 ] (Bitset.elements proj)
+
+let test_edge_fault_diameter () =
+  let g = Families.cycle 6 in
+  let r = edge_routing g in
+  let fm = Fault_model.create g in
+  Fault_model.fail_edge fm 0 1;
+  (* all nodes alive; 0 and 1 reconnect the long way *)
+  Alcotest.(check distance) "diameter 5" (Metrics.Finite 5) (Fault_model.diameter r fm)
+
+let test_edge_faults_weaker_than_node_faults () =
+  (* The paper's reduction: projecting each failed edge to an endpoint
+     fault can only shrink the surviving graph (on surviving nodes).
+     Check arc-set inclusion exhaustively over single edge faults. *)
+  let g = Families.torus 4 4 in
+  let c = Kernel.make g ~t:3 in
+  let r = c.Construction.routing in
+  Graph.iter_edges
+    (fun u v ->
+      let fm = Fault_model.create g in
+      Fault_model.fail_edge fm u v;
+      let dg_edge = Fault_model.surviving r fm in
+      let dg_node = Surviving.graph r ~faults:(Bitset.of_list 16 [ min u v ]) in
+      for x = 0 to 15 do
+        Array.iter
+          (fun y ->
+            Alcotest.(check bool)
+              (Printf.sprintf "arc %d->%d survives under weaker edge fault" x y)
+              true (Digraph.mem_arc dg_edge x y))
+          (Digraph.succ dg_node x)
+      done)
+    g
+
+let test_kernel_under_edge_faults () =
+  (* t edge faults: every pair of nodes outside the projected endpoint
+     set keeps the theorem distance; measure the full diameter too. *)
+  let g = Families.hypercube 3 in
+  let c = Kernel.make g ~t:2 in
+  let r = c.Construction.routing in
+  let edges = Graph.edges g in
+  List.iter
+    (fun (e1, e2) ->
+      let fm = Fault_model.create g in
+      let u1, v1 = e1 and u2, v2 = e2 in
+      Fault_model.fail_edge fm u1 v1;
+      Fault_model.fail_edge fm u2 v2;
+      let d = Fault_model.diameter r fm in
+      Alcotest.(check bool) "finite" true
+        (match d with Metrics.Finite _ -> true | Metrics.Infinite -> false))
+    (List.concat_map (fun e1 -> List.map (fun e2 -> (e1, e2)) edges) edges)
+
+let test_counts () =
+  let g = Families.cycle 6 in
+  let fm = Fault_model.create g in
+  Fault_model.fail_edge fm 0 1;
+  Fault_model.fail_edge fm 1 0;
+  Alcotest.(check int) "normalised" 1 (Fault_model.edge_fault_count fm);
+  Fault_model.fail_node fm 4;
+  Alcotest.(check int) "nodes" 1 (Bitset.cardinal (Fault_model.node_faults fm))
+
+let () =
+  Alcotest.run "fault_model"
+    [
+      ( "fault_model",
+        [
+          Alcotest.test_case "affects edge" `Quick test_affects_edge;
+          Alcotest.test_case "affects node" `Quick test_affects_node;
+          Alcotest.test_case "fail_edge validates" `Quick test_fail_edge_validates;
+          Alcotest.test_case "endpoint projection" `Quick test_endpoint_projection;
+          Alcotest.test_case "edge fault diameter" `Quick test_edge_fault_diameter;
+          Alcotest.test_case "edge weaker than node" `Slow test_edge_faults_weaker_than_node_faults;
+          Alcotest.test_case "kernel under edge faults" `Slow test_kernel_under_edge_faults;
+          Alcotest.test_case "counts" `Quick test_counts;
+        ] );
+    ]

@@ -1,0 +1,63 @@
+open Ftr_graph
+open Ftr_core
+open Ftr_sim
+
+let edge_net () =
+  let g = Families.cycle 6 in
+  let r = Routing.create g Routing.Bidirectional in
+  Routing.add_edge_routes r;
+  Network.create r
+
+let test_crash_set_at () =
+  let events = Faults.crash_set_at ~at:5.0 [ 1; 2 ] in
+  Alcotest.(check int) "two events" 2 (List.length events);
+  List.iter
+    (fun e ->
+      Alcotest.(check (float 0.0)) "time" 5.0 e.Faults.at;
+      Alcotest.(check bool) "crash" true (e.Faults.kind = `Crash))
+    events
+
+let test_random_crashes_distinct () =
+  let rng = Random.State.make [| 4 |] in
+  let events = Faults.random_crashes ~rng ~n:10 ~count:5 ~window:(1.0, 2.0) in
+  Alcotest.(check int) "five" 5 (List.length events);
+  let nodes = List.map (fun e -> e.Faults.node) events in
+  Alcotest.(check int) "distinct nodes" 5 (List.length (List.sort_uniq compare nodes));
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "in window" true (e.Faults.at >= 1.0 && e.Faults.at <= 2.0))
+    events
+
+let test_random_crashes_bounds () =
+  let rng = Random.State.make [| 4 |] in
+  Alcotest.check_raises "count > n" (Invalid_argument "Faults.random_crashes: count > n")
+    (fun () -> ignore (Faults.random_crashes ~rng ~n:3 ~count:4 ~window:(0.0, 1.0)))
+
+let test_schedule_applies () =
+  let net = edge_net () in
+  let sim = Sim.create () in
+  Faults.schedule_on sim net
+    [
+      { Faults.at = 1.0; node = 2; kind = `Crash };
+      { Faults.at = 2.0; node = 2; kind = `Recover };
+      { Faults.at = 3.0; node = 4; kind = `Crash };
+    ];
+  Sim.run ~until:1.5 sim;
+  Alcotest.(check bool) "crashed at 1" true (Network.is_faulty net 2);
+  Sim.run ~until:2.5 sim;
+  Alcotest.(check bool) "recovered at 2" false (Network.is_faulty net 2);
+  Sim.run sim;
+  Alcotest.(check bool) "4 down at end" true (Network.is_faulty net 4);
+  Alcotest.(check int) "one fault" 1 (Network.fault_count net)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "faults",
+        [
+          Alcotest.test_case "crash_set_at" `Quick test_crash_set_at;
+          Alcotest.test_case "random distinct" `Quick test_random_crashes_distinct;
+          Alcotest.test_case "bounds" `Quick test_random_crashes_bounds;
+          Alcotest.test_case "schedule applies" `Quick test_schedule_applies;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+open Ftr_graph
+
+let triangle () = Graph.of_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ]
+
+let test_of_edges_basic () =
+  let g = triangle () in
+  Alcotest.(check int) "n" 3 (Graph.n g);
+  Alcotest.(check int) "m" 3 (Graph.m g);
+  Alcotest.(check bool) "edge 0-1" true (Graph.mem_edge g 0 1);
+  Alcotest.(check bool) "edge 1-0" true (Graph.mem_edge g 1 0);
+  Alcotest.(check bool) "no self edge" false (Graph.mem_edge g 0 0)
+
+let test_dedup_and_self_loops () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 0); (0, 1); (2, 2) ] in
+  Alcotest.(check int) "m" 1 (Graph.m g);
+  Alcotest.(check int) "deg 2" 0 (Graph.degree g 2)
+
+let test_out_of_range () =
+  Alcotest.check_raises "bad vertex" (Invalid_argument "Graph: vertex 3 out of [0,3)")
+    (fun () -> ignore (Graph.of_edges ~n:3 [ (0, 3) ]))
+
+let test_neighbors_sorted () =
+  let g = Graph.of_edges ~n:5 [ (2, 4); (2, 0); (2, 3); (2, 1) ] in
+  Alcotest.(check (array int)) "sorted" [| 0; 1; 3; 4 |] (Graph.neighbors g 2)
+
+let test_degrees () =
+  let g = Families.star 5 in
+  Alcotest.(check int) "hub degree" 4 (Graph.degree g 0);
+  Alcotest.(check int) "max" 4 (Graph.max_degree g);
+  Alcotest.(check int) "min" 1 (Graph.min_degree g)
+
+let test_edges_listing () =
+  let g = triangle () in
+  Alcotest.(check (list (pair int int))) "edges" [ (0, 1); (0, 2); (1, 2) ] (Graph.edges g)
+
+let test_iter_edges_once () =
+  let g = Families.cycle 6 in
+  let count = ref 0 in
+  Graph.iter_edges (fun _ _ -> incr count) g;
+  Alcotest.(check int) "each edge once" 6 !count
+
+let test_builder () =
+  let b = Graph.Builder.create 4 in
+  Graph.Builder.add_edge b 0 1;
+  Graph.Builder.add_edge b 1 0;
+  Graph.Builder.add_edge b 2 2;
+  Graph.Builder.add_edge b 2 3;
+  let g = Graph.Builder.to_graph b in
+  Alcotest.(check int) "m" 2 (Graph.m g)
+
+let test_remove_vertices () =
+  let g = Families.cycle 5 in
+  let g' = Graph.remove_vertices g (Bitset.of_list 5 [ 0 ]) in
+  Alcotest.(check int) "n unchanged" 5 (Graph.n g');
+  Alcotest.(check int) "m" 3 (Graph.m g');
+  Alcotest.(check int) "0 isolated" 0 (Graph.degree g' 0);
+  Alcotest.(check bool) "1-2 kept" true (Graph.mem_edge g' 1 2)
+
+let test_add_edges () =
+  let g = Families.path_graph 4 in
+  let g' = Graph.add_edges g [ (0, 3); (0, 1) ] in
+  Alcotest.(check int) "m" 4 (Graph.m g');
+  Alcotest.(check bool) "new edge" true (Graph.mem_edge g' 0 3);
+  (* the original is untouched *)
+  Alcotest.(check int) "original m" 3 (Graph.m g)
+
+let test_induced () =
+  let g = Families.cycle 6 in
+  let sub, map = Graph.induced g [ 0; 1; 2; 4 ] in
+  Alcotest.(check int) "n" 4 (Graph.n sub);
+  Alcotest.(check int) "m: 0-1, 1-2 survive" 2 (Graph.m sub);
+  Alcotest.(check (array int)) "map" [| 0; 1; 2; 4 |] map
+
+let test_complement () =
+  let g = Families.path_graph 4 in
+  let c = Graph.complement g in
+  Alcotest.(check int) "m" 3 (Graph.m c);
+  Alcotest.(check bool) "0-2 in complement" true (Graph.mem_edge c 0 2);
+  Alcotest.(check bool) "0-1 not" false (Graph.mem_edge c 0 1)
+
+let test_equal () =
+  Alcotest.(check bool) "equal" true (Graph.equal (triangle ()) (triangle ()));
+  Alcotest.(check bool) "not equal" false
+    (Graph.equal (triangle ()) (Families.path_graph 3))
+
+let test_empty_graph () =
+  let g = Graph.empty 5 in
+  Alcotest.(check int) "m" 0 (Graph.m g);
+  Alcotest.(check int) "min degree" 0 (Graph.min_degree g)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "of_edges basics" `Quick test_of_edges_basic;
+          Alcotest.test_case "dedup & self-loops" `Quick test_dedup_and_self_loops;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "neighbors sorted" `Quick test_neighbors_sorted;
+          Alcotest.test_case "degrees" `Quick test_degrees;
+          Alcotest.test_case "edges listing" `Quick test_edges_listing;
+          Alcotest.test_case "iter_edges once" `Quick test_iter_edges_once;
+          Alcotest.test_case "builder" `Quick test_builder;
+          Alcotest.test_case "remove_vertices" `Quick test_remove_vertices;
+          Alcotest.test_case "add_edges" `Quick test_add_edges;
+          Alcotest.test_case "induced" `Quick test_induced;
+          Alcotest.test_case "complement" `Quick test_complement;
+          Alcotest.test_case "equal" `Quick test_equal;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph;
+        ] );
+    ]

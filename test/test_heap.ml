@@ -1,0 +1,66 @@
+open Ftr_sim
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check int) "size" 0 (Heap.size h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek h = None)
+
+let test_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k k) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let popped = List.init 5 (fun _ -> Option.get (Heap.pop h)) in
+  Alcotest.(check (list (float 0.0)))
+    "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] (List.map fst popped)
+
+let test_fifo_ties () =
+  let h = Heap.create () in
+  Heap.push h 1.0 "a";
+  Heap.push h 1.0 "b";
+  Heap.push h 1.0 "c";
+  let order = List.init 3 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "insertion order" [ "a"; "b"; "c" ] order
+
+let test_peek_does_not_remove () =
+  let h = Heap.create () in
+  Heap.push h 2.0 "x";
+  Alcotest.(check bool) "peek" true (Heap.peek h = Some (2.0, "x"));
+  Alcotest.(check int) "still there" 1 (Heap.size h)
+
+let test_interleaved () =
+  let h = Heap.create () in
+  Heap.push h 3.0 3;
+  Heap.push h 1.0 1;
+  Alcotest.(check bool) "pop 1" true (Heap.pop h = Some (1.0, 1));
+  Heap.push h 2.0 2;
+  Alcotest.(check bool) "pop 2" true (Heap.pop h = Some (2.0, 2));
+  Alcotest.(check bool) "pop 3" true (Heap.pop h = Some (3.0, 3))
+
+let test_large_random () =
+  let h = Heap.create () in
+  let rng = Random.State.make [| 123 |] in
+  let keys = List.init 1000 (fun _ -> Random.State.float rng 100.0) in
+  List.iter (fun k -> Heap.push h k ()) keys;
+  let rec drain last acc =
+    match Heap.pop h with
+    | None -> acc
+    | Some (k, ()) ->
+        Alcotest.(check bool) "non-decreasing" true (k >= last);
+        drain k (acc + 1)
+  in
+  Alcotest.(check int) "all popped" 1000 (drain neg_infinity 0)
+
+let () =
+  Alcotest.run "heap"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "FIFO ties" `Quick test_fifo_ties;
+          Alcotest.test_case "peek" `Quick test_peek_does_not_remove;
+          Alcotest.test_case "interleaved" `Quick test_interleaved;
+          Alcotest.test_case "large random" `Quick test_large_random;
+        ] );
+    ]

@@ -1,0 +1,58 @@
+open Ftr_graph
+open Ftr_core
+
+let test_ecube_paths () =
+  let c = Hypercube_routing.ecube 3 in
+  let r = c.Construction.routing in
+  (* 0 -> 7 fixes bits 0, 1, 2 in order: 0,1,3,7 *)
+  (match Routing.find r 0 7 with
+  | Some p -> Alcotest.(check (list int)) "ascending bit fixes" [ 0; 1; 3; 7 ] (Path.to_list p)
+  | None -> Alcotest.fail "missing route");
+  (* 7 -> 0 also ascending: 7,6,4,0 *)
+  match Routing.find r 7 0 with
+  | Some p -> Alcotest.(check (list int)) "reverse direction" [ 7; 6; 4; 0 ] (Path.to_list p)
+  | None -> Alcotest.fail "missing route"
+
+let test_ecube_is_shortest () =
+  let c = Hypercube_routing.ecube 4 in
+  Alcotest.(check (float 1e-9)) "stretch 1" 1.0 (Routing.stretch c.Construction.routing)
+
+let test_all_pairs_routed () =
+  let c = Hypercube_routing.ecube 3 in
+  Alcotest.(check int) "8*7 routes" 56 (Routing.route_count c.Construction.routing);
+  Alcotest.(check bool) "valid" true (Routing.validate c.Construction.routing = Ok ())
+
+let test_bidirectional_symmetric () =
+  let c = Hypercube_routing.ecube_bidirectional 3 in
+  Alcotest.(check bool) "valid (incl. symmetry)" true
+    (Routing.validate c.Construction.routing = Ok ())
+
+let test_measured_bounds_q3 () =
+  (* The numbers the introduction cites for tailored constructions are
+     2 (uni) and 3 (bi); e-cube happens to achieve exactly those on Q3
+     (verified exhaustively over all fault sets of size <= 2). *)
+  let uni = Hypercube_routing.ecube 3 in
+  let v = Tolerance.exhaustive uni.Construction.routing ~f:2 in
+  Alcotest.(check bool) "uni within 2" true (Tolerance.respects v ~bound:2);
+  let bi = Hypercube_routing.ecube_bidirectional 3 in
+  let vb = Tolerance.exhaustive bi.Construction.routing ~f:2 in
+  Alcotest.(check bool) "bi within 3" true (Tolerance.respects vb ~bound:3)
+
+let test_graph_of () =
+  let c = Hypercube_routing.ecube 4 in
+  Alcotest.(check bool) "Q4" true
+    (Graph.equal (Hypercube_routing.graph_of c) (Families.hypercube 4))
+
+let () =
+  Alcotest.run "hypercube_routing"
+    [
+      ( "hypercube_routing",
+        [
+          Alcotest.test_case "ecube paths" `Quick test_ecube_paths;
+          Alcotest.test_case "shortest" `Quick test_ecube_is_shortest;
+          Alcotest.test_case "all pairs" `Quick test_all_pairs_routed;
+          Alcotest.test_case "bidirectional symmetric" `Quick test_bidirectional_symmetric;
+          Alcotest.test_case "measured bounds on Q3" `Quick test_measured_bounds_q3;
+          Alcotest.test_case "graph_of" `Quick test_graph_of;
+        ] );
+    ]

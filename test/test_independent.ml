@@ -1,0 +1,85 @@
+open Ftr_graph
+
+let test_is_neighborhood_set () =
+  let g = Families.cycle 9 in
+  Alcotest.(check bool) "0,3,6 ok" true (Independent.is_neighborhood_set g [ 0; 3; 6 ]);
+  Alcotest.(check bool) "adjacent pair" false (Independent.is_neighborhood_set g [ 0; 1 ]);
+  Alcotest.(check bool) "distance 2" false (Independent.is_neighborhood_set g [ 0; 2 ]);
+  Alcotest.(check bool) "duplicate member" false (Independent.is_neighborhood_set g [ 0; 0 ]);
+  Alcotest.(check bool) "empty" true (Independent.is_neighborhood_set g []);
+  Alcotest.(check bool) "singleton" true (Independent.is_neighborhood_set g [ 4 ])
+
+let test_greedy_is_valid () =
+  List.iter
+    (fun (name, g) ->
+      let m = Independent.greedy g in
+      Alcotest.(check bool) (name ^ " valid") true (Independent.is_neighborhood_set g m);
+      Alcotest.(check bool)
+        (name ^ " meets Lemma 15 bound")
+        true
+        (List.length m >= Independent.greedy_bound g))
+    [
+      ("cycle 30", Families.cycle 30);
+      ("torus 6x6", Families.torus 6 6);
+      ("hypercube 5", Families.hypercube 5);
+      ("ccc 4", Families.ccc 4);
+      ("petersen", Families.petersen ());
+      ("grid 7x5", Families.grid 7 5);
+    ]
+
+let test_greedy_cycle_exact () =
+  (* On a cycle the greedy picks every third vertex. *)
+  let m = Independent.greedy (Families.cycle 12) in
+  Alcotest.(check (list int)) "every third" [ 0; 3; 6; 9 ] m
+
+let test_greedy_maximal () =
+  (* No leftover vertex can be added: greedy output is maximal. *)
+  let g = Families.torus 6 6 in
+  let m = Independent.greedy g in
+  Graph.iter_vertices
+    (fun v ->
+      if not (List.mem v m) then
+        Alcotest.(check bool)
+          (Printf.sprintf "%d cannot extend" v)
+          false
+          (Independent.is_neighborhood_set g (v :: m)))
+    g
+
+let test_greedy_custom_order () =
+  let g = Families.cycle 6 in
+  let m = Independent.greedy ~order:[ 1; 4; 0; 2; 3; 5 ] g in
+  Alcotest.(check (list int)) "respects order" [ 1; 4 ] m
+
+let test_greedy_bound_values () =
+  Alcotest.(check int) "cycle 30: 30/5" 6 (Independent.greedy_bound (Families.cycle 30));
+  Alcotest.(check int) "empty" 0 (Independent.greedy_bound (Graph.empty 0));
+  (* isolated vertices: d=0, bound = n *)
+  Alcotest.(check int) "isolated" 4 (Independent.greedy_bound (Graph.empty 4))
+
+let test_best_of_improves_or_equals () =
+  let g = Families.torus 7 7 in
+  let rng = Random.State.make [| 3 |] in
+  let base = List.length (Independent.greedy g) in
+  let best = Independent.best_of ~rng ~tries:20 g in
+  Alcotest.(check bool) "valid" true (Independent.is_neighborhood_set g best);
+  Alcotest.(check bool) "no worse" true (List.length best >= base)
+
+let test_thresholds () =
+  Alcotest.(check (float 1e-9)) "circular" 0.79 Independent.circular_threshold;
+  Alcotest.(check (float 1e-9)) "tri" 0.46 Independent.tri_circular_threshold
+
+let () =
+  Alcotest.run "independent"
+    [
+      ( "neighborhood sets",
+        [
+          Alcotest.test_case "is_neighborhood_set" `Quick test_is_neighborhood_set;
+          Alcotest.test_case "greedy valid + bound" `Quick test_greedy_is_valid;
+          Alcotest.test_case "greedy on cycle" `Quick test_greedy_cycle_exact;
+          Alcotest.test_case "greedy maximal" `Quick test_greedy_maximal;
+          Alcotest.test_case "custom order" `Quick test_greedy_custom_order;
+          Alcotest.test_case "bound values" `Quick test_greedy_bound_values;
+          Alcotest.test_case "best_of" `Quick test_best_of_improves_or_equals;
+          Alcotest.test_case "Corollary 17 thresholds" `Quick test_thresholds;
+        ] );
+    ]

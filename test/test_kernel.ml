@@ -1,0 +1,101 @@
+open Ftr_graph
+open Ftr_core
+
+let test_structure () =
+  let g = Families.torus 5 5 in
+  let c = Kernel.make g ~t:3 in
+  Alcotest.(check string) "name" "kernel" c.Construction.name;
+  Alcotest.(check int) "concentrator size" 4 (List.length c.Construction.concentrator);
+  Alcotest.(check bool) "M separates" true
+    (Separator.is_separator g c.Construction.concentrator);
+  Alcotest.(check bool) "routing valid" true (Routing.validate c.Construction.routing = Ok ());
+  Alcotest.(check int) "two claims" 2 (List.length c.Construction.claims)
+
+let test_claims () =
+  let c = Kernel.make (Families.torus 5 5) ~t:3 in
+  let t3 = List.nth c.Construction.claims 0 in
+  Alcotest.(check int) "Theorem 3 bound" 6 t3.Construction.diameter_bound;
+  Alcotest.(check int) "Theorem 3 faults" 3 t3.Construction.max_faults;
+  let t4 = List.nth c.Construction.claims 1 in
+  Alcotest.(check int) "Theorem 4 bound" 4 t4.Construction.diameter_bound;
+  Alcotest.(check int) "Theorem 4 faults" 1 t4.Construction.max_faults
+
+let test_bound_floor_at_4 () =
+  (* For t = 1 the Dolev et al. bound is max(2t, 4) = 4. *)
+  let c = Kernel.make (Families.cycle 8) ~t:1 in
+  Alcotest.(check int) "floor 4" 4
+    (List.hd c.Construction.claims).Construction.diameter_bound
+
+let test_every_outside_node_routes_to_m () =
+  let g = Families.hypercube 3 in
+  let c = Kernel.make g ~t:2 in
+  let m = c.Construction.concentrator in
+  Graph.iter_vertices
+    (fun x ->
+      if not (List.mem x m) then begin
+        let covered =
+          List.filter (fun y -> Routing.mem c.Construction.routing x y) m
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%d reaches >= t+1 of M" x)
+          true
+          (List.length covered >= 3)
+      end)
+    g
+
+let test_exhaustive_theorem3 () =
+  (* Full verification on a small graph: every fault set of size <= t. *)
+  let g = Families.hypercube 3 in
+  let c = Kernel.make g ~t:2 in
+  let v = Tolerance.exhaustive c.Construction.routing ~f:2 in
+  Alcotest.(check bool) "within 2t" true (Tolerance.respects v ~bound:4);
+  Alcotest.(check bool) "definitive" true v.Tolerance.definitive
+
+let test_exhaustive_theorem4 () =
+  let g = Families.hypercube 3 in
+  let c = Kernel.make g ~t:2 in
+  let v = Tolerance.exhaustive c.Construction.routing ~f:1 in
+  Alcotest.(check bool) "within 4" true (Tolerance.respects v ~bound:4)
+
+let test_explicit_separator () =
+  let g = Families.cycle 10 in
+  let c = Kernel.make ~m:[ 0; 5 ] g ~t:1 in
+  Alcotest.(check (list int)) "uses given M" [ 0; 5 ] c.Construction.concentrator
+
+let test_rejects_complete () =
+  Alcotest.check_raises "complete"
+    (Invalid_argument "Kernel.make: complete graph has no separating set") (fun () ->
+      ignore (Kernel.make (Families.complete 5) ~t:3))
+
+let test_rejects_bad_m () =
+  let g = Families.cycle 10 in
+  Alcotest.check_raises "not a separator"
+    (Invalid_argument "Kernel.make: M is not a separating set") (fun () ->
+      ignore (Kernel.make ~m:[ 0; 1 ] g ~t:1));
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Kernel.make: separating set smaller than t+1") (fun () ->
+      ignore (Kernel.make ~m:[ 0 ] g ~t:1))
+
+let test_pools_nonempty () =
+  let c = Kernel.make (Families.cycle 10) ~t:1 in
+  Alcotest.(check bool) "has pools" true (List.length c.Construction.pools >= 2);
+  Alcotest.(check bool) "first pool is M" true
+    (List.hd c.Construction.pools = c.Construction.concentrator)
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "claims" `Quick test_claims;
+          Alcotest.test_case "bound floor" `Quick test_bound_floor_at_4;
+          Alcotest.test_case "coverage of M" `Quick test_every_outside_node_routes_to_m;
+          Alcotest.test_case "Theorem 3 exhaustive" `Slow test_exhaustive_theorem3;
+          Alcotest.test_case "Theorem 4 exhaustive" `Quick test_exhaustive_theorem4;
+          Alcotest.test_case "explicit separator" `Quick test_explicit_separator;
+          Alcotest.test_case "rejects complete" `Quick test_rejects_complete;
+          Alcotest.test_case "rejects bad M" `Quick test_rejects_bad_m;
+          Alcotest.test_case "pools" `Quick test_pools_nonempty;
+        ] );
+    ]

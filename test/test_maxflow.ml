@@ -1,0 +1,99 @@
+open Ftr_graph
+
+let test_single_edge () =
+  let net = Maxflow.create 2 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~cap:7;
+  Alcotest.(check int) "flow" 7 (Maxflow.max_flow net ~src:0 ~dst:1 ());
+  Alcotest.(check int) "edge flow" 7 (Maxflow.flow_on net 0)
+
+let test_two_disjoint_paths () =
+  (* 0 -> {1,2} -> 3, each chain capacity 1 *)
+  let net = Maxflow.create 4 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~cap:1;
+  Maxflow.add_edge net ~src:1 ~dst:3 ~cap:1;
+  Maxflow.add_edge net ~src:0 ~dst:2 ~cap:1;
+  Maxflow.add_edge net ~src:2 ~dst:3 ~cap:1;
+  Alcotest.(check int) "flow 2" 2 (Maxflow.max_flow net ~src:0 ~dst:3 ())
+
+let test_bottleneck () =
+  (* 0 ->(5) 1 ->(2) 2 ->(5) 3 *)
+  let net = Maxflow.create 4 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~cap:5;
+  Maxflow.add_edge net ~src:1 ~dst:2 ~cap:2;
+  Maxflow.add_edge net ~src:2 ~dst:3 ~cap:5;
+  Alcotest.(check int) "bottleneck" 2 (Maxflow.max_flow net ~src:0 ~dst:3 ())
+
+let test_limit () =
+  let net = Maxflow.create 2 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~cap:10;
+  Alcotest.(check int) "capped" 3 (Maxflow.max_flow net ~src:0 ~dst:1 ~limit:3 ());
+  (* continuing picks up where the previous call stopped *)
+  Alcotest.(check int) "rest" 7 (Maxflow.max_flow net ~src:0 ~dst:1 ())
+
+let test_no_path () =
+  let net = Maxflow.create 3 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~cap:1;
+  Alcotest.(check int) "zero" 0 (Maxflow.max_flow net ~src:0 ~dst:2 ())
+
+let test_augmenting_path_needed () =
+  (* Classic diamond where a greedy path must be partially undone:
+     0->1 (1), 0->2 (1), 1->3 (1), 2->3 (1), 1->2 (1). *)
+  let net = Maxflow.create 4 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~cap:1;
+  Maxflow.add_edge net ~src:0 ~dst:2 ~cap:1;
+  Maxflow.add_edge net ~src:1 ~dst:3 ~cap:1;
+  Maxflow.add_edge net ~src:2 ~dst:3 ~cap:1;
+  Maxflow.add_edge net ~src:1 ~dst:2 ~cap:1;
+  Alcotest.(check int) "max flow 2" 2 (Maxflow.max_flow net ~src:0 ~dst:3 ())
+
+let test_min_cut_side () =
+  let net = Maxflow.create 4 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~cap:5;
+  Maxflow.add_edge net ~src:1 ~dst:2 ~cap:1;
+  Maxflow.add_edge net ~src:2 ~dst:3 ~cap:5;
+  ignore (Maxflow.max_flow net ~src:0 ~dst:3 ());
+  let side = Maxflow.min_cut_side net ~src:0 in
+  Alcotest.(check (list int)) "source side" [ 0; 1 ] (Bitset.elements side)
+
+let test_conservation () =
+  (* Random-ish network: inflow = outflow at internal nodes. *)
+  let net = Maxflow.create 6 in
+  let edges = [ (0,1,3); (0,2,2); (1,3,2); (2,3,1); (1,4,2); (2,4,2); (3,5,3); (4,5,2) ] in
+  List.iter (fun (s, d, c) -> Maxflow.add_edge net ~src:s ~dst:d ~cap:c) edges;
+  let v = Maxflow.max_flow net ~src:0 ~dst:5 () in
+  Alcotest.(check int) "value" 5 v;
+  let balance = Array.make 6 0 in
+  List.iteri
+    (fun i (s, d, _) ->
+      let f = Maxflow.flow_on net i in
+      Alcotest.(check bool) "non-negative" true (f >= 0);
+      balance.(s) <- balance.(s) - f;
+      balance.(d) <- balance.(d) + f)
+    edges;
+  Alcotest.(check int) "source out" (-v) balance.(0);
+  Alcotest.(check int) "sink in" v balance.(5);
+  List.iter (fun i -> Alcotest.(check int) "conserved" 0 balance.(i)) [ 1; 2; 3; 4 ]
+
+let test_bad_args () =
+  let net = Maxflow.create 2 in
+  Alcotest.check_raises "src=dst" (Invalid_argument "Maxflow.max_flow: src = dst")
+    (fun () -> ignore (Maxflow.max_flow net ~src:0 ~dst:0 ()));
+  Alcotest.check_raises "neg cap" (Invalid_argument "Maxflow.add_edge: negative capacity")
+    (fun () -> Maxflow.add_edge net ~src:0 ~dst:1 ~cap:(-1))
+
+let () =
+  Alcotest.run "maxflow"
+    [
+      ( "maxflow",
+        [
+          Alcotest.test_case "single edge" `Quick test_single_edge;
+          Alcotest.test_case "two disjoint paths" `Quick test_two_disjoint_paths;
+          Alcotest.test_case "bottleneck" `Quick test_bottleneck;
+          Alcotest.test_case "limit & resume" `Quick test_limit;
+          Alcotest.test_case "no path" `Quick test_no_path;
+          Alcotest.test_case "augmenting path" `Quick test_augmenting_path_needed;
+          Alcotest.test_case "min cut side" `Quick test_min_cut_side;
+          Alcotest.test_case "flow conservation" `Quick test_conservation;
+          Alcotest.test_case "bad arguments" `Quick test_bad_args;
+        ] );
+    ]

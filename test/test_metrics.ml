@@ -1,0 +1,70 @@
+open Ftr_graph
+
+let fin d = Metrics.Finite d
+
+let distance = Alcotest.testable Metrics.pp_distance ( = )
+
+let test_diameter_families () =
+  Alcotest.(check distance) "cycle 8" (fin 4) (Metrics.diameter (Families.cycle 8));
+  Alcotest.(check distance) "path 5" (fin 4) (Metrics.diameter (Families.path_graph 5));
+  Alcotest.(check distance) "hypercube 4" (fin 4) (Metrics.diameter (Families.hypercube 4));
+  Alcotest.(check distance) "complete 6" (fin 1) (Metrics.diameter (Families.complete 6));
+  Alcotest.(check distance) "petersen" (fin 2) (Metrics.diameter (Families.petersen ()))
+
+let test_diameter_edge_cases () =
+  Alcotest.(check distance) "single vertex" (fin 0) (Metrics.diameter (Graph.empty 1));
+  Alcotest.(check distance) "disconnected" Metrics.Infinite
+    (Metrics.diameter (Graph.of_edges ~n:3 [ (0, 1) ]))
+
+let test_radius () =
+  (* A star has radius 1 (the hub) and diameter 2. *)
+  let g = Families.star 6 in
+  Alcotest.(check distance) "radius" (fin 1) (Metrics.radius g);
+  Alcotest.(check distance) "diameter" (fin 2) (Metrics.diameter g)
+
+let test_eccentricity () =
+  let g = Families.path_graph 5 in
+  Alcotest.(check distance) "end" (fin 4) (Metrics.eccentricity g 0);
+  Alcotest.(check distance) "middle" (fin 2) (Metrics.eccentricity g 2)
+
+let test_girth () =
+  Alcotest.(check (option int)) "cycle 7" (Some 7) (Metrics.girth (Families.cycle 7));
+  Alcotest.(check (option int)) "petersen" (Some 5) (Metrics.girth (Families.petersen ()));
+  Alcotest.(check (option int)) "hypercube" (Some 4) (Metrics.girth (Families.hypercube 3));
+  Alcotest.(check (option int)) "complete" (Some 3) (Metrics.girth (Families.complete 4));
+  Alcotest.(check (option int)) "tree" None (Metrics.girth (Families.path_graph 6));
+  Alcotest.(check (option int)) "ccc(5) girth 5" (Some 5) (Metrics.girth (Families.ccc 5))
+
+let test_distance_order () =
+  Alcotest.(check bool) "finite le inf" true
+    (Metrics.distance_le (fin 100) Metrics.Infinite);
+  Alcotest.(check bool) "inf not le finite" false
+    (Metrics.distance_le Metrics.Infinite (fin 100));
+  Alcotest.(check distance) "max" Metrics.Infinite
+    (Metrics.max_distance (fin 3) Metrics.Infinite);
+  Alcotest.(check distance) "max finite" (fin 5) (Metrics.max_distance (fin 3) (fin 5))
+
+let test_average_degree () =
+  Alcotest.(check (float 1e-9)) "cycle" 2.0 (Metrics.average_degree (Families.cycle 9));
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Metrics.average_degree (Graph.empty 0))
+
+let test_degree_histogram () =
+  let g = Families.star 4 in
+  Alcotest.(check (list (pair int int))) "histogram" [ (1, 3); (3, 1) ]
+    (Metrics.degree_histogram g)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "diameter families" `Quick test_diameter_families;
+          Alcotest.test_case "diameter edge cases" `Quick test_diameter_edge_cases;
+          Alcotest.test_case "radius" `Quick test_radius;
+          Alcotest.test_case "eccentricity" `Quick test_eccentricity;
+          Alcotest.test_case "girth" `Quick test_girth;
+          Alcotest.test_case "distance order" `Quick test_distance_order;
+          Alcotest.test_case "average degree" `Quick test_average_degree;
+          Alcotest.test_case "degree histogram" `Quick test_degree_histogram;
+        ] );
+    ]

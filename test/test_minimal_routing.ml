@@ -1,0 +1,75 @@
+open Ftr_graph
+open Ftr_core
+
+let distance = Alcotest.testable Metrics.pp_distance ( = )
+
+let test_routes_every_pair () =
+  let g = Families.petersen () in
+  let c = Minimal_routing.make g in
+  Alcotest.(check int) "n(n-1) routes" 90 (Routing.route_count c.Construction.routing)
+
+let test_paths_are_shortest () =
+  let g = Families.torus 4 4 in
+  let c = Minimal_routing.make g in
+  Routing.iter
+    (fun src dst p ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "(%d,%d) shortest" src dst)
+        (Some (Path.length p))
+        (Traversal.distance g src dst))
+    c.Construction.routing;
+  Alcotest.(check (float 1e-9)) "stretch 1" 1.0 (Routing.stretch c.Construction.routing)
+
+let test_bidirectional_valid () =
+  let g = Families.ccc 3 in
+  let c = Minimal_routing.make g in
+  Alcotest.(check bool) "valid" true (Routing.validate c.Construction.routing = Ok ())
+
+let test_unidirectional_variant () =
+  let g = Families.cycle 7 in
+  let c = Minimal_routing.make_unidirectional g in
+  Alcotest.(check int) "routes" 42 (Routing.route_count c.Construction.routing);
+  Alcotest.(check bool) "valid" true (Routing.validate c.Construction.routing = Ok ())
+
+let test_fault_free_diameter_matches_graph () =
+  let g = Families.torus 4 4 in
+  let c = Minimal_routing.make g in
+  Alcotest.(check distance) "diameter 1 in route graph: every pair routed"
+    (Metrics.Finite 1)
+    (Surviving.diameter c.Construction.routing ~faults:(Bitset.create 16))
+
+let test_no_claims () =
+  let c = Minimal_routing.make (Families.cycle 6) in
+  Alcotest.(check int) "no claims" 0 (List.length c.Construction.claims);
+  Alcotest.(check bool) "unstructured" true
+    (c.Construction.structure = Construction.Unstructured)
+
+let test_survives_simple_fault () =
+  let g = Families.cycle 8 in
+  let c = Minimal_routing.make g in
+  let v = Tolerance.exhaustive c.Construction.routing ~f:1 in
+  (* a single fault on a cycle leaves everyone mutually reachable *)
+  Alcotest.(check bool) "finite" true
+    (match v.Tolerance.worst with Metrics.Finite _ -> true | _ -> false)
+
+let test_disconnected_graph () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let c = Minimal_routing.make g in
+  (* only within-component pairs are routed *)
+  Alcotest.(check int) "4 routes" 4 (Routing.route_count c.Construction.routing)
+
+let () =
+  Alcotest.run "minimal_routing"
+    [
+      ( "minimal_routing",
+        [
+          Alcotest.test_case "routes every pair" `Quick test_routes_every_pair;
+          Alcotest.test_case "paths shortest" `Quick test_paths_are_shortest;
+          Alcotest.test_case "bidirectional valid" `Quick test_bidirectional_valid;
+          Alcotest.test_case "unidirectional" `Quick test_unidirectional_variant;
+          Alcotest.test_case "fault-free diameter" `Quick test_fault_free_diameter_matches_graph;
+          Alcotest.test_case "no claims" `Quick test_no_claims;
+          Alcotest.test_case "single fault" `Quick test_survives_simple_fault;
+          Alcotest.test_case "disconnected" `Quick test_disconnected_graph;
+        ] );
+    ]

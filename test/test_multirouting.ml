@@ -1,0 +1,119 @@
+open Ftr_graph
+open Ftr_core
+
+let distance = Alcotest.testable Metrics.pp_distance ( = )
+
+let test_add_symmetric () =
+  let g = Families.cycle 6 in
+  let mt = Multirouting.create g in
+  Multirouting.add mt (Path.of_list [ 0; 1; 2 ]);
+  Alcotest.(check int) "forward" 1 (List.length (Multirouting.routes mt 0 2));
+  Alcotest.(check int) "reverse" 1 (List.length (Multirouting.routes mt 2 0));
+  Multirouting.add mt (Path.of_list [ 0; 5; 4; 3; 2 ]);
+  Alcotest.(check int) "parallel" 2 (List.length (Multirouting.routes mt 0 2));
+  Alcotest.(check int) "max width" 2 (Multirouting.max_width mt)
+
+let test_add_dedup () =
+  let g = Families.cycle 6 in
+  let mt = Multirouting.create g in
+  Multirouting.add mt (Path.of_list [ 0; 1; 2 ]);
+  Multirouting.add mt (Path.of_list [ 0; 1; 2 ]);
+  Alcotest.(check int) "dedup" 1 (List.length (Multirouting.routes mt 0 2))
+
+let test_surviving_any_route () =
+  let g = Families.cycle 6 in
+  let mt = Multirouting.create g in
+  Multirouting.add mt (Path.of_list [ 0; 1; 2 ]);
+  Multirouting.add mt (Path.of_list [ 0; 5; 4; 3; 2 ]);
+  (* killing 1 leaves the long route alive *)
+  let dg = Multirouting.surviving mt ~faults:(Bitset.of_list 6 [ 1 ]) in
+  Alcotest.(check bool) "arc survives" true (Digraph.mem_arc dg 0 2);
+  (* killing both 1 and 4 removes the pair *)
+  let dg2 = Multirouting.surviving mt ~faults:(Bitset.of_list 6 [ 1; 4 ]) in
+  Alcotest.(check bool) "arc dead" false (Digraph.mem_arc dg2 0 2)
+
+let test_full_diameter_one () =
+  let g = Families.petersen () in
+  let mt = Multirouting.full g ~t:2 in
+  (* every pair gets t+1 = 3 disjoint routes; any 2 faults leave one *)
+  let seq = Tolerance.subsets_up_to (List.init 10 Fun.id) 2 in
+  Seq.iter
+    (fun faults_list ->
+      let faults = Bitset.of_list 10 faults_list in
+      Alcotest.(check distance)
+        (Printf.sprintf "diam with {%s}" (String.concat "," (List.map string_of_int faults_list)))
+        (Metrics.Finite (if 10 - List.length faults_list <= 1 then 0 else 1))
+        (Multirouting.diameter mt ~faults))
+    seq
+
+let test_full_width () =
+  let g = Families.cycle 8 in
+  let mt = Multirouting.full g ~t:1 in
+  Alcotest.(check int) "width 2 on cycle" 2 (Multirouting.max_width mt)
+
+let test_kernel_plus_bound_3 () =
+  let g = Families.hypercube 3 in
+  let mt, m = Multirouting.kernel_plus g ~t:2 in
+  Alcotest.(check bool) "M separates" true (Separator.is_separator g m);
+  Seq.iter
+    (fun faults_list ->
+      let faults = Bitset.of_list 8 faults_list in
+      let d = Multirouting.diameter mt ~faults in
+      Alcotest.(check bool) "diam <= 3" true (Metrics.distance_le d (Metrics.Finite 3)))
+    (Tolerance.subsets_up_to (List.init 8 Fun.id) 2)
+
+let test_mult_construction () =
+  let g = Families.petersen () in
+  let mt, m = Multirouting.mult g ~t:2 in
+  Alcotest.(check bool) "M separates" true (Separator.is_separator g m);
+  (* measured: the width-2 single-set construction keeps a small
+     surviving diameter for up to t faults *)
+  Seq.iter
+    (fun faults_list ->
+      let faults = Bitset.of_list 10 faults_list in
+      let d = Multirouting.diameter mt ~faults in
+      Alcotest.(check bool) "diam <= 4" true (Metrics.distance_le d (Metrics.Finite 4)))
+    (Tolerance.subsets_up_to (List.init 10 Fun.id) 2)
+
+let test_mult_width_capped_at_two () =
+  (* A separator's member neighborhoods can overlap (unlike a
+     neighborhood set), which would offer third routes; the budget of
+     observation (3) must still be respected. *)
+  let g = Families.torus 5 5 in
+  let mt, _ = Multirouting.mult g ~t:3 in
+  Alcotest.(check bool) "width <= 2" true (Multirouting.max_width mt <= 2);
+  (* and it still tolerates t faults with a small diameter *)
+  let faults = Bitset.of_list 25 [ 3; 12; 20 ] in
+  Alcotest.(check bool) "small diameter" true
+    (Metrics.distance_le (Multirouting.diameter mt ~faults) (Metrics.Finite 4))
+
+let test_route_count () =
+  let g = Families.cycle 6 in
+  let mt = Multirouting.create g in
+  Multirouting.add mt (Path.of_list [ 0; 1 ]);
+  Multirouting.add mt (Path.of_list [ 0; 1; 2 ]);
+  Alcotest.(check int) "entries" 4 (Multirouting.route_count mt)
+
+let test_rejects_bad_path () =
+  let g = Families.cycle 6 in
+  let mt = Multirouting.create g in
+  Alcotest.check_raises "chord" (Invalid_argument "Multirouting.add: path not in graph")
+    (fun () -> Multirouting.add mt (Path.of_list [ 0; 2 ]))
+
+let () =
+  Alcotest.run "multirouting"
+    [
+      ( "multirouting",
+        [
+          Alcotest.test_case "add symmetric" `Quick test_add_symmetric;
+          Alcotest.test_case "dedup" `Quick test_add_dedup;
+          Alcotest.test_case "surviving any-route" `Quick test_surviving_any_route;
+          Alcotest.test_case "full: diameter 1" `Slow test_full_diameter_one;
+          Alcotest.test_case "full: cycle width" `Quick test_full_width;
+          Alcotest.test_case "kernel_plus <= 3" `Slow test_kernel_plus_bound_3;
+          Alcotest.test_case "MULT construction" `Slow test_mult_construction;
+          Alcotest.test_case "MULT width cap" `Quick test_mult_width_capped_at_two;
+          Alcotest.test_case "route count" `Quick test_route_count;
+          Alcotest.test_case "rejects bad path" `Quick test_rejects_bad_path;
+        ] );
+    ]

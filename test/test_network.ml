@@ -1,0 +1,86 @@
+open Ftr_graph
+open Ftr_core
+open Ftr_sim
+
+let distance = Alcotest.testable Metrics.pp_distance ( = )
+
+let edge_net () =
+  let g = Families.cycle 6 in
+  let r = Routing.create g Routing.Bidirectional in
+  Routing.add_edge_routes r;
+  Network.create r
+
+let test_crash_recover () =
+  let net = edge_net () in
+  Alcotest.(check bool) "initially healthy" false (Network.is_faulty net 2);
+  Network.crash net 2;
+  Alcotest.(check bool) "faulty" true (Network.is_faulty net 2);
+  Alcotest.(check int) "count" 1 (Network.fault_count net);
+  Network.recover net 2;
+  Alcotest.(check bool) "recovered" false (Network.is_faulty net 2);
+  Alcotest.(check int) "count 0" 0 (Network.fault_count net)
+
+let test_surviving_cache_invalidation () =
+  let net = edge_net () in
+  let before = Digraph.arc_count (Network.surviving net) in
+  Network.crash net 0;
+  let after = Digraph.arc_count (Network.surviving net) in
+  Alcotest.(check int) "before" 12 before;
+  Alcotest.(check int) "after: 4 arcs dead" 8 after;
+  Network.recover net 0;
+  Alcotest.(check int) "restored" 12 (Digraph.arc_count (Network.surviving net))
+
+let test_surviving_diameter () =
+  let net = edge_net () in
+  Alcotest.(check distance) "healthy" (Metrics.Finite 3) (Network.surviving_diameter net);
+  Network.crash net 1;
+  Alcotest.(check distance) "after crash" (Metrics.Finite 4)
+    (Network.surviving_diameter net)
+
+let test_route_plan_direct () =
+  let net = edge_net () in
+  Alcotest.(check (option (list int))) "adjacent" (Some [ 0; 1 ])
+    (Network.route_plan net ~src:0 ~dst:1);
+  Alcotest.(check (option (list int))) "self" (Some [ 3 ])
+    (Network.route_plan net ~src:3 ~dst:3)
+
+let test_route_plan_multihop () =
+  let net = edge_net () in
+  match Network.route_plan net ~src:0 ~dst:3 with
+  | Some plan -> Alcotest.(check int) "three routes" 4 (List.length plan)
+  | None -> Alcotest.fail "expected plan"
+
+let test_route_plan_avoids_faults () =
+  let net = edge_net () in
+  Network.crash net 1;
+  (match Network.route_plan net ~src:0 ~dst:2 with
+  | Some plan ->
+      Alcotest.(check (list int)) "goes the long way" [ 0; 5; 4; 3; 2 ] plan
+  | None -> Alcotest.fail "expected plan");
+  Alcotest.(check bool) "faulty endpoint" true
+    (Network.route_plan net ~src:0 ~dst:1 = None)
+
+let test_route_survives () =
+  let g = Families.cycle 6 in
+  let r = Routing.create g Routing.Bidirectional in
+  Routing.add r (Path.of_list [ 0; 1; 2 ]);
+  let net = Network.create r in
+  Alcotest.(check bool) "alive" true (Network.route_survives net ~src:0 ~dst:2);
+  Network.crash net 1;
+  Alcotest.(check bool) "dead via interior" false (Network.route_survives net ~src:0 ~dst:2);
+  Alcotest.(check bool) "undefined pair" false (Network.route_survives net ~src:0 ~dst:3)
+
+let () =
+  Alcotest.run "network"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "crash/recover" `Quick test_crash_recover;
+          Alcotest.test_case "cache invalidation" `Quick test_surviving_cache_invalidation;
+          Alcotest.test_case "surviving diameter" `Quick test_surviving_diameter;
+          Alcotest.test_case "plan: direct & self" `Quick test_route_plan_direct;
+          Alcotest.test_case "plan: multihop" `Quick test_route_plan_multihop;
+          Alcotest.test_case "plan avoids faults" `Quick test_route_plan_avoids_faults;
+          Alcotest.test_case "route_survives" `Quick test_route_survives;
+        ] );
+    ]

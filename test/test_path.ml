@@ -1,0 +1,89 @@
+open Ftr_graph
+
+let p = Path.of_list
+
+let test_construction () =
+  let path = p [ 0; 1; 2 ] in
+  Alcotest.(check int) "source" 0 (Path.source path);
+  Alcotest.(check int) "target" 2 (Path.target path);
+  Alcotest.(check int) "length" 2 (Path.length path);
+  Alcotest.(check int) "vertex_count" 3 (Path.vertex_count path)
+
+let test_rejects_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Path: empty") (fun () ->
+      ignore (p []))
+
+let test_rejects_repeat () =
+  Alcotest.check_raises "repeat" (Invalid_argument "Path: repeated vertex 1") (fun () ->
+      ignore (p [ 0; 1; 2; 1 ]))
+
+let test_singleton () =
+  let path = p [ 7 ] in
+  Alcotest.(check int) "source=target" (Path.source path) (Path.target path);
+  Alcotest.(check int) "length 0" 0 (Path.length path);
+  Alcotest.(check (list int)) "no interior" [] (Path.interior path)
+
+let test_interior () =
+  Alcotest.(check (list int)) "interior" [ 1; 2 ] (Path.interior (p [ 0; 1; 2; 3 ]));
+  Alcotest.(check (list int)) "edge has none" [] (Path.interior (p [ 0; 1 ]))
+
+let test_rev () =
+  let path = p [ 0; 1; 2 ] in
+  Alcotest.(check (list int)) "reversed" [ 2; 1; 0 ] (Path.to_list (Path.rev path));
+  Alcotest.(check bool) "involution" true (Path.equal path (Path.rev (Path.rev path)))
+
+let test_concat () =
+  let a = p [ 0; 1 ] and b = p [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "concat" [ 0; 1; 2; 3 ] (Path.to_list (Path.concat a b))
+
+let test_concat_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Path.concat: endpoints differ")
+    (fun () -> ignore (Path.concat (p [ 0; 1 ]) (p [ 2; 3 ])))
+
+let test_concat_not_simple () =
+  Alcotest.check_raises "not simple" (Invalid_argument "Path: repeated vertex 0")
+    (fun () -> ignore (Path.concat (p [ 0; 1 ]) (p [ 1; 0 ])))
+
+let test_is_valid_in () =
+  let g = Families.cycle 5 in
+  Alcotest.(check bool) "valid" true (Path.is_valid_in g (p [ 0; 1; 2 ]));
+  Alcotest.(check bool) "chord invalid" false (Path.is_valid_in g (p [ 0; 2 ]))
+
+let test_hits () =
+  let path = p [ 0; 1; 2 ] in
+  Alcotest.(check bool) "hit interior" true (Path.hits path (Bitset.of_list 5 [ 1 ]));
+  Alcotest.(check bool) "hit endpoint" true (Path.hits path (Bitset.of_list 5 [ 0 ]));
+  Alcotest.(check bool) "miss" false (Path.hits path (Bitset.of_list 5 [ 3; 4 ]))
+
+let test_to_array_fresh () =
+  let path = p [ 0; 1 ] in
+  let a = Path.to_array path in
+  a.(0) <- 99;
+  Alcotest.(check int) "immutable" 0 (Path.source path)
+
+let test_mem_nth () =
+  let path = p [ 3; 1; 4 ] in
+  Alcotest.(check bool) "mem" true (Path.mem path 1);
+  Alcotest.(check bool) "not mem" false (Path.mem path 2);
+  Alcotest.(check int) "nth" 4 (Path.nth path 2)
+
+let () =
+  Alcotest.run "path"
+    [
+      ( "path",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "rejects empty" `Quick test_rejects_empty;
+          Alcotest.test_case "rejects repeats" `Quick test_rejects_repeat;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "interior" `Quick test_interior;
+          Alcotest.test_case "rev" `Quick test_rev;
+          Alcotest.test_case "concat" `Quick test_concat;
+          Alcotest.test_case "concat mismatch" `Quick test_concat_mismatch;
+          Alcotest.test_case "concat not simple" `Quick test_concat_not_simple;
+          Alcotest.test_case "is_valid_in" `Quick test_is_valid_in;
+          Alcotest.test_case "hits" `Quick test_hits;
+          Alcotest.test_case "to_array fresh" `Quick test_to_array_fresh;
+          Alcotest.test_case "mem/nth" `Quick test_mem_nth;
+        ] );
+    ]

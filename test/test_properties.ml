@@ -1,0 +1,119 @@
+open Ftr_graph
+open Ftr_core
+
+let no_faults n = Bitset.create n
+
+(* Exhaustively check that the lemma-level properties hold for every
+   fault set of size <= t. *)
+let assert_properties_exhaustive (c : Construction.t) ~t =
+  let n = Graph.n (Routing.graph c.Construction.routing) in
+  Seq.iter
+    (fun faults_list ->
+      let faults = Bitset.of_list n faults_list in
+      let reports = Properties.check c ~faults in
+      List.iter
+        (fun r ->
+          if not r.Properties.holds then
+            Alcotest.failf "F={%s}: %a"
+              (String.concat "," (List.map string_of_int faults_list))
+              Properties.pp_report r)
+        reports)
+    (Tolerance.subsets_up_to (List.init n Fun.id) t)
+
+let test_kernel_lemma1 () =
+  assert_properties_exhaustive (Kernel.make (Families.hypercube 3) ~t:2) ~t:2
+
+let test_circular_properties () =
+  assert_properties_exhaustive (Circular.make (Families.cycle 12) ~t:1) ~t:1
+
+let test_circular_large_k_uses_circ12 () =
+  (* K = 4 >= 2t+1 = 3 on the 12-cycle: reports must be CIRC 1/2. *)
+  let c = Circular.make (Families.cycle 12) ~t:1 in
+  let reports = Properties.check c ~faults:(no_faults 12) in
+  Alcotest.(check (list string)) "property names" [ "CIRC 1"; "CIRC 2" ]
+    (List.map (fun r -> r.Properties.property) reports)
+
+let test_circular_small_k_uses_circ () =
+  (* ccc(3) has t = 2; a 4-member neighborhood set sits below the
+     2t+1 = 5 threshold, so Lemma 9's Property CIRC is what applies. *)
+  let g = Families.ccc 3 in
+  let m = List.filteri (fun i _ -> i < 4) (Independent.greedy g) in
+  let c = Circular.make ~m g ~t:2 in
+  let reports = Properties.check c ~faults:(no_faults (Graph.n g)) in
+  Alcotest.(check (list string)) "property CIRC" [ "CIRC" ]
+    (List.map (fun r -> r.Properties.property) reports);
+  assert_properties_exhaustive c ~t:1
+
+let test_tri_circular_properties () =
+  assert_properties_exhaustive
+    (Tri_circular.make (Families.cycle 45) ~t:1 ~variant:Tri_circular.Full)
+    ~t:1
+
+let test_tri_circular_small_properties () =
+  assert_properties_exhaustive
+    (Tri_circular.make (Families.cycle 27) ~t:1 ~variant:Tri_circular.Small)
+    ~t:1
+
+let test_bipolar_uni_properties () =
+  assert_properties_exhaustive
+    (Bipolar.make_unidirectional (Families.cycle 12) ~t:1)
+    ~t:1
+
+let test_bipolar_bi_properties () =
+  assert_properties_exhaustive
+    (Bipolar.make_bidirectional (Families.cycle 12) ~t:1)
+    ~t:1
+
+let test_narrow_window_uses_weak_property () =
+  let g = Families.ccc 4 in
+  let m = Independent.greedy g in
+  let c = Circular.make ~m ~window:1 g ~t:2 in
+  let reports = Properties.check c ~faults:(no_faults (Graph.n g)) in
+  Alcotest.(check (list string)) "falls back to CIRC" [ "CIRC" ]
+    (List.map (fun r -> r.Properties.property) reports)
+
+let test_unstructured_is_empty () =
+  let c = Minimal_routing.make (Families.cycle 6) in
+  Alcotest.(check int) "no reports" 0
+    (List.length (Properties.check c ~faults:(no_faults 6)))
+
+let test_detects_violation () =
+  (* Sabotage: a kernel construction whose routing table was replaced
+     by edge routes only. Distant nodes then have no surviving edge
+     into M, and the property checker must say so. *)
+  let g = Families.cycle 12 in
+  let c = Kernel.make g ~t:1 in
+  let sparse = Routing.create g Routing.Bidirectional in
+  Routing.add_edge_routes sparse;
+  let broken = { c with Construction.routing = sparse } in
+  let reports = Properties.check broken ~faults:(no_faults 12) in
+  Alcotest.(check bool) "violation found" false (Properties.all_hold reports);
+  let failing = List.find (fun r -> not r.Properties.holds) reports in
+  Alcotest.(check bool) "counterexample given" true
+    (failing.Properties.counterexample <> None)
+
+let test_all_hold () =
+  Alcotest.(check bool) "empty" true (Properties.all_hold []);
+  let c = Kernel.make (Families.cycle 12) ~t:1 in
+  Alcotest.(check bool) "healthy" true
+    (Properties.all_hold (Properties.check c ~faults:(no_faults 12)))
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "properties",
+        [
+          Alcotest.test_case "kernel Lemma 1" `Quick test_kernel_lemma1;
+          Alcotest.test_case "circular (exhaustive)" `Quick test_circular_properties;
+          Alcotest.test_case "circular large K names" `Quick test_circular_large_k_uses_circ12;
+          Alcotest.test_case "circular small K" `Quick test_circular_small_k_uses_circ;
+          Alcotest.test_case "tri-circular full" `Slow test_tri_circular_properties;
+          Alcotest.test_case "tri-circular small" `Quick test_tri_circular_small_properties;
+          Alcotest.test_case "bipolar uni" `Quick test_bipolar_uni_properties;
+          Alcotest.test_case "bipolar bi" `Quick test_bipolar_bi_properties;
+          Alcotest.test_case "narrow window weak property" `Quick test_narrow_window_uses_weak_property;
+          Alcotest.test_case "unstructured" `Quick test_unstructured_is_empty;
+          Alcotest.test_case "detects violations" `Quick test_detects_violation;
+          Alcotest.test_case "all_hold" `Quick test_all_hold;
+        ] );
+    ]

@@ -1,0 +1,180 @@
+open Ftr_graph
+open Ftr_core
+open Ftr_sim
+
+let edge_net () =
+  let g = Families.cycle 6 in
+  let r = Routing.create g Routing.Bidirectional in
+  Routing.add_edge_routes r;
+  Network.create r
+
+let config = Protocol.default_config
+
+let test_direct_delivery () =
+  let net = edge_net () in
+  let sim = Sim.create () in
+  let msg = Protocol.send sim net config ~id:0 ~src:0 ~dst:1 () in
+  Sim.run sim;
+  Alcotest.(check bool) "delivered" true (msg.Message.status = Message.Delivered);
+  Alcotest.(check int) "one route" 1 msg.Message.routes_traversed;
+  Alcotest.(check int) "one hop" 1 msg.Message.hops;
+  Alcotest.(check int) "no retries" 0 msg.Message.retries;
+  (match Message.latency msg with
+  | Some l -> Alcotest.(check (float 1e-9)) "endpoint + hop" 11.0 l
+  | None -> Alcotest.fail "no latency")
+
+let test_multihop_delivery () =
+  let net = edge_net () in
+  let sim = Sim.create () in
+  let msg = Protocol.send sim net config ~id:0 ~src:0 ~dst:3 () in
+  Sim.run sim;
+  Alcotest.(check bool) "delivered" true (msg.Message.status = Message.Delivered);
+  Alcotest.(check int) "three routes (edge routing)" 3 msg.Message.routes_traversed;
+  Alcotest.(check int) "three hops" 3 msg.Message.hops
+
+let test_self_delivery () =
+  let net = edge_net () in
+  let sim = Sim.create () in
+  let msg = Protocol.send sim net config ~id:0 ~src:2 ~dst:2 () in
+  Alcotest.(check bool) "instant" true (msg.Message.status = Message.Delivered);
+  Alcotest.(check int) "no routes" 0 msg.Message.routes_traversed
+
+let test_faulty_source_undeliverable () =
+  let net = edge_net () in
+  Network.crash net 0;
+  let sim = Sim.create () in
+  let msg = Protocol.send sim net config ~id:0 ~src:0 ~dst:3 () in
+  Sim.run sim;
+  Alcotest.(check bool) "undeliverable" true (msg.Message.status = Message.Undeliverable)
+
+let test_faulty_destination_undeliverable () =
+  let net = edge_net () in
+  Network.crash net 3;
+  let sim = Sim.create () in
+  let msg = Protocol.send sim net config ~id:0 ~src:0 ~dst:3 () in
+  Sim.run sim;
+  Alcotest.(check bool) "undeliverable" true (msg.Message.status = Message.Undeliverable)
+
+let test_reroute_around_fault () =
+  (* Routing with a long fixed route 0->2 via 1; kill 1: the sender
+     pays a retry, then re-plans via surviving edge routes. *)
+  let g = Families.cycle 6 in
+  let r = Routing.create g Routing.Bidirectional in
+  Routing.add r (Path.of_list [ 0; 1; 2 ]);
+  Routing.add_edge_routes r;
+  let net = Network.create r in
+  Network.crash net 1;
+  let sim = Sim.create () in
+  let msg = Protocol.send sim net config ~id:0 ~src:0 ~dst:2 () in
+  Sim.run sim;
+  Alcotest.(check bool) "delivered" true (msg.Message.status = Message.Delivered);
+  Alcotest.(check int) "one retry" 1 msg.Message.retries;
+  Alcotest.(check int) "long way: 4 routes" 4 msg.Message.routes_traversed
+
+let test_mid_flight_crash () =
+  (* Crash a node while the message is in transit: the next boundary
+     check catches it. *)
+  let net = edge_net () in
+  let sim = Sim.create () in
+  (* message 0 -> 3 via 1, 2; crash 2 just after the first hop *)
+  let msg = Protocol.send sim net config ~id:0 ~src:0 ~dst:3 () in
+  Sim.schedule sim ~delay:12.0 (fun () -> Network.crash net 2);
+  Sim.run sim;
+  Alcotest.(check bool) "delivered anyway" true (msg.Message.status = Message.Delivered);
+  Alcotest.(check bool) "made a detour" true (msg.Message.retries >= 1)
+
+let test_deliver_all_order () =
+  let net = edge_net () in
+  let sim = Sim.create () in
+  let msgs =
+    Protocol.deliver_all sim net config [ (0.0, 0, 1); (5.0, 1, 2); (10.0, 2, 3) ]
+  in
+  Alcotest.(check int) "three" 3 (List.length msgs);
+  List.iteri (fun i m -> Alcotest.(check int) "ids in order" i m.Message.id) msgs;
+  Alcotest.(check bool) "all delivered" true
+    (List.for_all (fun m -> m.Message.status = Message.Delivered) msgs)
+
+let test_broadcast_full () =
+  let net = edge_net () in
+  let r = Protocol.broadcast net ~origin:0 ~counter_bound:10 in
+  Alcotest.(check int) "reaches all" 6 r.Protocol.reached;
+  Alcotest.(check int) "rounds = eccentricity" 3 r.Protocol.rounds
+
+let test_broadcast_counter_bound () =
+  let net = edge_net () in
+  let r = Protocol.broadcast net ~origin:0 ~counter_bound:1 in
+  Alcotest.(check int) "one round" 3 r.Protocol.reached;
+  Alcotest.(check int) "rounds capped" 1 r.Protocol.rounds
+
+let test_broadcast_with_faults_bounded_by_diameter () =
+  let net = edge_net () in
+  Network.crash net 1;
+  let diam =
+    match Network.surviving_diameter net with
+    | Metrics.Finite d -> d
+    | Metrics.Infinite -> Alcotest.fail "should stay connected"
+  in
+  let r = Protocol.broadcast net ~origin:0 ~counter_bound:diam in
+  Alcotest.(check int) "reaches all survivors" 5 r.Protocol.reached;
+  Alcotest.(check bool) "rounds <= diameter" true (r.Protocol.rounds <= diam)
+
+let test_broadcast_faulty_origin_rejected () =
+  let net = edge_net () in
+  Network.crash net 0;
+  Alcotest.check_raises "faulty origin" (Invalid_argument "Protocol.broadcast: faulty origin")
+    (fun () -> ignore (Protocol.broadcast net ~origin:0 ~counter_bound:3))
+
+let test_broadcast_async_reaches_all () =
+  let net = edge_net () in
+  let sim = Sim.create () in
+  let r = Protocol.broadcast_async sim net config ~origin:0 ~counter_bound:10 in
+  Alcotest.(check int) "reached" 6 r.Protocol.a_reached;
+  Alcotest.(check bool) "copies sent" true (r.Protocol.a_copies > 0);
+  Alcotest.(check bool) "takes time" true (r.Protocol.a_finished_at > 0.0)
+
+let test_broadcast_async_counter_cuts () =
+  let net = edge_net () in
+  let sim = Sim.create () in
+  let r = Protocol.broadcast_async sim net config ~origin:0 ~counter_bound:1 in
+  (* one forwarding step from the origin: the origin plus its two
+     route successors *)
+  Alcotest.(check int) "origin + neighbors" 3 r.Protocol.a_reached
+
+let test_broadcast_async_under_faults () =
+  let net = edge_net () in
+  Network.crash net 1;
+  let sim = Sim.create () in
+  let r = Protocol.broadcast_async sim net config ~origin:0 ~counter_bound:10 in
+  Alcotest.(check int) "reaches the 5 survivors" 5 r.Protocol.a_reached
+
+let test_broadcast_async_faulty_origin () =
+  let net = edge_net () in
+  Network.crash net 0;
+  let sim = Sim.create () in
+  Alcotest.check_raises "faulty origin"
+    (Invalid_argument "Protocol.broadcast_async: faulty origin") (fun () ->
+      ignore (Protocol.broadcast_async sim net config ~origin:0 ~counter_bound:3))
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "direct delivery" `Quick test_direct_delivery;
+          Alcotest.test_case "multihop delivery" `Quick test_multihop_delivery;
+          Alcotest.test_case "self delivery" `Quick test_self_delivery;
+          Alcotest.test_case "faulty source" `Quick test_faulty_source_undeliverable;
+          Alcotest.test_case "faulty destination" `Quick test_faulty_destination_undeliverable;
+          Alcotest.test_case "reroute around fault" `Quick test_reroute_around_fault;
+          Alcotest.test_case "mid-flight crash" `Quick test_mid_flight_crash;
+          Alcotest.test_case "deliver_all" `Quick test_deliver_all_order;
+          Alcotest.test_case "broadcast full" `Quick test_broadcast_full;
+          Alcotest.test_case "broadcast counter bound" `Quick test_broadcast_counter_bound;
+          Alcotest.test_case "broadcast under faults" `Quick test_broadcast_with_faults_bounded_by_diameter;
+          Alcotest.test_case "broadcast faulty origin" `Quick test_broadcast_faulty_origin_rejected;
+          Alcotest.test_case "async broadcast" `Quick test_broadcast_async_reaches_all;
+          Alcotest.test_case "async counter bound" `Quick test_broadcast_async_counter_cuts;
+          Alcotest.test_case "async under faults" `Quick test_broadcast_async_under_faults;
+          Alcotest.test_case "async faulty origin" `Quick test_broadcast_async_faulty_origin;
+        ] );
+    ]

@@ -1,0 +1,76 @@
+open Ftr_graph
+
+let rng () = Random.State.make [| 2024 |]
+
+let test_gnp_bounds () =
+  let g = Random_graphs.gnp ~rng:(rng ()) 30 0.2 in
+  Alcotest.(check int) "n" 30 (Graph.n g);
+  Alcotest.(check bool) "m below max" true (Graph.m g <= 30 * 29 / 2)
+
+let test_gnp_extremes () =
+  let g0 = Random_graphs.gnp ~rng:(rng ()) 10 0.0 in
+  Alcotest.(check int) "p=0 empty" 0 (Graph.m g0);
+  let g1 = Random_graphs.gnp ~rng:(rng ()) 10 1.0 in
+  Alcotest.(check int) "p=1 complete" 45 (Graph.m g1);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Random_graphs.gnp: p outside [0,1]") (fun () ->
+      ignore (Random_graphs.gnp ~rng:(rng ()) 5 1.5))
+
+let test_gnp_deterministic () =
+  let a = Random_graphs.gnp ~rng:(Random.State.make [| 7 |]) 20 0.3 in
+  let b = Random_graphs.gnp ~rng:(Random.State.make [| 7 |]) 20 0.3 in
+  Alcotest.(check bool) "same seed same graph" true (Graph.equal a b)
+
+let test_gnm () =
+  let g = Random_graphs.gnm ~rng:(rng ()) 20 30 in
+  Alcotest.(check int) "exact edges" 30 (Graph.m g);
+  Alcotest.check_raises "too many" (Invalid_argument "Random_graphs.gnm: bad edge count")
+    (fun () -> ignore (Random_graphs.gnm ~rng:(rng ()) 4 7))
+
+let test_regular () =
+  let g = Random_graphs.regular ~rng:(rng ()) 20 3 in
+  Alcotest.(check int) "n" 20 (Graph.n g);
+  Alcotest.(check int) "min" 3 (Graph.min_degree g);
+  Alcotest.(check int) "max" 3 (Graph.max_degree g)
+
+let test_regular_parity () =
+  Alcotest.check_raises "odd n*d"
+    (Invalid_argument "Random_graphs.regular: n * d must be even") (fun () ->
+      ignore (Random_graphs.regular ~rng:(rng ()) 5 3))
+
+let test_regular_range () =
+  Alcotest.check_raises "d >= n"
+    (Invalid_argument "Random_graphs.regular: need 0 <= d < n") (fun () ->
+      ignore (Random_graphs.regular ~rng:(rng ()) 4 4))
+
+let test_connected_gnp () =
+  match Random_graphs.connected_gnp ~rng:(rng ()) 30 0.25 with
+  | Some g -> Alcotest.(check bool) "connected" true (Traversal.is_connected g)
+  | None -> Alcotest.fail "dense gnp should connect within 100 tries"
+
+let test_connected_gnp_hopeless () =
+  Alcotest.(check bool) "p=0 never connects" true
+    (Random_graphs.connected_gnp ~rng:(rng ()) ~max_tries:5 10 0.0 = None)
+
+let test_sample_k_connected () =
+  match Random_graphs.sample_k_connected ~rng:(rng ()) 20 0.5 ~k:3 with
+  | Some g -> Alcotest.(check bool) "3-connected" true (Connectivity.is_k_connected g 3)
+  | None -> Alcotest.fail "dense gnp should be 3-connected"
+
+let () =
+  Alcotest.run "random_graphs"
+    [
+      ( "random_graphs",
+        [
+          Alcotest.test_case "gnp bounds" `Quick test_gnp_bounds;
+          Alcotest.test_case "gnp extremes" `Quick test_gnp_extremes;
+          Alcotest.test_case "gnp deterministic" `Quick test_gnp_deterministic;
+          Alcotest.test_case "gnm" `Quick test_gnm;
+          Alcotest.test_case "regular" `Quick test_regular;
+          Alcotest.test_case "regular parity" `Quick test_regular_parity;
+          Alcotest.test_case "regular range" `Quick test_regular_range;
+          Alcotest.test_case "connected gnp" `Quick test_connected_gnp;
+          Alcotest.test_case "hopeless gnp" `Quick test_connected_gnp_hopeless;
+          Alcotest.test_case "k-connected sample" `Quick test_sample_k_connected;
+        ] );
+    ]

@@ -1,0 +1,116 @@
+open Ftr_graph
+open Ftr_core
+
+let cycle6 = Families.cycle 6
+
+let test_add_and_find () =
+  let r = Routing.create cycle6 Routing.Unidirectional in
+  Routing.add r (Path.of_list [ 0; 1; 2 ]);
+  Alcotest.(check bool) "mem" true (Routing.mem r 0 2);
+  Alcotest.(check bool) "reverse absent" false (Routing.mem r 2 0);
+  Alcotest.(check int) "count" 1 (Routing.route_count r)
+
+let test_bidirectional_symmetry () =
+  let r = Routing.create cycle6 Routing.Bidirectional in
+  Routing.add r (Path.of_list [ 0; 1; 2 ]);
+  Alcotest.(check bool) "forward" true (Routing.mem r 0 2);
+  (match Routing.find r 2 0 with
+  | Some p -> Alcotest.(check (list int)) "reversed path" [ 2; 1; 0 ] (Path.to_list p)
+  | None -> Alcotest.fail "reverse missing");
+  Alcotest.(check int) "two oriented routes" 2 (Routing.route_count r)
+
+let test_duplicate_identical_ok () =
+  let r = Routing.create cycle6 Routing.Bidirectional in
+  Routing.add r (Path.of_list [ 0; 1; 2 ]);
+  Routing.add r (Path.of_list [ 0; 1; 2 ]);
+  Alcotest.(check int) "no duplicates" 2 (Routing.route_count r)
+
+let test_conflict_raises () =
+  let r = Routing.create cycle6 Routing.Unidirectional in
+  Routing.add r (Path.of_list [ 0; 1; 2 ]);
+  (match Routing.add r (Path.of_list [ 0; 5; 4; 3; 2 ]) with
+  | exception Routing.Conflict { src = 0; dst = 2; _ } -> ()
+  | exception e -> Alcotest.fail ("wrong exception: " ^ Printexc.to_string e)
+  | () -> Alcotest.fail "expected Conflict")
+
+let test_bidirectional_reverse_conflict () =
+  let r = Routing.create cycle6 Routing.Bidirectional in
+  Routing.add r (Path.of_list [ 0; 1; 2 ]);
+  (* installing 2->0 via the other side conflicts with the implied
+     reverse 2->1->0 *)
+  match Routing.add r (Path.of_list [ 2; 3; 4; 5; 0 ]) with
+  | exception Routing.Conflict _ -> ()
+  | () -> Alcotest.fail "expected Conflict"
+
+let test_rejects_invalid_paths () =
+  let r = Routing.create cycle6 Routing.Unidirectional in
+  Alcotest.check_raises "not in graph" (Invalid_argument "Routing.add: path not in graph")
+    (fun () -> Routing.add r (Path.of_list [ 0; 2 ]));
+  Alcotest.check_raises "trivial" (Invalid_argument "Routing.add: trivial path")
+    (fun () -> Routing.add r (Path.of_list [ 0 ]))
+
+let test_add_edge_routes () =
+  let r = Routing.create cycle6 Routing.Bidirectional in
+  Routing.add_edge_routes r;
+  Alcotest.(check int) "2m routes" 12 (Routing.route_count r);
+  Alcotest.(check int) "all length 1" 1 (Routing.max_route_length r)
+
+let test_complete_reverses () =
+  let r = Routing.create cycle6 Routing.Unidirectional in
+  Routing.add r (Path.of_list [ 0; 1; 2 ]);
+  Routing.add r (Path.of_list [ 2; 3; 4 ]);
+  Routing.add r (Path.of_list [ 4; 3; 2 ]);
+  Routing.complete_reverses r;
+  Alcotest.(check int) "one reverse added" 4 (Routing.route_count r);
+  match Routing.find r 2 0 with
+  | Some p -> Alcotest.(check (list int)) "reverse of 0->2" [ 2; 1; 0 ] (Path.to_list p)
+  | None -> Alcotest.fail "missing reverse"
+
+let test_complete_reverses_bidirectional_rejected () =
+  let r = Routing.create cycle6 Routing.Bidirectional in
+  Alcotest.check_raises "rejected"
+    (Invalid_argument
+       "Routing.complete_reverses: bidirectional tables are already symmetric")
+    (fun () -> Routing.complete_reverses r)
+
+let test_stats () =
+  let r = Routing.create cycle6 Routing.Unidirectional in
+  Routing.add r (Path.of_list [ 0; 1; 2 ]);
+  Routing.add r (Path.of_list [ 3; 4 ]);
+  Alcotest.(check int) "max length" 2 (Routing.max_route_length r);
+  Alcotest.(check int) "total edges" 3 (Routing.total_route_edges r)
+
+let test_stretch () =
+  let r = Routing.create cycle6 Routing.Unidirectional in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Routing.stretch r);
+  Routing.add r (Path.of_list [ 0; 1 ]);
+  Alcotest.(check (float 1e-9)) "shortest" 1.0 (Routing.stretch r);
+  (* 0 -> 2 the long way: 4 edges vs distance 2 *)
+  Routing.add r (Path.of_list [ 0; 5; 4; 3; 2 ]);
+  Alcotest.(check (float 1e-9)) "detour" 2.0 (Routing.stretch r)
+
+let test_validate_ok () =
+  let r = Routing.create cycle6 Routing.Bidirectional in
+  Routing.add_edge_routes r;
+  Routing.add r (Path.of_list [ 0; 1; 2 ]);
+  Alcotest.(check bool) "valid" true (Routing.validate r = Ok ())
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "add & find" `Quick test_add_and_find;
+          Alcotest.test_case "bidirectional symmetry" `Quick test_bidirectional_symmetry;
+          Alcotest.test_case "identical duplicate" `Quick test_duplicate_identical_ok;
+          Alcotest.test_case "conflict raises" `Quick test_conflict_raises;
+          Alcotest.test_case "reverse conflict" `Quick test_bidirectional_reverse_conflict;
+          Alcotest.test_case "invalid paths" `Quick test_rejects_invalid_paths;
+          Alcotest.test_case "edge routes" `Quick test_add_edge_routes;
+          Alcotest.test_case "complete reverses" `Quick test_complete_reverses;
+          Alcotest.test_case "complete_reverses kind" `Quick test_complete_reverses_bidirectional_rejected;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "stretch" `Quick test_stretch;
+          Alcotest.test_case "validate" `Quick test_validate_ok;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+open Ftr_graph
+open Ftr_core
+
+let roundtrip_equal a b =
+  Routing.route_count a = Routing.route_count b
+  &&
+  let same = ref true in
+  Routing.iter
+    (fun src dst p ->
+      match Routing.find b src dst with
+      | Some q when Path.equal p q -> ()
+      | _ -> same := false)
+    a;
+  !same
+
+let test_roundtrip_bidirectional () =
+  let g = Families.torus 4 4 in
+  let c = Kernel.make g ~t:3 in
+  let text = Routing_io.to_string c.Construction.routing in
+  match Routing_io.load g text with
+  | Ok loaded ->
+      Alcotest.(check bool) "identical" true
+        (roundtrip_equal c.Construction.routing loaded)
+  | Error e -> Alcotest.fail e
+
+let test_roundtrip_unidirectional () =
+  let g = Families.cycle 12 in
+  let c = Bipolar.make_unidirectional g ~t:1 in
+  let text = Routing_io.to_string c.Construction.routing in
+  match Routing_io.load g text with
+  | Ok loaded ->
+      Alcotest.(check bool) "identical" true
+        (roundtrip_equal c.Construction.routing loaded)
+  | Error e -> Alcotest.fail e
+
+let test_header () =
+  let g = Families.cycle 6 in
+  let r = Routing.create g Routing.Bidirectional in
+  Routing.add r (Path.of_list [ 0; 1 ]);
+  let text = Routing_io.to_string r in
+  Alcotest.(check string) "header" "ftr-routing 1 6 bi"
+    (List.hd (String.split_on_char '\n' text))
+
+let fails g text expected_fragment =
+  match Routing_io.load g text with
+  | Ok _ -> Alcotest.fail "expected load error"
+  | Error e ->
+      let contains =
+        let nl = String.length expected_fragment and hl = String.length e in
+        let rec go i =
+          i + nl <= hl && (String.sub e i nl = expected_fragment || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) (e ^ " mentions " ^ expected_fragment) true contains
+
+let test_load_errors () =
+  let g = Families.cycle 6 in
+  fails g "garbage" "not an ftr-routing";
+  fails g "ftr-routing 1 7 bi\n" "mismatch";
+  fails g "ftr-routing 1 6 bi\n0 2 0,2\n" "not in graph";
+  fails g "ftr-routing 1 6 bi\n0 2 0,1,1,2\n" "repeated vertex";
+  fails g "ftr-routing 1 6 bi\n0 2 1,2\n" "endpoints disagree";
+  fails g "ftr-routing 1 6 bi\n0 x 0,1\n" "malformed";
+  fails g "ftr-routing 1 6 bi\n0 2 0,1,2\n0 2 0,5,4,3,2\n" "conflicting"
+
+let test_empty_table () =
+  let g = Families.cycle 6 in
+  let r = Routing.create g Routing.Unidirectional in
+  let text = Routing_io.to_string r in
+  match Routing_io.load g text with
+  | Ok loaded -> Alcotest.(check int) "still empty" 0 (Routing.route_count loaded)
+  | Error e -> Alcotest.fail e
+
+let test_deterministic_output () =
+  let g = Families.torus 4 4 in
+  let c = Kernel.make g ~t:3 in
+  Alcotest.(check string) "stable"
+    (Routing_io.to_string c.Construction.routing)
+    (Routing_io.to_string c.Construction.routing)
+
+let () =
+  Alcotest.run "routing_io"
+    [
+      ( "routing_io",
+        [
+          Alcotest.test_case "roundtrip bi" `Quick test_roundtrip_bidirectional;
+          Alcotest.test_case "roundtrip uni" `Quick test_roundtrip_unidirectional;
+          Alcotest.test_case "header" `Quick test_header;
+          Alcotest.test_case "load errors" `Quick test_load_errors;
+          Alcotest.test_case "empty table" `Quick test_empty_table;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_output;
+        ] );
+    ]

@@ -1,0 +1,63 @@
+open Ftr_graph
+
+let test_is_separator () =
+  let g = Families.path_graph 5 in
+  Alcotest.(check bool) "middle vertex" true (Separator.is_separator g [ 2 ]);
+  Alcotest.(check bool) "endpoint" false (Separator.is_separator g [ 0 ]);
+  Alcotest.(check bool) "cycle needs two" false (Separator.is_separator (Families.cycle 6) [ 0 ]);
+  Alcotest.(check bool) "two antipodal on cycle" true
+    (Separator.is_separator (Families.cycle 6) [ 0; 3 ])
+
+let test_is_separator_degenerate () =
+  let g = Families.path_graph 3 in
+  (* removing everything but one vertex leaves a single component *)
+  Alcotest.(check bool) "nearly all" false (Separator.is_separator g [ 0; 1 ])
+
+let test_separates () =
+  let g = Families.cycle 6 in
+  Alcotest.(check bool) "0,3 separate 1 from 5" true (Separator.separates g [ 0; 3 ] 1 5);
+  Alcotest.(check bool) "same side" false (Separator.separates g [ 0; 3 ] 1 2)
+
+let test_separates_rejects_member () =
+  let g = Families.cycle 6 in
+  Alcotest.check_raises "endpoint in separator"
+    (Invalid_argument "Separator.separates: endpoint inside the separator") (fun () ->
+      ignore (Separator.separates g [ 0; 3 ] 0 2))
+
+let test_minimum () =
+  let g = Families.hypercube 3 in
+  match Separator.minimum g with
+  | None -> Alcotest.fail "expected a separator"
+  | Some m ->
+      Alcotest.(check int) "size 3" 3 (List.length m);
+      Alcotest.(check bool) "separates" true (Separator.is_separator g m)
+
+let test_side_of () =
+  let g = Families.path_graph 5 in
+  let side = Separator.side_of g [ 2 ] 0 in
+  Alcotest.(check (list int)) "left side" [ 0; 1 ] (Bitset.elements side);
+  let side' = Separator.side_of g [ 2 ] 4 in
+  Alcotest.(check (list int)) "right side" [ 3; 4 ] (Bitset.elements side')
+
+let test_neighborhood_is_separator () =
+  (* Gamma(v) separates v from the rest whenever the graph extends
+     beyond the closed neighborhood: the basis of Section 4. *)
+  let g = Families.torus 5 5 in
+  let nbrs = Array.to_list (Graph.neighbors g 12) in
+  Alcotest.(check bool) "neighborhood separates" true (Separator.is_separator g nbrs);
+  Alcotest.(check bool) "isolates the center" true (Separator.separates g nbrs 12 0)
+
+let () =
+  Alcotest.run "separator"
+    [
+      ( "separator",
+        [
+          Alcotest.test_case "is_separator" `Quick test_is_separator;
+          Alcotest.test_case "degenerate" `Quick test_is_separator_degenerate;
+          Alcotest.test_case "separates" `Quick test_separates;
+          Alcotest.test_case "rejects member endpoint" `Quick test_separates_rejects_member;
+          Alcotest.test_case "minimum" `Quick test_minimum;
+          Alcotest.test_case "side_of" `Quick test_side_of;
+          Alcotest.test_case "neighborhood separates" `Quick test_neighborhood_is_separator;
+        ] );
+    ]

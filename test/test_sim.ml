@@ -1,0 +1,73 @@
+open Ftr_sim
+
+let test_clock_starts_at_zero () =
+  let sim = Sim.create () in
+  Alcotest.(check (float 0.0)) "t=0" 0.0 (Sim.now sim)
+
+let test_schedule_and_run () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:2.0 (fun () -> log := ("b", Sim.now sim) :: !log);
+  Sim.schedule sim ~delay:1.0 (fun () -> log := ("a", Sim.now sim) :: !log);
+  Sim.run sim;
+  Alcotest.(check (list (pair string (float 0.0))))
+    "ordered with times" [ ("a", 1.0); ("b", 2.0) ] (List.rev !log);
+  Alcotest.(check int) "executed" 2 (Sim.events_executed sim)
+
+let test_events_schedule_events () =
+  let sim = Sim.create () in
+  let fired = ref 0.0 in
+  Sim.schedule sim ~delay:1.0 (fun () ->
+      Sim.schedule sim ~delay:1.5 (fun () -> fired := Sim.now sim));
+  Sim.run sim;
+  Alcotest.(check (float 1e-9)) "relative delay" 2.5 !fired
+
+let test_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  List.iter (fun d -> Sim.schedule sim ~delay:d (fun () -> incr count)) [ 1.0; 2.0; 3.0 ];
+  Sim.run ~until:2.0 sim;
+  Alcotest.(check int) "only two" 2 !count;
+  Sim.run sim;
+  Alcotest.(check int) "rest later" 3 !count
+
+let test_step () =
+  let sim = Sim.create () in
+  Sim.schedule sim ~delay:1.0 ignore;
+  Alcotest.(check bool) "one step" true (Sim.step sim);
+  Alcotest.(check bool) "drained" false (Sim.step sim)
+
+let test_at_absolute () =
+  let sim = Sim.create () in
+  let seen = ref 0.0 in
+  Sim.at sim ~time:5.0 (fun () -> seen := Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check (float 0.0)) "absolute" 5.0 !seen
+
+let test_negative_delay_rejected () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Sim.schedule: negative delay")
+    (fun () -> Sim.schedule sim ~delay:(-1.0) ignore)
+
+let test_past_time_rejected () =
+  let sim = Sim.create () in
+  Sim.schedule sim ~delay:10.0 ignore;
+  Sim.run sim;
+  Alcotest.check_raises "past" (Invalid_argument "Sim.at: time in the past") (fun () ->
+      Sim.at sim ~time:5.0 ignore)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "clock at zero" `Quick test_clock_starts_at_zero;
+          Alcotest.test_case "schedule & run" `Quick test_schedule_and_run;
+          Alcotest.test_case "nested events" `Quick test_events_schedule_events;
+          Alcotest.test_case "until" `Quick test_until;
+          Alcotest.test_case "step" `Quick test_step;
+          Alcotest.test_case "absolute time" `Quick test_at_absolute;
+          Alcotest.test_case "negative delay" `Quick test_negative_delay_rejected;
+          Alcotest.test_case "past time" `Quick test_past_time_rejected;
+        ] );
+    ]

@@ -1,0 +1,64 @@
+open Ftr_sim
+
+let test_empty () =
+  Alcotest.(check bool) "none" true (Stats.summarize [] = None);
+  Alcotest.(check bool) "ints none" true (Stats.of_ints [] = None)
+
+let test_single () =
+  match Stats.summarize [ 5.0 ] with
+  | None -> Alcotest.fail "expected summary"
+  | Some s ->
+      Alcotest.(check int) "count" 1 s.Stats.count;
+      Alcotest.(check (float 0.0)) "mean" 5.0 s.Stats.mean;
+      Alcotest.(check (float 0.0)) "p99" 5.0 s.Stats.p99
+
+let test_known_values () =
+  let values = List.init 100 (fun i -> float_of_int (i + 1)) in
+  match Stats.summarize values with
+  | None -> Alcotest.fail "expected summary"
+  | Some s ->
+      Alcotest.(check (float 1e-9)) "mean" 50.5 s.Stats.mean;
+      Alcotest.(check (float 0.0)) "min" 1.0 s.Stats.min;
+      Alcotest.(check (float 0.0)) "max" 100.0 s.Stats.max;
+      Alcotest.(check (float 0.0)) "p50 nearest-rank" 50.0 s.Stats.p50;
+      Alcotest.(check (float 0.0)) "p95" 95.0 s.Stats.p95;
+      Alcotest.(check (float 0.0)) "p99" 99.0 s.Stats.p99
+
+let test_unsorted_input () =
+  match Stats.summarize [ 3.0; 1.0; 2.0 ] with
+  | None -> Alcotest.fail "expected summary"
+  | Some s ->
+      Alcotest.(check (float 0.0)) "min" 1.0 s.Stats.min;
+      Alcotest.(check (float 0.0)) "p50" 2.0 s.Stats.p50
+
+let test_of_ints () =
+  match Stats.of_ints [ 1; 2; 3; 4 ] with
+  | None -> Alcotest.fail "expected summary"
+  | Some s -> Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean
+
+let test_histogram () =
+  let h = Stats.histogram ~buckets:2 [ 0.0; 1.0; 2.0; 3.0 ] in
+  Alcotest.(check int) "two buckets" 2 (List.length h);
+  let counts = List.map (fun (_, _, c) -> c) h in
+  Alcotest.(check (list int)) "counts" [ 2; 2 ] counts
+
+let test_histogram_degenerate () =
+  Alcotest.(check int) "empty input" 0 (List.length (Stats.histogram ~buckets:3 []));
+  let h = Stats.histogram ~buckets:3 [ 5.0; 5.0 ] in
+  Alcotest.(check int) "equal values in one bucket" 2
+    (List.fold_left (fun acc (_, _, c) -> acc + c) 0 h)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "single" `Quick test_single;
+          Alcotest.test_case "known values" `Quick test_known_values;
+          Alcotest.test_case "unsorted" `Quick test_unsorted_input;
+          Alcotest.test_case "of_ints" `Quick test_of_ints;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram degenerate" `Quick test_histogram_degenerate;
+        ] );
+    ]

@@ -1,0 +1,119 @@
+open Ftr_graph
+open Ftr_core
+
+let distance = Alcotest.testable Metrics.pp_distance ( = )
+
+let simple_routing () =
+  (* cycle of 6 with only edge routes *)
+  let g = Families.cycle 6 in
+  let r = Routing.create g Routing.Bidirectional in
+  Routing.add_edge_routes r;
+  (g, r)
+
+let test_no_faults () =
+  let g, r = simple_routing () in
+  let faults = Bitset.create (Graph.n g) in
+  let dg = Surviving.graph r ~faults in
+  Alcotest.(check int) "all arcs survive" 12 (Digraph.arc_count dg);
+  Alcotest.(check bool) "symmetric" true (Digraph.is_symmetric dg);
+  Alcotest.(check distance) "diameter = cycle diameter" (Metrics.Finite 3)
+    (Surviving.diameter r ~faults)
+
+let test_faulty_interior_kills_route () =
+  let g = Families.cycle 6 in
+  let r = Routing.create g Routing.Bidirectional in
+  Routing.add r (Path.of_list [ 0; 1; 2 ]);
+  let faults = Bitset.of_list (Graph.n g) [ 1 ] in
+  let dg = Surviving.graph r ~faults in
+  Alcotest.(check int) "route dead" 0 (Digraph.arc_count dg)
+
+let test_faulty_endpoint_kills_route () =
+  let g = Families.cycle 6 in
+  let r = Routing.create g Routing.Bidirectional in
+  Routing.add r (Path.of_list [ 0; 1; 2 ]);
+  let faults = Bitset.of_list (Graph.n g) [ 2 ] in
+  Alcotest.(check int) "arcs" 0 (Digraph.arc_count (Surviving.graph r ~faults))
+
+let test_diameter_with_fault () =
+  let g, r = simple_routing () in
+  (* killing 1 forces 0 <-> 2 the long way: distance 4 *)
+  let faults = Bitset.of_list (Graph.n g) [ 1 ] in
+  Alcotest.(check distance) "diameter 4" (Metrics.Finite 4) (Surviving.diameter r ~faults);
+  Alcotest.(check distance) "0->2 distance" (Metrics.Finite 4)
+    (Surviving.distance r ~faults 0 2)
+
+let test_infinite_when_disconnected () =
+  let g, r = simple_routing () in
+  let faults = Bitset.of_list (Graph.n g) [ 1; 4 ] in
+  Alcotest.(check distance) "disconnected" Metrics.Infinite (Surviving.diameter r ~faults)
+
+let test_faulty_endpoint_rejected () =
+  let g, r = simple_routing () in
+  let faults = Bitset.of_list (Graph.n g) [ 1 ] in
+  Alcotest.check_raises "faulty endpoint"
+    (Invalid_argument "Surviving.distance: faulty endpoint") (fun () ->
+      ignore (Surviving.distance r ~faults 1 2))
+
+let test_unidirectional_asymmetry () =
+  let g = Families.cycle 4 in
+  let r = Routing.create g Routing.Unidirectional in
+  Routing.add r (Path.of_list [ 0; 1 ]);
+  let faults = Bitset.create 4 in
+  let dg = Surviving.graph r ~faults in
+  Alcotest.(check bool) "0->1" true (Digraph.mem_arc dg 0 1);
+  Alcotest.(check bool) "1->0 absent" false (Digraph.mem_arc dg 1 0);
+  Alcotest.(check distance) "asymmetric => infinite diameter" Metrics.Infinite
+    (Surviving.diameter r ~faults)
+
+let test_component_diameters_connected () =
+  let g, r = simple_routing () in
+  let comps = Surviving.component_diameters r ~faults:(Bitset.create (Graph.n g)) in
+  Alcotest.(check int) "one component" 1 (List.length comps);
+  let members, d = List.hd comps in
+  Alcotest.(check int) "everyone" 6 (List.length members);
+  Alcotest.(check distance) "diameter" (Metrics.Finite 3) d
+
+let test_component_diameters_split () =
+  let g, r = simple_routing () in
+  (* killing 1 and 4 splits the 6-cycle into {2,3} and {5,0} *)
+  let comps = Surviving.component_diameters r ~faults:(Bitset.of_list (Graph.n g) [ 1; 4 ]) in
+  Alcotest.(check int) "two components" 2 (List.length comps);
+  List.iter
+    (fun (members, d) ->
+      Alcotest.(check int) "pair" 2 (List.length members);
+      Alcotest.(check distance) "internal diameter 1" (Metrics.Finite 1) d)
+    comps
+
+let test_component_diameters_isolated () =
+  let g, r = simple_routing () in
+  (* kill 1 and 3: node 2 is isolated; the rest form a path *)
+  let comps = Surviving.component_diameters r ~faults:(Bitset.of_list (Graph.n g) [ 1; 3 ]) in
+  Alcotest.(check int) "two components" 2 (List.length comps);
+  let isolated = List.filter (fun (m, _) -> List.length m = 1) comps in
+  Alcotest.(check int) "singleton {2}" 1 (List.length isolated)
+
+let test_small_survivor_sets () =
+  let g, r = simple_routing () in
+  (* all but one vertex faulty: diameter 0 by convention *)
+  let faults = Bitset.of_list (Graph.n g) [ 0; 1; 2; 3; 4 ] in
+  Alcotest.(check distance) "single survivor" (Metrics.Finite 0)
+    (Surviving.diameter r ~faults)
+
+let () =
+  Alcotest.run "surviving"
+    [
+      ( "surviving",
+        [
+          Alcotest.test_case "no faults" `Quick test_no_faults;
+          Alcotest.test_case "faulty interior" `Quick test_faulty_interior_kills_route;
+          Alcotest.test_case "faulty endpoint" `Quick test_faulty_endpoint_kills_route;
+          Alcotest.test_case "diameter with fault" `Quick test_diameter_with_fault;
+          Alcotest.test_case "infinite diameter" `Quick test_infinite_when_disconnected;
+          Alcotest.test_case "faulty endpoint rejected" `Quick test_faulty_endpoint_rejected;
+          Alcotest.test_case "unidirectional asymmetry" `Quick test_unidirectional_asymmetry;
+          Alcotest.test_case "components: connected" `Quick test_component_diameters_connected;
+          Alcotest.test_case "components: split" `Quick test_component_diameters_split;
+          Alcotest.test_case "components: isolated" `Quick test_component_diameters_isolated;
+          Alcotest.test_case "single survivor" `Quick test_small_survivor_sets;
+        ] );
+    ]

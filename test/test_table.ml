@@ -1,0 +1,87 @@
+open Ftr_analysis
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let sample () =
+  Table.make ~title:"T" ~headers:[ "a"; "b" ]
+    ~notes:[ "a note" ]
+    [ [ "1"; "hello" ]; [ "22"; "x" ] ]
+
+let test_make_validates_width () =
+  Alcotest.(check bool) "bad row rejected" true
+    (match Table.make ~title:"T" ~headers:[ "a"; "b" ] [ [ "1" ] ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_render () =
+  let s = Table.render (sample ()) in
+  Alcotest.(check bool) "title" true (contains s "== T ==");
+  Alcotest.(check bool) "header" true (contains s "| a  | b     |");
+  Alcotest.(check bool) "row" true (contains s "| 22 | x     |");
+  Alcotest.(check bool) "note" true (contains s "note: a note")
+
+let test_csv () =
+  let s = Table.to_csv (sample ()) in
+  Alcotest.(check bool) "header line" true (contains s "a,b\n");
+  Alcotest.(check bool) "row" true (contains s "22,x")
+
+let test_csv_escaping () =
+  let t = Table.make ~title:"T" ~headers:[ "a" ] [ [ "with,comma" ]; [ "with\"quote" ] ] in
+  let s = Table.to_csv t in
+  Alcotest.(check bool) "comma quoted" true (contains s "\"with,comma\"");
+  Alcotest.(check bool) "quote doubled" true (contains s "\"with\"\"quote\"")
+
+let test_markdown () =
+  let s = Table.to_markdown (sample ()) in
+  Alcotest.(check bool) "heading" true (contains s "### T");
+  Alcotest.(check bool) "separator" true (contains s "|---|---|");
+  Alcotest.(check bool) "note italics" true (contains s "*a note*")
+
+let test_report_violations () =
+  let ok_table = Table.make ~title:"ok" ~headers:[ "x"; "verdict" ] [ [ "1"; "ok" ] ] in
+  let bad_table =
+    Table.make ~title:"bad" ~headers:[ "x"; "verdict" ] [ [ "2"; "VIOLATION" ] ]
+  in
+  let v = Report.violations [ ("A", ok_table); ("B", bad_table) ] in
+  Alcotest.(check int) "one experiment flagged" 1 (List.length v);
+  Alcotest.(check string) "right id" "B" (fst (List.hd v))
+
+let test_report_markdown_rollup () =
+  let ok_table = Table.make ~title:"ok" ~headers:[ "verdict" ] [ [ "ok" ] ] in
+  let md = Report.markdown ~header:"# H" [ ("A", ok_table) ] in
+  Alcotest.(check bool) "rollup" true (contains md "every checked claim held")
+
+let test_sweep_cartesian () =
+  Alcotest.(check (list (pair int string))) "product"
+    [ (1, "a"); (1, "b"); (2, "a"); (2, "b") ]
+    (Sweep.cartesian [ 1; 2 ] [ "a"; "b" ]);
+  Alcotest.(check (list (pair int int))) "empty" [] (Sweep.cartesian [] [ 1 ])
+
+let test_sweep_frequency () =
+  Alcotest.(check (float 1e-9)) "half" 0.5 (Sweep.frequency ~trials:10 (fun i -> i mod 2 = 0));
+  Alcotest.(check (float 1e-9)) "none" 0.0 (Sweep.frequency ~trials:5 (fun _ -> false))
+
+let test_sweep_cells () =
+  Alcotest.(check string) "float" "3.14" (Sweep.float_cell 3.14159);
+  Alcotest.(check string) "ratio" "3/7" (Sweep.ratio_cell 3 7)
+
+let () =
+  Alcotest.run "table"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "width validation" `Quick test_make_validates_width;
+          Alcotest.test_case "render" `Quick test_render;
+          Alcotest.test_case "csv" `Quick test_csv;
+          Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+          Alcotest.test_case "markdown" `Quick test_markdown;
+          Alcotest.test_case "violations" `Quick test_report_violations;
+          Alcotest.test_case "markdown rollup" `Quick test_report_markdown_rollup;
+          Alcotest.test_case "sweep cartesian" `Quick test_sweep_cartesian;
+          Alcotest.test_case "sweep frequency" `Quick test_sweep_frequency;
+          Alcotest.test_case "sweep cells" `Quick test_sweep_cells;
+        ] );
+    ]

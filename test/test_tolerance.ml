@@ -1,0 +1,101 @@
+open Ftr_graph
+open Ftr_core
+
+let distance = Alcotest.testable Metrics.pp_distance ( = )
+
+let test_subsets_up_to () =
+  let sets = List.of_seq (Tolerance.subsets_up_to [ 1; 2; 3 ] 2) in
+  Alcotest.(check int) "1 + 3 + 3" 7 (List.length sets);
+  Alcotest.(check bool) "has empty" true (List.mem [] sets);
+  Alcotest.(check bool) "has {1,2}" true (List.mem [ 1; 2 ] sets);
+  Alcotest.(check bool) "no triples" false (List.mem [ 1; 2; 3 ] sets);
+  (* all distinct *)
+  Alcotest.(check int) "distinct" 7 (List.length (List.sort_uniq compare sets))
+
+let test_subsets_zero () =
+  let sets = List.of_seq (Tolerance.subsets_up_to [ 1; 2 ] 0) in
+  Alcotest.(check (list (list int))) "only empty" [ [] ] sets
+
+let test_count_subsets () =
+  Alcotest.(check int) "C(5,<=2) = 16" 16 (Tolerance.count_subsets_up_to ~n:5 ~k:2);
+  Alcotest.(check int) "C(3,<=3) = 8" 8 (Tolerance.count_subsets_up_to ~n:3 ~k:3);
+  Alcotest.(check int) "k=0" 1 (Tolerance.count_subsets_up_to ~n:100 ~k:0);
+  Alcotest.(check bool) "saturates" true
+    (Tolerance.count_subsets_up_to ~n:500 ~k:250 > 1_000_000_000)
+
+let edge_routing g =
+  let r = Routing.create g Routing.Bidirectional in
+  Routing.add_edge_routes r;
+  r
+
+let test_exhaustive_cycle () =
+  let r = edge_routing (Families.cycle 6) in
+  let v = Tolerance.exhaustive r ~f:1 in
+  Alcotest.(check bool) "definitive" true v.Tolerance.definitive;
+  Alcotest.(check int) "7 sets" 7 v.Tolerance.sets_checked;
+  (* one fault on a 6-cycle: worst diameter 4 *)
+  Alcotest.(check distance) "worst 4" (Metrics.Finite 4) v.Tolerance.worst;
+  Alcotest.(check int) "witness size" 1 (List.length v.Tolerance.witness)
+
+let test_exhaustive_finds_disconnection () =
+  let r = edge_routing (Families.cycle 6) in
+  let v = Tolerance.exhaustive r ~f:2 in
+  Alcotest.(check distance) "two faults disconnect a cycle" Metrics.Infinite
+    v.Tolerance.worst
+
+let test_random_reproducible () =
+  let r = edge_routing (Families.cycle 8) in
+  let run () =
+    Tolerance.random r ~f:2 ~rng:(Random.State.make [| 5 |]) ~samples:50
+  in
+  let a = run () and b = run () in
+  Alcotest.(check distance) "same worst" a.Tolerance.worst b.Tolerance.worst;
+  Alcotest.(check int) "samples + empty" 51 a.Tolerance.sets_checked
+
+let test_adversarial_pools () =
+  let r = edge_routing (Families.cycle 8) in
+  (* pool {0,4} disconnects the cycle when both die *)
+  let v = Tolerance.adversarial r ~f:2 ~pools:[ [ 0; 4 ] ] in
+  Alcotest.(check distance) "finds the cut" Metrics.Infinite v.Tolerance.worst;
+  Alcotest.(check (list int)) "witness" [ 0; 4 ] (List.sort compare v.Tolerance.witness)
+
+let test_adversarial_cap () =
+  let r = edge_routing (Families.cycle 8) in
+  let v = Tolerance.adversarial ~per_pool_cap:3 r ~f:2 ~pools:[ [ 0; 1; 2; 3 ] ] in
+  Alcotest.(check int) "capped" 3 v.Tolerance.sets_checked
+
+let test_evaluate_switches_modes () =
+  let g = Families.cycle 6 in
+  let c = Kernel.make g ~t:1 in
+  let rng = Random.State.make [| 1 |] in
+  let small = Tolerance.evaluate ~rng ~exhaustive_budget:100 c ~f:1 in
+  Alcotest.(check bool) "exhaustive for small" true small.Tolerance.definitive;
+  let forced = Tolerance.evaluate ~rng ~exhaustive_budget:2 ~samples:10 c ~f:1 in
+  Alcotest.(check bool) "sampled when over budget" false forced.Tolerance.definitive
+
+let test_respects () =
+  let v =
+    { Tolerance.worst = Metrics.Finite 4; witness = []; sets_checked = 1; definitive = true }
+  in
+  Alcotest.(check bool) "within" true (Tolerance.respects v ~bound:4);
+  Alcotest.(check bool) "beyond" false (Tolerance.respects v ~bound:3);
+  let inf = { v with Tolerance.worst = Metrics.Infinite } in
+  Alcotest.(check bool) "infinite fails" false (Tolerance.respects inf ~bound:1000)
+
+let () =
+  Alcotest.run "tolerance"
+    [
+      ( "tolerance",
+        [
+          Alcotest.test_case "subsets_up_to" `Quick test_subsets_up_to;
+          Alcotest.test_case "subsets k=0" `Quick test_subsets_zero;
+          Alcotest.test_case "count_subsets" `Quick test_count_subsets;
+          Alcotest.test_case "exhaustive cycle" `Quick test_exhaustive_cycle;
+          Alcotest.test_case "exhaustive disconnection" `Quick test_exhaustive_finds_disconnection;
+          Alcotest.test_case "random reproducible" `Quick test_random_reproducible;
+          Alcotest.test_case "adversarial pools" `Quick test_adversarial_pools;
+          Alcotest.test_case "adversarial cap" `Quick test_adversarial_cap;
+          Alcotest.test_case "evaluate mode switch" `Quick test_evaluate_switches_modes;
+          Alcotest.test_case "respects" `Quick test_respects;
+        ] );
+    ]

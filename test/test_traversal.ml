@@ -1,0 +1,101 @@
+open Ftr_graph
+
+let test_bfs_cycle () =
+  let g = Families.cycle 6 in
+  let dist = Traversal.bfs g 0 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 2; 1 |] dist
+
+let test_bfs_disconnected () =
+  let g = Graph.of_edges ~n:4 [ (0, 1) ] in
+  let dist = Traversal.bfs g 0 in
+  Alcotest.(check (array int)) "unreachable -1" [| 0; 1; -1; -1 |] dist
+
+let test_bfs_allowed () =
+  let g = Families.cycle 6 in
+  let dist = Traversal.bfs g ~allowed:(fun v -> v <> 1) 0 in
+  Alcotest.(check int) "must go the long way" 3 dist.(3);
+  Alcotest.(check int) "blocked" (-1) dist.(1)
+
+let test_parents_consistent () =
+  let g = Families.grid 3 3 in
+  let dist, parent = Traversal.bfs_parents g 0 in
+  Graph.iter_vertices
+    (fun v ->
+      if v <> 0 && dist.(v) >= 0 then begin
+        Alcotest.(check int) "parent one closer" (dist.(v) - 1) dist.(parent.(v));
+        Alcotest.(check bool) "parent adjacent" true (Graph.mem_edge g v parent.(v))
+      end)
+    g
+
+let test_shortest_path () =
+  let g = Families.cycle 8 in
+  match Traversal.shortest_path g 0 3 with
+  | None -> Alcotest.fail "expected a path"
+  | Some p ->
+      Alcotest.(check int) "length" 3 (Path.length p);
+      Alcotest.(check bool) "valid" true (Path.is_valid_in g p);
+      Alcotest.(check int) "src" 0 (Path.source p);
+      Alcotest.(check int) "dst" 3 (Path.target p)
+
+let test_shortest_path_none () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "no path" true (Traversal.shortest_path g 0 3 = None)
+
+let test_distance () =
+  let g = Families.hypercube 3 in
+  Alcotest.(check (option int)) "antipodal" (Some 3) (Traversal.distance g 0 7);
+  Alcotest.(check (option int)) "adjacent" (Some 1) (Traversal.distance g 0 1);
+  Alcotest.(check (option int)) "self" (Some 0) (Traversal.distance g 0 0)
+
+let test_components () =
+  let g = Graph.of_edges ~n:6 [ (0, 1); (1, 2); (4, 5) ] in
+  Alcotest.(check (list (list int)))
+    "components" [ [ 0; 1; 2 ]; [ 3 ]; [ 4; 5 ] ] (Traversal.components g)
+
+let test_is_connected () =
+  Alcotest.(check bool) "cycle" true (Traversal.is_connected (Families.cycle 5));
+  Alcotest.(check bool) "two parts" false
+    (Traversal.is_connected (Graph.of_edges ~n:4 [ (0, 1); (2, 3) ]));
+  Alcotest.(check bool) "singleton" true (Traversal.is_connected (Graph.empty 1));
+  Alcotest.(check bool) "empty" true (Traversal.is_connected (Graph.empty 0))
+
+let test_is_connected_excluding () =
+  let g = Families.path_graph 5 in
+  Alcotest.(check bool) "cut middle" false
+    (Traversal.is_connected_excluding g (Bitset.of_list 5 [ 2 ]));
+  Alcotest.(check bool) "cut end" true
+    (Traversal.is_connected_excluding g (Bitset.of_list 5 [ 0 ]));
+  Alcotest.(check bool) "remove all but one" true
+    (Traversal.is_connected_excluding g (Bitset.of_list 5 [ 0; 1; 2; 3 ]))
+
+let test_component_of () =
+  let g = Graph.of_edges ~n:5 [ (0, 1); (2, 3) ] in
+  Alcotest.(check (list int)) "component" [ 2; 3 ]
+    (Bitset.elements (Traversal.component_of g 2))
+
+let test_dfs_order () =
+  let g = Families.path_graph 4 in
+  Alcotest.(check (list int)) "preorder from 0" [ 0; 1; 2; 3 ] (Traversal.dfs_order g 0);
+  Alcotest.(check int) "component only"
+    2
+    (List.length (Traversal.dfs_order (Graph.of_edges ~n:4 [ (0, 1); (2, 3) ]) 0))
+
+let () =
+  Alcotest.run "traversal"
+    [
+      ( "traversal",
+        [
+          Alcotest.test_case "bfs cycle" `Quick test_bfs_cycle;
+          Alcotest.test_case "bfs disconnected" `Quick test_bfs_disconnected;
+          Alcotest.test_case "bfs allowed" `Quick test_bfs_allowed;
+          Alcotest.test_case "parents consistent" `Quick test_parents_consistent;
+          Alcotest.test_case "shortest path" `Quick test_shortest_path;
+          Alcotest.test_case "shortest path none" `Quick test_shortest_path_none;
+          Alcotest.test_case "distance" `Quick test_distance;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "is_connected" `Quick test_is_connected;
+          Alcotest.test_case "is_connected_excluding" `Quick test_is_connected_excluding;
+          Alcotest.test_case "component_of" `Quick test_component_of;
+          Alcotest.test_case "dfs order" `Quick test_dfs_order;
+        ] );
+    ]

@@ -1,0 +1,100 @@
+open Ftr_graph
+open Ftr_core
+
+let test_make_to_separator () =
+  let g = Families.torus 5 5 in
+  let m = Array.to_list (Graph.neighbors g 12) in
+  let paths = Tree_routing.make g ~src:0 ~targets:m ~k:4 in
+  Alcotest.(check int) "k paths" 4 (List.length paths);
+  Alcotest.(check bool) "verify" true
+    (Tree_routing.verify g ~src:0 ~targets:m ~k:4 paths = Ok ())
+
+let test_direct_edge_normalisation () =
+  let g = Families.torus 5 5 in
+  (* src 11 is adjacent to 12's neighbor 11? Gamma(12) = {7,11,13,17};
+     choose src 6, adjacent to 7 and 11. *)
+  let m = Array.to_list (Graph.neighbors g 12) in
+  let paths = Tree_routing.make g ~src:6 ~targets:m ~k:4 in
+  List.iter
+    (fun p ->
+      if Graph.mem_edge g 6 (Path.target p) then
+        Alcotest.(check int)
+          (Printf.sprintf "direct to %d" (Path.target p))
+          1 (Path.length p))
+    paths;
+  Alcotest.(check bool) "verify" true
+    (Tree_routing.verify g ~src:6 ~targets:m ~k:4 paths = Ok ())
+
+let test_insufficient () =
+  let g = Families.cycle 8 in
+  match Tree_routing.make g ~src:0 ~targets:[ 3; 4; 5 ] ~k:3 with
+  | exception Tree_routing.Insufficient { src = 0; wanted = 3; got = 2 } -> ()
+  | exception e -> Alcotest.fail ("wrong exn: " ^ Printexc.to_string e)
+  | _ -> Alcotest.fail "cycle has only two disjoint fans"
+
+let test_source_in_targets () =
+  let g = Families.cycle 8 in
+  Alcotest.check_raises "src is target"
+    (Invalid_argument "Disjoint_paths.fan_to_set: src is a target") (fun () ->
+      ignore (Tree_routing.make g ~src:3 ~targets:[ 3; 5 ] ~k:1))
+
+let test_add_to_routing () =
+  let g = Families.cycle 8 in
+  let r = Routing.create g Routing.Bidirectional in
+  let paths = Tree_routing.make g ~src:0 ~targets:[ 3; 5 ] ~k:2 in
+  Tree_routing.add_to r paths;
+  Alcotest.(check int) "both directions" 4 (Routing.route_count r)
+
+let test_verify_rejects_shared_interior () =
+  let g = Families.cycle 8 in
+  let bad = [ Path.of_list [ 0; 1; 2; 3 ]; Path.of_list [ 0; 1 ] ] in
+  (* second path's target 1 is the first path's interior: the interior
+     vertex 1 lies outside the target set, so sharing is the issue. *)
+  match Tree_routing.verify g ~src:0 ~targets:[ 3; 1 ] ~k:2 bad with
+  | Ok () -> Alcotest.fail "should reject"
+  | Error _ -> ()
+
+let test_verify_rejects_long_path_when_adjacent () =
+  let g = Families.cycle 8 in
+  let bad = [ Path.of_list [ 0; 7; 6; 5; 4; 3; 2; 1 ] ] in
+  match Tree_routing.verify g ~src:0 ~targets:[ 1 ] ~k:1 bad with
+  | Ok () -> Alcotest.fail "adjacent target must use the edge"
+  | Error msg ->
+      Alcotest.(check bool) "mentions direct edge" true
+        (String.length msg > 0)
+
+let test_lemma1_survival () =
+  (* Lemma 1: with at most t faults and k = t+1 fans, some target stays
+     reachable. Exhaustively check all fault sets of size t. *)
+  let g = Families.torus 5 5 in
+  let t = 3 in
+  let m = Array.to_list (Graph.neighbors g 12) in
+  let paths = Tree_routing.make g ~src:0 ~targets:m ~k:(t + 1) in
+  let vertices = List.init 25 Fun.id in
+  Seq.iter
+    (fun faults_list ->
+      if not (List.mem 0 faults_list) then begin
+        let faults = Bitset.of_list 25 faults_list in
+        let survivors =
+          List.filter (fun p -> not (Path.hits p faults)) paths
+        in
+        Alcotest.(check bool) "some fan survives" true (survivors <> [])
+      end)
+    (Tolerance.subsets_up_to vertices t |> Seq.filter (fun l -> List.length l = t));
+  ()
+
+let () =
+  Alcotest.run "tree_routing"
+    [
+      ( "tree_routing",
+        [
+          Alcotest.test_case "make to separator" `Quick test_make_to_separator;
+          Alcotest.test_case "direct edge normalisation" `Quick test_direct_edge_normalisation;
+          Alcotest.test_case "insufficient" `Quick test_insufficient;
+          Alcotest.test_case "source in targets" `Quick test_source_in_targets;
+          Alcotest.test_case "add_to" `Quick test_add_to_routing;
+          Alcotest.test_case "verify: shared interior" `Quick test_verify_rejects_shared_interior;
+          Alcotest.test_case "verify: adjacent uses edge" `Quick test_verify_rejects_long_path_when_adjacent;
+          Alcotest.test_case "Lemma 1 survival" `Slow test_lemma1_survival;
+        ] );
+    ]

@@ -1,0 +1,77 @@
+open Ftr_graph
+open Ftr_core
+
+let test_required_k () =
+  Alcotest.(check int) "full t=1" 15 (Tri_circular.required_k ~t:1 ~variant:Tri_circular.Full);
+  Alcotest.(check int) "full t=3" 27 (Tri_circular.required_k ~t:3 ~variant:Tri_circular.Full);
+  Alcotest.(check int) "small t=1" 9 (Tri_circular.required_k ~t:1 ~variant:Tri_circular.Small);
+  Alcotest.(check int) "small t=2" 9 (Tri_circular.required_k ~t:2 ~variant:Tri_circular.Small);
+  Alcotest.(check int) "small t=3" 15 (Tri_circular.required_k ~t:3 ~variant:Tri_circular.Small)
+
+let test_full_structure () =
+  let g = Families.cycle 45 in
+  let c = Tri_circular.make g ~t:1 ~variant:Tri_circular.Full in
+  Alcotest.(check bool) "valid" true (Routing.validate c.Construction.routing = Ok ());
+  Alcotest.(check int) "K multiple of 3" 0 (List.length c.Construction.concentrator mod 3);
+  let claim = List.hd c.Construction.claims in
+  Alcotest.(check int) "bound 4" 4 claim.Construction.diameter_bound
+
+let test_small_structure () =
+  let g = Families.cycle 27 in
+  let c = Tri_circular.make g ~t:1 ~variant:Tri_circular.Small in
+  let claim = List.hd c.Construction.claims in
+  Alcotest.(check int) "bound 5" 5 claim.Construction.diameter_bound;
+  Alcotest.(check bool) "valid" true (Routing.validate c.Construction.routing = Ok ())
+
+let test_exhaustive_full () =
+  let g = Families.cycle 45 in
+  let c = Tri_circular.make g ~t:1 ~variant:Tri_circular.Full in
+  let v = Tolerance.exhaustive c.Construction.routing ~f:1 in
+  Alcotest.(check bool) "within 4" true (Tolerance.respects v ~bound:4);
+  Alcotest.(check bool) "definitive" true v.Tolerance.definitive
+
+let test_exhaustive_small () =
+  let g = Families.cycle 27 in
+  let c = Tri_circular.make g ~t:1 ~variant:Tri_circular.Small in
+  let v = Tolerance.exhaustive c.Construction.routing ~f:1 in
+  Alcotest.(check bool) "within 5" true (Tolerance.respects v ~bound:5)
+
+let test_rejects_undersized () =
+  let g = Families.cycle 12 in
+  Alcotest.(check bool) "too small" true
+    (match Tri_circular.make g ~t:1 ~variant:Tri_circular.Full with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_trims_to_multiple_of_three () =
+  let g = Families.cycle 50 in
+  (* greedy gives 16 on a 50-cycle; construction must use 15 *)
+  let c = Tri_circular.make g ~t:1 ~variant:Tri_circular.Full in
+  Alcotest.(check int) "trimmed" 15 (List.length c.Construction.concentrator)
+
+let test_full_beats_circular_bound () =
+  (* The point of the tri-circular construction: every vertex pair has
+     a common surviving concentrator member within 2 hops, giving 4
+     instead of 6. Compare measured worsts. *)
+  let g = Families.cycle 45 in
+  let tri = Tri_circular.make g ~t:1 ~variant:Tri_circular.Full in
+  let v = Tolerance.exhaustive tri.Construction.routing ~f:1 in
+  (match v.Tolerance.worst with
+  | Metrics.Finite d -> Alcotest.(check bool) "at most 4" true (d <= 4)
+  | Metrics.Infinite -> Alcotest.fail "disconnected")
+
+let () =
+  Alcotest.run "tri_circular"
+    [
+      ( "tri_circular",
+        [
+          Alcotest.test_case "required_k" `Quick test_required_k;
+          Alcotest.test_case "full structure" `Quick test_full_structure;
+          Alcotest.test_case "small structure" `Quick test_small_structure;
+          Alcotest.test_case "full exhaustive" `Quick test_exhaustive_full;
+          Alcotest.test_case "small exhaustive" `Quick test_exhaustive_small;
+          Alcotest.test_case "rejects undersized" `Quick test_rejects_undersized;
+          Alcotest.test_case "trims to 3k" `Quick test_trims_to_multiple_of_three;
+          Alcotest.test_case "beats circular" `Quick test_full_beats_circular_bound;
+        ] );
+    ]

@@ -1,0 +1,64 @@
+open Ftr_graph
+
+let test_root_ok () =
+  Alcotest.(check bool) "cycle vertex" true (Two_trees.root_ok (Families.cycle 9) 0);
+  Alcotest.(check bool) "triangle vertex" false (Two_trees.root_ok (Families.complete 3) 0);
+  Alcotest.(check bool) "4-cycle vertex" false (Two_trees.root_ok (Families.cycle 4) 0);
+  Alcotest.(check bool) "petersen (girth 5)" true (Two_trees.root_ok (Families.petersen ()) 0);
+  Alcotest.(check bool) "hypercube (girth 4)" false (Two_trees.root_ok (Families.hypercube 3) 0)
+
+let test_verify_on_cycle () =
+  let g = Families.cycle 12 in
+  Alcotest.(check bool) "antipodal roots" true (Two_trees.verify g 0 6);
+  Alcotest.(check bool) "distance 4 fails (fringe overlap)" false (Two_trees.verify g 0 4);
+  Alcotest.(check bool) "distance 5 ok" true (Two_trees.verify g 0 5);
+  Alcotest.(check bool) "same root" false (Two_trees.verify g 0 0);
+  Alcotest.(check bool) "adjacent" false (Two_trees.verify g 0 1)
+
+let test_weak_vs_formal () =
+  let g = Families.cycle 10 in
+  (* dist(0,4) = 4: prose version accepts, formal rejects. *)
+  Alcotest.(check bool) "weak accepts dist 4" true (Two_trees.holds_weak g 0 4);
+  Alcotest.(check bool) "formal rejects dist 4" false (Two_trees.verify g 0 4);
+  Alcotest.(check bool) "both accept dist 5" true
+    (Two_trees.holds_weak g 0 5 && Two_trees.verify g 0 5)
+
+let test_find () =
+  (match Two_trees.find (Families.cycle 12) with
+  | Some (r1, r2) -> Alcotest.(check bool) "verifies" true (Two_trees.verify (Families.cycle 12) r1 r2)
+  | None -> Alcotest.fail "cycle 12 should have roots");
+  Alcotest.(check bool) "petersen too small" true (Two_trees.find (Families.petersen ()) = None);
+  Alcotest.(check bool) "hypercube has 4-cycles" true (Two_trees.find (Families.hypercube 4) = None);
+  Alcotest.(check bool) "torus has 4-cycles" true (Two_trees.find (Families.torus 5 5) = None)
+
+let test_find_ccc5 () =
+  (* CCC(5) has girth 5 and diameter >= 5: roots must exist. *)
+  let g = Families.ccc 5 in
+  match Two_trees.find g with
+  | Some (r1, r2) ->
+      Alcotest.(check bool) "verifies" true (Two_trees.verify g r1 r2);
+      Alcotest.(check bool) "far apart" true
+        (match Traversal.distance g r1 r2 with Some d -> d >= 5 | None -> false)
+  | None -> Alcotest.fail "ccc 5 should have two-trees roots"
+
+let test_verify_disjointness_is_strict () =
+  (* Star-of-paths: two roots whose fringes share one vertex. *)
+  (*      0 - 1 - 2 - 3 - 4 - 5 - 6     plus  2 - 7 - 4          *)
+  let g = Graph.of_edges ~n:8 [ (0,1); (1,2); (2,3); (3,4); (4,5); (5,6); (2,7); (7,4) ] in
+  (* dist(1,5) = 4 via 2-7-4 and fringe(1) includes 3? No: fringe of
+     1 is Gamma(0)+Gamma(2)-{1} = {3,7}; fringe of 5 is {3,7}: clash. *)
+  Alcotest.(check bool) "shared fringe rejected" false (Two_trees.verify g 1 5)
+
+let () =
+  Alcotest.run "two_trees"
+    [
+      ( "two_trees",
+        [
+          Alcotest.test_case "root_ok" `Quick test_root_ok;
+          Alcotest.test_case "verify on cycle" `Quick test_verify_on_cycle;
+          Alcotest.test_case "weak vs formal" `Quick test_weak_vs_formal;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "find on ccc5" `Quick test_find_ccc5;
+          Alcotest.test_case "strict disjointness" `Quick test_verify_disjointness_is_strict;
+        ] );
+    ]

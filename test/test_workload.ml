@@ -1,0 +1,75 @@
+open Ftr_sim
+
+let rng () = Random.State.make [| 77 |]
+
+let test_all_pairs () =
+  let entries = Workload.all_pairs ~n:4 ~spacing:1.0 in
+  Alcotest.(check int) "n(n-1) entries" 12 (List.length entries);
+  (* no self-sends, times strictly increasing *)
+  let rec check last = function
+    | [] -> ()
+    | (t, s, d) :: rest ->
+        Alcotest.(check bool) "no self" true (s <> d);
+        Alcotest.(check bool) "increasing" true (t > last);
+        check t rest
+  in
+  check (-1.0) entries
+
+let test_uniform () =
+  let entries = Workload.uniform ~rng:(rng ()) ~n:10 ~count:50 ~horizon:100.0 in
+  Alcotest.(check int) "count" 50 (List.length entries);
+  List.iter
+    (fun (t, s, d) ->
+      Alcotest.(check bool) "in horizon" true (t >= 0.0 && t < 100.0);
+      Alcotest.(check bool) "no self" true (s <> d))
+    entries;
+  (* sorted by time *)
+  let times = List.map (fun (t, _, _) -> t) entries in
+  Alcotest.(check (list (float 0.0))) "sorted" (List.sort compare times) times
+
+let test_uniform_needs_two () =
+  Alcotest.check_raises "n=1" (Invalid_argument "Workload.uniform: need n >= 2") (fun () ->
+      ignore (Workload.uniform ~rng:(rng ()) ~n:1 ~count:1 ~horizon:1.0))
+
+let test_hotspot () =
+  let entries =
+    Workload.hotspot ~rng:(rng ()) ~n:10 ~hub:3 ~fraction:1.0 ~count:30 ~horizon:10.0
+  in
+  List.iter
+    (fun (_, s, d) ->
+      Alcotest.(check int) "all to hub" 3 d;
+      Alcotest.(check bool) "never from hub" true (s <> 3))
+    entries
+
+let test_hotspot_mixed () =
+  let entries =
+    Workload.hotspot ~rng:(rng ()) ~n:10 ~hub:0 ~fraction:0.5 ~count:200 ~horizon:10.0
+  in
+  let to_hub = List.length (List.filter (fun (_, _, d) -> d = 0) entries) in
+  Alcotest.(check bool) "roughly half" true (to_hub > 60 && to_hub < 140)
+
+let test_permutation () =
+  let entries = Workload.permutation ~rng:(rng ()) ~n:8 ~at:5.0 in
+  Alcotest.(check bool) "at most n" true (List.length entries <= 8);
+  let dsts = List.map (fun (_, _, d) -> d) entries in
+  Alcotest.(check int) "destinations distinct" (List.length dsts)
+    (List.length (List.sort_uniq compare dsts));
+  List.iter
+    (fun (t, s, d) ->
+      Alcotest.(check (float 0.0)) "time" 5.0 t;
+      Alcotest.(check bool) "no self" true (s <> d))
+    entries
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "all_pairs" `Quick test_all_pairs;
+          Alcotest.test_case "uniform" `Quick test_uniform;
+          Alcotest.test_case "uniform n>=2" `Quick test_uniform_needs_two;
+          Alcotest.test_case "hotspot pure" `Quick test_hotspot;
+          Alcotest.test_case "hotspot mixed" `Quick test_hotspot_mixed;
+          Alcotest.test_case "permutation" `Quick test_permutation;
+        ] );
+    ]
