@@ -113,12 +113,45 @@ let primitive_tests =
           fun () -> Routing_io.load torus55 text));
   ]
 
+(* The attack engine's inner loop: 64 surviving-diameter evaluations
+   through the compiled batch table vs the per-set graph construction
+   it replaces — the speedup is what makes budgeted search viable. *)
+let attack_tests =
+  let compiled = Surviving.compile kernel_t55.Construction.routing in
+  let fault_sets =
+    let rng = Random.State.make [| 23 |] in
+    Array.init 64 (fun _ ->
+        Bitset.of_list 25
+          (List.sort_uniq compare (List.init 3 (fun _ -> Random.State.int rng 25))))
+  in
+  [
+    Test.make ~name:"attack:eval64_compiled"
+      (stage (fun () ->
+           Array.iter
+             (fun faults -> ignore (Surviving.diameter_compiled compiled ~faults))
+             fault_sets));
+    Test.make ~name:"attack:eval64_uncompiled"
+      (stage (fun () ->
+           Array.iter
+             (fun faults ->
+               ignore (Surviving.diameter kernel_t55.Construction.routing ~faults))
+             fault_sets));
+    Test.make ~name:"attack:search_torus55_b300"
+      (stage (fun () ->
+           Attack.search
+             ~config:{ Attack.default_config with Attack.budget = 300; restarts = 3 }
+             ~rng:(rng ()) ~pools:kernel_t55.Construction.pools
+             kernel_t55.Construction.routing ~f:3));
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Runner                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let run_timings () =
-  let tests = Test.make_grouped ~name:"ftr" (experiment_tests @ primitive_tests) in
+  let tests =
+    Test.make_grouped ~name:"ftr" (experiment_tests @ primitive_tests @ attack_tests)
+  in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
     Benchmark.cfg ~limit:1500 ~quota:(Time.second 0.25) ~kde:None ~stabilize:false ()

@@ -5,6 +5,7 @@
      route     build a routing (auto or named strategy) and show stats
      tolerate  fault-injection check of a construction's claims
      simulate  message-level simulation with crashes
+     attack    adversarial fault search + witness corpus
      dot       DOT export                                           *)
 
 open Cmdliner
@@ -64,14 +65,16 @@ let info_cmd =
 
 (* ---------------- route ---------------- *)
 
+let strategies =
+  [
+    ("auto", `Auto); ("kernel", `Kernel); ("circular", `Circular);
+    ("tri-circular", `Tri_full); ("tri-circular-small", `Tri_small);
+    ("bipolar-uni", `Bipolar_uni); ("bipolar-bi", `Bipolar_bi);
+  ]
+
+let strategy_name strategy = fst (List.find (fun (_, v) -> v = strategy) strategies)
+
 let strategy_arg =
-  let strategies =
-    [
-      ("auto", `Auto); ("kernel", `Kernel); ("circular", `Circular);
-      ("tri-circular", `Tri_full); ("tri-circular-small", `Tri_small);
-      ("bipolar-uni", `Bipolar_uni); ("bipolar-bi", `Bipolar_bi);
-    ]
-  in
   Arg.(
     value
     & opt (enum strategies) `Auto
@@ -279,6 +282,276 @@ let check_cmd =
        ~doc:"load a saved route table and fault-check it against its graph")
     Term.(const run $ graph_arg $ file_arg $ faults_arg)
 
+(* ---------------- attack ---------------- *)
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c | _ -> '-')
+    s
+
+let claim_bound_for c ~f =
+  List.fold_left
+    (fun acc (cl : Construction.claim) ->
+      if cl.max_faults >= f then
+        Some
+          (match acc with
+          | None -> cl.diameter_bound
+          | Some b -> min b cl.diameter_bound)
+      else acc)
+    None c.Construction.claims
+
+let replay_corpus dir =
+  let files = Attack.Corpus.load_dir dir in
+  if files = [] then begin
+    Printf.printf "no corpus files under %s\n" dir;
+    0
+  end
+  else begin
+    (* One construction (and one compiled table) per distinct
+       provenance triple, shared across its witnesses. *)
+    let cache = Hashtbl.create 8 in
+    let construction_for key =
+      match Hashtbl.find_opt cache key with
+      | Some r -> r
+      | None ->
+          let spec, strat, seed = key in
+          let r =
+            match Ftr_analysis.Graph_spec.parse spec with
+            | Error e -> Error ("bad graph spec: " ^ e)
+            | Ok g -> (
+                match List.assoc_opt strat strategies with
+                | None -> Error ("unknown strategy " ^ strat)
+                | Some s -> (
+                    match build_construction g s seed with
+                    | exception Invalid_argument msg -> Error msg
+                    | c -> Ok (c, Surviving.compile c.Construction.routing)))
+          in
+          Hashtbl.add cache key r;
+          r
+    in
+    let checked = ref 0 and failures = ref 0 in
+    List.iter
+      (fun (path, parsed) ->
+        match parsed with
+        | Error e ->
+            incr failures;
+            Printf.printf "%s: PARSE ERROR: %s\n" path e
+        | Ok entries ->
+            List.iter
+              (fun (e : Attack.Corpus.entry) ->
+                incr checked;
+                let label =
+                  Printf.sprintf "%s %s seed=%d {%s}" e.graph e.strategy e.seed
+                    (String.concat "," (List.map string_of_int e.faults))
+                in
+                match construction_for (e.graph, e.strategy, e.seed) with
+                | Error msg ->
+                    incr failures;
+                    Printf.printf "%-44s ERROR: %s\n" label msg
+                | Ok (c, compiled) ->
+                    let n = Graph.n (Routing.graph c.Construction.routing) in
+                    if n <> e.n then begin
+                      incr failures;
+                      Printf.printf "%-44s STALE: n=%d, entry says %d\n" label n e.n
+                    end
+                    else
+                      let d =
+                        Surviving.diameter_compiled compiled
+                          ~faults:(Bitset.of_list n e.faults)
+                      in
+                      if not (Metrics.distance_le d e.diameter) then begin
+                        incr failures;
+                        Printf.printf "%-44s REGRESSION: now %s, stored %s\n" label
+                          (dist_cell d) (dist_cell e.diameter)
+                      end
+                      else if d <> e.diameter then
+                        Printf.printf "%-44s improved: now %s, stored %s\n" label
+                          (dist_cell d) (dist_cell e.diameter)
+                      else Printf.printf "%-44s ok (%s)\n" label (dist_cell d))
+              entries)
+      files;
+    Printf.printf "replayed %d witness(es), %d failure(s)\n" !checked !failures;
+    if !failures = 0 then 0 else 1
+  end
+
+let attack_cmd =
+  let spec_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"GRAPH"
+          ~doc:"Graph spec (as for the other subcommands); omit with $(b,--replay).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt int Attack.default_config.Attack.budget
+      & info [ "budget" ] ~docv:"N" ~doc:"Max diameter evaluations for the search.")
+  in
+  let restarts_arg =
+    Arg.(
+      value
+      & opt int Attack.default_config.Attack.restarts
+      & info [ "restarts" ] ~docv:"N" ~doc:"Max restarts (pool-seeded first, then random).")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Append the shrunk witness to $(docv) (one JSON file per attacked \
+                construction; duplicates are skipped).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:"Replay every stored witness under $(docv) instead of searching; \
+                exits non-zero if any witness now yields a larger surviving \
+                diameter than recorded.")
+  in
+  let churn_arg =
+    Arg.(
+      value & flag
+      & info [ "churn" ]
+          ~doc:"After the search, run a message-level simulation where the \
+                discovered witnesses crash in waves and recover.")
+  in
+  let run spec strategy seed faults budget restarts corpus_dir replay churn =
+    match replay with
+    | Some dir -> replay_corpus dir
+    | None -> (
+        match spec with
+        | None ->
+            Printf.eprintf "a GRAPH spec is required unless --replay is given\n";
+            1
+        | Some spec -> (
+            match Ftr_analysis.Graph_spec.parse spec with
+            | Error e ->
+                Printf.eprintf "bad graph spec: %s\n" e;
+                1
+            | Ok g -> (
+                match build_construction g strategy seed with
+                | exception Invalid_argument msg ->
+                    Printf.eprintf "cannot build: %s\n" msg;
+                    1
+                | c ->
+                    let rng = Random.State.make [| seed; 3 |] in
+                    let n = Graph.n g in
+                    let default_f =
+                      List.fold_left
+                        (fun acc (cl : Construction.claim) -> max acc cl.max_faults)
+                        1 c.claims
+                    in
+                    let f = Option.value faults ~default:default_f in
+                    let config =
+                      { Attack.default_config with Attack.budget; restarts }
+                    in
+                    let o =
+                      Attack.search ~config ~rng ~pools:c.Construction.pools
+                        c.Construction.routing ~f
+                    in
+                    let sname = strategy_name strategy in
+                    Printf.printf "attack              %s %s seed=%d f=%d\n" spec sname
+                      seed f;
+                    Printf.printf "worst found         %s\n" (dist_cell o.Attack.worst);
+                    Printf.printf "witness             {%s}\n"
+                      (String.concat "," (List.map string_of_int o.Attack.witness));
+                    Printf.printf "shrunk              %d -> %d fault(s)\n"
+                      (List.length o.Attack.raw_witness)
+                      (List.length o.Attack.witness);
+                    Printf.printf "evals used          %d (budget %d)\n" o.Attack.evals
+                      budget;
+                    Printf.printf "restarts            %d\n" o.Attack.restarts_used;
+                    let bound = claim_bound_for c ~f in
+                    (match bound with
+                    | Some b ->
+                        Printf.printf "claim bound         %d -> %s\n" b
+                          (if Metrics.distance_le o.Attack.worst (Metrics.Finite b)
+                           then "respected"
+                           else "VIOLATED")
+                    | None -> ());
+                    (match corpus_dir with
+                    | None -> ()
+                    | Some dir when o.Attack.witness = [] ->
+                        Printf.printf "corpus              nothing to save in %s\n" dir
+                    | Some dir -> (
+                        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                        let fname =
+                          Filename.concat dir
+                            (sanitize (spec ^ "__" ^ sname) ^ ".json")
+                        in
+                        let existing =
+                          if Sys.file_exists fname then Attack.Corpus.load_file fname
+                          else Ok []
+                        in
+                        match existing with
+                        | Error msg ->
+                            Printf.printf "corpus              NOT saved (%s: %s)\n"
+                              fname msg
+                        | Ok entries ->
+                            let entry =
+                              {
+                                Attack.Corpus.graph = spec;
+                                strategy = sname;
+                                seed;
+                                n;
+                                f;
+                                faults = o.Attack.witness;
+                                diameter = o.Attack.worst;
+                                bound;
+                                found_by = Printf.sprintf "attack(seed=%d)" seed;
+                              }
+                            in
+                            let entries, added = Attack.Corpus.add entries entry in
+                            if added then begin
+                              Attack.Corpus.save_file fname entries;
+                              Printf.printf "corpus              + %s\n" fname
+                            end
+                            else
+                              Printf.printf "corpus              duplicate in %s\n"
+                                fname));
+                    if churn then begin
+                      let waves =
+                        List.sort_uniq compare
+                          [ o.Attack.witness; o.Attack.raw_witness ]
+                        |> List.filter (fun w -> w <> [])
+                      in
+                      let net = Ftr_sim.Network.create c.Construction.routing in
+                      let sim = Ftr_sim.Sim.create () in
+                      Ftr_sim.Faults.schedule_on sim net
+                        (Ftr_sim.Faults.witness_waves ~start:40.0 ~dwell:60.0
+                           ~gap:20.0 waves);
+                      let entries =
+                        Ftr_sim.Workload.uniform ~rng ~n ~count:300 ~horizon:240.0
+                      in
+                      let msgs =
+                        Ftr_sim.Protocol.deliver_all sim net
+                          Ftr_sim.Protocol.default_config entries
+                      in
+                      let delivered =
+                        List.filter
+                          (fun m ->
+                            m.Ftr_sim.Message.status = Ftr_sim.Message.Delivered)
+                          msgs
+                      in
+                      Printf.printf "churn delivered     %d/%d over %d wave(s)\n"
+                        (List.length delivered) (List.length msgs)
+                        (List.length waves)
+                    end;
+                    0)))
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:
+         "search for diameter-maximizing fault sets, shrink the witness, and \
+          maintain a regression corpus")
+    Term.(
+      const run $ spec_arg $ strategy_arg $ seed_arg $ faults_arg $ budget_arg
+      $ restarts_arg $ corpus_arg $ replay_arg $ churn_arg)
+
 (* ---------------- dot ---------------- *)
 
 let dot_cmd =
@@ -300,4 +573,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "ftr" ~doc)
-          [ info_cmd; route_cmd; tolerate_cmd; props_cmd; check_cmd; simulate_cmd; dot_cmd ]))
+          [
+            info_cmd; route_cmd; tolerate_cmd; props_cmd; check_cmd; simulate_cmd;
+            attack_cmd; dot_cmd;
+          ]))

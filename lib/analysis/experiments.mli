@@ -1,6 +1,6 @@
 (** The per-experiment index of DESIGN.md, executable.
 
-    Each experiment id (E1-E12, F1-F3, S1) regenerates one of the
+    Each experiment id (E1-E20, F1-F3, S1-S2) regenerates one of the
     paper's quantitative claims (there are no tables in the paper; the
     theorems play that role) or one of its three figures. Running an
     experiment returns a {!Table.t}; figure experiments additionally

@@ -1,0 +1,529 @@
+open Ftr_graph
+
+type config = {
+  budget : int;
+  restarts : int;
+  sa_steps : int;
+  init_temp : float;
+  cooling : float;
+}
+
+let default_config =
+  { budget = 1500; restarts = 6; sa_steps = 60; init_temp = 2.0; cooling = 0.95 }
+
+type outcome = {
+  worst : Metrics.distance;
+  witness : int list;
+  raw_witness : int list;
+  evals : int;
+  restarts_used : int;
+}
+
+let score ~n = function Metrics.Finite d -> d | Metrics.Infinite -> n
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+(* Greedy delta-minimisation: drop faults (in increasing vertex order,
+   restarting after every successful drop) while the surviving
+   diameter stays at least the target. Dropping a fault can also
+   *raise* the diameter — a revived vertex may sit far from everyone —
+   so the target ratchets upward and the returned witness achieves the
+   returned diameter exactly. *)
+let shrink compiled ~witness =
+  let n = Surviving.compiled_n compiled in
+  let evals = ref 0 in
+  let eval faults_list =
+    incr evals;
+    Surviving.diameter_compiled compiled ~faults:(Bitset.of_list n faults_list)
+  in
+  let current = ref (List.sort_uniq compare witness) in
+  let target = ref (eval !current) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let rec try_drop kept = function
+      | [] -> ()
+      | u :: rest ->
+          let candidate = List.rev_append kept rest in
+          let d = eval candidate in
+          if Metrics.distance_le !target d then begin
+            target := d;
+            current := List.sort compare candidate;
+            changed := true
+          end
+          else try_drop (u :: kept) rest
+    in
+    try_drop [] !current
+  done;
+  (!current, !target, !evals)
+
+let search ?(config = default_config) ~rng ?(pools = []) routing ~f =
+  let g = Routing.graph routing in
+  let n = Graph.n g in
+  let f = max 0 (min f n) in
+  let compiled = Surviving.compile routing in
+  let evals = ref 0 in
+  let scratch = Bitset.create n in
+  let eval_set faults =
+    incr evals;
+    Surviving.diameter_compiled compiled ~faults
+  in
+  Bitset.clear scratch;
+  let best_d = ref (eval_set scratch) in
+  let best_w = ref [] in
+  let restarts_used = ref 0 in
+  let budget_left () = !evals < config.budget in
+  if f > 0 && n > 0 then begin
+    let sc d = score ~n d in
+    let pool_seeds =
+      Array.of_list
+        (List.filter (fun p -> p <> []) (List.map (List.sort_uniq compare) pools))
+    in
+    (* Current set: membership bitset plus a positional member array so
+       a swap is O(1) to apply and to revert. *)
+    let cur = Bitset.create n in
+    let members = Array.make f 0 in
+    let cur_d = ref !best_d in
+    let record_if_best d =
+      if sc d > sc !best_d then begin
+        best_d := d;
+        best_w := List.sort compare (Array.to_list members)
+      end
+    in
+    let init_restart i =
+      Bitset.clear cur;
+      (if i < Array.length pool_seeds then begin
+         (* A random f-subset of the pool; short pools are topped up
+            with random vertices below. *)
+         let p = Array.of_list pool_seeds.(i) in
+         shuffle rng p;
+         Array.iter (fun v -> if Bitset.cardinal cur < f then Bitset.add cur v) p
+       end);
+      while Bitset.cardinal cur < f do
+        Bitset.add cur (Random.State.int rng n)
+      done;
+      let k = ref 0 in
+      Bitset.iter
+        (fun v ->
+          members.(!k) <- v;
+          incr k)
+        cur;
+      cur_d := eval_set cur;
+      record_if_best !cur_d
+    in
+    (* Swap members.(oi) for v; [accept] sees the new diameter and the
+       old one and decides; a rejected swap is reverted. *)
+    let try_swap oi v ~accept =
+      if Bitset.mem cur v then false
+      else begin
+        let u = members.(oi) in
+        Bitset.remove cur u;
+        Bitset.add cur v;
+        members.(oi) <- v;
+        let d = eval_set cur in
+        if accept d then begin
+          cur_d := d;
+          record_if_best d;
+          true
+        end
+        else begin
+          Bitset.remove cur v;
+          Bitset.add cur u;
+          members.(oi) <- u;
+          false
+        end
+      end
+    in
+    let exception Step in
+    (* One greedy step: randomised first-improvement over the full
+       single-node-swap neighborhood. *)
+    let greedy_step () =
+      let improved = ref false in
+      let outs = Array.init f Fun.id and vs = Array.init n Fun.id in
+      shuffle rng outs;
+      shuffle rng vs;
+      (try
+         Array.iter
+           (fun oi ->
+             Array.iter
+               (fun v ->
+                 if not (budget_left ()) then raise Step;
+                 if try_swap oi v ~accept:(fun d -> sc d > sc !cur_d) then begin
+                   improved := true;
+                   raise Step
+                 end)
+               vs)
+           outs
+       with Step -> ());
+      !improved
+    in
+    (* Plateau escape: a short annealing walk accepting uphill moves
+       always and downhill moves with cooling probability. *)
+    let sa_escape () =
+      let temp = ref config.init_temp in
+      let steps = ref 0 in
+      while budget_left () && !steps < config.sa_steps do
+        incr steps;
+        let oi = Random.State.int rng f in
+        let v = Random.State.int rng n in
+        ignore
+          (try_swap oi v ~accept:(fun d ->
+               let delta = float_of_int (sc d - sc !cur_d) in
+               delta >= 0.0 || Random.State.float rng 1.0 < exp (delta /. !temp)));
+        temp := !temp *. config.cooling
+      done
+    in
+    let i = ref 0 in
+    while budget_left () && !i < config.restarts do
+      incr restarts_used;
+      init_restart !i;
+      let live = ref true in
+      while budget_left () && !live do
+        if not (greedy_step ()) then begin
+          let before = sc !best_d in
+          sa_escape ();
+          (* Only keep climbing if the escape found new ground. *)
+          if sc !best_d <= before then live := false
+        end
+      done;
+      incr i
+    done
+  end;
+  let raw = !best_w in
+  let witness, worst, shrink_evals =
+    if raw = [] then ([], !best_d, 0) else shrink compiled ~witness:raw
+  in
+  evals := !evals + shrink_evals;
+  { worst; witness; raw_witness = raw; evals = !evals; restarts_used = !restarts_used }
+
+(* ------------------------------------------------------------------ *)
+(* Witness corpus                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Corpus = struct
+  type entry = {
+    graph : string;
+    strategy : string;
+    seed : int;
+    n : int;
+    f : int;
+    faults : int list;
+    diameter : Metrics.distance;
+    bound : int option;
+    found_by : string;
+  }
+
+  (* The corpus speaks a small JSON subset: null, integers, strings,
+     arrays, objects. Hand-rolled like Routing_io so persistence stays
+     dependency-free. *)
+  type json =
+    | Null
+    | Int of int
+    | Str of string
+    | Arr of json list
+    | Obj of (string * json) list
+
+  let write_string b s =
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+
+  let rec write b = function
+    | Null -> Buffer.add_string b "null"
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Str s -> write_string b s
+    | Arr l ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_string b ", ";
+            write b v)
+          l;
+        Buffer.add_char b ']'
+    | Obj l ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string b ", ";
+            write_string b k;
+            Buffer.add_string b ": ";
+            write b v)
+          l;
+        Buffer.add_char b '}'
+
+  exception Parse of string
+
+  let parse_json text =
+    let len = String.length text in
+    let pos = ref 0 in
+    let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < len then Some text.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let parse_literal word value =
+      if !pos + String.length word <= len && String.sub text !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_int () =
+      let start = !pos in
+      if peek () = Some '-' then advance ();
+      let rec digits () =
+        match peek () with
+        | Some ('0' .. '9') ->
+            advance ();
+            digits ()
+        | _ -> ()
+      in
+      digits ();
+      if !pos = start then fail "expected integer";
+      match int_of_string_opt (String.sub text start (!pos - start)) with
+      | Some i -> Int i
+      | None -> fail "bad integer"
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | Some '"' ->
+                Buffer.add_char b '"';
+                advance ();
+                go ()
+            | Some '\\' ->
+                Buffer.add_char b '\\';
+                advance ();
+                go ()
+            | Some '/' ->
+                Buffer.add_char b '/';
+                advance ();
+                go ()
+            | Some 'n' ->
+                Buffer.add_char b '\n';
+                advance ();
+                go ()
+            | Some 't' ->
+                Buffer.add_char b '\t';
+                advance ();
+                go ()
+            | Some 'r' ->
+                Buffer.add_char b '\r';
+                advance ();
+                go ()
+            | _ -> fail "unsupported escape")
+        | Some c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (fields [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Arr (items [])
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 'n' -> parse_literal "null" Null
+      | Some _ -> parse_int ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then fail "trailing input";
+    v
+
+  let entry_to_json e =
+    Obj
+      [
+        ("graph", Str e.graph);
+        ("strategy", Str e.strategy);
+        ("seed", Int e.seed);
+        ("n", Int e.n);
+        ("f", Int e.f);
+        ("faults", Arr (List.map (fun v -> Int v) e.faults));
+        ( "diameter",
+          match e.diameter with Metrics.Finite d -> Int d | Metrics.Infinite -> Str "inf" );
+        ("bound", match e.bound with Some b -> Int b | None -> Null);
+        ("found_by", Str e.found_by);
+      ]
+
+  let to_json entries =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "[";
+    List.iteri
+      (fun i e ->
+        Buffer.add_string b (if i > 0 then ",\n  " else "\n  ");
+        write b (entry_to_json e))
+      entries;
+    Buffer.add_string b "\n]\n";
+    Buffer.contents b
+
+  let field obj name =
+    match List.assoc_opt name obj with
+    | Some v -> v
+    | None -> raise (Parse (Printf.sprintf "missing field %S" name))
+
+  let as_int = function
+    | Int i -> i
+    | _ -> raise (Parse "expected an integer")
+
+  let as_str = function
+    | Str s -> s
+    | _ -> raise (Parse "expected a string")
+
+  let entry_of_json = function
+    | Obj obj ->
+        {
+          graph = as_str (field obj "graph");
+          strategy = as_str (field obj "strategy");
+          seed = as_int (field obj "seed");
+          n = as_int (field obj "n");
+          f = as_int (field obj "f");
+          faults =
+            (match field obj "faults" with
+            | Arr l -> List.sort compare (List.map as_int l)
+            | _ -> raise (Parse "faults must be an array"));
+          diameter =
+            (match field obj "diameter" with
+            | Int d -> Metrics.Finite d
+            | Str "inf" -> Metrics.Infinite
+            | _ -> raise (Parse "diameter must be an integer or \"inf\""));
+          bound =
+            (match field obj "bound" with
+            | Null -> None
+            | Int b -> Some b
+            | _ -> raise (Parse "bound must be an integer or null"));
+          found_by = as_str (field obj "found_by");
+        }
+    | _ -> raise (Parse "entry must be an object")
+
+  let of_json text =
+    try
+      match parse_json text with
+      | Arr l -> Ok (List.map entry_of_json l)
+      | _ -> Error "corpus file must be a JSON array"
+    with Parse msg -> Error msg
+
+  let load_file path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> of_json text
+    | exception Sys_error msg -> Error msg
+
+  let save_file path entries =
+    let oc = open_out path in
+    output_string oc (to_json entries);
+    close_out oc
+
+  let load_dir dir =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then []
+    else
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".json")
+      |> List.sort compare
+      |> List.map (fun f ->
+             let path = Filename.concat dir f in
+             (path, load_file path))
+
+  let same_witness a b =
+    a.graph = b.graph && a.strategy = b.strategy && a.faults = b.faults
+
+  let add entries e =
+    let e = { e with faults = List.sort compare e.faults } in
+    if List.exists (same_witness e) entries then (entries, false)
+    else (entries @ [ e ], true)
+
+  let replayable entries ~n ~f =
+    List.filter_map
+      (fun e ->
+        if
+          e.n = n
+          && List.length e.faults <= f
+          && List.for_all (fun v -> v >= 0 && v < n) e.faults
+        then Some e.faults
+        else None)
+      entries
+end

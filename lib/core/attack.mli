@@ -1,0 +1,120 @@
+(** Adversarial fault-set search (the attack engine).
+
+    Every theorem of the paper quantifies over {e all} fault sets of
+    size at most [f]; exhaustive enumeration dies combinatorially and
+    uniform sampling is a weak adversary for routing resilience —
+    worst cases hide in tiny, structured corners of the fault space.
+    This module searches for diameter-maximising fault sets with
+    greedy hill-climbing over single-node swaps scored by
+    {!Surviving.diameter_compiled}, restarts seeded from the
+    construction's adversarial pools (concentrator, neighborhoods,
+    minimum cuts) and from random sets, and simulated-annealing
+    escapes from plateaus — all under a fixed evaluation budget with a
+    deterministic RNG.
+
+    Every reported witness is {e delta-minimised}: no single fault can
+    be dropped without losing the achieved diameter, so witnesses stay
+    small enough to read and to replay cheaply forever (see
+    {!module:Corpus}). *)
+
+open Ftr_graph
+
+type config = {
+  budget : int;  (** max surviving-diameter evaluations for the search *)
+  restarts : int;  (** max restarts (pool-seeded first, then random) *)
+  sa_steps : int;  (** annealing steps per plateau escape *)
+  init_temp : float;  (** initial annealing acceptance temperature *)
+  cooling : float;  (** multiplicative cooling per annealing step *)
+}
+
+val default_config : config
+(** [{ budget = 1500; restarts = 6; sa_steps = 60; init_temp = 2.0;
+      cooling = 0.95 }] — the "default budget" every acceptance
+    statement about the engine refers to. *)
+
+type outcome = {
+  worst : Metrics.distance;  (** largest surviving diameter found *)
+  witness : int list;
+      (** delta-minimal fault set achieving exactly [worst]; sorted *)
+  raw_witness : int list;  (** the set as discovered, before shrinking *)
+  evals : int;  (** diameter evaluations spent, shrinking included *)
+  restarts_used : int;
+}
+
+val score : n:int -> Metrics.distance -> int
+(** The search objective, totally ordered: a finite diameter is
+    itself; [Infinite] scores [n], above every finite surviving
+    diameter (which is at most [n - 1]). *)
+
+val search :
+  ?config:config ->
+  rng:Random.State.t ->
+  ?pools:int list list ->
+  Routing.t ->
+  f:int ->
+  outcome
+(** Maximise the surviving diameter over fault sets of size exactly
+    [min f n] (the empty set is also evaluated, so the result is never
+    below the fault-free diameter). Anytime: stops when [budget]
+    evaluations are spent or [restarts] restarts are exhausted;
+    shrinking the final witness costs at most [O(|witness|^2)]
+    evaluations on top of the budget. Deterministic for a given RNG
+    state. *)
+
+val shrink :
+  Surviving.compiled -> witness:int list -> int list * Metrics.distance * int
+(** [shrink c ~witness] greedily drops faults while the surviving
+    diameter stays at least the witness's own. Returns the smaller
+    witness (sorted), the diameter it achieves (never below the
+    original's) and the evaluations used. The result is locally
+    minimal: dropping any single remaining fault strictly lowers the
+    diameter below the returned one. *)
+
+(** {1 Witness corpus}
+
+    A discovered witness is a regression test waiting to happen: it
+    costs one diameter evaluation to replay forever. Entries carry
+    enough to rebuild their construction from the CLI vocabulary
+    (graph spec, strategy name, build seed), so `ftr attack --replay`
+    re-checks a whole corpus from scratch, and
+    {!Tolerance.evaluate} replays matching fault sets before any
+    fresh search. Files are JSON arrays, one file per attacked
+    construction, under a corpus directory (conventionally
+    [corpus/]). *)
+
+module Corpus : sig
+  type entry = {
+    graph : string;  (** CLI graph spec, e.g. ["torus:5x5"] *)
+    strategy : string;  (** CLI strategy name, e.g. ["kernel"] *)
+    seed : int;  (** build seed the construction was made with *)
+    n : int;  (** vertex count, as a staleness check *)
+    f : int;  (** fault budget the search ran under *)
+    faults : int list;  (** the witness, sorted *)
+    diameter : Metrics.distance;  (** measured at discovery time *)
+    bound : int option;
+        (** the claim bound in force when [f] was within a claim's
+            fault budget; [None] for beyond-budget exploration *)
+    found_by : string;  (** provenance, e.g. ["attack(seed=48879)"] *)
+  }
+
+  val to_json : entry list -> string
+  (** A JSON array, one entry object per line. *)
+
+  val of_json : string -> (entry list, string) result
+
+  val load_file : string -> (entry list, string) result
+
+  val save_file : string -> entry list -> unit
+
+  val load_dir : string -> (string * (entry list, string) result) list
+  (** [(path, parse result)] for every [*.json] directly in the
+      directory, sorted by path; [[]] when the directory is missing. *)
+
+  val add : entry list -> entry -> entry list * bool
+  (** Append unless an entry with the same graph, strategy and fault
+      set is already present; returns whether it was added. *)
+
+  val replayable : entry list -> n:int -> f:int -> int list list
+  (** The stored fault sets valid on an [n]-vertex instance under
+      fault budget [f] (every vertex in range, size at most [f]). *)
+end

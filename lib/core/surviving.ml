@@ -87,6 +87,8 @@ let compile routing =
     queue = Array.make n 0;
   }
 
+let compiled_n c = c.n
+
 let diameter_compiled c ~faults =
   let total = Array.length c.dsts in
   (* Pass 1: which routes survive. *)

@@ -38,6 +38,10 @@ val compile : Routing.t -> compiled
 val diameter_compiled : compiled -> faults:Bitset.t -> Metrics.distance
 (** Same result as {!diameter}, much faster in a loop. *)
 
+val compiled_n : compiled -> int
+(** Vertex count of the routing the table was compiled from (callers
+    that only hold the compiled form need it to size fault sets). *)
+
 val component_diameters : Routing.t -> faults:Bitset.t -> (int list * Metrics.distance) list
 (** Open problem (3) of the paper: when more than [t] faults
     disconnect the network, is the routing still "well behaved" inside

@@ -85,6 +85,10 @@ let random routing ~f ~rng ~samples =
   check_sets routing sets
 
 let adversarial ?(per_pool_cap = 2000) routing ~f ~pools =
+  (* Pools overlap (the concentrator reappears in its members'
+     neighborhoods), so identical subsets would be re-evaluated and
+     inflate [sets_checked]; dedupe across pools, after the per-pool
+     cap so single-pool counts are unchanged. *)
   let sets =
     List.fold_left
       (fun acc pool ->
@@ -92,7 +96,19 @@ let adversarial ?(per_pool_cap = 2000) routing ~f ~pools =
         Seq.append acc (Seq.take per_pool_cap (subsets_up_to pool f)))
       Seq.empty pools
   in
-  check_sets routing sets
+  let seen = Hashtbl.create 256 in
+  let deduped =
+    Seq.filter
+      (fun s ->
+        let key = List.sort compare s in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      sets
+  in
+  check_sets routing deduped
 
 let merge a b =
   {
@@ -103,14 +119,38 @@ let merge a b =
     definitive = a.definitive && b.definitive;
   }
 
-let evaluate ?(exhaustive_budget = 20_000) ?(samples = 300) ~rng
+let evaluate ?(exhaustive_budget = 20_000) ?(samples = 300)
+    ?(attack_budget = Attack.default_config.Attack.budget) ?(corpus = []) ~rng
     (c : Construction.t) ~f =
   let routing = c.Construction.routing in
   let n = Graph.n (Routing.graph routing) in
   if count_subsets_up_to ~n ~k:f <= exhaustive_budget then exhaustive routing ~f
-  else
+  else begin
+    (* Stored witnesses replay first: a regression against the corpus
+       should surface even if every fresh search misses it. *)
+    let replay =
+      match Attack.Corpus.replayable corpus ~n ~f with
+      | [] -> None
+      | sets -> Some (check_sets routing (List.to_seq sets))
+    in
     let adv = adversarial routing ~f ~pools:c.Construction.pools in
     let rnd = random routing ~f ~rng ~samples in
-    merge { adv with definitive = false } rnd
+    let atk =
+      if attack_budget <= 0 then None
+      else
+        let config = { Attack.default_config with Attack.budget = attack_budget } in
+        let o = Attack.search ~config ~rng ~pools:c.Construction.pools routing ~f in
+        Some
+          {
+            worst = o.Attack.worst;
+            witness = o.Attack.witness;
+            sets_checked = o.Attack.evals;
+            definitive = false;
+          }
+    in
+    let acc = merge { adv with definitive = false } rnd in
+    let acc = match replay with None -> acc | Some v -> merge v acc in
+    match atk with None -> acc | Some v -> merge acc v
+  end
 
 let respects v ~bound = Metrics.distance_le v.worst (Metrics.Finite bound)

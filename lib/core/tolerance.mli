@@ -35,18 +35,26 @@ val random : Routing.t -> f:int -> rng:Random.State.t -> samples:int -> verdict
 
 val adversarial : ?per_pool_cap:int -> Routing.t -> f:int -> pools:int list list -> verdict
 (** Subsets of size [<= f] of each pool, at most [per_pool_cap]
-    (default 2000) sets per pool. *)
+    (default 2000) sets per pool, deduplicated across pools (the cap
+    applies before deduplication, so a set is only skipped when an
+    earlier pool already produced it). *)
 
 val evaluate :
   ?exhaustive_budget:int ->
   ?samples:int ->
+  ?attack_budget:int ->
+  ?corpus:Attack.Corpus.entry list ->
   rng:Random.State.t ->
   Construction.t ->
   f:int ->
   verdict
 (** Exhaustive when [count_subsets_up_to n f] fits the budget (default
-    20000); otherwise adversarial pools plus [samples] (default 300)
-    random sets. *)
+    20000). Otherwise four non-definitive sources merge, in order:
+    stored [corpus] witnesses valid on this instance replay first
+    (default none), then adversarial pools, [samples] (default 300)
+    random sets, and an {!Attack.search} run under [attack_budget]
+    evaluations (default {!Attack.default_config}'s budget; [0]
+    disables the search). *)
 
 val respects : verdict -> bound:int -> bool
 (** Did every checked fault set keep the diameter within the bound? *)

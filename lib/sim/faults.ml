@@ -14,6 +14,43 @@ let random_crashes ~rng ~n ~count ~window:(lo, hi) =
   List.init count (fun i ->
       { at = lo +. Random.State.float rng (hi -. lo); node = nodes.(i); kind = `Crash })
 
+let churn ~rng ~n ~count ~window:(lo, hi) ~dwell =
+  if count > n then invalid_arg "Faults.churn: count > n";
+  if dwell < 0.0 then invalid_arg "Faults.churn: negative dwell";
+  let nodes = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = nodes.(i) in
+    nodes.(i) <- nodes.(j);
+    nodes.(j) <- t
+  done;
+  let events =
+    List.concat
+      (List.init count (fun i ->
+           let at = lo +. Random.State.float rng (hi -. lo) in
+           [
+             { at; node = nodes.(i); kind = `Crash };
+             { at = at +. dwell; node = nodes.(i); kind = `Recover };
+           ]))
+  in
+  List.stable_sort (fun a b -> compare a.at b.at) events
+
+let witness_waves ~start ~dwell ~gap witnesses =
+  if dwell < 0.0 then invalid_arg "Faults.witness_waves: negative dwell";
+  if gap < 0.0 then invalid_arg "Faults.witness_waves: negative gap";
+  let _, events =
+    List.fold_left
+      (fun (at, acc) witness ->
+        let witness = List.sort_uniq compare witness in
+        let crashes = List.map (fun node -> { at; node; kind = `Crash }) witness in
+        let recoveries =
+          List.map (fun node -> { at = at +. dwell; node; kind = `Recover }) witness
+        in
+        (at +. dwell +. gap, acc @ crashes @ recoveries))
+      (start, []) witnesses
+  in
+  events
+
 let schedule_on sim net events =
   List.iter
     (fun { at; node; kind } ->

@@ -9,5 +9,24 @@ val random_crashes :
 (** [count] distinct nodes crash at uniform times within the
     window. *)
 
+val churn :
+  rng:Random.State.t ->
+  n:int ->
+  count:int ->
+  window:float * float ->
+  dwell:float ->
+  event list
+(** Like {!random_crashes}, but every crash is paired with a recovery
+    [dwell] later, so nodes cycle out and back in. Events are sorted
+    by time; recoveries may land after the window's end. *)
+
+val witness_waves :
+  start:float -> dwell:float -> gap:float -> int list list -> event list
+(** Deterministic churn driven by discovered fault sets: each witness
+    crashes wholesale (one wave), stays down for [dwell], recovers,
+    and the next wave starts [gap] later. This replays the attack
+    engine's worst cases dynamically — the simulator exercises exactly
+    the fault patterns the search proved nastiest. *)
+
 val schedule_on : Sim.t -> Network.t -> event list -> unit
 (** Install the schedule into the simulator. *)

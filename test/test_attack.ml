@@ -1,0 +1,263 @@
+(* The adversarial fault-search engine: search quality against
+   exhaustive ground truth and uniform random sampling, witness
+   shrinking, determinism, and the persistent witness corpus. *)
+
+open Ftr_graph
+open Ftr_core
+
+let distance = Alcotest.testable Metrics.pp_distance ( = )
+
+(* Small instances where exhaustive enumeration is the ground truth. *)
+let small_instances () =
+  [
+    ("hypercube(3)/kernel", Kernel.make (Families.hypercube 3) ~t:2, 2);
+    ("ccc(3)/kernel", Kernel.make (Families.ccc 3) ~t:2, 2);
+    ("cycle(12)/bipolar-uni", Bipolar.make_unidirectional (Families.cycle 12) ~t:1, 1);
+  ]
+
+(* grid(15x15) at f=2 has ~25.4k fault sets: beyond the default
+   exhaustive budget, and its corner cuts hide from uniform sampling. *)
+let grid_kernel = lazy (Kernel.make (Families.grid 15 15) ~t:1)
+
+let test_finds_exhaustive_worst () =
+  List.iter
+    (fun (name, c, f) ->
+      let routing = c.Construction.routing in
+      let n = Graph.n (Routing.graph routing) in
+      let truth = Tolerance.exhaustive routing ~f in
+      let runs = 10 in
+      let hits = ref 0 in
+      for i = 1 to runs do
+        let rng = Random.State.make [| 1234; i |] in
+        let o = Attack.search ~rng ~pools:c.Construction.pools routing ~f in
+        if Attack.score ~n o.Attack.worst >= Attack.score ~n truth.Tolerance.worst
+        then incr hits
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d/%d seeded runs reach the exhaustive worst" name
+           !hits runs)
+        true
+        (!hits * 10 >= 9 * runs))
+    (small_instances ())
+
+let test_beats_random_on_large () =
+  let c = Lazy.force grid_kernel in
+  let routing = c.Construction.routing in
+  let n = Graph.n (Routing.graph routing) in
+  Alcotest.(check bool) "too large for exhaustive" true
+    (Tolerance.count_subsets_up_to ~n ~k:2 > 20_000);
+  let o =
+    Attack.search
+      ~rng:(Random.State.make [| 42; 3 |])
+      ~pools:c.Construction.pools routing ~f:2
+  in
+  let rnd =
+    Tolerance.random routing ~f:2 ~rng:(Random.State.make [| 42; 4 |]) ~samples:300
+  in
+  Alcotest.check distance "attack finds a disconnecting pair" Metrics.Infinite
+    o.Attack.worst;
+  Alcotest.(check bool)
+    (Printf.sprintf "attack (%s) strictly beats 300 uniform samples (%s)"
+       (Format.asprintf "%a" Metrics.pp_distance o.Attack.worst)
+       (Format.asprintf "%a" Metrics.pp_distance rnd.Tolerance.worst))
+    true
+    (Attack.score ~n o.Attack.worst > Attack.score ~n rnd.Tolerance.worst)
+
+let test_shrink_keeps_diameter_and_is_minimal () =
+  let c = Kernel.make (Families.hypercube 3) ~t:2 in
+  let routing = c.Construction.routing in
+  let n = Graph.n (Routing.graph routing) in
+  let compiled = Surviving.compile routing in
+  let truth = Tolerance.exhaustive routing ~f:2 in
+  let w, d, evals = Attack.shrink compiled ~witness:truth.Tolerance.witness in
+  Alcotest.(check bool) "achieves at least the original diameter" true
+    (Metrics.distance_le truth.Tolerance.worst d);
+  Alcotest.(check bool) "spent evaluations" true (evals > 0);
+  Alcotest.(check bool) "no larger than the original" true
+    (List.length w <= List.length truth.Tolerance.witness);
+  let check_minimal w d =
+    List.iter
+      (fun u ->
+        let rest = List.filter (fun v -> v <> u) w in
+        let d' =
+          Surviving.diameter_compiled compiled ~faults:(Bitset.of_list n rest)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "dropping %d strictly lowers the diameter" u)
+          true
+          (not (Metrics.distance_le d d')))
+      w
+  in
+  check_minimal w d;
+  (* A witness padded with irrelevant vertices still shrinks to a
+     locally minimal set. *)
+  let padded = List.sort_uniq compare (truth.Tolerance.witness @ [ 0; 5 ]) in
+  let w2, d2, _ = Attack.shrink compiled ~witness:padded in
+  Alcotest.(check bool) "shrunk set is a subset of the input" true
+    (List.for_all (fun v -> List.mem v padded) w2);
+  check_minimal w2 d2
+
+let test_deterministic_and_reproducible () =
+  let c = Kernel.make (Families.ccc 3) ~t:2 in
+  let routing = c.Construction.routing in
+  let n = Graph.n (Routing.graph routing) in
+  let run () =
+    Attack.search
+      ~rng:(Random.State.make [| 7 |])
+      ~pools:c.Construction.pools routing ~f:2
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (list int)) "same witness" a.Attack.witness b.Attack.witness;
+  Alcotest.check distance "same worst" a.Attack.worst b.Attack.worst;
+  Alcotest.(check int) "same evals" a.Attack.evals b.Attack.evals;
+  Alcotest.(check int) "same restarts" a.Attack.restarts_used b.Attack.restarts_used;
+  (* The shrunk witness reproduces the reported diameter exactly. *)
+  let compiled = Surviving.compile routing in
+  let d =
+    Surviving.diameter_compiled compiled ~faults:(Bitset.of_list n a.Attack.witness)
+  in
+  Alcotest.check distance "witness reproduces the reported worst" a.Attack.worst d;
+  Alcotest.(check bool) "witness within the fault budget" true
+    (List.length a.Attack.witness <= 2);
+  Alcotest.(check bool) "search respects its budget (plus shrinking)" true
+    (a.Attack.evals <= Attack.default_config.Attack.budget + 20)
+
+let sample_entries () =
+  [
+    {
+      Attack.Corpus.graph = "grid:15x15";
+      strategy = "kernel";
+      seed = 42;
+      n = 225;
+      f = 2;
+      faults = [ 209; 223 ];
+      diameter = Metrics.Infinite;
+      bound = None;
+      found_by = "attack(seed=42)";
+    };
+    {
+      Attack.Corpus.graph = "hypercube:3";
+      strategy = "kernel";
+      seed = 7;
+      n = 8;
+      f = 2;
+      faults = [ 3; 6 ];
+      diameter = Metrics.Finite 4;
+      bound = Some 4;
+      found_by = "attack(seed=7)";
+    };
+  ]
+
+let test_corpus_json_roundtrip () =
+  let entries = sample_entries () in
+  match Attack.Corpus.of_json (Attack.Corpus.to_json entries) with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+      Alcotest.(check int) "same length" (List.length entries) (List.length back);
+      Alcotest.(check bool) "identical entries" true (back = entries)
+
+let test_corpus_add_dedupes () =
+  let entries = sample_entries () in
+  let e = List.hd entries in
+  let _, added =
+    Attack.Corpus.add entries { e with seed = 99; found_by = "other run" }
+  in
+  Alcotest.(check bool) "same witness not re-added" false added;
+  let entries', added' = Attack.Corpus.add entries { e with faults = [ 1; 2 ] } in
+  Alcotest.(check bool) "new witness added" true added';
+  Alcotest.(check int) "appended" (List.length entries + 1) (List.length entries')
+
+let test_corpus_replayable () =
+  let entries = sample_entries () in
+  Alcotest.(check (list (list int)))
+    "matching n and f" [ [ 209; 223 ] ]
+    (Attack.Corpus.replayable entries ~n:225 ~f:2);
+  Alcotest.(check (list (list int)))
+    "fault budget too small" []
+    (Attack.Corpus.replayable entries ~n:225 ~f:1);
+  Alcotest.(check (list (list int)))
+    "other instance size" [ [ 3; 6 ] ]
+    (Attack.Corpus.replayable entries ~n:8 ~f:3)
+
+let test_corpus_files () =
+  let dir = Filename.temp_file "ftr-corpus" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let file = Filename.concat dir "sample.json" in
+  Attack.Corpus.save_file file (sample_entries ());
+  (match Attack.Corpus.load_file file with
+  | Error e -> Alcotest.fail e
+  | Ok es -> Alcotest.(check bool) "file roundtrip" true (es = sample_entries ()));
+  (match Attack.Corpus.load_dir dir with
+  | [ (p, Ok es) ] ->
+      Alcotest.(check string) "path" file p;
+      Alcotest.(check bool) "dir roundtrip" true (es = sample_entries ())
+  | _ -> Alcotest.fail "expected exactly one parsed corpus file");
+  Alcotest.(check bool) "missing directory is empty" true
+    (Attack.Corpus.load_dir (Filename.concat dir "nope") = []);
+  Sys.remove file;
+  Sys.rmdir dir
+
+let test_corpus_rejects_garbage () =
+  (match Attack.Corpus.of_json "{\"not\": \"an array\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "object accepted as corpus");
+  match Attack.Corpus.of_json "[{\"graph\": \"x\"}]" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing fields accepted"
+
+let test_evaluate_replays_corpus () =
+  let c = Lazy.force grid_kernel in
+  let corpus =
+    [
+      {
+        Attack.Corpus.graph = "grid:15x15";
+        strategy = "kernel";
+        seed = 42;
+        n = 225;
+        f = 2;
+        faults = [ 209; 223 ];
+        diameter = Metrics.Infinite;
+        bound = None;
+        found_by = "seeded";
+      };
+    ]
+  in
+  let v =
+    Tolerance.evaluate ~samples:10 ~attack_budget:0 ~corpus
+      ~rng:(Random.State.make [| 5 |])
+      c ~f:2
+  in
+  Alcotest.check distance "corpus witness replayed" Metrics.Infinite
+    v.Tolerance.worst;
+  Alcotest.(check (list int)) "witness is the stored one" [ 209; 223 ]
+    v.Tolerance.witness
+
+let () =
+  Alcotest.run "attack"
+    [
+      ( "search",
+        [
+          Alcotest.test_case "finds exhaustive worst (>=90% of seeds)" `Quick
+            test_finds_exhaustive_worst;
+          Alcotest.test_case "beats uniform random beyond exhaustive reach" `Quick
+            test_beats_random_on_large;
+          Alcotest.test_case "deterministic, reproducible witness" `Quick
+            test_deterministic_and_reproducible;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "keeps diameter, locally minimal" `Quick
+            test_shrink_keeps_diameter_and_is_minimal;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_corpus_json_roundtrip;
+          Alcotest.test_case "add dedupes" `Quick test_corpus_add_dedupes;
+          Alcotest.test_case "replayable filter" `Quick test_corpus_replayable;
+          Alcotest.test_case "save/load files" `Quick test_corpus_files;
+          Alcotest.test_case "rejects garbage" `Quick test_corpus_rejects_garbage;
+          Alcotest.test_case "evaluate replays stored witnesses" `Quick
+            test_evaluate_replays_corpus;
+        ] );
+    ]

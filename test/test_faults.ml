@@ -33,6 +33,58 @@ let test_random_crashes_bounds () =
   Alcotest.check_raises "count > n" (Invalid_argument "Faults.random_crashes: count > n")
     (fun () -> ignore (Faults.random_crashes ~rng ~n:3 ~count:4 ~window:(0.0, 1.0)))
 
+let test_churn_pairs () =
+  let rng = Random.State.make [| 4 |] in
+  let events = Faults.churn ~rng ~n:10 ~count:4 ~window:(1.0, 2.0) ~dwell:0.5 in
+  Alcotest.(check int) "a crash and a recovery per node" 8 (List.length events);
+  let crashes = List.filter (fun e -> e.Faults.kind = `Crash) events in
+  let recoveries = List.filter (fun e -> e.Faults.kind = `Recover) events in
+  Alcotest.(check int) "four crashes" 4 (List.length crashes);
+  List.iter
+    (fun c ->
+      let r = List.find (fun r -> r.Faults.node = c.Faults.node) recoveries in
+      Alcotest.(check (float 1e-9)) "recovery after dwell" (c.Faults.at +. 0.5)
+        r.Faults.at;
+      Alcotest.(check bool) "crash in window" true
+        (c.Faults.at >= 1.0 && c.Faults.at <= 2.0))
+    crashes;
+  let times = List.map (fun e -> e.Faults.at) events in
+  Alcotest.(check bool) "sorted by time" true (List.sort compare times = times);
+  Alcotest.check_raises "count > n" (Invalid_argument "Faults.churn: count > n")
+    (fun () ->
+      ignore (Faults.churn ~rng ~n:3 ~count:4 ~window:(0.0, 1.0) ~dwell:1.0))
+
+let test_churn_applies_and_heals () =
+  let net = edge_net () in
+  let sim = Sim.create () in
+  let rng = Random.State.make [| 9 |] in
+  Faults.schedule_on sim net
+    (Faults.churn ~rng ~n:6 ~count:3 ~window:(1.0, 2.0) ~dwell:1.0);
+  Sim.run sim;
+  Alcotest.(check int) "everyone recovered" 0 (Network.fault_count net)
+
+let test_witness_waves () =
+  let events =
+    Faults.witness_waves ~start:10.0 ~dwell:5.0 ~gap:2.0 [ [ 1; 2 ]; [ 4 ] ]
+  in
+  Alcotest.(check int) "two events per fault" 6 (List.length events);
+  let at kind node =
+    (List.find (fun e -> e.Faults.kind = kind && e.Faults.node = node) events)
+      .Faults.at
+  in
+  Alcotest.(check (float 1e-9)) "wave 1 crashes at start" 10.0 (at `Crash 1);
+  Alcotest.(check (float 1e-9)) "wave 1 recovers after dwell" 15.0 (at `Recover 2);
+  Alcotest.(check (float 1e-9)) "wave 2 starts after the gap" 17.0 (at `Crash 4);
+  Alcotest.(check (float 1e-9)) "wave 2 recovers" 22.0 (at `Recover 4);
+  (* Driving the simulator with a wave schedule ends fully healed. *)
+  let net = edge_net () in
+  let sim = Sim.create () in
+  Faults.schedule_on sim net events;
+  Sim.run ~until:12.0 sim;
+  Alcotest.(check int) "wave 1 down" 2 (Network.fault_count net);
+  Sim.run sim;
+  Alcotest.(check int) "all recovered" 0 (Network.fault_count net)
+
 let test_schedule_applies () =
   let net = edge_net () in
   let sim = Sim.create () in
@@ -58,6 +110,10 @@ let () =
           Alcotest.test_case "crash_set_at" `Quick test_crash_set_at;
           Alcotest.test_case "random distinct" `Quick test_random_crashes_distinct;
           Alcotest.test_case "bounds" `Quick test_random_crashes_bounds;
+          Alcotest.test_case "churn pairs crash/recover" `Quick test_churn_pairs;
+          Alcotest.test_case "churn applies and heals" `Quick
+            test_churn_applies_and_heals;
+          Alcotest.test_case "witness waves" `Quick test_witness_waves;
           Alcotest.test_case "schedule applies" `Quick test_schedule_applies;
         ] );
     ]

@@ -185,6 +185,32 @@ let prop_routing_io_roundtrip =
           Routing.route_count loaded = Routing.route_count c.Construction.routing
           && Routing.validate loaded = Ok ())
 
+let prop_attack_cross_validates =
+  QCheck.Test.make
+    ~name:"attack never exceeds exhaustive worst; shrunk witness reproduces it"
+    ~count:15
+    (QCheck.make ~print:graph_print (chorded_cycle_gen ~nmin:6 ~nmax:10))
+    (fun g ->
+      let t = Connectivity.vertex_connectivity g - 1 in
+      let c = Kernel.make g ~t in
+      let routing = c.Construction.routing in
+      let f = max 1 t in
+      let n = Graph.n g in
+      let truth = Tolerance.exhaustive routing ~f in
+      let rng = Random.State.make [| 11; n |] in
+      let o =
+        Attack.search
+          ~config:{ Attack.default_config with Attack.budget = 400 }
+          ~rng ~pools:c.Construction.pools routing ~f
+      in
+      let compiled = Surviving.compile routing in
+      let reproduced =
+        Surviving.diameter_compiled compiled
+          ~faults:(Bitset.of_list n o.Attack.witness)
+      in
+      Attack.score ~n o.Attack.worst <= Attack.score ~n truth.Tolerance.worst
+      && reproduced = o.Attack.worst)
+
 let prop_full_multirouting_diameter_one =
   QCheck.Test.make ~name:"Section 6 (1): full multirouting diameter 1" ~count:15
     (arb_with_faults ~nmin:5 ~nmax:9)
@@ -212,6 +238,7 @@ let () =
         prop_bipolar_lemma_properties;
         prop_minimal_routing_stretch_one;
         prop_routing_io_roundtrip;
+        prop_attack_cross_validates;
         prop_full_multirouting_diameter_one;
       ]
   in

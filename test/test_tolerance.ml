@@ -64,6 +64,17 @@ let test_adversarial_cap () =
   let v = Tolerance.adversarial ~per_pool_cap:3 r ~f:2 ~pools:[ [ 0; 1; 2; 3 ] ] in
   Alcotest.(check int) "capped" 3 v.Tolerance.sets_checked
 
+let test_adversarial_dedupes_across_pools () =
+  let r = edge_routing (Families.cycle 8) in
+  let one = Tolerance.adversarial r ~f:2 ~pools:[ [ 0; 1; 2 ] ] in
+  let dup = Tolerance.adversarial r ~f:2 ~pools:[ [ 0; 1; 2 ]; [ 2; 1; 0 ] ] in
+  Alcotest.(check int) "identical pool adds nothing" one.Tolerance.sets_checked
+    dup.Tolerance.sets_checked;
+  (* Overlapping pools only pay for the subsets the first one missed:
+     {0,1,2} and {1,2,3} share the empty set, {1}, {2} and {1,2}. *)
+  let overlap = Tolerance.adversarial r ~f:2 ~pools:[ [ 0; 1; 2 ]; [ 1; 2; 3 ] ] in
+  Alcotest.(check int) "overlap counted once" (7 + 3) overlap.Tolerance.sets_checked
+
 let test_evaluate_switches_modes () =
   let g = Families.cycle 6 in
   let c = Kernel.make g ~t:1 in
@@ -95,6 +106,8 @@ let () =
           Alcotest.test_case "random reproducible" `Quick test_random_reproducible;
           Alcotest.test_case "adversarial pools" `Quick test_adversarial_pools;
           Alcotest.test_case "adversarial cap" `Quick test_adversarial_cap;
+          Alcotest.test_case "adversarial dedupe" `Quick
+            test_adversarial_dedupes_across_pools;
           Alcotest.test_case "evaluate mode switch" `Quick test_evaluate_switches_modes;
           Alcotest.test_case "respects" `Quick test_respects;
         ] );
