@@ -1,12 +1,15 @@
 (* Benchmark harness. One Bechamel Test.make per experiment id of
    DESIGN.md section 4 (the paper has no numbered tables; its theorems
    and figures play that role), plus micro-benchmarks of the hot
-   primitives underneath them. After the timing runs, the harness
-   re-prints the experiment tables themselves in quick mode, so a
-   single `dune exec bench/main.exe` regenerates every row the paper
-   reports.
+   primitives underneath them and of the incremental evaluation
+   engine (jobs=1 vs jobs=N, and against the one-shot evaluation loop
+   the engine replaced). After the timing runs, the harness re-prints
+   the experiment tables themselves in quick mode, so a single
+   `dune exec bench/main.exe` regenerates every row the paper reports.
 
-   Pass --timings-only or --tables-only to run half of it. *)
+   Timings are also written machine-readably to BENCH_eval.json
+   (override with --json PATH). Pass --timings-only or --tables-only
+   to run half of the harness, and --quick for a low-quota run (CI). *)
 
 open Bechamel
 open Ftr_graph
@@ -144,38 +147,194 @@ let attack_tests =
              kernel_t55.Construction.routing ~f:3));
   ]
 
+(* The evaluation engine under explicit worker-domain counts, plus the
+   pre-engine one-shot loop (materialize each fault set, run one batch
+   diameter per set, no incrementality) as the speedup baseline. *)
+let jobs_n = 8
+
+(* ns/run measured at the pre-engine commit (3b75048) on the reference
+   host, full quota — the fixed points the speedup tracking in
+   BENCH_eval.json compares against. Re-measure when the reference
+   host changes. *)
+let seed_baseline_ns =
+  [
+    ("e2_kernel_half:check_f1", 627_450.0);
+    ("attack:search_torus55_b300", 7_190_000.0);
+    ("attack:eval64_compiled", 1_390_000.0);
+  ]
+let attack_cfg8 = { Attack.default_config with Attack.budget = 300; restarts = jobs_n }
+
+let engine_tests =
+  let routing = kernel_t55.Construction.routing in
+  let n = Graph.n (Routing.graph routing) in
+  let vertices = List.init n Fun.id in
+  [
+    Test.make ~name:"engine:check_f1_jobs1"
+      (stage (fun () -> Tolerance.exhaustive ~jobs:1 routing ~f:1));
+    Test.make
+      ~name:(Printf.sprintf "engine:check_f1_jobs%d" jobs_n)
+      (stage (fun () -> Tolerance.exhaustive ~jobs:jobs_n routing ~f:1));
+    Test.make ~name:"engine:check_f1_oneshot"
+      (stage (fun () ->
+           let compiled = Surviving.compile routing in
+           let worst = ref (Metrics.Finite (-1)) in
+           Seq.iter
+             (fun vs ->
+               let d =
+                 Surviving.diameter_compiled compiled ~faults:(Bitset.of_list n vs)
+               in
+               if Attack.score ~n d > Attack.score ~n !worst then worst := d)
+             (Tolerance.subsets_up_to vertices 1);
+           !worst));
+    Test.make ~name:"engine:attack_b300_jobs1"
+      (stage (fun () ->
+           Attack.search ~config:attack_cfg8 ~jobs:1 ~rng:(rng ())
+             ~pools:kernel_t55.Construction.pools kernel_t55.Construction.routing ~f:3));
+    Test.make
+      ~name:(Printf.sprintf "engine:attack_b300_jobs%d" jobs_n)
+      (stage (fun () ->
+           Attack.search ~config:attack_cfg8 ~jobs:jobs_n ~rng:(rng ())
+             ~pools:kernel_t55.Construction.pools kernel_t55.Construction.routing ~f:3));
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Runner                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_timings () =
+let pp_ns est =
+  if est >= 1e9 then Printf.sprintf "%10.2f s " (est /. 1e9)
+  else if est >= 1e6 then Printf.sprintf "%10.2f ms" (est /. 1e6)
+  else if est >= 1e3 then Printf.sprintf "%10.2f us" (est /. 1e3)
+  else Printf.sprintf "%10.2f ns" est
+
+let run_timings ~quick () =
   let tests =
-    Test.make_grouped ~name:"ftr" (experiment_tests @ primitive_tests @ attack_tests)
+    Test.make_grouped ~name:"ftr"
+      (experiment_tests @ primitive_tests @ attack_tests @ engine_tests)
   in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg =
-    Benchmark.cfg ~limit:1500 ~quota:(Time.second 0.25) ~kde:None ~stabilize:false ()
-  in
+  let limit = if quick then 300 else 1500 in
+  let quota = Time.second (if quick then 0.05 else 0.25) in
+  let cfg = Benchmark.cfg ~limit ~quota ~kde:None ~stabilize:false () in
   let raw = Benchmark.all cfg [ instance ] tests in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols instance raw in
-  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> (name, est) :: acc
+        | Some [] | None -> acc)
+      results []
+  in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   Printf.printf "%-48s %16s\n" "benchmark" "time/run";
   Printf.printf "%s\n" (String.make 66 '-');
-  List.iter
-    (fun (name, ols) ->
-      let cell =
-        match Analyze.OLS.estimates ols with
-        | Some (est :: _) ->
-            if est >= 1e9 then Printf.sprintf "%10.2f s " (est /. 1e9)
-            else if est >= 1e6 then Printf.sprintf "%10.2f ms" (est /. 1e6)
-            else if est >= 1e3 then Printf.sprintf "%10.2f us" (est /. 1e3)
-            else Printf.sprintf "%10.2f ns" est
-        | Some [] | None -> "n/a"
-      in
-      Printf.printf "%-48s %16s\n" name cell)
+  List.iter (fun (name, est) -> Printf.printf "%-48s %16s\n" name (pp_ns est)) rows;
+  rows
+
+(* A benchmark's full name carries the Bechamel group prefix; look rows
+   up by their own suffix. *)
+let find_ns rows name =
+  List.find_map
+    (fun (full, ns) ->
+      let ln = String.length name and lf = String.length full in
+      if lf >= ln && String.sub full (lf - ln) ln = name then Some ns else None)
     rows
+
+let json_of_rows rows ~quick =
+  let buf = Buffer.create 4096 in
+  let strip full =
+    match String.rindex_opt full '/' with
+    | Some i -> String.sub full (i + 1) (String.length full - i - 1)
+    | None -> full
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"generated_by\": \"bench/main.exe\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"quick\": %b,\n  \"jobs_n\": %d,\n" quick jobs_n);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_jobs\": %d,\n" (Par.recommended_jobs ()));
+  Buffer.add_string buf "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (full, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"name\": %S, \"ns_per_run\": %.1f }%s\n" (strip full)
+           ns
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  (* Derived speedups of the incremental engine. The attack baseline
+     is an equivalent-work estimate: the evaluations the search spends
+     at the one-shot (batch, non-incremental) per-evaluation cost. *)
+  let evals_spent =
+    (Attack.search ~config:attack_cfg8 ~jobs:1 ~rng:(rng ())
+       ~pools:kernel_t55.Construction.pools kernel_t55.Construction.routing ~f:3)
+      .Attack.evals
+  in
+  let speedup a b =
+    match (find_ns rows a, find_ns rows b) with
+    | Some num, Some den when den > 0.0 -> Some (num /. den)
+    | _ -> None
+  in
+  let entries = ref [] in
+  let add name v = match v with None -> () | Some v -> entries := (name, v) :: !entries in
+  add "check_f1_jobs1_vs_oneshot" (speedup "engine:check_f1_oneshot" "engine:check_f1_jobs1");
+  add
+    (Printf.sprintf "check_f1_jobs%d_vs_oneshot" jobs_n)
+    (speedup "engine:check_f1_oneshot" (Printf.sprintf "engine:check_f1_jobs%d" jobs_n));
+  add
+    (Printf.sprintf "check_f1_jobs%d_vs_jobs1" jobs_n)
+    (speedup "engine:check_f1_jobs1" (Printf.sprintf "engine:check_f1_jobs%d" jobs_n));
+  (match find_ns rows "attack:eval64_compiled" with
+  | Some eval64 ->
+      let oneshot_equiv = float_of_int evals_spent *. (eval64 /. 64.0) in
+      entries := ("attack_b300_oneshot_equiv_ns", oneshot_equiv) :: !entries;
+      List.iter
+        (fun jobs ->
+          match find_ns rows (Printf.sprintf "engine:attack_b300_jobs%d" jobs) with
+          | Some ns when ns > 0.0 ->
+              entries :=
+                ( Printf.sprintf "attack_b300_jobs%d_vs_oneshot_equiv" jobs,
+                  oneshot_equiv /. ns )
+                :: !entries
+          | _ -> ())
+        [ 1; jobs_n ]
+  | None -> ());
+  add
+    (Printf.sprintf "attack_b300_jobs%d_vs_jobs1" jobs_n)
+    (speedup "engine:attack_b300_jobs1"
+       (Printf.sprintf "engine:attack_b300_jobs%d" jobs_n));
+  let entries = List.rev !entries in
+  Buffer.add_string buf "  \"speedups\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %S: %.2f%s\n" name v
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"seed_baseline\": {\n";
+  Buffer.add_string buf "    \"commit\": \"3b75048\",\n";
+  Buffer.add_string buf
+    "    \"note\": \"ns/run at the pre-engine commit, reference host, full quota\",\n";
+  let seed_rows =
+    List.filter_map
+      (fun (name, seed_ns) ->
+        Option.map (fun now -> (name, seed_ns, now)) (find_ns rows name))
+      seed_baseline_ns
+  in
+  List.iteri
+    (fun i (name, seed_ns, now) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    %S: { \"seed_ns_per_run\": %.1f, \"ns_per_run\": %.1f, \
+            \"speedup_vs_seed\": %.2f }%s\n"
+           name seed_ns now (seed_ns /. now)
+           (if i = List.length seed_rows - 1 then "" else ",")))
+    seed_rows;
+  Buffer.add_string buf "  }\n}\n";
+  Buffer.contents buf
 
 let run_tables () =
   let ctx = A.Experiments.default_context ~seed:0xBEEF ~quick:true () in
@@ -190,9 +349,22 @@ let () =
   let args = Array.to_list Sys.argv in
   let timings = not (List.mem "--tables-only" args) in
   let tables = not (List.mem "--timings-only" args) in
+  let quick = List.mem "--quick" args in
+  let json_path =
+    let rec find = function
+      | "--json" :: path :: _ -> path
+      | _ :: rest -> find rest
+      | [] -> "BENCH_eval.json"
+    in
+    find args
+  in
   if timings then begin
     print_endline "== timing: one benchmark per experiment id (see DESIGN.md) ==";
-    run_timings ()
+    let rows = run_timings ~quick () in
+    let oc = open_out json_path in
+    output_string oc (json_of_rows rows ~quick);
+    close_out oc;
+    Printf.printf "\nwrote %s\n" json_path
   end;
   if tables then begin
     print_endline "\n== experiment tables (quick mode) ==";

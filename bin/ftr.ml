@@ -139,8 +139,18 @@ let faults_arg =
     & opt (some int) None
     & info [ "faults"; "f" ] ~docv:"F" ~doc:"Fault budget (default: each claim's f).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the evaluation engine (default: the number of \
+           recommended domains). Verdicts are identical for every value; only \
+           the wall-clock changes.")
+
 let tolerate_cmd =
-  let run g strategy seed faults =
+  let run g strategy seed faults jobs =
     match build_construction g strategy seed with
     | exception Invalid_argument msg ->
         Printf.eprintf "cannot build: %s\n" msg;
@@ -151,7 +161,7 @@ let tolerate_cmd =
         List.iter
           (fun (claim : Construction.claim) ->
             let f = Option.value faults ~default:claim.max_faults in
-            let v = Tolerance.evaluate ~rng c ~f in
+            let v = Tolerance.evaluate ~rng ?jobs c ~f in
             let ok = Tolerance.respects v ~bound:claim.diameter_bound in
             if not ok then incr failures;
             Printf.printf "%-28s f=%d bound=%d worst=%s sets=%d%s -> %s\n" claim.source f
@@ -166,7 +176,7 @@ let tolerate_cmd =
   in
   Cmd.v
     (Cmd.info "tolerate" ~doc:"fault-injection check of a construction's claims")
-    Term.(const run $ graph_arg $ strategy_arg $ seed_arg $ faults_arg)
+    Term.(const run $ graph_arg $ strategy_arg $ seed_arg $ faults_arg $ jobs_arg)
 
 (* ---------------- props ---------------- *)
 
@@ -258,8 +268,22 @@ let check_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"FILE" ~doc:"Route table file (ftr-routing format).")
   in
-  let run g file faults =
-    let text = In_channel.with_open_text file In_channel.input_all in
+  let bound_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bound" ] ~docv:"D"
+          ~doc:
+            "Certify \"(D, F)-tolerant\" instead of computing the exact worst \
+             diameter: each BFS stops as soon as $(docv) is provably exceeded, \
+             and enumeration stops early inside a violating block.")
+  in
+  let run g file faults bound jobs =
+    match In_channel.with_open_text file In_channel.input_all with
+    | exception Sys_error e ->
+        Printf.eprintf "cannot read %s\n" e;
+        1
+    | text -> (
     match Routing_io.load g text with
     | Error e ->
         Printf.eprintf "cannot load %s: %s\n" file e;
@@ -270,17 +294,36 @@ let check_cmd =
           (Routing.max_route_length routing)
           (Routing.stretch routing);
         let f = Option.value faults ~default:1 in
-        match Tolerance.exhaustive routing ~f with
-        | v ->
-            Printf.printf "worst surviving diameter over %d fault sets (<=%d faults): %s\n"
-              v.Tolerance.sets_checked f
-              (dist_cell v.Tolerance.worst);
-            0)
+        match bound with
+        | Some b ->
+            let cert = Tolerance.certify ?jobs routing ~f ~bound:b in
+            Printf.printf "certificate over %d fault sets (<=%d faults): "
+              cert.Tolerance.cert_sets_checked f;
+            if cert.Tolerance.holds then begin
+              Printf.printf "(%d, %d)-tolerant\n" b f;
+              0
+            end
+            else begin
+              (match cert.Tolerance.counterexample with
+              | Some w ->
+                  Printf.printf "VIOLATED by {%s}\n"
+                    (String.concat "," (List.map string_of_int w))
+              | None -> Printf.printf "VIOLATED\n");
+              1
+            end
+        | None -> (
+            match Tolerance.exhaustive ?jobs routing ~f with
+            | v ->
+                Printf.printf
+                  "worst surviving diameter over %d fault sets (<=%d faults): %s\n"
+                  v.Tolerance.sets_checked f
+                  (dist_cell v.Tolerance.worst);
+                0)))
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"load a saved route table and fault-check it against its graph")
-    Term.(const run $ graph_arg $ file_arg $ faults_arg)
+    Term.(const run $ graph_arg $ file_arg $ faults_arg $ bound_arg $ jobs_arg)
 
 (* ---------------- attack ---------------- *)
 
@@ -419,7 +462,7 @@ let attack_cmd =
           ~doc:"After the search, run a message-level simulation where the \
                 discovered witnesses crash in waves and recover.")
   in
-  let run spec strategy seed faults budget restarts corpus_dir replay churn =
+  let run spec strategy seed faults budget restarts corpus_dir replay churn jobs =
     match replay with
     | Some dir -> replay_corpus dir
     | None -> (
@@ -450,7 +493,7 @@ let attack_cmd =
                       { Attack.default_config with Attack.budget; restarts }
                     in
                     let o =
-                      Attack.search ~config ~rng ~pools:c.Construction.pools
+                      Attack.search ~config ?jobs ~rng ~pools:c.Construction.pools
                         c.Construction.routing ~f
                     in
                     let sname = strategy_name strategy in
@@ -550,7 +593,7 @@ let attack_cmd =
           maintain a regression corpus")
     Term.(
       const run $ spec_arg $ strategy_arg $ seed_arg $ faults_arg $ budget_arg
-      $ restarts_arg $ corpus_arg $ replay_arg $ churn_arg)
+      $ restarts_arg $ corpus_arg $ replay_arg $ churn_arg $ jobs_arg)
 
 (* ---------------- dot ---------------- *)
 

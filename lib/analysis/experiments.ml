@@ -1,10 +1,11 @@
 open Ftr_graph
 open Ftr_core
 
-type context = { seed : int; quick : bool; out_dir : string option }
+type context = { seed : int; quick : bool; out_dir : string option; jobs : int }
 
-let default_context ?(seed = 0xBEEF) ?(quick = false) ?out_dir () =
-  { seed; quick; out_dir }
+let default_context ?(seed = 0xBEEF) ?(quick = false) ?out_dir ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> Par.recommended_jobs () in
+  { seed; quick; out_dir; jobs }
 
 let rng_for ctx id = Random.State.make [| ctx.seed; Hashtbl.hash id |]
 
@@ -42,13 +43,14 @@ let claim_row ctx ~rng tb (c : Construction.t) (claim : Construction.claim) =
      definitive exhaustive verdict stays definitive and the search's
      own columns stay visible. *)
   let v =
-    Tolerance.evaluate ~exhaustive_budget ~samples ~attack_budget:0 ~rng c
-      ~f:claim.max_faults
+    Tolerance.evaluate ~exhaustive_budget ~samples ~attack_budget:0 ~jobs:ctx.jobs ~rng
+      c ~f:claim.max_faults
   in
   let atk =
     Attack.search
       ~config:{ Attack.default_config with Attack.budget = attack_budget }
-      ~rng ~pools:c.Construction.pools c.Construction.routing ~f:claim.max_faults
+      ~jobs:ctx.jobs ~rng ~pools:c.Construction.pools c.Construction.routing
+      ~f:claim.max_faults
   in
   let n = Graph.n tb.graph in
   let worst_witness =
@@ -444,8 +446,8 @@ let e12 ctx =
         let r = Augment.clique_concentrator tb.graph ~t:tb.t in
         let claim = List.hd r.Augment.construction.Construction.claims in
         let v =
-          Tolerance.evaluate ~exhaustive_budget ~samples ~attack_budget:0 ~rng
-            r.Augment.construction ~f:claim.Construction.max_faults
+          Tolerance.evaluate ~exhaustive_budget ~samples ~attack_budget:0 ~jobs:ctx.jobs
+            ~rng r.Augment.construction ~f:claim.Construction.max_faults
         in
         let cap = tb.t * (tb.t + 1) / 2 in
         let ok =
@@ -689,10 +691,10 @@ let worst_of ctx ~rng routing ~pools ~f =
   let exhaustive_budget, samples, _ = budgets ctx in
   let n = Graph.n (Routing.graph routing) in
   if Tolerance.count_subsets_up_to ~n ~k:f <= exhaustive_budget then
-    Tolerance.exhaustive routing ~f
+    Tolerance.exhaustive ~jobs:ctx.jobs routing ~f
   else
-    let adv = Tolerance.adversarial routing ~f ~pools in
-    let rnd = Tolerance.random routing ~f ~rng ~samples in
+    let adv = Tolerance.adversarial ~jobs:ctx.jobs routing ~f ~pools in
+    let rnd = Tolerance.random ~jobs:ctx.jobs routing ~f ~rng ~samples in
     {
       rnd with
       Tolerance.worst = Metrics.max_distance adv.Tolerance.worst rnd.Tolerance.worst;
@@ -1090,7 +1092,7 @@ let e20 ctx =
         let hits = ref 0 and evals = ref 0 and best = ref (Metrics.Finite 0) in
         for i = 1 to runs do
           let rng = Random.State.make [| ctx.seed; Hashtbl.hash "E20"; i |] in
-          let o = Attack.search ~rng ~pools:c.Construction.pools routing ~f in
+          let o = Attack.search ~jobs:ctx.jobs ~rng ~pools:c.Construction.pools routing ~f in
           if Attack.score ~n o.Attack.worst >= Attack.score ~n truth.Tolerance.worst
           then incr hits;
           evals := !evals + o.Attack.evals;
@@ -1116,8 +1118,8 @@ let e20 ctx =
     let routing = c.Construction.routing in
     let f = 2 in
     let rng = rng_for ctx "E20-large" in
-    let o = Attack.search ~rng ~pools:c.Construction.pools routing ~f in
-    let rnd = Tolerance.random routing ~f ~rng ~samples in
+    let o = Attack.search ~jobs:ctx.jobs ~rng ~pools:c.Construction.pools routing ~f in
+    let rnd = Tolerance.random ~jobs:ctx.jobs routing ~f ~rng ~samples in
     [
       "grid(15x15)/kernel";
       string_of_int (Graph.n g);
@@ -1185,9 +1187,15 @@ let describe id =
   | Some (_, d, _) -> d
   | None -> raise Not_found
 
-let run ctx id =
+let with_jobs ?jobs ctx =
+  match jobs with Some j -> { ctx with jobs = j } | None -> ctx
+
+let run ?jobs ctx id =
+  let ctx = with_jobs ?jobs ctx in
   match List.find_opt (fun (i, _, _) -> i = id) registry with
   | Some (_, _, f) -> f ctx
   | None -> raise Not_found
 
-let all ctx = List.map (fun (id, _, f) -> (id, f ctx)) registry
+let all ?jobs ctx =
+  let ctx = with_jobs ?jobs ctx in
+  List.map (fun (id, _, f) -> (id, f ctx)) registry

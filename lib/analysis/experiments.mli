@@ -10,9 +10,14 @@ type context = {
   seed : int;  (** every experiment derives its own PRNG from this *)
   quick : bool;  (** smaller testbeds and sampling budgets *)
   out_dir : string option;  (** where figure DOT files are written *)
+  jobs : int;  (** worker domains for the evaluation engine *)
 }
 
-val default_context : ?seed:int -> ?quick:bool -> ?out_dir:string -> unit -> context
+val default_context :
+  ?seed:int -> ?quick:bool -> ?out_dir:string -> ?jobs:int -> unit -> context
+(** [jobs] defaults to [Domain.recommended_domain_count ()]; every
+    verdict is identical for any value of it (the engine merges
+    deterministically), only the wall-clock changes. *)
 
 val ids : string list
 (** In presentation order. *)
@@ -21,7 +26,8 @@ val describe : string -> string
 (** One-line description of an experiment id; raises [Not_found] on
     unknown ids. *)
 
-val run : context -> string -> Table.t
-(** Raises [Not_found] on unknown ids. *)
+val run : ?jobs:int -> context -> string -> Table.t
+(** Raises [Not_found] on unknown ids. [jobs] overrides the context's
+    worker-domain count. *)
 
-val all : context -> (string * Table.t) list
+val all : ?jobs:int -> context -> (string * Table.t) list

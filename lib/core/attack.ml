@@ -36,11 +36,12 @@ let shuffle rng a =
    so the target ratchets upward and the returned witness achieves the
    returned diameter exactly. *)
 let shrink compiled ~witness =
-  let n = Surviving.compiled_n compiled in
+  let ev = Surviving.evaluator compiled in
   let evals = ref 0 in
   let eval faults_list =
     incr evals;
-    Surviving.diameter_compiled compiled ~faults:(Bitset.of_list n faults_list)
+    Surviving.set_faults ev faults_list;
+    Surviving.evaluator_diameter ev
   in
   let current = ref (List.sort_uniq compare witness) in
   let target = ref (eval !current) in
@@ -63,137 +64,187 @@ let shrink compiled ~witness =
   done;
   (!current, !target, !evals)
 
-let search ?(config = default_config) ~rng ?(pools = []) routing ~f =
+(* One independent restart: pool- or random-seeded hill climbing with
+   SA plateau escapes under a private budget and RNG, re-seeding from
+   fresh random sets when the escape finds no new ground. Restarts
+   share nothing mutable, so the caller may run them on any domain;
+   merging their results in restart order keeps the outcome identical
+   for every [jobs] value. *)
+type restart_result = {
+  r_d : Metrics.distance;
+  r_w : int list; (* raw witness achieving r_d; [] when nothing beat Finite(-1) *)
+  r_evals : int;
+}
+
+let run_restart ev ~config ~n ~f ~seed ~budget ~pool =
+  Surviving.reset ev;
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  let sc d = score ~n d in
+  let evals = ref 0 in
+  let budget_left () = !evals < budget in
+  let eval () =
+    incr evals;
+    Surviving.evaluator_diameter ev
+  in
+  let members = Array.make f 0 in
+  let cur_d = ref (Metrics.Finite (-1)) in
+  let best_d = ref (Metrics.Finite (-1)) in
+  let best_w = ref [] in
+  let record_if_best d =
+    if sc d > sc !best_d then begin
+      best_d := d;
+      best_w := List.sort compare (Array.to_list members)
+    end
+  in
+  let init_set pool =
+    Surviving.reset ev;
+    (match pool with
+    | Some p ->
+        (* A random f-subset of the pool; short pools are topped up
+           with random vertices below. *)
+        let p = Array.of_list p in
+        shuffle rng p;
+        Array.iter
+          (fun v -> if Surviving.fault_count ev < f && not (Surviving.is_faulty ev v) then
+              Surviving.apply_fault ev v)
+          p
+    | None -> ());
+    while Surviving.fault_count ev < f do
+      let v = Random.State.int rng n in
+      if not (Surviving.is_faulty ev v) then Surviving.apply_fault ev v
+    done;
+    List.iteri (fun k v -> members.(k) <- v) (Surviving.faults ev);
+    cur_d := eval ();
+    record_if_best !cur_d
+  in
+  (* Swap members.(oi) for v; [accept] sees the new diameter and
+     decides; a rejected swap is reverted. The evaluator makes the
+     swap incremental: only routes through the two endpoints move. *)
+  let try_swap oi v ~accept =
+    if Surviving.is_faulty ev v then false
+    else begin
+      let u = members.(oi) in
+      Surviving.revert_fault ev u;
+      Surviving.apply_fault ev v;
+      members.(oi) <- v;
+      let d = eval () in
+      if accept d then begin
+        cur_d := d;
+        record_if_best d;
+        true
+      end
+      else begin
+        Surviving.revert_fault ev v;
+        Surviving.apply_fault ev u;
+        members.(oi) <- u;
+        false
+      end
+    end
+  in
+  let exception Step in
+  (* One greedy step: randomised first-improvement over the full
+     single-node-swap neighborhood. *)
+  let greedy_step () =
+    let improved = ref false in
+    let outs = Array.init f Fun.id and vs = Array.init n Fun.id in
+    shuffle rng outs;
+    shuffle rng vs;
+    (try
+       Array.iter
+         (fun oi ->
+           Array.iter
+             (fun v ->
+               if not (budget_left ()) then raise Step;
+               if try_swap oi v ~accept:(fun d -> sc d > sc !cur_d) then begin
+                 improved := true;
+                 raise Step
+               end)
+             vs)
+         outs
+     with Step -> ());
+    !improved
+  in
+  (* Plateau escape: a short annealing walk accepting uphill moves
+     always and downhill moves with cooling probability. *)
+  let sa_escape () =
+    let temp = ref config.init_temp in
+    let steps = ref 0 in
+    while budget_left () && !steps < config.sa_steps do
+      incr steps;
+      let oi = Random.State.int rng f in
+      let v = Random.State.int rng n in
+      ignore
+        (try_swap oi v ~accept:(fun d ->
+             let delta = float_of_int (sc d - sc !cur_d) in
+             delta >= 0.0 || Random.State.float rng 1.0 < exp (delta /. !temp)));
+      temp := !temp *. config.cooling
+    done
+  in
+  init_set pool;
+  let live = ref true in
+  while budget_left () && !live do
+    if not (greedy_step ()) then begin
+      let before = sc !best_d in
+      sa_escape ();
+      (* The escape found no new ground: burn the remaining private
+         budget on a fresh random start instead of giving up. *)
+      if sc !best_d <= before then begin
+        if budget_left () then init_set None else live := false
+      end
+    end
+  done;
+  { r_d = !best_d; r_w = !best_w; r_evals = !evals }
+
+let search ?(config = default_config) ?(jobs = Par.recommended_jobs ()) ~rng
+    ?(pools = []) routing ~f =
   let g = Routing.graph routing in
   let n = Graph.n g in
   let f = max 0 (min f n) in
   let compiled = Surviving.compile routing in
-  let evals = ref 0 in
-  let scratch = Bitset.create n in
-  let eval_set faults =
-    incr evals;
-    Surviving.diameter_compiled compiled ~faults
-  in
-  Bitset.clear scratch;
-  let best_d = ref (eval_set scratch) in
+  (* Fault-free baseline: the result is never below the fault-free
+     diameter. *)
+  let best_d = ref (Surviving.diameter_compiled compiled ~faults:(Bitset.create n)) in
   let best_w = ref [] in
+  let evals = ref 1 in
   let restarts_used = ref 0 in
-  let budget_left () = !evals < config.budget in
-  if f > 0 && n > 0 then begin
+  if f > 0 && n > 0 && config.budget > 0 && config.restarts > 0 then begin
     let sc d = score ~n d in
     let pool_seeds =
       Array.of_list
         (List.filter (fun p -> p <> []) (List.map (List.sort_uniq compare) pools))
     in
-    (* Current set: membership bitset plus a positional member array so
-       a swap is O(1) to apply and to revert. *)
-    let cur = Bitset.create n in
-    let members = Array.make f 0 in
-    let cur_d = ref !best_d in
-    let record_if_best d =
-      if sc d > sc !best_d then begin
-        best_d := d;
-        best_w := List.sort compare (Array.to_list members)
-      end
+    (* Restart seeds are drawn from the caller's RNG up front and each
+       restart owns an equal slice of the budget, so restarts are
+       independent tasks: the outcome does not depend on [jobs]. *)
+    let restarts = config.restarts in
+    let seeds = Array.init restarts (fun _ -> Random.State.bits rng) in
+    let budgets =
+      let base = config.budget / restarts and extra = config.budget mod restarts in
+      Array.init restarts (fun i -> base + if i < extra then 1 else 0)
     in
-    let init_restart i =
-      Bitset.clear cur;
-      (if i < Array.length pool_seeds then begin
-         (* A random f-subset of the pool; short pools are topped up
-            with random vertices below. *)
-         let p = Array.of_list pool_seeds.(i) in
-         shuffle rng p;
-         Array.iter (fun v -> if Bitset.cardinal cur < f then Bitset.add cur v) p
-       end);
-      while Bitset.cardinal cur < f do
-        Bitset.add cur (Random.State.int rng n)
-      done;
-      let k = ref 0 in
-      Bitset.iter
-        (fun v ->
-          members.(!k) <- v;
-          incr k)
-        cur;
-      cur_d := eval_set cur;
-      record_if_best !cur_d
+    let active =
+      Array.of_list
+        (List.filter (fun i -> budgets.(i) > 0) (List.init restarts Fun.id))
     in
-    (* Swap members.(oi) for v; [accept] sees the new diameter and the
-       old one and decides; a rejected swap is reverted. *)
-    let try_swap oi v ~accept =
-      if Bitset.mem cur v then false
-      else begin
-        let u = members.(oi) in
-        Bitset.remove cur u;
-        Bitset.add cur v;
-        members.(oi) <- v;
-        let d = eval_set cur in
-        if accept d then begin
-          cur_d := d;
-          record_if_best d;
-          true
-        end
-        else begin
-          Bitset.remove cur v;
-          Bitset.add cur u;
-          members.(oi) <- u;
-          false
-        end
-      end
+    let results =
+      Par.run ~jobs ~ntasks:(Array.length active)
+        ~init:(fun () -> Surviving.evaluator compiled)
+        ~task:(fun ev ti ->
+          let i = active.(ti) in
+          let pool =
+            if i < Array.length pool_seeds then Some pool_seeds.(i) else None
+          in
+          run_restart ev ~config ~n ~f ~seed:seeds.(i) ~budget:budgets.(i) ~pool)
     in
-    let exception Step in
-    (* One greedy step: randomised first-improvement over the full
-       single-node-swap neighborhood. *)
-    let greedy_step () =
-      let improved = ref false in
-      let outs = Array.init f Fun.id and vs = Array.init n Fun.id in
-      shuffle rng outs;
-      shuffle rng vs;
-      (try
-         Array.iter
-           (fun oi ->
-             Array.iter
-               (fun v ->
-                 if not (budget_left ()) then raise Step;
-                 if try_swap oi v ~accept:(fun d -> sc d > sc !cur_d) then begin
-                   improved := true;
-                   raise Step
-                 end)
-               vs)
-           outs
-       with Step -> ());
-      !improved
-    in
-    (* Plateau escape: a short annealing walk accepting uphill moves
-       always and downhill moves with cooling probability. *)
-    let sa_escape () =
-      let temp = ref config.init_temp in
-      let steps = ref 0 in
-      while budget_left () && !steps < config.sa_steps do
-        incr steps;
-        let oi = Random.State.int rng f in
-        let v = Random.State.int rng n in
-        ignore
-          (try_swap oi v ~accept:(fun d ->
-               let delta = float_of_int (sc d - sc !cur_d) in
-               delta >= 0.0 || Random.State.float rng 1.0 < exp (delta /. !temp)));
-        temp := !temp *. config.cooling
-      done
-    in
-    let i = ref 0 in
-    while budget_left () && !i < config.restarts do
-      incr restarts_used;
-      init_restart !i;
-      let live = ref true in
-      while budget_left () && !live do
-        if not (greedy_step ()) then begin
-          let before = sc !best_d in
-          sa_escape ();
-          (* Only keep climbing if the escape found new ground. *)
-          if sc !best_d <= before then live := false
-        end
-      done;
-      incr i
-    done
+    restarts_used := Array.length active;
+    Array.iter
+      (fun r ->
+        evals := !evals + r.r_evals;
+        if sc r.r_d > sc !best_d then begin
+          best_d := r.r_d;
+          best_w := r.r_w
+        end)
+      results
   end;
   let raw = !best_w in
   let witness, worst, shrink_evals =

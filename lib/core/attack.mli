@@ -5,8 +5,9 @@
     uniform sampling is a weak adversary for routing resilience —
     worst cases hide in tiny, structured corners of the fault space.
     This module searches for diameter-maximising fault sets with
-    greedy hill-climbing over single-node swaps scored by
-    {!Surviving.diameter_compiled}, restarts seeded from the
+    greedy hill-climbing over single-node swaps scored incrementally
+    by a {!Surviving.evaluator} (a swap only touches the routes
+    through its two endpoints), restarts seeded from the
     construction's adversarial pools (concentrator, neighborhoods,
     minimum cuts) and from random sets, and simulated-annealing
     escapes from plateaus — all under a fixed evaluation budget with a
@@ -48,6 +49,7 @@ val score : n:int -> Metrics.distance -> int
 
 val search :
   ?config:config ->
+  ?jobs:int ->
   rng:Random.State.t ->
   ?pools:int list list ->
   Routing.t ->
@@ -55,11 +57,15 @@ val search :
   outcome
 (** Maximise the surviving diameter over fault sets of size exactly
     [min f n] (the empty set is also evaluated, so the result is never
-    below the fault-free diameter). Anytime: stops when [budget]
-    evaluations are spent or [restarts] restarts are exhausted;
-    shrinking the final witness costs at most [O(|witness|^2)]
-    evaluations on top of the budget. Deterministic for a given RNG
-    state. *)
+    below the fault-free diameter). Each restart owns an equal slice
+    of [budget] and a seed drawn from [rng] up front, runs greedy
+    climbing with SA escapes on its own incremental evaluator, and
+    re-seeds from fresh random sets while its slice lasts; restarts
+    execute on up to [jobs] domains (default
+    [Domain.recommended_domain_count ()]) and merge in restart order,
+    so the outcome is identical for every [jobs] value and
+    deterministic for a given RNG state. Shrinking the final witness
+    costs at most [O(|witness|^2)] evaluations on top of the budget. *)
 
 val shrink :
   Surviving.compiled -> witness:int list -> int list * Metrics.distance * int

@@ -1,0 +1,155 @@
+(* A small persistent Domain pool.
+
+   The evaluation engine issues many short parallel sections (one per
+   verdict chunk), so spawning domains per call would dominate the
+   work. Workers are spawned once, on first use, and parked on a
+   condition variable between jobs. A job is a bag of [ntasks]
+   integer-indexed tasks pulled from a shared atomic counter; the
+   caller's domain participates too, so [jobs = 1] never touches the
+   pool and runs strictly sequentially.
+
+   Determinism note: the pool only schedules; results land in an array
+   slot per task index, so callers see results in task order no matter
+   how tasks were interleaved across domains. *)
+
+type job = {
+  body : unit -> unit; (* run by each participating domain: pulls tasks until empty *)
+  participants : int; (* pool workers allowed to join (the caller joins too) *)
+  ntasks : int;
+  completed : int Atomic.t;
+}
+
+let mutex = Mutex.create ()
+let wake_workers = Condition.create ()
+let job_done = Condition.create ()
+let current : job option ref = ref None
+let generation = ref 0
+let shutting_down = ref false
+let pool : unit Domain.t list ref = ref []
+let pool_size = ref 0
+
+(* True inside a pool worker (and, on the caller's domain, inside a
+   parallel section): re-entrant [run] calls degrade to sequential
+   instead of deadlocking on the single shared job slot. *)
+let busy = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop wid =
+  Domain.DLS.set busy true;
+  let seen = ref 0 in
+  let live = ref true in
+  while !live do
+    Mutex.lock mutex;
+    while (not !shutting_down) && !generation = !seen do
+      Condition.wait wake_workers mutex
+    done;
+    if !shutting_down then begin
+      live := false;
+      Mutex.unlock mutex
+    end
+    else begin
+      seen := !generation;
+      let job = !current in
+      Mutex.unlock mutex;
+      match job with
+      | Some job when wid < job.participants ->
+          job.body ();
+          Mutex.lock mutex;
+          Condition.broadcast job_done;
+          Mutex.unlock mutex
+      | _ -> ()
+    end
+  done
+
+let shutdown () =
+  Mutex.lock mutex;
+  shutting_down := true;
+  Condition.broadcast wake_workers;
+  Mutex.unlock mutex;
+  List.iter Domain.join !pool;
+  pool := [];
+  pool_size := 0
+
+let () = at_exit (fun () -> if !pool_size > 0 then shutdown ())
+
+let ensure_workers k =
+  while !pool_size < k do
+    let wid = !pool_size in
+    pool := Domain.spawn (fun () -> worker_loop wid) :: !pool;
+    incr pool_size
+  done
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let run ~jobs ~ntasks ~init ~task =
+  if ntasks < 0 then invalid_arg "Par.run: negative ntasks";
+  let results = Array.make ntasks None in
+  if jobs <= 1 || ntasks <= 1 || Domain.DLS.get busy then begin
+    if ntasks > 0 then begin
+      let state = init () in
+      for i = 0 to ntasks - 1 do
+        results.(i) <- Some (task state i)
+      done
+    end
+  end
+  else begin
+    let jobs = min jobs ntasks in
+    let error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let body () =
+      (* One [init] state per participating domain, built on its first
+         pulled task so idle workers pay nothing. *)
+      let state = ref None in
+      let rec pull () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < ntasks then begin
+          (match Atomic.get error with
+          | Some _ -> () (* fail fast; the caller re-raises *)
+          | None -> (
+              try
+                let s =
+                  match !state with
+                  | Some s -> s
+                  | None ->
+                      let s = init () in
+                      state := Some s;
+                      s
+                in
+                results.(i) <- Some (task s i)
+              with e -> ignore (Atomic.compare_and_set error None (Some e))));
+          Atomic.incr completed;
+          pull ()
+        end
+      in
+      pull ()
+    in
+    let job = { body; participants = jobs - 1; ntasks; completed } in
+    Mutex.lock mutex;
+    ensure_workers (jobs - 1);
+    current := Some job;
+    incr generation;
+    Condition.broadcast wake_workers;
+    Mutex.unlock mutex;
+    (* The caller's own domain participates; mark it busy so the tasks
+       themselves can't recursively schedule on the pool. *)
+    Domain.DLS.set busy true;
+    body ();
+    Domain.DLS.set busy false;
+    Mutex.lock mutex;
+    while Atomic.get completed < ntasks do
+      Condition.wait job_done mutex
+    done;
+    current := None;
+    Mutex.unlock mutex;
+    match Atomic.get error with Some e -> raise e | None -> ()
+  end;
+  Array.map
+    (function
+      | Some r -> r
+      | None -> failwith "Par.run: task raised on another domain")
+    results
+
+let map ~jobs f items =
+  run ~jobs ~ntasks:(Array.length items)
+    ~init:(fun () -> ())
+    ~task:(fun () i -> f items.(i))

@@ -1,0 +1,30 @@
+(** A persistent Domain-based worker pool for the evaluation engine.
+
+    Workers are spawned on first use and parked between jobs, so the
+    many short parallel sections issued by {!Tolerance} and {!Attack}
+    pay no per-call spawn cost. Scheduling is work-stealing from a
+    shared counter; results are delivered in task order, so callers
+    that merge them in order get [jobs]-independent answers. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the default for every
+    [?jobs] parameter in the library. *)
+
+val run :
+  jobs:int -> ntasks:int -> init:(unit -> 'w) -> task:('w -> int -> 'r) -> 'r array
+(** [run ~jobs ~ntasks ~init ~task] evaluates [task state i] for every
+    [i] in [0, ntasks) and returns the results indexed by task. At most
+    [jobs] domains participate (the calling domain is one of them);
+    each participating domain gets its own [state] from [init] on its
+    first task, so mutable scratch (e.g. a {!Surviving.evaluator}) is
+    never shared. With [jobs <= 1], or when called from inside another
+    parallel section, everything runs sequentially on the caller with a
+    single [init] state. A task's exception is re-raised in the caller
+    once the job has drained. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f items] is {!run} over [items] with stateless tasks. *)
+
+val shutdown : unit -> unit
+(** Join all pool workers (also installed as an [at_exit] hook; only
+    needed explicitly by tests that count live domains). *)

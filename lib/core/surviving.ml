@@ -34,135 +34,341 @@ let diameter_of_digraph dg ~faults =
 
 let diameter routing ~faults = diameter_of_digraph (graph routing ~faults) ~faults
 
-(* Routes grouped by source in CSR layout, so the per-fault-set work
-   is two allocation-free passes over flat arrays. *)
+(* ------------------------------------------------------------------ *)
+(* Batch evaluation engine.                                           *)
+(*                                                                    *)
+(* The miserly model stores at most one route per ordered pair, so    *)
+(* the surviving graph is fully described by one liveness bit per     *)
+(* route. We keep the adjacency as an n x w bit matrix (w words per   *)
+(* row) and run BFS a word at a time: expanding a frontier is an OR   *)
+(* of the rows of its members, and the next frontier is a single      *)
+(* AND-NOT against the visited mask. On the paper-scale testbeds      *)
+(* (n <= 63, w = 1) a whole BFS layer is a handful of word ops.       *)
+(*                                                                    *)
+(* On top of the matrix sits an incremental evaluator: an inverted    *)
+(* index (vertex -> routes through it) plus a per-route fault counter *)
+(* make apply/revert of a single fault cost only the routes through   *)
+(* that vertex, so Gray-code subset enumeration and the attack        *)
+(* engine's one-node swaps never rescan the route table.              *)
+(* ------------------------------------------------------------------ *)
+
+let matrix_bits = Sys.int_size
+
 type compiled = {
   n : int;
-  row_start : int array; (* length n+1; routes of src v are row_start.(v) .. *)
-  dsts : int array; (* destination per route, CSR order *)
-  paths : int array array; (* vertex sequence per route, CSR order *)
-  (* scratch, reused across calls *)
-  live : int array; (* 0/1 per route *)
-  out_deg : int array;
-  succ_start : int array;
-  succ : int array;
-  dist : int array;
-  queue : int array;
+  nroutes : int;
+  w : int; (* words per adjacency row *)
+  paths : int array array; (* vertex sequence per route *)
+  via_start : int array; (* length n+1: CSR index vertex -> routes through it *)
+  via : int array;
+  arc_word : int array; (* route -> flat word index of its adjacency bit *)
+  arc_bit : int array; (* route -> mask of its adjacency bit *)
+  vx_word : int array; (* vertex -> word index in an alive/visited mask *)
+  vx_bit : int array; (* vertex -> mask in an alive/visited mask *)
+  (* scratch for the one-shot [diameter_compiled]; the evaluator keeps
+     its own copies so evaluators on other domains may share the
+     immutable tables above. *)
+  s_rows : int array; (* n * w *)
+  s_alive : int array; (* w *)
+  s_visited : int array;
+  s_front : int array;
+  s_next : int array;
 }
 
 let compile routing =
   let n = Graph.n (Routing.graph routing) in
   let acc = ref [] in
-  let count = Array.make (n + 1) 0 in
+  let nroutes = ref 0 in
   Routing.iter
     (fun src dst p ->
       acc := (src, dst, Path.to_array p) :: !acc;
-      count.(src) <- count.(src) + 1)
+      incr nroutes)
     routing;
-  let row_start = Array.make (n + 1) 0 in
+  let nroutes = !nroutes in
+  let routes = Array.make nroutes (0, 0, [||]) in
+  List.iteri (fun i r -> routes.(nroutes - 1 - i) <- r) !acc;
+  let paths = Array.map (fun (_, _, p) -> p) routes in
+  (* Inverted index: vertex -> routes whose path contains it
+     (endpoints included, matching [Path.hits]). *)
+  let count = Array.make (n + 1) 0 in
+  Array.iter (Array.iter (fun v -> count.(v) <- count.(v) + 1)) paths;
+  let via_start = Array.make (n + 1) 0 in
   for v = 1 to n do
-    row_start.(v) <- row_start.(v - 1) + count.(v - 1)
+    via_start.(v) <- via_start.(v - 1) + count.(v - 1)
   done;
-  let total = row_start.(n) in
-  let fill = Array.copy row_start in
-  let dsts = Array.make total 0 in
-  let paths = Array.make total [||] in
-  List.iter
-    (fun (src, dst, p) ->
-      let i = fill.(src) in
-      fill.(src) <- i + 1;
-      dsts.(i) <- dst;
-      paths.(i) <- p)
-    !acc;
+  let via = Array.make (max 1 via_start.(n)) 0 in
+  let fill = Array.copy via_start in
+  Array.iteri
+    (fun r p ->
+      Array.iter
+        (fun v ->
+          via.(fill.(v)) <- r;
+          fill.(v) <- fill.(v) + 1)
+        p)
+    paths;
+  let w = max 1 ((n + matrix_bits - 1) / matrix_bits) in
+  let arc_word = Array.make (max 1 nroutes) 0 in
+  let arc_bit = Array.make (max 1 nroutes) 0 in
+  Array.iteri
+    (fun r (src, dst, _) ->
+      arc_word.(r) <- (src * w) + (dst / matrix_bits);
+      arc_bit.(r) <- 1 lsl (dst mod matrix_bits))
+    routes;
+  let vx_word = Array.init n (fun v -> v / matrix_bits) in
+  let vx_bit = Array.init n (fun v -> 1 lsl (v mod matrix_bits)) in
   {
     n;
-    row_start;
-    dsts;
+    nroutes;
+    w;
     paths;
-    live = Array.make total 0;
-    out_deg = Array.make n 0;
-    succ_start = Array.make (n + 1) 0;
-    succ = Array.make total 0;
-    dist = Array.make n (-1);
-    queue = Array.make n 0;
+    via_start;
+    via;
+    arc_word;
+    arc_bit;
+    vx_word;
+    vx_bit;
+    s_rows = Array.make (max 1 (n * w)) 0;
+    s_alive = Array.make w 0;
+    s_visited = Array.make w 0;
+    s_front = Array.make w 0;
+    s_next = Array.make w 0;
   }
 
 let compiled_n c = c.n
 
-let diameter_compiled c ~faults =
-  let total = Array.length c.dsts in
-  (* Pass 1: which routes survive. *)
-  for i = 0 to total - 1 do
-    let p = c.paths.(i) in
-    let len = Array.length p in
-    let rec clean j = j >= len || ((not (Bitset.mem faults p.(j))) && clean (j + 1)) in
-    c.live.(i) <- (if clean 0 then 1 else 0)
-  done;
-  (* Pass 2: CSR adjacency of the surviving graph. *)
-  Array.fill c.out_deg 0 c.n 0;
-  for v = 0 to c.n - 1 do
-    for i = c.row_start.(v) to c.row_start.(v + 1) - 1 do
-      c.out_deg.(v) <- c.out_deg.(v) + c.live.(i)
-    done
-  done;
-  c.succ_start.(0) <- 0;
-  for v = 1 to c.n do
-    c.succ_start.(v) <- c.succ_start.(v - 1) + c.out_deg.(v - 1)
-  done;
-  for v = 0 to c.n - 1 do
-    let k = ref c.succ_start.(v) in
-    for i = c.row_start.(v) to c.row_start.(v + 1) - 1 do
-      if c.live.(i) = 1 then begin
-        c.succ.(!k) <- c.dsts.(i);
-        incr k
+(* All-pairs worst eccentricity of the live bit matrix; [-1] encodes a
+   disconnected pair. [bound >= 0] stops a source's BFS as soon as its
+   eccentricity provably exceeds it (callers that only compare against
+   a claimed bound never pay for the exact value); pass [max_int] for
+   the exact diameter. *)
+
+let apsp_w1 rows alive ~bound =
+  let worst = ref 0 in
+  let exceeded = ref false in
+  let av = ref alive in
+  while (not !exceeded) && !av <> 0 do
+    let s = Bitset.lowest_bit_index !av in
+    av := !av land (!av - 1);
+    let visited = ref (1 lsl s) in
+    let front = ref !visited in
+    let ecc = ref 0 in
+    let growing = ref true in
+    while !growing do
+      let nx = ref 0 in
+      let fw = ref !front in
+      while !fw <> 0 do
+        nx := !nx lor Array.unsafe_get rows (Bitset.lowest_bit_index !fw);
+        fw := !fw land (!fw - 1)
+      done;
+      let fresh = !nx land lnot !visited in
+      if fresh = 0 then growing := false
+      else begin
+        visited := !visited lor fresh;
+        front := fresh;
+        incr ecc;
+        if !ecc > bound then begin
+          growing := false;
+          exceeded := true
+        end
       end
-    done
+    done;
+    if !visited <> alive then exceeded := true (* disconnected *)
+    else worst := max !worst !ecc
   done;
-  let alive_count = ref 0 in
-  for v = 0 to c.n - 1 do
-    if not (Bitset.mem faults v) then incr alive_count
-  done;
-  if !alive_count <= 1 then Metrics.Finite 0
-  else begin
-    let dist = c.dist and queue = c.queue in
-    let worst = ref 0 in
-    let disconnected = ref false in
-    let v = ref 0 in
-    while (not !disconnected) && !v < c.n do
-      if not (Bitset.mem faults !v) then begin
-        Array.fill dist 0 c.n (-1);
-        dist.(!v) <- 0;
-        queue.(0) <- !v;
-        let head = ref 0 and tail = ref 1 in
-        while !head < !tail do
-          let u = queue.(!head) in
-          incr head;
-          for k = c.succ_start.(u) to c.succ_start.(u + 1) - 1 do
-            let w = c.succ.(k) in
-            if dist.(w) < 0 then begin
-              dist.(w) <- dist.(u) + 1;
-              queue.(!tail) <- w;
-              incr tail
-            end
+  if !exceeded then -1 else !worst
+
+let apsp_gen ~n ~w rows alive visited front next ~bound =
+  let worst = ref 0 in
+  let exceeded = ref false in
+  let s = ref 0 in
+  while (not !exceeded) && !s < n do
+    if alive.(!s / matrix_bits) land (1 lsl (!s mod matrix_bits)) <> 0 then begin
+      Array.fill visited 0 w 0;
+      Array.fill front 0 w 0;
+      visited.(!s / matrix_bits) <- 1 lsl (!s mod matrix_bits);
+      front.(!s / matrix_bits) <- visited.(!s / matrix_bits);
+      let ecc = ref 0 in
+      let growing = ref true in
+      while !growing do
+        Array.fill next 0 w 0;
+        for wi = 0 to w - 1 do
+          let fw = ref front.(wi) in
+          let base = wi * matrix_bits in
+          while !fw <> 0 do
+            let u = base + Bitset.lowest_bit_index !fw in
+            fw := !fw land (!fw - 1);
+            let row = u * w in
+            for j = 0 to w - 1 do
+              Array.unsafe_set next j
+                (Array.unsafe_get next j lor Array.unsafe_get rows (row + j))
+            done
           done
         done;
-        if !tail < !alive_count then disconnected := true
-        else worst := max !worst dist.(queue.(!tail - 1))
-      end;
-      incr v
-    done;
-    if !disconnected then Metrics.Infinite else Metrics.Finite !worst
-  end
+        let any = ref 0 in
+        for j = 0 to w - 1 do
+          let fresh = next.(j) land lnot visited.(j) in
+          front.(j) <- fresh;
+          visited.(j) <- visited.(j) lor fresh;
+          any := !any lor fresh
+        done;
+        if !any = 0 then growing := false
+        else begin
+          incr ecc;
+          if !ecc > bound then begin
+            growing := false;
+            exceeded := true
+          end
+        end
+      done;
+      if not (Array.for_all2 ( = ) visited alive) then exceeded := true
+      else if not !exceeded then worst := max !worst !ecc
+    end;
+    incr s
+  done;
+  if !exceeded then -1 else !worst
+
+let apsp c rows alive visited front next ~alive_count ~bound =
+  if alive_count <= 1 then 0
+  else if c.w = 1 then apsp_w1 rows alive.(0) ~bound
+  else apsp_gen ~n:c.n ~w:c.w rows alive visited front next ~bound
+
+let diameter_compiled c ~faults =
+  if Bitset.capacity faults < c.n then
+    invalid_arg "Surviving.diameter_compiled: fault set capacity too small";
+  Array.fill c.s_rows 0 (c.n * c.w) 0;
+  Array.fill c.s_alive 0 c.w 0;
+  let alive_count = ref 0 in
+  for v = 0 to c.n - 1 do
+    if not (Bitset.unsafe_mem faults v) then begin
+      incr alive_count;
+      c.s_alive.(c.vx_word.(v)) <- c.s_alive.(c.vx_word.(v)) lor c.vx_bit.(v)
+    end
+  done;
+  for r = 0 to c.nroutes - 1 do
+    let p = c.paths.(r) in
+    let len = Array.length p in
+    let rec clean j = j >= len || ((not (Bitset.unsafe_mem faults p.(j))) && clean (j + 1)) in
+    if clean 0 then
+      c.s_rows.(c.arc_word.(r)) <- c.s_rows.(c.arc_word.(r)) lor c.arc_bit.(r)
+  done;
+  let d =
+    apsp c c.s_rows c.s_alive c.s_visited c.s_front c.s_next ~alive_count:!alive_count
+      ~bound:max_int
+  in
+  if d < 0 then Metrics.Infinite else Metrics.Finite d
+
+(* ------------------------------------------------------------------ *)
+(* Incremental evaluator.                                             *)
+(* ------------------------------------------------------------------ *)
+
+type evaluator = {
+  c : compiled;
+  hits : int array; (* per route: how many of its vertices are faulty *)
+  rows : int array; (* live adjacency matrix, kept in sync with hits *)
+  alive : int array;
+  visited : int array;
+  front : int array;
+  next : int array;
+  faulty : Bitset.t;
+  mutable nalive : int;
+}
+
+let evaluator c =
+  let rows = Array.make (max 1 (c.n * c.w)) 0 in
+  for r = 0 to c.nroutes - 1 do
+    rows.(c.arc_word.(r)) <- rows.(c.arc_word.(r)) lor c.arc_bit.(r)
+  done;
+  let alive = Array.make c.w 0 in
+  for v = 0 to c.n - 1 do
+    alive.(c.vx_word.(v)) <- alive.(c.vx_word.(v)) lor c.vx_bit.(v)
+  done;
+  {
+    c;
+    hits = Array.make (max 1 c.nroutes) 0;
+    rows;
+    alive;
+    visited = Array.make c.w 0;
+    front = Array.make c.w 0;
+    next = Array.make c.w 0;
+    faulty = Bitset.create c.n;
+    nalive = c.n;
+  }
+
+let evaluator_n e = e.c.n
+let is_faulty e v = Bitset.mem e.faulty v
+let faults e = Bitset.elements e.faulty
+let fault_count e = e.c.n - e.nalive
+
+let apply_fault e v =
+  if v < 0 || v >= e.c.n then invalid_arg "Surviving.apply_fault: vertex out of range";
+  if Bitset.unsafe_mem e.faulty v then
+    invalid_arg "Surviving.apply_fault: vertex already faulty";
+  Bitset.unsafe_add e.faulty v;
+  e.nalive <- e.nalive - 1;
+  let c = e.c in
+  e.alive.(c.vx_word.(v)) <- e.alive.(c.vx_word.(v)) land lnot c.vx_bit.(v);
+  let hits = e.hits and rows = e.rows in
+  let stop = c.via_start.(v + 1) - 1 in
+  for i = c.via_start.(v) to stop do
+    let r = Array.unsafe_get c.via i in
+    let h = Array.unsafe_get hits r in
+    if h = 0 then begin
+      let wi = Array.unsafe_get c.arc_word r in
+      Array.unsafe_set rows wi
+        (Array.unsafe_get rows wi land lnot (Array.unsafe_get c.arc_bit r))
+    end;
+    Array.unsafe_set hits r (h + 1)
+  done
+
+let revert_fault e v =
+  if v < 0 || v >= e.c.n then invalid_arg "Surviving.revert_fault: vertex out of range";
+  if not (Bitset.unsafe_mem e.faulty v) then
+    invalid_arg "Surviving.revert_fault: vertex not faulty";
+  Bitset.unsafe_remove e.faulty v;
+  e.nalive <- e.nalive + 1;
+  let c = e.c in
+  e.alive.(c.vx_word.(v)) <- e.alive.(c.vx_word.(v)) lor c.vx_bit.(v);
+  let hits = e.hits and rows = e.rows in
+  let stop = c.via_start.(v + 1) - 1 in
+  for i = c.via_start.(v) to stop do
+    let r = Array.unsafe_get c.via i in
+    let h = Array.unsafe_get hits r - 1 in
+    Array.unsafe_set hits r h;
+    if h = 0 then begin
+      let wi = Array.unsafe_get c.arc_word r in
+      Array.unsafe_set rows wi (Array.unsafe_get rows wi lor Array.unsafe_get c.arc_bit r)
+    end
+  done
+
+let reset e = List.iter (revert_fault e) (Bitset.elements e.faulty)
+
+let set_faults e vs =
+  reset e;
+  List.iter (apply_fault e) vs
+
+let evaluator_diameter e =
+  let d =
+    apsp e.c e.rows e.alive e.visited e.front e.next ~alive_count:e.nalive ~bound:max_int
+  in
+  if d < 0 then Metrics.Infinite else Metrics.Finite d
+
+let diameter_exceeds e ~bound =
+  (* diameter > bound; the surviving diameter is at least Finite 0, so
+     a negative bound is always exceeded. *)
+  bound < 0
+  || apsp e.c e.rows e.alive e.visited e.front e.next ~alive_count:e.nalive ~bound < 0
 
 let component_diameters routing ~faults =
   let dg = graph routing ~faults in
   let n = Digraph.n dg in
-  (* Weak components: union arcs in both directions. *)
+  (* Weak components: union arcs in both directions, reading the
+     digraph's adjacency arrays directly. *)
   let undirected =
-    Graph.of_edges ~n
-      (List.concat
-         (List.init n (fun u ->
-              Array.to_list (Array.map (fun v -> (u, v)) (Digraph.succ dg u)))))
+    let b = Graph.Builder.create n in
+    for u = 0 to n - 1 do
+      Array.iter (fun v -> Graph.Builder.add_edge b u v) (Digraph.succ dg u)
+    done;
+    Graph.Builder.to_graph b
   in
   let seen = Bitset.create n in
   let components = ref [] in

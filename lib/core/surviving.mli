@@ -29,18 +29,73 @@ val diameter_of_digraph : Digraph.t -> faults:Bitset.t -> Metrics.distance
 
     Fault injection evaluates thousands of fault sets against one
     routing; compiling the table once into flat arrays avoids the
-    per-set hashtable walk and graph construction. *)
+    per-set hashtable walk and graph construction. The miserly model
+    keeps at most one route per ordered pair, so the surviving graph
+    is one liveness bit per route: the compiled form stores the
+    adjacency as a bit matrix and runs BFS a machine word at a time. *)
 
 type compiled
 
 val compile : Routing.t -> compiled
 
 val diameter_compiled : compiled -> faults:Bitset.t -> Metrics.distance
-(** Same result as {!diameter}, much faster in a loop. *)
+(** Same result as {!diameter}, much faster in a loop. The fault set's
+    capacity must cover the vertex range. Uses scratch space inside
+    [compiled]: not safe to call concurrently from several domains on
+    the same value (use one {!evaluator} per domain instead). *)
 
 val compiled_n : compiled -> int
 (** Vertex count of the routing the table was compiled from (callers
     that only hold the compiled form need it to size fault sets). *)
+
+(** {1 Incremental evaluation}
+
+    An {!evaluator} carries the current fault set as per-route hit
+    counters over an inverted index (vertex -> routes through it), so
+    adding or removing one fault costs only the routes through that
+    vertex — single-node swaps in the attack engine and Gray-code
+    subset enumeration never rescan the route table. Evaluators share
+    the immutable tables of their [compiled] source but own all
+    mutable state: one evaluator per domain is safe. *)
+
+type evaluator
+
+val evaluator : compiled -> evaluator
+(** A fresh evaluator with no faults applied. *)
+
+val evaluator_n : evaluator -> int
+
+val apply_fault : evaluator -> int -> unit
+(** Mark a vertex faulty. Raises [Invalid_argument] if out of range or
+    already faulty (a double apply would corrupt the hit counters). *)
+
+val revert_fault : evaluator -> int -> unit
+(** Undo {!apply_fault}. Raises [Invalid_argument] if out of range or
+    not currently faulty. *)
+
+val reset : evaluator -> unit
+(** Revert every current fault (cost proportional to the routes they
+    touch, not to the table). *)
+
+val set_faults : evaluator -> int list -> unit
+(** [reset] then apply each listed vertex. *)
+
+val is_faulty : evaluator -> int -> bool
+
+val faults : evaluator -> int list
+(** Current fault set in increasing order. *)
+
+val fault_count : evaluator -> int
+
+val evaluator_diameter : evaluator -> Metrics.distance
+(** Surviving diameter under the evaluator's current fault set; agrees
+    with {!diameter} / {!diameter_compiled}. *)
+
+val diameter_exceeds : evaluator -> bound:int -> bool
+(** [diameter_exceeds e ~bound] is [evaluator_diameter e > Finite bound],
+    but each source's BFS stops as soon as the bound is provably
+    violated (tolerance checks only compare against a claimed [d], so
+    they never need the exact diameter of a violating set). *)
 
 val component_diameters : Routing.t -> faults:Bitset.t -> (int list * Metrics.distance) list
 (** Open problem (3) of the paper: when more than [t] faults

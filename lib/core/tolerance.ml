@@ -38,32 +38,241 @@ let count_subsets_up_to ~n ~k =
     (fun acc x -> if acc + x < 0 then max_int else acc + x)
     0 c
 
-let check_sets routing sets =
+(* ------------------------------------------------------------------ *)
+(* Revolving-door subset enumeration.                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Knuth, TAOCP 7.2.1.3, Algorithm R: visit the k-subsets of [0, n)
+   in a Gray order where consecutive subsets differ by exactly one
+   element swapped. Against an incremental evaluator this makes a
+   whole C(n, k) sweep cost one apply + one revert per subset. *)
+let iter_combinations_gray ~n ~k ~first ~swap =
+  if k < 0 then invalid_arg "Tolerance.iter_combinations_gray: negative size";
+  if k > n then invalid_arg "Tolerance.iter_combinations_gray: size exceeds universe";
+  if k = 0 then first [||]
+  else begin
+    (* 1-based c.(1..k) is the current subset in increasing order;
+       c.(k+1) = n is the sentinel R5 compares against. *)
+    let c = Array.make (k + 2) 0 in
+    for j = 1 to k do
+      c.(j) <- j - 1
+    done;
+    c.(k + 1) <- n;
+    first (Array.init k (fun i -> c.(i + 1)));
+    let running = ref true in
+    let rec r4 j =
+      if j > k then running := false
+      else if c.(j) >= j then begin
+        let removed = c.(j) in
+        c.(j) <- c.(j - 1);
+        c.(j - 1) <- j - 2;
+        swap ~removed ~added:(j - 2)
+      end
+      else r5 (j + 1)
+    and r5 j =
+      if j > k then running := false
+      else if c.(j) + 1 < c.(j + 1) then begin
+        let removed = c.(j - 1) in
+        c.(j - 1) <- c.(j);
+        c.(j) <- c.(j) + 1;
+        swap ~removed ~added:c.(j)
+      end
+      else r4 (j + 1)
+    in
+    while !running do
+      if k land 1 = 1 then begin
+        if c.(1) + 1 < c.(2) then begin
+          let removed = c.(1) in
+          c.(1) <- removed + 1;
+          swap ~removed ~added:(removed + 1)
+        end
+        else r4 2
+      end
+      else if c.(1) > 0 then begin
+        let removed = c.(1) in
+        c.(1) <- removed - 1;
+        swap ~removed ~added:(removed - 1)
+      end
+      else r5 2
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Verdict assembly.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Witness policy everywhere: the FIRST set (in the canonical
+   enumeration order) achieving a strictly larger diameter becomes the
+   witness. Chunks are merged in enumeration order with "earlier
+   witness wins ties", which reproduces the sequential policy no
+   matter how chunks were scheduled — verdicts are [jobs]-independent. *)
+let merge a b =
+  {
+    worst = Metrics.max_distance a.worst b.worst;
+    witness =
+      (if Metrics.distance_le b.worst a.worst then a.witness else b.witness);
+    sets_checked = a.sets_checked + b.sets_checked;
+    definitive = a.definitive && b.definitive;
+  }
+
+let merge_ordered = function
+  | [] -> { worst = Metrics.Finite 0; witness = []; sets_checked = 0; definitive = false }
+  | v :: rest -> List.fold_left merge v rest
+
+let default_jobs () = Par.recommended_jobs ()
+
+(* ------------------------------------------------------------------ *)
+(* Explicit set lists (random sampling, pools, corpus replay).        *)
+(* ------------------------------------------------------------------ *)
+
+let check_sets ?jobs routing sets =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let sets = Array.of_seq sets in
+  let count = Array.length sets in
+  if count = 0 then
+    { worst = Metrics.Finite 0; witness = []; sets_checked = 0; definitive = false }
+  else begin
+    let compiled = Surviving.compile routing in
+    (* Contiguous chunks; the merge policy above makes the verdict
+       independent of the chunk boundaries, so sizing them by [jobs]
+       is safe. *)
+    let nchunks = max 1 (min count (4 * max 1 jobs)) in
+    let bounds =
+      Array.init (nchunks + 1) (fun i -> i * count / nchunks)
+    in
+    let verdicts =
+      Par.run ~jobs ~ntasks:nchunks
+        ~init:(fun () -> Surviving.evaluator compiled)
+        ~task:(fun ev ci ->
+          let worst = ref (Metrics.Finite (-1)) in
+          let witness = ref [] in
+          for i = bounds.(ci) to bounds.(ci + 1) - 1 do
+            let faults_list = sets.(i) in
+            Surviving.set_faults ev (List.sort_uniq compare faults_list);
+            let d = Surviving.evaluator_diameter ev in
+            if not (Metrics.distance_le d !worst) then begin
+              worst := d;
+              witness := faults_list
+            end
+          done;
+          {
+            worst = !worst;
+            witness = !witness;
+            sets_checked = bounds.(ci + 1) - bounds.(ci);
+            definitive = false;
+          })
+    in
+    merge_ordered (Array.to_list verdicts)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive enumeration.                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The canonical order enumerates by size, then by maximum element:
+   block (k, top) holds the C(top, k-1) sets {top} ∪ S with S a
+   (k-1)-subset of [0, top), swept in revolving-door order. The block
+   list depends only on (n, f), so it is the unit of parallelism AND
+   the definition of enumeration order. [top = -1] encodes the empty
+   set. *)
+type block = { b_size : int; b_top : int }
+
+let blocks_up_to ~n ~f =
+  let acc = ref [ { b_size = 0; b_top = -1 } ] in
+  for k = min f n downto 1 do
+    for top = n - 1 downto k - 1 do
+      acc := { b_size = k; b_top = top } :: !acc
+    done
+  done;
+  Array.of_list (List.rev !acc)
+
+(* Sweep one block with an incremental evaluator, reporting each
+   subset to [consider] (which reads the evaluator's current state). *)
+let sweep_block ev block ~consider =
+  if block.b_top < 0 then begin
+    Surviving.reset ev;
+    consider ()
+  end
+  else begin
+    Surviving.set_faults ev [ block.b_top ];
+    if block.b_size = 1 then consider ()
+    else
+      iter_combinations_gray ~n:block.b_top ~k:(block.b_size - 1)
+        ~first:(fun c ->
+          Array.iter (Surviving.apply_fault ev) c;
+          consider ())
+        ~swap:(fun ~removed ~added ->
+          Surviving.revert_fault ev removed;
+          Surviving.apply_fault ev added;
+          consider ())
+  end
+
+let exhaustive ?jobs routing ~f =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let n = Graph.n (Routing.graph routing) in
   let compiled = Surviving.compile routing in
-  let worst = ref (Metrics.Finite (-1)) in
-  let witness = ref [] in
-  let checked = ref 0 in
-  let faults = Bitset.create n in
-  Seq.iter
-    (fun faults_list ->
-      incr checked;
-      Bitset.clear faults;
-      List.iter (Bitset.add faults) faults_list;
-      let d = Surviving.diameter_compiled compiled ~faults in
-      if not (Metrics.distance_le d !worst) then begin
-        worst := d;
-        witness := faults_list
-      end)
-    sets;
-  let worst = if !checked = 0 then Metrics.Finite 0 else !worst in
-  { worst; witness = !witness; sets_checked = !checked; definitive = false }
+  let blocks = blocks_up_to ~n ~f in
+  let verdicts =
+    Par.run ~jobs ~ntasks:(Array.length blocks)
+      ~init:(fun () -> Surviving.evaluator compiled)
+      ~task:(fun ev i ->
+        let worst = ref (Metrics.Finite (-1)) in
+        let witness = ref [] in
+        let checked = ref 0 in
+        sweep_block ev blocks.(i) ~consider:(fun () ->
+            incr checked;
+            let d = Surviving.evaluator_diameter ev in
+            if not (Metrics.distance_le d !worst) then begin
+              worst := d;
+              witness := Surviving.faults ev
+            end);
+        { worst = !worst; witness = !witness; sets_checked = !checked; definitive = false })
+  in
+  { (merge_ordered (Array.to_list verdicts)) with definitive = true }
 
-let exhaustive routing ~f =
+(* ------------------------------------------------------------------ *)
+(* Bound certification (early-exit).                                  *)
+(* ------------------------------------------------------------------ *)
+
+type certificate = {
+  holds : bool;
+  counterexample : int list option;
+  cert_sets_checked : int;
+}
+
+let certify ?jobs routing ~f ~bound =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let n = Graph.n (Routing.graph routing) in
-  let vertices = List.init n Fun.id in
-  let v = check_sets routing (subsets_up_to vertices f) in
-  { v with definitive = true }
+  let compiled = Surviving.compile routing in
+  let blocks = blocks_up_to ~n ~f in
+  let exception Stop in
+  let results =
+    Par.run ~jobs ~ntasks:(Array.length blocks)
+      ~init:(fun () -> Surviving.evaluator compiled)
+      ~task:(fun ev i ->
+        let checked = ref 0 in
+        let cex = ref None in
+        (try
+           sweep_block ev blocks.(i) ~consider:(fun () ->
+               incr checked;
+               if Surviving.diameter_exceeds ev ~bound then begin
+                 cex := Some (Surviving.faults ev);
+                 raise Stop
+               end)
+         with Stop -> ());
+        (!cex, !checked))
+  in
+  let checked = Array.fold_left (fun acc (_, c) -> acc + c) 0 results in
+  let counterexample =
+    Array.fold_left
+      (fun acc (cex, _) -> match acc with Some _ -> acc | None -> cex)
+      None results
+  in
+  { holds = counterexample = None; counterexample; cert_sets_checked = checked }
+
+(* ------------------------------------------------------------------ *)
+(* Sampling and pools.                                                *)
+(* ------------------------------------------------------------------ *)
 
 let random_subset rng n f =
   (* Floyd's algorithm for a uniform f-subset of [0, n). *)
@@ -75,16 +284,19 @@ let random_subset rng n f =
   done;
   Hashtbl.fold (fun v () acc -> v :: acc) chosen []
 
-let random routing ~f ~rng ~samples =
+let random ?jobs routing ~f ~rng ~samples =
   let n = Graph.n (Routing.graph routing) in
   let f = min f n in
-  let sets =
-    Seq.append (Seq.return [])
-      (Seq.init samples (fun _ -> random_subset rng n f))
-  in
-  check_sets routing sets
+  (* Draw every sample from the caller's RNG before evaluating, so the
+     draws — and hence the verdict — cannot depend on [jobs]. *)
+  let acc = ref [] in
+  for _ = 1 to samples do
+    acc := random_subset rng n f :: !acc
+  done;
+  let sets = [] :: List.rev !acc in
+  check_sets ?jobs routing (List.to_seq sets)
 
-let adversarial ?(per_pool_cap = 2000) routing ~f ~pools =
+let adversarial ?(per_pool_cap = 2000) ?jobs routing ~f ~pools =
   (* Pools overlap (the concentrator reappears in its members'
      neighborhoods), so identical subsets would be re-evaluated and
      inflate [sets_checked]; dedupe across pools, after the per-pool
@@ -108,38 +320,29 @@ let adversarial ?(per_pool_cap = 2000) routing ~f ~pools =
         end)
       sets
   in
-  check_sets routing deduped
-
-let merge a b =
-  {
-    worst = Metrics.max_distance a.worst b.worst;
-    witness =
-      (if Metrics.distance_le b.worst a.worst then a.witness else b.witness);
-    sets_checked = a.sets_checked + b.sets_checked;
-    definitive = a.definitive && b.definitive;
-  }
+  check_sets ?jobs routing deduped
 
 let evaluate ?(exhaustive_budget = 20_000) ?(samples = 300)
-    ?(attack_budget = Attack.default_config.Attack.budget) ?(corpus = []) ~rng
+    ?(attack_budget = Attack.default_config.Attack.budget) ?(corpus = []) ?jobs ~rng
     (c : Construction.t) ~f =
   let routing = c.Construction.routing in
   let n = Graph.n (Routing.graph routing) in
-  if count_subsets_up_to ~n ~k:f <= exhaustive_budget then exhaustive routing ~f
+  if count_subsets_up_to ~n ~k:f <= exhaustive_budget then exhaustive ?jobs routing ~f
   else begin
     (* Stored witnesses replay first: a regression against the corpus
        should surface even if every fresh search misses it. *)
     let replay =
       match Attack.Corpus.replayable corpus ~n ~f with
       | [] -> None
-      | sets -> Some (check_sets routing (List.to_seq sets))
+      | sets -> Some (check_sets ?jobs routing (List.to_seq sets))
     in
-    let adv = adversarial routing ~f ~pools:c.Construction.pools in
-    let rnd = random routing ~f ~rng ~samples in
+    let adv = adversarial ?jobs routing ~f ~pools:c.Construction.pools in
+    let rnd = random ?jobs routing ~f ~rng ~samples in
     let atk =
       if attack_budget <= 0 then None
       else
         let config = { Attack.default_config with Attack.budget = attack_budget } in
-        let o = Attack.search ~config ~rng ~pools:c.Construction.pools routing ~f in
+        let o = Attack.search ~config ?jobs ~rng ~pools:c.Construction.pools routing ~f in
         Some
           {
             worst = o.Attack.worst;

@@ -1,10 +1,16 @@
 type t = { words : int array; capacity : int }
 
-let word_bits = Sys.int_size
+(* 32 elements per word (16 on 32-bit hosts): indexing compiles to a
+   shift and a mask instead of division by the awkward constant 63,
+   and every word fits the unboxed int with room to spare, so the
+   SWAR popcount below needs no overflow care. *)
+let log_word_bits = if Sys.int_size >= 33 then 5 else 4
+let word_bits = 1 lsl log_word_bits
+let index_mask = word_bits - 1
 
 let create capacity =
   if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
-  { words = Array.make ((capacity + word_bits - 1) / word_bits) 0; capacity }
+  { words = Array.make ((capacity + word_bits - 1) lsr log_word_bits) 0; capacity }
 
 let capacity t = t.capacity
 
@@ -12,25 +18,59 @@ let check t i =
   if i < 0 || i >= t.capacity then
     invalid_arg (Printf.sprintf "Bitset: element %d out of [0,%d)" i t.capacity)
 
+(* Unchecked variants for inner loops that have already validated the
+   range (the surviving-diameter evaluator); out-of-range indices are
+   undefined behaviour. *)
+let unsafe_mem t i =
+  Array.unsafe_get t.words (i lsr log_word_bits) land (1 lsl (i land index_mask)) <> 0
+
+let unsafe_add t i =
+  let w = i lsr log_word_bits in
+  Array.unsafe_set t.words w (Array.unsafe_get t.words w lor (1 lsl (i land index_mask)))
+
+let unsafe_remove t i =
+  let w = i lsr log_word_bits in
+  Array.unsafe_set t.words w
+    (Array.unsafe_get t.words w land lnot (1 lsl (i land index_mask)))
+
 let mem t i =
   check t i;
-  t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+  unsafe_mem t i
 
 let add t i =
   check t i;
-  let w = i / word_bits in
-  t.words.(w) <- t.words.(w) lor (1 lsl (i mod word_bits))
+  unsafe_add t i
 
 let remove t i =
   check t i;
-  let w = i / word_bits in
-  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod word_bits))
+  unsafe_remove t i
 
 let clear t = Array.fill t.words 0 (Array.length t.words) 0
 
+(* Branch-free SWAR popcount over the full native int width.  The wide
+   masks must be assembled at runtime: the 63-bit literal
+   0x5555555555555555 does not fit OCaml's int. *)
+let repeat16 pat =
+  let rec go acc k = if k >= Sys.int_size then acc else go ((acc lsl 16) lor pat) (k + 16) in
+  go 0 0
+
+let m1 = repeat16 0x5555
+let m2 = repeat16 0x3333
+let m4 = repeat16 0x0f0f
+
 let popcount x =
-  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
-  go 0 x
+  let x = x - ((x lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  let x = x + (x lsr 8) in
+  let x = x + (x lsr 16) in
+  let x = if Sys.int_size > 32 then x + (x lsr 32) else x in
+  x land 0x7f
+
+(* Index of the lowest set bit; [x] must be non-zero. *)
+let lowest_bit_index x =
+  let b = x land -x in
+  popcount (b - 1)
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 
@@ -69,13 +109,16 @@ let diff_into dst src =
   same_capacity dst src;
   Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land lnot w) src.words
 
+(* Word-skipping iteration: peel the lowest set bit until the word is
+   exhausted, so sparse sets cost O(population), not O(capacity). *)
 let iter f t =
   for w = 0 to Array.length t.words - 1 do
-    let word = t.words.(w) in
-    if word <> 0 then
-      for b = 0 to word_bits - 1 do
-        if word land (1 lsl b) <> 0 then f ((w * word_bits) + b)
-      done
+    let word = ref (Array.unsafe_get t.words w) in
+    let base = w lsl log_word_bits in
+    while !word <> 0 do
+      f (base + lowest_bit_index !word);
+      word := !word land (!word - 1)
+    done
   done
 
 let fold f t init =

@@ -20,6 +20,24 @@ val add : t -> int -> unit
 
 val remove : t -> int -> unit
 
+val unsafe_mem : t -> int -> bool
+(** [mem] without the range check; an index outside [0, capacity) is
+    undefined behaviour. For validated inner loops only. *)
+
+val unsafe_add : t -> int -> unit
+(** [add] without the range check; same contract as {!unsafe_mem}. *)
+
+val unsafe_remove : t -> int -> unit
+(** [remove] without the range check; same contract as {!unsafe_mem}. *)
+
+val popcount : int -> int
+(** Number of set bits of an arbitrary (possibly negative) native int,
+    branch-free. *)
+
+val lowest_bit_index : int -> int
+(** Index of the least significant set bit; the argument must be
+    non-zero. *)
+
 val clear : t -> unit
 (** Remove every element. *)
 

@@ -1,0 +1,346 @@
+(* The incremental evaluation engine: revolving-door enumeration,
+   equivalence of the naive / compiled / incremental diameter paths,
+   bounded early exit, certificates, and jobs-independence of every
+   verdict. *)
+
+open Ftr_graph
+open Ftr_core
+
+let graph_print g =
+  Format.asprintf "n=%d edges=%a" (Graph.n g)
+    Fmt.(list ~sep:sp (pair ~sep:(any "-") int int))
+    (Graph.edges g)
+
+let chorded_cycle_gen ~nmin ~nmax =
+  QCheck.Gen.(
+    let* n = int_range nmin nmax in
+    let* extra = int_range 0 n in
+    let* seed = int_range 0 1_000_000 in
+    let rng = Random.State.make [| seed |] in
+    let chords =
+      List.init extra (fun _ -> (Random.State.int rng n, Random.State.int rng n))
+    in
+    let cycle = List.init n (fun i -> (i, (i + 1) mod n)) in
+    return (Graph.of_edges ~n (cycle @ chords)))
+
+let routing_of g =
+  let t = max 1 (Connectivity.vertex_connectivity g - 1) in
+  (Kernel.make g ~t).Construction.routing
+
+(* Kernel.make rejects complete graphs (no separating set exists). *)
+let assume_not_complete g =
+  let n = Graph.n g in
+  QCheck.assume (List.length (Graph.edges g) < n * (n - 1) / 2)
+
+(* ---------------- revolving-door enumeration ---------------- *)
+
+let binom n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := !acc * (n - k + i) / i
+    done;
+    !acc
+  end
+
+let test_gray_enumerates_all_subsets () =
+  for n = 0 to 8 do
+    for k = 0 to n do
+      let seen = Hashtbl.create 64 in
+      let current = Hashtbl.create 8 in
+      let record () =
+        let subset = List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) current []) in
+        Alcotest.(check int)
+          (Printf.sprintf "n=%d k=%d subset size" n k)
+          k (List.length subset);
+        Alcotest.(check bool)
+          (Printf.sprintf "n=%d k=%d distinct" n k)
+          false (Hashtbl.mem seen subset);
+        Hashtbl.add seen subset ()
+      in
+      Tolerance.iter_combinations_gray ~n ~k
+        ~first:(fun c ->
+          Array.iter
+            (fun v ->
+              Alcotest.(check bool) "element in range" true (v >= 0 && v < n);
+              Hashtbl.add current v ())
+            c;
+          record ())
+        ~swap:(fun ~removed ~added ->
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d k=%d removes a member" n k)
+            true (Hashtbl.mem current removed);
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d k=%d adds a non-member" n k)
+            false (Hashtbl.mem current added);
+          Hashtbl.remove current removed;
+          Hashtbl.add current added ();
+          record ());
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d k=%d counts C(n,k)" n k)
+        (binom n k) (Hashtbl.length seen)
+    done
+  done
+
+(* ---------------- equivalence of the three diameter paths -------- *)
+
+let arb_routing_with_faults =
+  QCheck.make
+    ~print:(fun (g, faults) ->
+      Printf.sprintf "%s F={%s}" (graph_print g)
+        (String.concat "," (List.map string_of_int faults)))
+    QCheck.Gen.(
+      let* g = chorded_cycle_gen ~nmin:4 ~nmax:12 in
+      let n = Graph.n g in
+      let* fault_seed = int_range 0 1_000_000 in
+      let rng = Random.State.make [| fault_seed |] in
+      let f = Random.State.int rng (min 5 n) in
+      let faults =
+        List.sort_uniq compare (List.init f (fun _ -> Random.State.int rng n))
+      in
+      return (g, faults))
+
+let prop_three_paths_agree =
+  QCheck.Test.make ~name:"naive = compiled = incremental surviving diameter"
+    ~count:60 arb_routing_with_faults
+    (fun (g, faults) ->
+      assume_not_complete g;
+      let routing = routing_of g in
+      let n = Graph.n g in
+      let naive = Surviving.diameter routing ~faults:(Bitset.of_list n faults) in
+      let compiled = Surviving.compile routing in
+      let batch = Surviving.diameter_compiled compiled ~faults:(Bitset.of_list n faults) in
+      let ev = Surviving.evaluator compiled in
+      Surviving.set_faults ev faults;
+      let incremental = Surviving.evaluator_diameter ev in
+      naive = batch && naive = incremental)
+
+let prop_incremental_survives_churn =
+  QCheck.Test.make
+    ~name:"evaluator agrees with naive after apply/revert churn" ~count:40
+    arb_routing_with_faults
+    (fun (g, faults) ->
+      assume_not_complete g;
+      let routing = routing_of g in
+      let n = Graph.n g in
+      let ev = Surviving.evaluator (Surviving.compile routing) in
+      (* Apply one at a time, checking after each step; then revert in
+         reverse order, checking again: hit counters must round-trip. *)
+      let ok = ref true in
+      let check applied =
+        let naive =
+          Surviving.diameter routing ~faults:(Bitset.of_list n applied)
+        in
+        if Surviving.evaluator_diameter ev <> naive then ok := false;
+        if Surviving.faults ev <> List.sort compare applied then ok := false
+      in
+      let rec forward applied = function
+        | [] -> ()
+        | v :: rest ->
+            Surviving.apply_fault ev v;
+            let applied = v :: applied in
+            check applied;
+            forward applied rest
+      in
+      forward [] faults;
+      let rec backward = function
+        | [] -> ()
+        | v :: rest ->
+            Surviving.revert_fault ev v;
+            check rest;
+            backward rest
+      in
+      backward (List.rev faults);
+      !ok && Surviving.fault_count ev = 0)
+
+let prop_diameter_exceeds_consistent =
+  QCheck.Test.make ~name:"diameter_exceeds = (diameter > bound)" ~count:40
+    arb_routing_with_faults
+    (fun (g, faults) ->
+      assume_not_complete g;
+      let routing = routing_of g in
+      let n = Graph.n g in
+      let ev = Surviving.evaluator (Surviving.compile routing) in
+      Surviving.set_faults ev faults;
+      let d = Surviving.evaluator_diameter ev in
+      List.for_all
+        (fun bound ->
+          Surviving.diameter_exceeds ev ~bound
+          = not (Metrics.distance_le d (Metrics.Finite bound)))
+        (List.init (n + 2) (fun b -> b - 1)))
+
+let test_apply_fault_guards () =
+  let g = Families.cycle 6 in
+  let ev = Surviving.evaluator (Surviving.compile (routing_of g)) in
+  Surviving.apply_fault ev 2;
+  Alcotest.check_raises "double apply"
+    (Invalid_argument "Surviving.apply_fault: vertex already faulty") (fun () ->
+      Surviving.apply_fault ev 2);
+  Alcotest.check_raises "revert non-fault"
+    (Invalid_argument "Surviving.revert_fault: vertex not faulty") (fun () ->
+      Surviving.revert_fault ev 3);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Surviving.apply_fault: vertex out of range") (fun () ->
+      Surviving.apply_fault ev 6)
+
+(* ---------------- certificates ---------------- *)
+
+let prop_certify_agrees_with_exhaustive =
+  QCheck.Test.make ~name:"certify agrees with the exhaustive verdict" ~count:25
+    (QCheck.make ~print:graph_print (chorded_cycle_gen ~nmin:4 ~nmax:9))
+    (fun g ->
+      assume_not_complete g;
+      let routing = routing_of g in
+      let n = Graph.n g in
+      let f = min 2 n in
+      let v = Tolerance.exhaustive routing ~f in
+      List.for_all
+        (fun bound ->
+          let cert = Tolerance.certify routing ~f ~bound in
+          let expected = Tolerance.respects v ~bound in
+          cert.Tolerance.holds = expected
+          && (cert.Tolerance.holds || cert.Tolerance.counterexample <> None))
+        (List.init (n + 1) (fun b -> b)))
+
+let test_certify_counterexample_violates () =
+  let g = Families.cycle 6 in
+  let routing = routing_of g in
+  let cert = Tolerance.certify routing ~f:2 ~bound:4 in
+  Alcotest.(check bool) "cycle6 f=2 disconnects" false cert.Tolerance.holds;
+  match cert.Tolerance.counterexample with
+  | None -> Alcotest.fail "expected a counterexample"
+  | Some w ->
+      let ev = Surviving.evaluator (Surviving.compile routing) in
+      Surviving.set_faults ev w;
+      Alcotest.(check bool) "counterexample really violates" true
+        (Surviving.diameter_exceeds ev ~bound:4)
+
+(* ---------------- jobs-independence ---------------- *)
+
+let test_exhaustive_jobs_independent () =
+  let g = Families.torus 4 4 in
+  let routing = routing_of g in
+  List.iter
+    (fun f ->
+      let base = Tolerance.exhaustive ~jobs:1 routing ~f in
+      List.iter
+        (fun jobs ->
+          let v = Tolerance.exhaustive ~jobs routing ~f in
+          Alcotest.(check bool)
+            (Printf.sprintf "f=%d jobs=%d worst" f jobs)
+            true
+            (v.Tolerance.worst = base.Tolerance.worst);
+          Alcotest.(check (list int))
+            (Printf.sprintf "f=%d jobs=%d witness" f jobs)
+            base.Tolerance.witness v.Tolerance.witness;
+          Alcotest.(check int)
+            (Printf.sprintf "f=%d jobs=%d sets_checked" f jobs)
+            base.Tolerance.sets_checked v.Tolerance.sets_checked;
+          Alcotest.(check bool)
+            (Printf.sprintf "f=%d jobs=%d definitive" f jobs)
+            base.Tolerance.definitive v.Tolerance.definitive)
+        [ 2; 3; 4; 7 ])
+    [ 1; 2 ]
+
+let test_evaluate_jobs_independent () =
+  let g = Families.torus 4 4 in
+  let c = Kernel.make g ~t:2 in
+  let verdict jobs =
+    let rng = Random.State.make [| 97; 3 |] in
+    Tolerance.evaluate ~rng ~jobs ~exhaustive_budget:50 ~samples:40
+      ~attack_budget:200 c ~f:3
+  in
+  let base = verdict 1 and par = verdict 4 in
+  Alcotest.(check bool) "worst" true (base.Tolerance.worst = par.Tolerance.worst);
+  Alcotest.(check (list int)) "witness" base.Tolerance.witness par.Tolerance.witness;
+  Alcotest.(check int) "sets_checked" base.Tolerance.sets_checked
+    par.Tolerance.sets_checked
+
+let test_attack_jobs_independent () =
+  let g = Families.torus 5 5 in
+  let c = Kernel.make g ~t:3 in
+  let outcome jobs =
+    let rng = Random.State.make [| 31; 7 |] in
+    Attack.search
+      ~config:{ Attack.default_config with Attack.budget = 300; restarts = 4 }
+      ~jobs ~rng ~pools:c.Construction.pools c.Construction.routing ~f:3
+  in
+  let base = outcome 1 in
+  List.iter
+    (fun jobs ->
+      let o = outcome jobs in
+      Alcotest.(check bool) (Printf.sprintf "jobs=%d worst" jobs) true
+        (o.Attack.worst = base.Attack.worst);
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d witness" jobs)
+        base.Attack.witness o.Attack.witness;
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d raw witness" jobs)
+        base.Attack.raw_witness o.Attack.raw_witness;
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d evals" jobs)
+        base.Attack.evals o.Attack.evals;
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d restarts" jobs)
+        base.Attack.restarts_used o.Attack.restarts_used)
+    [ 2; 4 ]
+
+let test_certify_jobs_independent () =
+  let g = Families.torus 4 4 in
+  let routing = routing_of g in
+  List.iter
+    (fun bound ->
+      let base = Tolerance.certify ~jobs:1 routing ~f:2 ~bound in
+      List.iter
+        (fun jobs ->
+          let cert = Tolerance.certify ~jobs routing ~f:2 ~bound in
+          Alcotest.(check bool)
+            (Printf.sprintf "bound=%d jobs=%d holds" bound jobs)
+            base.Tolerance.holds cert.Tolerance.holds;
+          Alcotest.(check bool)
+            (Printf.sprintf "bound=%d jobs=%d counterexample" bound jobs)
+            true
+            (cert.Tolerance.counterexample = base.Tolerance.counterexample);
+          Alcotest.(check int)
+            (Printf.sprintf "bound=%d jobs=%d sets" bound jobs)
+            base.Tolerance.cert_sets_checked cert.Tolerance.cert_sets_checked)
+        [ 3; 4 ])
+    [ 1; 6 ]
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine"
+    [
+      ( "gray",
+        [
+          Alcotest.test_case "revolving door enumerates C(n,k) subsets" `Quick
+            test_gray_enumerates_all_subsets;
+        ] );
+      ( "equivalence",
+        qcheck
+          [
+            prop_three_paths_agree;
+            prop_incremental_survives_churn;
+            prop_diameter_exceeds_consistent;
+          ]
+        @ [ Alcotest.test_case "apply/revert guards" `Quick test_apply_fault_guards ] );
+      ( "certificates",
+        qcheck [ prop_certify_agrees_with_exhaustive ]
+        @ [
+            Alcotest.test_case "counterexample violates" `Quick
+              test_certify_counterexample_violates;
+          ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "exhaustive jobs-independent" `Quick
+            test_exhaustive_jobs_independent;
+          Alcotest.test_case "evaluate jobs-independent" `Slow
+            test_evaluate_jobs_independent;
+          Alcotest.test_case "attack jobs-independent" `Slow
+            test_attack_jobs_independent;
+          Alcotest.test_case "certify jobs-independent" `Quick
+            test_certify_jobs_independent;
+        ] );
+    ]

@@ -70,6 +70,19 @@ let test_all_quick_experiments_clean () =
         table.Table.rows)
     (Experiments.all quick_ctx)
 
+let test_jobs_bit_identical () =
+  (* The whole quick experiment table must not depend on the worker
+     count: every cell of every row of every experiment is identical
+     between a sequential and a 4-domain run. *)
+  let tables jobs = Experiments.all ~jobs quick_ctx in
+  let seq = tables 1 and par = tables 4 in
+  Alcotest.(check int) "same experiment count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (id1, (t1 : Table.t)) (id2, (t2 : Table.t)) ->
+      Alcotest.(check string) "same id" id1 id2;
+      Alcotest.(check bool) (id1 ^ " identical rows") true (t1.Table.rows = t2.Table.rows))
+    seq par
+
 let () =
   Alcotest.run "experiments"
     [
@@ -83,5 +96,7 @@ let () =
           Alcotest.test_case "figure with outdir" `Quick test_figures_with_outdir;
           Alcotest.test_case "deterministic" `Slow test_deterministic;
           Alcotest.test_case "all quick experiments clean" `Slow test_all_quick_experiments_clean;
+          Alcotest.test_case "jobs=1 and jobs=4 bit-identical" `Slow
+            test_jobs_bit_identical;
         ] );
     ]

@@ -1,0 +1,107 @@
+(* The worker pool: task-order delivery, per-worker state isolation,
+   exception propagation and re-entrancy (nested calls fall back to
+   the sequential path instead of deadlocking the pool). *)
+
+open Ftr_core
+
+let test_map_matches_sequential () =
+  let items = Array.init 100 (fun i -> i) in
+  let f i = (i * i) + 3 in
+  let expect = Array.map f items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "map jobs=%d" jobs)
+        expect
+        (Par.map ~jobs f items))
+    [ 1; 2; 4; 8 ]
+
+let test_run_task_order () =
+  let r = Par.run ~jobs:4 ~ntasks:33 ~init:(fun () -> ()) ~task:(fun () i -> 2 * i) in
+  Alcotest.(check (array int)) "indexed by task" (Array.init 33 (fun i -> 2 * i)) r
+
+let test_empty_and_single () =
+  Alcotest.(check (array int)) "ntasks=0" [||]
+    (Par.run ~jobs:4 ~ntasks:0 ~init:(fun () -> ()) ~task:(fun () i -> i));
+  Alcotest.(check (array int)) "ntasks=1" [| 7 |]
+    (Par.run ~jobs:4 ~ntasks:1 ~init:(fun () -> ()) ~task:(fun () _ -> 7))
+
+let test_init_isolation () =
+  (* Each participating domain owns one scratch ref; tasks bump it and
+     report the value seen. Per-domain counts must partition the tasks:
+     within one domain the values 1..k are each seen exactly once, so
+     summing over tasks grouped by state id reconstructs the total. *)
+  let ids = Atomic.make 0 in
+  let r =
+    Par.run ~jobs:4 ~ntasks:64
+      ~init:(fun () -> (Atomic.fetch_and_add ids 1, ref 0))
+      ~task:(fun (id, count) _ ->
+        incr count;
+        (id, !count))
+  in
+  Alcotest.(check int) "every task ran" 64 (Array.length r);
+  let per_id = Hashtbl.create 8 in
+  Array.iter
+    (fun (id, seen) ->
+      let prev = Option.value (Hashtbl.find_opt per_id id) ~default:0 in
+      Alcotest.(check int)
+        (Printf.sprintf "state %d counts monotonically" id)
+        (prev + 1) seen;
+      Hashtbl.replace per_id id seen)
+    (let copy = Array.copy r in
+     Array.stable_sort compare copy;
+     copy);
+  let total = Hashtbl.fold (fun _ c acc -> c + acc) per_id 0 in
+  Alcotest.(check int) "per-domain counts partition the tasks" 64 total
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      match
+        Par.run ~jobs ~ntasks:50
+          ~init:(fun () -> ())
+          ~task:(fun () i -> if i = 17 then raise (Boom i) else i)
+      with
+      | _ -> Alcotest.failf "jobs=%d: expected Boom" jobs
+      | exception Boom 17 -> ())
+    [ 1; 4 ]
+
+let test_reentrant_falls_back () =
+  (* A task that itself calls Par.run must not deadlock: the inner call
+     detects it is already inside a parallel section and runs
+     sequentially. *)
+  let r =
+    Par.run ~jobs:4 ~ntasks:6
+      ~init:(fun () -> ())
+      ~task:(fun () i ->
+        let inner =
+          Par.run ~jobs:4 ~ntasks:4 ~init:(fun () -> ()) ~task:(fun () j -> i + j)
+        in
+        Array.fold_left ( + ) 0 inner)
+  in
+  Alcotest.(check (array int))
+    "nested results correct"
+    (Array.init 6 (fun i -> (4 * i) + 6))
+    r
+
+let test_recommended_jobs_positive () =
+  Alcotest.(check bool) "at least one" true (Par.recommended_jobs () >= 1)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
+          Alcotest.test_case "run delivers in task order" `Quick test_run_task_order;
+          Alcotest.test_case "empty and single jobs" `Quick test_empty_and_single;
+          Alcotest.test_case "per-worker init isolation" `Quick test_init_isolation;
+          Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+          Alcotest.test_case "re-entrant calls fall back" `Quick
+            test_reentrant_falls_back;
+          Alcotest.test_case "recommended_jobs positive" `Quick
+            test_recommended_jobs_positive;
+        ] );
+    ]
