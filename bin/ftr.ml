@@ -344,6 +344,29 @@ let claim_bound_for c ~f =
       else acc)
     None c.Construction.claims
 
+(* One construction (and one compiled table) per distinct provenance
+   triple, shared across its witnesses. *)
+let construction_cache () =
+  let cache = Hashtbl.create 8 in
+  fun key ->
+    match Hashtbl.find_opt cache key with
+    | Some r -> r
+    | None ->
+        let spec, strat, seed = key in
+        let r =
+          match Ftr_analysis.Graph_spec.parse spec with
+          | Error e -> Error ("bad graph spec: " ^ e)
+          | Ok g -> (
+              match List.assoc_opt strat strategies with
+              | None -> Error ("unknown strategy " ^ strat)
+              | Some s -> (
+                  match build_construction g s seed with
+                  | exception Invalid_argument msg -> Error msg
+                  | c -> Ok (c, Surviving.compile c.Construction.routing)))
+        in
+        Hashtbl.add cache key r;
+        r
+
 let replay_corpus dir =
   let files = Attack.Corpus.load_dir dir in
   if files = [] then begin
@@ -351,28 +374,7 @@ let replay_corpus dir =
     0
   end
   else begin
-    (* One construction (and one compiled table) per distinct
-       provenance triple, shared across its witnesses. *)
-    let cache = Hashtbl.create 8 in
-    let construction_for key =
-      match Hashtbl.find_opt cache key with
-      | Some r -> r
-      | None ->
-          let spec, strat, seed = key in
-          let r =
-            match Ftr_analysis.Graph_spec.parse spec with
-            | Error e -> Error ("bad graph spec: " ^ e)
-            | Ok g -> (
-                match List.assoc_opt strat strategies with
-                | None -> Error ("unknown strategy " ^ strat)
-                | Some s -> (
-                    match build_construction g s seed with
-                    | exception Invalid_argument msg -> Error msg
-                    | c -> Ok (c, Surviving.compile c.Construction.routing)))
-          in
-          Hashtbl.add cache key r;
-          r
-    in
+    let construction_for = construction_cache () in
     let checked = ref 0 and failures = ref 0 in
     List.iter
       (fun (path, parsed) ->
@@ -385,8 +387,14 @@ let replay_corpus dir =
               (fun (e : Attack.Corpus.entry) ->
                 incr checked;
                 let label =
-                  Printf.sprintf "%s %s seed=%d {%s}" e.graph e.strategy e.seed
+                  Printf.sprintf "%s %s seed=%d {%s}%s" e.graph e.strategy e.seed
                     (String.concat "," (List.map string_of_int e.faults))
+                    (match e.edges with
+                    | [] -> ""
+                    | es ->
+                        Printf.sprintf " links{%s}"
+                          (String.concat ","
+                             (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) es)))
                 in
                 match construction_for (e.graph, e.strategy, e.seed) with
                 | Error msg ->
@@ -399,9 +407,30 @@ let replay_corpus dir =
                       Printf.printf "%-44s STALE: n=%d, entry says %d\n" label n e.n
                     end
                     else
+                      let stale_edges =
+                        List.filter
+                          (fun (u, v) -> Surviving.edge_id compiled u v = None)
+                          e.edges
+                      in
+                      if stale_edges <> [] then begin
+                        incr failures;
+                        Printf.printf "%-44s STALE: %d witness link(s) not in graph\n"
+                          label (List.length stale_edges)
+                      end
+                      else
                       let d =
-                        Surviving.diameter_compiled compiled
-                          ~faults:(Bitset.of_list n e.faults)
+                        if e.edges = [] then
+                          Surviving.diameter_compiled compiled
+                            ~faults:(Bitset.of_list n e.faults)
+                        else begin
+                          let ev = Surviving.evaluator compiled in
+                          Surviving.set_mixed_faults ev ~nodes:e.faults
+                            ~edges:
+                              (List.filter_map
+                                 (fun (u, v) -> Surviving.edge_id compiled u v)
+                                 e.edges);
+                          Surviving.evaluator_diameter ev
+                        end
                       in
                       if not (Metrics.distance_le d e.diameter) then begin
                         incr failures;
@@ -462,7 +491,18 @@ let attack_cmd =
           ~doc:"After the search, run a message-level simulation where the \
                 discovered witnesses crash in waves and recover.")
   in
-  let run spec strategy seed faults budget restarts corpus_dir replay churn jobs =
+  let universe_arg =
+    Arg.(
+      value
+      & opt (enum [ ("nodes", `Nodes); ("links", `Links); ("mixed", `Mixed) ]) `Nodes
+      & info [ "universe" ] ~docv:"U"
+          ~doc:
+            "Fault universe to search: $(b,nodes) (default), $(b,links) \
+             (link faults only), or $(b,mixed) (node and link faults drawn \
+             from one budget).")
+  in
+  let run spec strategy seed faults budget restarts corpus_dir replay churn universe
+      jobs =
     match replay with
     | Some dir -> replay_corpus dir
     | None -> (
@@ -492,33 +532,66 @@ let attack_cmd =
                     let config =
                       { Attack.default_config with Attack.budget; restarts }
                     in
-                    let o =
-                      Attack.search ~config ?jobs ~rng ~pools:c.Construction.pools
-                        c.Construction.routing ~f
+                    let worst, w_nodes, w_edges, raw_nodes, raw_size, evals,
+                        restarts_used =
+                      match universe with
+                      | `Nodes ->
+                          let o =
+                            Attack.search ~config ?jobs ~rng
+                              ~pools:c.Construction.pools c.Construction.routing ~f
+                          in
+                          ( o.Attack.worst, o.Attack.witness, [],
+                            o.Attack.raw_witness,
+                            List.length o.Attack.raw_witness, o.Attack.evals,
+                            o.Attack.restarts_used )
+                      | (`Links | `Mixed) as u ->
+                          let universe =
+                            match u with `Links -> `Edges | `Mixed -> `Mixed
+                          in
+                          let o =
+                            Attack.search_mixed ~config ?jobs ~rng
+                              ~pools:c.Construction.pools ~universe
+                              c.Construction.routing ~f
+                          in
+                          ( o.Attack.m_worst, o.Attack.m_nodes, o.Attack.m_edges,
+                            o.Attack.m_raw_nodes,
+                            List.length o.Attack.m_raw_nodes
+                            + List.length o.Attack.m_raw_edges,
+                            o.Attack.m_evals, o.Attack.m_restarts_used )
+                    in
+                    let witness_cell =
+                      Printf.sprintf "{%s}%s"
+                        (String.concat "," (List.map string_of_int w_nodes))
+                        (match w_edges with
+                        | [] -> ""
+                        | es ->
+                            Printf.sprintf " links{%s}"
+                              (String.concat ","
+                                 (List.map
+                                    (fun (u, v) -> Printf.sprintf "%d-%d" u v)
+                                    es)))
                     in
                     let sname = strategy_name strategy in
                     Printf.printf "attack              %s %s seed=%d f=%d\n" spec sname
                       seed f;
-                    Printf.printf "worst found         %s\n" (dist_cell o.Attack.worst);
-                    Printf.printf "witness             {%s}\n"
-                      (String.concat "," (List.map string_of_int o.Attack.witness));
-                    Printf.printf "shrunk              %d -> %d fault(s)\n"
-                      (List.length o.Attack.raw_witness)
-                      (List.length o.Attack.witness);
-                    Printf.printf "evals used          %d (budget %d)\n" o.Attack.evals
-                      budget;
-                    Printf.printf "restarts            %d\n" o.Attack.restarts_used;
+                    Printf.printf "worst found         %s\n" (dist_cell worst);
+                    Printf.printf "witness             %s\n" witness_cell;
+                    Printf.printf "shrunk              %d -> %d fault(s)\n" raw_size
+                      (List.length w_nodes + List.length w_edges);
+                    Printf.printf "evals used          %d (budget %d)\n" evals budget;
+                    Printf.printf "restarts            %d\n" restarts_used;
                     let bound = claim_bound_for c ~f in
                     (match bound with
                     | Some b ->
                         Printf.printf "claim bound         %d -> %s\n" b
-                          (if Metrics.distance_le o.Attack.worst (Metrics.Finite b)
-                           then "respected"
+                          (if Metrics.distance_le worst (Metrics.Finite b) then
+                             "respected"
                            else "VIOLATED")
                     | None -> ());
+                    let corpus_error = ref false in
                     (match corpus_dir with
                     | None -> ()
-                    | Some dir when o.Attack.witness = [] ->
+                    | Some dir when w_nodes = [] && w_edges = [] ->
                         Printf.printf "corpus              nothing to save in %s\n" dir
                     | Some dir -> (
                         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -532,7 +605,8 @@ let attack_cmd =
                         in
                         match existing with
                         | Error msg ->
-                            Printf.printf "corpus              NOT saved (%s: %s)\n"
+                            corpus_error := true;
+                            Printf.eprintf "corpus              NOT saved (%s: %s)\n"
                               fname msg
                         | Ok entries ->
                             let entry =
@@ -542,8 +616,9 @@ let attack_cmd =
                                 seed;
                                 n;
                                 f;
-                                faults = o.Attack.witness;
-                                diameter = o.Attack.worst;
+                                faults = w_nodes;
+                                edges = w_edges;
+                                diameter = worst;
                                 bound;
                                 found_by = Printf.sprintf "attack(seed=%d)" seed;
                               }
@@ -558,8 +633,7 @@ let attack_cmd =
                                 fname));
                     if churn then begin
                       let waves =
-                        List.sort_uniq compare
-                          [ o.Attack.witness; o.Attack.raw_witness ]
+                        List.sort_uniq compare [ w_nodes; raw_nodes ]
                         |> List.filter (fun w -> w <> [])
                       in
                       let net = Ftr_sim.Network.create c.Construction.routing in
@@ -567,6 +641,10 @@ let attack_cmd =
                       Ftr_sim.Faults.schedule_on sim net
                         (Ftr_sim.Faults.witness_waves ~start:40.0 ~dwell:60.0
                            ~gap:20.0 waves);
+                      if w_edges <> [] then
+                        Ftr_sim.Faults.schedule_on sim net
+                          (Ftr_sim.Faults.link_waves ~start:40.0 ~dwell:60.0
+                             ~gap:20.0 [ w_edges ]);
                       let entries =
                         Ftr_sim.Workload.uniform ~rng ~n ~count:300 ~horizon:240.0
                       in
@@ -582,9 +660,9 @@ let attack_cmd =
                       in
                       Printf.printf "churn delivered     %d/%d over %d wave(s)\n"
                         (List.length delivered) (List.length msgs)
-                        (List.length waves)
+                        (max (List.length waves) (if w_edges <> [] then 1 else 0))
                     end;
-                    0)))
+                    if !corpus_error then 1 else 0)))
   in
   Cmd.v
     (Cmd.info "attack"
@@ -593,7 +671,147 @@ let attack_cmd =
           maintain a regression corpus")
     Term.(
       const run $ spec_arg $ strategy_arg $ seed_arg $ faults_arg $ budget_arg
-      $ restarts_arg $ corpus_arg $ replay_arg $ churn_arg $ jobs_arg)
+      $ restarts_arg $ corpus_arg $ replay_arg $ churn_arg $ universe_arg
+      $ jobs_arg)
+
+(* ---------------- soak ---------------- *)
+
+let soak_cmd =
+  let corpus_arg =
+    Arg.(
+      value & opt string "corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Witness corpus to replay as link-flap waves.")
+  in
+  let messages_arg =
+    Arg.(
+      value & opt int 300
+      & info [ "messages" ] ~docv:"M" ~doc:"Messages per construction.")
+  in
+  let dwell_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "dwell" ] ~docv:"T" ~doc:"How long each wave of links stays down.")
+  in
+  let gap_arg =
+    Arg.(
+      value & opt float 20.0
+      & info [ "gap" ] ~docv:"T" ~doc:"Healthy time between waves.")
+  in
+  (* A witness node becomes one incident link (to its smallest
+     neighbour): at most f link faults per wave, which the paper's
+     reduction projects to at most f node faults, so each claim's
+     (d, f) bound still applies and a within-budget wave must produce
+     zero dead letters. *)
+  let wave_of_entry g (e : Attack.Corpus.entry) =
+    let of_node v =
+      let nb = Graph.neighbors g v in
+      if Array.length nb = 0 then None
+      else Some (min v nb.(0), max v nb.(0))
+    in
+    List.sort_uniq compare (e.edges @ List.filter_map of_node e.faults)
+  in
+  let run corpus_dir seed messages dwell gap =
+    let files = Attack.Corpus.load_dir corpus_dir in
+    if files = [] then begin
+      Printf.printf "no corpus files under %s\n" corpus_dir;
+      0
+    end
+    else begin
+      let parse_errors =
+        List.filter_map
+          (fun (path, r) ->
+            match r with Error e -> Some (path, e) | Ok _ -> None)
+          files
+      in
+      if parse_errors <> [] then begin
+        List.iter
+          (fun (path, e) -> Printf.eprintf "%s: PARSE ERROR: %s\n" path e)
+          parse_errors;
+        1
+      end
+      else begin
+        let entries =
+          List.concat_map (fun (_, r) -> Result.get_ok r) files
+        in
+        (* One simulation per construction; each of its witnesses is
+           one wave of link flaps. *)
+        let groups = Hashtbl.create 8 in
+        let order = ref [] in
+        List.iter
+          (fun (e : Attack.Corpus.entry) ->
+            let key = (e.graph, e.strategy, e.seed) in
+            if not (Hashtbl.mem groups key) then order := key :: !order;
+            Hashtbl.replace groups key
+              (e :: (Option.value (Hashtbl.find_opt groups key) ~default:[])))
+          entries;
+        let construction_for = construction_cache () in
+        let failures = ref 0 in
+        let all_msgs = ref [] in
+        List.iter
+          (fun ((spec, strat, cseed) as key) ->
+            let group = List.rev (Hashtbl.find groups key) in
+            match construction_for key with
+            | Error msg ->
+                incr failures;
+                Printf.printf "%s %s seed=%d: ERROR: %s\n" spec strat cseed msg
+            | Ok (c, _) ->
+                let g = Routing.graph c.Construction.routing in
+                let n = Graph.n g in
+                let waves_all = List.map (wave_of_entry g) group in
+                let waves = List.filter (fun w -> w <> []) waves_all in
+                let nwaves = List.length waves in
+                let start = 40.0 in
+                let horizon =
+                  start +. (float_of_int nwaves *. (dwell +. gap))
+                in
+                let net = Ftr_sim.Network.create c.Construction.routing in
+                let sim = Ftr_sim.Sim.create () in
+                Ftr_sim.Faults.schedule_on sim net
+                  (Ftr_sim.Faults.link_waves ~start ~dwell ~gap waves);
+                let rng = Random.State.make [| seed; 5 |] in
+                let workload =
+                  Ftr_sim.Workload.uniform ~rng ~n ~count:messages ~horizon
+                in
+                let msgs =
+                  Ftr_sim.Protocol.deliver_all sim net
+                    Ftr_sim.Protocol.hardened_config workload
+                in
+                all_msgs := msgs :: !all_msgs;
+                let d = Ftr_sim.Stats.delivery_report msgs in
+                let within_budget =
+                  List.for_all2
+                    (fun (e : Attack.Corpus.entry) w ->
+                      List.length w <= e.f
+                      && claim_bound_for c ~f:(List.length w) <> None)
+                    group waves_all
+                in
+                if within_budget && d.Ftr_sim.Stats.dead_letters > 0 then begin
+                  incr failures;
+                  Printf.printf
+                    "%s %s seed=%d: %d dead letter(s) within the claim budget\n"
+                    spec strat cseed d.Ftr_sim.Stats.dead_letters
+                end;
+                Format.printf "%-32s %d wave(s)  %a@."
+                  (Printf.sprintf "%s/%s seed=%d" spec strat cseed)
+                  nwaves Ftr_sim.Stats.pp_delivery d)
+          (List.rev !order);
+        let total = Ftr_sim.Stats.delivery_report (List.concat !all_msgs) in
+        Format.printf "%-32s          %a@." "TOTAL" Ftr_sim.Stats.pp_delivery total;
+        (match total.Ftr_sim.Stats.replans_per_message with
+        | Some s -> Format.printf "replans/message: %a@." Ftr_sim.Stats.pp_summary s
+        | None -> ());
+        if !failures = 0 then 0 else 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "replay attack witnesses as link-flap waves against the \
+          churn-hardened protocol and report delivery, latency, re-plans and \
+          dead letters")
+    Term.(const run $ corpus_arg $ seed_arg $ messages_arg $ dwell_arg $ gap_arg)
 
 (* ---------------- dot ---------------- *)
 
@@ -618,5 +836,5 @@ let () =
        (Cmd.group (Cmd.info "ftr" ~doc)
           [
             info_cmd; route_cmd; tolerate_cmd; props_cmd; check_cmd; simulate_cmd;
-            attack_cmd; dot_cmd;
+            attack_cmd; soak_cmd; dot_cmd;
           ]))

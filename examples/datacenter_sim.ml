@@ -26,9 +26,9 @@ let () =
   (* Three switches die at t=100, 150, 200. *)
   Faults.schedule_on sim net
     [
-      { Faults.at = 100.0; node = 24; kind = `Crash };
-      { Faults.at = 150.0; node = 10; kind = `Crash };
-      { Faults.at = 200.0; node = 38; kind = `Crash };
+      { Faults.at = 100.0; action = `Crash 24 };
+      { Faults.at = 150.0; action = `Crash 10 };
+      { Faults.at = 200.0; action = `Crash 38 };
     ];
 
   (* Hotspot workload: 30% of traffic goes to the storage node 0. *)

@@ -19,7 +19,75 @@ type outcome = {
   restarts_used : int;
 }
 
+type mixed_outcome = {
+  m_worst : Metrics.distance;
+  m_nodes : int list;
+  m_edges : (int * int) list;
+  m_raw_nodes : int list;
+  m_raw_edges : (int * int) list;
+  m_evals : int;
+  m_restarts_used : int;
+}
+
 let score ~n = function Metrics.Finite d -> d | Metrics.Infinite -> n
+
+(* The search, shrinking and restart machinery is generic over the
+   fault universe: an element is an abstract id, and [ops] says how to
+   toggle it on an evaluator. Node search uses vertex ids; edge search
+   uses edge ids; mixed search uses [0, n) for vertices and
+   [n, n + m) for edges. All three share one code path, so the
+   determinism and jobs-independence arguments hold verbatim. *)
+type ops = {
+  total : int; (* universe size *)
+  apply : Surviving.evaluator -> int -> unit;
+  revert : Surviving.evaluator -> int -> unit;
+  is_set : Surviving.evaluator -> int -> bool;
+  count : Surviving.evaluator -> int;
+  current : Surviving.evaluator -> int list; (* sorted ids *)
+  set_ids : Surviving.evaluator -> int list -> unit;
+}
+
+let node_ops ~n =
+  {
+    total = n;
+    apply = Surviving.apply_fault;
+    revert = Surviving.revert_fault;
+    is_set = Surviving.is_faulty;
+    count = Surviving.fault_count;
+    current = Surviving.faults;
+    set_ids = Surviving.set_faults;
+  }
+
+let edge_ops ~m =
+  {
+    total = m;
+    apply = Surviving.apply_edge_fault;
+    revert = Surviving.revert_edge_fault;
+    is_set = Surviving.is_edge_faulty;
+    count = Surviving.edge_fault_count;
+    current = Surviving.edge_faults;
+    set_ids = (fun ev ids -> Surviving.set_mixed_faults ev ~nodes:[] ~edges:ids);
+  }
+
+let mixed_ops ~n ~m =
+  let split ids = List.partition (fun id -> id < n) ids in
+  {
+    total = n + m;
+    apply = (fun ev id -> if id < n then Surviving.apply_fault ev id
+                          else Surviving.apply_edge_fault ev (id - n));
+    revert = (fun ev id -> if id < n then Surviving.revert_fault ev id
+                           else Surviving.revert_edge_fault ev (id - n));
+    is_set = (fun ev id -> if id < n then Surviving.is_faulty ev id
+                           else Surviving.is_edge_faulty ev (id - n));
+    count = (fun ev -> Surviving.fault_count ev + Surviving.edge_fault_count ev);
+    current =
+      (fun ev ->
+        Surviving.faults ev @ List.map (fun e -> e + n) (Surviving.edge_faults ev));
+    set_ids =
+      (fun ev ids ->
+        let nodes, eids = split ids in
+        Surviving.set_mixed_faults ev ~nodes ~edges:(List.map (fun id -> id - n) eids));
+  }
 
 let shuffle rng a =
   for i = Array.length a - 1 downto 1 do
@@ -35,12 +103,12 @@ let shuffle rng a =
    *raise* the diameter — a revived vertex may sit far from everyone —
    so the target ratchets upward and the returned witness achieves the
    returned diameter exactly. *)
-let shrink compiled ~witness =
+let shrink_ids compiled ~ops ~witness =
   let ev = Surviving.evaluator compiled in
   let evals = ref 0 in
   let eval faults_list =
     incr evals;
-    Surviving.set_faults ev faults_list;
+    ops.set_ids ev faults_list;
     Surviving.evaluator_diameter ev
   in
   let current = ref (List.sort_uniq compare witness) in
@@ -64,6 +132,10 @@ let shrink compiled ~witness =
   done;
   (!current, !target, !evals)
 
+let shrink compiled ~witness =
+  let n = Surviving.compiled_n compiled in
+  shrink_ids compiled ~ops:(node_ops ~n) ~witness
+
 (* One independent restart: pool- or random-seeded hill climbing with
    SA plateau escapes under a private budget and RNG, re-seeding from
    fresh random sets when the escape finds no new ground. Restarts
@@ -76,7 +148,7 @@ type restart_result = {
   r_evals : int;
 }
 
-let run_restart ev ~config ~n ~f ~seed ~budget ~pool =
+let run_restart ev ~ops ~config ~n ~f ~seed ~budget ~pool =
   Surviving.reset ev;
   let rng = Random.State.make [| seed; 0x5eed |] in
   let sc d = score ~n d in
@@ -101,31 +173,30 @@ let run_restart ev ~config ~n ~f ~seed ~budget ~pool =
     (match pool with
     | Some p ->
         (* A random f-subset of the pool; short pools are topped up
-           with random vertices below. *)
+           with random elements below. *)
         let p = Array.of_list p in
         shuffle rng p;
         Array.iter
-          (fun v -> if Surviving.fault_count ev < f && not (Surviving.is_faulty ev v) then
-              Surviving.apply_fault ev v)
+          (fun v -> if ops.count ev < f && not (ops.is_set ev v) then ops.apply ev v)
           p
     | None -> ());
-    while Surviving.fault_count ev < f do
-      let v = Random.State.int rng n in
-      if not (Surviving.is_faulty ev v) then Surviving.apply_fault ev v
+    while ops.count ev < f do
+      let v = Random.State.int rng ops.total in
+      if not (ops.is_set ev v) then ops.apply ev v
     done;
-    List.iteri (fun k v -> members.(k) <- v) (Surviving.faults ev);
+    List.iteri (fun k v -> members.(k) <- v) (ops.current ev);
     cur_d := eval ();
     record_if_best !cur_d
   in
   (* Swap members.(oi) for v; [accept] sees the new diameter and
      decides; a rejected swap is reverted. The evaluator makes the
-     swap incremental: only routes through the two endpoints move. *)
+     swap incremental: only routes through the two elements move. *)
   let try_swap oi v ~accept =
-    if Surviving.is_faulty ev v then false
+    if ops.is_set ev v then false
     else begin
       let u = members.(oi) in
-      Surviving.revert_fault ev u;
-      Surviving.apply_fault ev v;
+      ops.revert ev u;
+      ops.apply ev v;
       members.(oi) <- v;
       let d = eval () in
       if accept d then begin
@@ -134,8 +205,8 @@ let run_restart ev ~config ~n ~f ~seed ~budget ~pool =
         true
       end
       else begin
-        Surviving.revert_fault ev v;
-        Surviving.apply_fault ev u;
+        ops.revert ev v;
+        ops.apply ev u;
         members.(oi) <- u;
         false
       end
@@ -143,10 +214,10 @@ let run_restart ev ~config ~n ~f ~seed ~budget ~pool =
   in
   let exception Step in
   (* One greedy step: randomised first-improvement over the full
-     single-node-swap neighborhood. *)
+     single-element-swap neighborhood. *)
   let greedy_step () =
     let improved = ref false in
-    let outs = Array.init f Fun.id and vs = Array.init n Fun.id in
+    let outs = Array.init f Fun.id and vs = Array.init ops.total Fun.id in
     shuffle rng outs;
     shuffle rng vs;
     (try
@@ -172,7 +243,7 @@ let run_restart ev ~config ~n ~f ~seed ~budget ~pool =
     while budget_left () && !steps < config.sa_steps do
       incr steps;
       let oi = Random.State.int rng f in
-      let v = Random.State.int rng n in
+      let v = Random.State.int rng ops.total in
       ignore
         (try_swap oi v ~accept:(fun d ->
              let delta = float_of_int (sc d - sc !cur_d) in
@@ -195,19 +266,15 @@ let run_restart ev ~config ~n ~f ~seed ~budget ~pool =
   done;
   { r_d = !best_d; r_w = !best_w; r_evals = !evals }
 
-let search ?(config = default_config) ?(jobs = Par.recommended_jobs ()) ~rng
-    ?(pools = []) routing ~f =
-  let g = Routing.graph routing in
-  let n = Graph.n g in
-  let f = max 0 (min f n) in
-  let compiled = Surviving.compile routing in
+let search_core ~config ~jobs ~rng ~pools ~ops ~n compiled ~f =
+  let f = max 0 (min f ops.total) in
   (* Fault-free baseline: the result is never below the fault-free
      diameter. *)
   let best_d = ref (Surviving.diameter_compiled compiled ~faults:(Bitset.create n)) in
   let best_w = ref [] in
   let evals = ref 1 in
   let restarts_used = ref 0 in
-  if f > 0 && n > 0 && config.budget > 0 && config.restarts > 0 then begin
+  if f > 0 && ops.total > 0 && config.budget > 0 && config.restarts > 0 then begin
     let sc d = score ~n d in
     let pool_seeds =
       Array.of_list
@@ -234,7 +301,7 @@ let search ?(config = default_config) ?(jobs = Par.recommended_jobs ()) ~rng
           let pool =
             if i < Array.length pool_seeds then Some pool_seeds.(i) else None
           in
-          run_restart ev ~config ~n ~f ~seed:seeds.(i) ~budget:budgets.(i) ~pool)
+          run_restart ev ~ops ~config ~n ~f ~seed:seeds.(i) ~budget:budgets.(i) ~pool)
     in
     restarts_used := Array.length active;
     Array.iter
@@ -248,10 +315,67 @@ let search ?(config = default_config) ?(jobs = Par.recommended_jobs ()) ~rng
   end;
   let raw = !best_w in
   let witness, worst, shrink_evals =
-    if raw = [] then ([], !best_d, 0) else shrink compiled ~witness:raw
+    if raw = [] then ([], !best_d, 0) else shrink_ids compiled ~ops ~witness:raw
   in
   evals := !evals + shrink_evals;
-  { worst; witness; raw_witness = raw; evals = !evals; restarts_used = !restarts_used }
+  (worst, witness, raw, !evals, !restarts_used)
+
+let search ?(config = default_config) ?(jobs = Par.recommended_jobs ()) ~rng
+    ?(pools = []) routing ~f =
+  let n = Graph.n (Routing.graph routing) in
+  let compiled = Surviving.compile routing in
+  let worst, witness, raw_witness, evals, restarts_used =
+    search_core ~config ~jobs ~rng ~pools ~ops:(node_ops ~n) ~n compiled ~f
+  in
+  { worst; witness; raw_witness; evals; restarts_used }
+
+let search_mixed ?(config = default_config) ?(jobs = Par.recommended_jobs ()) ~rng
+    ?(pools = []) ?(universe = `Mixed) routing ~f =
+  let g = Routing.graph routing in
+  let n = Graph.n g in
+  let compiled = Surviving.compile routing in
+  let m = Surviving.edge_count compiled in
+  (* A node pool's image in the edge universe: every edge incident to
+     a pool member, so pool-seeded restarts also attack the links the
+     proofs lean on. *)
+  let incident_ids pool =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun v ->
+           if v < 0 || v >= n then []
+           else
+             Array.to_list (Graph.neighbors g v)
+             |> List.filter_map (fun u -> Surviving.edge_id compiled u v))
+         pool)
+  in
+  let ops, pools =
+    match universe with
+    | `Edges -> (edge_ops ~m, List.map incident_ids pools)
+    | `Mixed ->
+        ( mixed_ops ~n ~m,
+          pools @ List.map (fun p -> List.map (fun e -> e + n) (incident_ids p)) pools )
+  in
+  let worst, ids, raw_ids, evals, restarts_used =
+    search_core ~config ~jobs ~rng ~pools ~ops ~n compiled ~f
+  in
+  let decode ids =
+    match universe with
+    | `Edges -> ([], List.map (Surviving.edge_pair compiled) ids)
+    | `Mixed ->
+        let nodes, eids = List.partition (fun id -> id < n) ids in
+        (nodes, List.map (fun id -> Surviving.edge_pair compiled (id - n)) eids)
+  in
+  let m_nodes, m_edges = decode ids in
+  let m_raw_nodes, m_raw_edges = decode raw_ids in
+  {
+    m_worst = worst;
+    m_nodes;
+    m_edges;
+    m_raw_nodes;
+    m_raw_edges;
+    m_evals = evals;
+    m_restarts_used = restarts_used;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Witness corpus                                                     *)
@@ -265,10 +389,17 @@ module Corpus = struct
     n : int;
     f : int;
     faults : int list;
+    edges : (int * int) list;
     diameter : Metrics.distance;
     bound : int option;
     found_by : string;
   }
+
+  (* Version 1 entries are node-only and carry no "version" field (the
+     format predates it); version 2 adds "version" and "edge_faults".
+     Writers always stamp the current version; readers accept both and
+     reject anything else loudly. *)
+  let current_version = 2
 
   (* The corpus speaks a small JSON subset: null, integers, strings,
      arrays, objects. Hand-rolled like Routing_io so persistence stays
@@ -470,12 +601,14 @@ module Corpus = struct
   let entry_to_json e =
     Obj
       [
+        ("version", Int current_version);
         ("graph", Str e.graph);
         ("strategy", Str e.strategy);
         ("seed", Int e.seed);
         ("n", Int e.n);
         ("f", Int e.f);
         ("faults", Arr (List.map (fun v -> Int v) e.faults));
+        ("edge_faults", Arr (List.map (fun (u, v) -> Arr [ Int u; Int v ]) e.edges));
         ( "diameter",
           match e.diameter with Metrics.Finite d -> Int d | Metrics.Infinite -> Str "inf" );
         ("bound", match e.bound with Some b -> Int b | None -> Null);
@@ -508,6 +641,18 @@ module Corpus = struct
 
   let entry_of_json = function
     | Obj obj ->
+        let version =
+          match List.assoc_opt "version" obj with
+          | None -> 1 (* legacy unstamped entry: node faults only *)
+          | Some (Int v) -> v
+          | Some _ -> raise (Parse "version must be an integer")
+        in
+        if version < 1 || version > current_version then
+          raise
+            (Parse
+               (Printf.sprintf
+                  "unsupported corpus version %d (this build reads versions 1-%d)"
+                  version current_version));
         {
           graph = as_str (field obj "graph");
           strategy = as_str (field obj "strategy");
@@ -518,6 +663,19 @@ module Corpus = struct
             (match field obj "faults" with
             | Arr l -> List.sort compare (List.map as_int l)
             | _ -> raise (Parse "faults must be an array"));
+          edges =
+            (if version < 2 then []
+             else
+               match List.assoc_opt "edge_faults" obj with
+               | None -> []
+               | Some (Arr l) ->
+                   List.sort compare
+                     (List.map
+                        (function
+                          | Arr [ Int u; Int v ] -> (min u v, max u v)
+                          | _ -> raise (Parse "edge_faults entries must be [u, v] pairs"))
+                        l)
+               | Some _ -> raise (Parse "edge_faults must be an array"));
           diameter =
             (match field obj "diameter" with
             | Int d -> Metrics.Finite d
@@ -561,9 +719,16 @@ module Corpus = struct
 
   let same_witness a b =
     a.graph = b.graph && a.strategy = b.strategy && a.faults = b.faults
+    && a.edges = b.edges
 
   let add entries e =
-    let e = { e with faults = List.sort compare e.faults } in
+    let e =
+      {
+        e with
+        faults = List.sort compare e.faults;
+        edges = List.sort compare (List.map (fun (u, v) -> (min u v, max u v)) e.edges);
+      }
+    in
     if List.exists (same_witness e) entries then (entries, false)
     else (entries @ [ e ], true)
 
@@ -571,7 +736,7 @@ module Corpus = struct
     List.filter_map
       (fun e ->
         if
-          e.n = n
+          e.n = n && e.edges = []
           && List.length e.faults <= f
           && List.for_all (fun v -> v >= 0 && v < n) e.faults
         then Some e.faults

@@ -67,6 +67,35 @@ val search :
     deterministic for a given RNG state. Shrinking the final witness
     costs at most [O(|witness|^2)] evaluations on top of the budget. *)
 
+type mixed_outcome = {
+  m_worst : Metrics.distance;  (** largest surviving diameter found *)
+  m_nodes : int list;  (** node part of the delta-minimal witness; sorted *)
+  m_edges : (int * int) list;
+      (** link part of the witness, normalised [(min, max)] pairs *)
+  m_raw_nodes : int list;  (** node part as discovered, before shrinking *)
+  m_raw_edges : (int * int) list;  (** link part as discovered *)
+  m_evals : int;
+  m_restarts_used : int;
+}
+
+val search_mixed :
+  ?config:config ->
+  ?jobs:int ->
+  rng:Random.State.t ->
+  ?pools:int list list ->
+  ?universe:[ `Mixed | `Edges ] ->
+  Routing.t ->
+  f:int ->
+  mixed_outcome
+(** {!search} over a fault universe that includes links: [`Mixed]
+    (default) draws each fault from the n vertices plus the m edges,
+    [`Edges] restricts the search to link faults only. The adversarial
+    [pools] are node pools, used verbatim in the node part of the
+    universe and mapped to their incident edges in the link part.
+    Shares the restart/budget/merge machinery with {!search}, so the
+    outcome is identical for every [jobs] value; the witness is
+    delta-minimised over nodes and links together. *)
+
 val shrink :
   Surviving.compiled -> witness:int list -> int list * Metrics.distance * int
 (** [shrink c ~witness] greedily drops faults while the surviving
@@ -95,7 +124,11 @@ module Corpus : sig
     seed : int;  (** build seed the construction was made with *)
     n : int;  (** vertex count, as a staleness check *)
     f : int;  (** fault budget the search ran under *)
-    faults : int list;  (** the witness, sorted *)
+    faults : int list;  (** the witness's node faults, sorted *)
+    edges : (int * int) list;
+        (** the witness's link faults, normalised [(min, max)] pairs,
+            sorted; [[]] for node-only witnesses and every legacy
+            (version-less) entry *)
     diameter : Metrics.distance;  (** measured at discovery time *)
     bound : int option;
         (** the claim bound in force when [f] was within a claim's
@@ -103,8 +136,16 @@ module Corpus : sig
     found_by : string;  (** provenance, e.g. ["attack(seed=48879)"] *)
   }
 
+  val current_version : int
+  (** The format version stamped on every written entry (currently
+      2). Readers accept versions 1 (including legacy entries with no
+      ["version"] field at all, which predate the stamp) through
+      {!current_version}, and report anything else — like any other
+      malformed entry — as a parse error, never an exception. *)
+
   val to_json : entry list -> string
-  (** A JSON array, one entry object per line. *)
+  (** A JSON array, one entry object per line, each stamped with
+      {!current_version}. *)
 
   val of_json : string -> (entry list, string) result
 
@@ -121,6 +162,8 @@ module Corpus : sig
       set is already present; returns whether it was added. *)
 
   val replayable : entry list -> n:int -> f:int -> int list list
-  (** The stored fault sets valid on an [n]-vertex instance under
-      fault budget [f] (every vertex in range, size at most [f]). *)
+  (** The stored node-only fault sets valid on an [n]-vertex instance
+      under fault budget [f] (every vertex in range, size at most [f];
+      entries with link faults are skipped — replay those with
+      {!Tolerance.check_edge_sets} or the soak harness). *)
 end

@@ -16,8 +16,20 @@ let fail_edge t u v =
   if not (Graph.mem_edge t.g u v) then invalid_arg "Fault_model.fail_edge: not an edge";
   Hashtbl.replace t.edges (min u v, max u v) ()
 
+let recover_node t v =
+  if v < 0 || v >= Graph.n t.g then invalid_arg "Fault_model.recover_node: bad vertex";
+  Bitset.remove t.nodes v
+
+let recover_edge t u v = Hashtbl.remove t.edges (min u v, max u v)
+
 let node_faults t = t.nodes
+let node_fault_count t = Bitset.cardinal t.nodes
 let edge_fault_count t = Hashtbl.length t.edges
+
+let edge_faults t =
+  List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) t.edges [])
+
+let fault_count t = node_fault_count t + edge_fault_count t
 
 let edge_failed t u v = Hashtbl.mem t.edges (min u v, max u v)
 

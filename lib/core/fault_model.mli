@@ -19,9 +19,27 @@ val fail_node : t -> int -> unit
 val fail_edge : t -> int -> int -> unit
 (** Undirected: both traversal directions die. *)
 
+val recover_node : t -> int -> unit
+(** Bring a node back; a no-op if it is not currently faulty. *)
+
+val recover_edge : t -> int -> int -> unit
+(** Bring a link back up, in either endpoint order; a no-op if it is
+    not currently failed. *)
+
 val node_faults : t -> Bitset.t
 
+val node_fault_count : t -> int
+
 val edge_fault_count : t -> int
+
+val edge_faults : t -> (int * int) list
+(** Failed edges as normalised [(min, max)] pairs, sorted. *)
+
+val edge_failed : t -> int -> int -> bool
+(** Is the edge currently failed, in either endpoint order? *)
+
+val fault_count : t -> int
+(** Node faults plus edge faults. *)
 
 val affects : t -> Path.t -> bool
 (** True when the route crosses a failed node or traverses a failed

@@ -61,6 +61,10 @@ type compiled = {
   paths : int array array; (* vertex sequence per route *)
   via_start : int array; (* length n+1: CSR index vertex -> routes through it *)
   via : int array;
+  edges : (int * int) array; (* graph edges, (min, max), lex order *)
+  edge_ids : (int * int, int) Hashtbl.t; (* (min, max) -> index into [edges] *)
+  eia_start : int array; (* length m+1: CSR index edge -> routes traversing it *)
+  eia : int array;
   arc_word : int array; (* route -> flat word index of its adjacency bit *)
   arc_bit : int array; (* route -> mask of its adjacency bit *)
   vx_word : int array; (* vertex -> word index in an alive/visited mask *)
@@ -76,7 +80,8 @@ type compiled = {
 }
 
 let compile routing =
-  let n = Graph.n (Routing.graph routing) in
+  let g = Routing.graph routing in
+  let n = Graph.n g in
   let acc = ref [] in
   let nroutes = ref 0 in
   Routing.iter
@@ -106,6 +111,37 @@ let compile routing =
           fill.(v) <- fill.(v) + 1)
         p)
     paths;
+  (* Edge index: the graph's edges in (min, max) lexicographic order,
+     plus a CSR inverted index edge -> routes traversing it. Routes are
+     simple paths, so each traverses an edge at most once and the
+     per-route hit counter stays exact when node and edge faults mix. *)
+  let edges = Array.of_list (Graph.edges g) in
+  let m = Array.length edges in
+  let edge_ids = Hashtbl.create (max 16 (2 * m)) in
+  Array.iteri (fun i e -> Hashtbl.replace edge_ids e i) edges;
+  let edge_of u v = if u < v then (u, v) else (v, u) in
+  let ecount = Array.make (m + 1) 0 in
+  Array.iter
+    (fun p ->
+      for j = 0 to Array.length p - 2 do
+        let e = Hashtbl.find edge_ids (edge_of p.(j) p.(j + 1)) in
+        ecount.(e) <- ecount.(e) + 1
+      done)
+    paths;
+  let eia_start = Array.make (m + 1) 0 in
+  for e = 1 to m do
+    eia_start.(e) <- eia_start.(e - 1) + ecount.(e - 1)
+  done;
+  let eia = Array.make (max 1 eia_start.(m)) 0 in
+  let efill = Array.copy eia_start in
+  Array.iteri
+    (fun r p ->
+      for j = 0 to Array.length p - 2 do
+        let e = Hashtbl.find edge_ids (edge_of p.(j) p.(j + 1)) in
+        eia.(efill.(e)) <- r;
+        efill.(e) <- efill.(e) + 1
+      done)
+    paths;
   let w = max 1 ((n + matrix_bits - 1) / matrix_bits) in
   let arc_word = Array.make (max 1 nroutes) 0 in
   let arc_bit = Array.make (max 1 nroutes) 0 in
@@ -123,6 +159,10 @@ let compile routing =
     paths;
     via_start;
     via;
+    edges;
+    edge_ids;
+    eia_start;
+    eia;
     arc_word;
     arc_bit;
     vx_word;
@@ -135,6 +175,15 @@ let compile routing =
   }
 
 let compiled_n c = c.n
+let edge_count c = Array.length c.edges
+
+let edge_pair c e =
+  if e < 0 || e >= Array.length c.edges then
+    invalid_arg "Surviving.edge_pair: edge id out of range";
+  c.edges.(e)
+
+let edge_id c u v =
+  Hashtbl.find_opt c.edge_ids (if u < v then (u, v) else (v, u))
 
 (* All-pairs worst eccentricity of the live bit matrix; [-1] encodes a
    disconnected pair. [bound >= 0] stops a source's BFS as soon as its
@@ -270,7 +319,9 @@ type evaluator = {
   front : int array;
   next : int array;
   faulty : Bitset.t;
+  edge_faulty : Bitset.t; (* by edge id over [c.edges] *)
   mutable nalive : int;
+  mutable nedges_down : int;
 }
 
 let evaluator c =
@@ -291,13 +342,18 @@ let evaluator c =
     front = Array.make c.w 0;
     next = Array.make c.w 0;
     faulty = Bitset.create c.n;
+    edge_faulty = Bitset.create (max 1 (Array.length c.edges));
     nalive = c.n;
+    nedges_down = 0;
   }
 
 let evaluator_n e = e.c.n
 let is_faulty e v = Bitset.mem e.faulty v
 let faults e = Bitset.elements e.faulty
 let fault_count e = e.c.n - e.nalive
+let is_edge_faulty e eid = Bitset.mem e.edge_faulty eid
+let edge_faults e = Bitset.elements e.edge_faulty
+let edge_fault_count e = e.nedges_down
 
 let apply_fault e v =
   if v < 0 || v >= e.c.n then invalid_arg "Surviving.apply_fault: vertex out of range";
@@ -340,15 +396,184 @@ let revert_fault e v =
     end
   done
 
-let reset e = List.iter (revert_fault e) (Bitset.elements e.faulty)
+(* Edge faults reuse the same per-route hit counters as node faults: a
+   route is live iff no vertex on it is faulty and no edge of it is
+   down, i.e. iff its counter is zero. The alive mask is untouched —
+   the endpoints of a downed link stay alive. *)
+
+let apply_edge_fault e eid =
+  let c = e.c in
+  if eid < 0 || eid >= Array.length c.edges then
+    invalid_arg "Surviving.apply_edge_fault: edge id out of range";
+  if Bitset.unsafe_mem e.edge_faulty eid then
+    invalid_arg "Surviving.apply_edge_fault: edge already faulty";
+  Bitset.unsafe_add e.edge_faulty eid;
+  e.nedges_down <- e.nedges_down + 1;
+  let hits = e.hits and rows = e.rows in
+  let stop = c.eia_start.(eid + 1) - 1 in
+  for i = c.eia_start.(eid) to stop do
+    let r = Array.unsafe_get c.eia i in
+    let h = Array.unsafe_get hits r in
+    if h = 0 then begin
+      let wi = Array.unsafe_get c.arc_word r in
+      Array.unsafe_set rows wi
+        (Array.unsafe_get rows wi land lnot (Array.unsafe_get c.arc_bit r))
+    end;
+    Array.unsafe_set hits r (h + 1)
+  done
+
+let revert_edge_fault e eid =
+  let c = e.c in
+  if eid < 0 || eid >= Array.length c.edges then
+    invalid_arg "Surviving.revert_edge_fault: edge id out of range";
+  if not (Bitset.unsafe_mem e.edge_faulty eid) then
+    invalid_arg "Surviving.revert_edge_fault: edge not faulty";
+  Bitset.unsafe_remove e.edge_faulty eid;
+  e.nedges_down <- e.nedges_down - 1;
+  let hits = e.hits and rows = e.rows in
+  let stop = c.eia_start.(eid + 1) - 1 in
+  for i = c.eia_start.(eid) to stop do
+    let r = Array.unsafe_get c.eia i in
+    let h = Array.unsafe_get hits r - 1 in
+    Array.unsafe_set hits r h;
+    if h = 0 then begin
+      let wi = Array.unsafe_get c.arc_word r in
+      Array.unsafe_set rows wi (Array.unsafe_get rows wi lor Array.unsafe_get c.arc_bit r)
+    end
+  done
+
+let reset e =
+  List.iter (revert_fault e) (Bitset.elements e.faulty);
+  List.iter (revert_edge_fault e) (Bitset.elements e.edge_faulty)
 
 let set_faults e vs =
   reset e;
   List.iter (apply_fault e) vs
 
+let set_mixed_faults e ~nodes ~edges =
+  reset e;
+  List.iter (apply_fault e) nodes;
+  List.iter (apply_edge_fault e) edges
+
 let evaluator_diameter e =
   let d =
     apsp e.c e.rows e.alive e.visited e.front e.next ~alive_count:e.nalive ~bound:max_int
+  in
+  if d < 0 then Metrics.Infinite else Metrics.Finite d
+
+(* Diameter over a subset of the alive vertices: BFS sources and the
+   recorded eccentricities range over [targets] only, while any alive
+   vertex may still relay. This is the comparison the paper's
+   edge->endpoint reduction actually makes: a downed link's endpoints
+   stay alive (and may forward), but the projected surviving set
+   excludes them. *)
+
+let apsp_w1_over rows alive targets =
+  let worst = ref 0 in
+  let inf = ref false in
+  let tv = ref targets in
+  while (not !inf) && !tv <> 0 do
+    let s = Bitset.lowest_bit_index !tv in
+    tv := !tv land (!tv - 1);
+    let visited = ref (1 lsl s) in
+    let front = ref !visited in
+    let level = ref 0 in
+    let ecc = ref 0 in
+    let growing = ref true in
+    while !growing && !visited land targets <> targets do
+      let nx = ref 0 in
+      let fw = ref !front in
+      while !fw <> 0 do
+        nx := !nx lor Array.unsafe_get rows (Bitset.lowest_bit_index !fw);
+        fw := !fw land (!fw - 1)
+      done;
+      let fresh = !nx land lnot !visited land alive in
+      if fresh = 0 then growing := false
+      else begin
+        incr level;
+        visited := !visited lor fresh;
+        front := fresh;
+        if fresh land targets <> 0 then ecc := !level
+      end
+    done;
+    if !visited land targets <> targets then inf := true
+    else worst := max !worst !ecc
+  done;
+  if !inf then -1 else !worst
+
+let apsp_gen_over ~n ~w rows alive targets visited front next =
+  let worst = ref 0 in
+  let inf = ref false in
+  let covered () =
+    let ok = ref true in
+    for j = 0 to w - 1 do
+      if visited.(j) land targets.(j) <> targets.(j) then ok := false
+    done;
+    !ok
+  in
+  let s = ref 0 in
+  while (not !inf) && !s < n do
+    if targets.(!s / matrix_bits) land (1 lsl (!s mod matrix_bits)) <> 0 then begin
+      Array.fill visited 0 w 0;
+      Array.fill front 0 w 0;
+      visited.(!s / matrix_bits) <- 1 lsl (!s mod matrix_bits);
+      front.(!s / matrix_bits) <- visited.(!s / matrix_bits);
+      let level = ref 0 in
+      let ecc = ref 0 in
+      let growing = ref true in
+      while !growing && not (covered ()) do
+        Array.fill next 0 w 0;
+        for wi = 0 to w - 1 do
+          let fw = ref front.(wi) in
+          let base = wi * matrix_bits in
+          while !fw <> 0 do
+            let u = base + Bitset.lowest_bit_index !fw in
+            fw := !fw land (!fw - 1);
+            let row = u * w in
+            for j = 0 to w - 1 do
+              Array.unsafe_set next j
+                (Array.unsafe_get next j lor Array.unsafe_get rows (row + j))
+            done
+          done
+        done;
+        let any = ref 0 and hit = ref 0 in
+        for j = 0 to w - 1 do
+          let fresh = next.(j) land lnot visited.(j) land alive.(j) in
+          front.(j) <- fresh;
+          visited.(j) <- visited.(j) lor fresh;
+          any := !any lor fresh;
+          hit := !hit lor (fresh land targets.(j))
+        done;
+        if !any = 0 then growing := false
+        else begin
+          incr level;
+          if !hit <> 0 then ecc := !level
+        end
+      done;
+      if not (covered ()) then inf := true else worst := max !worst !ecc
+    end;
+    incr s
+  done;
+  if !inf then -1 else !worst
+
+let evaluator_diameter_over e ~targets =
+  let c = e.c in
+  if Bitset.capacity targets < c.n then
+    invalid_arg "Surviving.evaluator_diameter_over: target set capacity too small";
+  let tw = Array.make c.w 0 in
+  let count = ref 0 in
+  for v = 0 to c.n - 1 do
+    if Bitset.unsafe_mem targets v then begin
+      if e.alive.(c.vx_word.(v)) land c.vx_bit.(v) = 0 then
+        invalid_arg "Surviving.evaluator_diameter_over: target vertex is faulty";
+      incr count;
+      tw.(c.vx_word.(v)) <- tw.(c.vx_word.(v)) lor c.vx_bit.(v)
+    end
+  done;
+  let d =
+    if !count <= 1 then 0
+    else if c.w = 1 then apsp_w1_over e.rows e.alive.(0) tw.(0)
+    else apsp_gen_over ~n:c.n ~w:c.w e.rows e.alive tw e.visited e.front e.next
   in
   if d < 0 then Metrics.Infinite else Metrics.Finite d
 

@@ -48,6 +48,25 @@ val compiled_n : compiled -> int
 (** Vertex count of the routing the table was compiled from (callers
     that only hold the compiled form need it to size fault sets). *)
 
+(** {1 The edge universe}
+
+    The compiled table also carries the underlying graph's edge list —
+    [(min, max)] pairs in lexicographic order — and a second inverted
+    index (edge -> routes traversing it), so edge faults are as
+    incremental as node faults. Edge faults are identified by their
+    index into this list. *)
+
+val edge_count : compiled -> int
+(** Number of edges of the underlying graph. *)
+
+val edge_pair : compiled -> int -> int * int
+(** The [(min, max)] endpoints of an edge id. Raises
+    [Invalid_argument] if out of range. *)
+
+val edge_id : compiled -> int -> int -> int option
+(** The id of the edge joining two vertices, in either order; [None]
+    if the graph has no such edge. *)
+
 (** {1 Incremental evaluation}
 
     An {!evaluator} carries the current fault set as per-route hit
@@ -73,23 +92,51 @@ val revert_fault : evaluator -> int -> unit
 (** Undo {!apply_fault}. Raises [Invalid_argument] if out of range or
     not currently faulty. *)
 
+val apply_edge_fault : evaluator -> int -> unit
+(** Take a link down, by edge id (see {!edge_id}). The endpoints stay
+    alive; only routes traversing the edge die. Raises
+    [Invalid_argument] if out of range or already down. *)
+
+val revert_edge_fault : evaluator -> int -> unit
+(** Undo {!apply_edge_fault}. Raises [Invalid_argument] if out of
+    range or not currently down. *)
+
 val reset : evaluator -> unit
-(** Revert every current fault (cost proportional to the routes they
-    touch, not to the table). *)
+(** Revert every current node and edge fault (cost proportional to the
+    routes they touch, not to the table). *)
 
 val set_faults : evaluator -> int list -> unit
 (** [reset] then apply each listed vertex. *)
 
+val set_mixed_faults : evaluator -> nodes:int list -> edges:int list -> unit
+(** [reset] then apply the listed vertices and edge ids. *)
+
 val is_faulty : evaluator -> int -> bool
 
 val faults : evaluator -> int list
-(** Current fault set in increasing order. *)
+(** Current node fault set in increasing order. *)
 
 val fault_count : evaluator -> int
+
+val is_edge_faulty : evaluator -> int -> bool
+
+val edge_faults : evaluator -> int list
+(** Current edge fault set (edge ids) in increasing order. *)
+
+val edge_fault_count : evaluator -> int
 
 val evaluator_diameter : evaluator -> Metrics.distance
 (** Surviving diameter under the evaluator's current fault set; agrees
     with {!diameter} / {!diameter_compiled}. *)
+
+val evaluator_diameter_over : evaluator -> targets:Bitset.t -> Metrics.distance
+(** Diameter restricted to [targets]: the worst surviving distance
+    between two target vertices, where any alive vertex may relay.
+    [targets] must be alive under the current fault set. This is the
+    comparison the paper's edge-fault reduction makes — a downed
+    link's endpoints stay alive but are outside the projected
+    surviving set. [Finite 0] when [targets] has at most one
+    vertex. *)
 
 val diameter_exceeds : evaluator -> bound:int -> bool
 (** [diameter_exceeds e ~bound] is [evaluator_diameter e > Finite bound],

@@ -322,6 +322,261 @@ let adversarial ?(per_pool_cap = 2000) ?jobs routing ~f ~pools =
   in
   check_sets ?jobs routing deduped
 
+(* ------------------------------------------------------------------ *)
+(* Edge-fault variants.                                               *)
+(*                                                                    *)
+(* Same canonical enumeration order (by size, then by maximum         *)
+(* element, Gray-swept blocks) and the same ordered merge, but over   *)
+(* the compiled table's edge universe. Witnesses surface as           *)
+(* normalised (min, max) endpoint pairs.                              *)
+(* ------------------------------------------------------------------ *)
+
+type edge_verdict = {
+  e_worst : Metrics.distance;
+  e_witness : (int * int) list;
+  e_sets_checked : int;
+  e_definitive : bool;
+}
+
+let edge_ids_exn compiled pairs =
+  List.map
+    (fun (u, v) ->
+      match Surviving.edge_id compiled u v with
+      | Some e -> e
+      | None ->
+          invalid_arg (Printf.sprintf "Tolerance: (%d, %d) is not a graph edge" u v))
+    pairs
+
+let sweep_block_edges ev block ~consider =
+  if block.b_top < 0 then begin
+    Surviving.reset ev;
+    consider ()
+  end
+  else begin
+    Surviving.set_mixed_faults ev ~nodes:[] ~edges:[ block.b_top ];
+    if block.b_size = 1 then consider ()
+    else
+      iter_combinations_gray ~n:block.b_top ~k:(block.b_size - 1)
+        ~first:(fun c ->
+          Array.iter (Surviving.apply_edge_fault ev) c;
+          consider ())
+        ~swap:(fun ~removed ~added ->
+          Surviving.revert_edge_fault ev removed;
+          Surviving.apply_edge_fault ev added;
+          consider ())
+  end
+
+let check_edge_sets ?jobs routing sets =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let compiled = Surviving.compile routing in
+  (* Resolve endpoint pairs to edge ids up front so a non-edge fails
+     loudly (and identically for every [jobs] value). *)
+  let sets =
+    Array.of_seq (Seq.map (fun s -> List.sort_uniq compare (edge_ids_exn compiled s)) sets)
+  in
+  let count = Array.length sets in
+  if count = 0 then
+    { e_worst = Metrics.Finite 0; e_witness = []; e_sets_checked = 0; e_definitive = false }
+  else begin
+    let nchunks = max 1 (min count (4 * max 1 jobs)) in
+    let bounds = Array.init (nchunks + 1) (fun i -> i * count / nchunks) in
+    let verdicts =
+      Par.run ~jobs ~ntasks:nchunks
+        ~init:(fun () -> Surviving.evaluator compiled)
+        ~task:(fun ev ci ->
+          let worst = ref (Metrics.Finite (-1)) in
+          let witness = ref [] in
+          for i = bounds.(ci) to bounds.(ci + 1) - 1 do
+            Surviving.set_mixed_faults ev ~nodes:[] ~edges:sets.(i);
+            let d = Surviving.evaluator_diameter ev in
+            if not (Metrics.distance_le d !worst) then begin
+              worst := d;
+              witness := sets.(i)
+            end
+          done;
+          {
+            worst = !worst;
+            witness = !witness;
+            sets_checked = bounds.(ci + 1) - bounds.(ci);
+            definitive = false;
+          })
+    in
+    let v = merge_ordered (Array.to_list verdicts) in
+    {
+      e_worst = v.worst;
+      e_witness = List.map (Surviving.edge_pair compiled) v.witness;
+      e_sets_checked = v.sets_checked;
+      e_definitive = false;
+    }
+  end
+
+let exhaustive_edges ?jobs routing ~f =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let compiled = Surviving.compile routing in
+  let m = Surviving.edge_count compiled in
+  let blocks = blocks_up_to ~n:m ~f in
+  let verdicts =
+    Par.run ~jobs ~ntasks:(Array.length blocks)
+      ~init:(fun () -> Surviving.evaluator compiled)
+      ~task:(fun ev i ->
+        let worst = ref (Metrics.Finite (-1)) in
+        let witness = ref [] in
+        let checked = ref 0 in
+        sweep_block_edges ev blocks.(i) ~consider:(fun () ->
+            incr checked;
+            let d = Surviving.evaluator_diameter ev in
+            if not (Metrics.distance_le d !worst) then begin
+              worst := d;
+              witness := Surviving.edge_faults ev
+            end);
+        { worst = !worst; witness = !witness; sets_checked = !checked; definitive = false })
+  in
+  let v = { (merge_ordered (Array.to_list verdicts)) with definitive = true } in
+  {
+    e_worst = v.worst;
+    e_witness = List.map (Surviving.edge_pair compiled) v.witness;
+    e_sets_checked = v.sets_checked;
+    e_definitive = v.definitive;
+  }
+
+type edge_certificate = {
+  e_holds : bool;
+  e_counterexample : (int * int) list option;
+  e_cert_sets_checked : int;
+}
+
+let certify_edges ?jobs routing ~f ~bound =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let compiled = Surviving.compile routing in
+  let m = Surviving.edge_count compiled in
+  let blocks = blocks_up_to ~n:m ~f in
+  let exception Stop in
+  let results =
+    Par.run ~jobs ~ntasks:(Array.length blocks)
+      ~init:(fun () -> Surviving.evaluator compiled)
+      ~task:(fun ev i ->
+        let checked = ref 0 in
+        let cex = ref None in
+        (try
+           sweep_block_edges ev blocks.(i) ~consider:(fun () ->
+               incr checked;
+               if Surviving.diameter_exceeds ev ~bound then begin
+                 cex := Some (Surviving.edge_faults ev);
+                 raise Stop
+               end)
+         with Stop -> ());
+        (!cex, !checked))
+  in
+  let checked = Array.fold_left (fun acc (_, c) -> acc + c) 0 results in
+  let counterexample =
+    Array.fold_left
+      (fun acc (cex, _) -> match acc with Some _ -> acc | None -> cex)
+      None results
+  in
+  {
+    e_holds = counterexample = None;
+    e_counterexample =
+      Option.map (List.map (Surviving.edge_pair compiled)) counterexample;
+    e_cert_sets_checked = checked;
+  }
+
+let random_edges ?jobs routing ~f ~rng ~samples =
+  let compiled = Surviving.compile routing in
+  let m = Surviving.edge_count compiled in
+  let f = min f m in
+  (* Same discipline as [random]: every draw happens before any
+     evaluation, so the verdict cannot depend on [jobs]. *)
+  let acc = ref [] in
+  for _ = 1 to samples do
+    acc := List.map (Surviving.edge_pair compiled) (random_subset rng m f) :: !acc
+  done;
+  let sets = [] :: List.rev !acc in
+  check_edge_sets ?jobs routing (List.to_seq sets)
+
+(* ------------------------------------------------------------------ *)
+(* The paper's edge-fault reduction, checked set by set.              *)
+(* ------------------------------------------------------------------ *)
+
+type reduction_report = {
+  red_sets : int;
+  red_violations : int;
+  red_first_violation : (int * int) list option;
+  red_worst_edge : Metrics.distance;
+  red_worst_proj : Metrics.distance;
+}
+
+let reduction ?jobs routing ~f =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let compiled = Surviving.compile routing in
+  let m = Surviving.edge_count compiled in
+  let blocks = blocks_up_to ~n:m ~f in
+  let results =
+    Par.run ~jobs ~ntasks:(Array.length blocks)
+      ~init:(fun () -> (Surviving.evaluator compiled, Surviving.evaluator compiled))
+      ~task:(fun (eev, pev) i ->
+        let sets = ref 0 in
+        let violations = ref 0 in
+        let first = ref None in
+        let worst_edge = ref (Metrics.Finite 0) in
+        let worst_proj = ref (Metrics.Finite 0) in
+        let n = Surviving.compiled_n compiled in
+        sweep_block_edges eev blocks.(i) ~consider:(fun () ->
+            incr sets;
+            (* The paper's reduction: replace each downed link by its
+               smaller endpoint, as a node fault. The claim is about
+               distances between the projection's surviving nodes, so
+               the link-fault diameter is restricted to them (the
+               projected endpoints stay alive and may relay). *)
+            let proj =
+              List.sort_uniq compare
+                (List.map
+                   (fun e -> fst (Surviving.edge_pair compiled e))
+                   (Surviving.edge_faults eev))
+            in
+            let survivors = Bitset.create n in
+            for v = 0 to n - 1 do Bitset.add survivors v done;
+            List.iter (Bitset.remove survivors) proj;
+            let d_edge = Surviving.evaluator_diameter_over eev ~targets:survivors in
+            Surviving.set_faults pev proj;
+            let d_proj = Surviving.evaluator_diameter pev in
+            worst_edge := Metrics.max_distance !worst_edge d_edge;
+            worst_proj := Metrics.max_distance !worst_proj d_proj;
+            if not (Metrics.distance_le d_edge d_proj) then begin
+              incr violations;
+              if !first = None then
+                first :=
+                  Some
+                    (List.map (Surviving.edge_pair compiled) (Surviving.edge_faults eev))
+            end);
+        {
+          red_sets = !sets;
+          red_violations = !violations;
+          red_first_violation = !first;
+          red_worst_edge = !worst_edge;
+          red_worst_proj = !worst_proj;
+        })
+  in
+  Array.fold_left
+    (fun acc r ->
+      {
+        red_sets = acc.red_sets + r.red_sets;
+        red_violations = acc.red_violations + r.red_violations;
+        red_first_violation =
+          (match acc.red_first_violation with
+          | Some _ -> acc.red_first_violation
+          | None -> r.red_first_violation);
+        red_worst_edge = Metrics.max_distance acc.red_worst_edge r.red_worst_edge;
+        red_worst_proj = Metrics.max_distance acc.red_worst_proj r.red_worst_proj;
+      })
+    {
+      red_sets = 0;
+      red_violations = 0;
+      red_first_violation = None;
+      red_worst_edge = Metrics.Finite 0;
+      red_worst_proj = Metrics.Finite 0;
+    }
+    results
+
 let evaluate ?(exhaustive_budget = 20_000) ?(samples = 300)
     ?(attack_budget = Attack.default_config.Attack.budget) ?(corpus = []) ?jobs ~rng
     (c : Construction.t) ~f =

@@ -80,6 +80,68 @@ val adversarial :
     applies before deduplication, so a set is only skipped when an
     earlier pool already produced it). *)
 
+(** {1 Edge-fault checking}
+
+    The same machinery over the graph's edge universe: first-class
+    link faults kill exactly the routes traversing the downed edge,
+    while both endpoints stay alive. Enumeration order, Gray sweeps,
+    and the ordered merge are shared with the node checkers, so these
+    verdicts are also bit-identical for every [?jobs] value. Edge sets
+    surface as normalised [(min, max)] endpoint pairs. *)
+
+type edge_verdict = {
+  e_worst : Metrics.distance;
+  e_witness : (int * int) list;
+  e_sets_checked : int;
+  e_definitive : bool;
+}
+
+val check_edge_sets : ?jobs:int -> Routing.t -> (int * int) list Seq.t -> edge_verdict
+(** Evaluate the surviving diameter on each edge-fault set of the
+    sequence. Raises [Invalid_argument] if a listed pair is not an
+    edge of the routing's graph. *)
+
+val exhaustive_edges : ?jobs:int -> Routing.t -> f:int -> edge_verdict
+(** All edge-fault sets of size [<= f]; definitive. *)
+
+type edge_certificate = {
+  e_holds : bool;
+  e_counterexample : (int * int) list option;
+  e_cert_sets_checked : int;
+}
+
+val certify_edges : ?jobs:int -> Routing.t -> f:int -> bound:int -> edge_certificate
+(** Exhaustively certify "(bound, f)-tolerant against link faults"
+    with the same early-exit BFS as {!certify}. *)
+
+val random_edges :
+  ?jobs:int -> Routing.t -> f:int -> rng:Random.State.t -> samples:int -> edge_verdict
+(** Uniform edge-fault sets of size exactly [f] (plus the empty set);
+    draws happen before evaluation, so the verdict is
+    [jobs]-independent. *)
+
+type reduction_report = {
+  red_sets : int;  (** edge-fault sets compared *)
+  red_violations : int;
+      (** sets where the true edge-fault diameter exceeded the
+          projection's *)
+  red_first_violation : (int * int) list option;
+      (** first violating set in enumeration order *)
+  red_worst_edge : Metrics.distance;
+      (** worst surviving diameter under true edge faults *)
+  red_worst_proj : Metrics.distance;
+      (** worst surviving diameter under the endpoint projection *)
+}
+
+val reduction : ?jobs:int -> Routing.t -> f:int -> reduction_report
+(** Exercise the paper's edge-fault reduction ("assume one endpoint of
+    the faulty edge is a faulty node"): for every edge-fault set of
+    size [<= f], compare the surviving diameter under the true edge
+    faults against the diameter under the endpoint projection (each
+    downed link replaced by its smaller endpoint, as a node fault).
+    The paper's argument predicts zero violations — the projection can
+    only remove more routes. Jobs-independent. *)
+
 val evaluate :
   ?exhaustive_budget:int ->
   ?samples:int ->

@@ -1,39 +1,69 @@
-type event = { at : float; node : int; kind : [ `Crash | `Recover ] }
+open Ftr_graph
 
-let crash_set_at ~at nodes = List.map (fun node -> { at; node; kind = `Crash }) nodes
+type action =
+  [ `Crash of int | `Recover of int | `LinkDown of int * int | `LinkUp of int * int ]
+
+type event = { at : float; action : action }
+
+let by_time = List.stable_sort (fun a b -> compare a.at b.at)
+let crash_set_at ~at nodes = List.map (fun v -> { at; action = `Crash v }) nodes
+
+let link_set_at ~at links =
+  List.map (fun (u, v) -> { at; action = `LinkDown (u, v) }) links
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
 
 let random_crashes ~rng ~n ~count ~window:(lo, hi) =
   if count > n then invalid_arg "Faults.random_crashes: count > n";
   let nodes = Array.init n Fun.id in
-  for i = n - 1 downto 1 do
-    let j = Random.State.int rng (i + 1) in
-    let t = nodes.(i) in
-    nodes.(i) <- nodes.(j);
-    nodes.(j) <- t
-  done;
+  shuffle rng nodes;
   List.init count (fun i ->
-      { at = lo +. Random.State.float rng (hi -. lo); node = nodes.(i); kind = `Crash })
+      { at = lo +. Random.State.float rng (hi -. lo); action = `Crash nodes.(i) })
 
 let churn ~rng ~n ~count ~window:(lo, hi) ~dwell =
   if count > n then invalid_arg "Faults.churn: count > n";
   if dwell < 0.0 then invalid_arg "Faults.churn: negative dwell";
   let nodes = Array.init n Fun.id in
-  for i = n - 1 downto 1 do
-    let j = Random.State.int rng (i + 1) in
-    let t = nodes.(i) in
-    nodes.(i) <- nodes.(j);
-    nodes.(j) <- t
-  done;
+  shuffle rng nodes;
   let events =
     List.concat
       (List.init count (fun i ->
            let at = lo +. Random.State.float rng (hi -. lo) in
            [
-             { at; node = nodes.(i); kind = `Crash };
-             { at = at +. dwell; node = nodes.(i); kind = `Recover };
+             { at; action = `Crash nodes.(i) };
+             { at = at +. dwell; action = `Recover nodes.(i) };
            ]))
   in
-  List.stable_sort (fun a b -> compare a.at b.at) events
+  by_time events
+
+let random_link_flaps ~rng ~g ~count ~window:(lo, hi) ~dwell =
+  let edges = Array.of_list (Graph.edges g) in
+  if count > Array.length edges then
+    invalid_arg "Faults.random_link_flaps: count > edge count";
+  if dwell < 0.0 then invalid_arg "Faults.random_link_flaps: negative dwell";
+  shuffle rng edges;
+  let events =
+    List.concat
+      (List.init count (fun i ->
+           let at = lo +. Random.State.float rng (hi -. lo) in
+           let u, v = edges.(i) in
+           [
+             { at; action = `LinkDown (u, v) };
+             { at = at +. dwell; action = `LinkUp (u, v) };
+           ]))
+  in
+  by_time events
+
+let mixed_churn ~rng ~g ~nodes ~links ~window ~dwell =
+  let node_events = churn ~rng ~n:(Graph.n g) ~count:nodes ~window ~dwell in
+  let link_events = random_link_flaps ~rng ~g ~count:links ~window ~dwell in
+  by_time (node_events @ link_events)
 
 let witness_waves ~start ~dwell ~gap witnesses =
   if dwell < 0.0 then invalid_arg "Faults.witness_waves: negative dwell";
@@ -42,20 +72,40 @@ let witness_waves ~start ~dwell ~gap witnesses =
     List.fold_left
       (fun (at, acc) witness ->
         let witness = List.sort_uniq compare witness in
-        let crashes = List.map (fun node -> { at; node; kind = `Crash }) witness in
+        let crashes = List.map (fun v -> { at; action = `Crash v }) witness in
         let recoveries =
-          List.map (fun node -> { at = at +. dwell; node; kind = `Recover }) witness
+          List.map (fun v -> { at = at +. dwell; action = `Recover v }) witness
         in
         (at +. dwell +. gap, acc @ crashes @ recoveries))
       (start, []) witnesses
   in
   events
 
+let link_waves ~start ~dwell ~gap waves =
+  if dwell < 0.0 then invalid_arg "Faults.link_waves: negative dwell";
+  if gap < 0.0 then invalid_arg "Faults.link_waves: negative gap";
+  let _, events =
+    List.fold_left
+      (fun (at, acc) wave ->
+        let wave =
+          List.sort_uniq compare (List.map (fun (u, v) -> (min u v, max u v)) wave)
+        in
+        let downs = List.map (fun (u, v) -> { at; action = `LinkDown (u, v) }) wave in
+        let ups =
+          List.map (fun (u, v) -> { at = at +. dwell; action = `LinkUp (u, v) }) wave
+        in
+        (at +. dwell +. gap, acc @ downs @ ups))
+      (start, []) waves
+  in
+  events
+
 let schedule_on sim net events =
   List.iter
-    (fun { at; node; kind } ->
+    (fun { at; action } ->
       Sim.at sim ~time:at (fun () ->
-          match kind with
-          | `Crash -> Network.crash net node
-          | `Recover -> Network.recover net node))
+          match action with
+          | `Crash v -> Network.crash net v
+          | `Recover v -> Network.recover net v
+          | `LinkDown (u, v) -> Network.fail_link net u v
+          | `LinkUp (u, v) -> Network.restore_link net u v))
     events

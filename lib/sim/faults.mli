@@ -1,8 +1,23 @@
-(** Fault injection schedules for simulations. *)
+(** Fault injection schedules for simulations.
 
-type event = { at : float; node : int; kind : [ `Crash | `Recover ] }
+    Events act on both halves of the mixed fault model: node crashes
+    and recoveries, and link flaps ([`LinkDown]/[`LinkUp]). Schedule
+    constructors return time-sorted lists; {!schedule_on} installs
+    them into a simulator against a network. *)
+
+open Ftr_graph
+
+type action =
+  [ `Crash of int  (** node goes down *)
+  | `Recover of int  (** node comes back *)
+  | `LinkDown of int * int  (** link goes down (either endpoint order) *)
+  | `LinkUp of int * int  (** link comes back *) ]
+
+type event = { at : float; action : action }
 
 val crash_set_at : at:float -> int list -> event list
+
+val link_set_at : at:float -> (int * int) list -> event list
 
 val random_crashes :
   rng:Random.State.t -> n:int -> count:int -> window:float * float -> event list
@@ -20,6 +35,29 @@ val churn :
     [dwell] later, so nodes cycle out and back in. Events are sorted
     by time; recoveries may land after the window's end. *)
 
+val random_link_flaps :
+  rng:Random.State.t ->
+  g:Graph.t ->
+  count:int ->
+  window:float * float ->
+  dwell:float ->
+  event list
+(** [count] distinct links each go down at a uniform time within the
+    window and come back [dwell] later. Events are sorted by time;
+    recoveries may land after the window's end. *)
+
+val mixed_churn :
+  rng:Random.State.t ->
+  g:Graph.t ->
+  nodes:int ->
+  links:int ->
+  window:float * float ->
+  dwell:float ->
+  event list
+(** Node churn and link flaps interleaved on one timeline: [nodes]
+    crash/recover pairs and [links] down/up pairs, all with the same
+    dwell, merged in time order. *)
+
 val witness_waves :
   start:float -> dwell:float -> gap:float -> int list list -> event list
 (** Deterministic churn driven by discovered fault sets: each witness
@@ -27,6 +65,12 @@ val witness_waves :
     and the next wave starts [gap] later. This replays the attack
     engine's worst cases dynamically — the simulator exercises exactly
     the fault patterns the search proved nastiest. *)
+
+val link_waves :
+  start:float -> dwell:float -> gap:float -> (int * int) list list -> event list
+(** {!witness_waves} for links: each wave of edges goes down wholesale,
+    dwells, comes back up, and the next wave starts [gap] later (the
+    soak harness replays attack witnesses this way). *)
 
 val schedule_on : Sim.t -> Network.t -> event list -> unit
 (** Install the schedule into the simulator. *)

@@ -1,4 +1,4 @@
-type status = Pending | Delivered | Undeliverable
+type status = Pending | Delivered | Undeliverable | DeadLetter
 
 type t = {
   id : int;
@@ -32,6 +32,7 @@ let status_string = function
   | Pending -> "pending"
   | Delivered -> "delivered"
   | Undeliverable -> "undeliverable"
+  | DeadLetter -> "dead-letter"
 
 let pp ppf t =
   Fmt.pf ppf "msg#%d %d->%d [%s] routes=%d hops=%d retries=%d" t.id t.src t.dst

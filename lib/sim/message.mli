@@ -1,6 +1,12 @@
 (** Messages and their delivery records. *)
 
-type status = Pending | Delivered | Undeliverable
+type status =
+  | Pending
+  | Delivered
+  | Undeliverable  (** no surviving plan exists right now *)
+  | DeadLetter
+      (** dropped by the churn-hardened protocol: the message exhausted
+          its re-plan budget or overran its delivery deadline *)
 
 type t = {
   id : int;
@@ -13,12 +19,14 @@ type t = {
       (** the paper's cost measure: endpoint processing dominates, so
           transmission time is proportional to this *)
   mutable hops : int;  (** total link traversals *)
-  mutable retries : int;  (** failed route attempts before success *)
+  mutable retries : int;  (** failed route attempts (re-plans) *)
 }
 
 val make : id:int -> src:int -> dst:int -> sent_at:float -> t
 
 val latency : t -> float option
 (** Delivery time minus send time, when delivered. *)
+
+val status_string : status -> string
 
 val pp : Format.formatter -> t -> unit

@@ -3,42 +3,49 @@ open Ftr_core
 
 type t = {
   routing : Routing.t;
-  faults : Bitset.t;
+  fm : Fault_model.t;
   mutable cache : Digraph.t option;
 }
 
 let create routing =
-  {
-    routing;
-    faults = Bitset.create (Graph.n (Routing.graph routing));
-    cache = None;
-  }
+  { routing; fm = Fault_model.create (Routing.graph routing); cache = None }
 
 let graph t = Routing.graph t.routing
 let routing t = t.routing
-let faults t = t.faults
+let fault_model t = t.fm
+let faults t = Fault_model.node_faults t.fm
 
 let crash t v =
-  Bitset.add t.faults v;
+  Fault_model.fail_node t.fm v;
   t.cache <- None
 
 let recover t v =
-  Bitset.remove t.faults v;
+  Fault_model.recover_node t.fm v;
   t.cache <- None
 
-let is_faulty t v = Bitset.mem t.faults v
-let fault_count t = Bitset.cardinal t.faults
+let fail_link t u v =
+  Fault_model.fail_edge t.fm u v;
+  t.cache <- None
+
+let restore_link t u v =
+  Fault_model.recover_edge t.fm u v;
+  t.cache <- None
+
+let is_faulty t v = Bitset.mem (faults t) v
+let is_link_faulty t u v = Fault_model.edge_failed t.fm u v
+let fault_count t = Fault_model.node_fault_count t.fm
+let link_fault_count t = Fault_model.edge_fault_count t.fm
+let link_faults t = Fault_model.edge_faults t.fm
 
 let surviving t =
   match t.cache with
   | Some dg -> dg
   | None ->
-      let dg = Surviving.graph t.routing ~faults:t.faults in
+      let dg = Fault_model.surviving t.routing t.fm in
       t.cache <- Some dg;
       dg
 
-let surviving_diameter t =
-  Surviving.diameter_of_digraph (surviving t) ~faults:t.faults
+let surviving_diameter t = Surviving.diameter_of_digraph (surviving t) ~faults:(faults t)
 
 let route_plan t ~src ~dst =
   if is_faulty t src || is_faulty t dst then None
@@ -46,7 +53,7 @@ let route_plan t ~src ~dst =
   else begin
     let dg = surviving t in
     let n = Digraph.n dg in
-    let alive v = not (Bitset.mem t.faults v) in
+    let alive v = not (Bitset.mem (faults t) v) in
     (* BFS with parents over the surviving digraph. *)
     let parent = Array.make n (-1) in
     let dist = Array.make n (-1) in
@@ -74,4 +81,4 @@ let route_plan t ~src ~dst =
 let route_survives t ~src ~dst =
   match Routing.find t.routing src dst with
   | None -> false
-  | Some p -> not (Path.hits p t.faults)
+  | Some p -> not (Fault_model.affects t.fm p)

@@ -2,8 +2,12 @@
     fault state.
 
     Models the system of the paper's introduction — route tables are
-    computed once; nodes crash; the surviving route graph determines
-    which fixed routes still work. *)
+    computed once; nodes crash and links go down; the surviving route
+    graph determines which fixed routes still work. The fault state is
+    a full {!Fault_model.t}, so link faults are first-class: a downed
+    link kills exactly the routes traversing it while both endpoints
+    stay alive (the paper's endpoint projection is available through
+    {!Fault_model.endpoint_projection} for comparison). *)
 
 open Ftr_graph
 open Ftr_core
@@ -16,20 +20,40 @@ val graph : t -> Graph.t
 
 val routing : t -> Routing.t
 
+val fault_model : t -> Fault_model.t
+(** The underlying mixed fault state (shared; mutate it only through
+    the functions below or the surviving-graph cache goes stale). *)
+
 val faults : t -> Bitset.t
-(** The current crash set (shared, do not mutate directly). *)
+(** The current node crash set (shared, do not mutate directly). *)
 
 val crash : t -> int -> unit
 
 val recover : t -> int -> unit
 
+val fail_link : t -> int -> int -> unit
+(** Take a link down, in either endpoint order. Raises
+    [Invalid_argument] if the graph has no such edge. Idempotent. *)
+
+val restore_link : t -> int -> int -> unit
+(** Bring a link back up; a no-op if it is not currently down. *)
+
 val is_faulty : t -> int -> bool
 
+val is_link_faulty : t -> int -> int -> bool
+
 val fault_count : t -> int
+(** Crashed nodes (links are counted by {!link_fault_count}). *)
+
+val link_fault_count : t -> int
+
+val link_faults : t -> (int * int) list
+(** Downed links as normalised [(min, max)] pairs, sorted. *)
 
 val surviving : t -> Digraph.t
-(** Surviving route graph under the current faults; cached and
-    invalidated by {!crash}/{!recover}. *)
+(** Surviving route graph under the current faults (node and link);
+    cached and invalidated by {!crash}/{!recover}/{!fail_link}/
+    {!restore_link}. *)
 
 val surviving_diameter : t -> Metrics.distance
 
@@ -40,5 +64,5 @@ val route_plan : t -> src:int -> dst:int -> int list option
     [length - 1]. *)
 
 val route_survives : t -> src:int -> dst:int -> bool
-(** Is [rho(src, dst)] defined and unaffected by the current
-    faults? *)
+(** Is [rho(src, dst)] defined and unaffected by the current faults
+    (no crashed node on it, no downed link traversed by it)? *)

@@ -5,9 +5,23 @@ type config = {
   hop_latency : float;
   endpoint_overhead : float;
   nack_latency : float;
+  deadline : float option;
+  max_replans : int;
+  backoff : float;
 }
 
-let default_config = { hop_latency = 1.0; endpoint_overhead = 10.0; nack_latency = 5.0 }
+let default_config =
+  {
+    hop_latency = 1.0;
+    endpoint_overhead = 10.0;
+    nack_latency = 5.0;
+    deadline = None;
+    max_replans = max_int;
+    backoff = 1.0;
+  }
+
+let hardened_config =
+  { default_config with deadline = Some 500.0; max_replans = 8; backoff = 2.0 }
 
 let finish sim msg status on_done =
   msg.Message.status <- status;
@@ -26,14 +40,21 @@ let process endpoint sim config ~node k =
 (* Traverse the remaining waypoint list; each step re-reads the fault
    state, so crashes that happen mid-flight force a re-plan. A message
    sitting at a node that crashed is lost; the sender's end-to-end
-   timeout retransmits from the source. *)
+   timeout retransmits from the source.
+
+   Every nack goes through [nack]: the churn hardening lives there.
+   The retry counter bounds re-plans ([max_replans]; the default
+   [max_int] never triggers), the nack delay backs off exponentially
+   ([nack_latency * backoff^(retries - 1)]; the default factor 1.0 is
+   the legacy constant delay), and a [deadline] (measured from
+   [sent_at], checked at each nack — a message already at its
+   destination is delivered) turns a message that would otherwise
+   thrash through churn into a dead letter. *)
 let rec traverse sim net endpoint config msg waypoints on_done =
   match waypoints with
   | [] -> finish sim msg Message.Delivered on_done
   | a :: _ when Network.is_faulty net a ->
-      msg.Message.retries <- msg.Message.retries + 1;
-      Sim.schedule sim ~delay:config.nack_latency (fun () ->
-          replan sim net endpoint config msg ~from:msg.Message.src on_done)
+      nack sim net endpoint config msg ~from:msg.Message.src on_done
   | [ _ ] -> finish sim msg Message.Delivered on_done
   | a :: (b :: _ as rest) ->
       if Network.route_survives net ~src:a ~dst:b then begin
@@ -45,13 +66,28 @@ let rec traverse sim net endpoint config msg waypoints on_done =
             process endpoint sim config ~node:b (fun () ->
                 traverse sim net endpoint config msg rest on_done))
       end
-      else begin
+      else
         (* Route died under us: pay the detection cost and re-plan
            from the current node. *)
-        msg.Message.retries <- msg.Message.retries + 1;
-        Sim.schedule sim ~delay:config.nack_latency (fun () ->
-            replan sim net endpoint config msg ~from:a on_done)
-      end
+        nack sim net endpoint config msg ~from:a on_done
+
+and nack sim net endpoint config msg ~from on_done =
+  let deadline_passed =
+    match config.deadline with
+    | None -> false
+    | Some d -> Sim.now sim -. msg.Message.sent_at >= d
+  in
+  if deadline_passed || msg.Message.retries >= config.max_replans then
+    finish sim msg Message.DeadLetter on_done
+  else begin
+    msg.Message.retries <- msg.Message.retries + 1;
+    let delay =
+      config.nack_latency
+      *. (config.backoff ** float_of_int (msg.Message.retries - 1))
+    in
+    Sim.schedule sim ~delay (fun () ->
+        replan sim net endpoint config msg ~from on_done)
+  end
 
 and replan sim net endpoint config msg ~from on_done =
   if Network.is_faulty net from || Network.is_faulty net msg.Message.dst then
@@ -77,11 +113,8 @@ let send_with sim net endpoint config ?on_done ~id ~src ~dst () =
        stale table would. *)
     if Network.route_survives net ~src ~dst then
       traverse sim net endpoint config msg [ src; dst ] on_done
-    else if Routing.mem (Network.routing net) src dst then begin
-      msg.Message.retries <- msg.Message.retries + 1;
-      Sim.schedule sim ~delay:config.nack_latency (fun () ->
-          replan sim net endpoint config msg ~from:src on_done)
-    end
+    else if Routing.mem (Network.routing net) src dst then
+      nack sim net endpoint config msg ~from:src on_done
     else replan sim net endpoint config msg ~from:src on_done;
     msg
   end
@@ -145,7 +178,7 @@ let broadcast_async sim net config ~origin ~counter_bound =
            each copy pays the route's transit plus endpoint cost. *)
         Routing.iter
           (fun src dst p ->
-            if src = node && not (Path.hits p (Network.faults net)) then begin
+            if src = node && not (Fault_model.affects (Network.fault_model net) p) then begin
               incr copies;
               let cost =
                 config.endpoint_overhead

@@ -13,11 +13,25 @@ type config = {
   hop_latency : float;
   endpoint_overhead : float;
   nack_latency : float;
+  deadline : float option;
+      (** per-message delivery deadline, measured from [sent_at] and
+          checked at every nack; a message past it becomes a
+          {!Message.DeadLetter}. [None] disables the check. *)
+  max_replans : int;
+      (** re-plans allowed before the message becomes a dead letter *)
+  backoff : float;
+      (** exponential nack backoff: the k-th re-plan of a message waits
+          [nack_latency * backoff^(k-1)]; [1.0] is a constant delay *)
 }
 
 val default_config : config
 (** hop 1.0, endpoint 10.0, nack 5.0 — endpoint processing dominates,
-    matching the paper's cost model. *)
+    matching the paper's cost model. No deadline, unbounded re-plans,
+    no backoff: under a static fault set the legacy behaviour. *)
+
+val hardened_config : config
+(** {!default_config} plus the churn hardening the soak harness runs
+    with: deadline 500.0, at most 8 re-plans, backoff factor 2.0. *)
 
 val send :
   Sim.t ->

@@ -55,3 +55,41 @@ let histogram ~buckets values =
 let pp_summary ppf s =
   Fmt.pf ppf "n=%d mean=%.2f min=%.0f p50=%.0f p95=%.0f p99=%.0f max=%.0f" s.count
     s.mean s.min s.p50 s.p95 s.p99 s.max
+
+type delivery = {
+  sent : int;
+  delivered : int;
+  undeliverable : int;
+  dead_letters : int;
+  pending : int;
+  replans : int;
+  latency : summary option;
+  replans_per_message : summary option;
+}
+
+let delivery_report msgs =
+  let count pred = List.length (List.filter pred msgs) in
+  {
+    sent = List.length msgs;
+    delivered = count (fun m -> m.Message.status = Message.Delivered);
+    undeliverable = count (fun m -> m.Message.status = Message.Undeliverable);
+    dead_letters = count (fun m -> m.Message.status = Message.DeadLetter);
+    pending = count (fun m -> m.Message.status = Message.Pending);
+    replans = List.fold_left (fun acc m -> acc + m.Message.retries) 0 msgs;
+    latency = summarize (List.filter_map Message.latency msgs);
+    replans_per_message = of_ints (List.map (fun m -> m.Message.retries) msgs);
+  }
+
+let delivery_rate d =
+  if d.sent = 0 then 1.0 else float_of_int d.delivered /. float_of_int d.sent
+
+let pp_delivery ppf d =
+  Fmt.pf ppf
+    "sent=%d delivered=%d (%.1f%%) undeliverable=%d dead-letters=%d pending=%d \
+     replans=%d"
+    d.sent d.delivered
+    (100.0 *. delivery_rate d)
+    d.undeliverable d.dead_letters d.pending d.replans;
+  match d.latency with
+  | Some s -> Fmt.pf ppf "@ latency %a" pp_summary s
+  | None -> ()

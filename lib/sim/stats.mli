@@ -21,3 +21,26 @@ val histogram : buckets:int -> float list -> (float * float * int) list
     input gives []. *)
 
 val pp_summary : Format.formatter -> summary -> unit
+
+(** {1 Delivery reports}
+
+    The soak harness's one-stop accounting over a batch of messages,
+    including the churn-hardened protocol's dead-letter outcome. *)
+
+type delivery = {
+  sent : int;
+  delivered : int;
+  undeliverable : int;
+  dead_letters : int;  (** re-plan budget or deadline exhausted *)
+  pending : int;  (** still in flight when the simulation ended *)
+  replans : int;  (** total re-plans across all messages *)
+  latency : summary option;  (** over delivered messages *)
+  replans_per_message : summary option;  (** over all messages *)
+}
+
+val delivery_report : Message.t list -> delivery
+
+val delivery_rate : delivery -> float
+(** [delivered / sent]; [1.0] for an empty batch. *)
+
+val pp_delivery : Format.formatter -> delivery -> unit

@@ -131,6 +131,7 @@ let sample_entries () =
       n = 225;
       f = 2;
       faults = [ 209; 223 ];
+      edges = [];
       diameter = Metrics.Infinite;
       bound = None;
       found_by = "attack(seed=42)";
@@ -142,6 +143,7 @@ let sample_entries () =
       n = 8;
       f = 2;
       faults = [ 3; 6 ];
+      edges = [];
       diameter = Metrics.Finite 4;
       bound = Some 4;
       found_by = "attack(seed=7)";
@@ -206,6 +208,114 @@ let test_corpus_rejects_garbage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing fields accepted"
 
+let link_entry () =
+  {
+    Attack.Corpus.graph = "cycle:12";
+    strategy = "bipolar-uni";
+    seed = 3;
+    n = 12;
+    f = 2;
+    faults = [];
+    edges = [ (3, 4); (9, 10) ];
+    diameter = Metrics.Infinite;
+    bound = None;
+    found_by = "attack(seed=3,universe=links)";
+  }
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let test_corpus_v2_stamp_and_edges () =
+  let entries = sample_entries () @ [ link_entry () ] in
+  let json = Attack.Corpus.to_json entries in
+  Alcotest.(check bool) "version stamped" true (contains_sub json "\"version\": 2");
+  Alcotest.(check bool) "edge faults serialised" true
+    (contains_sub json "\"edge_faults\"");
+  match Attack.Corpus.of_json json with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+      Alcotest.(check bool) "v2 roundtrip preserves edges" true (back = entries)
+
+let test_corpus_accepts_legacy () =
+  (* A version-less v1 entry, as written before the stamp existed. *)
+  let legacy =
+    {|[{"graph": "hypercube:3", "strategy": "kernel", "seed": 7, "n": 8,
+        "f": 2, "faults": [3, 6], "diameter": 4, "bound": 4,
+        "found_by": "attack(seed=7)"}]|}
+  in
+  match Attack.Corpus.of_json legacy with
+  | Error e -> Alcotest.fail ("legacy entry rejected: " ^ e)
+  | Ok [ e ] ->
+      Alcotest.(check (list int)) "faults" [ 3; 6 ] e.Attack.Corpus.faults;
+      Alcotest.(check (list (pair int int)))
+        "legacy entries default to no link faults" [] e.Attack.Corpus.edges
+  | Ok _ -> Alcotest.fail "expected exactly one entry"
+
+let test_corpus_rejects_bad_version () =
+  let with_version v =
+    Printf.sprintf
+      {|[{"version": %d, "graph": "hypercube:3", "strategy": "kernel",
+          "seed": 7, "n": 8, "f": 2, "faults": [3, 6], "diameter": 4,
+          "bound": 4, "found_by": "attack(seed=7)"}]|}
+      v
+  in
+  List.iter
+    (fun v ->
+      match Attack.Corpus.of_json (with_version v) with
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "version %d error names the version" v)
+            true
+            (contains_sub msg "unsupported corpus version")
+      | Ok _ -> Alcotest.fail (Printf.sprintf "version %d accepted" v))
+    [ 0; 3; 99 ]
+
+let test_corpus_dedup_and_replayable_with_edges () =
+  let e = link_entry () in
+  let entries, added = Attack.Corpus.add (sample_entries ()) e in
+  Alcotest.(check bool) "link witness added" true added;
+  let _, again = Attack.Corpus.add entries { e with seed = 77 } in
+  Alcotest.(check bool) "same link witness not re-added" false again;
+  let _, other =
+    Attack.Corpus.add entries { e with edges = [ (0, 1); (9, 10) ] }
+  in
+  Alcotest.(check bool) "different link set is a new witness" true other;
+  (* replayable is node-only: link entries are skipped even when n/f fit *)
+  Alcotest.(check (list (list int)))
+    "link entries excluded from node replay" []
+    (Attack.Corpus.replayable [ e ] ~n:12 ~f:2)
+
+let test_search_mixed_reproducible () =
+  let c = Kernel.make (Families.ccc 3) ~t:2 in
+  let routing = c.Construction.routing in
+  let run () =
+    Attack.search_mixed
+      ~rng:(Random.State.make [| 19 |])
+      ~pools:c.Construction.pools ~universe:`Edges routing ~f:2
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (list (pair int int))) "same edge witness" a.Attack.m_edges
+    b.Attack.m_edges;
+  Alcotest.check distance "same worst" a.Attack.m_worst b.Attack.m_worst;
+  Alcotest.(check int) "same evals" a.Attack.m_evals b.Attack.m_evals;
+  Alcotest.(check (list int)) "edge universe leaves nodes alone" []
+    a.Attack.m_nodes;
+  Alcotest.(check bool) "witness within the fault budget" true
+    (List.length a.Attack.m_edges <= 2);
+  (* the link witness replays to the reported diameter *)
+  let compiled = Surviving.compile routing in
+  let ev = Surviving.evaluator compiled in
+  let ids =
+    List.filter_map (fun (u, v) -> Surviving.edge_id compiled u v) a.Attack.m_edges
+  in
+  Alcotest.(check int) "every witness pair is a graph edge"
+    (List.length a.Attack.m_edges) (List.length ids);
+  Surviving.set_mixed_faults ev ~nodes:[] ~edges:ids;
+  Alcotest.check distance "witness reproduces the reported worst" a.Attack.m_worst
+    (Surviving.evaluator_diameter ev)
+
 let test_evaluate_replays_corpus () =
   let c = Lazy.force grid_kernel in
   let corpus =
@@ -217,6 +327,7 @@ let test_evaluate_replays_corpus () =
         n = 225;
         f = 2;
         faults = [ 209; 223 ];
+        edges = [];
         diameter = Metrics.Infinite;
         bound = None;
         found_by = "seeded";
@@ -257,6 +368,16 @@ let () =
           Alcotest.test_case "replayable filter" `Quick test_corpus_replayable;
           Alcotest.test_case "save/load files" `Quick test_corpus_files;
           Alcotest.test_case "rejects garbage" `Quick test_corpus_rejects_garbage;
+          Alcotest.test_case "v2 stamp and link faults" `Quick
+            test_corpus_v2_stamp_and_edges;
+          Alcotest.test_case "accepts legacy version-less entries" `Quick
+            test_corpus_accepts_legacy;
+          Alcotest.test_case "rejects unsupported versions" `Quick
+            test_corpus_rejects_bad_version;
+          Alcotest.test_case "link witnesses: dedup and replay filter" `Quick
+            test_corpus_dedup_and_replayable_with_edges;
+          Alcotest.test_case "mixed search reproducible, witness replays" `Quick
+            test_search_mixed_reproducible;
           Alcotest.test_case "evaluate replays stored witnesses" `Quick
             test_evaluate_replays_corpus;
         ] );

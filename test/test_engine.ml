@@ -309,6 +309,291 @@ let test_certify_jobs_independent () =
         [ 3; 4 ])
     [ 1; 6 ]
 
+(* ---------------- the edge-fault universe ---------------- *)
+
+let arb_routing_with_edge_faults =
+  QCheck.make
+    ~print:(fun (g, nodes, edges) ->
+      Printf.sprintf "%s F={%s} E={%s}" (graph_print g)
+        (String.concat "," (List.map string_of_int nodes))
+        (String.concat ","
+           (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) edges)))
+    QCheck.Gen.(
+      let* g = chorded_cycle_gen ~nmin:4 ~nmax:12 in
+      let n = Graph.n g in
+      let all_edges = Graph.edges g in
+      let m = List.length all_edges in
+      let* fault_seed = int_range 0 1_000_000 in
+      let rng = Random.State.make [| fault_seed |] in
+      let k = Random.State.int rng (min 4 m) in
+      let edges =
+        List.sort_uniq compare
+          (List.init k (fun _ -> List.nth all_edges (Random.State.int rng m)))
+      in
+      let nf = Random.State.int rng (min 3 n) in
+      let nodes =
+        List.sort_uniq compare (List.init nf (fun _ -> Random.State.int rng n))
+      in
+      return (g, nodes, edges))
+
+(* The incremental edge-fault path must agree with the reference model:
+   a link fault kills exactly the routes traversing it, endpoints stay
+   alive. *)
+let prop_edge_evaluator_agrees_with_fault_model =
+  QCheck.Test.make ~name:"evaluator edge faults = Fault_model diameter"
+    ~count:60 arb_routing_with_edge_faults
+    (fun (g, nodes, edges) ->
+      assume_not_complete g;
+      let routing = routing_of g in
+      let fm = Fault_model.create g in
+      List.iter (Fault_model.fail_node fm) nodes;
+      List.iter (fun (u, v) -> Fault_model.fail_edge fm u v) edges;
+      let naive = Fault_model.diameter routing fm in
+      let compiled = Surviving.compile routing in
+      let ev = Surviving.evaluator compiled in
+      let ids =
+        List.map
+          (fun (u, v) ->
+            match Surviving.edge_id compiled u v with
+            | Some id -> id
+            | None -> QCheck.Test.fail_reportf "edge %d-%d has no id" u v)
+          edges
+      in
+      Surviving.set_mixed_faults ev ~nodes ~edges:ids;
+      Surviving.evaluator_diameter ev = naive)
+
+(* Applying and reverting an edge fault is an exact round trip, and
+   the guards reject double application. *)
+let test_edge_apply_revert_guards () =
+  let g = Families.cycle 8 in
+  let routing = routing_of g in
+  let compiled = Surviving.compile routing in
+  let ev = Surviving.evaluator compiled in
+  let before = Surviving.evaluator_diameter ev in
+  Surviving.apply_edge_fault ev 0;
+  Alcotest.(check bool) "edge 0 faulty" true (Surviving.is_edge_faulty ev 0);
+  Alcotest.check_raises "double apply rejected"
+    (Invalid_argument "Surviving.apply_edge_fault: edge already faulty")
+    (fun () -> Surviving.apply_edge_fault ev 0);
+  Surviving.revert_edge_fault ev 0;
+  Alcotest.check_raises "double revert rejected"
+    (Invalid_argument "Surviving.revert_edge_fault: edge not faulty")
+    (fun () -> Surviving.revert_edge_fault ev 0);
+  Alcotest.(check bool) "round trip restores diameter" true
+    (Surviving.evaluator_diameter ev = before);
+  Alcotest.(check int) "no edge faults left" 0 (Surviving.edge_fault_count ev)
+
+(* exhaustive_edges must agree with a brute-force sweep through the
+   reference model. *)
+let test_exhaustive_edges_agrees_with_naive () =
+  let g = Graph.of_edges ~n:7 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 6); (6, 0); (0, 3) ] in
+  let routing = routing_of g in
+  let all_edges = Graph.edges g in
+  let f = 2 in
+  let rec subsets k = function
+    | [] -> if k = 0 then [ [] ] else []
+    | e :: rest ->
+        if k = 0 then [ [] ]
+        else
+          subsets k rest
+          @ List.map (fun s -> e :: s) (subsets (k - 1) rest)
+  in
+  let sets =
+    List.concat_map (fun k -> subsets k all_edges) [ 0; 1; 2 ]
+    |> List.sort_uniq compare
+  in
+  let naive_worst =
+    List.fold_left
+      (fun acc set ->
+        let fm = Fault_model.create g in
+        List.iter (fun (u, v) -> Fault_model.fail_edge fm u v) set;
+        Metrics.max_distance acc (Fault_model.diameter routing fm))
+      (Metrics.Finite 0) sets
+  in
+  let v = Tolerance.exhaustive_edges routing ~f in
+  Alcotest.(check bool) "worst matches brute force" true
+    (v.Tolerance.e_worst = naive_worst);
+  Alcotest.(check bool) "definitive" true v.Tolerance.e_definitive;
+  Alcotest.(check int) "sets checked" (List.length sets) v.Tolerance.e_sets_checked;
+  (* the witness replays to the reported worst *)
+  let fm = Fault_model.create g in
+  List.iter (fun (u, v) -> Fault_model.fail_edge fm u v) v.Tolerance.e_witness;
+  Alcotest.(check bool) "witness replays" true
+    (Fault_model.diameter routing fm = v.Tolerance.e_worst)
+
+(* evaluator_diameter_over: the full target set reproduces the plain
+   diameter; restricting targets can only shrink it; faulty targets
+   are rejected. *)
+let test_evaluator_diameter_over () =
+  let g = Families.torus 4 4 in
+  let routing = routing_of g in
+  let compiled = Surviving.compile routing in
+  let n = Surviving.compiled_n compiled in
+  let ev = Surviving.evaluator compiled in
+  Surviving.apply_edge_fault ev 0;
+  let all = Bitset.create n in
+  for v = 0 to n - 1 do
+    Bitset.add all v
+  done;
+  let full = Surviving.evaluator_diameter ev in
+  Alcotest.(check bool) "all targets = plain diameter" true
+    (Surviving.evaluator_diameter_over ev ~targets:all = full);
+  let u, v = Surviving.edge_pair compiled 0 in
+  let restricted = Bitset.create n in
+  for x = 0 to n - 1 do
+    if x <> u && x <> v then Bitset.add restricted x
+  done;
+  Alcotest.(check bool) "restricting targets never grows the diameter" true
+    (Metrics.distance_le
+       (Surviving.evaluator_diameter_over ev ~targets:restricted)
+       full);
+  Surviving.revert_edge_fault ev 0;
+  Surviving.apply_fault ev u;
+  Alcotest.check_raises "faulty target rejected"
+    (Invalid_argument "Surviving.evaluator_diameter_over: target vertex is faulty")
+    (fun () -> ignore (Surviving.evaluator_diameter_over ev ~targets:all))
+
+(* ---------------- edge-universe jobs-independence ---------------- *)
+
+let test_exhaustive_edges_jobs_independent () =
+  let g = Families.torus 4 4 in
+  let routing = routing_of g in
+  List.iter
+    (fun f ->
+      let base = Tolerance.exhaustive_edges ~jobs:1 routing ~f in
+      List.iter
+        (fun jobs ->
+          let v = Tolerance.exhaustive_edges ~jobs routing ~f in
+          Alcotest.(check bool)
+            (Printf.sprintf "f=%d jobs=%d worst" f jobs)
+            true
+            (v.Tolerance.e_worst = base.Tolerance.e_worst);
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "f=%d jobs=%d witness" f jobs)
+            base.Tolerance.e_witness v.Tolerance.e_witness;
+          Alcotest.(check int)
+            (Printf.sprintf "f=%d jobs=%d sets_checked" f jobs)
+            base.Tolerance.e_sets_checked v.Tolerance.e_sets_checked)
+        [ 2; 3; 4; 7 ])
+    [ 1; 2 ]
+
+let test_certify_edges_jobs_independent () =
+  let g = Families.torus 4 4 in
+  let routing = routing_of g in
+  List.iter
+    (fun bound ->
+      let base = Tolerance.certify_edges ~jobs:1 routing ~f:2 ~bound in
+      List.iter
+        (fun jobs ->
+          let cert = Tolerance.certify_edges ~jobs routing ~f:2 ~bound in
+          Alcotest.(check bool)
+            (Printf.sprintf "bound=%d jobs=%d holds" bound jobs)
+            base.Tolerance.e_holds cert.Tolerance.e_holds;
+          Alcotest.(check bool)
+            (Printf.sprintf "bound=%d jobs=%d counterexample" bound jobs)
+            true
+            (cert.Tolerance.e_counterexample = base.Tolerance.e_counterexample);
+          Alcotest.(check int)
+            (Printf.sprintf "bound=%d jobs=%d sets" bound jobs)
+            base.Tolerance.e_cert_sets_checked cert.Tolerance.e_cert_sets_checked)
+        [ 3; 4 ])
+    [ 1; 6 ]
+
+let test_random_edges_jobs_independent () =
+  let g = Families.torus 4 4 in
+  let routing = routing_of g in
+  let verdict jobs =
+    let rng = Random.State.make [| 53; 11 |] in
+    Tolerance.random_edges ~jobs routing ~f:3 ~rng ~samples:60
+  in
+  let base = verdict 1 in
+  List.iter
+    (fun jobs ->
+      let v = verdict jobs in
+      Alcotest.(check bool) (Printf.sprintf "jobs=%d worst" jobs) true
+        (v.Tolerance.e_worst = base.Tolerance.e_worst);
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "jobs=%d witness" jobs)
+        base.Tolerance.e_witness v.Tolerance.e_witness;
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d sets" jobs)
+        base.Tolerance.e_sets_checked v.Tolerance.e_sets_checked)
+    [ 2; 4 ]
+
+let test_reduction_jobs_independent () =
+  let g = Families.torus 4 4 in
+  let routing = routing_of g in
+  let base = Tolerance.reduction ~jobs:1 routing ~f:2 in
+  List.iter
+    (fun jobs ->
+      let r = Tolerance.reduction ~jobs routing ~f:2 in
+      Alcotest.(check int) (Printf.sprintf "jobs=%d sets" jobs)
+        base.Tolerance.red_sets r.Tolerance.red_sets;
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d violations" jobs)
+        base.Tolerance.red_violations r.Tolerance.red_violations;
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d first violation" jobs)
+        true
+        (r.Tolerance.red_first_violation = base.Tolerance.red_first_violation);
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d worst edge" jobs)
+        true
+        (r.Tolerance.red_worst_edge = base.Tolerance.red_worst_edge);
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d worst proj" jobs)
+        true
+        (r.Tolerance.red_worst_proj = base.Tolerance.red_worst_proj))
+    [ 2; 4 ];
+  Alcotest.(check int) "no violations on the torus" 0 base.Tolerance.red_violations
+
+let test_search_mixed_jobs_independent () =
+  let g = Families.torus 5 5 in
+  let c = Kernel.make g ~t:3 in
+  List.iter
+    (fun universe ->
+      let outcome jobs =
+        let rng = Random.State.make [| 31; 7 |] in
+        Attack.search_mixed
+          ~config:{ Attack.default_config with Attack.budget = 300; restarts = 4 }
+          ~jobs ~rng ~pools:c.Construction.pools ~universe
+          c.Construction.routing ~f:3
+      in
+      let label =
+        match universe with `Mixed -> "mixed" | `Edges -> "edges"
+      in
+      let base = outcome 1 in
+      List.iter
+        (fun jobs ->
+          let o = outcome jobs in
+          Alcotest.(check bool) (Printf.sprintf "%s jobs=%d worst" label jobs)
+            true
+            (o.Attack.m_worst = base.Attack.m_worst);
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s jobs=%d nodes" label jobs)
+            base.Attack.m_nodes o.Attack.m_nodes;
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "%s jobs=%d edges" label jobs)
+            base.Attack.m_edges o.Attack.m_edges;
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s jobs=%d raw nodes" label jobs)
+            base.Attack.m_raw_nodes o.Attack.m_raw_nodes;
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "%s jobs=%d raw edges" label jobs)
+            base.Attack.m_raw_edges o.Attack.m_raw_edges;
+          Alcotest.(check int)
+            (Printf.sprintf "%s jobs=%d evals" label jobs)
+            base.Attack.m_evals o.Attack.m_evals;
+          Alcotest.(check int)
+            (Printf.sprintf "%s jobs=%d restarts" label jobs)
+            base.Attack.m_restarts_used o.Attack.m_restarts_used)
+        [ 2; 4 ];
+      (* the edge universe must produce a node-free witness *)
+      if universe = `Edges then
+        Alcotest.(check (list int)) "edge universe: no node faults" []
+          base.Attack.m_nodes)
+    [ `Mixed; `Edges ]
+
 let () =
   let qcheck = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "engine"
@@ -326,6 +611,16 @@ let () =
             prop_diameter_exceeds_consistent;
           ]
         @ [ Alcotest.test_case "apply/revert guards" `Quick test_apply_fault_guards ] );
+      ( "edges",
+        qcheck [ prop_edge_evaluator_agrees_with_fault_model ]
+        @ [
+            Alcotest.test_case "edge apply/revert guards" `Quick
+              test_edge_apply_revert_guards;
+            Alcotest.test_case "exhaustive_edges = brute force" `Quick
+              test_exhaustive_edges_agrees_with_naive;
+            Alcotest.test_case "restricted diameter" `Quick
+              test_evaluator_diameter_over;
+          ] );
       ( "certificates",
         qcheck [ prop_certify_agrees_with_exhaustive ]
         @ [
@@ -342,5 +637,15 @@ let () =
             test_attack_jobs_independent;
           Alcotest.test_case "certify jobs-independent" `Quick
             test_certify_jobs_independent;
+          Alcotest.test_case "exhaustive_edges jobs-independent" `Quick
+            test_exhaustive_edges_jobs_independent;
+          Alcotest.test_case "certify_edges jobs-independent" `Quick
+            test_certify_edges_jobs_independent;
+          Alcotest.test_case "random_edges jobs-independent" `Quick
+            test_random_edges_jobs_independent;
+          Alcotest.test_case "reduction jobs-independent" `Quick
+            test_reduction_jobs_independent;
+          Alcotest.test_case "search_mixed jobs-independent" `Slow
+            test_search_mixed_jobs_independent;
         ] );
     ]

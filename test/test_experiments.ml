@@ -3,7 +3,7 @@ open Ftr_analysis
 let quick_ctx = Experiments.default_context ~seed:42 ~quick:true ()
 
 let test_registry () =
-  Alcotest.(check int) "25 experiments" 25 (List.length Experiments.ids);
+  Alcotest.(check int) "26 experiments" 26 (List.length Experiments.ids);
   List.iter
     (fun id ->
       Alcotest.(check bool) (id ^ " described") true

@@ -90,6 +90,87 @@ let test_kernel_under_edge_faults () =
         (match d with Metrics.Finite _ -> true | Metrics.Infinite -> false))
     (List.concat_map (fun e1 -> List.map (fun e2 -> (e1, e2)) edges) edges)
 
+let test_recovery () =
+  let g = Families.cycle 6 in
+  let r = edge_routing g in
+  let fm = Fault_model.create g in
+  let healthy = Fault_model.diameter r fm in
+  Fault_model.fail_node fm 2;
+  Fault_model.fail_edge fm 4 5;
+  Alcotest.(check int) "mixed fault count" 2 (Fault_model.fault_count fm);
+  Alcotest.(check bool) "edge failed, either order" true
+    (Fault_model.edge_failed fm 5 4);
+  Fault_model.recover_edge fm 5 4;
+  Alcotest.(check bool) "edge recovered" false (Fault_model.edge_failed fm 4 5);
+  Fault_model.recover_node fm 2;
+  Alcotest.(check int) "all recovered" 0 (Fault_model.fault_count fm);
+  Alcotest.check distance "diameter restored" healthy (Fault_model.diameter r fm);
+  (* recovery of a healthy element is a no-op, not an error *)
+  Fault_model.recover_node fm 2;
+  Fault_model.recover_edge fm 4 5;
+  Alcotest.(check int) "still clean" 0 (Fault_model.fault_count fm)
+
+(* The paper's reduction as a graph property: over the projection's
+   surviving nodes, the edge-fault surviving graph is a supergraph of
+   the endpoint-projection surviving graph — randomised over graphs,
+   routings and mixed node/link fault sets. *)
+let prop_edge_surviving_supergraph_of_projection =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 5 12 in
+      let* extra = int_range 0 n in
+      let* seed = int_range 0 1_000_000 in
+      let rng = Random.State.make [| seed |] in
+      let chords =
+        List.init extra (fun _ -> (Random.State.int rng n, Random.State.int rng n))
+      in
+      let cycle = List.init n (fun i -> (i, (i + 1) mod n)) in
+      let g = Graph.of_edges ~n (cycle @ chords) in
+      let all_edges = Graph.edges g in
+      let m = List.length all_edges in
+      let k = Random.State.int rng (min 4 m) in
+      let edges =
+        List.sort_uniq compare
+          (List.init k (fun _ -> List.nth all_edges (Random.State.int rng m)))
+      in
+      let nf = Random.State.int rng (min 3 n) in
+      let nodes =
+        List.sort_uniq compare (List.init nf (fun _ -> Random.State.int rng n))
+      in
+      return (g, nodes, edges))
+  in
+  QCheck.Test.make
+    ~name:"edge-fault surviving graph ⊇ projection's (on its survivors)"
+    ~count:80
+    (QCheck.make
+       ~print:(fun (g, nodes, edges) ->
+         Format.asprintf "n=%d F={%a} E={%a}" (Graph.n g)
+           Fmt.(list ~sep:comma int)
+           nodes
+           Fmt.(list ~sep:comma (pair ~sep:(any "-") int int))
+           edges)
+       gen)
+    (fun (g, nodes, edges) ->
+      let n = Graph.n g in
+      QCheck.assume (List.length (Graph.edges g) < n * (n - 1) / 2);
+      let r = (Kernel.make g ~t:(max 1 (Connectivity.vertex_connectivity g - 1)))
+                .Construction.routing
+      in
+      let fm = Fault_model.create g in
+      List.iter (Fault_model.fail_node fm) nodes;
+      List.iter (fun (u, v) -> Fault_model.fail_edge fm u v) edges;
+      let proj = Fault_model.endpoint_projection fm in
+      let dg_edge = Fault_model.surviving r fm in
+      let dg_proj = Surviving.graph r ~faults:proj in
+      let ok = ref true in
+      for x = 0 to n - 1 do
+        if not (Bitset.mem proj x) then
+          Array.iter
+            (fun y -> if not (Digraph.mem_arc dg_edge x y) then ok := false)
+            (Digraph.succ dg_proj x)
+      done;
+      !ok)
+
 let test_counts () =
   let g = Families.cycle 6 in
   let fm = Fault_model.create g in
@@ -112,5 +193,8 @@ let () =
           Alcotest.test_case "edge weaker than node" `Slow test_edge_faults_weaker_than_node_faults;
           Alcotest.test_case "kernel under edge faults" `Slow test_kernel_under_edge_faults;
           Alcotest.test_case "counts" `Quick test_counts;
-        ] );
+          Alcotest.test_case "recovery round trip" `Quick test_recovery;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_edge_surviving_supergraph_of_projection ] );
     ]

@@ -8,20 +8,52 @@ let edge_net () =
   Routing.add_edge_routes r;
   Network.create r
 
+let crashes es =
+  List.filter_map
+    (fun e -> match e.Faults.action with `Crash v -> Some (e.Faults.at, v) | _ -> None)
+    es
+
+let recoveries es =
+  List.filter_map
+    (fun e -> match e.Faults.action with `Recover v -> Some (e.Faults.at, v) | _ -> None)
+    es
+
+let downs es =
+  List.filter_map
+    (fun e ->
+      match e.Faults.action with `LinkDown (u, v) -> Some (e.Faults.at, (u, v)) | _ -> None)
+    es
+
+let ups es =
+  List.filter_map
+    (fun e ->
+      match e.Faults.action with `LinkUp (u, v) -> Some (e.Faults.at, (u, v)) | _ -> None)
+    es
+
+let sorted_by_time es =
+  let times = List.map (fun e -> e.Faults.at) es in
+  List.sort compare times = times
+
 let test_crash_set_at () =
   let events = Faults.crash_set_at ~at:5.0 [ 1; 2 ] in
   Alcotest.(check int) "two events" 2 (List.length events);
-  List.iter
-    (fun e ->
-      Alcotest.(check (float 0.0)) "time" 5.0 e.Faults.at;
-      Alcotest.(check bool) "crash" true (e.Faults.kind = `Crash))
-    events
+  List.iter (fun e -> Alcotest.(check (float 0.0)) "time" 5.0 e.Faults.at) events;
+  Alcotest.(check (list (pair (float 0.0) int))) "all crashes" [ (5.0, 1); (5.0, 2) ]
+    (crashes events)
+
+let test_link_set_at () =
+  let events = Faults.link_set_at ~at:3.0 [ (0, 1); (4, 5) ] in
+  Alcotest.(check int) "two events" 2 (List.length events);
+  Alcotest.(check (list (pair (float 0.0) (pair int int))))
+    "all downs"
+    [ (3.0, (0, 1)); (3.0, (4, 5)) ]
+    (downs events)
 
 let test_random_crashes_distinct () =
   let rng = Random.State.make [| 4 |] in
   let events = Faults.random_crashes ~rng ~n:10 ~count:5 ~window:(1.0, 2.0) in
   Alcotest.(check int) "five" 5 (List.length events);
-  let nodes = List.map (fun e -> e.Faults.node) events in
+  let nodes = List.map snd (crashes events) in
   Alcotest.(check int) "distinct nodes" 5 (List.length (List.sort_uniq compare nodes));
   List.iter
     (fun e ->
@@ -37,22 +69,38 @@ let test_churn_pairs () =
   let rng = Random.State.make [| 4 |] in
   let events = Faults.churn ~rng ~n:10 ~count:4 ~window:(1.0, 2.0) ~dwell:0.5 in
   Alcotest.(check int) "a crash and a recovery per node" 8 (List.length events);
-  let crashes = List.filter (fun e -> e.Faults.kind = `Crash) events in
-  let recoveries = List.filter (fun e -> e.Faults.kind = `Recover) events in
-  Alcotest.(check int) "four crashes" 4 (List.length crashes);
+  let cs = crashes events and rs = recoveries events in
+  Alcotest.(check int) "four crashes" 4 (List.length cs);
   List.iter
-    (fun c ->
-      let r = List.find (fun r -> r.Faults.node = c.Faults.node) recoveries in
-      Alcotest.(check (float 1e-9)) "recovery after dwell" (c.Faults.at +. 0.5)
-        r.Faults.at;
-      Alcotest.(check bool) "crash in window" true
-        (c.Faults.at >= 1.0 && c.Faults.at <= 2.0))
-    crashes;
-  let times = List.map (fun e -> e.Faults.at) events in
-  Alcotest.(check bool) "sorted by time" true (List.sort compare times = times);
+    (fun (at, v) ->
+      let rat, _ = List.find (fun (_, rv) -> rv = v) rs in
+      Alcotest.(check (float 1e-9)) "recovery after dwell" (at +. 0.5) rat;
+      Alcotest.(check bool) "crash in window" true (at >= 1.0 && at <= 2.0))
+    cs;
+  Alcotest.(check bool) "sorted by time" true (sorted_by_time events);
   Alcotest.check_raises "count > n" (Invalid_argument "Faults.churn: count > n")
-    (fun () ->
-      ignore (Faults.churn ~rng ~n:3 ~count:4 ~window:(0.0, 1.0) ~dwell:1.0))
+    (fun () -> ignore (Faults.churn ~rng ~n:3 ~count:4 ~window:(0.0, 1.0) ~dwell:1.0))
+
+let test_churn_recovery_past_window_end () =
+  (* A dwell longer than the window pushes every recovery past the
+     window's end; the schedule must keep them (sorted), and a full
+     run must still heal completely. *)
+  let rng = Random.State.make [| 11 |] in
+  let events = Faults.churn ~rng ~n:6 ~count:3 ~window:(1.0, 2.0) ~dwell:10.0 in
+  let rs = recoveries events in
+  Alcotest.(check int) "three recoveries" 3 (List.length rs);
+  List.iter
+    (fun (at, _) ->
+      Alcotest.(check bool) "recovery lands past the window end" true (at > 2.0))
+    rs;
+  Alcotest.(check bool) "sorted by time" true (sorted_by_time events);
+  let net = edge_net () in
+  let sim = Sim.create () in
+  Faults.schedule_on sim net events;
+  Sim.run ~until:2.0 sim;
+  Alcotest.(check int) "all three down inside the window" 3 (Network.fault_count net);
+  Sim.run sim;
+  Alcotest.(check int) "healed past the window" 0 (Network.fault_count net)
 
 let test_churn_applies_and_heals () =
   let net = edge_net () in
@@ -63,19 +111,57 @@ let test_churn_applies_and_heals () =
   Sim.run sim;
   Alcotest.(check int) "everyone recovered" 0 (Network.fault_count net)
 
+let test_random_link_flaps () =
+  let g = Families.cycle 6 in
+  let rng = Random.State.make [| 7 |] in
+  let events = Faults.random_link_flaps ~rng ~g ~count:3 ~window:(1.0, 2.0) ~dwell:0.5 in
+  Alcotest.(check int) "a down and an up per link" 6 (List.length events);
+  let ds = downs events and us = ups events in
+  Alcotest.(check int) "three downs" 3 (List.length ds);
+  Alcotest.(check int) "distinct links" 3
+    (List.length (List.sort_uniq compare (List.map snd ds)));
+  List.iter
+    (fun (at, e) ->
+      let uat, _ = List.find (fun (_, ue) -> ue = e) us in
+      Alcotest.(check (float 1e-9)) "up after dwell" (at +. 0.5) uat;
+      Alcotest.(check bool) "down in window" true (at >= 1.0 && at <= 2.0))
+    ds;
+  Alcotest.(check bool) "sorted by time" true (sorted_by_time events);
+  Alcotest.check_raises "count > m"
+    (Invalid_argument "Faults.random_link_flaps: count > edge count") (fun () ->
+      ignore (Faults.random_link_flaps ~rng ~g ~count:7 ~window:(0.0, 1.0) ~dwell:1.0))
+
+let test_mixed_churn_schedule () =
+  let g = Families.cycle 6 in
+  let rng = Random.State.make [| 21 |] in
+  let events = Faults.mixed_churn ~rng ~g ~nodes:2 ~links:2 ~window:(1.0, 2.0) ~dwell:0.5 in
+  Alcotest.(check int) "two events per fault" 8 (List.length events);
+  Alcotest.(check int) "two crashes" 2 (List.length (crashes events));
+  Alcotest.(check int) "two link downs" 2 (List.length (downs events));
+  Alcotest.(check bool) "sorted by time" true (sorted_by_time events);
+  (* Install on a network: both kinds of fault must show up and then
+     heal completely. *)
+  let net = edge_net () in
+  let sim = Sim.create () in
+  Faults.schedule_on sim net events;
+  Sim.run ~until:2.0 sim;
+  Alcotest.(check bool) "some fault applied inside the window" true
+    (Network.fault_count net + Network.link_fault_count net > 0);
+  Sim.run sim;
+  Alcotest.(check int) "nodes healed" 0 (Network.fault_count net);
+  Alcotest.(check int) "links healed" 0 (Network.link_fault_count net)
+
 let test_witness_waves () =
   let events =
     Faults.witness_waves ~start:10.0 ~dwell:5.0 ~gap:2.0 [ [ 1; 2 ]; [ 4 ] ]
   in
   Alcotest.(check int) "two events per fault" 6 (List.length events);
-  let at kind node =
-    (List.find (fun e -> e.Faults.kind = kind && e.Faults.node = node) events)
-      .Faults.at
-  in
-  Alcotest.(check (float 1e-9)) "wave 1 crashes at start" 10.0 (at `Crash 1);
-  Alcotest.(check (float 1e-9)) "wave 1 recovers after dwell" 15.0 (at `Recover 2);
-  Alcotest.(check (float 1e-9)) "wave 2 starts after the gap" 17.0 (at `Crash 4);
-  Alcotest.(check (float 1e-9)) "wave 2 recovers" 22.0 (at `Recover 4);
+  let crash_at v = fst (List.find (fun (_, cv) -> cv = v) (crashes events)) in
+  let recover_at v = fst (List.find (fun (_, rv) -> rv = v) (recoveries events)) in
+  Alcotest.(check (float 1e-9)) "wave 1 crashes at start" 10.0 (crash_at 1);
+  Alcotest.(check (float 1e-9)) "wave 1 recovers after dwell" 15.0 (recover_at 2);
+  Alcotest.(check (float 1e-9)) "wave 2 starts after the gap" 17.0 (crash_at 4);
+  Alcotest.(check (float 1e-9)) "wave 2 recovers" 22.0 (recover_at 4);
   (* Driving the simulator with a wave schedule ends fully healed. *)
   let net = edge_net () in
   let sim = Sim.create () in
@@ -85,14 +171,32 @@ let test_witness_waves () =
   Sim.run sim;
   Alcotest.(check int) "all recovered" 0 (Network.fault_count net)
 
+let test_link_waves () =
+  let events = Faults.link_waves ~start:10.0 ~dwell:5.0 ~gap:2.0 [ [ (1, 0); (2, 3) ]; [ (4, 5) ] ] in
+  Alcotest.(check int) "two events per link" 6 (List.length events);
+  let down_at e = fst (List.find (fun (_, de) -> de = e) (downs events)) in
+  let up_at e = fst (List.find (fun (_, ue) -> ue = e) (ups events)) in
+  Alcotest.(check (float 1e-9)) "wave 1 down at start (normalised)" 10.0 (down_at (0, 1));
+  Alcotest.(check (float 1e-9)) "wave 1 up after dwell" 15.0 (up_at (2, 3));
+  Alcotest.(check (float 1e-9)) "wave 2 down after the gap" 17.0 (down_at (4, 5));
+  let net = edge_net () in
+  let sim = Sim.create () in
+  Faults.schedule_on sim net events;
+  Sim.run ~until:12.0 sim;
+  Alcotest.(check int) "wave 1 links down" 2 (Network.link_fault_count net);
+  Alcotest.(check int) "no node faults" 0 (Network.fault_count net);
+  Sim.run sim;
+  Alcotest.(check int) "all links back" 0 (Network.link_fault_count net)
+
 let test_schedule_applies () =
   let net = edge_net () in
   let sim = Sim.create () in
   Faults.schedule_on sim net
     [
-      { Faults.at = 1.0; node = 2; kind = `Crash };
-      { Faults.at = 2.0; node = 2; kind = `Recover };
-      { Faults.at = 3.0; node = 4; kind = `Crash };
+      { Faults.at = 1.0; action = `Crash 2 };
+      { Faults.at = 2.0; action = `Recover 2 };
+      { Faults.at = 3.0; action = `Crash 4 };
+      { Faults.at = 3.0; action = `LinkDown (0, 1) };
     ];
   Sim.run ~until:1.5 sim;
   Alcotest.(check bool) "crashed at 1" true (Network.is_faulty net 2);
@@ -100,7 +204,8 @@ let test_schedule_applies () =
   Alcotest.(check bool) "recovered at 2" false (Network.is_faulty net 2);
   Sim.run sim;
   Alcotest.(check bool) "4 down at end" true (Network.is_faulty net 4);
-  Alcotest.(check int) "one fault" 1 (Network.fault_count net)
+  Alcotest.(check int) "one node fault" 1 (Network.fault_count net);
+  Alcotest.(check bool) "link down at end" true (Network.is_link_faulty net 1 0)
 
 let () =
   Alcotest.run "faults"
@@ -108,12 +213,18 @@ let () =
       ( "faults",
         [
           Alcotest.test_case "crash_set_at" `Quick test_crash_set_at;
+          Alcotest.test_case "link_set_at" `Quick test_link_set_at;
           Alcotest.test_case "random distinct" `Quick test_random_crashes_distinct;
           Alcotest.test_case "bounds" `Quick test_random_crashes_bounds;
           Alcotest.test_case "churn pairs crash/recover" `Quick test_churn_pairs;
+          Alcotest.test_case "churn recovery past window end" `Quick
+            test_churn_recovery_past_window_end;
           Alcotest.test_case "churn applies and heals" `Quick
             test_churn_applies_and_heals;
+          Alcotest.test_case "random link flaps" `Quick test_random_link_flaps;
+          Alcotest.test_case "mixed node/link schedule" `Quick test_mixed_churn_schedule;
           Alcotest.test_case "witness waves" `Quick test_witness_waves;
+          Alcotest.test_case "link waves" `Quick test_link_waves;
           Alcotest.test_case "schedule applies" `Quick test_schedule_applies;
         ] );
     ]

@@ -70,6 +70,45 @@ let test_route_survives () =
   Alcotest.(check bool) "dead via interior" false (Network.route_survives net ~src:0 ~dst:2);
   Alcotest.(check bool) "undefined pair" false (Network.route_survives net ~src:0 ~dst:3)
 
+let test_link_fail_restore () =
+  let net = edge_net () in
+  Alcotest.(check bool) "initially up" false (Network.is_link_faulty net 0 1);
+  Network.fail_link net 1 0;
+  Alcotest.(check bool) "down, as failed" true (Network.is_link_faulty net 1 0);
+  Alcotest.(check bool) "down, other order" true (Network.is_link_faulty net 0 1);
+  Alcotest.(check int) "link count" 1 (Network.link_fault_count net);
+  Alcotest.(check (list (pair int int))) "normalised listing" [ (0, 1) ]
+    (Network.link_faults net);
+  Alcotest.(check int) "nodes unaffected" 0
+    (Bitset.cardinal (Network.faults net));
+  Network.restore_link net 0 1;
+  Alcotest.(check bool) "restored" false (Network.is_link_faulty net 1 0);
+  Alcotest.(check int) "link count 0" 0 (Network.link_fault_count net)
+
+let test_link_fault_cache_invalidation () =
+  let net = edge_net () in
+  Alcotest.(check int) "healthy arcs" 12 (Digraph.arc_count (Network.surviving net));
+  Network.fail_link net 2 3;
+  (* only the two arcs over the downed link die; endpoints stay *)
+  Alcotest.(check int) "two arcs dead" 10 (Digraph.arc_count (Network.surviving net));
+  Alcotest.(check distance) "cycle minus one edge" (Metrics.Finite 5)
+    (Network.surviving_diameter net);
+  Network.restore_link net 3 2;
+  Alcotest.(check int) "arcs back" 12 (Digraph.arc_count (Network.surviving net));
+  Alcotest.(check distance) "diameter back" (Metrics.Finite 3)
+    (Network.surviving_diameter net)
+
+let test_route_plan_under_link_faults () =
+  let net = edge_net () in
+  Network.fail_link net 0 1;
+  (match Network.route_plan net ~src:0 ~dst:1 with
+  | Some plan ->
+      Alcotest.(check (list int)) "both endpoints alive, long way round"
+        [ 0; 5; 4; 3; 2; 1 ] plan
+  | None -> Alcotest.fail "expected plan");
+  Alcotest.(check bool) "direct route is dead" false
+    (Network.route_survives net ~src:0 ~dst:1)
+
 let () =
   Alcotest.run "network"
     [
@@ -82,5 +121,10 @@ let () =
           Alcotest.test_case "plan: multihop" `Quick test_route_plan_multihop;
           Alcotest.test_case "plan avoids faults" `Quick test_route_plan_avoids_faults;
           Alcotest.test_case "route_survives" `Quick test_route_survives;
+          Alcotest.test_case "link fail/restore" `Quick test_link_fail_restore;
+          Alcotest.test_case "link fault cache invalidation" `Quick
+            test_link_fault_cache_invalidation;
+          Alcotest.test_case "plan under link faults" `Quick
+            test_route_plan_under_link_faults;
         ] );
     ]

@@ -83,6 +83,112 @@ let test_mid_flight_crash () =
   Alcotest.(check bool) "delivered anyway" true (msg.Message.status = Message.Delivered);
   Alcotest.(check bool) "made a detour" true (msg.Message.retries >= 1)
 
+(* ---------------- churn hardening ---------------- *)
+
+(* Fixed route 0->2 via a crashed node 1: the sender pays one nack and
+   re-plans. With a zero re-plan budget that nack is a dead letter. *)
+let stale_route_net () =
+  let g = Families.cycle 6 in
+  let r = Routing.create g Routing.Bidirectional in
+  Routing.add r (Path.of_list [ 0; 1; 2 ]);
+  Routing.add_edge_routes r;
+  let net = Network.create r in
+  Network.crash net 1;
+  net
+
+let test_replan_budget_dead_letter () =
+  let net = stale_route_net () in
+  let sim = Sim.create () in
+  let msg =
+    Protocol.send sim net { config with Protocol.max_replans = 0 } ~id:0 ~src:0
+      ~dst:2 ()
+  in
+  Sim.run sim;
+  Alcotest.(check bool) "dead letter" true
+    (msg.Message.status = Message.DeadLetter);
+  Alcotest.(check int) "no re-plan was granted" 0 msg.Message.retries;
+  (* one more re-plan in the budget is enough to deliver *)
+  let sim = Sim.create () in
+  let msg =
+    Protocol.send sim net { config with Protocol.max_replans = 1 } ~id:1 ~src:0
+      ~dst:2 ()
+  in
+  Sim.run sim;
+  Alcotest.(check bool) "budget of one delivers" true
+    (msg.Message.status = Message.Delivered)
+
+let test_deadline_dead_letter () =
+  let net = stale_route_net () in
+  let sim = Sim.create () in
+  let msg =
+    Protocol.send sim net { config with Protocol.deadline = Some 0.0 } ~id:0
+      ~src:0 ~dst:2 ()
+  in
+  Sim.run sim;
+  Alcotest.(check bool) "expired at the first nack" true
+    (msg.Message.status = Message.DeadLetter)
+
+(* Two nacks with churn: crash 1 up front (nack at send), then crash 5
+   mid-flight while recovering 1 (nack at the boundary), so the second
+   re-plan succeeds through 1. The second nack delay is where the
+   exponential backoff shows. *)
+let double_nack_latency ~backoff ~deadline =
+  let net = stale_route_net () in
+  let sim = Sim.create () in
+  Sim.schedule sim ~delay:10.0 (fun () ->
+      Network.crash net 5;
+      Network.recover net 1);
+  let msg =
+    Protocol.send sim net
+      { config with Protocol.backoff; deadline }
+      ~id:0 ~src:0 ~dst:2 ()
+  in
+  Sim.run sim;
+  msg
+
+let test_exponential_backoff () =
+  let legacy = double_nack_latency ~backoff:1.0 ~deadline:None in
+  let backed = double_nack_latency ~backoff:2.0 ~deadline:None in
+  Alcotest.(check bool) "both delivered" true
+    (legacy.Message.status = Message.Delivered
+    && backed.Message.status = Message.Delivered);
+  Alcotest.(check int) "two re-plans (legacy)" 2 legacy.Message.retries;
+  Alcotest.(check int) "two re-plans (backed off)" 2 backed.Message.retries;
+  let lat m = Option.get (Message.latency m) in
+  (* the only difference is the second nack: nack * (2^1 - 1^1) *)
+  Alcotest.(check (float 1e-9))
+    "backoff adds exactly one extra nack_latency" 5.0
+    (lat backed -. lat legacy)
+
+let test_deadline_cuts_thrashing () =
+  (* Same churn, but a deadline between the first and second nack: the
+     second nack finds the message expired. *)
+  let msg = double_nack_latency ~backoff:1.0 ~deadline:(Some 10.0) in
+  Alcotest.(check bool) "dead letter under churn" true
+    (msg.Message.status = Message.DeadLetter);
+  Alcotest.(check int) "only the first re-plan ran" 1 msg.Message.retries
+
+let test_hardened_matches_legacy_under_static_faults () =
+  (* One nack, re-plan, delivered: the hardened limits never bind, so
+     timings and counters agree with the legacy config. *)
+  let run config =
+    let net = stale_route_net () in
+    let sim = Sim.create () in
+    let msg = Protocol.send sim net config ~id:0 ~src:0 ~dst:2 () in
+    Sim.run sim;
+    msg
+  in
+  let legacy = run Protocol.default_config in
+  let hard = run Protocol.hardened_config in
+  Alcotest.(check bool) "both delivered" true
+    (legacy.Message.status = Message.Delivered
+    && hard.Message.status = Message.Delivered);
+  Alcotest.(check int) "same retries" legacy.Message.retries hard.Message.retries;
+  Alcotest.(check (float 1e-9))
+    "same latency"
+    (Option.get (Message.latency legacy))
+    (Option.get (Message.latency hard))
+
 let test_deliver_all_order () =
   let net = edge_net () in
   let sim = Sim.create () in
@@ -168,6 +274,14 @@ let () =
           Alcotest.test_case "reroute around fault" `Quick test_reroute_around_fault;
           Alcotest.test_case "mid-flight crash" `Quick test_mid_flight_crash;
           Alcotest.test_case "deliver_all" `Quick test_deliver_all_order;
+          Alcotest.test_case "re-plan budget dead letter" `Quick
+            test_replan_budget_dead_letter;
+          Alcotest.test_case "deadline dead letter" `Quick test_deadline_dead_letter;
+          Alcotest.test_case "exponential backoff" `Quick test_exponential_backoff;
+          Alcotest.test_case "deadline cuts thrashing" `Quick
+            test_deadline_cuts_thrashing;
+          Alcotest.test_case "hardened = legacy under static faults" `Quick
+            test_hardened_matches_legacy_under_static_faults;
           Alcotest.test_case "broadcast full" `Quick test_broadcast_full;
           Alcotest.test_case "broadcast counter bound" `Quick test_broadcast_counter_bound;
           Alcotest.test_case "broadcast under faults" `Quick test_broadcast_with_faults_bounded_by_diameter;

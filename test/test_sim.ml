@@ -44,6 +44,23 @@ let test_at_absolute () =
   Sim.run sim;
   Alcotest.(check (float 0.0)) "absolute" 5.0 !seen
 
+let test_fifo_at_identical_timestamps () =
+  (* Events scheduled for the same instant must fire in schedule
+     order, including events scheduled from within a tied event. *)
+  let sim = Sim.create () in
+  let log = ref [] in
+  let mark tag () = log := tag :: !log in
+  for i = 1 to 50 do
+    Sim.schedule sim ~delay:1.0 (mark i)
+  done;
+  Sim.schedule sim ~delay:0.5 (fun () ->
+      (* same timestamp as the batch above, scheduled later *)
+      Sim.schedule sim ~delay:0.5 (mark 51));
+  Sim.run sim;
+  Alcotest.(check (list int)) "schedule order preserved at equal times"
+    (List.init 51 (fun i -> i + 1))
+    (List.rev !log)
+
 let test_negative_delay_rejected () =
   let sim = Sim.create () in
   Alcotest.check_raises "negative" (Invalid_argument "Sim.schedule: negative delay")
@@ -67,6 +84,8 @@ let () =
           Alcotest.test_case "until" `Quick test_until;
           Alcotest.test_case "step" `Quick test_step;
           Alcotest.test_case "absolute time" `Quick test_at_absolute;
+          Alcotest.test_case "FIFO at identical timestamps" `Quick
+            test_fifo_at_identical_timestamps;
           Alcotest.test_case "negative delay" `Quick test_negative_delay_rejected;
           Alcotest.test_case "past time" `Quick test_past_time_rejected;
         ] );

@@ -48,6 +48,39 @@ let test_histogram_degenerate () =
   Alcotest.(check int) "equal values in one bucket" 2
     (List.fold_left (fun acc (_, _, c) -> acc + c) 0 h)
 
+let test_delivery_report () =
+  let msg id status ~sent ~at ~retries =
+    let m = Message.make ~id ~src:0 ~dst:1 ~sent_at:sent in
+    m.Message.status <- status;
+    m.Message.delivered_at <- at;
+    m.Message.retries <- retries;
+    m
+  in
+  let batch =
+    [
+      msg 0 Message.Delivered ~sent:0.0 ~at:10.0 ~retries:0;
+      msg 1 Message.Delivered ~sent:0.0 ~at:30.0 ~retries:2;
+      msg 2 Message.Undeliverable ~sent:0.0 ~at:0.0 ~retries:1;
+      msg 3 Message.DeadLetter ~sent:0.0 ~at:0.0 ~retries:8;
+      msg 4 Message.Pending ~sent:0.0 ~at:0.0 ~retries:0;
+    ]
+  in
+  let d = Stats.delivery_report batch in
+  Alcotest.(check int) "sent" 5 d.Stats.sent;
+  Alcotest.(check int) "delivered" 2 d.Stats.delivered;
+  Alcotest.(check int) "undeliverable" 1 d.Stats.undeliverable;
+  Alcotest.(check int) "dead letters" 1 d.Stats.dead_letters;
+  Alcotest.(check int) "pending" 1 d.Stats.pending;
+  Alcotest.(check int) "replans" 11 d.Stats.replans;
+  Alcotest.(check (float 1e-9)) "rate" 0.4 (Stats.delivery_rate d);
+  (match d.Stats.latency with
+  | None -> Alcotest.fail "expected latency summary"
+  | Some s ->
+      Alcotest.(check int) "latency over delivered only" 2 s.Stats.count;
+      Alcotest.(check (float 1e-9)) "mean latency" 20.0 s.Stats.mean);
+  let empty = Stats.delivery_report [] in
+  Alcotest.(check (float 0.0)) "empty batch rate" 1.0 (Stats.delivery_rate empty)
+
 let () =
   Alcotest.run "stats"
     [
@@ -60,5 +93,6 @@ let () =
           Alcotest.test_case "of_ints" `Quick test_of_ints;
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "histogram degenerate" `Quick test_histogram_degenerate;
+          Alcotest.test_case "delivery report" `Quick test_delivery_report;
         ] );
     ]
