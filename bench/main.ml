@@ -242,6 +242,24 @@ let find_ns rows name =
       if lf >= ln && String.sub full (lf - ln) ln = name then Some ns else None)
     rows
 
+(* Deterministic engine counters over a fixed workload (one exhaustive
+   f=1 check plus one budget-300 attack, both at jobs=1), so the bench
+   JSON tracks work-done alongside time-taken: a perf change that
+   comes from doing different work, not doing the same work faster,
+   shows up here. *)
+let obs_counters () =
+  let module Obs = Ftr_obs.Obs in
+  Obs.reset ();
+  Obs.set_enabled true;
+  ignore (Tolerance.exhaustive ~jobs:1 kernel_t55.Construction.routing ~f:1);
+  ignore
+    (Attack.search ~config:attack_cfg8 ~jobs:1 ~rng:(rng ())
+       ~pools:kernel_t55.Construction.pools kernel_t55.Construction.routing ~f:3);
+  Obs.set_enabled false;
+  let counters = Obs.counters () in
+  Obs.reset ();
+  counters
+
 let json_of_rows rows ~quick =
   let buf = Buffer.create 4096 in
   let strip full =
@@ -313,6 +331,18 @@ let json_of_rows rows ~quick =
         (Printf.sprintf "    %S: %.2f%s\n" name v
            (if i = List.length entries - 1 then "" else ",")))
     entries;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"obs_counters\": {\n";
+  Buffer.add_string buf
+    "    \"note\": \"engine counters over a fixed workload (exhaustive f=1 + \
+     attack b300, jobs=1); schedule-independent by construction\",\n";
+  let counters = obs_counters () in
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %S: %d%s\n" name v
+           (if i = List.length counters - 1 then "" else ",")))
+    counters;
   Buffer.add_string buf "  },\n";
   Buffer.add_string buf "  \"seed_baseline\": {\n";
   Buffer.add_string buf "    \"commit\": \"3b75048\",\n";

@@ -26,6 +26,48 @@ let seed_arg = Arg.(value & opt int 0xBEEF & info [ "seed" ] ~docv:"N" ~doc:"PRN
 
 let dist_cell = Format.asprintf "%a" Metrics.pp_distance
 
+(* ---------------- observability ---------------- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write engine/attack/sim metrics (counters, gauges, span timings) as \
+           JSON to $(docv) on exit. Counter values are a function of the \
+           requested work alone: identical for every $(b,--jobs) value.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Print a timing line to stderr as each instrumented span completes.")
+
+(* Instrumentation is off unless asked for; the metrics file is
+   written even when the run fails, so a crashing invocation still
+   leaves its partial counters behind for diagnosis. *)
+let with_obs metrics trace f =
+  let module Obs = Ftr_obs.Obs in
+  if metrics <> None || trace then begin
+    Obs.set_enabled true;
+    Obs.set_trace trace
+  end;
+  let finish () =
+    match metrics with
+    | None -> ()
+    | Some path -> (
+        try Obs.write_file path
+        with Sys_error e -> Printf.eprintf "cannot write metrics: %s\n" e)
+  in
+  match f () with
+  | code ->
+      finish ();
+      code
+  | exception e ->
+      finish ();
+      raise e
+
 (* ---------------- info ---------------- *)
 
 let info_cmd =
@@ -150,7 +192,8 @@ let jobs_arg =
            the wall-clock changes.")
 
 let tolerate_cmd =
-  let run g strategy seed faults jobs =
+  let run g strategy seed faults jobs metrics trace =
+    with_obs metrics trace @@ fun () ->
     match build_construction g strategy seed with
     | exception Invalid_argument msg ->
         Printf.eprintf "cannot build: %s\n" msg;
@@ -176,7 +219,9 @@ let tolerate_cmd =
   in
   Cmd.v
     (Cmd.info "tolerate" ~doc:"fault-injection check of a construction's claims")
-    Term.(const run $ graph_arg $ strategy_arg $ seed_arg $ faults_arg $ jobs_arg)
+    Term.(
+      const run $ graph_arg $ strategy_arg $ seed_arg $ faults_arg $ jobs_arg
+      $ metrics_arg $ trace_arg)
 
 (* ---------------- props ---------------- *)
 
@@ -278,7 +323,8 @@ let check_cmd =
              diameter: each BFS stops as soon as $(docv) is provably exceeded, \
              and enumeration stops early inside a violating block.")
   in
-  let run g file faults bound jobs =
+  let run g file faults bound jobs metrics trace =
+    with_obs metrics trace @@ fun () ->
     match In_channel.with_open_text file In_channel.input_all with
     | exception Sys_error e ->
         Printf.eprintf "cannot read %s\n" e;
@@ -289,41 +335,55 @@ let check_cmd =
         Printf.eprintf "cannot load %s: %s\n" file e;
         1
     | Ok routing -> (
+    match Routing.validate routing with
+    | Error e ->
+        Printf.eprintf "invalid route table %s: %s\n" file e;
+        1
+    | Ok () -> (
         Printf.printf "loaded %d routes (max length %d, stretch %.2f)\n"
           (Routing.route_count routing)
           (Routing.max_route_length routing)
           (Routing.stretch routing);
         let f = Option.value faults ~default:1 in
-        match bound with
-        | Some b ->
-            let cert = Tolerance.certify ?jobs routing ~f ~bound:b in
-            Printf.printf "certificate over %d fault sets (<=%d faults): "
-              cert.Tolerance.cert_sets_checked f;
-            if cert.Tolerance.holds then begin
-              Printf.printf "(%d, %d)-tolerant\n" b f;
-              0
-            end
-            else begin
-              (match cert.Tolerance.counterexample with
-              | Some w ->
-                  Printf.printf "VIOLATED by {%s}\n"
-                    (String.concat "," (List.map string_of_int w))
-              | None -> Printf.printf "VIOLATED\n");
-              1
-            end
-        | None -> (
-            match Tolerance.exhaustive ?jobs routing ~f with
-            | v ->
-                Printf.printf
-                  "worst surviving diameter over %d fault sets (<=%d faults): %s\n"
-                  v.Tolerance.sets_checked f
-                  (dist_cell v.Tolerance.worst);
-                0)))
+        (* [Surviving.compile] rejects a table whose routes step off
+           the graph's edge set; report it as a diagnostic, not a
+           backtrace. *)
+        try
+          match bound with
+          | Some b ->
+              let cert = Tolerance.certify ?jobs routing ~f ~bound:b in
+              Printf.printf "certificate over %d fault sets (<=%d faults): "
+                cert.Tolerance.cert_sets_checked f;
+              if cert.Tolerance.holds then begin
+                Printf.printf "(%d, %d)-tolerant\n" b f;
+                0
+              end
+              else begin
+                (match cert.Tolerance.counterexample with
+                | Some w ->
+                    Printf.printf "VIOLATED by {%s}\n"
+                      (String.concat "," (List.map string_of_int w))
+                | None -> Printf.printf "VIOLATED\n");
+                1
+              end
+          | None -> (
+              match Tolerance.exhaustive ?jobs routing ~f with
+              | v ->
+                  Printf.printf
+                    "worst surviving diameter over %d fault sets (<=%d faults): %s\n"
+                    v.Tolerance.sets_checked f
+                    (dist_cell v.Tolerance.worst);
+                  0)
+        with Invalid_argument msg ->
+          Printf.eprintf "cannot check %s: %s\n" file msg;
+          1)))
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"load a saved route table and fault-check it against its graph")
-    Term.(const run $ graph_arg $ file_arg $ faults_arg $ bound_arg $ jobs_arg)
+    Term.(
+      const run $ graph_arg $ file_arg $ faults_arg $ bound_arg $ jobs_arg
+      $ metrics_arg $ trace_arg)
 
 (* ---------------- attack ---------------- *)
 
@@ -502,7 +562,8 @@ let attack_cmd =
              from one budget).")
   in
   let run spec strategy seed faults budget restarts corpus_dir replay churn universe
-      jobs =
+      jobs metrics trace =
+    with_obs metrics trace @@ fun () ->
     match replay with
     | Some dir -> replay_corpus dir
     | None -> (
@@ -672,7 +733,7 @@ let attack_cmd =
     Term.(
       const run $ spec_arg $ strategy_arg $ seed_arg $ faults_arg $ budget_arg
       $ restarts_arg $ corpus_arg $ replay_arg $ churn_arg $ universe_arg
-      $ jobs_arg)
+      $ jobs_arg $ metrics_arg $ trace_arg)
 
 (* ---------------- soak ---------------- *)
 
@@ -711,7 +772,8 @@ let soak_cmd =
     in
     List.sort_uniq compare (e.edges @ List.filter_map of_node e.faults)
   in
-  let run corpus_dir seed messages dwell gap =
+  let run corpus_dir seed messages dwell gap metrics trace =
+    with_obs metrics trace @@ fun () ->
     let files = Attack.Corpus.load_dir corpus_dir in
     if files = [] then begin
       Printf.printf "no corpus files under %s\n" corpus_dir;
@@ -811,7 +873,9 @@ let soak_cmd =
          "replay attack witnesses as link-flap waves against the \
           churn-hardened protocol and report delivery, latency, re-plans and \
           dead letters")
-    Term.(const run $ corpus_arg $ seed_arg $ messages_arg $ dwell_arg $ gap_arg)
+    Term.(
+      const run $ corpus_arg $ seed_arg $ messages_arg $ dwell_arg $ gap_arg
+      $ metrics_arg $ trace_arg)
 
 (* ---------------- dot ---------------- *)
 

@@ -1,7 +1,10 @@
 let console results =
   String.concat "\n" (List.map (fun (_, t) -> Table.render t) results)
 
-let last_cell row = List.nth_opt row (List.length row - 1)
+(* [List.nth_opt row (-1)] raises [Invalid_argument] rather than
+   returning [None], so the empty row needs its own case. *)
+let last_cell row =
+  match row with [] -> None | _ -> List.nth_opt row (List.length row - 1)
 
 let violations results =
   List.filter_map

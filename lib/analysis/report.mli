@@ -10,3 +10,7 @@ val markdown : header:string -> (string * Table.t) list -> string
 val violations : (string * Table.t) list -> (string * string list) list
 (** Rows whose last cell reads "VIOLATION", grouped by experiment id
     (an empty result means every checked claim held). *)
+
+val last_cell : string list -> string option
+(** The last cell of a row; [None] on the empty row (it must not
+    raise: roll-ups scan arbitrary tables). Exposed for testing. *)

@@ -1,4 +1,16 @@
 open Ftr_graph
+module Obs = Ftr_obs.Obs
+
+(* Every counter here is a function of the requested search (config,
+   seeds, pools), never of the schedule: restarts own private RNGs and
+   budget slices, so their per-restart tallies — and these sums — are
+   identical for every [jobs] value. *)
+let c_searches = Obs.counter "attack.searches"
+let c_evals = Obs.counter "attack.evals"
+let c_restarts = Obs.counter "attack.restarts"
+let c_sa_escapes = Obs.counter "attack.sa_escapes"
+let c_shrink_evals = Obs.counter "attack.shrink.evals"
+let c_shrink_dropped = Obs.counter "attack.shrink.dropped"
 
 type config = {
   budget : int;
@@ -146,6 +158,7 @@ type restart_result = {
   r_d : Metrics.distance;
   r_w : int list; (* raw witness achieving r_d; [] when nothing beat Finite(-1) *)
   r_evals : int;
+  r_sa : int; (* annealing escapes taken *)
 }
 
 let run_restart ev ~ops ~config ~n ~f ~seed ~budget ~pool =
@@ -253,9 +266,11 @@ let run_restart ev ~ops ~config ~n ~f ~seed ~budget ~pool =
   in
   init_set pool;
   let live = ref true in
+  let sa_taken = ref 0 in
   while budget_left () && !live do
     if not (greedy_step ()) then begin
       let before = sc !best_d in
+      incr sa_taken;
       sa_escape ();
       (* The escape found no new ground: burn the remaining private
          budget on a fresh random start instead of giving up. *)
@@ -264,9 +279,11 @@ let run_restart ev ~ops ~config ~n ~f ~seed ~budget ~pool =
       end
     end
   done;
-  { r_d = !best_d; r_w = !best_w; r_evals = !evals }
+  { r_d = !best_d; r_w = !best_w; r_evals = !evals; r_sa = !sa_taken }
 
 let search_core ~config ~jobs ~rng ~pools ~ops ~n compiled ~f =
+  Obs.with_span "attack.search" @@ fun () ->
+  Obs.incr c_searches;
   let f = max 0 (min f ops.total) in
   (* Fault-free baseline: the result is never below the fault-free
      diameter. *)
@@ -307,6 +324,7 @@ let search_core ~config ~jobs ~rng ~pools ~ops ~n compiled ~f =
     Array.iter
       (fun r ->
         evals := !evals + r.r_evals;
+        Obs.add c_sa_escapes r.r_sa;
         if sc r.r_d > sc !best_d then begin
           best_d := r.r_d;
           best_w := r.r_w
@@ -318,6 +336,10 @@ let search_core ~config ~jobs ~rng ~pools ~ops ~n compiled ~f =
     if raw = [] then ([], !best_d, 0) else shrink_ids compiled ~ops ~witness:raw
   in
   evals := !evals + shrink_evals;
+  Obs.add c_evals !evals;
+  Obs.add c_restarts !restarts_used;
+  Obs.add c_shrink_evals shrink_evals;
+  Obs.add c_shrink_dropped (max 0 (List.length raw - List.length witness));
   (worst, witness, raw, !evals, !restarts_used)
 
 let search ?(config = default_config) ?(jobs = Par.recommended_jobs ()) ~rng

@@ -12,6 +12,22 @@
    slot per task index, so callers see results in task order no matter
    how tasks were interleaved across domains. *)
 
+module Obs = Ftr_obs.Obs
+
+(* [par.sections]/[par.tasks] count requested work (one per [run] call
+   and its ntasks), so they are identical for every [jobs] value. How
+   the work was scheduled — pool size, which sections actually went
+   parallel, per-domain pull balance — is schedule-dependent by
+   nature, so it is reported as gauges, which the determinism
+   comparison excludes. *)
+let c_sections = Obs.counter "par.sections"
+let c_tasks = Obs.counter "par.tasks"
+let g_pool_size = Obs.gauge "par.pool_size"
+let g_parallel_sections = Obs.gauge "par.parallel_sections"
+let g_last_active = Obs.gauge "par.last_active_domains"
+let g_last_max_pulls = Obs.gauge "par.last_max_tasks_per_domain"
+let g_last_min_pulls = Obs.gauge "par.last_min_tasks_per_domain"
+
 type job = {
   body : unit -> unit; (* run by each participating domain: pulls tasks until empty *)
   participants : int; (* pool workers allowed to join (the caller joins too) *)
@@ -82,6 +98,10 @@ let recommended_jobs () = Domain.recommended_domain_count ()
 
 let run ~jobs ~ntasks ~init ~task =
   if ntasks < 0 then invalid_arg "Par.run: negative ntasks";
+  if ntasks > 0 then begin
+    Obs.incr c_sections;
+    Obs.add c_tasks ntasks
+  end;
   let results = Array.make ntasks None in
   if jobs <= 1 || ntasks <= 1 || Domain.DLS.get busy then begin
     if ntasks > 0 then begin
@@ -96,13 +116,20 @@ let run ~jobs ~ntasks ~init ~task =
     let error = Atomic.make None in
     let next = Atomic.make 0 in
     let completed = Atomic.make 0 in
+    let track = Obs.enabled () in
+    let joined = Atomic.make 0 in
+    let pulls = if track then Array.init jobs (fun _ -> Atomic.make 0) else [||] in
     let body () =
+      let slot =
+        if track then Atomic.fetch_and_add joined 1 else -1
+      in
       (* One [init] state per participating domain, built on its first
          pulled task so idle workers pay nothing. *)
       let state = ref None in
       let rec pull () =
         let i = Atomic.fetch_and_add next 1 in
         if i < ntasks then begin
+          if slot >= 0 && slot < Array.length pulls then Atomic.incr pulls.(slot);
           (match Atomic.get error with
           | Some _ -> () (* fail fast; the caller re-raises *)
           | None -> (
@@ -141,6 +168,23 @@ let run ~jobs ~ntasks ~init ~task =
     done;
     current := None;
     Mutex.unlock mutex;
+    if track then begin
+      let active = ref 0 and mx = ref 0 and mn = ref max_int in
+      Array.iter
+        (fun p ->
+          let v = Atomic.get p in
+          if v > 0 then begin
+            incr active;
+            if v > !mx then mx := v;
+            if v < !mn then mn := v
+          end)
+        pulls;
+      Obs.add_gauge g_parallel_sections 1.0;
+      Obs.set_gauge g_pool_size (float_of_int !pool_size);
+      Obs.set_gauge g_last_active (float_of_int !active);
+      Obs.set_gauge g_last_max_pulls (float_of_int !mx);
+      Obs.set_gauge g_last_min_pulls (float_of_int (if !active = 0 then 0 else !mn))
+    end;
     match Atomic.get error with Some e -> raise e | None -> ()
   end;
   Array.map

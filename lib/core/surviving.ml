@@ -1,4 +1,21 @@
 open Ftr_graph
+module Obs = Ftr_obs.Obs
+
+(* Counters obey the Obs determinism rule: each one counts work that
+   is a function of the requested fault sets only, never of how Par
+   scheduled them (in particular, [revert]s and evaluator creations
+   are NOT counted — both depend on per-domain leftover state). *)
+let c_compile_calls = Obs.counter "engine.compile.calls"
+let c_compile_routes = Obs.counter "engine.compile.routes"
+let c_compile_edges = Obs.counter "engine.compile.edges"
+let c_apply_node = Obs.counter "engine.apply_node.calls"
+let c_apply_node_routes = Obs.counter "engine.apply_node.routes_touched"
+let c_apply_edge = Obs.counter "engine.apply_edge.calls"
+let c_apply_edge_routes = Obs.counter "engine.apply_edge.routes_touched"
+let c_diameter_evals = Obs.counter "engine.diameter.evals"
+let c_bfs_word_ops = Obs.counter "engine.bfs.word_ops"
+let c_exceeds_calls = Obs.counter "engine.exceeds.calls"
+let c_exceeds_early = Obs.counter "engine.exceeds.early_exits"
 
 let graph routing ~faults =
   let g = Routing.graph routing in
@@ -80,6 +97,7 @@ type compiled = {
 }
 
 let compile routing =
+  Obs.with_span "surviving.compile" @@ fun () ->
   let g = Routing.graph routing in
   let n = Graph.n g in
   let acc = ref [] in
@@ -120,11 +138,27 @@ let compile routing =
   let edge_ids = Hashtbl.create (max 16 (2 * m)) in
   Array.iteri (fun i e -> Hashtbl.replace edge_ids e i) edges;
   let edge_of u v = if u < v then (u, v) else (v, u) in
+  (* A route step that is not a graph edge means the table is stale
+     (or the graph's adjacency is inconsistent): fail with a message
+     naming the route and the offending step instead of leaking the
+     hashtable's [Not_found]. *)
+  let edge_id_exn r j =
+    let u = paths.(r).(j) and v = paths.(r).(j + 1) in
+    match Hashtbl.find_opt edge_ids (edge_of u v) with
+    | Some e -> e
+    | None ->
+        let src, dst, _ = routes.(r) in
+        invalid_arg
+          (Printf.sprintf
+             "Surviving.compile: route %d->%d steps across (%d, %d), which is \
+              not an edge of the graph (stale route table?)"
+             src dst u v)
+  in
   let ecount = Array.make (m + 1) 0 in
-  Array.iter
-    (fun p ->
+  Array.iteri
+    (fun r p ->
       for j = 0 to Array.length p - 2 do
-        let e = Hashtbl.find edge_ids (edge_of p.(j) p.(j + 1)) in
+        let e = edge_id_exn r j in
         ecount.(e) <- ecount.(e) + 1
       done)
     paths;
@@ -137,7 +171,7 @@ let compile routing =
   Array.iteri
     (fun r p ->
       for j = 0 to Array.length p - 2 do
-        let e = Hashtbl.find edge_ids (edge_of p.(j) p.(j + 1)) in
+        let e = edge_id_exn r j in
         eia.(efill.(e)) <- r;
         efill.(e) <- efill.(e) + 1
       done)
@@ -152,6 +186,9 @@ let compile routing =
     routes;
   let vx_word = Array.init n (fun v -> v / matrix_bits) in
   let vx_bit = Array.init n (fun v -> 1 lsl (v mod matrix_bits)) in
+  Obs.incr c_compile_calls;
+  Obs.add c_compile_routes nroutes;
+  Obs.add c_compile_edges m;
   {
     n;
     nroutes;
@@ -192,6 +229,8 @@ let edge_id c u v =
    the exact diameter. *)
 
 let apsp_w1 rows alive ~bound =
+  let track = Obs.enabled () in
+  let wops = ref 0 in
   let worst = ref 0 in
   let exceeded = ref false in
   let av = ref alive in
@@ -203,6 +242,7 @@ let apsp_w1 rows alive ~bound =
     let ecc = ref 0 in
     let growing = ref true in
     while !growing do
+      if track then wops := !wops + Bitset.popcount !front;
       let nx = ref 0 in
       let fw = ref !front in
       while !fw <> 0 do
@@ -224,9 +264,12 @@ let apsp_w1 rows alive ~bound =
     if !visited <> alive then exceeded := true (* disconnected *)
     else worst := max !worst !ecc
   done;
+  if track then Obs.add c_bfs_word_ops !wops;
   if !exceeded then -1 else !worst
 
 let apsp_gen ~n ~w rows alive visited front next ~bound =
+  let track = Obs.enabled () in
+  let wops = ref 0 in
   let worst = ref 0 in
   let exceeded = ref false in
   let s = ref 0 in
@@ -243,6 +286,7 @@ let apsp_gen ~n ~w rows alive visited front next ~bound =
         for wi = 0 to w - 1 do
           let fw = ref front.(wi) in
           let base = wi * matrix_bits in
+          if track then wops := !wops + (w * Bitset.popcount !fw);
           while !fw <> 0 do
             let u = base + Bitset.lowest_bit_index !fw in
             fw := !fw land (!fw - 1);
@@ -274,6 +318,7 @@ let apsp_gen ~n ~w rows alive visited front next ~bound =
     end;
     incr s
   done;
+  if track then Obs.add c_bfs_word_ops !wops;
   if !exceeded then -1 else !worst
 
 let apsp c rows alive visited front next ~alive_count ~bound =
@@ -300,6 +345,7 @@ let diameter_compiled c ~faults =
     if clean 0 then
       c.s_rows.(c.arc_word.(r)) <- c.s_rows.(c.arc_word.(r)) lor c.arc_bit.(r)
   done;
+  Obs.incr c_diameter_evals;
   let d =
     apsp c c.s_rows c.s_alive c.s_visited c.s_front c.s_next ~alive_count:!alive_count
       ~bound:max_int
@@ -365,6 +411,10 @@ let apply_fault e v =
   e.alive.(c.vx_word.(v)) <- e.alive.(c.vx_word.(v)) land lnot c.vx_bit.(v);
   let hits = e.hits and rows = e.rows in
   let stop = c.via_start.(v + 1) - 1 in
+  if Obs.enabled () then begin
+    Obs.incr c_apply_node;
+    Obs.add c_apply_node_routes (stop - c.via_start.(v) + 1)
+  end;
   for i = c.via_start.(v) to stop do
     let r = Array.unsafe_get c.via i in
     let h = Array.unsafe_get hits r in
@@ -411,6 +461,10 @@ let apply_edge_fault e eid =
   e.nedges_down <- e.nedges_down + 1;
   let hits = e.hits and rows = e.rows in
   let stop = c.eia_start.(eid + 1) - 1 in
+  if Obs.enabled () then begin
+    Obs.incr c_apply_edge;
+    Obs.add c_apply_edge_routes (stop - c.eia_start.(eid) + 1)
+  end;
   for i = c.eia_start.(eid) to stop do
     let r = Array.unsafe_get c.eia i in
     let h = Array.unsafe_get hits r in
@@ -456,6 +510,7 @@ let set_mixed_faults e ~nodes ~edges =
   List.iter (apply_edge_fault e) edges
 
 let evaluator_diameter e =
+  Obs.incr c_diameter_evals;
   let d =
     apsp e.c e.rows e.alive e.visited e.front e.next ~alive_count:e.nalive ~bound:max_int
   in
@@ -469,6 +524,8 @@ let evaluator_diameter e =
    excludes them. *)
 
 let apsp_w1_over rows alive targets =
+  let track = Obs.enabled () in
+  let wops = ref 0 in
   let worst = ref 0 in
   let inf = ref false in
   let tv = ref targets in
@@ -481,6 +538,7 @@ let apsp_w1_over rows alive targets =
     let ecc = ref 0 in
     let growing = ref true in
     while !growing && !visited land targets <> targets do
+      if track then wops := !wops + Bitset.popcount !front;
       let nx = ref 0 in
       let fw = ref !front in
       while !fw <> 0 do
@@ -499,9 +557,12 @@ let apsp_w1_over rows alive targets =
     if !visited land targets <> targets then inf := true
     else worst := max !worst !ecc
   done;
+  if track then Obs.add c_bfs_word_ops !wops;
   if !inf then -1 else !worst
 
 let apsp_gen_over ~n ~w rows alive targets visited front next =
+  let track = Obs.enabled () in
+  let wops = ref 0 in
   let worst = ref 0 in
   let inf = ref false in
   let covered () =
@@ -526,6 +587,7 @@ let apsp_gen_over ~n ~w rows alive targets visited front next =
         for wi = 0 to w - 1 do
           let fw = ref front.(wi) in
           let base = wi * matrix_bits in
+          if track then wops := !wops + (w * Bitset.popcount !fw);
           while !fw <> 0 do
             let u = base + Bitset.lowest_bit_index !fw in
             fw := !fw land (!fw - 1);
@@ -554,6 +616,7 @@ let apsp_gen_over ~n ~w rows alive targets visited front next =
     end;
     incr s
   done;
+  if track then Obs.add c_bfs_word_ops !wops;
   if !inf then -1 else !worst
 
 let evaluator_diameter_over e ~targets =
@@ -570,6 +633,7 @@ let evaluator_diameter_over e ~targets =
       tw.(c.vx_word.(v)) <- tw.(c.vx_word.(v)) lor c.vx_bit.(v)
     end
   done;
+  Obs.incr c_diameter_evals;
   let d =
     if !count <= 1 then 0
     else if c.w = 1 then apsp_w1_over e.rows e.alive.(0) tw.(0)
@@ -580,8 +644,13 @@ let evaluator_diameter_over e ~targets =
 let diameter_exceeds e ~bound =
   (* diameter > bound; the surviving diameter is at least Finite 0, so
      a negative bound is always exceeded. *)
-  bound < 0
-  || apsp e.c e.rows e.alive e.visited e.front e.next ~alive_count:e.nalive ~bound < 0
+  Obs.incr c_exceeds_calls;
+  let exceeded =
+    bound < 0
+    || apsp e.c e.rows e.alive e.visited e.front e.next ~alive_count:e.nalive ~bound < 0
+  in
+  if exceeded then Obs.incr c_exceeds_early;
+  exceeded
 
 let component_diameters routing ~faults =
   let dg = graph routing ~faults in

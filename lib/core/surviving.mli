@@ -37,6 +37,10 @@ val diameter_of_digraph : Digraph.t -> faults:Bitset.t -> Metrics.distance
 type compiled
 
 val compile : Routing.t -> compiled
+(** Raises [Invalid_argument] (with the route and the offending step)
+    if some route traverses a pair that is not an edge of the
+    routing's graph — a stale table checked against a regenerated
+    graph, or inconsistent adjacency lists. *)
 
 val diameter_compiled : compiled -> faults:Bitset.t -> Metrics.distance
 (** Same result as {!diameter}, much faster in a loop. The fault set's

@@ -1,4 +1,14 @@
 open Ftr_graph
+module Obs = Ftr_obs.Obs
+
+(* [sets_checked] totals are jobs-independent by the same argument as
+   the verdicts (every chunk/block is swept identically no matter
+   which domain runs it), so they are safe as Obs counters. *)
+let c_sets_checked = Obs.counter "tolerance.sets_checked"
+let c_certify_runs = Obs.counter "tolerance.certify.runs"
+let c_certify_sets = Obs.counter "tolerance.certify.sets_checked"
+let c_certify_early = Obs.counter "tolerance.certify.early_exit_blocks"
+let c_corpus_replayed = Obs.counter "tolerance.corpus.replayed"
 
 type verdict = {
   worst : Metrics.distance;
@@ -126,6 +136,7 @@ let default_jobs () = Par.recommended_jobs ()
 (* ------------------------------------------------------------------ *)
 
 let check_sets ?jobs routing sets =
+  Obs.with_span "tolerance.check_sets" @@ fun () ->
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let sets = Array.of_seq sets in
   let count = Array.length sets in
@@ -162,7 +173,9 @@ let check_sets ?jobs routing sets =
             definitive = false;
           })
     in
-    merge_ordered (Array.to_list verdicts)
+    let v = merge_ordered (Array.to_list verdicts) in
+    Obs.add c_sets_checked v.sets_checked;
+    v
   end
 
 (* ------------------------------------------------------------------ *)
@@ -208,6 +221,7 @@ let sweep_block ev block ~consider =
   end
 
 let exhaustive ?jobs routing ~f =
+  Obs.with_span "tolerance.exhaustive" @@ fun () ->
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let n = Graph.n (Routing.graph routing) in
   let compiled = Surviving.compile routing in
@@ -228,7 +242,9 @@ let exhaustive ?jobs routing ~f =
             end);
         { worst = !worst; witness = !witness; sets_checked = !checked; definitive = false })
   in
-  { (merge_ordered (Array.to_list verdicts)) with definitive = true }
+  let v = { (merge_ordered (Array.to_list verdicts)) with definitive = true } in
+  Obs.add c_sets_checked v.sets_checked;
+  v
 
 (* ------------------------------------------------------------------ *)
 (* Bound certification (early-exit).                                  *)
@@ -241,6 +257,8 @@ type certificate = {
 }
 
 let certify ?jobs routing ~f ~bound =
+  Obs.with_span "tolerance.certify" @@ fun () ->
+  Obs.incr c_certify_runs;
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let n = Graph.n (Routing.graph routing) in
   let compiled = Surviving.compile routing in
@@ -268,6 +286,9 @@ let certify ?jobs routing ~f ~bound =
       (fun acc (cex, _) -> match acc with Some _ -> acc | None -> cex)
       None results
   in
+  Obs.add c_certify_sets checked;
+  Obs.add c_certify_early
+    (Array.fold_left (fun acc (cex, _) -> if cex = None then acc else acc + 1) 0 results);
   { holds = counterexample = None; counterexample; cert_sets_checked = checked }
 
 (* ------------------------------------------------------------------ *)
@@ -367,6 +388,7 @@ let sweep_block_edges ev block ~consider =
   end
 
 let check_edge_sets ?jobs routing sets =
+  Obs.with_span "tolerance.check_edge_sets" @@ fun () ->
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let compiled = Surviving.compile routing in
   (* Resolve endpoint pairs to edge ids up front so a non-edge fails
@@ -402,6 +424,7 @@ let check_edge_sets ?jobs routing sets =
           })
     in
     let v = merge_ordered (Array.to_list verdicts) in
+    Obs.add c_sets_checked v.sets_checked;
     {
       e_worst = v.worst;
       e_witness = List.map (Surviving.edge_pair compiled) v.witness;
@@ -411,6 +434,7 @@ let check_edge_sets ?jobs routing sets =
   end
 
 let exhaustive_edges ?jobs routing ~f =
+  Obs.with_span "tolerance.exhaustive_edges" @@ fun () ->
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let compiled = Surviving.compile routing in
   let m = Surviving.edge_count compiled in
@@ -432,6 +456,7 @@ let exhaustive_edges ?jobs routing ~f =
         { worst = !worst; witness = !witness; sets_checked = !checked; definitive = false })
   in
   let v = { (merge_ordered (Array.to_list verdicts)) with definitive = true } in
+  Obs.add c_sets_checked v.sets_checked;
   {
     e_worst = v.worst;
     e_witness = List.map (Surviving.edge_pair compiled) v.witness;
@@ -446,6 +471,8 @@ type edge_certificate = {
 }
 
 let certify_edges ?jobs routing ~f ~bound =
+  Obs.with_span "tolerance.certify_edges" @@ fun () ->
+  Obs.incr c_certify_runs;
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let compiled = Surviving.compile routing in
   let m = Surviving.edge_count compiled in
@@ -589,13 +616,23 @@ let evaluate ?(exhaustive_budget = 20_000) ?(samples = 300)
     let replay =
       match Attack.Corpus.replayable corpus ~n ~f with
       | [] -> None
-      | sets -> Some (check_sets ?jobs routing (List.to_seq sets))
+      | sets ->
+          Obs.with_span "tolerance.evaluate.replay" @@ fun () ->
+          Obs.add c_corpus_replayed (List.length sets);
+          Some (check_sets ?jobs routing (List.to_seq sets))
     in
-    let adv = adversarial ?jobs routing ~f ~pools:c.Construction.pools in
-    let rnd = random ?jobs routing ~f ~rng ~samples in
+    let adv =
+      Obs.with_span "tolerance.evaluate.adversarial" @@ fun () ->
+      adversarial ?jobs routing ~f ~pools:c.Construction.pools
+    in
+    let rnd =
+      Obs.with_span "tolerance.evaluate.random" @@ fun () ->
+      random ?jobs routing ~f ~rng ~samples
+    in
     let atk =
       if attack_budget <= 0 then None
       else
+        Obs.with_span "tolerance.evaluate.attack" @@ fun () ->
         let config = { Attack.default_config with Attack.budget = attack_budget } in
         let o = Attack.search ~config ?jobs ~rng ~pools:c.Construction.pools routing ~f in
         Some

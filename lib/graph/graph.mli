@@ -18,6 +18,15 @@ val of_edges : n:int -> (int * int) list -> t
 val empty : int -> t
 (** [empty n] has [n] vertices and no edges. *)
 
+val of_adj_lists : int -> int list array -> t
+(** [of_adj_lists n lists] adopts the adjacency lists directly (each
+    list is sorted and deduplicated; [n] is taken from the array
+    length). Unlike {!of_edges}, symmetry is trusted, not checked: if
+    [u] lists [v] but not vice versa, [mem_edge] disagrees with
+    {!edges} and downstream consumers (notably [Surviving.compile])
+    reject the graph. Prefer {!of_edges} or {!Builder} unless you are
+    deliberately constructing such an inconsistency (tests do). *)
+
 (** Incremental construction. *)
 module Builder : sig
   type graph := t

@@ -25,8 +25,14 @@ let make ~id ~src ~dst ~sent_at =
     retries = 0;
   }
 
+(* [delivered_at] is born NaN and only set on delivery; guard on
+   finiteness so a status flipped without a timestamp (a protocol bug,
+   or a hand-built record) yields [None] instead of a NaN latency that
+   would poison downstream percentiles. *)
 let latency t =
-  match t.status with Delivered -> Some (t.delivered_at -. t.sent_at) | _ -> None
+  match t.status with
+  | Delivered when Float.is_finite t.delivered_at -> Some (t.delivered_at -. t.sent_at)
+  | _ -> None
 
 let status_string = function
   | Pending -> "pending"

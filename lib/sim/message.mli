@@ -25,7 +25,10 @@ type t = {
 val make : id:int -> src:int -> dst:int -> sent_at:float -> t
 
 val latency : t -> float option
-(** Delivery time minus send time, when delivered. *)
+(** Delivery time minus send time, when delivered. [None] for any
+    other status, and also for a [Delivered] record whose
+    [delivered_at] is not finite (it is initialised to NaN), so a
+    latency is always a finite number. *)
 
 val status_string : status -> string
 

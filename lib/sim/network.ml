@@ -1,5 +1,9 @@
 open Ftr_graph
 open Ftr_core
+module Obs = Ftr_obs.Obs
+
+let c_cache_invalidations = Obs.counter "sim.cache.invalidations"
+let c_cache_rebuilds = Obs.counter "sim.cache.rebuilds"
 
 type t = {
   routing : Routing.t;
@@ -15,21 +19,25 @@ let routing t = t.routing
 let fault_model t = t.fm
 let faults t = Fault_model.node_faults t.fm
 
+let invalidate t =
+  if t.cache <> None then Obs.incr c_cache_invalidations;
+  t.cache <- None
+
 let crash t v =
   Fault_model.fail_node t.fm v;
-  t.cache <- None
+  invalidate t
 
 let recover t v =
   Fault_model.recover_node t.fm v;
-  t.cache <- None
+  invalidate t
 
 let fail_link t u v =
   Fault_model.fail_edge t.fm u v;
-  t.cache <- None
+  invalidate t
 
 let restore_link t u v =
   Fault_model.recover_edge t.fm u v;
-  t.cache <- None
+  invalidate t
 
 let is_faulty t v = Bitset.mem (faults t) v
 let is_link_faulty t u v = Fault_model.edge_failed t.fm u v
@@ -41,6 +49,7 @@ let surviving t =
   match t.cache with
   | Some dg -> dg
   | None ->
+      Obs.incr c_cache_rebuilds;
       let dg = Fault_model.surviving t.routing t.fm in
       t.cache <- Some dg;
       dg

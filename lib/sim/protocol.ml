@@ -1,5 +1,17 @@
 open Ftr_graph
 open Ftr_core
+module Obs = Ftr_obs.Obs
+
+(* The simulation is single-threaded and event-ordered by the sim
+   clock, so these counts are a function of the scenario alone. *)
+let c_messages = Obs.counter "sim.messages"
+let c_delivered = Obs.counter "sim.delivered"
+let c_undeliverable = Obs.counter "sim.undeliverable"
+let c_dead_letters = Obs.counter "sim.dead_letters"
+(* Counts route-plan computations (initial fallback plans included),
+   not nack retries — those are [sim.backoff_waits]. *)
+let c_replans = Obs.counter "sim.route_plans"
+let c_backoff_waits = Obs.counter "sim.backoff_waits"
 
 type config = {
   hop_latency : float;
@@ -25,6 +37,11 @@ let hardened_config =
 
 let finish sim msg status on_done =
   msg.Message.status <- status;
+  (match status with
+  | Message.Delivered -> Obs.incr c_delivered
+  | Message.Undeliverable -> Obs.incr c_undeliverable
+  | Message.DeadLetter -> Obs.incr c_dead_letters
+  | Message.Pending -> ());
   if status = Message.Delivered then msg.Message.delivered_at <- Sim.now sim;
   match on_done with Some f -> f msg | None -> ()
 
@@ -81,6 +98,7 @@ and nack sim net endpoint config msg ~from on_done =
     finish sim msg Message.DeadLetter on_done
   else begin
     msg.Message.retries <- msg.Message.retries + 1;
+    Obs.incr c_backoff_waits;
     let delay =
       config.nack_latency
       *. (config.backoff ** float_of_int (msg.Message.retries - 1))
@@ -90,6 +108,7 @@ and nack sim net endpoint config msg ~from on_done =
   end
 
 and replan sim net endpoint config msg ~from on_done =
+  Obs.incr c_replans;
   if Network.is_faulty net from || Network.is_faulty net msg.Message.dst then
     finish sim msg Message.Undeliverable on_done
   else
@@ -98,6 +117,7 @@ and replan sim net endpoint config msg ~from on_done =
     | Some waypoints -> traverse sim net endpoint config msg waypoints on_done
 
 let send_with sim net endpoint config ?on_done ~id ~src ~dst () =
+  Obs.incr c_messages;
   let msg = Message.make ~id ~src ~dst ~sent_at:(Sim.now sim) in
   if Network.is_faulty net src then begin
     finish sim msg Message.Undeliverable on_done;

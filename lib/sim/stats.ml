@@ -1,3 +1,7 @@
+module Obs = Ftr_obs.Obs
+
+let c_non_finite = Obs.counter "stats.non_finite_dropped"
+
 type summary = {
   count : int;
   mean : float;
@@ -13,12 +17,18 @@ let percentile sorted p =
   let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
   sorted.(max 0 (min (n - 1) (rank - 1)))
 
+(* NaN is both unsortable under polymorphic [compare] (it lands
+   anywhere, poisoning every percentile) and absorbing under [+.]
+   (mean becomes NaN). A summary must never report one, so non-finite
+   samples are dropped up front and tallied on a counter instead. *)
 let summarize values =
-  match values with
+  let finite, rest = List.partition Float.is_finite values in
+  (match rest with [] -> () | dropped -> Obs.add c_non_finite (List.length dropped));
+  match finite with
   | [] -> None
   | _ ->
-      let sorted = Array.of_list values in
-      Array.sort compare sorted;
+      let sorted = Array.of_list finite in
+      Array.sort Float.compare sorted;
       let n = Array.length sorted in
       let total = Array.fold_left ( +. ) 0.0 sorted in
       Some
@@ -35,6 +45,7 @@ let summarize values =
 let of_ints values = summarize (List.map float_of_int values)
 
 let histogram ~buckets values =
+  let values = List.filter Float.is_finite values in
   match (values, buckets) with
   | [], _ | _, 0 -> []
   | _ ->

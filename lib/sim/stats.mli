@@ -10,15 +10,22 @@ type summary = {
   p99 : float;
 }
 
+val percentile : float array -> float -> float
+(** [percentile sorted p] is the nearest-rank [p]-th percentile of a
+    sorted, non-empty array: element [ceil (p/100 * n)] (1-based),
+    clamped into range. Exposed for oracle testing. *)
+
 val summarize : float list -> summary option
-(** [None] on the empty list. Percentiles by the nearest-rank
-    method. *)
+(** [None] when no finite sample remains. Percentiles by the
+    nearest-rank method. Non-finite samples (NaN, infinities) are
+    dropped before sorting — they would otherwise poison every field —
+    and tallied on the ["stats.non_finite_dropped"] counter. *)
 
 val of_ints : int list -> summary option
 
 val histogram : buckets:int -> float list -> (float * float * int) list
 (** Equal-width buckets [(lo, hi, count)] spanning [min, max]; empty
-    input gives []. *)
+    input gives []. Non-finite samples are ignored. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 

@@ -1,0 +1,50 @@
+(* Report roll-ups over experiment tables, including the degenerate
+   shapes that used to crash. *)
+
+module A = Ftr_analysis
+
+(* Regression: [last_cell []] used to be [List.nth_opt row (-1)],
+   which raises [Invalid_argument] instead of returning [None]. *)
+let test_last_cell () =
+  Alcotest.(check (option string)) "empty row" None (A.Report.last_cell []);
+  Alcotest.(check (option string)) "singleton" (Some "a") (A.Report.last_cell [ "a" ]);
+  Alcotest.(check (option string))
+    "last of many" (Some "c")
+    (A.Report.last_cell [ "a"; "b"; "c" ])
+
+(* An empty-headers table is the only way to build empty rows; every
+   roll-up entry point must survive them. *)
+let empty_rows_table = A.Table.make ~title:"degenerate" ~headers:[] [ []; [] ]
+
+let test_violations_empty_rows () =
+  let results = [ ("degenerate", empty_rows_table) ] in
+  Alcotest.(check int) "no violations" 0 (List.length (A.Report.violations results))
+
+let test_markdown_empty_rows () =
+  let results = [ ("degenerate", empty_rows_table) ] in
+  let doc = A.Report.markdown ~header:"# Results" results in
+  Alcotest.(check bool) "renders" true (String.length doc > 0)
+
+let test_violations_found () =
+  let t =
+    A.Table.make ~title:"claims" ~headers:[ "claim"; "verdict" ]
+      [ [ "d=3"; "ok" ]; [ "d=4"; "VIOLATION" ] ]
+  in
+  match A.Report.violations [ ("claims", t) ] with
+  | [ (id, rows) ] ->
+      Alcotest.(check string) "experiment id" "claims" id;
+      Alcotest.(check int) "one bad row" 1 (List.length rows)
+  | other -> Alcotest.failf "expected one group, got %d" (List.length other)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "last cell" `Quick test_last_cell;
+          Alcotest.test_case "violations on empty rows" `Quick
+            test_violations_empty_rows;
+          Alcotest.test_case "markdown on empty rows" `Quick test_markdown_empty_rows;
+          Alcotest.test_case "violations found" `Quick test_violations_found;
+        ] );
+    ]

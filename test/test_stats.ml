@@ -48,6 +48,70 @@ let test_histogram_degenerate () =
   Alcotest.(check int) "equal values in one bucket" 2
     (List.fold_left (fun acc (_, _, c) -> acc + c) 0 h)
 
+(* Regression: a Delivered message whose [delivered_at] was never set
+   (it is initialised to NaN) used to feed a NaN latency into
+   [summarize], where polymorphic sort order is undefined — p50/p95
+   could come out NaN or the whole order could scramble. Now the
+   latency is [None] and the summary is NaN-free. *)
+let test_nan_latency_dropped () =
+  let msg id status ~at =
+    let m = Message.make ~id ~src:0 ~dst:1 ~sent_at:0.0 in
+    m.Message.status <- status;
+    m.Message.delivered_at <- at;
+    m
+  in
+  let phantom = msg 0 Message.Delivered ~at:nan in
+  Alcotest.(check bool) "phantom delivery has no latency" true
+    (Message.latency phantom = None);
+  let batch =
+    [ phantom; msg 1 Message.Delivered ~at:10.0; msg 2 Message.Delivered ~at:20.0 ]
+  in
+  let d = Stats.delivery_report batch in
+  match d.Stats.latency with
+  | None -> Alcotest.fail "expected latency summary"
+  | Some s ->
+      Alcotest.(check int) "finite latencies only" 2 s.Stats.count;
+      List.iter
+        (fun (label, v) ->
+          Alcotest.(check bool) (label ^ " finite") true (Float.is_finite v))
+        [ ("mean", s.Stats.mean); ("p50", s.Stats.p50); ("p95", s.Stats.p95);
+          ("p99", s.Stats.p99); ("min", s.Stats.min); ("max", s.Stats.max) ]
+
+(* [summarize] itself must shrug off poisoned samples wherever they
+   come from. *)
+let test_summarize_drops_non_finite () =
+  Alcotest.(check bool) "all-NaN input" true (Stats.summarize [ nan; nan ] = None);
+  match Stats.summarize [ 3.0; nan; 1.0; infinity; 2.0; neg_infinity ] with
+  | None -> Alcotest.fail "expected summary"
+  | Some s ->
+      Alcotest.(check int) "count" 3 s.Stats.count;
+      Alcotest.(check (float 1e-9)) "mean" 2.0 s.Stats.mean;
+      Alcotest.(check (float 0.0)) "min" 1.0 s.Stats.min;
+      Alcotest.(check (float 0.0)) "max" 3.0 s.Stats.max;
+      Alcotest.(check (float 0.0)) "p50" 2.0 s.Stats.p50
+
+(* Nearest-rank percentile against the definition, written naively. *)
+let percentile_oracle =
+  QCheck.Test.make ~name:"percentile matches nearest-rank oracle" ~count:500
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 40) (float_bound_exclusive 1000.0))
+        (float_bound_inclusive 100.0))
+    (fun (values, p) ->
+      QCheck.assume (values <> []);
+      let p = Float.max 0.1 p in
+      let sorted = Array.of_list values in
+      Array.sort Float.compare sorted;
+      let n = Array.length sorted in
+      let naive =
+        (* smallest element with at least p% of the sample at or below
+           it: rank ceil(p/100 * n), 1-based, clamped into range *)
+        let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+        let rank = max 1 (min n rank) in
+        sorted.(rank - 1)
+      in
+      Stats.percentile sorted p = naive)
+
 let test_delivery_report () =
   let msg id status ~sent ~at ~retries =
     let m = Message.make ~id ~src:0 ~dst:1 ~sent_at:sent in
@@ -94,5 +158,9 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "histogram degenerate" `Quick test_histogram_degenerate;
           Alcotest.test_case "delivery report" `Quick test_delivery_report;
+          Alcotest.test_case "nan latency dropped" `Quick test_nan_latency_dropped;
+          Alcotest.test_case "summarize drops non-finite" `Quick
+            test_summarize_drops_non_finite;
+          QCheck_alcotest.to_alcotest percentile_oracle;
         ] );
     ]

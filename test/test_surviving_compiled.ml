@@ -61,6 +61,28 @@ let test_random_routings_agree () =
     agree_exhaustive r ~f:2
   done
 
+(* Regression: a route stepping across a pair the graph's edge list
+   does not contain must be rejected by [compile] with a descriptive
+   [Invalid_argument], not escape as [Not_found]. Reachable via
+   asymmetric adjacency lists: [mem_edge 1 0] holds (so [Routing.add]
+   accepts the path) while [Graph.edges] omits (0, 1) (so the compiled
+   edge index has no id for it). *)
+let test_missing_edge_rejected () =
+  let g = Graph.of_adj_lists 2 [| []; [ 0 ] |] in
+  let r = Routing.create g Routing.Unidirectional in
+  Routing.add r (Path.of_list [ 1; 0 ]);
+  match Surviving.compile r with
+  | _ -> Alcotest.fail "compile accepted a route over a missing edge"
+  | exception Invalid_argument msg ->
+      let mentions needle =
+        let nl = String.length needle and ml = String.length msg in
+        let rec at i = i + nl <= ml && (String.sub msg i nl = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) "names the route" true (mentions "route 1->0");
+      Alcotest.(check bool) "names the step" true (mentions "(1, 0)")
+  | exception Not_found -> Alcotest.fail "compile leaked Not_found"
+
 let () =
   Alcotest.run "surviving_compiled"
     [
@@ -72,5 +94,6 @@ let () =
           Alcotest.test_case "sparse table" `Quick test_sparse_partial_table;
           Alcotest.test_case "empty table" `Quick test_empty_table;
           Alcotest.test_case "random routings" `Quick test_random_routings_agree;
+          Alcotest.test_case "missing edge rejected" `Quick test_missing_edge_rejected;
         ] );
     ]
