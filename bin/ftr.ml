@@ -812,7 +812,9 @@ let soak_cmd =
         let all_msgs = ref [] in
         List.iter
           (fun ((spec, strat, cseed) as key) ->
-            let group = List.rev (Hashtbl.find groups key) in
+            let group =
+              List.rev (Option.value (Hashtbl.find_opt groups key) ~default:[])
+            in
             match construction_for key with
             | Error msg ->
                 incr failures;
@@ -893,6 +895,87 @@ let dot_cmd =
   in
   Cmd.v (Cmd.info "dot" ~doc:"Graphviz export") Term.(const run $ graph_arg $ out)
 
+(* ---------------- lint-artifacts ---------------- *)
+
+module Certify = Ftr_analysis.Certify
+
+let lint_artifacts_cmd =
+  let paths_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:"Witness-corpus JSON files or directories of them (e.g. corpus/).")
+  in
+  let routing_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "routing" ] ~docv:"FILE"
+          ~doc:"Also certify an ftr-routing table; requires $(b,--graph).")
+  in
+  let routing_graph_arg =
+    let graph_conv = Arg.conv' Ftr_analysis.Graph_spec.conv in
+    Arg.(
+      value
+      & opt (some graph_conv) None
+      & info [ "graph" ] ~docv:"GRAPH"
+          ~doc:"The graph the $(b,--routing) table routes over.")
+  in
+  (* The corpus carries CLI provenance (graph spec, strategy name,
+     seed), so rebuilding uses the same strategy table as `ftr route`. *)
+  let build ~graph ~strategy ~seed =
+    match List.assoc_opt strategy strategies with
+    | None -> Error (Printf.sprintf "unknown strategy %S" strategy)
+    | Some s -> (
+        match build_construction graph s seed with
+        | exception Invalid_argument msg -> Error msg
+        | c -> Ok c)
+  in
+  let run paths routing_file routing_graph =
+    match (routing_file, routing_graph) with
+    | Some _, None ->
+        Printf.eprintf "--routing requires --graph GRAPH\n";
+        2
+    | _ when paths = [] && routing_file = None ->
+        Printf.eprintf
+          "nothing to certify: give corpus PATHs and/or --routing FILE --graph \
+           GRAPH\n";
+        2
+    | _ ->
+        let problems = ref 0 in
+        let report ps =
+          problems := !problems + List.length ps;
+          List.iter (fun p -> Format.printf "%a@." Certify.pp_problem p) ps
+        in
+        if paths <> [] then begin
+          let o = Certify.certify_corpus_paths ~build paths in
+          report o.Certify.problems;
+          Printf.printf "certified %d corpus file(s): %d entr%s, %d construction(s)\n"
+            o.Certify.files o.Certify.entries
+            (if o.Certify.entries = 1 then "y" else "ies")
+            o.Certify.constructions
+        end;
+        (match (routing_file, routing_graph) with
+        | Some file, Some g ->
+            let routes, ps = Certify.certify_routing_file ~graph:g file in
+            report ps;
+            Printf.printf "certified %s: %d route(s)\n" file routes
+        | _ -> ());
+        if !problems = 0 then 0
+        else begin
+          Printf.printf "%d problem(s)\n" !problems;
+          1
+        end
+  in
+  Cmd.v
+    (Cmd.info "lint-artifacts"
+       ~doc:
+         "statically certify routing artifacts: witness-corpus JSON \
+          (well-formed entries, faults on real nodes and edges, rebuildable \
+          constructions with valid tables and fault-free properties) and \
+          ftr-routing tables (simple paths over existing edges)")
+    Term.(const run $ paths_arg $ routing_file_arg $ routing_graph_arg)
+
 let () =
   let doc = "fault-tolerant routings in general networks (Peleg & Simons 1986)" in
   exit
@@ -900,5 +983,5 @@ let () =
        (Cmd.group (Cmd.info "ftr" ~doc)
           [
             info_cmd; route_cmd; tolerate_cmd; props_cmd; check_cmd; simulate_cmd;
-            attack_cmd; soak_cmd; dot_cmd;
+            attack_cmd; soak_cmd; dot_cmd; lint_artifacts_cmd;
           ]))

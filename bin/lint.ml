@@ -1,0 +1,69 @@
+(* ftr-lint: the repo's static-analysis gate (DESIGN.md section 10).
+
+   Usage: lint [--json FILE] [--rules L1,L2,...] PATH...
+
+   Lints every .ml file under the given paths with the five ftr rules,
+   prints one editor-clickable line per diagnostic, optionally writes
+   the ftr-lint/1 JSON report, and exits 1 if any unsuppressed
+   diagnostic remains. Argument parsing is by hand: the lint must not
+   grow dependencies the analyses it polices do not have. *)
+
+module Diagnostic = Ftr_lint.Diagnostic
+module Rules = Ftr_lint.Rules
+module Driver = Ftr_lint.Driver
+
+let usage () =
+  prerr_endline "usage: lint [--json FILE] [--rules L1,L2,...] PATH...";
+  exit 2
+
+let () =
+  let json_out = ref None in
+  let rules = ref Rules.all_rules in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+        json_out := Some file;
+        parse rest
+    | "--rules" :: spec :: rest ->
+        let requested = String.split_on_char ',' spec in
+        let unknown =
+          List.filter (fun r -> not (List.mem r Rules.all_rules)) requested
+        in
+        if unknown <> [] then begin
+          Printf.eprintf "lint: unknown rule(s) %s (have: %s)\n"
+            (String.concat "," unknown)
+            (String.concat "," Rules.all_rules);
+          exit 2
+        end;
+        rules := requested;
+        parse rest
+    | ("--json" | "--rules") :: [] -> usage ()
+    | ("--help" | "-h") :: _ -> usage ()
+    | path :: rest ->
+        paths := path :: !paths;
+        parse rest
+  in
+  (match Array.to_list Sys.argv with [] -> () | _ :: args -> parse args);
+  if !paths = [] then usage ();
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) !paths in
+  if missing <> [] then begin
+    Printf.eprintf "lint: no such path: %s\n" (String.concat ", " missing);
+    exit 2
+  end;
+  let config = { Rules.default_config with Rules.rules = !rules } in
+  let report = Driver.lint_paths ~config (List.rev !paths) in
+  List.iter
+    (fun d -> Format.printf "%a@." Diagnostic.pp_human d)
+    report.Diagnostic.diagnostics;
+  (match !json_out with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Diagnostic.to_json report);
+      close_out oc);
+  let n = List.length report.Diagnostic.diagnostics in
+  let s = List.length report.Diagnostic.suppressions in
+  Printf.printf "ftr-lint: %d file(s), %d diagnostic(s), %d suppressed\n"
+    report.Diagnostic.files_scanned n s;
+  exit (if n > 0 then 1 else 0)

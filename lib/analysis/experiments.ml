@@ -33,6 +33,26 @@ let random_regular_bed ~rng ~n ~d =
 (* (exhaustive set budget, random samples, attack evaluation budget) *)
 let budgets ctx = if ctx.quick then (2_000, 60, 150) else (20_000, 300, 500)
 
+(* Total claim lookups. Every construction ships with at least one
+   claim, but if one ever does not, a diagnostic [Invalid_argument]
+   naming the experiment beats [Failure "hd"] escaping to the user. *)
+let leading_claim ~where (c : Construction.t) =
+  match c.Construction.claims with
+  | claim :: _ -> claim
+  | [] ->
+      invalid_arg
+        (Printf.sprintf "%s: construction %s carries no claims" where
+           c.Construction.name)
+
+let nth_claim ~where (c : Construction.t) i =
+  match List.nth_opt c.Construction.claims i with
+  | Some claim -> claim
+  | None ->
+      invalid_arg
+        (Printf.sprintf "%s: construction %s has no claim #%d (it has %d)"
+           where c.Construction.name i
+           (List.length c.Construction.claims))
+
 let claim_headers =
   [ "graph"; "n"; "t"; "construction"; "claim"; "f"; "bound"; "worst"; "sets";
     "mode"; "atk worst"; "atk evals"; "atk wsize"; "props"; "verdict" ]
@@ -120,7 +140,7 @@ let kernel_experiment ctx ~which_claim ~id =
     List.map
       (fun tb ->
         let c = Kernel.make tb.graph ~t:tb.t in
-        let claim = List.nth c.Construction.claims which_claim in
+        let claim = nth_claim ~where:id c which_claim in
         claim_row ctx ~rng tb c claim)
       (kernel_beds ctx ~rng)
   in
@@ -174,7 +194,7 @@ let e3 ctx =
           List.map
             (fun k ->
               let c = Circular.make ~m:(take k m) tb.graph ~t:tb.t in
-              claim_row ctx ~rng tb c (List.hd c.Construction.claims))
+              claim_row ctx ~rng tb c (leading_claim ~where:"E3" c))
             ks
         end)
       (circular_beds ctx ~rng)
@@ -202,7 +222,7 @@ let tri_experiment ctx ~variant ~id ~title ~beds =
           skipped_row tb "tri-circular" (Printf.sprintf "K=%d < %d" (List.length m) need)
         else
           let c = Tri_circular.make ~m tb.graph ~t:tb.t ~variant in
-          claim_row ctx ~rng tb c (List.hd c.Construction.claims))
+          claim_row ctx ~rng tb c (leading_claim ~where:id c))
       beds
   in
   Table.make ~title ~headers:claim_headers rows
@@ -255,7 +275,7 @@ let bipolar_experiment ctx ~make ~id ~title =
         | None -> skipped_row tb "bipolar" "no two-trees roots"
         | Some roots ->
             let c = make ~roots tb.graph ~t:tb.t in
-            claim_row ctx ~rng tb c (List.hd c.Construction.claims))
+            claim_row ctx ~rng tb c (leading_claim ~where:id c))
       (bipolar_beds ctx ~rng)
   in
   Table.make ~title ~headers:claim_headers rows
@@ -444,7 +464,7 @@ let e12 ctx =
     List.map
       (fun tb ->
         let r = Augment.clique_concentrator tb.graph ~t:tb.t in
-        let claim = List.hd r.Augment.construction.Construction.claims in
+        let claim = leading_claim ~where:"E12" r.Augment.construction in
         let v =
           Tolerance.evaluate ~exhaustive_budget ~samples ~attack_budget:0 ~jobs:ctx.jobs
             ~rng r.Augment.construction ~f:claim.Construction.max_faults
@@ -1298,10 +1318,15 @@ let registry : (string * string * (context -> Table.t)) list =
 
 let ids = List.map (fun (id, _, _) -> id) registry
 
+let unknown_id id =
+  invalid_arg
+    (Printf.sprintf "unknown experiment id %S (available: %s)" id
+       (String.concat ", " (List.map (fun (i, _, _) -> i) registry)))
+
 let describe id =
   match List.find_opt (fun (i, _, _) -> i = id) registry with
   | Some (_, d, _) -> d
-  | None -> raise Not_found
+  | None -> unknown_id id
 
 let with_jobs ?jobs ctx =
   match jobs with Some j -> { ctx with jobs = j } | None -> ctx
@@ -1310,7 +1335,7 @@ let run ?jobs ctx id =
   let ctx = with_jobs ?jobs ctx in
   match List.find_opt (fun (i, _, _) -> i = id) registry with
   | Some (_, _, f) -> f ctx
-  | None -> raise Not_found
+  | None -> unknown_id id
 
 let all ?jobs ctx =
   let ctx = with_jobs ?jobs ctx in

@@ -23,11 +23,11 @@ val ids : string list
 (** In presentation order. *)
 
 val describe : string -> string
-(** One-line description of an experiment id; raises [Not_found] on
-    unknown ids. *)
+(** One-line description of an experiment id; raises a diagnostic
+    [Invalid_argument] (naming the known ids) on unknown ids. *)
 
 val run : ?jobs:int -> context -> string -> Table.t
-(** Raises [Not_found] on unknown ids. [jobs] overrides the context's
-    worker-domain count. *)
+(** Raises a diagnostic [Invalid_argument] on unknown ids. [jobs]
+    overrides the context's worker-domain count. *)
 
 val all : ?jobs:int -> context -> (string * Table.t) list

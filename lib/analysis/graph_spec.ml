@@ -2,15 +2,21 @@ open Ftr_graph
 
 let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
 
+(* A single total traversal: the parse succeeds iff every 'x'-separated
+   part is an integer. *)
 let dims s =
-  match List.map int_of_string_opt (String.split_on_char 'x' s) with
-  | exception _ -> None
-  | parts ->
-      if List.for_all Option.is_some parts then Some (List.map Option.get parts)
-      else None
+  let parts = String.split_on_char 'x' s in
+  let ints = List.filter_map int_of_string_opt parts in
+  if List.length ints = List.length parts then Some ints else None
 
 let rng_of = function
-  | Some seed -> Random.State.make [| int_of_string seed |]
+  | Some seed -> (
+      match int_of_string_opt seed with
+      | Some s -> Random.State.make [| s |]
+      | None ->
+          (* Caught by [parse]'s Invalid_argument handler and turned
+             into an Error, where the old Failure escaped to the CLI. *)
+          invalid_arg (Printf.sprintf "seed: expected an integer, got %S" seed))
   | None -> Random.State.make [| 0xC0FFEE |]
 
 let parse spec =

@@ -76,7 +76,7 @@ let stretch t =
     (fun (src, dst) p acc ->
       let shortest = (dist_from src).(dst) in
       if shortest <= 0 then acc
-      else max acc (float_of_int (Path.length p) /. float_of_int shortest))
+      else Float.max acc (float_of_int (Path.length p) /. float_of_int shortest))
     t.table 0.0
 
 let validate t =

@@ -53,14 +53,18 @@ let load g text =
               let parse_line idx line =
                 match String.split_on_char ' ' line with
                 | [ src_s; dst_s; path_s ] -> (
+                    (* Total parse: succeeds iff every comma-separated
+                       part is an integer. *)
                     let vertices =
-                      List.map int_of_string_opt (String.split_on_char ',' path_s)
+                      let parts = String.split_on_char ',' path_s in
+                      let vs = List.filter_map int_of_string_opt parts in
+                      if List.length vs = List.length parts then Some vs
+                      else None
                     in
                     match
                       (int_of_string_opt src_s, int_of_string_opt dst_s, vertices)
                     with
-                    | Some src, Some dst, vs when List.for_all Option.is_some vs -> (
-                        let vs = List.map Option.get vs in
+                    | Some src, Some dst, Some vs -> (
                         match Path.of_list vs with
                         | exception Invalid_argument m -> err "line %d: %s" idx m
                         | p ->

@@ -228,6 +228,9 @@ let edge_id c u v =
    a claimed bound never pay for the exact value); pass [max_int] for
    the exact diameter. *)
 
+(* bounds: single-word matrix (w = 1); every index into [rows] is a
+   bit index of a word already masked by the alive set, so it lies in
+   [0, matrix_bits) = [0, Array.length rows). *)
 let apsp_w1 rows alive ~bound =
   let track = Obs.enabled () in
   let wops = ref 0 in
@@ -267,6 +270,8 @@ let apsp_w1 rows alive ~bound =
   if track then Obs.add c_bfs_word_ops !wops;
   if !exceeded then -1 else !worst
 
+(* bounds: u < n and j < w throughout, so row + j = u * w + j
+   < n * w = Array.length rows, and j < w = Array.length next. *)
 let apsp_gen ~n ~w rows alive visited front next ~bound =
   let track = Obs.enabled () in
   let wops = ref 0 in
@@ -326,6 +331,9 @@ let apsp c rows alive visited front next ~alive_count ~bound =
   else if c.w = 1 then apsp_w1 rows alive.(0) ~bound
   else apsp_gen ~n:c.n ~w:c.w rows alive visited front next ~bound
 
+(* bounds: the capacity check below guarantees v < c.n <= capacity
+   faults for every unsafe_mem; p.(j) holds vertex ids < c.n by
+   construction in [compile]. *)
 let diameter_compiled c ~faults =
   if Bitset.capacity faults < c.n then
     invalid_arg "Surviving.diameter_compiled: fault set capacity too small";
@@ -401,6 +409,9 @@ let is_edge_faulty e eid = Bitset.mem e.edge_faulty eid
 let edge_faults e = Bitset.elements e.edge_faulty
 let edge_fault_count e = e.nedges_down
 
+(* bounds: the explicit range check admits only 0 <= v < c.n
+   (= capacity of [faulty]); via/arc_word/arc_bit are indexed by route
+   ids r < nroutes recorded by [compile]. *)
 let apply_fault e v =
   if v < 0 || v >= e.c.n then invalid_arg "Surviving.apply_fault: vertex out of range";
   if Bitset.unsafe_mem e.faulty v then
@@ -426,6 +437,8 @@ let apply_fault e v =
     Array.unsafe_set hits r (h + 1)
   done
 
+(* bounds: mirror image of apply_fault — same range check, same
+   compile-recorded route ids. *)
 let revert_fault e v =
   if v < 0 || v >= e.c.n then invalid_arg "Surviving.revert_fault: vertex out of range";
   if not (Bitset.unsafe_mem e.faulty v) then
@@ -451,6 +464,9 @@ let revert_fault e v =
    down, i.e. iff its counter is zero. The alive mask is untouched —
    the endpoints of a downed link stay alive. *)
 
+(* bounds: the explicit range check admits only
+   0 <= eid < Array.length c.edges (= capacity of [edge_faulty]); eia
+   holds route ids r < nroutes recorded by [compile]. *)
 let apply_edge_fault e eid =
   let c = e.c in
   if eid < 0 || eid >= Array.length c.edges then
@@ -476,6 +492,8 @@ let apply_edge_fault e eid =
     Array.unsafe_set hits r (h + 1)
   done
 
+(* bounds: mirror image of apply_edge_fault — same range check, same
+   compile-recorded route ids. *)
 let revert_edge_fault e eid =
   let c = e.c in
   if eid < 0 || eid >= Array.length c.edges then
@@ -523,6 +541,8 @@ let evaluator_diameter e =
    stay alive (and may forward), but the projected surviving set
    excludes them. *)
 
+(* bounds: as apsp_w1 — bit indices of alive-masked words stay below
+   matrix_bits = Array.length rows. *)
 let apsp_w1_over rows alive targets =
   let track = Obs.enabled () in
   let wops = ref 0 in
@@ -560,6 +580,8 @@ let apsp_w1_over rows alive targets =
   if track then Obs.add c_bfs_word_ops !wops;
   if !inf then -1 else !worst
 
+(* bounds: as apsp_gen — u < n and j < w keep row + j < n * w =
+   Array.length rows. *)
 let apsp_gen_over ~n ~w rows alive targets visited front next =
   let track = Obs.enabled () in
   let wops = ref 0 in
@@ -619,6 +641,8 @@ let apsp_gen_over ~n ~w rows alive targets visited front next =
   if track then Obs.add c_bfs_word_ops !wops;
   if !inf then -1 else !worst
 
+(* bounds: the capacity check below guarantees v < c.n <= capacity
+   targets for every unsafe_mem. *)
 let evaluator_diameter_over e ~targets =
   let c = e.c in
   if Bitset.capacity targets < c.n then

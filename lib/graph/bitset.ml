@@ -21,26 +21,34 @@ let check t i =
 (* Unchecked variants for inner loops that have already validated the
    range (the surviving-diameter evaluator); out-of-range indices are
    undefined behaviour. *)
+
+(* bounds: caller guarantees 0 <= i < capacity, so i lsr log_word_bits
+   < (capacity + word_bits - 1) lsr log_word_bits = Array.length words. *)
 let unsafe_mem t i =
   Array.unsafe_get t.words (i lsr log_word_bits) land (1 lsl (i land index_mask)) <> 0
 
+(* bounds: caller guarantees 0 <= i < capacity (see unsafe_mem). *)
 let unsafe_add t i =
   let w = i lsr log_word_bits in
   Array.unsafe_set t.words w (Array.unsafe_get t.words w lor (1 lsl (i land index_mask)))
 
+(* bounds: caller guarantees 0 <= i < capacity (see unsafe_mem). *)
 let unsafe_remove t i =
   let w = i lsr log_word_bits in
   Array.unsafe_set t.words w
     (Array.unsafe_get t.words w land lnot (1 lsl (i land index_mask)))
 
+(* bounds: check validates 0 <= i < capacity before the unchecked read. *)
 let mem t i =
   check t i;
   unsafe_mem t i
 
+(* bounds: check validates 0 <= i < capacity before the unchecked write. *)
 let add t i =
   check t i;
   unsafe_add t i
 
+(* bounds: check validates 0 <= i < capacity before the unchecked write. *)
 let remove t i =
   check t i;
   unsafe_remove t i
@@ -110,7 +118,8 @@ let diff_into dst src =
   Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land lnot w) src.words
 
 (* Word-skipping iteration: peel the lowest set bit until the word is
-   exhausted, so sparse sets cost O(population), not O(capacity). *)
+   exhausted, so sparse sets cost O(population), not O(capacity).
+   bounds: the for-loop bound keeps w < Array.length words. *)
 let iter f t =
   for w = 0 to Array.length t.words - 1 do
     let word = ref (Array.unsafe_get t.words w) in

@@ -1,0 +1,96 @@
+(* Diagnostics for the ftr-lint static-analysis pass.
+
+   A diagnostic pins a rule violation to a source span. Rendering is
+   deterministic: diagnostics sort by (file, line, col, rule) so the
+   human listing and the ftr-lint/1 JSON are stable across runs and
+   [--jobs] values, like every other machine-readable artifact in the
+   repo. *)
+
+type t = {
+  rule : string;  (* "L1".."L5", or "L0" for lint-usage errors *)
+  file : string;
+  line : int;  (* 1-based *)
+  col : int;  (* 0-based, matching compiler locations *)
+  end_line : int;
+  end_col : int;
+  message : string;
+}
+
+type suppressed = { diag : t; justification : string }
+
+type report = {
+  files_scanned : int;
+  diagnostics : t list;  (* unsuppressed: these fail the build *)
+  suppressions : suppressed list;  (* allowed by [@lint.allow "Lx: why"] *)
+}
+
+let compare_diag a b =
+  let c = compare (a.file, a.line, a.col) (b.file, b.line, b.col) in
+  if c <> 0 then c else compare a.rule b.rule
+
+let sort ds = List.sort compare_diag ds
+
+let of_location ~rule ~message (loc : Location.t) =
+  {
+    rule;
+    file = loc.loc_start.pos_fname;
+    line = loc.loc_start.pos_lnum;
+    col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+    end_line = loc.loc_end.pos_lnum;
+    end_col = loc.loc_end.pos_cnum - loc.loc_end.pos_bol;
+    message;
+  }
+
+let pp_human ppf d =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+
+(* Hand-rolled JSON, like Obs and Attack.Corpus: the lint must not
+   pull in runtime dependencies the library itself does not have. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let diag_fields d =
+  Printf.sprintf
+    "\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \"col\": %d, \
+     \"end_line\": %d, \"end_col\": %d, \"message\": \"%s\""
+    (json_escape d.rule) (json_escape d.file) d.line d.col d.end_line d.end_col
+    (json_escape d.message)
+
+let to_json report =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"format\": \"ftr-lint/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"files_scanned\": %d,\n" report.files_scanned);
+  let emit_list name render items =
+    Buffer.add_string buf (Printf.sprintf "  \"%s\": [" name);
+    List.iteri
+      (fun i x ->
+        Buffer.add_string buf (if i = 0 then "\n" else ",\n");
+        Buffer.add_string buf ("    " ^ render x))
+      items;
+    if items <> [] then Buffer.add_string buf "\n  ";
+    Buffer.add_string buf "]"
+  in
+  emit_list "diagnostics" (fun d -> "{" ^ diag_fields d ^ "}")
+    (sort report.diagnostics);
+  Buffer.add_string buf ",\n";
+  emit_list "suppressed"
+    (fun s ->
+      Printf.sprintf "{%s, \"justification\": \"%s\"}" (diag_fields s.diag)
+        (json_escape s.justification))
+    (List.sort (fun a b -> compare_diag a.diag b.diag) report.suppressions);
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

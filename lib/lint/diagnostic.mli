@@ -1,0 +1,35 @@
+(** Diagnostics and the [ftr-lint/1] report format.
+
+    A diagnostic pins a rule violation to a source span; a report
+    bundles the unsuppressed diagnostics (which fail the build) with
+    the [@lint.allow]-suppressed ones and their justifications.
+    Rendering is deterministic: diagnostics sort by
+    (file, line, col, rule). *)
+
+type t = {
+  rule : string;  (** "L1".."L5"; "L0" for lint-usage errors, "P0" for parse errors *)
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler locations *)
+  end_line : int;
+  end_col : int;
+  message : string;
+}
+
+type suppressed = { diag : t; justification : string }
+
+type report = {
+  files_scanned : int;
+  diagnostics : t list;
+  suppressions : suppressed list;
+}
+
+val of_location : rule:string -> message:string -> Location.t -> t
+
+val sort : t list -> t list
+
+val pp_human : Format.formatter -> t -> unit
+(** [file:line:col: [rule] message] — one line, editor-clickable. *)
+
+val to_json : report -> string
+(** The [ftr-lint/1] JSON document (see DESIGN.md section 10). *)

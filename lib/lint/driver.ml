@@ -1,0 +1,74 @@
+(* File discovery, parsing, and report assembly for ftr-lint. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_source ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  match Parse.implementation lexbuf with
+  | ast -> Ok ast
+  | exception exn ->
+      let message =
+        match Location.error_of_exn exn with
+        | Some (`Ok report) -> Format.asprintf "%a" Location.print_report report
+        | _ -> Printexc.to_string exn
+      in
+      Error message
+
+let lint_file ?(config = Rules.default_config) file =
+  let source = read_file file in
+  match parse_source ~file source with
+  | Error message ->
+      ( [
+          {
+            Diagnostic.rule = "P0";
+            file;
+            line = 1;
+            col = 0;
+            end_line = 1;
+            end_col = 0;
+            message = "parse error: " ^ String.trim message;
+          };
+        ],
+        [] )
+  | Ok structure -> Rules.run ~config ~file ~source structure
+
+(* Recursively collect the .ml files under each path (a path may also
+   name a single file). Hidden directories and _build are skipped; the
+   result is sorted so reports are deterministic. *)
+let collect_files paths =
+  let files = ref [] in
+  let rec visit path =
+    if Sys.is_directory path then
+      Array.iter
+        (fun entry ->
+          if
+            entry <> ""
+            && entry.[0] <> '.'
+            && entry <> "_build"
+            && entry <> "node_modules"
+          then visit (Filename.concat path entry))
+        (Sys.readdir path)
+    else if Filename.check_suffix path ".ml" then files := path :: !files
+  in
+  List.iter visit paths;
+  List.sort compare !files
+
+let lint_paths ?(config = Rules.default_config) paths =
+  let files = collect_files paths in
+  let diagnostics, suppressions =
+    List.fold_left
+      (fun (ds, ss) file ->
+        let d, s = lint_file ~config file in
+        (ds @ d, ss @ s))
+      ([], []) files
+  in
+  {
+    Diagnostic.files_scanned = List.length files;
+    diagnostics = Diagnostic.sort diagnostics;
+    suppressions;
+  }

@@ -1,0 +1,16 @@
+(** File discovery and report assembly for ftr-lint. *)
+
+val lint_file :
+  ?config:Rules.config ->
+  string ->
+  Diagnostic.t list * Diagnostic.suppressed list
+(** Lint one [.ml] file. A file that fails to parse yields a single
+    ["P0"] diagnostic rather than an exception. *)
+
+val collect_files : string list -> string list
+(** The [.ml] files under the given files/directories (recursive,
+    skipping [_build] and hidden directories), sorted. *)
+
+val lint_paths : ?config:Rules.config -> string list -> Diagnostic.report
+(** Lint every [.ml] file under the given paths and assemble the
+    sorted [ftr-lint/1] report. *)

@@ -1,0 +1,575 @@
+(* The five ftr-specific lint rules, run over a file's parsetree.
+
+   Everything here is syntactic: the pass never type-checks, so each
+   rule is written to be conservative on the patterns this repo
+   actually uses (see DESIGN.md section 10 for the contract of each
+   rule and its known blind spots).
+
+   Suppression: any expression, value binding or structure item may
+   carry [@lint.allow "Lx: justification"]. The rule id must be
+   followed by a colon and a non-empty justification; a bare
+   [@lint.allow "Lx"] is itself an error (rule L0), so every accepted
+   risk is documented at the site that takes it. *)
+
+open Parsetree
+
+type config = {
+  rules : string list;  (* enabled rule ids *)
+  allow_partial : string list;
+      (* L1 allowlist: path suffixes where partial ops are accepted
+         wholesale (prefer per-site [@lint.allow]) *)
+  unsafe_ok : string list;
+      (* L4 containment: path suffixes where unsafe ops are legal,
+         provided the enclosing definition carries a
+         "(* bounds: ... *)" proof comment *)
+}
+
+let all_rules = [ "L1"; "L2"; "L3"; "L4"; "L5" ]
+
+let default_config =
+  {
+    rules = all_rules;
+    allow_partial = [];
+    unsafe_ok = [ "lib/graph/bitset.ml"; "lib/core/surviving.ml" ];
+  }
+
+let path_matches file suffix =
+  file = suffix
+  || (String.length file > String.length suffix
+     && String.ends_with ~suffix file
+     && file.[String.length file - String.length suffix - 1] = '/')
+
+(* ------------------------------------------------------------------ *)
+(* Shared syntactic helpers                                           *)
+(* ------------------------------------------------------------------ *)
+
+let flat_ident e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match Longident.flatten txt with
+      | exception _ -> None
+      | parts -> Some (String.concat "." parts))
+  | _ -> None
+
+let strip_stdlib name =
+  match String.split_on_char '.' name with
+  | "Stdlib" :: rest when rest <> [] -> String.concat "." rest
+  | _ -> name
+
+let last_component name =
+  match List.rev (String.split_on_char '.' name) with
+  | last :: _ -> last
+  | [] -> name
+
+let module_prefix name =
+  match String.split_on_char '.' name with
+  | [ _ ] -> None
+  | m :: _ -> Some m
+  | [] -> None
+
+(* The base identifier under a chain of field projections: for
+   [state.tbl] that is [state]. Used by L3 to decide whether a mutated
+   value is captured. *)
+let rec head_ident e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } -> Some x
+  | Pexp_field (e, _) -> head_ident e
+  | Pexp_constraint (e, _) -> head_ident e
+  | _ -> None
+
+let string_const e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Suppression attributes                                             *)
+(* ------------------------------------------------------------------ *)
+
+type allow = { rule : string; justification : string option; at : Location.t }
+
+let allows_of_attributes (attrs : attributes) =
+  List.filter_map
+    (fun a ->
+      if a.attr_name.txt <> "lint.allow" then None
+      else
+        let payload =
+          match a.attr_payload with
+          | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> string_const e
+          | _ -> None
+        in
+        match payload with
+        | None -> Some { rule = "?"; justification = None; at = a.attr_loc }
+        | Some s -> (
+            match String.index_opt s ':' with
+            | None -> Some { rule = String.trim s; justification = None; at = a.attr_loc }
+            | Some i ->
+                let rule = String.trim (String.sub s 0 i) in
+                let just =
+                  String.trim (String.sub s (i + 1) (String.length s - i - 1))
+                in
+                let justification = if just = "" then None else Some just in
+                Some { rule; justification; at = a.attr_loc }))
+    attrs
+
+(* ------------------------------------------------------------------ *)
+(* Rule L1: partiality                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Partial operations with total *_opt (or matched) replacements; the
+   crash classes PR 4's sweep found reaching users. *)
+let l1_banned =
+  [
+    ("Option.get", "match on the option (Option.value / explicit branch)");
+    ("List.hd", "match on the list or use a *_opt traversal");
+    ("List.tl", "match on the list");
+    ("List.nth", "List.nth_opt");
+    ("Hashtbl.find", "Hashtbl.find_opt");
+    ("int_of_string", "int_of_string_opt");
+    ("float_of_string", "float_of_string_opt");
+    ("bool_of_string", "bool_of_string_opt");
+  ]
+
+let l1_check_ident name =
+  let name = strip_stdlib name in
+  List.assoc_opt name l1_banned
+  |> Option.map (fun subst ->
+         Printf.sprintf "partial `%s` (use %s)" name subst)
+
+let is_raise_not_found f args =
+  match flat_ident f with
+  | Some ("raise" | "Stdlib.raise" | "raise_notrace" | "Stdlib.raise_notrace") -> (
+      match args with
+      | [ (Asttypes.Nolabel, arg) ] -> (
+          match arg.pexp_desc with
+          | Pexp_construct ({ txt; _ }, None) -> (
+              match Longident.flatten txt with
+              | [ "Not_found" ] | [ "Stdlib"; "Not_found" ] -> true
+              | _ -> false
+              | exception _ -> false)
+          | _ -> false)
+      | _ -> false)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Rule L2: polymorphic ordering at float type                        *)
+(* ------------------------------------------------------------------ *)
+
+let float_returning =
+  [
+    "+."; "-."; "*."; "/."; "**"; "~-."; "~+."; "float_of_int"; "float_of_string";
+    "abs_float"; "sqrt"; "exp"; "log"; "log10"; "cos"; "sin"; "tan"; "atan";
+    "atan2"; "ceil"; "floor"; "mod_float"; "min_float"; "max_float";
+  ]
+
+(* Syntactic evidence that an expression is a float (or a float list /
+   array literal). No types: this under-approximates, which is the
+   right direction for a lint that gates CI. *)
+let rec is_floaty e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_apply (f, _) -> (
+      match flat_ident f with
+      | Some name ->
+          let name = strip_stdlib name in
+          List.mem name float_returning
+          || (match module_prefix name with Some "Float" -> true | _ -> false)
+      | None -> false)
+  | Pexp_constraint (_, t) -> (
+      match t.ptyp_desc with
+      | Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []) -> true
+      | _ -> false)
+  | Pexp_construct ({ txt = Longident.Lident "::"; _ }, Some arg) -> (
+      match arg.pexp_desc with
+      | Pexp_tuple [ hd; _ ] -> is_floaty hd
+      | _ -> false)
+  | Pexp_array (hd :: _) -> is_floaty hd
+  | Pexp_ifthenelse (_, e1, _) -> is_floaty e1
+  | Pexp_let (_, _, body) | Pexp_sequence (_, body) -> is_floaty body
+  | _ -> false
+
+let l2_poly_order = [ "compare"; "min"; "max" ]
+
+let l2_sorters =
+  [
+    "List.sort"; "List.sort_uniq"; "List.stable_sort"; "List.fast_sort";
+    "List.merge"; "Array.sort"; "Array.stable_sort"; "Array.fast_sort";
+  ]
+
+let is_bare_compare e =
+  match flat_ident e with
+  | Some name -> strip_stdlib name = "compare"
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Rule L4: unsafe-op containment                                     *)
+(* ------------------------------------------------------------------ *)
+
+let l4_unsafe_name name =
+  let name = strip_stdlib name in
+  if name = "Obj.magic" then true
+  else String.starts_with ~prefix:"unsafe_" (last_component name)
+
+(* ------------------------------------------------------------------ *)
+(* Rule L5: observability names must be literals                      *)
+(* ------------------------------------------------------------------ *)
+
+let l5_registrars = [ "Obs.counter"; "Obs.gauge"; "Obs.span"; "Obs.with_span" ]
+
+(* ------------------------------------------------------------------ *)
+(* Rule L3: Par capture-safety                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Entry points whose closure arguments run on other domains. *)
+let l3_fanouts = [ "Par.run"; "Par.map" ]
+
+(* Modules whose operations are domain-safe on captured state. *)
+let l3_safe_modules = [ "Atomic"; "Obs"; "Domain" ]
+
+let l3_mutators_by_module = [ "Hashtbl"; "Buffer"; "Queue"; "Stack" ]
+
+let rec pattern_vars p acc =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> txt :: acc
+  | Ppat_alias (p, { txt; _ }) -> pattern_vars p (txt :: acc)
+  | Ppat_tuple ps -> List.fold_left (fun acc p -> pattern_vars p acc) acc ps
+  | Ppat_construct (_, Some (_, p)) -> pattern_vars p acc
+  | Ppat_variant (_, Some p) -> pattern_vars p acc
+  | Ppat_record (fields, _) ->
+      List.fold_left (fun acc (_, p) -> pattern_vars p acc) acc fields
+  | Ppat_array ps -> List.fold_left (fun acc p -> pattern_vars p acc) acc ps
+  | Ppat_or (a, b) -> pattern_vars a (pattern_vars b acc)
+  | Ppat_constraint (p, _) | Ppat_lazy p | Ppat_open (_, p) | Ppat_exception p ->
+      pattern_vars p acc
+  | _ -> acc
+
+module StringSet = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Traversal                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  config : config;
+  file : string;
+  lines : string array;  (* source lines, for L4 proof comments *)
+  mutable allows : allow list;  (* active, justified suppressions *)
+  mutable item_bounds : int * int;  (* enclosing structure item lines *)
+  mutable par_owned : StringSet.t;
+  mutable diags : Diagnostic.t list;
+  mutable suppressed : Diagnostic.suppressed list;
+}
+
+let rule_enabled ctx rule = rule = "L0" || List.mem rule ctx.config.rules
+
+let emit ctx rule loc message =
+  if rule_enabled ctx rule then begin
+    let d = Diagnostic.of_location ~rule ~message loc in
+    match List.find_opt (fun (a : allow) -> a.rule = rule) ctx.allows with
+    | Some a ->
+        let justification = Option.value a.justification ~default:"" in
+        ctx.suppressed <- { Diagnostic.diag = d; justification } :: ctx.suppressed
+    | None ->
+        if
+          rule = "L1"
+          && List.exists (path_matches ctx.file) ctx.config.allow_partial
+        then ()
+        else ctx.diags <- d :: ctx.diags
+  end
+
+(* Push the justified [@lint.allow] attributes for the extent of [k];
+   an allow without a justification never suppresses anything — it is
+   its own (L0) diagnostic instead. *)
+let with_allows ctx attrs k =
+  let pushed =
+    List.filter_map
+      (fun (a : allow) ->
+        if a.rule = "?" then begin
+          emit ctx "L0" a.at
+            "[@lint.allow] expects a string payload \"Lx: justification\"";
+          None
+        end
+        else if not (List.mem a.rule all_rules) then begin
+          emit ctx "L0" a.at
+            (Printf.sprintf "[@lint.allow]: unknown rule %S" a.rule);
+          None
+        end
+        else
+          match a.justification with
+          | None ->
+              emit ctx "L0" a.at
+                (Printf.sprintf
+                   "unjustified [@lint.allow %S]: write \"%s: why this site is \
+                    safe\"" a.rule a.rule);
+              None
+          | Some _ -> Some a)
+      (allows_of_attributes attrs)
+  in
+  let saved = ctx.allows in
+  ctx.allows <- pushed @ ctx.allows;
+  Fun.protect ~finally:(fun () -> ctx.allows <- saved) k
+
+(* L4: does the enclosing definition (or the few lines just above it)
+   carry a "(* bounds: ... *)" proof comment? *)
+let span_has_bounds ctx =
+  let start_line, end_line = ctx.item_bounds in
+  let lo = max 1 (start_line - 4) in
+  let hi = min (Array.length ctx.lines) end_line in
+  let found = ref false in
+  for i = lo to hi do
+    let line = ctx.lines.(i - 1) in
+    let rec scan from =
+      match String.index_from_opt line from 'b' with
+      | Some j when j + 7 <= String.length line ->
+          if String.sub line j 7 = "bounds:" then found := true else scan (j + 1)
+      | _ -> ()
+    in
+    scan 0
+  done;
+  !found
+
+let l4_flag ctx name loc =
+  if List.exists (path_matches ctx.file) ctx.config.unsafe_ok then begin
+    if not (span_has_bounds ctx) then
+      emit ctx "L4" loc
+        (Printf.sprintf
+           "unsafe `%s` without a `(* bounds: ... *)` proof comment on the \
+            enclosing definition" name)
+  end
+  else
+    emit ctx "L4" loc
+      (Printf.sprintf "unsafe `%s` outside the containment files (%s)" name
+         (String.concat ", " ctx.config.unsafe_ok))
+
+let positional args =
+  List.filter_map
+    (function Asttypes.Nolabel, a -> Some a | _ -> None)
+    args
+
+(* --- L3 closure walk ---------------------------------------------- *)
+
+let add_pattern p bound =
+  List.fold_left (fun acc v -> StringSet.add v acc) bound (pattern_vars p [])
+
+let rec l3_walk ctx bound e =
+  with_allows ctx e.pexp_attributes @@ fun () ->
+  let free x = not (StringSet.mem x bound || StringSet.mem x ctx.par_owned) in
+  let children bound =
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr = (fun _ e' -> l3_walk ctx bound e');
+      }
+    in
+    Ast_iterator.default_iterator.expr it e
+  in
+  match e.pexp_desc with
+  | Pexp_let (rf, vbs, body) ->
+      let bound' =
+        List.fold_left (fun acc vb -> add_pattern vb.pvb_pat acc) bound vbs
+      in
+      let inner = if rf = Asttypes.Recursive then bound' else bound in
+      List.iter (fun vb -> l3_walk ctx inner vb.pvb_expr) vbs;
+      l3_walk ctx bound' body
+  | Pexp_fun (_, default, pat, body) ->
+      Option.iter (l3_walk ctx bound) default;
+      l3_walk ctx (add_pattern pat bound) body
+  | Pexp_function cases -> List.iter (l3_case ctx bound) cases
+  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+      l3_walk ctx bound scrut;
+      List.iter (l3_case ctx bound) cases
+  | Pexp_for (pat, lo, hi, _, body) ->
+      l3_walk ctx bound lo;
+      l3_walk ctx bound hi;
+      l3_walk ctx (add_pattern pat bound) body
+  | Pexp_setfield (obj, _, v) ->
+      (match head_ident obj with
+      | Some x when free x ->
+          emit ctx "L3" e.pexp_loc
+            (Printf.sprintf
+               "mutable field of captured `%s` assigned inside a Par task \
+                (capture immutable data, Atomic.t, or tag the binding \
+                [@par.owned])" x)
+      | _ -> ());
+      l3_walk ctx bound obj;
+      l3_walk ctx bound v
+  | Pexp_apply (f, args) -> (
+      let fname = Option.map strip_stdlib (flat_ident f) in
+      let first_head =
+        match positional args with a :: _ -> head_ident a | [] -> None
+      in
+      let flag_first what =
+        match first_head with
+        | Some x when free x ->
+            emit ctx "L3" e.pexp_loc
+              (Printf.sprintf
+                 "%s `%s` inside a Par task (use Atomic.t, task-local state \
+                  from ~init, or tag the binding [@par.owned])" what x)
+        | _ -> ()
+      in
+      let walk_args () = List.iter (fun (_, a) -> l3_walk ctx bound a) args in
+      match fname with
+      | Some "!" ->
+          flag_first "dereference of captured ref";
+          walk_args ()
+      | Some ":=" ->
+          flag_first "assignment to captured ref";
+          walk_args ()
+      | Some ("incr" | "decr") ->
+          flag_first "mutation of captured ref";
+          walk_args ()
+      | Some ("Array.set" | "Array.unsafe_set" | "Bytes.set"
+             | "Bytes.unsafe_set" | "Array.fill" | "Array.blit") ->
+          flag_first "mutation of captured array";
+          walk_args ()
+      | Some name
+        when match module_prefix name with
+             | Some m -> List.mem m l3_mutators_by_module
+             | None -> false ->
+          flag_first (Printf.sprintf "captured mutable state passed to `%s`" name);
+          walk_args ()
+      | Some name
+        when match module_prefix name with
+             | Some m -> List.mem m l3_safe_modules
+             | None -> false ->
+          (* Atomic/Obs/Domain operations are the sanctioned way to
+             share state across tasks. *)
+          walk_args ()
+      | _ ->
+          l3_walk ctx bound f;
+          walk_args ())
+  | _ -> children bound
+
+and l3_case ctx bound (c : case) =
+  let bound' = add_pattern c.pc_lhs bound in
+  Option.iter (l3_walk ctx bound') c.pc_guard;
+  l3_walk ctx bound' c.pc_rhs
+
+let l3_closure ctx e = l3_walk ctx StringSet.empty e
+
+(* --- per-expression rule checks ----------------------------------- *)
+
+let l2_check ctx f args loc =
+  match flat_ident f with
+  | None -> ()
+  | Some name -> (
+      let name = strip_stdlib name in
+      let pos = positional args in
+      if List.mem name l2_poly_order && List.exists is_floaty pos then
+        emit ctx "L2" loc
+          (Printf.sprintf
+             "polymorphic `%s` at float type (use Float.%s: NaN poisons \
+              polymorphic ordering)" name name)
+      else if List.mem name l2_sorters then
+        match pos with
+        | cmp :: rest when is_bare_compare cmp && List.exists is_floaty rest ->
+            emit ctx "L2" loc
+              (Printf.sprintf
+                 "`%s compare` over floats (use Float.compare: NaN poisons \
+                  polymorphic ordering)" name)
+        | _ -> ())
+
+let l5_check ctx f args =
+  match flat_ident f with
+  | Some name when List.mem (strip_stdlib name) l5_registrars -> (
+      match positional args with
+      | arg :: _ when string_const arg = None ->
+          emit ctx "L5" arg.pexp_loc
+            (Printf.sprintf
+               "`%s` requires a literal name: dynamic names grow the registry \
+                without bound and break the jobs-determinism of counter JSON"
+               (strip_stdlib name))
+      | _ -> ())
+  | _ -> ()
+
+let l3_dispatch ctx f args =
+  match flat_ident f with
+  | Some name when List.mem (strip_stdlib name) l3_fanouts ->
+      List.iter
+        (fun (_, a) ->
+          match a.pexp_desc with
+          | Pexp_fun _ | Pexp_function _ -> l3_closure ctx a
+          | _ -> ())
+        args
+  | _ -> ()
+
+let check_expr ctx e =
+  match e.pexp_desc with
+  | Pexp_ident _ -> (
+      match flat_ident e with
+      | Some name ->
+          (match l1_check_ident name with
+          | Some msg -> emit ctx "L1" e.pexp_loc msg
+          | None -> ());
+          if l4_unsafe_name name then l4_flag ctx name e.pexp_loc
+      | None -> ())
+  | Pexp_apply (f, args) ->
+      if is_raise_not_found f args then
+        emit ctx "L1" e.pexp_loc
+          "naked `raise Not_found` (raise a diagnostic exception or return an \
+           option)";
+      l2_check ctx f args e.pexp_loc;
+      l5_check ctx f args;
+      l3_dispatch ctx f args
+  | _ -> ()
+
+(* --- whole-file entry point --------------------------------------- *)
+
+let collect_par_owned structure =
+  let owned = ref StringSet.empty in
+  let tag attrs pat =
+    if List.exists (fun a -> a.attr_name.txt = "par.owned") attrs then
+      owned :=
+        List.fold_left (fun acc v -> StringSet.add v acc) !owned
+          (pattern_vars pat [])
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      value_binding =
+        (fun it vb ->
+          tag vb.pvb_attributes vb.pvb_pat;
+          tag vb.pvb_pat.ppat_attributes vb.pvb_pat;
+          Ast_iterator.default_iterator.value_binding it vb);
+    }
+  in
+  it.structure it structure;
+  !owned
+
+let run ~config ~file ~source structure =
+  let lines = Array.of_list (String.split_on_char '\n' source) in
+  let ctx =
+    {
+      config;
+      file;
+      lines;
+      allows = [];
+      item_bounds = (1, Array.length lines);
+      par_owned = collect_par_owned structure;
+      diags = [];
+      suppressed = [];
+    }
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          with_allows ctx e.pexp_attributes @@ fun () ->
+          check_expr ctx e;
+          Ast_iterator.default_iterator.expr it e);
+      structure_item =
+        (fun it si ->
+          let saved = ctx.item_bounds in
+          ctx.item_bounds <-
+            (si.pstr_loc.loc_start.pos_lnum, si.pstr_loc.loc_end.pos_lnum);
+          Ast_iterator.default_iterator.structure_item it si;
+          ctx.item_bounds <- saved);
+      value_binding =
+        (fun it vb ->
+          with_allows ctx vb.pvb_attributes @@ fun () ->
+          Ast_iterator.default_iterator.value_binding it vb);
+    }
+  in
+  it.structure it structure;
+  (List.rev ctx.diags, List.rev ctx.suppressed)

@@ -1,0 +1,45 @@
+(** The five ftr-specific static-analysis rules (DESIGN.md section 10):
+
+    - L1 partiality: [Option.get], [List.hd]/[tl]/[nth],
+      [Hashtbl.find], [Failure]-raising [*_of_string], naked
+      [raise Not_found].
+    - L2 float ordering: polymorphic [compare]/[min]/[max]/sorts with
+      syntactic float evidence (NaN poisons polymorphic ordering).
+    - L3 Par capture-safety: closures passed to [Par.run]/[Par.map]
+      must not dereference or mutate captured [ref]s, mutable fields,
+      arrays, [Hashtbl.t] or [Buffer.t]; [Atomic]/[Obs] operations and
+      bindings tagged [[@par.owned]] are exempt.
+    - L4 unsafe containment: [*.unsafe_*] and [Obj.magic] only in the
+      [unsafe_ok] files and only under a ["(* bounds: ... *)"] proof
+      comment.
+    - L5 obs-name constancy: [Obs.counter]/[gauge]/[span]/[with_span]
+      require literal name arguments.
+
+    Suppression: [[@lint.allow "Lx: justification"]] on an expression
+    or value binding. A missing justification is itself an error
+    (rule L0). *)
+
+type config = {
+  rules : string list;  (** enabled rule ids, e.g. [["L1"; "L4"]] *)
+  allow_partial : string list;
+      (** L1 allowlist: path suffixes where partial ops are accepted *)
+  unsafe_ok : string list;
+      (** L4 containment: path suffixes where unsafe ops are legal
+          under a bounds comment *)
+}
+
+val all_rules : string list
+
+val default_config : config
+(** All rules on; empty L1 allowlist; unsafe ops contained to
+    [lib/graph/bitset.ml] and [lib/core/surviving.ml]. *)
+
+val run :
+  config:config ->
+  file:string ->
+  source:string ->
+  Parsetree.structure ->
+  Diagnostic.t list * Diagnostic.suppressed list
+(** Run every enabled rule over one parsed file. [source] is the raw
+    text (needed for L4's proof-comment check). Returns the failing
+    diagnostics and the suppressed ones, in traversal order. *)

@@ -75,13 +75,20 @@ let rec traverse sim net endpoint config msg waypoints on_done =
   | [ _ ] -> finish sim msg Message.Delivered on_done
   | a :: (b :: _ as rest) ->
       if Network.route_survives net ~src:a ~dst:b then begin
-        let p = Option.get (Routing.find (Network.routing net) a b) in
-        msg.Message.routes_traversed <- msg.Message.routes_traversed + 1;
-        msg.Message.hops <- msg.Message.hops + Path.length p;
-        let transit = config.hop_latency *. float_of_int (Path.length p) in
-        Sim.schedule sim ~delay:transit (fun () ->
-            process endpoint sim config ~node:b (fun () ->
-                traverse sim net endpoint config msg rest on_done))
+        match Routing.find (Network.routing net) a b with
+        | None ->
+            (* The plan references a pair the table does not route: the
+               planner and the table disagree. Dead-letter the message
+               (it counts against delivery, so soak/tests see it)
+               rather than crash the whole simulation. *)
+            finish sim msg Message.DeadLetter on_done
+        | Some p ->
+            msg.Message.routes_traversed <- msg.Message.routes_traversed + 1;
+            msg.Message.hops <- msg.Message.hops + Path.length p;
+            let transit = config.hop_latency *. float_of_int (Path.length p) in
+            Sim.schedule sim ~delay:transit (fun () ->
+                process endpoint sim config ~node:b (fun () ->
+                    traverse sim net endpoint config msg rest on_done))
       end
       else
         (* Route died under us: pay the detection cost and re-plan

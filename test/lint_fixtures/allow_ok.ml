@@ -1,0 +1,3 @@
+(* Suppression fixture: a justified [@lint.allow] silences the
+   diagnostic but records it in the report's suppressed list. *)
+let first xs = (List.hd xs [@lint.allow "L1: fixture exercises a justified suppression"])

@@ -1,0 +1,3 @@
+(* Suppression fixture: a bare [@lint.allow "L1"] with no justification
+   is itself an error (L0) and suppresses nothing. *)
+let first xs = (List.hd xs [@lint.allow "L1"])

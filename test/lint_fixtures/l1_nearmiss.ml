@@ -1,0 +1,10 @@
+(* L1 near-miss: total counterparts of everything l1_trigger.ml does. *)
+let first xs = match xs with [] -> None | x :: _ -> Some x
+let rest xs = match xs with [] -> [] | _ :: tl -> tl
+let lookup tbl k = Hashtbl.find_opt tbl k
+let force o = Option.value o ~default:0
+let parse s = int_of_string_opt s
+
+exception Missing of string
+
+let boom () = raise (Missing "key")

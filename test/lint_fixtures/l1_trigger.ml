@@ -1,0 +1,7 @@
+(* L1 fixture: every line below is a partial operation the lint must flag. *)
+let first xs = List.hd xs
+let rest xs = List.tl xs
+let lookup tbl k = Hashtbl.find tbl k
+let force o = Option.get o
+let parse s = int_of_string s
+let boom () = raise Not_found

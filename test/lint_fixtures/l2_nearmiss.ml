@@ -1,0 +1,7 @@
+(* L2 near-miss: Float.* ordering over floats, polymorphic ordering
+   over ints only. *)
+let worst a = Float.max a 1.0
+let sign x = Float.compare x 0.0
+let order () = List.sort Float.compare [ 2.0; 1.0 ]
+let ints a = max a 1
+let int_order () = List.sort compare [ 2; 1 ]

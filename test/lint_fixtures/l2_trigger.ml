@@ -1,0 +1,4 @@
+(* L2 fixture: polymorphic ordering with syntactic float evidence. *)
+let worst a = max a 1.0
+let sign x = compare x 0.0
+let order () = List.sort compare [ 2.0; 1.0 ]

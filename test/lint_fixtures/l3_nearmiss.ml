@@ -1,0 +1,17 @@
+(* L3 near-miss: Atomic.t, task-local refs, and [@par.owned]-tagged
+   captures are all sanctioned; mutation outside a Par task is not the
+   rule's business. *)
+let total = Atomic.make 0
+let sum xs = Par.map (fun x -> Atomic.set total x) xs
+
+let local xs =
+  Par.map
+    (fun x ->
+      let acc = ref x in
+      incr acc;
+      !acc)
+    xs
+
+let[@par.owned] owned = ref 0
+let tagged xs = Par.map (fun x -> owned := x) xs
+let bump r = incr r

@@ -1,0 +1,4 @@
+(* L3 fixture: Par closures mutating / dereferencing captured refs. *)
+let total = ref 0
+let sum xs = Par.map (fun x -> total := x) xs
+let read () = Par.run (fun () -> !total)

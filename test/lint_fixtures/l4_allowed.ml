@@ -1,0 +1,4 @@
+(* L4 fixture: legal when this file is in [unsafe_ok] because the
+   definition carries a proof comment.
+   bounds: caller guarantees 0 <= i < Array.length a. *)
+let get a i = Array.unsafe_get a i

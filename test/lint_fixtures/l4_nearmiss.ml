@@ -1,0 +1,3 @@
+(* L4 near-miss: only checked operations. *)
+let get a i = Array.get a i
+let magic x = x

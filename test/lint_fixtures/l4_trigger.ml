@@ -1,0 +1,4 @@
+(* L4 fixture: an unsafe op outside the containment files.  The bounds
+   comment below must NOT rescue it — containment comes first.
+   bounds: irrelevant here, this file is not in unsafe_ok. *)
+let get a i = Array.unsafe_get a i

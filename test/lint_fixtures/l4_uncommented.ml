@@ -1,0 +1,4 @@
+(* L4 fixture: even inside an [unsafe_ok] file, an unsafe op with no
+   proof comment on its definition must be flagged. *)
+
+let get a i = Array.unsafe_get a i

@@ -1,0 +1,4 @@
+(* L5 near-miss: literal names only. *)
+let c () = Obs.counter "protocol.delivered"
+let g () = Obs.gauge "queue.depth"
+let s () = Obs.with_span "certify" (fun () -> ())

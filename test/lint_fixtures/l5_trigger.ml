@@ -1,0 +1,3 @@
+(* L5 fixture: dynamic observability names. *)
+let c name = Obs.counter name
+let g () = Obs.gauge ("queue." ^ "depth")

@@ -86,6 +86,34 @@ let test_capacity_mismatch () =
   Alcotest.check_raises "equal mismatch" (Invalid_argument "Bitset: capacity mismatch")
     (fun () -> ignore (Bitset.equal a b))
 
+(* The unsafe_* variants carry "(* bounds: ... *)" proof comments in
+   place of range checks (lint rule L4); this property pins them to the
+   checked operations on every in-range index. *)
+let test_unsafe_agrees =
+  QCheck.Test.make ~name:"unsafe_* agree with checked counterparts" ~count:500
+    QCheck.(pair (int_range 1 300) (small_list (pair (int_range 0 10_000) bool)))
+    (fun (capacity, ops) ->
+      let checked = Bitset.create capacity in
+      let unchecked = Bitset.create capacity in
+      List.iter
+        (fun (i, adding) ->
+          let i = i mod capacity in
+          if adding then begin
+            Bitset.add checked i;
+            Bitset.unsafe_add unchecked i
+          end
+          else begin
+            Bitset.remove checked i;
+            Bitset.unsafe_remove unchecked i
+          end)
+        ops;
+      Bitset.equal checked unchecked
+      && List.for_all
+           (fun (i, _) ->
+             let i = i mod capacity in
+             Bitset.mem checked i = Bitset.unsafe_mem unchecked i)
+           ops)
+
 let () =
   Alcotest.run "bitset"
     [
@@ -103,4 +131,5 @@ let () =
           Alcotest.test_case "clear" `Quick test_clear;
           Alcotest.test_case "capacity mismatch" `Quick test_capacity_mismatch;
         ] );
+      ("unsafe", [ QCheck_alcotest.to_alcotest test_unsafe_agrees ]);
     ]

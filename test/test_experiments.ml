@@ -10,11 +10,23 @@ let test_registry () =
         (String.length (Experiments.describe id) > 0))
     Experiments.ids
 
+(* Unknown ids fail with a diagnostic Invalid_argument that names the
+   bad id, not a bare Not_found. *)
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let test_unknown_id () =
-  Alcotest.check_raises "describe" Not_found (fun () ->
-      ignore (Experiments.describe "E99"));
-  Alcotest.check_raises "run" Not_found (fun () ->
-      ignore (Experiments.run quick_ctx "E99"))
+  let check_unknown name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument msg ->
+        Alcotest.(check bool) (name ^ " names the bad id") true
+          (contains_substring msg "E99")
+  in
+  check_unknown "describe" (fun () -> ignore (Experiments.describe "E99"));
+  check_unknown "run" (fun () -> ignore (Experiments.run quick_ctx "E99"))
 
 let test_no_violations_in_core_claims () =
   (* The cheapest theorem experiments, end to end. *)

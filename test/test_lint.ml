@@ -1,0 +1,134 @@
+(* ftr-lint's own test coverage (DESIGN.md section 10): one trigger and
+   one near-miss fixture per rule, the suppression contract, the
+   rule-disable switch, and a golden test of the ftr-lint/1 JSON. *)
+
+module Diagnostic = Ftr_lint.Diagnostic
+module Rules = Ftr_lint.Rules
+module Driver = Ftr_lint.Driver
+
+let fixture name = Filename.concat "lint_fixtures" name
+let lint ?config name = Driver.lint_file ?config (fixture name)
+let rules_of diags = List.map (fun (d : Diagnostic.t) -> d.Diagnostic.rule) diags
+
+let check_rules msg expected (diags, _suppressed) =
+  Alcotest.(check (list string)) msg expected (rules_of diags)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Every rule id must be disableable: the trigger fixture goes quiet
+   when its rule is removed from [config.rules]. *)
+let without rule =
+  {
+    Rules.default_config with
+    Rules.rules = List.filter (fun r -> r <> rule) Rules.all_rules;
+  }
+
+let triggers =
+  [
+    ("L1", "l1_trigger.ml", 6);
+    ("L2", "l2_trigger.ml", 3);
+    ("L3", "l3_trigger.ml", 2);
+    ("L4", "l4_trigger.ml", 1);
+    ("L5", "l5_trigger.ml", 2);
+  ]
+
+let nearmisses =
+  [
+    "l1_nearmiss.ml"; "l2_nearmiss.ml"; "l3_nearmiss.ml"; "l4_nearmiss.ml";
+    "l5_nearmiss.ml";
+  ]
+
+let test_triggers () =
+  List.iter
+    (fun (rule, file, count) ->
+      check_rules file (List.init count (fun _ -> rule)) (lint file))
+    triggers
+
+let test_nearmisses () =
+  List.iter (fun file -> check_rules file [] (lint file)) nearmisses
+
+let test_rule_disable () =
+  List.iter
+    (fun (rule, file, _) ->
+      check_rules
+        (Printf.sprintf "%s off silences %s" rule file)
+        []
+        (lint ~config:(without rule) file))
+    triggers
+
+let test_l4_containment_first () =
+  (* The bounds comment in l4_trigger.ml must not rescue an unsafe op
+     outside the containment files. *)
+  let diags, _ = lint "l4_trigger.ml" in
+  match diags with
+  | [ d ] ->
+      Alcotest.(check bool)
+        "message names containment" true
+        (contains_substring d.Diagnostic.message "outside the containment")
+  | ds -> Alcotest.failf "expected 1 diagnostic, got %d" (List.length ds)
+
+let contained =
+  {
+    Rules.default_config with
+    Rules.unsafe_ok = [ "l4_allowed.ml"; "l4_uncommented.ml" ];
+  }
+
+let test_l4_proof_comment () =
+  check_rules "bounds comment accepted" [] (lint ~config:contained "l4_allowed.ml");
+  let diags, _ = lint ~config:contained "l4_uncommented.ml" in
+  match diags with
+  | [ d ] ->
+      Alcotest.(check string) "rule" "L4" d.Diagnostic.rule;
+      Alcotest.(check bool)
+        "message demands a proof comment" true
+        (contains_substring d.Diagnostic.message "bounds")
+  | ds -> Alcotest.failf "expected 1 diagnostic, got %d" (List.length ds)
+
+let test_allow_justified () =
+  let diags, suppressed = lint "allow_ok.ml" in
+  Alcotest.(check (list string)) "nothing unsuppressed" [] (rules_of diags);
+  match suppressed with
+  | [ s ] ->
+      Alcotest.(check string) "suppressed rule" "L1" s.Diagnostic.diag.Diagnostic.rule;
+      Alcotest.(check string)
+        "justification recorded" "fixture exercises a justified suppression"
+        s.Diagnostic.justification
+  | ss -> Alcotest.failf "expected 1 suppression, got %d" (List.length ss)
+
+let test_allow_unjustified () =
+  (* The bare allow is its own error (L0) and the L1 still fires. *)
+  let diags, suppressed = lint "allow_unjustified.ml" in
+  Alcotest.(check (list string)) "L0 plus the undimmed L1" [ "L0"; "L1" ]
+    (rules_of diags);
+  Alcotest.(check int) "nothing suppressed" 0 (List.length suppressed)
+
+let test_golden_json () =
+  let report = Driver.lint_paths [ "lint_fixtures" ] in
+  let golden =
+    In_channel.with_open_text (fixture "golden.json") In_channel.input_all
+  in
+  Alcotest.(check string) "ftr-lint/1 report" golden (Diagnostic.to_json report)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "triggers fire" `Quick test_triggers;
+          Alcotest.test_case "near-misses stay quiet" `Quick test_nearmisses;
+          Alcotest.test_case "disabling a rule silences it" `Quick test_rule_disable;
+          Alcotest.test_case "L4 containment precedes comments" `Quick
+            test_l4_containment_first;
+          Alcotest.test_case "L4 proof-comment contract" `Quick test_l4_proof_comment;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "justified allow suppresses" `Quick test_allow_justified;
+          Alcotest.test_case "unjustified allow is an error" `Quick
+            test_allow_unjustified;
+        ] );
+      ("report", [ Alcotest.test_case "golden ftr-lint/1 JSON" `Quick test_golden_json ]);
+    ]
