@@ -6,6 +6,9 @@
      tolerate  fault-injection check of a construction's claims
      simulate  message-level simulation with crashes
      attack    adversarial fault search + witness corpus
+     soak      corpus replay against the churn-hardened protocol
+     serve     long-lived routing daemon (and its --slo soak gate)
+     query     client for a running serve daemon
      dot       DOT export                                           *)
 
 open Cmdliner
@@ -393,17 +396,6 @@ let sanitize s =
       match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c | _ -> '-')
     s
 
-let claim_bound_for c ~f =
-  List.fold_left
-    (fun acc (cl : Construction.claim) ->
-      if cl.max_faults >= f then
-        Some
-          (match acc with
-          | None -> cl.diameter_bound
-          | Some b -> min b cl.diameter_bound)
-      else acc)
-    None c.Construction.claims
-
 (* One construction (and one compiled table) per distinct provenance
    triple, shared across its witnesses. *)
 let construction_cache () =
@@ -641,7 +633,7 @@ let attack_cmd =
                       (List.length w_nodes + List.length w_edges);
                     Printf.printf "evals used          %d (budget %d)\n" evals budget;
                     Printf.printf "restarts            %d\n" restarts_used;
-                    let bound = claim_bound_for c ~f in
+                    let bound = Construction.bound_for c ~f in
                     (match bound with
                     | Some b ->
                         Printf.printf "claim bound         %d -> %s\n" b
@@ -737,6 +729,24 @@ let attack_cmd =
 
 (* ---------------- soak ---------------- *)
 
+(* The soak-style gates (ftr soak, ftr serve --slo) share a documented
+   exit-code contract so CI can tell a broken promise from a broken
+   invocation from a broken environment. *)
+let soak_exits =
+  [
+    Cmd.Exit.info 0 ~doc:"every check passed";
+    Cmd.Exit.info 1
+      ~doc:
+        "a promise was breached: dead letters or dropped/degraded queries \
+         within a proven (d, f) budget, a latency SLO miss, or a journal \
+         replay divergence";
+    Cmd.Exit.info 2 ~doc:"invalid flag values (usage error)";
+    Cmd.Exit.info 3
+      ~doc:
+        "environment or input failure: unreadable or unparseable corpus, a \
+         construction that no longer builds, socket setup failure";
+  ]
+
 let soak_cmd =
   let corpus_arg =
     Arg.(
@@ -759,21 +769,25 @@ let soak_cmd =
       value & opt float 20.0
       & info [ "gap" ] ~docv:"T" ~doc:"Healthy time between waves.")
   in
-  (* A witness node becomes one incident link (to its smallest
-     neighbour): at most f link faults per wave, which the paper's
-     reduction projects to at most f node faults, so each claim's
-     (d, f) bound still applies and a within-budget wave must produce
-     zero dead letters. *)
+  (* Witness waves replay as link flaps via Faults.witness_links: a
+     witness node becomes one incident link, so a within-budget
+     witness stays within budget under the paper's endpoint
+     reduction, and a within-budget wave must produce zero dead
+     letters. *)
   let wave_of_entry g (e : Attack.Corpus.entry) =
-    let of_node v =
-      let nb = Graph.neighbors g v in
-      if Array.length nb = 0 then None
-      else Some (min v nb.(0), max v nb.(0))
-    in
-    List.sort_uniq compare (e.edges @ List.filter_map of_node e.faults)
+    Ftr_sim.Faults.witness_links g ~nodes:e.faults ~links:e.edges
   in
   let run corpus_dir seed messages dwell gap metrics trace =
     with_obs metrics trace @@ fun () ->
+    if messages <= 0 then begin
+      Printf.eprintf "soak: --messages must be positive (got %d)\n" messages;
+      2
+    end
+    else if dwell < 0.0 || gap < 0.0 then begin
+      Printf.eprintf "soak: --dwell and --gap must be non-negative\n";
+      2
+    end
+    else
     let files = Attack.Corpus.load_dir corpus_dir in
     if files = [] then begin
       Printf.printf "no corpus files under %s\n" corpus_dir;
@@ -790,7 +804,7 @@ let soak_cmd =
         List.iter
           (fun (path, e) -> Printf.eprintf "%s: PARSE ERROR: %s\n" path e)
           parse_errors;
-        1
+        3
       end
       else begin
         let entries =
@@ -808,7 +822,7 @@ let soak_cmd =
               (e :: (Option.value (Hashtbl.find_opt groups key) ~default:[])))
           entries;
         let construction_for = construction_cache () in
-        let failures = ref 0 in
+        let breaches = ref 0 and infra = ref 0 in
         let all_msgs = ref [] in
         List.iter
           (fun ((spec, strat, cseed) as key) ->
@@ -817,7 +831,7 @@ let soak_cmd =
             in
             match construction_for key with
             | Error msg ->
-                incr failures;
+                incr infra;
                 Printf.printf "%s %s seed=%d: ERROR: %s\n" spec strat cseed msg
             | Ok (c, _) ->
                 let g = Routing.graph c.Construction.routing in
@@ -847,11 +861,11 @@ let soak_cmd =
                   List.for_all2
                     (fun (e : Attack.Corpus.entry) w ->
                       List.length w <= e.f
-                      && claim_bound_for c ~f:(List.length w) <> None)
+                      && Construction.bound_for c ~f:(List.length w) <> None)
                     group waves_all
                 in
                 if within_budget && d.Ftr_sim.Stats.dead_letters > 0 then begin
-                  incr failures;
+                  incr breaches;
                   Printf.printf
                     "%s %s seed=%d: %d dead letter(s) within the claim budget\n"
                     spec strat cseed d.Ftr_sim.Stats.dead_letters
@@ -865,12 +879,12 @@ let soak_cmd =
         (match total.Ftr_sim.Stats.replans_per_message with
         | Some s -> Format.printf "replans/message: %a@." Ftr_sim.Stats.pp_summary s
         | None -> ());
-        if !failures = 0 then 0 else 1
+        if !infra > 0 then 3 else if !breaches > 0 then 1 else 0
       end
     end
   in
   Cmd.v
-    (Cmd.info "soak"
+    (Cmd.info "soak" ~exits:soak_exits
        ~doc:
          "replay attack witnesses as link-flap waves against the \
           churn-hardened protocol and report delivery, latency, re-plans and \
@@ -878,6 +892,469 @@ let soak_cmd =
     Term.(
       const run $ corpus_arg $ seed_arg $ messages_arg $ dwell_arg $ gap_arg
       $ metrics_arg $ trace_arg)
+
+(* ---------------- serve ---------------- *)
+
+module Serve = Ftr_serve
+
+(* The corpus carries CLI provenance (graph spec, strategy name,
+   seed); this maps it back through the same strategy table as
+   `ftr route`. *)
+let build_for_corpus ~graph ~strategy ~seed =
+  match Ftr_analysis.Graph_spec.parse graph with
+  | Error e -> Error ("bad graph spec: " ^ e)
+  | Ok g -> (
+      match List.assoc_opt strategy strategies with
+      | None -> Error (Printf.sprintf "unknown strategy %S" strategy)
+      | Some s -> (
+          match build_construction g s seed with
+          | exception Invalid_argument msg -> Error msg
+          | c -> Ok c))
+
+let serve_cmd =
+  let spec_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"GRAPH"
+          ~doc:"Graph spec to serve (required unless $(b,--slo)).")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Unix domain socket to listen on (required unless $(b,--slo)). \
+             Requests are newline-delimited JSON; see `ftr query` for a \
+             client.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead fault journal: every accepted fault delta is fsynced \
+             to $(docv) before it is applied, and an existing journal is \
+             replayed at startup so a restarted daemon resumes in the exact \
+             fault state it died in.")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission budget: requests arriving while $(docv) are already \
+             queued are shed with an explicit response rather than queued \
+             without bound.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request wait deadline: a request that waits longer than \
+             $(docv) in the admission queue is expired (answered with a shed \
+             response), not served late. 0 disables.")
+  in
+  let bound_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bound" ] ~docv:"D"
+          ~doc:
+            "Proven diameter bound in force: surviving routes longer than \
+             $(docv) are answered but flagged degraded. Default: the \
+             tightest claim covering the construction's full fault budget.")
+  in
+  let slo_arg =
+    Arg.(
+      value & flag
+      & info [ "slo" ]
+          ~doc:
+            "SLO soak mode: instead of listening on a socket, replay the \
+             witness corpus as live churn through the same serve stack \
+             (admission, journal, degraded mode) and exit non-zero on any \
+             dropped in-budget query, over-bound route, journal divergence \
+             or p99 latency breach.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt string "corpus"
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Witness corpus for $(b,--slo).")
+  in
+  let queries_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "queries" ] ~docv:"Q"
+          ~doc:"Route queries per soak phase (baseline, per-wave, recovery).")
+  in
+  let slo_p99_arg =
+    Arg.(
+      value & opt float 25.0
+      & info [ "slo-p99-ms" ] ~docv:"MS"
+          ~doc:"p99 service-latency threshold for $(b,--slo).")
+  in
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Before soaking each construction, exhaustively re-certify the \
+             in-budget (d, f) claim its witnesses run under \
+             ($(b,--jobs) parallelises this).")
+  in
+  let slo_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo-out" ] ~docv:"FILE"
+          ~doc:"Write the slo.json artifact (per-construction reports, \
+                percentiles, verdict).")
+  in
+  let journal_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the soak's per-construction fault journals \
+             (default: the system temp directory).")
+  in
+  let run spec strategy seed socket journal max_queue deadline_ms bound slo
+      corpus queries slo_p99 certify slo_out journal_dir jobs metrics trace =
+    with_obs metrics trace @@ fun () ->
+    if slo then begin
+      if queries <= 0 then begin
+        Printf.eprintf "serve --slo: --queries must be positive (got %d)\n"
+          queries;
+        2
+      end
+      else if slo_p99 <= 0.0 then begin
+        Printf.eprintf "serve --slo: --slo-p99-ms must be positive (got %g)\n"
+          slo_p99;
+        2
+      end
+      else begin
+        let files = Attack.Corpus.load_dir corpus in
+        if files = [] then begin
+          Printf.printf "no corpus files under %s\n" corpus;
+          0
+        end
+        else begin
+          let parse_errors =
+            List.filter_map
+              (fun (path, r) ->
+                match r with Error e -> Some (path, e) | Ok _ -> None)
+              files
+          in
+          if parse_errors <> [] then begin
+            List.iter
+              (fun (path, e) -> Printf.eprintf "%s: PARSE ERROR: %s\n" path e)
+              parse_errors;
+            3
+          end
+          else begin
+            let entries =
+              List.concat_map (fun (_, r) -> Result.get_ok r) files
+            in
+            let jdir =
+              match journal_dir with
+              | Some d -> d
+              | None -> Filename.get_temp_dir_name ()
+            in
+            let cfg =
+              {
+                Serve.Soak.queries;
+                slo_p99_ms = slo_p99;
+                seed;
+                jobs;
+                certify;
+                journal_dir = jdir;
+              }
+            in
+            let outcome = Serve.Soak.run ~build:build_for_corpus ~entries cfg in
+            List.iter
+              (fun (r : Serve.Soak.report) ->
+                match r.Serve.Soak.infra with
+                | Some msg -> Printf.printf "%-32s INFRA: %s\n" r.label msg
+                | None ->
+                    Printf.printf
+                      "%-32s %d wave(s) (%d in-budget)  %d queries  %d \
+                       degraded  %d shed  p99=%s%s%s\n"
+                      r.label r.waves r.in_budget_waves r.queries r.degraded
+                      r.shed
+                      (match r.p99_ms with
+                      | Some p -> Printf.sprintf "%.3fms" p
+                      | None -> "-")
+                      (match r.certified with
+                      | Some (b, k) -> Printf.sprintf "  certified(%d,%d)" b k
+                      | None -> "")
+                      (if r.journal_digest_ok then ""
+                       else "  JOURNAL-DIVERGED");
+                    List.iter
+                      (fun v -> Printf.printf "    violation: %s\n" v)
+                      r.violations)
+              outcome.Serve.Soak.reports;
+            Printf.printf "total: %d queries, dropped-in-budget=%d, p99=%s -> %s\n"
+              outcome.Serve.Soak.total_queries
+              outcome.Serve.Soak.dropped_in_budget
+              (match outcome.Serve.Soak.p99_ms with
+              | Some p -> Printf.sprintf "%.3fms" p
+              | None -> "-")
+              (Serve.Exit_code.describe outcome.Serve.Soak.exit);
+            (match slo_out with
+            | None -> ()
+            | Some path -> (
+                try
+                  let oc = open_out path in
+                  output_string oc
+                    (Serve.Sjson.to_string (Serve.Soak.to_json cfg outcome));
+                  output_char oc '\n';
+                  close_out oc
+                with Sys_error e ->
+                  Printf.eprintf "cannot write %s: %s\n" path e));
+            Serve.Exit_code.to_int outcome.Serve.Soak.exit
+          end
+        end
+      end
+    end
+    else begin
+      match (spec, socket) with
+      | None, _ ->
+          Printf.eprintf "a GRAPH spec is required unless --slo is given\n";
+          2
+      | _, None ->
+          Printf.eprintf "--socket PATH is required unless --slo is given\n";
+          2
+      | Some spec, Some socket ->
+          if max_queue <= 0 then begin
+            Printf.eprintf "serve: --max-queue must be positive (got %d)\n"
+              max_queue;
+            2
+          end
+          else if deadline_ms < 0.0 then begin
+            Printf.eprintf "serve: --deadline-ms must be non-negative\n";
+            2
+          end
+          else begin
+            match Ftr_analysis.Graph_spec.parse spec with
+            | Error e ->
+                Printf.eprintf "bad graph spec: %s\n" e;
+                3
+            | Ok g -> (
+                match build_construction g strategy seed with
+                | exception Invalid_argument msg ->
+                    Printf.eprintf "cannot build: %s\n" msg;
+                    3
+                | c -> (
+                    let engine = Serve.Engine.create c.Construction.routing in
+                    let fmax =
+                      List.fold_left
+                        (fun acc (cl : Construction.claim) ->
+                          max acc cl.max_faults)
+                        0 c.Construction.claims
+                    in
+                    let bound =
+                      match bound with
+                      | Some _ as b -> b
+                      | None -> Construction.bound_for c ~f:fmax
+                    in
+                    let journal_setup =
+                      match journal with
+                      | None -> Ok None
+                      | Some path -> (
+                          match Serve.Journal.load path with
+                          | Error msg -> Error msg
+                          | Ok events -> (
+                              match Serve.Engine.replay engine events with
+                              | Error msg -> Error ("journal replay: " ^ msg)
+                              | Ok _ -> (
+                                  if events <> [] then
+                                    Printf.printf
+                                      "journal             replayed %d \
+                                       event(s) -> %s\n"
+                                      (List.length events)
+                                      (Serve.Engine.digest engine);
+                                  match Serve.Journal.create path with
+                                  | Error msg -> Error msg
+                                  | Ok j -> Ok (Some j))))
+                    in
+                    match journal_setup with
+                    | Error msg ->
+                        Printf.eprintf "serve: %s\n" msg;
+                        3
+                    | Ok journal -> (
+                        let srv =
+                          match journal with
+                          | Some j ->
+                              Serve.Server.create ~journal:j
+                                {
+                                  Serve.Server.max_queue;
+                                  deadline = deadline_ms /. 1000.0;
+                                  bound;
+                                }
+                                engine
+                          | None ->
+                              Serve.Server.create
+                                {
+                                  Serve.Server.max_queue;
+                                  deadline = deadline_ms /. 1000.0;
+                                  bound;
+                                }
+                                engine
+                        in
+                        Printf.printf "serving %s/%s seed=%d on %s (bound=%s)\n"
+                          spec (strategy_name strategy) seed socket
+                          (match bound with
+                          | Some b -> string_of_int b
+                          | None -> "none");
+                        flush stdout;
+                        match Serve.Server.run srv ~socket with
+                        | Ok () -> 0
+                        | Error msg ->
+                            Printf.eprintf "serve: %s\n" msg;
+                            3)))
+          end
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits:soak_exits
+       ~doc:
+         "long-lived routing daemon: compile once, answer surviving-route \
+          and diameter queries over a Unix socket while faults arrive as \
+          incremental deltas; with $(b,--slo), soak the same stack against \
+          the witness corpus and gate on latency and degradation SLOs")
+    Term.(
+      const run $ spec_arg $ strategy_arg $ seed_arg $ socket_arg $ journal_arg
+      $ max_queue_arg $ deadline_arg $ bound_arg $ slo_arg $ corpus_arg
+      $ queries_arg $ slo_p99_arg $ certify_arg $ slo_out_arg $ journal_dir_arg
+      $ jobs_arg $ metrics_arg $ trace_arg)
+
+(* ---------------- query ---------------- *)
+
+let query_cmd =
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"The daemon's socket.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "timeout" ] ~docv:"SEC"
+          ~doc:"Give up on a response after $(docv) seconds.")
+  in
+  let reqs_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Requests, sent in order: raw JSON (anything starting with '{') \
+             or shorthand $(b,health), $(b,ready), $(b,stats), $(b,drain), \
+             $(b,diameter), $(b,route:SRC:DST), $(b,fail:V), \
+             $(b,recover:V), $(b,fail-link:U:V), $(b,recover-link:U:V).")
+  in
+  let parse_request s =
+    if String.length s > 0 && s.[0] = '{' then Ok s
+    else
+      let line r = Ok (Serve.Wire.request_to_line r) in
+      let node mk v =
+        match int_of_string_opt v with
+        | Some v -> line (Serve.Wire.Fault (mk v))
+        | None -> Error (Printf.sprintf "bad node in %S" s)
+      in
+      let link mk u v =
+        match (int_of_string_opt u, int_of_string_opt v) with
+        | Some u, Some v -> line (Serve.Wire.Fault (mk u v))
+        | _ -> Error (Printf.sprintf "bad link in %S" s)
+      in
+      match String.split_on_char ':' s with
+      | [ "health" ] -> line Serve.Wire.Health
+      | [ "ready" ] -> line Serve.Wire.Ready
+      | [ "stats" ] -> line Serve.Wire.Stats
+      | [ "drain" ] -> line Serve.Wire.Drain
+      | [ "diameter" ] -> line Serve.Wire.Diameter
+      | [ "route"; a; b ] -> (
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some src, Some dst -> line (Serve.Wire.Route { src; dst })
+          | _ -> Error (Printf.sprintf "bad route endpoints in %S" s))
+      | [ "fail"; v ] -> node (fun v -> Serve.Wire.Fail_node v) v
+      | [ "recover"; v ] -> node (fun v -> Serve.Wire.Recover_node v) v
+      | [ "fail-link"; u; v ] ->
+          link (fun u v -> Serve.Wire.Fail_link (u, v)) u v
+      | [ "recover-link"; u; v ] ->
+          link (fun u v -> Serve.Wire.Recover_link (u, v)) u v
+      | _ -> Error (Printf.sprintf "cannot parse request %S" s)
+  in
+  let run socket timeout reqs =
+    if reqs = [] then begin
+      Printf.eprintf "query: no requests given\n";
+      2
+    end
+    else begin
+      let parsed = List.map parse_request reqs in
+      let errors =
+        List.filter_map (function Error e -> Some e | Ok _ -> None) parsed
+      in
+      if errors <> [] then begin
+        List.iter (fun e -> Printf.eprintf "query: %s\n" e) errors;
+        2
+      end
+      else begin
+        let lines =
+          List.filter_map (function Ok l -> Some l | Error _ -> None) parsed
+        in
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match Unix.connect fd (Unix.ADDR_UNIX socket) with
+        | exception Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            Printf.eprintf "query: cannot connect to %s: %s\n" socket
+              (Unix.error_message e);
+            3
+        | () ->
+            (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout
+             with Unix.Unix_error _ -> ());
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            let all_ok = ref true in
+            let rc = ref 0 in
+            (try
+               List.iter
+                 (fun l ->
+                   output_string oc (l ^ "\n");
+                   flush oc;
+                   let resp = input_line ic in
+                   print_endline resp;
+                   match Serve.Sjson.parse resp with
+                   | Ok json
+                     when Option.value ~default:false
+                            (Option.bind
+                               (Serve.Sjson.member "ok" json)
+                               Serve.Sjson.to_bool) ->
+                       ()
+                   | _ -> all_ok := false)
+                 lines
+             with
+            | End_of_file | Sys_error _ ->
+                Printf.eprintf "query: connection lost\n";
+                rc := 3
+            | Unix.Unix_error (e, _, _) ->
+                Printf.eprintf "query: %s\n" (Unix.error_message e);
+                rc := 3);
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            if !rc <> 0 then !rc else if !all_ok then 0 else 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "query" ~exits:soak_exits
+       ~doc:
+         "send requests to a running `ftr serve` daemon and print each \
+          response; exits non-zero if any response is not ok")
+    Term.(const run $ socket_arg $ timeout_arg $ reqs_arg)
 
 (* ---------------- dot ---------------- *)
 
@@ -983,5 +1460,6 @@ let () =
        (Cmd.group (Cmd.info "ftr" ~doc)
           [
             info_cmd; route_cmd; tolerate_cmd; props_cmd; check_cmd; simulate_cmd;
-            attack_cmd; soak_cmd; dot_cmd; lint_artifacts_cmd;
+            attack_cmd; soak_cmd; serve_cmd; query_cmd; dot_cmd;
+            lint_artifacts_cmd;
           ]))

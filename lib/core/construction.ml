@@ -32,6 +32,17 @@ let strongest_claim t =
           else best)
         c rest
 
+let bound_for t ~f =
+  List.fold_left
+    (fun acc c ->
+      if c.max_faults >= f then
+        Some
+          (match acc with
+          | None -> c.diameter_bound
+          | Some b -> min b c.diameter_bound)
+      else acc)
+    None t.claims
+
 let pp ppf t =
   Fmt.pf ppf "@[<v>%s: %d routes, concentrator size %d, claims:@,%a@]" t.name
     (Routing.route_count t.routing)

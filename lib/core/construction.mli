@@ -35,6 +35,13 @@ type t = {
 
 val claim : bound:int -> faults:int -> string -> claim
 
+val bound_for : t -> f:int -> int option
+(** The tightest diameter bound any claim promises while tolerating at
+    least [f] faults; [None] when [f] exceeds every claim's fault
+    budget (beyond-budget exploration). This is the "proven (d, f)
+    budget" the attack CLI, the soak harness and the serve layer all
+    gate on. *)
+
 val strongest_claim : t -> claim
 (** The claim with the smallest diameter bound (ties broken by larger
     fault count). Raises [Invalid_argument] on an empty claim list. *)

@@ -33,6 +33,13 @@ let fault_count t = node_fault_count t + edge_fault_count t
 
 let edge_failed t u v = Hashtbl.mem t.edges (min u v, max u v)
 
+let digest t =
+  let nodes = Bitset.elements t.nodes in
+  let edges = edge_faults t in
+  Printf.sprintf "nodes{%s} links{%s}"
+    (String.concat "," (List.map string_of_int nodes))
+    (String.concat "," (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) edges))
+
 let affects t p =
   Path.hits p t.nodes
   ||

@@ -41,6 +41,13 @@ val edge_failed : t -> int -> int -> bool
 val fault_count : t -> int
 (** Node faults plus edge faults. *)
 
+val digest : t -> string
+(** A canonical one-line encoding of the current fault state — sorted
+    node faults, then sorted normalised links, e.g.
+    ["nodes{3,14} links{0-1,2-7}"]. Two models over the same graph
+    carry identical fault states iff their digests are byte-equal;
+    the serve layer's crash-restart check compares these. *)
+
 val affects : t -> Path.t -> bool
 (** True when the route crosses a failed node or traverses a failed
     edge. *)

@@ -665,6 +665,53 @@ let evaluator_diameter_over e ~targets =
   in
   if d < 0 then Metrics.Infinite else Metrics.Finite d
 
+(* Route-level path extraction for the serving layer: BFS over the
+   live adjacency matrix with parent tracking. Per-query cost is one
+   ordinary BFS — the word-parallel sweeps above answer diameter
+   questions, this answers "how do I get there from here" for one
+   pair, which is what a route server does all day. *)
+let c_route_plans = Obs.counter "engine.route_plans"
+
+let evaluator_route e ~src ~dst =
+  let c = e.c in
+  if src < 0 || src >= c.n || dst < 0 || dst >= c.n then
+    invalid_arg "Surviving.evaluator_route: vertex out of range";
+  if Bitset.mem e.faulty src || Bitset.mem e.faulty dst then
+    invalid_arg "Surviving.evaluator_route: faulty endpoint";
+  Obs.incr c_route_plans;
+  if src = dst then Some [ src ]
+  else begin
+    let parent = Array.make c.n (-1) in
+    parent.(src) <- src;
+    let q = Queue.create () in
+    Queue.add src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      let row = u * c.w in
+      let wi = ref 0 in
+      while (not !found) && !wi < c.w do
+        let word = e.rows.(row + !wi) land e.alive.(!wi) in
+        let base = !wi * matrix_bits in
+        let fw = ref word in
+        while (not !found) && !fw <> 0 do
+          let v = base + Bitset.lowest_bit_index !fw in
+          fw := !fw land (!fw - 1);
+          if v < c.n && parent.(v) < 0 then begin
+            parent.(v) <- u;
+            if v = dst then found := true else Queue.add v q
+          end
+        done;
+        incr wi
+      done
+    done;
+    if not !found then None
+    else begin
+      let rec walk v acc = if v = src then v :: acc else walk parent.(v) (v :: acc) in
+      Some (walk dst [])
+    end
+  end
+
 let diameter_exceeds e ~bound =
   (* diameter > bound; the surviving diameter is at least Finite 0, so
      a negative bound is always exceeded. *)

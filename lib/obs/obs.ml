@@ -71,23 +71,39 @@ let add_gauge g v = if Atomic.get enabled_flag then cas_update g (fun cur -> cur
 let max_gauge g v = if Atomic.get enabled_flag then cas_update g (fun cur -> Float.max cur v)
 
 (* Span clock: [Unix.gettimeofday] is the only sub-second clock in the
-   distribution without extra dependencies. Spans feed human-facing
-   timings only, never the deterministic counter output, so wall-clock
-   granularity and the (rare) NTP step are acceptable. *)
+   distribution without extra dependencies, and it is NOT monotonic —
+   an NTP step mid-span can make [now () -. t0] negative. Durations
+   are therefore clamped at zero on entry to [record_span], and every
+   clamp is tallied on the "obs.spans_clamped" gauge (a gauge, not a
+   counter: clock steps are environment events, not a function of the
+   requested work, so the determinism rule keeps them out of the
+   counter output). Spans feed human-facing timings only, never the
+   deterministic counter output, so wall-clock granularity is
+   acceptable once negative durations cannot corrupt the totals. *)
 let now = Unix.gettimeofday
+let g_spans_clamped = gauge "obs.spans_clamped"
 
 let record_span name dt =
-  locked (fun () ->
-      let cell =
-        match Hashtbl.find_opt spans_tbl name with
-        | Some c -> c
-        | None ->
-            let c = { s_count = 0; s_total = 0.0 } in
-            Hashtbl.add spans_tbl name c;
-            c
-      in
-      cell.s_count <- cell.s_count + 1;
-      cell.s_total <- cell.s_total +. dt)
+  if Atomic.get enabled_flag then begin
+    let dt =
+      if dt < 0.0 then begin
+        add_gauge g_spans_clamped 1.0;
+        0.0
+      end
+      else dt
+    in
+    locked (fun () ->
+        let cell =
+          match Hashtbl.find_opt spans_tbl name with
+          | Some c -> c
+          | None ->
+              let c = { s_count = 0; s_total = 0.0 } in
+              Hashtbl.add spans_tbl name c;
+              c
+        in
+        cell.s_count <- cell.s_count + 1;
+        cell.s_total <- cell.s_total +. dt)
+  end
 
 let with_span name f =
   if not (Atomic.get enabled_flag) then f ()
@@ -97,7 +113,7 @@ let with_span name f =
         let dt = now () -. t0 in
         record_span name dt;
         if Atomic.get trace_flag then
-          Printf.eprintf "[obs] %-36s %9.3f ms\n%!" name (dt *. 1000.0))
+          Printf.eprintf "[obs] %-36s %9.3f ms\n%!" name (Float.max 0.0 dt *. 1000.0))
   end
 
 let reset () =

@@ -68,10 +68,22 @@ val max_gauge : gauge -> float -> unit
 (** {1 Spans} *)
 
 val with_span : string -> (unit -> 'a) -> 'a
-(** [with_span name f] times [f ()] (monotonic-enough wall clock) and
-    accumulates the duration under [name] — count and total are
-    aggregated, not stored per event. When disabled this is exactly
-    [f ()]. Exceptions propagate; the span still records. *)
+(** [with_span name f] times [f ()] and accumulates the duration under
+    [name] — count and total are aggregated, not stored per event.
+    When disabled this is exactly [f ()]. Exceptions propagate; the
+    span still records. The wall clock is not monotonic: if a clock
+    step makes the measured duration negative it is clamped to zero
+    (see {!record_span}), so span totals never decrease. *)
+
+val record_span : string -> float -> unit
+(** [record_span name seconds] folds one already-measured duration
+    into [name]'s span aggregate — for callers that time work
+    themselves (the serve daemon records per-request latencies this
+    way). No-op when disabled. Negative durations (the non-monotonic
+    wall clock stepped mid-measurement) are clamped to zero and each
+    clamp is tallied on the ["obs.spans_clamped"] gauge — a gauge,
+    not a counter, because clock steps are environment events and
+    must stay out of the deterministic counter output. *)
 
 (** {1 Reading and serialising} *)
 

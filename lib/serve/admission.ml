@@ -1,0 +1,37 @@
+open Ftr_obs
+
+type config = { max_queue : int; deadline : float }
+type 'a item = { payload : 'a; enqueued_at : float }
+type 'a t = { cfg : config; q : 'a item Queue.t }
+
+let c_admitted = Obs.counter "serve.admission.admitted"
+let c_shed_queue = Obs.counter "serve.admission.shed_queue"
+let c_shed_deadline = Obs.counter "serve.admission.shed_deadline"
+
+let create cfg =
+  if cfg.max_queue <= 0 then invalid_arg "Admission.create: max_queue <= 0";
+  { cfg; q = Queue.create () }
+
+let config t = t.cfg
+let length t = Queue.length t.q
+
+let offer t ~now payload =
+  if Queue.length t.q >= t.cfg.max_queue then begin
+    Obs.incr c_shed_queue;
+    false
+  end
+  else begin
+    Obs.incr c_admitted;
+    Queue.add { payload; enqueued_at = now } t.q;
+    true
+  end
+
+let take t ~now =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some { payload; enqueued_at } ->
+      if t.cfg.deadline > 0.0 && now -. enqueued_at > t.cfg.deadline then begin
+        Obs.incr c_shed_deadline;
+        Some (`Expired payload)
+      end
+      else Some (`Serve payload)

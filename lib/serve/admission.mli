@@ -1,0 +1,44 @@
+(** Admission control for the serve loop: a bounded FIFO with
+    per-request deadlines and explicit load shedding.
+
+    Two rules, applied in order:
+    - {b queue budget}: an arriving request is shed outright when the
+      queue already holds [max_queue] requests (back-pressure beats
+      unbounded latency);
+    - {b deadline}: a request that waited longer than [deadline]
+      seconds before being served is expired at dequeue time rather
+      than served late (a stale surviving-route answer may already be
+      invalidated by churn).
+
+    Time is passed in by the caller ([~now]) rather than read from a
+    clock, so the daemon drives it with wall time while the soak
+    harness drives a virtual clock — keeping soak counters a pure
+    function of the requested work, per the observability layer's
+    determinism rule. *)
+
+type config = {
+  max_queue : int;  (** shed arrivals beyond this depth; [> 0] *)
+  deadline : float;
+      (** seconds a request may wait before expiring; [<= 0.] means
+          no deadline *)
+}
+
+type 'a t
+
+val create : config -> 'a t
+(** Raises [Invalid_argument] if [max_queue <= 0]. *)
+
+val config : 'a t -> config
+val length : 'a t -> int
+
+val offer : 'a t -> now:float -> 'a -> bool
+(** Enqueue unless the queue is at budget; [false] means shed (the
+    ["serve.admission.shed_queue"] counter ticks). *)
+
+val take : 'a t -> now:float -> [ `Serve of 'a | `Expired of 'a ] option
+(** Dequeue the oldest request: [`Serve] if it is still within its
+    deadline, [`Expired] if it waited too long (the
+    ["serve.admission.shed_deadline"] counter ticks) — expired
+    requests are surfaced, not silently dropped, so the caller can
+    answer the client with an explicit shed response. [None] when
+    empty. *)

@@ -1,0 +1,12 @@
+type t = Clean | Breach | Usage | Infra
+
+let to_int = function Clean -> 0 | Breach -> 1 | Usage -> 2 | Infra -> 3
+
+let describe = function
+  | Clean -> "ok"
+  | Breach -> "slo-breach"
+  | Usage -> "usage-error"
+  | Infra -> "infra-error"
+
+let rank = function Clean -> 0 | Breach -> 1 | Usage -> 2 | Infra -> 3
+let worst a b = if rank a >= rank b then a else b

@@ -1,0 +1,45 @@
+(** Crash-safe write-ahead fault journal.
+
+    Every accepted fault delta is appended (and fsynced) {e before}
+    it is applied to the engine, so a daemon killed at any point can
+    replay the journal on restart and land in byte-identical fault
+    state ({!Ftr_core.Fault_model.digest} equality is the check the
+    soak harness runs after a kill/restart).
+
+    Format: a plain text file, one event per line, headed by a
+    version line so a foreign file is rejected rather than
+    misinterpreted:
+
+    {v
+    ftr-journal/1
+    fail-node 3
+    fail-link 2 5
+    recover-node 3
+    recover-link 2 5
+    v}
+
+    Append-only; recovery events are recorded, not compacted away —
+    replay is cheap (each event is an O(degree)-ish incremental
+    delta) and the full history is itself useful forensics. *)
+
+type t
+
+val header : string
+(** ["ftr-journal/1"]. *)
+
+val create : string -> (t, string) result
+(** Open [path] for appending, writing the header if the file is new
+    or empty. Fails (with a readable message) if the file exists but
+    does not start with the header. *)
+
+val append : t -> Wire.fault_action -> unit
+(** Write one event line, flush, and fsync. Call this {e before}
+    applying the delta to the engine. *)
+
+val path : t -> string
+val close : t -> unit
+
+val load : string -> (Wire.fault_action list, string) result
+(** Read a journal back for replay, in append order. A missing file
+    is [Ok []] (a daemon that never saw a fault); a present file with
+    a bad header or a malformed line is an error naming the line. *)

@@ -1,0 +1,323 @@
+open Ftr_sim
+open Ftr_obs
+
+type config = { max_queue : int; deadline : float; bound : int option }
+
+(* Latencies kept for the stats op: a fixed window of the most recent
+   requests, so a long-lived daemon's percentiles track current
+   behaviour and memory stays bounded. *)
+let latency_window = 65536
+
+type t = {
+  cfg : config;
+  mutable bound : int option;
+  clock : unit -> float;
+  mutable engine : Engine.t;
+  journal : Journal.t option;
+  adm : (Wire.request * (string -> unit)) Admission.t;
+  mutable draining : bool;
+  mutable queries : int;
+  mutable degraded : int;
+  mutable unreachable : int;
+  mutable shed : int;
+  mutable deltas : int;
+  started_at : float;
+  lat : float array;
+  mutable lat_len : int;
+  mutable lat_pos : int;
+}
+
+let c_queries = Obs.counter "serve.queries"
+let c_degraded = Obs.counter "serve.degraded"
+let c_unreachable = Obs.counter "serve.unreachable"
+let c_shed = Obs.counter "serve.shed"
+let c_deltas = Obs.counter "serve.deltas"
+
+let create ?clock ?journal cfg engine =
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  {
+    cfg;
+    bound = cfg.bound;
+    clock;
+    engine;
+    journal;
+    adm = Admission.create { max_queue = cfg.max_queue; deadline = cfg.deadline };
+    draining = false;
+    queries = 0;
+    degraded = 0;
+    unreachable = 0;
+    shed = 0;
+    deltas = 0;
+    started_at = Unix.gettimeofday ();
+    lat = Array.make latency_window 0.0;
+    lat_len = 0;
+    lat_pos = 0;
+  }
+
+let engine t = t.engine
+let set_engine t e = t.engine <- e
+let bound t = t.bound
+let set_bound t b = t.bound <- b
+let draining t = t.draining
+let request_drain t = t.draining <- true
+let queries t = t.queries
+let degraded t = t.degraded
+let shed t = t.shed
+let unreachable t = t.unreachable
+
+let push_latency t ms =
+  t.lat.(t.lat_pos) <- ms;
+  t.lat_pos <- (t.lat_pos + 1) mod latency_window;
+  if t.lat_len < latency_window then t.lat_len <- t.lat_len + 1
+
+let latencies_ms t = Array.to_list (Array.sub t.lat 0 t.lat_len)
+
+open Sjson
+
+let ok_fields fields = Obj (("ok", Bool true) :: fields)
+let err_fields msg fields = Obj (("ok", Bool false) :: ("error", Str msg) :: fields)
+
+let int_list l = Arr (List.map (fun i -> Int i) l)
+
+let percentile_fields lats =
+  let p q =
+    match Stats.percentile_of lats ~p:q with Some v -> Float v | None -> Null
+  in
+  [ ("p50_ms", p 50.0); ("p99_ms", p 99.0); ("p999_ms", p 99.9) ]
+
+let stats_json t =
+  ok_fields
+    ([
+       ("queries", Int t.queries);
+       ("degraded", Int t.degraded);
+       ("unreachable", Int t.unreachable);
+       ("shed", Int t.shed);
+       ("deltas", Int t.deltas);
+       ("queue", Int (Admission.length t.adm));
+       ("digest", Str (Engine.digest t.engine));
+     ]
+    @ percentile_fields (latencies_ms t))
+
+let handle t (req : Wire.request) : Sjson.t =
+  match req with
+  | Wire.Health ->
+      ok_fields
+        [
+          ("uptime_ms", Float ((Unix.gettimeofday () -. t.started_at) *. 1000.0));
+          ("draining", Bool t.draining);
+          ("queue", Int (Admission.length t.adm));
+          ("node_faults", int_list (Engine.node_faults t.engine));
+          ( "link_faults",
+            Arr
+              (List.map
+                 (fun (u, v) -> Arr [ Int u; Int v ])
+                 (Engine.link_faults t.engine)) );
+        ]
+  | Wire.Ready -> ok_fields [ ("ready", Bool (not t.draining)) ]
+  | Wire.Stats -> stats_json t
+  | Wire.Drain ->
+      t.draining <- true;
+      ok_fields [ ("draining", Bool true) ]
+  | Wire.Diameter ->
+      let t0 = Unix.gettimeofday () in
+      let d = Engine.diameter t.engine in
+      let ms = Float.max 0.0 (Unix.gettimeofday () -. t0) *. 1000.0 in
+      Obs.record_span "serve.diameter" (ms /. 1000.0);
+      let dj =
+        match d with
+        | Ftr_graph.Metrics.Finite d -> Int d
+        | Ftr_graph.Metrics.Infinite -> Str "inf"
+      in
+      ok_fields [ ("diameter", dj); ("service_ms", Float ms) ]
+  | Wire.Route { src; dst } -> (
+      let t0 = Unix.gettimeofday () in
+      let result = Engine.route ?bound:t.bound t.engine ~src ~dst in
+      let ms = Float.max 0.0 (Unix.gettimeofday () -. t0) *. 1000.0 in
+      Obs.record_span "serve.route" (ms /. 1000.0);
+      push_latency t ms;
+      t.queries <- t.queries + 1;
+      Obs.incr c_queries;
+      match result with
+      | Error msg -> err_fields msg [ ("service_ms", Float ms) ]
+      | Ok (Engine.Routed { waypoints; routes; hops; degraded }) ->
+          if degraded then begin
+            t.degraded <- t.degraded + 1;
+            Obs.incr c_degraded
+          end;
+          ok_fields
+            [
+              ("degraded", Bool degraded);
+              ("mode", Str "routed");
+              ("routes", Int routes);
+              ("hops", Int hops);
+              ("path", int_list waypoints);
+              ("service_ms", Float ms);
+            ]
+      | Ok (Engine.Detour { path; hops }) ->
+          t.degraded <- t.degraded + 1;
+          Obs.incr c_degraded;
+          ok_fields
+            [
+              ("degraded", Bool true);
+              ("mode", Str "detour");
+              ("hops", Int hops);
+              ("path", int_list path);
+              ("service_ms", Float ms);
+            ]
+      | Ok Engine.Unreachable ->
+          t.unreachable <- t.unreachable + 1;
+          Obs.incr c_unreachable;
+          err_fields "unreachable" [ ("service_ms", Float ms) ])
+  | Wire.Fault action -> (
+      match Engine.validate t.engine action with
+      | Error msg -> err_fields msg []
+      | Ok () -> (
+          (* Write-ahead: the delta reaches stable storage before the
+             engine acts on it, so a crash between the two replays to
+             a state at least as faulted as the engine ever saw. *)
+          (match t.journal with
+          | Some j -> Journal.append j action
+          | None -> ());
+          match Engine.apply t.engine action with
+          | Error msg -> err_fields msg []
+          | Ok changed ->
+              t.deltas <- t.deltas + 1;
+              Obs.incr c_deltas;
+              ok_fields
+                [
+                  ("applied", Bool changed);
+                  ("digest", Str (Engine.digest t.engine));
+                ]))
+
+let shed_line reason =
+  Sjson.to_string
+    (Obj [ ("ok", Bool false); ("error", Str reason); ("shed", Bool true) ])
+
+let submit t req respond =
+  match req with
+  | Wire.Health | Wire.Ready | Wire.Drain ->
+      respond (Sjson.to_string (handle t req))
+  | Wire.Route _ | Wire.Diameter | Wire.Fault _ | Wire.Stats ->
+      if t.draining then respond (shed_line "draining")
+      else if Admission.offer t.adm ~now:(t.clock ()) (req, respond) then ()
+      else begin
+        t.shed <- t.shed + 1;
+        Obs.incr c_shed;
+        respond (shed_line "queue full")
+      end
+
+let pump t =
+  let rec go () =
+    match Admission.take t.adm ~now:(t.clock ()) with
+    | None -> ()
+    | Some (`Serve (req, respond)) ->
+        respond (Sjson.to_string (handle t req));
+        go ()
+    | Some (`Expired (_, respond)) ->
+        t.shed <- t.shed + 1;
+        Obs.incr c_shed;
+        respond (shed_line "deadline expired");
+        go ()
+  in
+  go ()
+
+(* ---------------------------------------------------------------- *)
+(* The socket event loop                                             *)
+
+type client = { fd : Unix.file_descr; buf : Buffer.t; mutable alive : bool }
+
+let write_all c line =
+  if c.alive then begin
+    let bytes = Bytes.of_string (line ^ "\n") in
+    let len = Bytes.length bytes in
+    let pos = ref 0 in
+    try
+      while !pos < len do
+        pos := !pos + Unix.write c.fd bytes !pos (len - !pos)
+      done
+    with Unix.Unix_error _ -> c.alive <- false
+  end
+
+(* Split off complete lines, keeping a trailing partial line in the
+   buffer. *)
+let take_lines buf =
+  let s = Buffer.contents buf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some last ->
+      Buffer.clear buf;
+      Buffer.add_string buf (String.sub s (last + 1) (String.length s - last - 1));
+      String.split_on_char '\n' (String.sub s 0 last)
+
+let feed t client lines =
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        match Wire.request_of_line line with
+        | Error msg -> write_all client (Wire.error_line msg)
+        | Ok req -> submit t req (fun s -> write_all client s))
+    lines
+
+let run t ~socket =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let on_term _ = t.draining <- true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_term);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_term);
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  match
+    let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind lfd (Unix.ADDR_UNIX socket);
+    Unix.listen lfd 64;
+    lfd
+  with
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s (%s)" socket (Unix.error_message e) fn)
+  | lfd ->
+      let clients = ref [] in
+      let close_client c =
+        c.alive <- false;
+        try Unix.close c.fd with Unix.Unix_error _ -> ()
+      in
+      let readbuf = Bytes.create 65536 in
+      let stop = ref false in
+      while not !stop do
+        if t.draining then begin
+          (* Drain: stop accepting, answer everything queued, flush,
+             then leave — connected clients are closed, not waited
+             out. *)
+          pump t;
+          List.iter close_client !clients;
+          clients := [];
+          stop := true
+        end
+        else begin
+          let fds = lfd :: List.map (fun c -> c.fd) !clients in
+          match Unix.select fds [] [] 0.2 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | ready, _, _ ->
+              if List.mem lfd ready then begin
+                match Unix.accept lfd with
+                | exception Unix.Unix_error _ -> ()
+                | fd, _ ->
+                    clients :=
+                      { fd; buf = Buffer.create 256; alive = true } :: !clients
+              end;
+              List.iter
+                (fun c ->
+                  if List.mem c.fd ready then begin
+                    match Unix.read c.fd readbuf 0 (Bytes.length readbuf) with
+                    | exception Unix.Unix_error _ -> close_client c
+                    | 0 -> close_client c
+                    | n ->
+                        Buffer.add_subbytes c.buf readbuf 0 n;
+                        feed t c (take_lines c.buf)
+                  end)
+                !clients;
+              clients := List.filter (fun c -> c.alive) !clients;
+              pump t
+        end
+      done;
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      (match t.journal with Some j -> Journal.close j | None -> ());
+      Ok ()

@@ -1,0 +1,45 @@
+(** The serve layer's JSON dialect: values, a single-line printer and
+    a total parser.
+
+    The wire protocol (see {!module:Wire}) is newline-delimited JSON,
+    so the printer never emits a newline and the parser reads exactly
+    one value per line. Hand-rolled like the corpus and routing
+    persistence so the daemon stays dependency-free; unlike the corpus
+    subset this one carries booleans and floats (latencies, SLO
+    thresholds). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** One line, no newline. Object keys keep their given order (the
+    serve responses are byte-stable for a given request sequence).
+    Non-finite floats serialise as [null] — JSON has no spelling for
+    them and a NaN must never poison a metrics consumer. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing
+    garbage is an error). Never raises. *)
+
+(** {1 Accessors} — total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+
+val to_float : t -> float option
+(** Accepts [Int] too (JSON does not distinguish). *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val int_pair : t -> (int * int) option
+(** A two-element integer array, e.g. a link's endpoints. *)

@@ -1,0 +1,87 @@
+(** The SLO-gated serve soak: replay the witness corpus as live churn
+    through the real serve stack and fail loudly on any broken
+    promise.
+
+    For every corpus construction this harness compiles the routing
+    once, then walks the witness entries as churn waves — fail the
+    witness's nodes and links (journaled, incremental), query random
+    alive pairs through admission control, recover, query again —
+    while checking the daemon's three promises:
+
+    - {b no dropped in-budget queries}: when the wave's fault count
+      is within a proven [(d, f)] claim, every query must be answered
+      (never shed) with a surviving route of at most [d] routes,
+      not degraded, not unreachable;
+    - {b crash safety}: at the deepest fault state the engine is
+      rebuilt from the on-disk journal and must land on a
+      byte-identical {!Ftr_core.Fault_model.digest};
+    - {b latency SLO}: p99 service latency over all queries stays
+      under the threshold.
+
+    Optionally ({!config.certify}) the in-budget claims are first
+    re-certified exhaustively ({!Ftr_core.Tolerance.certify}) so
+    "proven" means proven by this very run, not by provenance — and
+    [~jobs] makes the run a determinism check too, since every
+    counter must come out byte-identical regardless of parallelism.
+
+    Admission time is a virtual clock (one tick per request), so the
+    soak's counters are a pure function of corpus + seed + flags. *)
+
+open Ftr_core
+
+type config = {
+  queries : int;  (** route queries per phase (per wave: during + after) *)
+  slo_p99_ms : float;  (** p99 service-latency threshold *)
+  seed : int;  (** workload RNG seed *)
+  jobs : int option;  (** parallelism for the certify pre-pass *)
+  certify : bool;  (** re-prove in-budget claims before serving *)
+  journal_dir : string;  (** existing directory for fault journals *)
+}
+
+type report = {
+  label : string;  (** e.g. ["torus:5x5/kernel seed=48879"] *)
+  waves : int;
+  in_budget_waves : int;
+  queries : int;
+  degraded : int;
+  shed : int;
+  dropped_in_budget : int;
+      (** in-budget queries shed, unreachable, or over-bound *)
+  p50_ms : float option;
+  p99_ms : float option;
+  p999_ms : float option;
+  journal_digest_ok : bool;
+  certified : (int * int) option;  (** re-proven [(bound, f)] *)
+  violations : string list;  (** human-readable breach descriptions *)
+  infra : string option;  (** set when the group could not run at all *)
+}
+
+type outcome = {
+  reports : report list;
+  total_queries : int;
+  p50_ms : float option;  (** worst per-construction p50 *)
+  p99_ms : float option;  (** worst per-construction p99; the SLO gate *)
+  p999_ms : float option;
+  slo_breached : bool;
+  dropped_in_budget : int;
+  exit : Exit_code.t;
+}
+
+val run :
+  build:
+    (graph:string ->
+    strategy:string ->
+    seed:int ->
+    (Construction.t, string) result) ->
+  entries:Attack.Corpus.entry list ->
+  config ->
+  outcome
+(** Groups [entries] by (graph, strategy, seed) — sorted by label for
+    a deterministic report order — and soaks each group. [build] maps
+    a corpus entry's spec back to a construction (the CLI's builder);
+    a build failure or a stale entry ([n] mismatch) makes that group
+    [infra] and the whole run exit {!Exit_code.Infra}. *)
+
+val to_json : config -> outcome -> Sjson.t
+(** The [slo.json] artifact: config echo, per-construction reports,
+    aggregate percentiles and the exit verdict. *)

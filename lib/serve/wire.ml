@@ -1,0 +1,79 @@
+type fault_action =
+  | Fail_node of int
+  | Recover_node of int
+  | Fail_link of int * int
+  | Recover_link of int * int
+
+type request =
+  | Route of { src : int; dst : int }
+  | Diameter
+  | Fault of fault_action
+  | Health
+  | Ready
+  | Stats
+  | Drain
+
+let fault_of_json json =
+  let action = Option.bind (Sjson.member "action" json) Sjson.to_str in
+  let node = Option.bind (Sjson.member "node" json) Sjson.to_int in
+  let link = Option.bind (Sjson.member "link" json) Sjson.int_pair in
+  match (action, node, link) with
+  | Some "fail", Some v, None -> Ok (Fail_node v)
+  | Some "recover", Some v, None -> Ok (Recover_node v)
+  | Some "fail", None, Some (u, v) -> Ok (Fail_link (u, v))
+  | Some "recover", None, Some (u, v) -> Ok (Recover_link (u, v))
+  | (Some "fail" | Some "recover"), Some _, Some _ ->
+      Error "fault: give either \"node\" or \"link\", not both"
+  | (Some "fail" | Some "recover"), None, None ->
+      Error "fault: missing \"node\" or \"link\""
+  | Some other, _, _ -> Error (Printf.sprintf "fault: unknown action %S" other)
+  | None, _, _ -> Error "fault: missing \"action\""
+
+let request_of_line line =
+  match Sjson.parse line with
+  | Error msg -> Error ("bad json: " ^ msg)
+  | Ok json -> (
+      match Option.bind (Sjson.member "op" json) Sjson.to_str with
+      | None -> Error "missing \"op\""
+      | Some "route" -> (
+          let src = Option.bind (Sjson.member "src" json) Sjson.to_int in
+          let dst = Option.bind (Sjson.member "dst" json) Sjson.to_int in
+          match (src, dst) with
+          | Some src, Some dst -> Ok (Route { src; dst })
+          | _ -> Error "route: missing \"src\" or \"dst\"")
+      | Some "diameter" -> Ok Diameter
+      | Some "fault" -> (
+          match fault_of_json json with
+          | Ok a -> Ok (Fault a)
+          | Error _ as e -> e)
+      | Some "health" -> Ok Health
+      | Some "ready" -> Ok Ready
+      | Some "stats" -> Ok Stats
+      | Some "drain" -> Ok Drain
+      | Some other -> Error (Printf.sprintf "unknown op %S" other))
+
+let request_to_line req =
+  let open Sjson in
+  let json =
+    match req with
+    | Route { src; dst } ->
+        Obj [ ("op", Str "route"); ("src", Int src); ("dst", Int dst) ]
+    | Diameter -> Obj [ ("op", Str "diameter") ]
+    | Fault a ->
+        let action, target =
+          match a with
+          | Fail_node v -> ("fail", ("node", Int v))
+          | Recover_node v -> ("recover", ("node", Int v))
+          | Fail_link (u, v) -> ("fail", ("link", Arr [ Int u; Int v ]))
+          | Recover_link (u, v) -> ("recover", ("link", Arr [ Int u; Int v ]))
+        in
+        Obj [ ("op", Str "fault"); ("action", Str action); target ]
+    | Health -> Obj [ ("op", Str "health") ]
+    | Ready -> Obj [ ("op", Str "ready") ]
+    | Stats -> Obj [ ("op", Str "stats") ]
+    | Drain -> Obj [ ("op", Str "drain") ]
+  in
+  to_string json
+
+let error_line msg =
+  Sjson.(to_string (Obj [ ("ok", Bool false); ("error", Str msg) ]))

@@ -1,0 +1,48 @@
+(** The serve daemon's wire protocol: newline-delimited JSON over a
+    Unix domain socket.
+
+    Each request is one JSON object on one line with an ["op"] field;
+    each response is one JSON object on one line with an ["ok"]
+    boolean. Requests:
+
+    - [{"op":"route","src":S,"dst":D}] — a surviving route query.
+    - [{"op":"diameter"}] — surviving diameter of the current state.
+    - [{"op":"fault","action":A,"node":V}] or
+      [{"op":"fault","action":A,"link":[U,V]}] with [A] one of
+      ["fail"] / ["recover"] — live churn, applied as an incremental
+      delta (never a recompile) and journaled before it takes effect.
+    - [{"op":"health"}] — liveness probe; always answered, never shed.
+    - [{"op":"ready"}] — readiness probe; [ready:false] while
+      draining.
+    - [{"op":"stats"}] — counters and latency percentiles.
+    - [{"op":"drain"}] — ask the daemon to stop accepting work,
+      finish what is queued, and exit (same path as SIGTERM). *)
+
+type fault_action =
+  | Fail_node of int
+  | Recover_node of int
+  | Fail_link of int * int
+  | Recover_link of int * int
+
+type request =
+  | Route of { src : int; dst : int }
+  | Diameter
+  | Fault of fault_action
+  | Health
+  | Ready
+  | Stats
+  | Drain
+
+val request_of_line : string -> (request, string) result
+(** Parse one wire line. Never raises; the error string is safe to
+    echo back to the client. *)
+
+val request_to_line : request -> string
+(** Canonical encoding of a request, without the trailing newline
+    (the client appends it). [request_of_line (request_to_line r)]
+    is [Ok r]. *)
+
+val error_line : string -> string
+(** A canonical [{"ok":false,"error":...}] response line (no trailing
+    newline) for requests that never reach the engine — parse
+    failures, shed load. *)

@@ -99,6 +99,19 @@ let link_waves ~start ~dwell ~gap waves =
   in
   events
 
+(* A witness node becomes one incident link (to its smallest
+   neighbour): at most |nodes| + |links| link faults, which the
+   paper's reduction projects back to at most that many node faults,
+   so a within-budget witness stays within budget as a link wave. *)
+let witness_links g ~nodes ~links =
+  let of_node v =
+    let nb = Graph.neighbors g v in
+    if Array.length nb = 0 then None else Some (min v nb.(0), max v nb.(0))
+  in
+  List.sort_uniq compare
+    (List.map (fun (u, v) -> (min u v, max u v)) links
+    @ List.filter_map of_node nodes)
+
 let schedule_on sim net events =
   List.iter
     (fun { at; action } ->

@@ -72,5 +72,14 @@ val link_waves :
     dwells, comes back up, and the next wave starts [gap] later (the
     soak harness replays attack witnesses this way). *)
 
+val witness_links : Graph.t -> nodes:int list -> links:(int * int) list -> (int * int) list
+(** Project a mixed node/link witness onto the link universe: listed
+    links are kept (normalised), and each listed node becomes one
+    incident link — the one to its smallest neighbour; isolated nodes
+    contribute nothing. Sorted and deduplicated. The result has at
+    most [|nodes| + |links|] links, so the paper's endpoint reduction
+    keeps a within-budget witness within budget; the soak harnesses
+    replay corpus witnesses as link waves through this. *)
+
 val schedule_on : Sim.t -> Network.t -> event list -> unit
 (** Install the schedule into the simulator. *)

@@ -29,6 +29,11 @@ let served_at t node = t.served.(node)
 let total_wait t = t.total_wait
 
 let busiest t =
-  let best = ref 0 in
-  Array.iteri (fun i c -> if c > t.served.(!best) then best := i) t.served;
-  (!best, t.served.(!best))
+  (* An empty network has no busiest server; indexing served.(0) here
+     used to raise [Invalid_argument] when n = 0. *)
+  if Array.length t.served = 0 then None
+  else begin
+    let best = ref 0 in
+    Array.iteri (fun i c -> if c > t.served.(!best) then best := i) t.served;
+    Some (!best, t.served.(!best))
+  end

@@ -27,5 +27,6 @@ val total_wait : t -> float
 (** Cumulative time jobs spent waiting behind earlier jobs (excluding
     their own service). *)
 
-val busiest : t -> int * int
-(** [(node, jobs)] with the most jobs served. *)
+val busiest : t -> (int * int) option
+(** [(node, jobs)] with the most jobs served; [None] for an empty
+    network ([n = 0]), which has no servers at all. *)

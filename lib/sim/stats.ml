@@ -44,6 +44,16 @@ let summarize values =
 
 let of_ints values = summarize (List.map float_of_int values)
 
+let percentile_of values ~p =
+  let finite, rest = List.partition Float.is_finite values in
+  (match rest with [] -> () | dropped -> Obs.add c_non_finite (List.length dropped));
+  match finite with
+  | [] -> None
+  | _ ->
+      let sorted = Array.of_list finite in
+      Array.sort Float.compare sorted;
+      Some (percentile sorted p)
+
 let histogram ~buckets values =
   let values = List.filter Float.is_finite values in
   match (values, buckets) with

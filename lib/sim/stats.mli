@@ -23,6 +23,13 @@ val summarize : float list -> summary option
 
 val of_ints : int list -> summary option
 
+val percentile_of : float list -> p:float -> float option
+(** Nearest-rank [p]-th percentile of the finite samples; [None] when
+    none remain. Non-finite samples are dropped (and tallied) exactly
+    as in {!summarize}. The serve layer's latency SLOs read p50, p99
+    and p999 through this — [summary] stops at p99, and tail SLOs
+    need the deeper quantile without widening that record. *)
+
 val histogram : buckets:int -> float list -> (float * float * int) list
 (** Equal-width buckets [(lo, hi, count)] spanning [min, max]; empty
     input gives []. Non-finite samples are ignored. *)

@@ -48,6 +48,19 @@ let hotspot ~rng ~n ~hub ~fraction ~count ~horizon =
   in
   List.sort compare entries
 
+let query_pairs ~rng ~alive ~count =
+  let pool = Array.of_list alive in
+  let n = Array.length pool in
+  if n < 2 then []
+  else
+    List.init count (fun _ ->
+        let i = Random.State.int rng n in
+        let rec pick () =
+          let j = Random.State.int rng n in
+          if j = i then pick () else j
+        in
+        (pool.(i), pool.(pick ())))
+
 let permutation ~rng ~n ~at =
   let perm = Array.init n Fun.id in
   for i = n - 1 downto 1 do

@@ -20,6 +20,13 @@ val hotspot :
 (** Like {!uniform} but each message targets [hub] with probability
     [fraction] (a server node). *)
 
+val query_pairs :
+  rng:Random.State.t -> alive:int list -> count:int -> (int * int) list
+(** [count] distinct-endpoint [(src, dst)] pairs drawn uniformly from
+    the [alive] vertex list — the serve layer's query workload, which
+    (unlike the timed senders above) must never name a node it knows
+    to be down. [[]] when fewer than two vertices are alive. *)
+
 val permutation : rng:Random.State.t -> n:int -> at:float -> entry list
 (** A random permutation workload: every node sends one message, the
     destination pattern is a uniformly random derangement-ish

@@ -58,6 +58,32 @@ let test_spans () =
       Alcotest.(check int) "two completions" 2 count;
       Alcotest.(check bool) "non-negative total" true (total >= 0.0)
 
+(* The wall clock is not monotonic: a negative measured duration
+   (clock stepped mid-span) must clamp to zero — span totals never
+   decrease — and each clamp is tallied on the "obs.spans_clamped"
+   gauge, never a counter (clock steps are environment events, so the
+   determinism rule keeps them out of the counter output). *)
+let test_span_clamp () =
+  scoped @@ fun () ->
+  Obs.record_span "test.clamp" (-5.0);
+  Obs.record_span "test.clamp" 2.0;
+  (match List.find_opt (fun (n, _, _) -> n = "test.clamp") (Obs.spans ()) with
+  | None -> Alcotest.fail "span not recorded"
+  | Some (_, count, total) ->
+      Alcotest.(check int) "clamped span still counts" 2 count;
+      Alcotest.(check (float 1e-9)) "negative duration adds zero" 2.0 total);
+  Alcotest.(check (float 1e-9)) "clamp tallied on the gauge" 1.0
+    (Option.value ~default:0.0
+       (List.assoc_opt "obs.spans_clamped" (Obs.gauges ())));
+  let json = Obs.counters_json () in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "clamp tally stays out of the counters" false
+    (contains "spans_clamped" json)
+
 let test_counters_json_shape () =
   scoped @@ fun () ->
   let c = Obs.counter "test.json" in
@@ -124,6 +150,7 @@ let () =
           Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
           Alcotest.test_case "gauges" `Quick test_gauges;
           Alcotest.test_case "spans" `Quick test_spans;
+          Alcotest.test_case "negative spans clamp" `Quick test_span_clamp;
           Alcotest.test_case "counters json" `Quick test_counters_json_shape;
         ] );
       ( "determinism",

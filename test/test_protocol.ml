@@ -168,6 +168,74 @@ let test_deadline_cuts_thrashing () =
     (msg.Message.status = Message.DeadLetter);
   Alcotest.(check int) "only the first re-plan ran" 1 msg.Message.retries
 
+(* The same double-nack churn, with the full config in the caller's
+   hands (the helper above only varies backoff and deadline). *)
+let double_nack_msg config =
+  let net = stale_route_net () in
+  let sim = Sim.create () in
+  Sim.schedule sim ~delay:10.0 (fun () ->
+      Network.crash net 5;
+      Network.recover net 1);
+  let msg = Protocol.send sim net config ~id:0 ~src:0 ~dst:2 () in
+  Sim.run sim;
+  msg
+
+let test_replan_budget_binds_exactly () =
+  (* Two nacks are needed. A budget of exactly two delivers, and the
+     backoff applied at the last permitted re-plan stays the finite
+     nack_latency * backoff^(retries - 1) — with factor 4 the second
+     nack waits 20 instead of 5, so exactly +15 latency. *)
+  let lat m = Option.get (Message.latency m) in
+  let backed =
+    double_nack_msg { config with Protocol.max_replans = 2; backoff = 4.0 }
+  in
+  let flat =
+    double_nack_msg { config with Protocol.max_replans = 2; backoff = 1.0 }
+  in
+  Alcotest.(check bool) "budget of two delivers (both)" true
+    (backed.Message.status = Message.Delivered
+    && flat.Message.status = Message.Delivered);
+  Alcotest.(check int) "the whole budget was spent" 2 backed.Message.retries;
+  Alcotest.(check (float 1e-9))
+    "backoff at the bound is exactly one quadrupled nack" 15.0
+    (lat backed -. lat flat);
+  (* One re-plan fewer: the second nack exhausts the budget and the
+     message dead-letters instead of backing off forever. *)
+  let short =
+    double_nack_msg { config with Protocol.max_replans = 1; backoff = 4.0 }
+  in
+  Alcotest.(check bool) "budget of one dead-letters" true
+    (short.Message.status = Message.DeadLetter);
+  Alcotest.(check int) "no re-plan beyond the bound" 1 short.Message.retries
+
+let test_deadline_exact_boundaries () =
+  (* The deadline is checked at nacks only, never on the delivery
+     path: a message arriving exactly at its deadline with no nack is
+     Delivered, not a dead letter. *)
+  let net = edge_net () in
+  let sim = Sim.create () in
+  let msg =
+    Protocol.send sim net
+      { config with Protocol.deadline = Some 11.0 }
+      ~id:0 ~src:0 ~dst:1 ()
+  in
+  Sim.run sim;
+  Alcotest.(check bool) "exact-deadline arrival is delivered" true
+    (msg.Message.status = Message.Delivered);
+  Alcotest.(check (float 1e-9)) "arrived exactly at the deadline" 11.0
+    (Option.get (Message.latency msg));
+  (* A nack landing exactly on the deadline expires (>= binds): the
+     double-nack scenario's second nack fires at t = 16. *)
+  let at_nack = double_nack_msg { config with Protocol.deadline = Some 16.0 } in
+  Alcotest.(check bool) "nack exactly at the deadline expires" true
+    (at_nack.Message.status = Message.DeadLetter);
+  Alcotest.(check int) "only the first re-plan ran" 1 at_nack.Message.retries;
+  let past_nack =
+    double_nack_msg { config with Protocol.deadline = Some 16.5 }
+  in
+  Alcotest.(check bool) "a hair later and it delivers" true
+    (past_nack.Message.status = Message.Delivered)
+
 let test_hardened_matches_legacy_under_static_faults () =
   (* One nack, re-plan, delivered: the hardened limits never bind, so
      timings and counters agree with the legacy config. *)
@@ -280,6 +348,10 @@ let () =
           Alcotest.test_case "exponential backoff" `Quick test_exponential_backoff;
           Alcotest.test_case "deadline cuts thrashing" `Quick
             test_deadline_cuts_thrashing;
+          Alcotest.test_case "re-plan budget binds exactly" `Quick
+            test_replan_budget_binds_exactly;
+          Alcotest.test_case "exact deadline boundaries" `Quick
+            test_deadline_exact_boundaries;
           Alcotest.test_case "hardened = legacy under static faults" `Quick
             test_hardened_matches_legacy_under_static_faults;
           Alcotest.test_case "broadcast full" `Quick test_broadcast_full;

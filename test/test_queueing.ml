@@ -44,7 +44,13 @@ let test_server_drains () =
   Sim.schedule sim ~delay:20.0 (fun () -> Queueing.enqueue q sim ~node:0 ignore);
   Sim.run sim;
   Alcotest.(check (float 1e-9)) "no second wait" 0.0 (Queueing.total_wait q);
-  Alcotest.(check int) "busiest" 2 (snd (Queueing.busiest q))
+  Alcotest.(check (option (pair int int))) "busiest" (Some (0, 2)) (Queueing.busiest q)
+
+let test_busiest_empty_network () =
+  (* n = 0 used to index served.(0) and raise Invalid_argument. *)
+  let q = Queueing.create ~n:0 ~service_time:1.0 in
+  Alcotest.(check (option (pair int int))) "no servers" None (Queueing.busiest q);
+  Alcotest.(check int) "served" 0 (Queueing.served q)
 
 let test_send_queued_hotspot_slower () =
   (* Two workloads on the same fabric: spread vs all-to-one. The
@@ -119,6 +125,7 @@ let () =
           Alcotest.test_case "FIFO" `Quick test_fifo_queueing;
           Alcotest.test_case "parallel nodes" `Quick test_parallel_nodes_independent;
           Alcotest.test_case "drains" `Quick test_server_drains;
+          Alcotest.test_case "busiest on empty network" `Quick test_busiest_empty_network;
           Alcotest.test_case "hotspot slower" `Quick test_send_queued_hotspot_slower;
           Alcotest.test_case "idle matches fixed" `Quick test_send_queued_matches_fixed_when_idle;
           Alcotest.test_case "queued reroute" `Quick test_send_queued_reroutes_around_fault;

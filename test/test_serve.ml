@@ -1,0 +1,718 @@
+(* The serve layer: JSON dialect, wire protocol, write-ahead journal,
+   admission control, the warm engine, the request core, and the
+   SLO-gated soak — plus end-to-end checks that spawn the real
+   `ftr serve` daemon over a Unix socket and exercise the documented
+   exit codes through the real executable. *)
+
+open Ftr_graph
+open Ftr_core
+module Serve = Ftr_serve
+module Sjson = Serve.Sjson
+module Wire = Serve.Wire
+module Journal = Serve.Journal
+module Admission = Serve.Admission
+module Engine = Serve.Engine
+module Server = Serve.Server
+module Soak = Serve.Soak
+module Exit_code = Serve.Exit_code
+
+(* ---------------- sjson ---------------- *)
+
+let test_sjson_print () =
+  let v =
+    Sjson.Obj
+      [
+        ("ok", Sjson.Bool true);
+        ("n", Sjson.Int (-3));
+        ("p", Sjson.Float 1.5);
+        ("s", Sjson.Str "a\"b\n");
+        ("xs", Sjson.Arr [ Sjson.Int 0; Sjson.Null ]);
+      ]
+  in
+  Alcotest.(check string) "one canonical line"
+    {|{"ok":true,"n":-3,"p":1.5,"s":"a\"b\n","xs":[0,null]}|}
+    (Sjson.to_string v)
+
+let test_sjson_nonfinite_floats () =
+  Alcotest.(check string) "nan is null" "null" (Sjson.to_string (Sjson.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (Sjson.to_string (Sjson.Float Float.infinity))
+
+let test_sjson_roundtrip () =
+  let v =
+    Sjson.Obj
+      [
+        ("a", Sjson.Arr [ Sjson.Int 1; Sjson.Float 2.25; Sjson.Str "x" ]);
+        ("b", Sjson.Obj [ ("c", Sjson.Bool false); ("d", Sjson.Null) ]);
+      ]
+  in
+  match Sjson.parse (Sjson.to_string v) with
+  | Error e -> Alcotest.fail ("roundtrip parse failed: " ^ e)
+  | Ok v' ->
+      Alcotest.(check string) "print/parse/print fixpoint" (Sjson.to_string v)
+        (Sjson.to_string v')
+
+let test_sjson_parse_errors () =
+  let bad s =
+    match Sjson.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" s)
+  in
+  bad "";
+  bad "{";
+  bad "tru";
+  bad "{\"a\":1} trailing";
+  bad "[1,]";
+  bad "\"unterminated"
+
+let test_sjson_accessors () =
+  match Sjson.parse {|{"i":7,"f":2.5,"s":"hi","b":true,"l":[3,4]}|} with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+      let get name = Option.get (Sjson.member name v) in
+      Alcotest.(check (option int)) "int" (Some 7) (Sjson.to_int (get "i"));
+      Alcotest.(check (option (float 1e-9))) "float" (Some 2.5)
+        (Sjson.to_float (get "f"));
+      Alcotest.(check (option (float 1e-9))) "int reads as float" (Some 7.0)
+        (Sjson.to_float (get "i"));
+      Alcotest.(check (option string)) "str" (Some "hi") (Sjson.to_str (get "s"));
+      Alcotest.(check (option bool)) "bool" (Some true) (Sjson.to_bool (get "b"));
+      Alcotest.(check (option (pair int int))) "int pair" (Some (3, 4))
+        (Sjson.int_pair (get "l"));
+      Alcotest.(check bool) "missing member" true (Sjson.member "zz" v = None);
+      Alcotest.(check bool) "shape mismatch is None" true
+        (Sjson.to_int (get "s") = None)
+
+(* ---------------- wire ---------------- *)
+
+let test_wire_roundtrip () =
+  let reqs =
+    [
+      Wire.Route { src = 3; dst = 17 };
+      Wire.Diameter;
+      Wire.Fault (Wire.Fail_node 5);
+      Wire.Fault (Wire.Recover_node 5);
+      Wire.Fault (Wire.Fail_link (2, 9));
+      Wire.Fault (Wire.Recover_link (2, 9));
+      Wire.Health;
+      Wire.Ready;
+      Wire.Stats;
+      Wire.Drain;
+    ]
+  in
+  List.iter
+    (fun r ->
+      let line = Wire.request_to_line r in
+      match Wire.request_of_line line with
+      | Ok r' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "roundtrip %s" line)
+            true (r = r')
+      | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" line e))
+    reqs
+
+let test_wire_rejects_garbage () =
+  let bad line =
+    match Wire.request_of_line line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%S should be rejected" line)
+  in
+  bad "not json";
+  bad {|{"op":"warp"}|};
+  bad {|{"op":"route","src":1}|};
+  bad {|{"op":"fault","action":"fail"}|};
+  bad {|{"op":"fault","action":"explode","node":1}|}
+
+(* ---------------- exit codes ---------------- *)
+
+let test_exit_codes () =
+  Alcotest.(check int) "clean" 0 (Exit_code.to_int Exit_code.Clean);
+  Alcotest.(check int) "breach" 1 (Exit_code.to_int Exit_code.Breach);
+  Alcotest.(check int) "usage" 2 (Exit_code.to_int Exit_code.Usage);
+  Alcotest.(check int) "infra" 3 (Exit_code.to_int Exit_code.Infra);
+  Alcotest.(check string) "describe breach" "slo-breach"
+    (Exit_code.describe Exit_code.Breach);
+  Alcotest.(check bool) "infra beats breach" true
+    (Exit_code.worst Exit_code.Breach Exit_code.Infra = Exit_code.Infra);
+  Alcotest.(check bool) "breach beats clean" true
+    (Exit_code.worst Exit_code.Clean Exit_code.Breach = Exit_code.Breach)
+
+(* ---------------- journal ---------------- *)
+
+let with_temp_file name f =
+  (try Sys.remove name with Sys_error _ -> ());
+  Fun.protect
+    (fun () -> f name)
+    ~finally:(fun () -> try Sys.remove name with Sys_error _ -> ())
+
+let test_journal_roundtrip () =
+  with_temp_file "t-journal-rt.journal" @@ fun path ->
+  let events =
+    [
+      Wire.Fail_node 3;
+      Wire.Fail_link (2, 5);
+      Wire.Recover_node 3;
+      Wire.Recover_link (2, 5);
+    ]
+  in
+  (match Journal.create path with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+      List.iter (Journal.append j) events;
+      Journal.close j);
+  match Journal.load path with
+  | Error e -> Alcotest.fail e
+  | Ok loaded ->
+      Alcotest.(check bool) "events in append order" true (loaded = events)
+
+let test_journal_missing_is_empty () =
+  match Journal.load "t-journal-never-created.journal" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "missing journal should be empty"
+  | Error e -> Alcotest.fail e
+
+let test_journal_rejects_foreign_file () =
+  with_temp_file "t-journal-foreign.journal" @@ fun path ->
+  let oc = open_out path in
+  output_string oc "this is not a journal\n";
+  close_out oc;
+  (match Journal.load path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad header should not load");
+  match Journal.create path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad header should not open for append"
+
+let test_journal_rejects_bad_line () =
+  with_temp_file "t-journal-badline.journal" @@ fun path ->
+  let oc = open_out path in
+  output_string oc (Journal.header ^ "\n");
+  output_string oc "fail-node 1\n";
+  output_string oc "explode 7\n";
+  close_out oc;
+  match Journal.load path with
+  | Error e ->
+      Alcotest.(check bool) "error names the line" true
+        (String.length e > 0)
+  | Ok _ -> Alcotest.fail "malformed line should not load"
+
+(* ---------------- admission ---------------- *)
+
+let test_admission_fifo_and_queue_shed () =
+  let q = Admission.create { Admission.max_queue = 2; deadline = 0.0 } in
+  Alcotest.(check bool) "a admitted" true (Admission.offer q ~now:0.0 "a");
+  Alcotest.(check bool) "b admitted" true (Admission.offer q ~now:0.0 "b");
+  Alcotest.(check bool) "c shed at budget" false (Admission.offer q ~now:0.0 "c");
+  Alcotest.(check int) "depth" 2 (Admission.length q);
+  Alcotest.(check bool) "fifo" true (Admission.take q ~now:1.0 = Some (`Serve "a"));
+  Alcotest.(check bool) "fifo 2" true (Admission.take q ~now:1.0 = Some (`Serve "b"));
+  Alcotest.(check bool) "empty" true (Admission.take q ~now:1.0 = None)
+
+let test_admission_deadline_expiry () =
+  let q = Admission.create { Admission.max_queue = 4; deadline = 1.0 } in
+  ignore (Admission.offer q ~now:0.0 "old");
+  ignore (Admission.offer q ~now:2.0 "fresh");
+  Alcotest.(check bool) "out-waited its deadline" true
+    (Admission.take q ~now:2.5 = Some (`Expired "old"));
+  Alcotest.(check bool) "still within deadline" true
+    (Admission.take q ~now:2.5 = Some (`Serve "fresh"))
+
+let test_admission_rejects_bad_budget () =
+  Alcotest.check_raises "zero budget"
+    (Invalid_argument "Admission.create: max_queue <= 0")
+    (fun () -> ignore (Admission.create { Admission.max_queue = 0; deadline = 0.0 }))
+
+(* ---------------- engine ---------------- *)
+
+let torus_engine () =
+  let c = Kernel.make (Families.torus 5 5) ~t:3 in
+  (c, Engine.create c.Construction.routing)
+
+(* A deliberately threadbare routing on a cycle: only 0-1 is routed,
+   so most pairs are disconnected in the route graph while the
+   underlying graph stays connected — the detour regime. *)
+let sparse_cycle_engine () =
+  let g = Families.cycle 6 in
+  let r = Routing.create g Routing.Bidirectional in
+  Routing.add r (Path.of_list [ 0; 1 ]);
+  Engine.create r
+
+let test_engine_validate_and_apply () =
+  let _, e = torus_engine () in
+  Alcotest.(check bool) "in-range node" true
+    (Engine.validate e (Wire.Fail_node 3) = Ok ());
+  Alcotest.(check bool) "out-of-range node" true
+    (Result.is_error (Engine.validate e (Wire.Fail_node 99)));
+  Alcotest.(check bool) "non-edge link" true
+    (Result.is_error (Engine.validate e (Wire.Fail_link (0, 13))));
+  Alcotest.(check bool) "first fail changes state" true
+    (Engine.apply e (Wire.Fail_node 3) = Ok true);
+  Alcotest.(check bool) "repeat is an idempotent no-op" true
+    (Engine.apply e (Wire.Fail_node 3) = Ok false);
+  Alcotest.(check bool) "fault listed" true (Engine.node_faults e = [ 3 ]);
+  Alcotest.(check bool) "recover changes state" true
+    (Engine.apply e (Wire.Recover_node 3) = Ok true);
+  Alcotest.(check bool) "clean again" true (Engine.node_faults e = [])
+
+let test_engine_replay_digest () =
+  let c, e1 = torus_engine () in
+  let events =
+    [
+      Wire.Fail_node 2;
+      Wire.Fail_link (0, 1);
+      Wire.Fail_node 2;
+      (* redundant: replay must tolerate it *)
+      Wire.Recover_node 2;
+      Wire.Fail_node 7;
+    ]
+  in
+  List.iter (fun a -> ignore (Result.get_ok (Engine.apply e1 a))) events;
+  let e2 = Engine.create c.Construction.routing in
+  (match Engine.replay e2 events with
+  | Error msg -> Alcotest.fail msg
+  | Ok changed ->
+      Alcotest.(check int) "state-changing events counted" 4 changed);
+  Alcotest.(check string) "byte-identical fault state" (Engine.digest e1)
+    (Engine.digest e2)
+
+let test_engine_route_and_bound () =
+  let _, e = torus_engine () in
+  (match Engine.route e ~src:0 ~dst:12 with
+  | Ok (Engine.Routed { degraded; routes; hops; waypoints }) ->
+      Alcotest.(check bool) "not degraded without a bound" false degraded;
+      Alcotest.(check int) "routes = waypoint gaps" routes
+        (List.length waypoints - 1);
+      Alcotest.(check bool) "hops cover the routes" true (hops >= routes)
+  | Ok _ -> Alcotest.fail "expected a surviving route"
+  | Error msg -> Alcotest.fail msg);
+  (match Engine.route ~bound:0 e ~src:0 ~dst:12 with
+  | Ok (Engine.Routed { degraded; _ }) ->
+      Alcotest.(check bool) "flagged beyond an impossible bound" true degraded
+  | Ok _ | Error _ -> Alcotest.fail "expected a (degraded) surviving route");
+  Alcotest.(check bool) "out-of-range endpoint" true
+    (Result.is_error (Engine.route e ~src:0 ~dst:99));
+  ignore (Result.get_ok (Engine.apply e (Wire.Fail_node 12)));
+  Alcotest.(check bool) "faulty endpoint" true
+    (Result.is_error (Engine.route e ~src:0 ~dst:12))
+
+let test_engine_detour_and_unreachable () =
+  let e = sparse_cycle_engine () in
+  (match Engine.route e ~src:0 ~dst:3 with
+  | Ok (Engine.Detour { path; hops }) ->
+      Alcotest.(check int) "shortest live detour" 3 hops;
+      Alcotest.(check bool) "path endpoints" true
+        (List.nth path 0 = 0 && List.nth path (List.length path - 1) = 3)
+  | Ok _ -> Alcotest.fail "expected a detour (pair unrouted)"
+  | Error msg -> Alcotest.fail msg);
+  ignore (Result.get_ok (Engine.apply e (Wire.Fail_node 1)));
+  ignore (Result.get_ok (Engine.apply e (Wire.Fail_node 5)));
+  match Engine.route e ~src:0 ~dst:3 with
+  | Ok Engine.Unreachable -> ()
+  | Ok _ -> Alcotest.fail "0 is cut off: expected unreachable"
+  | Error msg -> Alcotest.fail msg
+
+(* ---------------- server request core ---------------- *)
+
+let cycle_server ?journal ?clock ?(max_queue = 8) ?(deadline = 0.0) () =
+  let g = Families.cycle 6 in
+  let r = Routing.create g Routing.Bidirectional in
+  Routing.add_edge_routes r;
+  let engine = Engine.create r in
+  Server.create ?clock ?journal
+    { Server.max_queue; deadline; bound = None }
+    engine
+
+let field name json =
+  match Sjson.member name json with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "response lacks %S" name)
+
+let is_ok json = Sjson.to_bool (field "ok" json) = Some true
+
+let test_server_handle_probes () =
+  let srv = cycle_server () in
+  let health = Server.handle srv Wire.Health in
+  Alcotest.(check bool) "health ok" true (is_ok health);
+  Alcotest.(check (option bool)) "not draining" (Some false)
+    (Sjson.to_bool (field "draining" health));
+  let ready = Server.handle srv Wire.Ready in
+  Alcotest.(check (option bool)) "ready" (Some true)
+    (Sjson.to_bool (field "ready" ready));
+  Server.request_drain srv;
+  let ready = Server.handle srv Wire.Ready in
+  Alcotest.(check (option bool)) "not ready while draining" (Some false)
+    (Sjson.to_bool (field "ready" ready))
+
+let test_server_handle_route_and_stats () =
+  let srv = cycle_server () in
+  let resp = Server.handle srv (Wire.Route { src = 0; dst = 2 }) in
+  Alcotest.(check bool) "route ok" true (is_ok resp);
+  Alcotest.(check (option string)) "mode" (Some "routed")
+    (Sjson.to_str (field "mode" resp));
+  Alcotest.(check bool) "service latency reported" true
+    (match Sjson.to_float (field "service_ms" resp) with
+    | Some ms -> ms >= 0.0
+    | None -> false);
+  let stats = Server.handle srv Wire.Stats in
+  Alcotest.(check (option int)) "one query counted" (Some 1)
+    (Sjson.to_int (field "queries" stats));
+  Alcotest.(check bool) "stats carry the fault digest" true
+    (Sjson.to_str (field "digest" stats) <> None)
+
+let test_server_fault_is_write_ahead () =
+  with_temp_file "t-server-wa.journal" @@ fun path ->
+  let journal = Result.get_ok (Journal.create path) in
+  let srv = cycle_server ~journal () in
+  let resp = Server.handle srv (Wire.Fault (Wire.Fail_node 4)) in
+  Alcotest.(check bool) "delta accepted" true (is_ok resp);
+  Alcotest.(check (option bool)) "state changed" (Some true)
+    (Sjson.to_bool (field "applied" resp));
+  (* The event is on disk (fsynced) even though the daemon is alive:
+     a crash right now would replay to the same digest. *)
+  (match Journal.load path with
+  | Ok [ Wire.Fail_node 4 ] -> ()
+  | Ok _ -> Alcotest.fail "journal should hold exactly the applied delta"
+  | Error e -> Alcotest.fail e);
+  let rejected = Server.handle srv (Wire.Fault (Wire.Fail_node 99)) in
+  Alcotest.(check bool) "invalid delta rejected" false (is_ok rejected);
+  match Journal.load path with
+  | Ok [ Wire.Fail_node 4 ] -> ()
+  | Ok _ -> Alcotest.fail "rejected delta must never reach the journal"
+  | Error e -> Alcotest.fail e
+
+let test_server_sheds_at_queue_budget () =
+  let now = ref 0.0 in
+  let srv = cycle_server ~clock:(fun () -> !now) ~max_queue:1 () in
+  let responses = ref [] in
+  let capture s = responses := s :: !responses in
+  Server.submit srv (Wire.Route { src = 0; dst = 2 }) capture;
+  Server.submit srv (Wire.Route { src = 0; dst = 3 }) capture;
+  (* the second submission was shed immediately, before any pump *)
+  Alcotest.(check int) "explicit shed response" 1 (List.length !responses);
+  Alcotest.(check bool) "shed flag set" true
+    (match Sjson.parse (List.hd !responses) with
+    | Ok json -> Sjson.to_bool (field "shed" json) = Some true
+    | Error _ -> false);
+  Server.pump srv;
+  Alcotest.(check int) "queued request answered on pump" 2
+    (List.length !responses);
+  Alcotest.(check int) "shed counted" 1 (Server.shed srv)
+
+let test_server_expires_stale_requests () =
+  let now = ref 0.0 in
+  let srv = cycle_server ~clock:(fun () -> !now) ~deadline:1.0 () in
+  let response = ref None in
+  Server.submit srv (Wire.Route { src = 0; dst = 2 }) (fun s -> response := Some s);
+  now := 5.0;
+  Server.pump srv;
+  match !response with
+  | None -> Alcotest.fail "expired request must still be answered"
+  | Some line ->
+      Alcotest.(check bool) "answered as shed, not served late" true
+        (match Sjson.parse line with
+        | Ok json ->
+            Sjson.to_bool (field "shed" json) = Some true && not (is_ok json)
+        | Error _ -> false)
+
+let test_server_drain_refuses_new_work () =
+  let srv = cycle_server () in
+  let drained = Server.handle srv Wire.Drain in
+  Alcotest.(check bool) "drain acknowledged" true (is_ok drained);
+  Alcotest.(check bool) "draining" true (Server.draining srv);
+  let response = ref None in
+  Server.submit srv (Wire.Route { src = 0; dst = 2 }) (fun s -> response := Some s);
+  match !response with
+  | Some line ->
+      Alcotest.(check bool) "refused with the draining reason" true
+        (match Sjson.parse line with
+        | Ok json -> Sjson.to_str (field "error" json) = Some "draining"
+        | Error _ -> false)
+  | None -> Alcotest.fail "draining daemon must still answer"
+
+(* ---------------- soak ---------------- *)
+
+let torus_build ~graph:_ ~strategy:_ ~seed:_ =
+  Ok (Kernel.make (Families.torus 5 5) ~t:3)
+
+let entry ?(n = 25) faults edges =
+  {
+    Attack.Corpus.graph = "torus:5x5";
+    strategy = "kernel";
+    seed = 1;
+    n;
+    f = List.length faults + List.length edges;
+    faults;
+    edges;
+    diameter = Metrics.Finite 6;
+    bound = None;
+    found_by = "test";
+  }
+
+let soak_config =
+  {
+    Soak.queries = 4;
+    slo_p99_ms = 60000.0;
+    seed = 7;
+    jobs = None;
+    certify = false;
+    journal_dir = ".";
+  }
+
+let test_soak_clean_run () =
+  let entries = [ entry [ 7 ] []; entry [ 3 ] [ (0, 1) ] ] in
+  let outcome = Soak.run ~build:torus_build ~entries soak_config in
+  Alcotest.(check bool) "clean verdict" true (outcome.Soak.exit = Exit_code.Clean);
+  Alcotest.(check int) "no dropped in-budget queries" 0
+    outcome.Soak.dropped_in_budget;
+  match outcome.Soak.reports with
+  | [ r ] ->
+      Alcotest.(check int) "two waves" 2 r.Soak.waves;
+      Alcotest.(check string) "grouped label" "torus:5x5/kernel seed=1"
+        r.Soak.label;
+      (* baseline + (during + recovered) per wave *)
+      Alcotest.(check int) "query count" (4 * 5) r.Soak.queries;
+      Alcotest.(check bool) "kill/restart replays to the same digest" true
+        r.Soak.journal_digest_ok;
+      Alcotest.(check bool) "no violations" true (r.Soak.violations = []);
+      Alcotest.(check bool) "latencies measured" true (r.Soak.p99_ms <> None)
+  | rs -> Alcotest.fail (Printf.sprintf "expected one report, got %d" (List.length rs))
+
+let test_soak_stale_entry_is_infra () =
+  let outcome =
+    Soak.run ~build:torus_build ~entries:[ entry ~n:999 [ 7 ] [] ] soak_config
+  in
+  Alcotest.(check bool) "infra verdict" true (outcome.Soak.exit = Exit_code.Infra);
+  match outcome.Soak.reports with
+  | [ r ] -> Alcotest.(check bool) "report says why" true (r.Soak.infra <> None)
+  | _ -> Alcotest.fail "expected one report"
+
+let test_soak_build_failure_is_infra () =
+  let build ~graph:_ ~strategy:_ ~seed:_ = Error "no such strategy" in
+  let outcome = Soak.run ~build ~entries:[ entry [ 7 ] [] ] soak_config in
+  Alcotest.(check bool) "infra verdict" true (outcome.Soak.exit = Exit_code.Infra)
+
+let test_soak_json_artifact () =
+  let outcome =
+    Soak.run ~build:torus_build ~entries:[ entry [ 7 ] [] ] soak_config
+  in
+  let json = Soak.to_json soak_config outcome in
+  Alcotest.(check (option string)) "versioned" (Some "ftr-slo/1")
+    (Option.bind (Sjson.member "version" json) Sjson.to_str);
+  Alcotest.(check (option string)) "verdict embedded" (Some "ok")
+    (Option.bind (Sjson.member "exit" json) Sjson.to_str);
+  match Sjson.parse (Sjson.to_string json) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("artifact does not re-parse: " ^ e)
+
+(* ---------------- end-to-end: the real daemon ---------------- *)
+
+(* `dune runtest` runs us in _build/default/test; `dune exec` from the
+   project root. Find the freshly built CLI either way. *)
+let exe =
+  if Sys.file_exists "../bin/ftr.exe" then "../bin/ftr.exe"
+  else "_build/default/bin/ftr.exe"
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | l -> go (l :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let spawn_daemon ~socket ~journal =
+  (try Sys.remove socket with Sys_error _ -> ());
+  (try Sys.remove journal with Sys_error _ -> ());
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process exe
+      [| exe; "serve"; "torus:5x5"; "--socket"; socket; "--journal"; journal |]
+      Unix.stdin null null
+  in
+  Unix.close null;
+  (* wait for the socket to come up *)
+  let rec wait tries =
+    if tries = 0 then begin
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      Alcotest.fail "daemon never bound its socket"
+    end
+    else if Sys.file_exists socket then ()
+    else begin
+      Unix.sleepf 0.05;
+      wait (tries - 1)
+    end
+  in
+  wait 200;
+  pid
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0
+   with Unix.Unix_error _ -> ());
+  fd
+
+let wait_exit pid =
+  let rec go tries =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ when tries > 0 ->
+        Unix.sleepf 0.05;
+        go (tries - 1)
+    | 0, _ ->
+        Unix.kill pid Sys.sigkill;
+        ignore (Unix.waitpid [] pid);
+        Alcotest.fail "daemon did not exit"
+    | _, status -> status
+  in
+  go 200
+
+let test_daemon_end_to_end () =
+  let socket = "t-serve-e2e.sock" and journal = "t-serve-e2e.journal" in
+  with_temp_file journal @@ fun journal ->
+  let pid = spawn_daemon ~socket ~journal in
+  let fd = connect socket in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let ask req =
+    output_string oc (Wire.request_to_line req ^ "\n");
+    flush oc;
+    match Sjson.parse (input_line ic) with
+    | Ok json -> json
+    | Error e -> Alcotest.fail ("unparseable response: " ^ e)
+  in
+  Alcotest.(check bool) "health" true (is_ok (ask Wire.Health));
+  let fault = ask (Wire.Fault (Wire.Fail_node 7)) in
+  Alcotest.(check bool) "fault applied" true (is_ok fault);
+  Alcotest.(check (option bool)) "state changed" (Some true)
+    (Sjson.to_bool (field "applied" fault));
+  let route = ask (Wire.Route { src = 0; dst = 12 }) in
+  Alcotest.(check bool) "routes around the failed node" true (is_ok route);
+  Alcotest.(check bool) "route avoids the fault" true
+    (match Sjson.to_list (field "path" route) with
+    | Some path -> not (List.mem (Sjson.Int 7) path)
+    | None -> false);
+  let health = ask Wire.Health in
+  Alcotest.(check bool) "fault visible in health" true
+    (Sjson.to_list (field "node_faults" health) = Some [ Sjson.Int 7 ]);
+  Alcotest.(check bool) "drain accepted" true (is_ok (ask Wire.Drain));
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (match wait_exit pid with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> Alcotest.fail (Printf.sprintf "drain exit code %d" c)
+  | _ -> Alcotest.fail "daemon killed by signal");
+  Alcotest.(check bool) "socket unlinked on exit" false (Sys.file_exists socket);
+  Alcotest.(check bool) "journal holds the fault history" true
+    (read_lines journal = [ Journal.header; "fail-node 7" ])
+
+let test_daemon_sigterm_drains () =
+  let socket = "t-serve-term.sock" and journal = "t-serve-term.journal" in
+  with_temp_file journal @@ fun journal ->
+  let pid = spawn_daemon ~socket ~journal in
+  Unix.kill pid Sys.sigterm;
+  match wait_exit pid with
+  | Unix.WEXITED 0 ->
+      Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket)
+  | Unix.WEXITED c -> Alcotest.fail (Printf.sprintf "SIGTERM exit code %d" c)
+  | _ -> Alcotest.fail "SIGTERM must drain, not kill"
+
+(* The documented exit-code contract, through the real executable:
+   2 for caller error, 3 for broken environment, 0 for a no-op run. *)
+let run_quiet args = Sys.command (exe ^ " " ^ args ^ " >/dev/null 2>&1")
+
+let test_cli_exit_codes () =
+  Alcotest.(check int) "serve without a spec is usage" 2
+    (run_quiet "serve --socket t-none.sock");
+  Alcotest.(check int) "bad graph spec is infra" 3
+    (run_quiet "serve bogus-spec --socket t-none.sock");
+  Alcotest.(check int) "soak --messages=0 is usage" 2
+    (run_quiet "soak --messages=0");
+  Alcotest.(check int) "slo --queries=0 is usage" 2
+    (run_quiet "serve --slo --queries=0");
+  Alcotest.(check int) "empty corpus is clean" 0
+    (run_quiet "serve --slo --corpus t-no-such-dir");
+  Alcotest.(check int) "query with nothing to send is usage" 2
+    (run_quiet "query --socket t-none.sock");
+  Alcotest.(check int) "query against a dead socket is infra" 3
+    (run_quiet "query --socket t-none.sock health")
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "sjson",
+        [
+          Alcotest.test_case "canonical print" `Quick test_sjson_print;
+          Alcotest.test_case "non-finite floats" `Quick test_sjson_nonfinite_floats;
+          Alcotest.test_case "roundtrip" `Quick test_sjson_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_sjson_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_sjson_accessors;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_wire_rejects_garbage;
+        ] );
+      ("exit codes", [ Alcotest.test_case "contract" `Quick test_exit_codes ]);
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "missing file is empty" `Quick
+            test_journal_missing_is_empty;
+          Alcotest.test_case "rejects a foreign file" `Quick
+            test_journal_rejects_foreign_file;
+          Alcotest.test_case "rejects a bad line" `Quick
+            test_journal_rejects_bad_line;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "fifo + queue shed" `Quick
+            test_admission_fifo_and_queue_shed;
+          Alcotest.test_case "deadline expiry" `Quick test_admission_deadline_expiry;
+          Alcotest.test_case "rejects a bad budget" `Quick
+            test_admission_rejects_bad_budget;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "validate/apply idempotence" `Quick
+            test_engine_validate_and_apply;
+          Alcotest.test_case "replay lands on the same digest" `Quick
+            test_engine_replay_digest;
+          Alcotest.test_case "route + degraded flag" `Quick
+            test_engine_route_and_bound;
+          Alcotest.test_case "detour and unreachable" `Quick
+            test_engine_detour_and_unreachable;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "probes" `Quick test_server_handle_probes;
+          Alcotest.test_case "route + stats" `Quick
+            test_server_handle_route_and_stats;
+          Alcotest.test_case "write-ahead journal" `Quick
+            test_server_fault_is_write_ahead;
+          Alcotest.test_case "sheds at queue budget" `Quick
+            test_server_sheds_at_queue_budget;
+          Alcotest.test_case "expires stale requests" `Quick
+            test_server_expires_stale_requests;
+          Alcotest.test_case "drain refuses new work" `Quick
+            test_server_drain_refuses_new_work;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "clean run" `Quick test_soak_clean_run;
+          Alcotest.test_case "stale entry is infra" `Quick
+            test_soak_stale_entry_is_infra;
+          Alcotest.test_case "build failure is infra" `Quick
+            test_soak_build_failure_is_infra;
+          Alcotest.test_case "slo.json artifact" `Quick test_soak_json_artifact;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "daemon serves and drains" `Quick
+            test_daemon_end_to_end;
+          Alcotest.test_case "SIGTERM drains" `Quick test_daemon_sigterm_drains;
+          Alcotest.test_case "exit codes" `Quick test_cli_exit_codes;
+        ] );
+    ]
