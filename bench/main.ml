@@ -164,16 +164,35 @@ let seed_baseline_ns =
   ]
 let attack_cfg8 = { Attack.default_config with Attack.budget = 300; restarts = jobs_n }
 
+(* Worker-domain counts for the scaling curve. jobs_n stays the
+   headline ratio (jobs8 vs jobs1 must not regress); the other points
+   show where the curve flattens on the current host and feed the
+   derived recommended_jobs in the JSON. *)
+let scaling_jobs = [ 1; 2; 4; jobs_n; 16 ]
+
 let engine_tests =
   let routing = kernel_t55.Construction.routing in
   let n = Graph.n (Routing.graph routing) in
   let vertices = List.init n Fun.id in
-  [
-    Test.make ~name:"engine:check_f1_jobs1"
-      (stage (fun () -> Tolerance.exhaustive ~jobs:1 routing ~f:1));
-    Test.make
-      ~name:(Printf.sprintf "engine:check_f1_jobs%d" jobs_n)
-      (stage (fun () -> Tolerance.exhaustive ~jobs:jobs_n routing ~f:1));
+  List.map
+    (fun jobs ->
+      Test.make
+        ~name:(Printf.sprintf "engine:check_f1_jobs%d" jobs)
+        (stage (fun () -> Tolerance.exhaustive ~jobs routing ~f:1)))
+    scaling_jobs
+  @ [
+    (* Sliced vs scalar, same binary, jobs=1: the engine-level win of
+       packing fault sets into word lanes. f=1 on n=25 only fills 26
+       of the 63 lanes, so f=2 (326 sets, mostly full slices) is the
+       representative amortisation point. *)
+    Test.make ~name:"engine:check_f1_scalar"
+      (stage (fun () ->
+           Tolerance.exhaustive ~jobs:1 ~engine:Tolerance.Scalar routing ~f:1));
+    Test.make ~name:"engine:check_f2_sliced"
+      (stage (fun () -> Tolerance.exhaustive ~jobs:1 routing ~f:2));
+    Test.make ~name:"engine:check_f2_scalar"
+      (stage (fun () ->
+           Tolerance.exhaustive ~jobs:1 ~engine:Tolerance.Scalar routing ~f:2));
     Test.make ~name:"engine:check_f1_oneshot"
       (stage (fun () ->
            let compiled = Surviving.compile routing in
@@ -271,8 +290,45 @@ let json_of_rows rows ~quick =
   Buffer.add_string buf "  \"generated_by\": \"bench/main.exe\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"quick\": %b,\n  \"jobs_n\": %d,\n" quick jobs_n);
-  Buffer.add_string buf
-    (Printf.sprintf "  \"recommended_jobs\": %d,\n" (Par.recommended_jobs ()));
+  (* recommended_jobs is derived from the measured scaling curve — the
+     smallest jobs value achieving the best check_f1 time — rather
+     than trusting Domain.recommended_domain_count, which reports
+     hardware threads the pool may not profit from (the 1-core CI box
+     reported 8 and the old hardcoded value sent every caller into a
+     0.76x regression). *)
+  let curve =
+    List.filter_map
+      (fun jobs ->
+        Option.map
+          (fun ns -> (jobs, ns))
+          (find_ns rows (Printf.sprintf "engine:check_f1_jobs%d" jobs)))
+      scaling_jobs
+  in
+  let recommended =
+    match curve with
+    | [] -> Par.recommended_jobs ()
+    | (j0, ns0) :: rest ->
+        fst
+          (List.fold_left
+             (fun (bj, bns) (j, ns) -> if ns < bns then (j, ns) else (bj, bns))
+             (j0, ns0) rest)
+  in
+  Buffer.add_string buf (Printf.sprintf "  \"recommended_jobs\": %d,\n" recommended);
+  (match curve with
+  | [] -> ()
+  | (_, ns1) :: _ ->
+      Buffer.add_string buf "  \"scaling_curve\": [\n";
+      List.iteri
+        (fun i (jobs, ns) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    { \"jobs\": %d, \"ns_per_run\": %.1f, \"speedup_vs_jobs1\": \
+                %.2f }%s\n"
+               jobs ns
+               (if ns > 0.0 then ns1 /. ns else 0.0)
+               (if i = List.length curve - 1 then "" else ",")))
+        curve;
+      Buffer.add_string buf "  ],\n");
   Buffer.add_string buf "  \"benchmarks\": [\n";
   List.iteri
     (fun i (full, ns) ->
@@ -304,6 +360,10 @@ let json_of_rows rows ~quick =
   add
     (Printf.sprintf "check_f1_jobs%d_vs_jobs1" jobs_n)
     (speedup "engine:check_f1_jobs1" (Printf.sprintf "engine:check_f1_jobs%d" jobs_n));
+  (* Same-binary engine comparison: the default (sliced) jobs=1 rows
+     against the forced-scalar rows. *)
+  add "check_f1_sliced_vs_scalar" (speedup "engine:check_f1_scalar" "engine:check_f1_jobs1");
+  add "check_f2_sliced_vs_scalar" (speedup "engine:check_f2_scalar" "engine:check_f2_sliced");
   (match find_ns rows "attack:eval64_compiled" with
   | Some eval64 ->
       let oneshot_equiv = float_of_int evals_spent *. (eval64 /. 64.0) in
@@ -375,11 +435,39 @@ let run_tables () =
   | bad ->
       Printf.printf "roll-up: VIOLATIONS in %s\n" (String.concat ", " (List.map fst bad))
 
+(* --guard-scaling: fail the run when adding workers makes the
+   exhaustive checker slower than sequential (the regression this
+   harness exists to catch: jobs8/jobs1 sat at 0.76x before the
+   chunked scheduler). Small tolerance absorbs timer noise on the
+   ~1.0x boxes where the pool can only break even. *)
+let guard_scaling rows =
+  let ratio =
+    match
+      ( find_ns rows "engine:check_f1_jobs1",
+        find_ns rows (Printf.sprintf "engine:check_f1_jobs%d" jobs_n) )
+    with
+    | Some ns1, Some nsn when nsn > 0.0 -> Some (ns1 /. nsn)
+    | _ -> None
+  in
+  match ratio with
+  | None ->
+      prerr_endline "guard-scaling: check_f1 jobs rows missing from the run";
+      exit 1
+  | Some r when r < 0.95 ->
+      Printf.eprintf
+        "guard-scaling: FAIL check_f1_jobs%d_vs_jobs1 = %.3fx (>= 1.0 expected, \
+         0.95 noise floor): parallel sweep regressed below sequential\n"
+        jobs_n r;
+      exit 1
+  | Some r ->
+      Printf.printf "guard-scaling: ok, check_f1_jobs%d_vs_jobs1 = %.3fx\n" jobs_n r
+
 let () =
   let args = Array.to_list Sys.argv in
   let timings = not (List.mem "--tables-only" args) in
   let tables = not (List.mem "--timings-only" args) in
   let quick = List.mem "--quick" args in
+  let guard = List.mem "--guard-scaling" args in
   let json_path =
     let rec find = function
       | "--json" :: path :: _ -> path
@@ -394,7 +482,12 @@ let () =
     let oc = open_out json_path in
     output_string oc (json_of_rows rows ~quick);
     close_out oc;
-    Printf.printf "\nwrote %s\n" json_path
+    Printf.printf "\nwrote %s\n" json_path;
+    if guard then guard_scaling rows
+  end
+  else if guard then begin
+    prerr_endline "guard-scaling: requires the timing run (drop --tables-only)";
+    exit 1
   end;
   if tables then begin
     print_endline "\n== experiment tables (quick mode) ==";

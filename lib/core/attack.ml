@@ -345,7 +345,7 @@ let search_core ~config ~jobs ~rng ~pools ~ops ~n compiled ~f =
 let search ?(config = default_config) ?(jobs = Par.recommended_jobs ()) ~rng
     ?(pools = []) routing ~f =
   let n = Graph.n (Routing.graph routing) in
-  let compiled = Surviving.compile routing in
+  let compiled = Surviving.compile_cached routing in
   let worst, witness, raw_witness, evals, restarts_used =
     search_core ~config ~jobs ~rng ~pools ~ops:(node_ops ~n) ~n compiled ~f
   in
@@ -355,7 +355,7 @@ let search_mixed ?(config = default_config) ?(jobs = Par.recommended_jobs ()) ~r
     ?(pools = []) ?(universe = `Mixed) routing ~f =
   let g = Routing.graph routing in
   let n = Graph.n g in
-  let compiled = Surviving.compile routing in
+  let compiled = Surviving.compile_cached routing in
   let m = Surviving.edge_count compiled in
   (* A node pool's image in the edge universe: every edge incident to
      a pool member, so pool-seeded restarts also attack the links the

@@ -25,6 +25,23 @@ val run :
 val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f items] is {!run} over [items] with stateless tasks. *)
 
+val chunk :
+  jobs:int ->
+  count:int ->
+  init:(unit -> 'w) ->
+  task:('w -> lo:int -> hi:int -> 'r) ->
+  'r array
+(** [chunk ~jobs ~count ~init ~task] covers [0, count) with contiguous
+    blocks [lo, hi) — at most 32 of them, sized by [count] alone so
+    the [par.tasks] counter stays [jobs]-independent — and runs [task]
+    on each through {!run}. Block results come back in range order, so
+    callers whose merge is insensitive to block boundaries (ordered
+    merges over contiguous chunks) get [jobs]-independent answers. The
+    mean block size is reported on the [par.chunk_mean_task_size]
+    gauge. Use this instead of per-item {!run} tasks when items are
+    sub-millisecond: the pool's per-task wake/sync cost otherwise
+    dominates. *)
+
 val shutdown : unit -> unit
 (** Join all pool workers (also installed as an [at_exit] hook; only
     needed explicitly by tests that count live domains). *)

@@ -42,6 +42,16 @@ val compile : Routing.t -> compiled
     routing's graph — a stale table checked against a regenerated
     graph, or inconsistent adjacency lists. *)
 
+val compile_cached : Routing.t -> compiled
+(** {!compile} through a one-slot cache keyed on the routing's
+    physical identity and route count (routes can only be added, so
+    the count is a sound freshness stamp). The checker entry points
+    use this so one evaluation run compiles the table once instead of
+    once per checker. The returned value may be shared with other
+    callers: fine for {!evaluator}/{!sliced} (which own their mutable
+    state), but concurrent {!diameter_compiled} callers on several
+    domains must compile privately. *)
+
 val diameter_compiled : compiled -> faults:Bitset.t -> Metrics.distance
 (** Same result as {!diameter}, much faster in a loop. The fault set's
     capacity must cover the vertex range. Uses scratch space inside
@@ -159,6 +169,60 @@ val diameter_exceeds : evaluator -> bound:int -> bool
     but each source's BFS stops as soon as the bound is provably
     violated (tolerance checks only compare against a claimed [d], so
     they never need the exact diameter of a violating set). *)
+
+(** {1 Bit-sliced fault-set evaluation}
+
+    The incremental evaluator packs vertices into word bits and
+    answers one fault set per sweep. Exhaustive enumeration wants the
+    transpose: a {!sliced} evaluator packs up to {!lane_capacity}
+    candidate fault sets into the bits ("lanes") of one word and
+    answers all of them with a single word-packed BFS per source, so
+    the per-level bookkeeping and the route-table walk are amortised
+    across the whole batch. Verdicts are identical, lane for lane, to
+    running {!evaluator_diameter} (or {!diameter_exceeds}) per set.
+
+    A [sliced] value owns all its mutable state and shares only the
+    immutable compiled tables: one per domain is safe. Typical use is
+    [slice_reset]; up to [lane_capacity] times [slice_add]; then one
+    [slice_diameters] or [slice_exceeds]. *)
+
+type sliced
+
+val lane_capacity : int
+(** Fault sets per slice: one per bit of the native int
+    ([Sys.int_size], 63 on 64-bit). *)
+
+val sliced_capable : compiled -> bool
+(** Whether the sliced evaluator applies: the adjacency rows must fit
+    one machine word (vertex count at most [Sys.int_size]). Callers
+    fall back to the scalar evaluator otherwise. *)
+
+val sliced : compiled -> sliced
+(** A fresh sliced evaluator with zero lanes loaded. Raises
+    [Invalid_argument] when not {!sliced_capable}. *)
+
+val slice_reset : sliced -> unit
+(** Drop all lanes; the next {!slice_add} loads lane 0. *)
+
+val slice_add : sliced -> nodes:int list -> edges:int list -> int
+(** Load one candidate fault set (node ids and edge ids, duplicates
+    allowed) into the next free lane and return its lane index. Raises
+    [Invalid_argument] when the slice already holds {!lane_capacity}
+    sets, or on an out-of-range vertex or edge id (same contract as
+    {!set_mixed_faults}). *)
+
+val slice_count : sliced -> int
+(** Lanes currently loaded. *)
+
+val slice_diameters : sliced -> Metrics.distance array
+(** Surviving diameter of every loaded lane, indexed by lane; element
+    [k] equals {!evaluator_diameter} under lane [k]'s fault set. *)
+
+val slice_exceeds : sliced -> bound:int -> int
+(** Bit mask over lanes: bit [k] is set iff lane [k]'s surviving
+    diameter strictly exceeds [Finite bound] — lane-for-lane
+    {!diameter_exceeds}. Like the scalar bounded sweep, lanes stop as
+    soon as the verdict is provable. *)
 
 val component_diameters : Routing.t -> faults:Bitset.t -> (int list * Metrics.distance) list
 (** Open problem (3) of the paper: when more than [t] faults

@@ -17,6 +17,25 @@ type verdict = {
   definitive : bool;
 }
 
+(* Which evaluation engine sweeps the candidate sets. [Sliced] packs
+   up to [Surviving.lane_capacity] sets into the lanes of one
+   word-packed BFS and is the default wherever it applies (single-word
+   rows, i.e. n <= Sys.int_size); it silently degrades to [Scalar]
+   elsewhere. Verdicts and the deterministic Obs counters are
+   identical either way — [Scalar] survives as the cross-check the
+   property tests exercise. *)
+type engine = Scalar | Sliced
+
+(* Enumerations larger than this are not materialised for the sliced
+   engine (the set array would dominate memory); they fall back to the
+   scalar incremental sweep, which needs no random access. *)
+let sliced_materialize_cap = 200_000
+
+(* A slice tail shorter than this is swept scalar: a one-lane sweep
+   pays the slice bookkeeping for no amortisation. The threshold
+   depends only on the canonical set index, never on scheduling. *)
+let sliced_min_batch = 2
+
 (* Lazy enumeration of subsets of [items] of size exactly [k]. *)
 let rec subsets_exact items k : int list Seq.t =
   if k = 0 then Seq.return []
@@ -132,10 +151,89 @@ let merge_ordered = function
 let default_jobs () = Par.recommended_jobs ()
 
 (* ------------------------------------------------------------------ *)
+(* The shared sweep kernels.                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Scalar sweep over sets addressed by canonical index. [Par.chunk]
+   hands each domain a contiguous index range; the ordered merge makes
+   the verdict independent of the chunk boundaries. *)
+let sweep_sets_scalar ~jobs ~compiled ~count ~nodes_of ~edges_of ~report =
+  let verdicts =
+    Par.chunk ~jobs ~count
+      ~init:(fun () -> Surviving.evaluator compiled)
+      ~task:(fun ev ~lo ~hi ->
+        let worst = ref (Metrics.Finite (-1)) in
+        let witness = ref [] in
+        for i = lo to hi - 1 do
+          Surviving.set_mixed_faults ev ~nodes:(nodes_of i) ~edges:(edges_of i);
+          let d = Surviving.evaluator_diameter ev in
+          if not (Metrics.distance_le d !worst) then begin
+            worst := d;
+            witness := report i
+          end
+        done;
+        { worst = !worst; witness = !witness; sets_checked = hi - lo; definitive = false })
+  in
+  merge_ordered (Array.to_list verdicts)
+
+(* Bit-sliced sweep over the same index space. Slices are cut at fixed
+   canonical indexes (multiples of [lane_capacity]) and [Par.chunk]
+   distributes whole slices, so slice boundaries — and every engine
+   counter they feed — are independent of [jobs]. A short final tail
+   falls back to the per-domain scalar evaluator. *)
+let sweep_sets_sliced ~jobs ~compiled ~count ~nodes_of ~edges_of ~report =
+  let lanes = Surviving.lane_capacity in
+  let nslices = (count + lanes - 1) / lanes in
+  let verdicts =
+    Par.chunk ~jobs ~count:nslices
+      ~init:(fun () -> (Surviving.sliced compiled, Surviving.evaluator compiled))
+      ~task:(fun (sl, ev) ~lo ~hi ->
+        let worst = ref (Metrics.Finite (-1)) in
+        let witness = ref [] in
+        let checked = ref 0 in
+        let consider i d =
+          incr checked;
+          if not (Metrics.distance_le d !worst) then begin
+            worst := d;
+            witness := report i
+          end
+        in
+        for si = lo to hi - 1 do
+          let base = si * lanes in
+          let stop = min count (base + lanes) in
+          if stop - base >= sliced_min_batch then begin
+            Surviving.slice_reset sl;
+            for i = base to stop - 1 do
+              ignore (Surviving.slice_add sl ~nodes:(nodes_of i) ~edges:(edges_of i))
+            done;
+            let ds = Surviving.slice_diameters sl in
+            for i = base to stop - 1 do
+              consider i ds.(i - base)
+            done
+          end
+          else
+            for i = base to stop - 1 do
+              Surviving.set_mixed_faults ev ~nodes:(nodes_of i) ~edges:(edges_of i);
+              consider i (Surviving.evaluator_diameter ev)
+            done
+        done;
+        { worst = !worst; witness = !witness; sets_checked = !checked; definitive = false })
+  in
+  merge_ordered (Array.to_list verdicts)
+
+let sweep_sets ~engine ~jobs ~compiled ~count ~nodes_of ~edges_of ~report =
+  let sweep =
+    match engine with
+    | Sliced when Surviving.sliced_capable compiled -> sweep_sets_sliced
+    | _ -> sweep_sets_scalar
+  in
+  sweep ~jobs ~compiled ~count ~nodes_of ~edges_of ~report
+
+(* ------------------------------------------------------------------ *)
 (* Explicit set lists (random sampling, pools, corpus replay).        *)
 (* ------------------------------------------------------------------ *)
 
-let check_sets ?jobs routing sets =
+let check_sets ?jobs ?(engine = Sliced) routing sets =
   Obs.with_span "tolerance.check_sets" @@ fun () ->
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let sets = Array.of_seq sets in
@@ -143,37 +241,14 @@ let check_sets ?jobs routing sets =
   if count = 0 then
     { worst = Metrics.Finite 0; witness = []; sets_checked = 0; definitive = false }
   else begin
-    let compiled = Surviving.compile routing in
-    (* Contiguous chunks; the merge policy above makes the verdict
-       independent of the chunk boundaries, so sizing them by [jobs]
-       is safe. *)
-    let nchunks = max 1 (min count (4 * max 1 jobs)) in
-    let bounds =
-      Array.init (nchunks + 1) (fun i -> i * count / nchunks)
+    let compiled = Surviving.compile_cached routing in
+    let deduped = Array.map (List.sort_uniq compare) sets in
+    let v =
+      sweep_sets ~engine ~jobs ~compiled ~count
+        ~nodes_of:(fun i -> deduped.(i))
+        ~edges_of:(fun _ -> [])
+        ~report:(fun i -> sets.(i))
     in
-    let verdicts =
-      Par.run ~jobs ~ntasks:nchunks
-        ~init:(fun () -> Surviving.evaluator compiled)
-        ~task:(fun ev ci ->
-          let worst = ref (Metrics.Finite (-1)) in
-          let witness = ref [] in
-          for i = bounds.(ci) to bounds.(ci + 1) - 1 do
-            let faults_list = sets.(i) in
-            Surviving.set_faults ev (List.sort_uniq compare faults_list);
-            let d = Surviving.evaluator_diameter ev in
-            if not (Metrics.distance_le d !worst) then begin
-              worst := d;
-              witness := faults_list
-            end
-          done;
-          {
-            worst = !worst;
-            witness = !witness;
-            sets_checked = bounds.(ci + 1) - bounds.(ci);
-            definitive = false;
-          })
-    in
-    let v = merge_ordered (Array.to_list verdicts) in
     Obs.add c_sets_checked v.sets_checked;
     v
   end
@@ -220,29 +295,91 @@ let sweep_block ev block ~consider =
           consider ())
   end
 
-let exhaustive ?jobs routing ~f =
-  Obs.with_span "tolerance.exhaustive" @@ fun () ->
-  let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  let n = Graph.n (Routing.graph routing) in
-  let compiled = Surviving.compile routing in
-  let blocks = blocks_up_to ~n ~f in
+(* The canonical enumeration as an array, for the sliced engine's
+   random access by index: element [i] is the [i]-th set of the block
+   order above, as a sorted list. Element order inside each block is
+   the revolving-door order, so the array IS the canonical order and
+   witnesses keep their [jobs]- and engine-independent identity. *)
+let materialize_sets ~n ~f =
+  let total = count_subsets_up_to ~n ~k:f in
+  let out = Array.make total [] in
+  let idx = ref 0 in
+  let push s =
+    out.(!idx) <- s;
+    incr idx
+  in
+  Array.iter
+    (fun block ->
+      if block.b_top < 0 then push []
+      else if block.b_size = 1 then push [ block.b_top ]
+      else begin
+        let k = block.b_size - 1 in
+        let cur = Array.make k 0 in
+        let emit () = push (Array.to_list cur @ [ block.b_top ]) in
+        iter_combinations_gray ~n:block.b_top ~k
+          ~first:(fun c ->
+            Array.blit c 0 cur 0 k;
+            emit ())
+          ~swap:(fun ~removed ~added ->
+            let j = ref 0 in
+            while cur.(!j) <> removed do
+              incr j
+            done;
+            cur.(!j) <- added;
+            Array.sort compare cur;
+            emit ())
+      end)
+    (blocks_up_to ~n ~f);
+  out
+
+(* Scalar exhaustive sweep: [Par.chunk] hands each domain a contiguous
+   run of whole blocks (the old one-task-per-block split drowned
+   sub-millisecond blocks in pool wake/sync cost). *)
+let exhaustive_scalar ~jobs ~compiled ~blocks ~sweep ~faults_of =
   let verdicts =
-    Par.run ~jobs ~ntasks:(Array.length blocks)
+    Par.chunk ~jobs ~count:(Array.length blocks)
       ~init:(fun () -> Surviving.evaluator compiled)
-      ~task:(fun ev i ->
+      ~task:(fun ev ~lo ~hi ->
         let worst = ref (Metrics.Finite (-1)) in
         let witness = ref [] in
         let checked = ref 0 in
-        sweep_block ev blocks.(i) ~consider:(fun () ->
-            incr checked;
-            let d = Surviving.evaluator_diameter ev in
-            if not (Metrics.distance_le d !worst) then begin
-              worst := d;
-              witness := Surviving.faults ev
-            end);
+        for i = lo to hi - 1 do
+          sweep ev blocks.(i) ~consider:(fun () ->
+              incr checked;
+              let d = Surviving.evaluator_diameter ev in
+              if not (Metrics.distance_le d !worst) then begin
+                worst := d;
+                witness := faults_of ev
+              end)
+        done;
         { worst = !worst; witness = !witness; sets_checked = !checked; definitive = false })
   in
-  let v = { (merge_ordered (Array.to_list verdicts)) with definitive = true } in
+  merge_ordered (Array.to_list verdicts)
+
+let exhaustive ?jobs ?(engine = Sliced) routing ~f =
+  Obs.with_span "tolerance.exhaustive" @@ fun () ->
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let n = Graph.n (Routing.graph routing) in
+  let compiled = Surviving.compile_cached routing in
+  let total = count_subsets_up_to ~n ~k:f in
+  let use_sliced =
+    engine = Sliced
+    && Surviving.sliced_capable compiled
+    && total <= sliced_materialize_cap
+  in
+  let v =
+    if use_sliced then begin
+      let sets = materialize_sets ~n ~f in
+      sweep_sets_sliced ~jobs ~compiled ~count:total
+        ~nodes_of:(fun i -> sets.(i))
+        ~edges_of:(fun _ -> [])
+        ~report:(fun i -> sets.(i))
+    end
+    else
+      exhaustive_scalar ~jobs ~compiled ~blocks:(blocks_up_to ~n ~f)
+        ~sweep:sweep_block ~faults_of:Surviving.faults
+  in
+  let v = { v with definitive = true } in
   Obs.add c_sets_checked v.sets_checked;
   v
 
@@ -256,39 +393,61 @@ type certificate = {
   cert_sets_checked : int;
 }
 
+(* Certification keeps the scalar evaluator: the early exit inside a
+   violating block stops at the FIRST bad set, which a whole-slice
+   sweep would overshoot (and the early-exit counters must stay
+   byte-identical across [jobs]). Blocks are still grouped into
+   [Par.chunk] ranges; each block keeps its own [Stop] and no block is
+   skipped, so [checked] and the per-block early-exit count depend on
+   the block list alone. *)
+let certify_blocks ~jobs ~compiled ~blocks ~sweep ~faults_of ~bound =
+  let exception Stop in
+  let results =
+    Par.chunk ~jobs ~count:(Array.length blocks)
+      ~init:(fun () -> Surviving.evaluator compiled)
+      ~task:(fun ev ~lo ~hi ->
+        let checked = ref 0 in
+        let early = ref 0 in
+        let cex = ref None in
+        for i = lo to hi - 1 do
+          let bcex = ref None in
+          (try
+             sweep ev blocks.(i) ~consider:(fun () ->
+                 incr checked;
+                 if Surviving.diameter_exceeds ev ~bound then begin
+                   bcex := Some (faults_of ev);
+                   raise Stop
+                 end)
+           with Stop -> ());
+          match !bcex with
+          | Some _ ->
+              incr early;
+              if !cex = None then cex := !bcex
+          | None -> ()
+        done;
+        (!cex, !checked, !early))
+  in
+  let checked = Array.fold_left (fun acc (_, c, _) -> acc + c) 0 results in
+  let early = Array.fold_left (fun acc (_, _, e) -> acc + e) 0 results in
+  let counterexample =
+    Array.fold_left
+      (fun acc (cex, _, _) -> match acc with Some _ -> acc | None -> cex)
+      None results
+  in
+  Obs.add c_certify_sets checked;
+  Obs.add c_certify_early early;
+  (counterexample, checked)
+
 let certify ?jobs routing ~f ~bound =
   Obs.with_span "tolerance.certify" @@ fun () ->
   Obs.incr c_certify_runs;
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let n = Graph.n (Routing.graph routing) in
-  let compiled = Surviving.compile routing in
-  let blocks = blocks_up_to ~n ~f in
-  let exception Stop in
-  let results =
-    Par.run ~jobs ~ntasks:(Array.length blocks)
-      ~init:(fun () -> Surviving.evaluator compiled)
-      ~task:(fun ev i ->
-        let checked = ref 0 in
-        let cex = ref None in
-        (try
-           sweep_block ev blocks.(i) ~consider:(fun () ->
-               incr checked;
-               if Surviving.diameter_exceeds ev ~bound then begin
-                 cex := Some (Surviving.faults ev);
-                 raise Stop
-               end)
-         with Stop -> ());
-        (!cex, !checked))
+  let compiled = Surviving.compile_cached routing in
+  let counterexample, checked =
+    certify_blocks ~jobs ~compiled ~blocks:(blocks_up_to ~n ~f) ~sweep:sweep_block
+      ~faults_of:Surviving.faults ~bound
   in
-  let checked = Array.fold_left (fun acc (_, c) -> acc + c) 0 results in
-  let counterexample =
-    Array.fold_left
-      (fun acc (cex, _) -> match acc with Some _ -> acc | None -> cex)
-      None results
-  in
-  Obs.add c_certify_sets checked;
-  Obs.add c_certify_early
-    (Array.fold_left (fun acc (cex, _) -> if cex = None then acc else acc + 1) 0 results);
   { holds = counterexample = None; counterexample; cert_sets_checked = checked }
 
 (* ------------------------------------------------------------------ *)
@@ -305,7 +464,7 @@ let random_subset rng n f =
   done;
   Hashtbl.fold (fun v () acc -> v :: acc) chosen []
 
-let random ?jobs routing ~f ~rng ~samples =
+let random ?jobs ?engine routing ~f ~rng ~samples =
   let n = Graph.n (Routing.graph routing) in
   let f = min f n in
   (* Draw every sample from the caller's RNG before evaluating, so the
@@ -315,9 +474,9 @@ let random ?jobs routing ~f ~rng ~samples =
     acc := random_subset rng n f :: !acc
   done;
   let sets = [] :: List.rev !acc in
-  check_sets ?jobs routing (List.to_seq sets)
+  check_sets ?jobs ?engine routing (List.to_seq sets)
 
-let adversarial ?(per_pool_cap = 2000) ?jobs routing ~f ~pools =
+let adversarial ?(per_pool_cap = 2000) ?jobs ?engine routing ~f ~pools =
   (* Pools overlap (the concentrator reappears in its members'
      neighborhoods), so identical subsets would be re-evaluated and
      inflate [sets_checked]; dedupe across pools, after the per-pool
@@ -341,7 +500,7 @@ let adversarial ?(per_pool_cap = 2000) ?jobs routing ~f ~pools =
         end)
       sets
   in
-  check_sets ?jobs routing deduped
+  check_sets ?jobs ?engine routing deduped
 
 (* ------------------------------------------------------------------ *)
 (* Edge-fault variants.                                               *)
@@ -387,10 +546,10 @@ let sweep_block_edges ev block ~consider =
           consider ())
   end
 
-let check_edge_sets ?jobs routing sets =
+let check_edge_sets ?jobs ?(engine = Sliced) routing sets =
   Obs.with_span "tolerance.check_edge_sets" @@ fun () ->
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  let compiled = Surviving.compile routing in
+  let compiled = Surviving.compile_cached routing in
   (* Resolve endpoint pairs to edge ids up front so a non-edge fails
      loudly (and identically for every [jobs] value). *)
   let sets =
@@ -400,30 +559,12 @@ let check_edge_sets ?jobs routing sets =
   if count = 0 then
     { e_worst = Metrics.Finite 0; e_witness = []; e_sets_checked = 0; e_definitive = false }
   else begin
-    let nchunks = max 1 (min count (4 * max 1 jobs)) in
-    let bounds = Array.init (nchunks + 1) (fun i -> i * count / nchunks) in
-    let verdicts =
-      Par.run ~jobs ~ntasks:nchunks
-        ~init:(fun () -> Surviving.evaluator compiled)
-        ~task:(fun ev ci ->
-          let worst = ref (Metrics.Finite (-1)) in
-          let witness = ref [] in
-          for i = bounds.(ci) to bounds.(ci + 1) - 1 do
-            Surviving.set_mixed_faults ev ~nodes:[] ~edges:sets.(i);
-            let d = Surviving.evaluator_diameter ev in
-            if not (Metrics.distance_le d !worst) then begin
-              worst := d;
-              witness := sets.(i)
-            end
-          done;
-          {
-            worst = !worst;
-            witness = !witness;
-            sets_checked = bounds.(ci + 1) - bounds.(ci);
-            definitive = false;
-          })
+    let v =
+      sweep_sets ~engine ~jobs ~compiled ~count
+        ~nodes_of:(fun _ -> [])
+        ~edges_of:(fun i -> sets.(i))
+        ~report:(fun i -> sets.(i))
     in
-    let v = merge_ordered (Array.to_list verdicts) in
     Obs.add c_sets_checked v.sets_checked;
     {
       e_worst = v.worst;
@@ -433,29 +574,30 @@ let check_edge_sets ?jobs routing sets =
     }
   end
 
-let exhaustive_edges ?jobs routing ~f =
+let exhaustive_edges ?jobs ?(engine = Sliced) routing ~f =
   Obs.with_span "tolerance.exhaustive_edges" @@ fun () ->
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  let compiled = Surviving.compile routing in
+  let compiled = Surviving.compile_cached routing in
   let m = Surviving.edge_count compiled in
-  let blocks = blocks_up_to ~n:m ~f in
-  let verdicts =
-    Par.run ~jobs ~ntasks:(Array.length blocks)
-      ~init:(fun () -> Surviving.evaluator compiled)
-      ~task:(fun ev i ->
-        let worst = ref (Metrics.Finite (-1)) in
-        let witness = ref [] in
-        let checked = ref 0 in
-        sweep_block_edges ev blocks.(i) ~consider:(fun () ->
-            incr checked;
-            let d = Surviving.evaluator_diameter ev in
-            if not (Metrics.distance_le d !worst) then begin
-              worst := d;
-              witness := Surviving.edge_faults ev
-            end);
-        { worst = !worst; witness = !witness; sets_checked = !checked; definitive = false })
+  let total = count_subsets_up_to ~n:m ~k:f in
+  let use_sliced =
+    engine = Sliced
+    && Surviving.sliced_capable compiled
+    && total <= sliced_materialize_cap
   in
-  let v = { (merge_ordered (Array.to_list verdicts)) with definitive = true } in
+  let v =
+    if use_sliced then begin
+      let sets = materialize_sets ~n:m ~f in
+      sweep_sets_sliced ~jobs ~compiled ~count:total
+        ~nodes_of:(fun _ -> [])
+        ~edges_of:(fun i -> sets.(i))
+        ~report:(fun i -> sets.(i))
+    end
+    else
+      exhaustive_scalar ~jobs ~compiled ~blocks:(blocks_up_to ~n:m ~f)
+        ~sweep:sweep_block_edges ~faults_of:Surviving.edge_faults
+  in
+  let v = { v with definitive = true } in
   Obs.add c_sets_checked v.sets_checked;
   {
     e_worst = v.worst;
@@ -474,31 +616,11 @@ let certify_edges ?jobs routing ~f ~bound =
   Obs.with_span "tolerance.certify_edges" @@ fun () ->
   Obs.incr c_certify_runs;
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  let compiled = Surviving.compile routing in
+  let compiled = Surviving.compile_cached routing in
   let m = Surviving.edge_count compiled in
-  let blocks = blocks_up_to ~n:m ~f in
-  let exception Stop in
-  let results =
-    Par.run ~jobs ~ntasks:(Array.length blocks)
-      ~init:(fun () -> Surviving.evaluator compiled)
-      ~task:(fun ev i ->
-        let checked = ref 0 in
-        let cex = ref None in
-        (try
-           sweep_block_edges ev blocks.(i) ~consider:(fun () ->
-               incr checked;
-               if Surviving.diameter_exceeds ev ~bound then begin
-                 cex := Some (Surviving.edge_faults ev);
-                 raise Stop
-               end)
-         with Stop -> ());
-        (!cex, !checked))
-  in
-  let checked = Array.fold_left (fun acc (_, c) -> acc + c) 0 results in
-  let counterexample =
-    Array.fold_left
-      (fun acc (cex, _) -> match acc with Some _ -> acc | None -> cex)
-      None results
+  let counterexample, checked =
+    certify_blocks ~jobs ~compiled ~blocks:(blocks_up_to ~n:m ~f)
+      ~sweep:sweep_block_edges ~faults_of:Surviving.edge_faults ~bound
   in
   {
     e_holds = counterexample = None;
@@ -507,8 +629,8 @@ let certify_edges ?jobs routing ~f ~bound =
     e_cert_sets_checked = checked;
   }
 
-let random_edges ?jobs routing ~f ~rng ~samples =
-  let compiled = Surviving.compile routing in
+let random_edges ?jobs ?engine routing ~f ~rng ~samples =
+  let compiled = Surviving.compile_cached routing in
   let m = Surviving.edge_count compiled in
   let f = min f m in
   (* Same discipline as [random]: every draw happens before any
@@ -518,7 +640,7 @@ let random_edges ?jobs routing ~f ~rng ~samples =
     acc := List.map (Surviving.edge_pair compiled) (random_subset rng m f) :: !acc
   done;
   let sets = [] :: List.rev !acc in
-  check_edge_sets ?jobs routing (List.to_seq sets)
+  check_edge_sets ?jobs ?engine routing (List.to_seq sets)
 
 (* ------------------------------------------------------------------ *)
 (* The paper's edge-fault reduction, checked set by set.              *)
@@ -534,7 +656,7 @@ type reduction_report = {
 
 let reduction ?jobs routing ~f =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  let compiled = Surviving.compile routing in
+  let compiled = Surviving.compile_cached routing in
   let m = Surviving.edge_count compiled in
   let blocks = blocks_up_to ~n:m ~f in
   let results =
@@ -605,11 +727,12 @@ let reduction ?jobs routing ~f =
     results
 
 let evaluate ?(exhaustive_budget = 20_000) ?(samples = 300)
-    ?(attack_budget = Attack.default_config.Attack.budget) ?(corpus = []) ?jobs ~rng
-    (c : Construction.t) ~f =
+    ?(attack_budget = Attack.default_config.Attack.budget) ?(corpus = []) ?jobs ?engine
+    ~rng (c : Construction.t) ~f =
   let routing = c.Construction.routing in
   let n = Graph.n (Routing.graph routing) in
-  if count_subsets_up_to ~n ~k:f <= exhaustive_budget then exhaustive ?jobs routing ~f
+  if count_subsets_up_to ~n ~k:f <= exhaustive_budget then
+    exhaustive ?jobs ?engine routing ~f
   else begin
     (* Stored witnesses replay first: a regression against the corpus
        should surface even if every fresh search misses it. *)
@@ -619,15 +742,15 @@ let evaluate ?(exhaustive_budget = 20_000) ?(samples = 300)
       | sets ->
           Obs.with_span "tolerance.evaluate.replay" @@ fun () ->
           Obs.add c_corpus_replayed (List.length sets);
-          Some (check_sets ?jobs routing (List.to_seq sets))
+          Some (check_sets ?jobs ?engine routing (List.to_seq sets))
     in
     let adv =
       Obs.with_span "tolerance.evaluate.adversarial" @@ fun () ->
-      adversarial ?jobs routing ~f ~pools:c.Construction.pools
+      adversarial ?jobs ?engine routing ~f ~pools:c.Construction.pools
     in
     let rnd =
       Obs.with_span "tolerance.evaluate.random" @@ fun () ->
-      random ?jobs routing ~f ~rng ~samples
+      random ?jobs ?engine routing ~f ~rng ~samples
     in
     let atk =
       if attack_budget <= 0 then None

@@ -26,6 +26,15 @@ type verdict = {
   definitive : bool;  (** true when enumeration was exhaustive *)
 }
 
+type engine = Scalar | Sliced
+(** How candidate sets are swept. [Sliced] (the default) batches up to
+    {!Surviving.lane_capacity} sets into the lanes of one word-packed
+    BFS ({!Surviving.sliced}); it degrades to [Scalar] automatically
+    when the instance is too large for single-word rows or the
+    enumeration is too large to materialise. [Scalar] forces the
+    per-set incremental evaluator. Verdicts are bit-identical either
+    way; [Scalar] remains as the property tests' cross-check. *)
+
 val subsets_up_to : int list -> int -> int list Seq.t
 (** All subsets of the list with size [<= k] (including the empty
     set), lazily. *)
@@ -44,15 +53,16 @@ val iter_combinations_gray :
     every transition to the next subset swaps exactly one element out
     and one in. Exposed for the engine's tests. *)
 
-val check_sets : ?jobs:int -> Routing.t -> int list Seq.t -> verdict
+val check_sets : ?jobs:int -> ?engine:engine -> Routing.t -> int list Seq.t -> verdict
 (** Evaluate the surviving diameter on each fault set of the sequence
     (marked non-definitive). The witness is the first set, in sequence
     order, achieving the worst diameter, regardless of [jobs]. *)
 
-val exhaustive : ?jobs:int -> Routing.t -> f:int -> verdict
+val exhaustive : ?jobs:int -> ?engine:engine -> Routing.t -> f:int -> verdict
 (** All fault sets of size [<= f]; definitive. Enumerates by size,
-    then by maximum element, sweeping each block in Gray order on an
-    incremental evaluator. *)
+    then by maximum element; the sliced engine sweeps the enumeration
+    [lane_capacity] sets at a time, the scalar engine sweeps each
+    block in Gray order on an incremental evaluator. *)
 
 type certificate = {
   holds : bool;  (** no checked set exceeded the bound *)
@@ -68,13 +78,25 @@ val certify : ?jobs:int -> Routing.t -> f:int -> bound:int -> certificate
     stops at its first counterexample. *)
 
 val random :
-  ?jobs:int -> Routing.t -> f:int -> rng:Random.State.t -> samples:int -> verdict
+  ?jobs:int ->
+  ?engine:engine ->
+  Routing.t ->
+  f:int ->
+  rng:Random.State.t ->
+  samples:int ->
+  verdict
 (** Uniform fault sets of size exactly [f] (plus the empty set). All
     samples are drawn from [rng] before evaluation, so the verdict is
     [jobs]-independent. *)
 
 val adversarial :
-  ?per_pool_cap:int -> ?jobs:int -> Routing.t -> f:int -> pools:int list list -> verdict
+  ?per_pool_cap:int ->
+  ?jobs:int ->
+  ?engine:engine ->
+  Routing.t ->
+  f:int ->
+  pools:int list list ->
+  verdict
 (** Subsets of size [<= f] of each pool, at most [per_pool_cap]
     (default 2000) sets per pool, deduplicated across pools (the cap
     applies before deduplication, so a set is only skipped when an
@@ -96,12 +118,13 @@ type edge_verdict = {
   e_definitive : bool;
 }
 
-val check_edge_sets : ?jobs:int -> Routing.t -> (int * int) list Seq.t -> edge_verdict
+val check_edge_sets :
+  ?jobs:int -> ?engine:engine -> Routing.t -> (int * int) list Seq.t -> edge_verdict
 (** Evaluate the surviving diameter on each edge-fault set of the
     sequence. Raises [Invalid_argument] if a listed pair is not an
     edge of the routing's graph. *)
 
-val exhaustive_edges : ?jobs:int -> Routing.t -> f:int -> edge_verdict
+val exhaustive_edges : ?jobs:int -> ?engine:engine -> Routing.t -> f:int -> edge_verdict
 (** All edge-fault sets of size [<= f]; definitive. *)
 
 type edge_certificate = {
@@ -115,7 +138,13 @@ val certify_edges : ?jobs:int -> Routing.t -> f:int -> bound:int -> edge_certifi
     with the same early-exit BFS as {!certify}. *)
 
 val random_edges :
-  ?jobs:int -> Routing.t -> f:int -> rng:Random.State.t -> samples:int -> edge_verdict
+  ?jobs:int ->
+  ?engine:engine ->
+  Routing.t ->
+  f:int ->
+  rng:Random.State.t ->
+  samples:int ->
+  edge_verdict
 (** Uniform edge-fault sets of size exactly [f] (plus the empty set);
     draws happen before evaluation, so the verdict is
     [jobs]-independent. *)
@@ -148,6 +177,7 @@ val evaluate :
   ?attack_budget:int ->
   ?corpus:Attack.Corpus.entry list ->
   ?jobs:int ->
+  ?engine:engine ->
   rng:Random.State.t ->
   Construction.t ->
   f:int ->

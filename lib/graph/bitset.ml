@@ -80,6 +80,15 @@ let lowest_bit_index x =
   let b = x land -x in
   popcount (b - 1)
 
+(* The word with the low [k] bits set. [k = Sys.int_size] needs its own
+   branch: [1 lsl Sys.int_size] is undefined, and the all-ones word is
+   [-1] in two's complement. Used by the bit-sliced evaluator to mask
+   its active lanes. *)
+let mask k =
+  if k < 0 || k > Sys.int_size then
+    invalid_arg "Bitset.mask: width outside [0, Sys.int_size]";
+  if k = Sys.int_size then -1 else (1 lsl k) - 1
+
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 
 let is_empty t = Array.for_all (fun w -> w = 0) t.words

@@ -38,6 +38,11 @@ val lowest_bit_index : int -> int
 (** Index of the least significant set bit; the argument must be
     non-zero. *)
 
+val mask : int -> int
+(** [mask k] is the word with the low [k] bits set ([-1] when
+    [k = Sys.int_size]). Raises [Invalid_argument] outside
+    [0, Sys.int_size]. *)
+
 val clear : t -> unit
 (** Remove every element. *)
 

@@ -22,6 +22,13 @@ type config = {
       (* L4 containment: path suffixes where unsafe ops are legal,
          provided the enclosing definition carries a
          "(* bounds: ... *)" proof comment *)
+  unsafe_bigarray_ok : string list;
+      (* L4 containment for Bigarray unsafe accessors specifically.
+         They are kept on a separate, tighter allowlist than plain
+         [unsafe_ok]: an out-of-bounds Bigarray access is a wild
+         off-heap read/write, not merely a heap-corrupting one, so a
+         file cleared for Array.unsafe_* is not thereby cleared for
+         Bigarray.*.unsafe_*. Same proof-comment requirement. *)
 }
 
 let all_rules = [ "L1"; "L2"; "L3"; "L4"; "L5" ]
@@ -31,6 +38,7 @@ let default_config =
     rules = all_rules;
     allow_partial = [];
     unsafe_ok = [ "lib/graph/bitset.ml"; "lib/core/surviving.ml" ];
+    unsafe_bigarray_ok = [ "lib/core/surviving.ml" ];
   }
 
 let path_matches file suffix =
@@ -210,6 +218,17 @@ let l4_unsafe_name name =
   if name = "Obj.magic" then true
   else String.starts_with ~prefix:"unsafe_" (last_component name)
 
+(* Syntactic classification of an unsafe op as a Bigarray accessor:
+   some component of the module path names the Bigarray layer (the
+   array-kind submodules occur both qualified [Bigarray.Array1] and
+   opened/aliased [Array1]). *)
+let l4_bigarray_modules = [ "Bigarray"; "Array1"; "Array2"; "Array3"; "Genarray" ]
+
+let l4_is_bigarray name =
+  match List.rev (String.split_on_char '.' (strip_stdlib name)) with
+  | _ :: modpath -> List.exists (fun m -> List.mem m l4_bigarray_modules) modpath
+  | [] -> false
+
 (* ------------------------------------------------------------------ *)
 (* Rule L5: observability names must be literals                      *)
 (* ------------------------------------------------------------------ *)
@@ -221,7 +240,7 @@ let l5_registrars = [ "Obs.counter"; "Obs.gauge"; "Obs.span"; "Obs.with_span" ]
 (* ------------------------------------------------------------------ *)
 
 (* Entry points whose closure arguments run on other domains. *)
-let l3_fanouts = [ "Par.run"; "Par.map" ]
+let l3_fanouts = [ "Par.run"; "Par.map"; "Par.chunk" ]
 
 (* Modules whose operations are domain-safe on captured state. *)
 let l3_safe_modules = [ "Atomic"; "Obs"; "Domain" ]
@@ -329,17 +348,21 @@ let span_has_bounds ctx =
   !found
 
 let l4_flag ctx name loc =
-  if List.exists (path_matches ctx.file) ctx.config.unsafe_ok then begin
+  let kind, allowlist =
+    if l4_is_bigarray name then ("Bigarray unsafe", ctx.config.unsafe_bigarray_ok)
+    else ("unsafe", ctx.config.unsafe_ok)
+  in
+  if List.exists (path_matches ctx.file) allowlist then begin
     if not (span_has_bounds ctx) then
       emit ctx "L4" loc
         (Printf.sprintf
-           "unsafe `%s` without a `(* bounds: ... *)` proof comment on the \
-            enclosing definition" name)
+           "%s `%s` without a `(* bounds: ... *)` proof comment on the \
+            enclosing definition" kind name)
   end
   else
     emit ctx "L4" loc
-      (Printf.sprintf "unsafe `%s` outside the containment files (%s)" name
-         (String.concat ", " ctx.config.unsafe_ok))
+      (Printf.sprintf "%s `%s` outside the containment files (%s)" kind name
+         (String.concat ", " allowlist))
 
 let positional args =
   List.filter_map

@@ -5,13 +5,16 @@
       [raise Not_found].
     - L2 float ordering: polymorphic [compare]/[min]/[max]/sorts with
       syntactic float evidence (NaN poisons polymorphic ordering).
-    - L3 Par capture-safety: closures passed to [Par.run]/[Par.map]
-      must not dereference or mutate captured [ref]s, mutable fields,
-      arrays, [Hashtbl.t] or [Buffer.t]; [Atomic]/[Obs] operations and
-      bindings tagged [[@par.owned]] are exempt.
+    - L3 Par capture-safety: closures passed to
+      [Par.run]/[Par.map]/[Par.chunk] must not dereference or mutate
+      captured [ref]s, mutable fields, arrays, [Hashtbl.t] or
+      [Buffer.t]; [Atomic]/[Obs] operations and bindings tagged
+      [[@par.owned]] are exempt.
     - L4 unsafe containment: [*.unsafe_*] and [Obj.magic] only in the
       [unsafe_ok] files and only under a ["(* bounds: ... *)"] proof
-      comment.
+      comment; Bigarray unsafe accessors (wild off-heap access when
+      out of bounds) are held to the tighter [unsafe_bigarray_ok]
+      list under the same comment requirement.
     - L5 obs-name constancy: [Obs.counter]/[gauge]/[span]/[with_span]
       require literal name arguments.
 
@@ -26,13 +29,19 @@ type config = {
   unsafe_ok : string list;
       (** L4 containment: path suffixes where unsafe ops are legal
           under a bounds comment *)
+  unsafe_bigarray_ok : string list;
+      (** L4 containment for Bigarray unsafe accessors — a separate,
+          tighter list than [unsafe_ok]; a file cleared for
+          [Array.unsafe_*] is not thereby cleared for
+          [Bigarray.*.unsafe_*] *)
 }
 
 val all_rules : string list
 
 val default_config : config
 (** All rules on; empty L1 allowlist; unsafe ops contained to
-    [lib/graph/bitset.ml] and [lib/core/surviving.ml]. *)
+    [lib/graph/bitset.ml] and [lib/core/surviving.ml], Bigarray
+    unsafe accessors to [lib/core/surviving.ml] only. *)
 
 val run :
   config:config ->

@@ -1,0 +1,7 @@
+(* L3 fixture: Par.chunk tasks run on other domains too. *)
+let total = ref 0
+
+let sum () =
+  Par.chunk ~jobs:4 ~count:8
+    ~init:(fun () -> ())
+    ~task:(fun () ~lo:_ ~hi:_ -> incr total)

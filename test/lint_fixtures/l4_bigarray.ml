@@ -1,0 +1,5 @@
+(* L4 fixture: a Bigarray unsafe accessor. Its containment list is
+   [unsafe_bigarray_ok], not [unsafe_ok] — a file cleared for plain
+   unsafe ops is not thereby cleared for wild off-heap access.
+   bounds: caller guarantees 0 <= i < Bigarray.Array1.dim a. *)
+let get a i = Bigarray.Array1.unsafe_get a i

@@ -594,6 +594,142 @@ let test_search_mixed_jobs_independent () =
           base.Attack.m_nodes)
     [ `Mixed; `Edges ]
 
+(* ---------------- the bit-sliced evaluator ---------------- *)
+
+(* A random instance plus a batch of up to [lane_capacity] mixed fault
+   sets: the sliced engine must answer every lane exactly as the
+   scalar evaluator answers the corresponding set. *)
+let arb_sliced_batch =
+  QCheck.make
+    ~print:(fun (g, sets) ->
+      Printf.sprintf "%s batch=%d [%s]" (graph_print g) (List.length sets)
+        (String.concat "; "
+           (List.map
+              (fun (nodes, edges) ->
+                Printf.sprintf "F={%s} E={%s}"
+                  (String.concat "," (List.map string_of_int nodes))
+                  (String.concat ","
+                     (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) edges)))
+              sets)))
+    QCheck.Gen.(
+      let* g = chorded_cycle_gen ~nmin:4 ~nmax:12 in
+      let n = Graph.n g in
+      let all_edges = Graph.edges g in
+      let m = List.length all_edges in
+      let* seed = int_range 0 1_000_000 in
+      let rng = Random.State.make [| seed |] in
+      let nsets = 1 + Random.State.int rng (Surviving.lane_capacity - 1) in
+      let sets =
+        List.init nsets (fun _ ->
+            let nf = Random.State.int rng (min 4 n) in
+            let nodes =
+              List.sort_uniq compare (List.init nf (fun _ -> Random.State.int rng n))
+            in
+            let ef = Random.State.int rng (min 4 m) in
+            let edges =
+              List.sort_uniq compare
+                (List.init ef (fun _ -> List.nth all_edges (Random.State.int rng m)))
+            in
+            (nodes, edges))
+      in
+      return (g, sets))
+
+let prop_sliced_lanes_match_scalar =
+  QCheck.Test.make ~name:"sliced lanes = per-set evaluator (nodes/edges/mixed)"
+    ~count:40 arb_sliced_batch
+    (fun (g, sets) ->
+      assume_not_complete g;
+      let routing = routing_of g in
+      let compiled = Surviving.compile routing in
+      QCheck.assume (Surviving.sliced_capable compiled);
+      let ids =
+        List.map
+          (fun (nodes, edges) ->
+            ( nodes,
+              List.map
+                (fun (u, v) ->
+                  match Surviving.edge_id compiled u v with
+                  | Some id -> id
+                  | None -> QCheck.Test.fail_reportf "edge %d-%d has no id" u v)
+                edges ))
+          sets
+      in
+      let s = Surviving.sliced compiled in
+      List.iter (fun (nodes, edges) -> ignore (Surviving.slice_add s ~nodes ~edges)) ids;
+      let ev = Surviving.evaluator compiled in
+      let scalar_of f =
+        List.map
+          (fun (nodes, edges) ->
+            Surviving.set_mixed_faults ev ~nodes ~edges;
+            f ())
+          ids
+      in
+      let lanes_ok =
+        List.for_all2 ( = )
+          (Array.to_list (Surviving.slice_diameters s))
+          (scalar_of (fun () -> Surviving.evaluator_diameter ev))
+      in
+      let exceeds_ok =
+        List.for_all
+          (fun bound ->
+            let mask = Surviving.slice_exceeds s ~bound in
+            List.for_all2 ( = )
+              (List.init (List.length ids) (fun k -> mask land (1 lsl k) <> 0))
+              (scalar_of (fun () -> Surviving.diameter_exceeds ev ~bound)))
+          (List.init 7 (fun b -> b - 1))
+      in
+      lanes_ok && exceeds_ok)
+
+let prop_exhaustive_engines_agree =
+  QCheck.Test.make ~name:"exhaustive: sliced = scalar verdict (nodes and edges)"
+    ~count:25
+    (QCheck.make ~print:graph_print (chorded_cycle_gen ~nmin:4 ~nmax:9))
+    (fun g ->
+      assume_not_complete g;
+      let routing = routing_of g in
+      let f = 2 in
+      Tolerance.exhaustive ~engine:Tolerance.Sliced routing ~f
+      = Tolerance.exhaustive ~engine:Tolerance.Scalar routing ~f
+      && Tolerance.exhaustive_edges ~engine:Tolerance.Sliced routing ~f
+         = Tolerance.exhaustive_edges ~engine:Tolerance.Scalar routing ~f)
+
+(* Bit-identical verdicts AND byte-identical Obs counter JSON for the
+   sliced path at jobs=1 vs jobs=8, across the full quick table (both
+   universes, f=1 and f=2). Also covers the compile cache: the warm
+   runs must report the same counters as the cold one. *)
+let test_sliced_jobs_counters_identical () =
+  let module Obs = Ftr_obs.Obs in
+  let g = Families.torus 4 4 in
+  let routing = routing_of g in
+  let counters_after f =
+    Obs.reset ();
+    Obs.set_enabled true;
+    let r = f () in
+    let json = Obs.counters_json () in
+    Obs.set_enabled false;
+    Obs.reset ();
+    (r, json)
+  in
+  List.iter
+    (fun f ->
+      let v1, j1 =
+        counters_after (fun () -> Tolerance.exhaustive ~jobs:1 routing ~f)
+      in
+      let v8, j8 =
+        counters_after (fun () -> Tolerance.exhaustive ~jobs:8 routing ~f)
+      in
+      Alcotest.(check bool) (Printf.sprintf "f=%d node verdict" f) true (v1 = v8);
+      Alcotest.(check string) (Printf.sprintf "f=%d node counters" f) j1 j8;
+      let e1, ej1 =
+        counters_after (fun () -> Tolerance.exhaustive_edges ~jobs:1 routing ~f)
+      in
+      let e8, ej8 =
+        counters_after (fun () -> Tolerance.exhaustive_edges ~jobs:8 routing ~f)
+      in
+      Alcotest.(check bool) (Printf.sprintf "f=%d edge verdict" f) true (e1 = e8);
+      Alcotest.(check string) (Printf.sprintf "f=%d edge counters" f) ej1 ej8)
+    [ 1; 2 ]
+
 let () =
   let qcheck = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "engine"
@@ -626,6 +762,12 @@ let () =
         @ [
             Alcotest.test_case "counterexample violates" `Quick
               test_certify_counterexample_violates;
+          ] );
+      ( "sliced",
+        qcheck [ prop_sliced_lanes_match_scalar; prop_exhaustive_engines_agree ]
+        @ [
+            Alcotest.test_case "jobs1 = jobs8 verdicts and counters" `Quick
+              test_sliced_jobs_counters_identical;
           ] );
       ( "determinism",
         [

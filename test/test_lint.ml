@@ -31,7 +31,9 @@ let triggers =
     ("L1", "l1_trigger.ml", 6);
     ("L2", "l2_trigger.ml", 3);
     ("L3", "l3_trigger.ml", 2);
+    ("L3", "l3_chunk.ml", 1);
     ("L4", "l4_trigger.ml", 1);
+    ("L4", "l4_bigarray.ml", 1);
     ("L5", "l5_trigger.ml", 2);
   ]
 
@@ -87,6 +89,29 @@ let test_l4_proof_comment () =
         (contains_substring d.Diagnostic.message "bounds")
   | ds -> Alcotest.failf "expected 1 diagnostic, got %d" (List.length ds)
 
+(* Bigarray unsafe accessors answer to [unsafe_bigarray_ok], not
+   [unsafe_ok]: clearing a file for plain unsafe ops must not clear
+   it for off-heap access, while the tight list (plus the fixture's
+   bounds comment) silences the diagnostic. *)
+let test_l4_bigarray_list () =
+  (let diags, _ = lint "l4_bigarray.ml" in
+   match diags with
+   | [ d ] ->
+       Alcotest.(check bool)
+         "classified as Bigarray unsafe" true
+         (contains_substring d.Diagnostic.message "Bigarray unsafe")
+   | ds -> Alcotest.failf "expected 1 diagnostic, got %d" (List.length ds));
+  let cleared_plain =
+    { Rules.default_config with Rules.unsafe_ok = [ "l4_bigarray.ml" ] }
+  in
+  check_rules "unsafe_ok does not cover Bigarray" [ "L4" ]
+    (lint ~config:cleared_plain "l4_bigarray.ml");
+  let cleared_bigarray =
+    { Rules.default_config with Rules.unsafe_bigarray_ok = [ "l4_bigarray.ml" ] }
+  in
+  check_rules "bigarray list + bounds comment accepted" []
+    (lint ~config:cleared_bigarray "l4_bigarray.ml")
+
 let test_allow_justified () =
   let diags, suppressed = lint "allow_ok.ml" in
   Alcotest.(check (list string)) "nothing unsuppressed" [] (rules_of diags);
@@ -123,6 +148,8 @@ let () =
           Alcotest.test_case "L4 containment precedes comments" `Quick
             test_l4_containment_first;
           Alcotest.test_case "L4 proof-comment contract" `Quick test_l4_proof_comment;
+          Alcotest.test_case "L4 Bigarray containment list" `Quick
+            test_l4_bigarray_list;
         ] );
       ( "suppression",
         [

@@ -89,6 +89,53 @@ let test_reentrant_falls_back () =
 let test_recommended_jobs_positive () =
   Alcotest.(check bool) "at least one" true (Par.recommended_jobs () >= 1)
 
+(* Par.chunk: the blocks tile [0, count) exactly, results come back in
+   range order, and the block count is a function of [count] alone —
+   never of [jobs] — so the par.tasks counter stays jobs-independent. *)
+let test_chunk_covers_range () =
+  List.iter
+    (fun count ->
+      List.iter
+        (fun jobs ->
+          let blocks =
+            Par.chunk ~jobs ~count ~init:(fun () -> ()) ~task:(fun () ~lo ~hi -> (lo, hi))
+          in
+          let flat =
+            Array.to_list blocks
+            |> List.concat_map (fun (lo, hi) -> List.init (hi - lo) (fun i -> lo + i))
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "count=%d jobs=%d tiles the range in order" count jobs)
+            (List.init count Fun.id) flat)
+        [ 1; 4 ])
+    [ 1; 2; 31; 32; 33; 100 ]
+
+let test_chunk_empty_and_negative () =
+  Alcotest.(check (array (pair int int))) "count=0" [||]
+    (Par.chunk ~jobs:4 ~count:0 ~init:(fun () -> ()) ~task:(fun () ~lo ~hi -> (lo, hi)));
+  Alcotest.check_raises "negative count" (Invalid_argument "Par.chunk: negative count")
+    (fun () ->
+      ignore
+        (Par.chunk ~jobs:4 ~count:(-1)
+           ~init:(fun () -> ())
+           ~task:(fun () ~lo:_ ~hi:_ -> ())))
+
+let test_chunk_block_count_jobs_independent () =
+  List.iter
+    (fun count ->
+      let nblocks jobs =
+        Array.length
+          (Par.chunk ~jobs ~count ~init:(fun () -> ()) ~task:(fun () ~lo:_ ~hi:_ -> ()))
+      in
+      let base = nblocks 1 in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check int)
+            (Printf.sprintf "count=%d jobs=%d same block count" count jobs)
+            base (nblocks jobs))
+        [ 2; 4; 8; 16 ])
+    [ 1; 5; 32; 33; 1000 ]
+
 let () =
   Alcotest.run "par"
     [
@@ -103,5 +150,13 @@ let () =
             test_reentrant_falls_back;
           Alcotest.test_case "recommended_jobs positive" `Quick
             test_recommended_jobs_positive;
+        ] );
+      ( "chunk",
+        [
+          Alcotest.test_case "blocks tile the range" `Quick test_chunk_covers_range;
+          Alcotest.test_case "empty and negative counts" `Quick
+            test_chunk_empty_and_negative;
+          Alcotest.test_case "block count is jobs-independent" `Quick
+            test_chunk_block_count_jobs_independent;
         ] );
     ]
