@@ -216,6 +216,54 @@ let engine_tests =
              ~pools:kernel_t55.Construction.pools kernel_t55.Construction.routing ~f:3));
   ]
 
+(* The serve stack under synthetic load: the admission/pump core with
+   a virtual clock (no sockets, no journal) and the full five-beat
+   chaos scenario (journal fsyncs included). *)
+module Serve = Ftr_serve
+
+let chaos_cfg =
+  {
+    Serve.Chaos.queries = 40;
+    burst = 64;
+    max_queue = 24;
+    deadline_ticks = 48.0;
+    gray_factor = 8.0;
+    radius = 1;
+    zipf_s = 1.1;
+    (* The wall-clock gate is irrelevant to throughput accounting and
+       would make the bench row flaky on loaded boxes; park it. *)
+    slo_p99_ms = 1e9;
+    min_delivery = 0.3;
+    seed = 0xBEEF;
+    jobs = None;
+    certify = false;
+    journal_dir = Filename.get_temp_dir_name ();
+  }
+
+let serve_tests =
+  [
+    Test.make ~name:"serve:pump_route100"
+      (stage (fun () ->
+           let engine = Serve.Engine.create kernel_t55.Construction.routing in
+           let vclock = ref 0.0 in
+           let srv =
+             Serve.Server.create
+               ~clock:(fun () -> !vclock)
+               { Serve.Server.max_queue = 128; deadline = 0.0; bound = None }
+               engine
+           in
+           let n = Graph.n (Routing.graph kernel_t55.Construction.routing) in
+           for i = 0 to 99 do
+             vclock := !vclock +. 1.0;
+             Serve.Server.submit srv
+               (Serve.Wire.Route { src = i mod n; dst = (i * 7 + 1) mod n })
+               (fun _ -> ());
+             Serve.Server.pump srv
+           done));
+    Test.make ~name:"serve:chaos_scenario_t55"
+      (stage (fun () -> Serve.Chaos.run ~label:"bench-chaos" kernel_t55 chaos_cfg));
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Runner                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -229,7 +277,8 @@ let pp_ns est =
 let run_timings ~quick () =
   let tests =
     Test.make_grouped ~name:"ftr"
-      (experiment_tests @ primitive_tests @ attack_tests @ engine_tests)
+      (experiment_tests @ primitive_tests @ attack_tests @ engine_tests
+      @ serve_tests)
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let limit = if quick then 300 else 1500 in
@@ -403,6 +452,25 @@ let json_of_rows rows ~quick =
         (Printf.sprintf "    %S: %d%s\n" name v
            (if i = List.length counters - 1 then "" else ",")))
     counters;
+  Buffer.add_string buf "  },\n";
+  (* Throughput accounting for the serve stack under the fixed chaos
+     scenario: request/delivery/shed counts and virtual-clock ticks,
+     all schedule-independent (wall-clock latencies deliberately
+     excluded — the ns/run rows above carry time-taken). *)
+  (let o = Serve.Chaos.run ~label:"bench-chaos" kernel_t55 chaos_cfg in
+   Buffer.add_string buf "  \"chaos_throughput\": {\n";
+   Buffer.add_string buf
+     "    \"note\": \"fixed five-beat chaos scenario on torus:5x5/kernel; \
+      counts are a pure function of (construction, config, seed)\",\n";
+   Buffer.add_string buf
+     (Printf.sprintf
+        "    \"requests\": %d,\n    \"delivered\": %d,\n    \"shed\": %d,\n\
+        \    \"virtual_ticks\": %d,\n    \"delivery_rate\": %.4f,\n\
+        \    \"digest_converged\": %b,\n    \"exit\": %S\n"
+        o.Serve.Chaos.total_requests o.Serve.Chaos.delivered
+        o.Serve.Chaos.shed o.Serve.Chaos.virtual_ticks
+        o.Serve.Chaos.delivery_rate o.Serve.Chaos.digest_converged
+        (Serve.Exit_code.describe o.Serve.Chaos.exit)));
   Buffer.add_string buf "  },\n";
   Buffer.add_string buf "  \"seed_baseline\": {\n";
   Buffer.add_string buf "    \"commit\": \"3b75048\",\n";

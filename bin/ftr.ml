@@ -8,7 +8,8 @@
      attack    adversarial fault search + witness corpus
      soak      corpus replay against the churn-hardened protocol
      serve     long-lived routing daemon (and its --slo soak gate)
-     query     client for a running serve daemon
+     query     client for a running serve daemon (with transport retries)
+     chaos     gray-failure / heavy-traffic scenario against the serve stack
      dot       DOT export                                           *)
 
 open Cmdliner
@@ -46,6 +47,10 @@ let trace_arg =
     value & flag
     & info [ "trace" ]
         ~doc:"Print a timing line to stderr as each instrumented span completes.")
+
+(* Transport-level retries performed by `ftr query` (connect refused,
+   connection lost, read timeout) — one tick per re-attempt. *)
+let c_query_retries = Ftr_obs.Obs.counter "query.retries"
 
 (* Instrumentation is off unless asked for; the metrics file is
    written even when the run fails, so a crashing invocation still
@@ -1030,6 +1035,18 @@ let serve_cmd =
           ~doc:"Write the slo.json artifact (per-construction reports, \
                 percentiles, verdict).")
   in
+  let gray_factor_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "gray-factor" ] ~docv:"F"
+          ~doc:
+            "With $(b,--slo): insert a gray-failure wave after each \
+             construction's baseline — two links degrade to $(docv) times \
+             healthy latency (never dropped), the full in-budget contract \
+             must hold unchanged, and restoring must return the fault digest \
+             byte-identical. $(docv) must be at least 1.")
+  in
   let journal_dir_arg =
     Arg.(
       value
@@ -1040,20 +1057,11 @@ let serve_cmd =
              (default: the system temp directory).")
   in
   let run spec strategy seed socket journal max_queue deadline_ms bound slo
-      corpus queries slo_p99 certify slo_out journal_dir jobs metrics trace =
+      corpus queries slo_p99 certify slo_out journal_dir gray_factor jobs
+      metrics trace =
     with_obs metrics trace @@ fun () ->
     if slo then begin
-      if queries <= 0 then begin
-        Printf.eprintf "serve --slo: --queries must be positive (got %d)\n"
-          queries;
-        2
-      end
-      else if slo_p99 <= 0.0 then begin
-        Printf.eprintf "serve --slo: --slo-p99-ms must be positive (got %g)\n"
-          slo_p99;
-        2
-      end
-      else begin
+      let run_slo () =
         let files = Attack.Corpus.load_dir corpus in
         if files = [] then begin
           Printf.printf "no corpus files under %s\n" corpus;
@@ -1089,6 +1097,7 @@ let serve_cmd =
                 jobs;
                 certify;
                 journal_dir = jdir;
+                gray_factor;
               }
             in
             let outcome = Serve.Soak.run ~build:build_for_corpus ~entries cfg in
@@ -1135,6 +1144,24 @@ let serve_cmd =
             Serve.Exit_code.to_int outcome.Serve.Soak.exit
           end
         end
+      in
+      if queries <= 0 then begin
+        Printf.eprintf "serve --slo: --queries must be positive (got %d)\n"
+          queries;
+        2
+      end
+      else if slo_p99 <= 0.0 then begin
+        Printf.eprintf "serve --slo: --slo-p99-ms must be positive (got %g)\n"
+          slo_p99;
+        2
+      end
+      else begin
+        match gray_factor with
+        | Some f when (not (Float.is_finite f)) || f < 1.0 ->
+            Printf.eprintf
+              "serve --slo: --gray-factor must be finite and >= 1 (got %g)\n" f;
+            2
+        | _ -> run_slo ()
       end
     end
     else begin
@@ -1247,7 +1274,7 @@ let serve_cmd =
       const run $ spec_arg $ strategy_arg $ seed_arg $ socket_arg $ journal_arg
       $ max_queue_arg $ deadline_arg $ bound_arg $ slo_arg $ corpus_arg
       $ queries_arg $ slo_p99_arg $ certify_arg $ slo_out_arg $ journal_dir_arg
-      $ jobs_arg $ metrics_arg $ trace_arg)
+      $ gray_factor_arg $ jobs_arg $ metrics_arg $ trace_arg)
 
 (* ---------------- query ---------------- *)
 
@@ -1264,6 +1291,24 @@ let query_cmd =
       & info [ "timeout" ] ~docv:"SEC"
           ~doc:"Give up on a response after $(docv) seconds.")
   in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry the whole request batch up to $(docv) times when the \
+             daemon cannot be reached or the connection dies mid-stream \
+             (capped exponential backoff between attempts). Application \
+             errors — a response with ok=false — are never retried.")
+  in
+  let retry_deadline_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "retry-deadline" ] ~docv:"SEC"
+          ~doc:
+            "Total wall-clock budget across all attempts; once spent, no \
+             further retry is scheduled even if $(b,--retries) remain.")
+  in
   let reqs_arg =
     Arg.(
       value & pos_all string []
@@ -1272,7 +1317,8 @@ let query_cmd =
             "Requests, sent in order: raw JSON (anything starting with '{') \
              or shorthand $(b,health), $(b,ready), $(b,stats), $(b,drain), \
              $(b,diameter), $(b,route:SRC:DST), $(b,fail:V), \
-             $(b,recover:V), $(b,fail-link:U:V), $(b,recover-link:U:V).")
+             $(b,recover:V), $(b,fail-link:U:V), $(b,recover-link:U:V), \
+             $(b,degrade-link:U:V:FACTOR), $(b,restore-link:U:V).")
   in
   let parse_request s =
     if String.length s > 0 && s.[0] = '{' then Ok s
@@ -1304,11 +1350,71 @@ let query_cmd =
           link (fun u v -> Serve.Wire.Fail_link (u, v)) u v
       | [ "recover-link"; u; v ] ->
           link (fun u v -> Serve.Wire.Recover_link (u, v)) u v
+      | [ "degrade-link"; u; v; f ] -> (
+          match float_of_string_opt f with
+          | Some f when Float.is_finite f && f >= 1.0 ->
+              link (fun u v -> Serve.Wire.Degrade_link (u, v, f)) u v
+          | _ -> Error (Printf.sprintf "bad degrade factor in %S" s))
+      | [ "restore-link"; u; v ] ->
+          link (fun u v -> Serve.Wire.Restore_link (u, v)) u v
       | _ -> Error (Printf.sprintf "cannot parse request %S" s)
   in
-  let run socket timeout reqs =
+  (* One full attempt: connect, send every request, read every
+     response. [Error msg] means the daemon was unreachable or the
+     connection died mid-stream — the transport failures a retry can
+     fix. An ok=false response is an application answer, never
+     retried. *)
+  let attempt socket timeout lines =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error
+          (Printf.sprintf "cannot connect to %s: %s" socket
+             (Unix.error_message e))
+    | () ->
+        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout
+         with Unix.Unix_error _ -> ());
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let all_ok = ref true in
+        let result =
+          try
+            List.iter
+              (fun l ->
+                output_string oc (l ^ "\n");
+                flush oc;
+                let resp = input_line ic in
+                print_endline resp;
+                match Serve.Sjson.parse resp with
+                | Ok json
+                  when Option.value ~default:false
+                         (Option.bind
+                            (Serve.Sjson.member "ok" json)
+                            Serve.Sjson.to_bool) ->
+                    ()
+                | _ -> all_ok := false)
+              lines;
+            Ok (if !all_ok then 0 else 1)
+          with
+          | End_of_file | Sys_error _ -> Error "connection lost"
+          | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+        in
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        result
+  in
+  let run socket timeout retries retry_deadline reqs metrics trace =
+    with_obs metrics trace @@ fun () ->
     if reqs = [] then begin
       Printf.eprintf "query: no requests given\n";
+      2
+    end
+    else if retries < 0 then begin
+      Printf.eprintf "query: --retries must be non-negative (got %d)\n" retries;
+      2
+    end
+    else if not (Float.is_finite retry_deadline && retry_deadline > 0.0) then begin
+      Printf.eprintf "query: --retry-deadline must be positive\n";
       2
     end
     else begin
@@ -1324,45 +1430,34 @@ let query_cmd =
         let lines =
           List.filter_map (function Ok l -> Some l | Error _ -> None) parsed
         in
-        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        match Unix.connect fd (Unix.ADDR_UNIX socket) with
-        | exception Unix.Unix_error (e, _, _) ->
-            (try Unix.close fd with Unix.Unix_error _ -> ());
-            Printf.eprintf "query: cannot connect to %s: %s\n" socket
-              (Unix.error_message e);
-            3
-        | () ->
-            (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout
-             with Unix.Unix_error _ -> ());
-            let ic = Unix.in_channel_of_descr fd in
-            let oc = Unix.out_channel_of_descr fd in
-            let all_ok = ref true in
-            let rc = ref 0 in
-            (try
-               List.iter
-                 (fun l ->
-                   output_string oc (l ^ "\n");
-                   flush oc;
-                   let resp = input_line ic in
-                   print_endline resp;
-                   match Serve.Sjson.parse resp with
-                   | Ok json
-                     when Option.value ~default:false
-                            (Option.bind
-                               (Serve.Sjson.member "ok" json)
-                               Serve.Sjson.to_bool) ->
-                       ()
-                   | _ -> all_ok := false)
-                 lines
-             with
-            | End_of_file | Sys_error _ ->
-                Printf.eprintf "query: connection lost\n";
-                rc := 3
-            | Unix.Unix_error (e, _, _) ->
-                Printf.eprintf "query: %s\n" (Unix.error_message e);
-                rc := 3);
-            (try Unix.close fd with Unix.Unix_error _ -> ());
-            if !rc <> 0 then !rc else if !all_ok then 0 else 1
+        (* Capped exponential backoff: 0.1s, 0.2s, 0.4s, ... topping
+           out at 2s, all under one total wall-clock budget. *)
+        let start = Unix.gettimeofday () in
+        let backoff k = Float.min 2.0 (0.1 *. (2.0 ** float_of_int k)) in
+        let rec go k =
+          match attempt socket timeout lines with
+          | Ok rc -> rc
+          | Error msg ->
+              let elapsed = Unix.gettimeofday () -. start in
+              if k >= retries then begin
+                Printf.eprintf "query: %s\n" msg;
+                3
+              end
+              else if elapsed +. backoff k > retry_deadline then begin
+                Printf.eprintf
+                  "query: %s (retry deadline %.1fs spent after %d attempt(s))\n"
+                  msg retry_deadline (k + 1);
+                3
+              end
+              else begin
+                Printf.eprintf "query: %s, retrying in %.1fs (%d/%d)\n" msg
+                  (backoff k) (k + 1) retries;
+                Unix.sleepf (backoff k);
+                Ftr_obs.Obs.incr c_query_retries;
+                go (k + 1)
+              end
+        in
+        go 0
       end
     end
   in
@@ -1370,8 +1465,245 @@ let query_cmd =
     (Cmd.info "query" ~exits:soak_exits
        ~doc:
          "send requests to a running `ftr serve` daemon and print each \
-          response; exits non-zero if any response is not ok")
-    Term.(const run $ socket_arg $ timeout_arg $ reqs_arg)
+          response; exits non-zero if any response is not ok; transport \
+          failures retry under a capped exponential backoff when \
+          $(b,--retries) is given")
+    Term.(
+      const run $ socket_arg $ timeout_arg $ retries_arg $ retry_deadline_arg
+      $ reqs_arg $ metrics_arg $ trace_arg)
+
+(* ---------------- chaos ---------------- *)
+
+let chaos_cmd =
+  let queries_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "queries" ] ~docv:"Q"
+          ~doc:"Route queries per query phase (baseline, gray, regional).")
+  in
+  let burst_arg =
+    Arg.(
+      value & opt int 96
+      & info [ "burst" ] ~docv:"N"
+          ~doc:
+            "Flash-crowd size: $(docv) hub-bound queries submitted faster \
+             than the pump drains. Exceed $(b,--max-queue) to force \
+             admission shedding.")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "max-queue" ] ~docv:"N" ~doc:"Admission queue budget.")
+  in
+  let deadline_ticks_arg =
+    Arg.(
+      value & opt float 64.0
+      & info [ "deadline-ticks" ] ~docv:"T"
+          ~doc:
+            "Admission deadline in virtual clock ticks (one tick per \
+             submission); requests queued longer are shed. 0 disables.")
+  in
+  let gray_factor_arg =
+    Arg.(
+      value & opt float 8.0
+      & info [ "gray-factor" ] ~docv:"F"
+          ~doc:
+            "Latency factor for the gray wave: every link of the chosen \
+             BFS ball slows to $(docv) times healthy latency without \
+             dropping. Must be finite and at least 1.")
+  in
+  let radius_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "radius" ] ~docv:"R"
+          ~doc:"BFS-ball radius for the gray and regional waves.")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float 1.1
+      & info [ "zipf-s" ] ~docv:"S"
+          ~doc:
+            "Zipf exponent for pair popularity in the query phases; 0 \
+             makes the workload uniform.")
+  in
+  let slo_p99_arg =
+    Arg.(
+      value & opt float 50.0
+      & info [ "slo-p99-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock p99 service-latency gate. The verdict (a boolean) \
+             is in the artifact; the raw percentiles are stdout-only.")
+  in
+  let min_delivery_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "min-delivery" ] ~docv:"RATE"
+          ~doc:
+            "Delivery-rate floor for the correlated regional-outage phase, \
+             in [0, 1].")
+  in
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Exhaustively re-certify the construction's (bound, 1) claim \
+             before the scenario runs ($(b,--jobs) parallelises this; the \
+             artifact is byte-identical either way).")
+  in
+  let journal_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the scenario's fault journal (default: the \
+             system temp directory).")
+  in
+  let chaos_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the ftr-chaos/1 artifact: config echo, per-phase \
+             counts, digests and the exit verdict. Deterministic — \
+             byte-identical across $(b,--jobs) values.")
+  in
+  let run g strategy seed queries burst max_queue deadline_ticks gray_factor
+      radius zipf_s slo_p99 min_delivery certify journal_dir chaos_out jobs
+      metrics trace =
+    with_obs metrics trace @@ fun () ->
+    if queries <= 0 then begin
+      Printf.eprintf "chaos: --queries must be positive (got %d)\n" queries;
+      2
+    end
+    else if burst <= 0 then begin
+      Printf.eprintf "chaos: --burst must be positive (got %d)\n" burst;
+      2
+    end
+    else if max_queue <= 0 then begin
+      Printf.eprintf "chaos: --max-queue must be positive (got %d)\n" max_queue;
+      2
+    end
+    else if not (Float.is_finite gray_factor && gray_factor >= 1.0) then begin
+      Printf.eprintf "chaos: --gray-factor must be finite and >= 1 (got %g)\n"
+        gray_factor;
+      2
+    end
+    else if radius < 1 then begin
+      Printf.eprintf "chaos: --radius must be at least 1 (got %d)\n" radius;
+      2
+    end
+    else if not (Float.is_finite zipf_s && zipf_s >= 0.0) then begin
+      Printf.eprintf "chaos: --zipf-s must be finite and >= 0 (got %g)\n" zipf_s;
+      2
+    end
+    else if slo_p99 <= 0.0 then begin
+      Printf.eprintf "chaos: --slo-p99-ms must be positive (got %g)\n" slo_p99;
+      2
+    end
+    else if not (min_delivery >= 0.0 && min_delivery <= 1.0) then begin
+      Printf.eprintf "chaos: --min-delivery must be in [0, 1] (got %g)\n"
+        min_delivery;
+      2
+    end
+    else begin
+      match build_construction g strategy seed with
+      | exception Invalid_argument msg ->
+          Printf.eprintf "chaos: cannot build: %s\n" msg;
+          3
+      | c ->
+          let jdir =
+            match journal_dir with
+            | Some d -> d
+            | None -> Filename.get_temp_dir_name ()
+          in
+          let cfg =
+            {
+              Serve.Chaos.queries;
+              burst;
+              max_queue;
+              deadline_ticks;
+              gray_factor;
+              radius;
+              zipf_s;
+              slo_p99_ms = slo_p99;
+              min_delivery;
+              seed;
+              jobs;
+              certify;
+              journal_dir = jdir;
+            }
+          in
+          let outcome = Serve.Chaos.run c cfg in
+          (match outcome.Serve.Chaos.infra with
+          | Some msg -> Printf.printf "INFRA: %s\n" msg
+          | None ->
+              List.iter
+                (fun (p : Serve.Chaos.phase) ->
+                  Printf.printf
+                    "%-12s %4d requests  %4d delivered  %3d degraded  %3d \
+                     unreachable  %3d shed\n"
+                    p.name p.requests p.delivered p.degraded p.unreachable
+                    p.shed)
+                outcome.Serve.Chaos.phases;
+              Printf.printf
+                "total: %d requests, %d delivered (%.1f%%), %d shed, %d \
+                 virtual tick(s)\n"
+                outcome.Serve.Chaos.total_requests
+                outcome.Serve.Chaos.delivered
+                (100.0 *. outcome.Serve.Chaos.delivery_rate)
+                outcome.Serve.Chaos.shed outcome.Serve.Chaos.virtual_ticks;
+              (match outcome.Serve.Chaos.certified with
+              | Some (b, k) -> Printf.printf "certified: (%d,%d)\n" b k
+              | None -> ());
+              Printf.printf "journal digest: %s, convergence: %s\n"
+                (if outcome.Serve.Chaos.journal_digest_ok then "ok"
+                 else "DIVERGED")
+                (if outcome.Serve.Chaos.digest_converged then "ok"
+                 else "DIVERGED");
+              Printf.printf "latency: p50=%s p99=%s (gate %.3fms) -> %s\n"
+                (match outcome.Serve.Chaos.p50_ms with
+                | Some p -> Printf.sprintf "%.3fms" p
+                | None -> "-")
+                (match outcome.Serve.Chaos.p99_ms with
+                | Some p -> Printf.sprintf "%.3fms" p
+                | None -> "-")
+                slo_p99
+                (if outcome.Serve.Chaos.slo_breached then "BREACH" else "ok");
+              List.iter
+                (fun v -> Printf.printf "violation: %s\n" v)
+                outcome.Serve.Chaos.violations);
+          Printf.printf "%s\n"
+            (Serve.Exit_code.describe outcome.Serve.Chaos.exit);
+          (match chaos_out with
+          | None -> ()
+          | Some path -> (
+              try
+                let oc = open_out path in
+                output_string oc
+                  (Serve.Sjson.to_string (Serve.Chaos.to_json cfg outcome));
+                output_char oc '\n';
+                close_out oc
+              with Sys_error e ->
+                Printf.eprintf "cannot write %s: %s\n" path e));
+          Serve.Exit_code.to_int outcome.Serve.Chaos.exit
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~exits:soak_exits
+       ~doc:
+         "gray-failure and heavy-traffic chaos scenario against the live \
+          serve stack: Zipf baseline, latency-only gray wave, correlated \
+          regional outage with a journal crash/rebuild, flash-crowd \
+          admission shedding, convergence — exits non-zero on any broken \
+          gate and emits a deterministic ftr-chaos/1 artifact")
+    Term.(
+      const run $ graph_arg $ strategy_arg $ seed_arg $ queries_arg $ burst_arg
+      $ max_queue_arg $ deadline_ticks_arg $ gray_factor_arg $ radius_arg
+      $ zipf_arg $ slo_p99_arg $ min_delivery_arg $ certify_arg
+      $ journal_dir_arg $ chaos_out_arg $ jobs_arg $ metrics_arg $ trace_arg)
 
 (* ---------------- dot ---------------- *)
 
@@ -1477,6 +1809,6 @@ let () =
        (Cmd.group (Cmd.info "ftr" ~doc)
           [
             info_cmd; route_cmd; tolerate_cmd; props_cmd; check_cmd; simulate_cmd;
-            attack_cmd; soak_cmd; serve_cmd; query_cmd; dot_cmd;
+            attack_cmd; soak_cmd; serve_cmd; query_cmd; chaos_cmd; dot_cmd;
             lint_artifacts_cmd;
           ]))

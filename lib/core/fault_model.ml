@@ -4,9 +4,16 @@ type t = {
   g : Graph.t;
   nodes : Bitset.t;
   edges : (int * int, unit) Hashtbl.t; (* normalised (min, max) *)
+  degraded : (int * int, float) Hashtbl.t; (* normalised (min, max) -> factor >= 1 *)
 }
 
-let create g = { g; nodes = Bitset.create (Graph.n g); edges = Hashtbl.create 16 }
+let create g =
+  {
+    g;
+    nodes = Bitset.create (Graph.n g);
+    edges = Hashtbl.create 16;
+    degraded = Hashtbl.create 16;
+  }
 
 let fail_node t v =
   if v < 0 || v >= Graph.n t.g then invalid_arg "Fault_model.fail_node: bad vertex";
@@ -33,12 +40,46 @@ let fault_count t = node_fault_count t + edge_fault_count t
 
 let edge_failed t u v = Hashtbl.mem t.edges (min u v, max u v)
 
+let degrade_edge t u v ~factor =
+  if not (Graph.mem_edge t.g u v) then invalid_arg "Fault_model.degrade_edge: not an edge";
+  if not (Float.is_finite factor) || factor < 1.0 then
+    invalid_arg "Fault_model.degrade_edge: factor must be finite and >= 1";
+  if factor = 1.0 then Hashtbl.remove t.degraded (min u v, max u v)
+  else Hashtbl.replace t.degraded (min u v, max u v) factor
+
+let restore_edge t u v = Hashtbl.remove t.degraded (min u v, max u v)
+
+let edge_degradation t u v =
+  match Hashtbl.find_opt t.degraded (min u v, max u v) with
+  | Some f -> f
+  | None -> 1.0
+
+let degraded_edges t =
+  List.sort compare
+    (Hashtbl.fold (fun (u, v) f acc -> (u, v, f) :: acc) t.degraded [])
+
+let degraded_edge_count t = Hashtbl.length t.degraded
+
+let path_delay_factor t p =
+  let a = Path.to_array p in
+  if Array.length a < 2 then 1.0
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to Array.length a - 2 do
+      sum := !sum +. edge_degradation t a.(i) a.(i + 1)
+    done;
+    !sum /. float_of_int (Array.length a - 1)
+  end
+
 let digest t =
   let nodes = Bitset.elements t.nodes in
   let edges = edge_faults t in
-  Printf.sprintf "nodes{%s} links{%s}"
+  let slow = degraded_edges t in
+  Printf.sprintf "nodes{%s} links{%s} slow{%s}"
     (String.concat "," (List.map string_of_int nodes))
     (String.concat "," (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) edges))
+    (String.concat ","
+       (List.map (fun (u, v, f) -> Printf.sprintf "%d-%d*%.17g" u v f) slow))
 
 let affects t p =
   Path.hits p t.nodes

@@ -38,15 +38,45 @@ val edge_faults : t -> (int * int) list
 val edge_failed : t -> int -> int -> bool
 (** Is the edge currently failed, in either endpoint order? *)
 
+val degrade_edge : t -> int -> int -> factor:float -> unit
+(** Gray failure: the link stays up but every traversal costs
+    [factor] times the healthy hop latency. [factor] must be finite
+    and at least 1; setting it back to exactly 1 clears the entry, so
+    the degradation map stays canonical. Raises [Invalid_argument] on
+    a non-edge or a bad factor. Degradation is orthogonal to
+    {!fail_edge}: it never changes {!affects}, {!surviving} or
+    {!diameter} — only latency accounting. *)
+
+val restore_edge : t -> int -> int -> unit
+(** Clear any latency degradation on the link, in either endpoint
+    order; a no-op if it is not degraded. *)
+
+val edge_degradation : t -> int -> int -> float
+(** Current delay factor for the link (1.0 when healthy). *)
+
+val degraded_edges : t -> (int * int * float) list
+(** Degraded links as normalised [(min, max, factor)] triples,
+    sorted. *)
+
+val degraded_edge_count : t -> int
+
+val path_delay_factor : t -> Path.t -> float
+(** Mean per-hop delay factor over the route's edges — the multiplier
+    to apply to the healthy transit time of the whole path. 1.0 for a
+    path with no degraded edges (including the trivial path). *)
+
 val fault_count : t -> int
 (** Node faults plus edge faults. *)
 
 val digest : t -> string
 (** A canonical one-line encoding of the current fault state — sorted
-    node faults, then sorted normalised links, e.g.
-    ["nodes{3,14} links{0-1,2-7}"]. Two models over the same graph
-    carry identical fault states iff their digests are byte-equal;
-    the serve layer's crash-restart check compares these. *)
+    node faults, sorted normalised links, then sorted degraded links
+    with their factors, e.g.
+    ["nodes{3,14} links{0-1,2-7} slow{4-5*2.5}"]. Factors print with
+    17 significant digits so every finite double round-trips exactly.
+    Two models over the same graph carry identical fault states iff
+    their digests are byte-equal; the serve layer's crash-restart
+    check compares these. *)
 
 val affects : t -> Path.t -> bool
 (** True when the route crosses a failed node or traverses a failed

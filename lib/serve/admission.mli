@@ -41,4 +41,13 @@ val take : 'a t -> now:float -> [ `Serve of 'a | `Expired of 'a ] option
     ["serve.admission.shed_deadline"] counter ticks) — expired
     requests are surfaced, not silently dropped, so the caller can
     answer the client with an explicit shed response. [None] when
-    empty. *)
+    empty.
+
+    Shed ordering: every queued request carries the same [deadline]
+    offset from its enqueue time, so FIFO order {e is}
+    oldest-deadline-first order — when a pump tick drains several
+    expired requests in one loop, they are expired strictly oldest
+    first, and no younger request can expire while an older one is
+    served. (A regression test pins this; if per-request deadlines
+    are ever introduced, this queue must become a priority queue
+    keyed on expiry.) *)

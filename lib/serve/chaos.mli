@@ -1,0 +1,89 @@
+(** The gray-failure / heavy-traffic chaos harness: a scenario-scripted
+    soak against the live serve stack.
+
+    One run drives a fixed five-beat scenario through
+    {!Server.submit}/{!Server.pump} (the same request core the socket
+    daemon runs), with admission time on a virtual clock that ticks
+    once per submission:
+
+    + {b baseline} — Zipf-popular route queries on the healthy
+      network; everything must be delivered;
+    + {b gray wave} — every link of a random BFS ball degrades
+      ([Degrade_link], latency-only); the baseline contract must hold
+      unchanged (gray failures slow, never cut), and restoring the
+      wave must return the fault digest to its exact baseline bytes;
+    + {b correlated regional outage} — every link of another BFS ball
+      fails wholesale; queries must still all be answered (a shed
+      here is a breach) and delivery must stay above the
+      [min_delivery] floor; at the deepest fault state the engine is
+      rebuilt from the on-disk journal and must land byte-identical;
+    + {b flash crowd} — [burst] hub-bound queries submitted faster
+      than the pump drains; admission must shed the excess (queue
+      budget and queued-too-long deadlines) and deliver every query
+      it serves;
+    + {b convergence} — all faults recovered; the digest must be back
+      to its initial bytes.
+
+    The [ftr-chaos/1] artifact ({!to_json}) is deterministic by
+    construction — every field is a function of (construction,
+    config) alone, so it must come out byte-identical across [--jobs]
+    settings. Wall-clock latencies feed only the stdout summary and
+    the SLO verdict boolean. *)
+
+open Ftr_core
+
+type config = {
+  queries : int;  (** route queries per query phase *)
+  burst : int;  (** flash-crowd size; exceed [max_queue] to force sheds *)
+  max_queue : int;  (** admission queue budget *)
+  deadline_ticks : float;
+      (** admission deadline in virtual ticks; [<= 0.] disables *)
+  gray_factor : float;  (** latency factor for the gray wave; [>= 1.] *)
+  radius : int;  (** BFS-ball radius for gray and regional waves *)
+  zipf_s : float;  (** Zipf exponent for pair popularity; [0.] = uniform *)
+  slo_p99_ms : float;  (** wall-clock p99 gate *)
+  min_delivery : float;
+      (** delivery-rate floor for the regional phase, in [0, 1] *)
+  seed : int;  (** scenario RNG seed *)
+  jobs : int option;  (** parallelism for the certify pre-pass *)
+  certify : bool;  (** re-prove the (bound, 1) claim first *)
+  journal_dir : string;  (** existing directory for the fault journal *)
+}
+
+type phase = {
+  name : string;
+  requests : int;
+  delivered : int;  (** answered ok, degraded included *)
+  degraded : int;
+  unreachable : int;
+  shed : int;
+  digest : string;  (** engine fault digest at the end of the phase *)
+}
+
+type outcome = {
+  phases : phase list;
+  total_requests : int;
+  delivered : int;
+  shed : int;
+  delivery_rate : float;
+  virtual_ticks : int;  (** total virtual-clock ticks consumed *)
+  journal_digest_ok : bool;
+  digest_converged : bool;
+  certified : (int * int) option;  (** re-proven [(bound, f)] *)
+  slo_breached : bool;
+  p50_ms : float option;  (** wall-clock; stdout only, never the artifact *)
+  p99_ms : float option;
+  violations : string list;
+  infra : string option;
+  exit : Exit_code.t;
+}
+
+val run : ?label:string -> Construction.t -> config -> outcome
+(** Run the scenario. [label] names the journal file inside
+    [journal_dir] (default ["chaos"]). Exits {!Exit_code.Breach} on
+    any broken gate (delivery, shed discipline, digest convergence,
+    SLO), {!Exit_code.Infra} when the run could not start. *)
+
+val to_json : config -> outcome -> Sjson.t
+(** The [ftr-chaos/1] artifact. Deterministic: byte-identical across
+    [--jobs] for a fixed construction, config and seed. *)

@@ -44,8 +44,12 @@ let check_link t u v =
 
 let validate t = function
   | Wire.Fail_node v | Wire.Recover_node v -> check_node t v
-  | Wire.Fail_link (u, v) | Wire.Recover_link (u, v) ->
+  | Wire.Fail_link (u, v) | Wire.Recover_link (u, v) | Wire.Restore_link (u, v) ->
       Result.map (fun _ -> ()) (check_link t u v)
+  | Wire.Degrade_link (u, v, f) ->
+      if not (Float.is_finite f) || f < 1.0 then
+        Error (Printf.sprintf "degrade %d-%d: factor must be finite and >= 1" u v)
+      else Result.map (fun _ -> ()) (check_link t u v)
 
 let apply t action =
   match action with
@@ -105,6 +109,35 @@ let apply t action =
             Obs.incr c_deltas;
             Ok true
           end)
+  (* Gray failures touch only the fault model's latency bookkeeping:
+     the evaluator's bit matrix never changes, so routing verdicts
+     are identical before and after by construction. *)
+  | Wire.Degrade_link (u, v, f) -> (
+      match validate t action with
+      | Error msg -> Error msg
+      | Ok () ->
+          if Fault_model.edge_degradation t.fm u v = f then begin
+            Obs.incr c_noops;
+            Ok false
+          end
+          else begin
+            Fault_model.degrade_edge t.fm u v ~factor:f;
+            Obs.incr c_deltas;
+            Ok true
+          end)
+  | Wire.Restore_link (u, v) -> (
+      match check_link t u v with
+      | Error msg -> Error msg
+      | Ok _ ->
+          if Fault_model.edge_degradation t.fm u v = 1.0 then begin
+            Obs.incr c_noops;
+            Ok false
+          end
+          else begin
+            Fault_model.restore_edge t.fm u v;
+            Obs.incr c_deltas;
+            Ok true
+          end)
 
 let replay t events =
   List.fold_left
@@ -123,6 +156,7 @@ let replay t events =
 let digest t = Fault_model.digest t.fm
 let node_faults t = Surviving.faults t.ev
 let link_faults t = Fault_model.edge_faults t.fm
+let degraded_links t = Fault_model.degraded_edges t.fm
 
 type reply =
   | Routed of { waypoints : int list; routes : int; hops : int; degraded : bool }

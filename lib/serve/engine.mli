@@ -40,6 +40,12 @@ val digest : t -> string
 val node_faults : t -> int list
 val link_faults : t -> (int * int) list
 
+val degraded_links : t -> (int * int * float) list
+(** Gray-failed links as normalised sorted [(min, max, factor)]
+    triples. Degradation never changes a routing verdict — it is
+    latency bookkeeping carried for the health/stats ops and the
+    digest. *)
+
 type reply =
   | Routed of {
       waypoints : int list;

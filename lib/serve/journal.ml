@@ -7,6 +7,11 @@ let line_of_event = function
   | Wire.Recover_node v -> Printf.sprintf "recover-node %d" v
   | Wire.Fail_link (u, v) -> Printf.sprintf "fail-link %d %d" u v
   | Wire.Recover_link (u, v) -> Printf.sprintf "recover-link %d %d" u v
+  | Wire.Degrade_link (u, v, f) ->
+      (* %.17g: every finite double round-trips exactly, so replay
+         reconstructs the identical degradation factor. *)
+      Printf.sprintf "degrade-link %d %d %.17g" u v f
+  | Wire.Restore_link (u, v) -> Printf.sprintf "restore-link %d %d" u v
 
 let event_of_line line =
   match String.split_on_char ' ' (String.trim line) with
@@ -21,6 +26,15 @@ let event_of_line line =
   | [ "recover-link"; u; v ] -> (
       match (int_of_string_opt u, int_of_string_opt v) with
       | Some u, Some v -> Some (Wire.Recover_link (u, v))
+      | _ -> None)
+  | [ "degrade-link"; u; v; f ] -> (
+      match (int_of_string_opt u, int_of_string_opt v, float_of_string_opt f) with
+      | Some u, Some v, Some f when Float.is_finite f && f >= 1.0 ->
+          Some (Wire.Degrade_link (u, v, f))
+      | _ -> None)
+  | [ "restore-link"; u; v ] -> (
+      match (int_of_string_opt u, int_of_string_opt v) with
+      | Some u, Some v -> Some (Wire.Restore_link (u, v))
       | _ -> None)
   | _ -> None
 

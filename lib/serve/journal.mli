@@ -16,7 +16,13 @@
     fail-link 2 5
     recover-node 3
     recover-link 2 5
+    degrade-link 0 4 2.5
+    restore-link 0 4
     v}
+
+    Gray-failure factors print as [%.17g], so every finite double
+    survives the write/replay round trip bit-exactly (the digest
+    convergence check depends on it).
 
     Append-only; recovery events are recorded, not compacted away —
     replay is cheap (each event is an O(degree)-ish incremental

@@ -106,12 +106,18 @@ let handle t (req : Wire.request) : Sjson.t =
           ("uptime_ms", Float ((Unix.gettimeofday () -. t.started_at) *. 1000.0));
           ("draining", Bool t.draining);
           ("queue", Int (Admission.length t.adm));
+          ("shed", Int t.shed);
           ("node_faults", int_list (Engine.node_faults t.engine));
           ( "link_faults",
             Arr
               (List.map
                  (fun (u, v) -> Arr [ Int u; Int v ])
                  (Engine.link_faults t.engine)) );
+          ( "degraded_links",
+            Arr
+              (List.map
+                 (fun (u, v, f) -> Arr [ Int u; Int v; Float f ])
+                 (Engine.degraded_links t.engine)) );
         ]
   | Wire.Ready -> ok_fields [ ("ready", Bool (not t.draining)) ]
   | Wire.Stats -> stats_json t

@@ -9,6 +9,7 @@ type config = {
   jobs : int option;
   certify : bool;
   journal_dir : string;
+  gray_factor : float option;
 }
 
 type report = {
@@ -265,6 +266,37 @@ let run_group ~build cfg ((graph, strategy, seed), entries) =
               run_queries srv vclock tally rng ~context:(label ^ " baseline")
                 ~alive:all_nodes ~count:cfg.queries
                 ~in_budget:(Option.is_some b0) ~bound:b0;
+              (* Gray-failure wave: degrade a couple of fixed links
+                 (latency only — no route is cut), demand the full
+                 fault-free in-budget contract still holds, restore,
+                 and demand the digest returns to its pre-gray
+                 bytes. *)
+              (match cfg.gray_factor with
+              | None -> ()
+              | Some factor ->
+                  let targets =
+                    List.filteri
+                      (fun i _ -> i < 2)
+                      (Ftr_graph.Graph.edges
+                         (Routing.graph c.Construction.routing))
+                  in
+                  let before_gray = Engine.digest (Server.engine srv) in
+                  apply_wave srv vclock tally ~context:(label ^ " gray wave")
+                    (List.map
+                       (fun (u, v) -> Wire.Degrade_link (u, v, factor))
+                       targets);
+                  run_queries srv vclock tally rng
+                    ~context:(label ^ " gray wave") ~alive:all_nodes
+                    ~count:cfg.queries ~in_budget:(Option.is_some b0) ~bound:b0;
+                  apply_wave srv vclock tally
+                    ~context:(label ^ " gray restore")
+                    (List.map (fun (u, v) -> Wire.Restore_link (u, v)) targets);
+                  let after_gray = Engine.digest (Server.engine srv) in
+                  if after_gray <> before_gray then
+                    violate tally
+                      (Printf.sprintf
+                         "%s gray restore: digest did not converge: %S <> %S"
+                         label after_gray before_gray));
               let waves = List.length entries in
               let journal_digest_ok = ref true in
               let in_budget_waves = ref 0 in
@@ -448,6 +480,8 @@ let to_json (cfg : config) outcome =
             ("slo_p99_ms", Float cfg.slo_p99_ms);
             ("seed", Int cfg.seed);
             ("certify", Bool cfg.certify);
+            ( "gray_factor",
+              match cfg.gray_factor with Some f -> Float f | None -> Null );
           ] );
       ("constructions", Arr (List.map report_json outcome.reports));
       ("total_queries", Int outcome.total_queries);

@@ -36,6 +36,12 @@ type config = {
   jobs : int option;  (** parallelism for the certify pre-pass *)
   certify : bool;  (** re-prove in-budget claims before serving *)
   journal_dir : string;  (** existing directory for fault journals *)
+  gray_factor : float option;
+      (** when set, insert a gray-failure wave after the baseline:
+          two fixed links degrade to this latency factor (finite,
+          [>= 1]), the full fault-free in-budget contract must still
+          hold (gray failures slow, never cut), then the links are
+          restored and the fault digest must return byte-identical *)
 }
 
 type report = {

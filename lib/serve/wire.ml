@@ -3,6 +3,8 @@ type fault_action =
   | Recover_node of int
   | Fail_link of int * int
   | Recover_link of int * int
+  | Degrade_link of int * int * float
+  | Restore_link of int * int
 
 type request =
   | Route of { src : int; dst : int }
@@ -17,11 +19,22 @@ let fault_of_json json =
   let action = Option.bind (Sjson.member "action" json) Sjson.to_str in
   let node = Option.bind (Sjson.member "node" json) Sjson.to_int in
   let link = Option.bind (Sjson.member "link" json) Sjson.int_pair in
+  let factor = Option.bind (Sjson.member "factor" json) Sjson.to_float in
   match (action, node, link) with
   | Some "fail", Some v, None -> Ok (Fail_node v)
   | Some "recover", Some v, None -> Ok (Recover_node v)
   | Some "fail", None, Some (u, v) -> Ok (Fail_link (u, v))
   | Some "recover", None, Some (u, v) -> Ok (Recover_link (u, v))
+  | Some "degrade", None, Some (u, v) -> (
+      match factor with
+      | Some f when Float.is_finite f && f >= 1.0 -> Ok (Degrade_link (u, v, f))
+      | Some _ -> Error "fault: \"factor\" must be finite and >= 1"
+      | None -> Error "fault: degrade needs a \"factor\"")
+  | Some "restore", None, Some (u, v) -> Ok (Restore_link (u, v))
+  | (Some "degrade" | Some "restore"), Some _, _ ->
+      Error "fault: degrade/restore act on a \"link\", not a \"node\""
+  | (Some "degrade" | Some "restore"), None, None ->
+      Error "fault: missing \"link\""
   | (Some "fail" | Some "recover"), Some _, Some _ ->
       Error "fault: give either \"node\" or \"link\", not both"
   | (Some "fail" | Some "recover"), None, None ->
@@ -60,14 +73,24 @@ let request_to_line req =
         Obj [ ("op", Str "route"); ("src", Int src); ("dst", Int dst) ]
     | Diameter -> Obj [ ("op", Str "diameter") ]
     | Fault a ->
-        let action, target =
+        let fields =
           match a with
-          | Fail_node v -> ("fail", ("node", Int v))
-          | Recover_node v -> ("recover", ("node", Int v))
-          | Fail_link (u, v) -> ("fail", ("link", Arr [ Int u; Int v ]))
-          | Recover_link (u, v) -> ("recover", ("link", Arr [ Int u; Int v ]))
+          | Fail_node v -> [ ("action", Str "fail"); ("node", Int v) ]
+          | Recover_node v -> [ ("action", Str "recover"); ("node", Int v) ]
+          | Fail_link (u, v) ->
+              [ ("action", Str "fail"); ("link", Arr [ Int u; Int v ]) ]
+          | Recover_link (u, v) ->
+              [ ("action", Str "recover"); ("link", Arr [ Int u; Int v ]) ]
+          | Degrade_link (u, v, f) ->
+              [
+                ("action", Str "degrade");
+                ("link", Arr [ Int u; Int v ]);
+                ("factor", Float f);
+              ]
+          | Restore_link (u, v) ->
+              [ ("action", Str "restore"); ("link", Arr [ Int u; Int v ]) ]
         in
-        Obj [ ("op", Str "fault"); ("action", Str action); target ]
+        Obj (("op", Str "fault") :: fields)
     | Health -> Obj [ ("op", Str "health") ]
     | Ready -> Obj [ ("op", Str "ready") ]
     | Stats -> Obj [ ("op", Str "stats") ]

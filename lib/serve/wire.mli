@@ -11,6 +11,11 @@
       [{"op":"fault","action":A,"link":[U,V]}] with [A] one of
       ["fail"] / ["recover"] — live churn, applied as an incremental
       delta (never a recompile) and journaled before it takes effect.
+    - [{"op":"fault","action":"degrade","link":[U,V],"factor":F}] /
+      [{"op":"fault","action":"restore","link":[U,V]}] — gray
+      failure: the link stays routable but costs [F >= 1] times the
+      healthy latency; journaled like crisp faults, invisible to
+      routing verdicts.
     - [{"op":"health"}] — liveness probe; always answered, never shed.
     - [{"op":"ready"}] — readiness probe; [ready:false] while
       draining.
@@ -23,6 +28,9 @@ type fault_action =
   | Recover_node of int
   | Fail_link of int * int
   | Recover_link of int * int
+  | Degrade_link of int * int * float
+      (** gray failure: factor must be finite and >= 1 on the wire *)
+  | Restore_link of int * int
 
 type request =
   | Route of { src : int; dst : int }

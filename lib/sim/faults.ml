@@ -1,7 +1,12 @@
 open Ftr_graph
 
 type action =
-  [ `Crash of int | `Recover of int | `LinkDown of int * int | `LinkUp of int * int ]
+  [ `Crash of int
+  | `Recover of int
+  | `LinkDown of int * int
+  | `LinkUp of int * int
+  | `LinkDegrade of int * int * float
+  | `LinkRestore of int * int ]
 
 type event = { at : float; action : action }
 
@@ -60,6 +65,53 @@ let random_link_flaps ~rng ~g ~count ~window:(lo, hi) ~dwell =
   in
   by_time events
 
+let gray_flaps ~rng ~g ~count ~window:(lo, hi) ~dwell ~factor =
+  let edges = Array.of_list (Graph.edges g) in
+  if count > Array.length edges then
+    invalid_arg "Faults.gray_flaps: count > edge count";
+  if dwell < 0.0 then invalid_arg "Faults.gray_flaps: negative dwell";
+  if not (Float.is_finite factor) || factor < 1.0 then
+    invalid_arg "Faults.gray_flaps: factor must be finite and >= 1";
+  shuffle rng edges;
+  let events =
+    List.concat
+      (List.init count (fun i ->
+           let at = lo +. Random.State.float rng (hi -. lo) in
+           let u, v = edges.(i) in
+           [
+             { at; action = `LinkDegrade (u, v, factor) };
+             { at = at +. dwell; action = `LinkRestore (u, v) };
+           ]))
+  in
+  by_time events
+
+let region g ~center ~radius =
+  if center < 0 || center >= Graph.n g then invalid_arg "Faults.region: bad center";
+  if radius < 0 then invalid_arg "Faults.region: negative radius";
+  let dist = Array.make (Graph.n g) (-1) in
+  dist.(center) <- 0;
+  let q = Queue.create () in
+  Queue.add center q;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    if dist.(u) < radius then
+      Array.iter
+        (fun v ->
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+        (Graph.neighbors g u)
+  done;
+  List.filter (fun v -> dist.(v) >= 0) (List.init (Graph.n g) Fun.id)
+
+let region_links g ~center ~radius =
+  let ball = region g ~center ~radius in
+  let in_ball = Array.make (Graph.n g) false in
+  List.iter (fun v -> in_ball.(v) <- true) ball;
+  List.sort compare
+    (List.filter (fun (u, v) -> in_ball.(u) && in_ball.(v)) (Graph.edges g))
+
 let mixed_churn ~rng ~g ~nodes ~links ~window ~dwell =
   let node_events = churn ~rng ~n:(Graph.n g) ~count:nodes ~window ~dwell in
   let link_events = random_link_flaps ~rng ~g ~count:links ~window ~dwell in
@@ -99,6 +151,12 @@ let link_waves ~start ~dwell ~gap waves =
   in
   events
 
+let regional_waves ~rng ~g ~waves ~radius ~start ~dwell ~gap =
+  if waves < 0 then invalid_arg "Faults.regional_waves: negative wave count";
+  let centers = List.init waves (fun _ -> Random.State.int rng (Graph.n g)) in
+  link_waves ~start ~dwell ~gap
+    (List.map (fun c -> region_links g ~center:c ~radius) centers)
+
 (* A witness node becomes one incident link (to its smallest
    neighbour): at most |nodes| + |links| link faults, which the
    paper's reduction projects back to at most that many node faults,
@@ -120,5 +178,7 @@ let schedule_on sim net events =
           | `Crash v -> Network.crash net v
           | `Recover v -> Network.recover net v
           | `LinkDown (u, v) -> Network.fail_link net u v
-          | `LinkUp (u, v) -> Network.restore_link net u v))
+          | `LinkUp (u, v) -> Network.restore_link net u v
+          | `LinkDegrade (u, v, f) -> Network.degrade_link net u v ~factor:f
+          | `LinkRestore (u, v) -> Network.restore_link_delay net u v))
     events

@@ -11,7 +11,11 @@ type action =
   [ `Crash of int  (** node goes down *)
   | `Recover of int  (** node comes back *)
   | `LinkDown of int * int  (** link goes down (either endpoint order) *)
-  | `LinkUp of int * int  (** link comes back *) ]
+  | `LinkUp of int * int  (** link comes back *)
+  | `LinkDegrade of int * int * float
+    (** gray failure: link stays up but traversals cost [factor]
+        times the healthy hop latency *)
+  | `LinkRestore of int * int  (** gray failure clears *) ]
 
 type event = { at : float; action : action }
 
@@ -45,6 +49,44 @@ val random_link_flaps :
 (** [count] distinct links each go down at a uniform time within the
     window and come back [dwell] later. Events are sorted by time;
     recoveries may land after the window's end. *)
+
+val gray_flaps :
+  rng:Random.State.t ->
+  g:Graph.t ->
+  count:int ->
+  window:float * float ->
+  dwell:float ->
+  factor:float ->
+  event list
+(** Gray-failure churn: [count] distinct links each degrade to
+    [factor] times healthy latency at a uniform time within the
+    window and restore [dwell] later. Routes are never cut — only
+    slowed — so surviving-diameter verdicts are untouched while the
+    latency distribution and the protocol's deadline machinery feel
+    the slowdown. Factor must be finite and at least 1. *)
+
+val region : Graph.t -> center:int -> radius:int -> int list
+(** The BFS ball of the given radius around [center]: every node
+    within [radius] hops, sorted. Radius 0 is just the center. *)
+
+val region_links : Graph.t -> center:int -> radius:int -> (int * int) list
+(** The links with both endpoints inside {!region} — the correlated
+    blast area of a regional outage, as normalised sorted pairs. *)
+
+val regional_waves :
+  rng:Random.State.t ->
+  g:Graph.t ->
+  waves:int ->
+  radius:int ->
+  start:float ->
+  dwell:float ->
+  gap:float ->
+  event list
+(** Correlated regional failures: [waves] random epicenters, each
+    taking down every link of its BFS ball wholesale ({!link_waves}
+    timing — down at the wave start, up [dwell] later, next wave
+    [gap] after that). This replaces i.i.d. link picks with
+    neighborhood-correlated fault sets. *)
 
 val mixed_churn :
   rng:Random.State.t ->

@@ -39,6 +39,15 @@ let restore_link t u v =
   Fault_model.recover_edge t.fm u v;
   invalidate t
 
+(* Degradation slows traversals without cutting routes, so the
+   surviving-graph cache stays valid — no invalidation here. *)
+let degrade_link t u v ~factor = Fault_model.degrade_edge t.fm u v ~factor
+let restore_link_delay t u v = Fault_model.restore_edge t.fm u v
+let link_delay_factor t u v = Fault_model.edge_degradation t.fm u v
+let degraded_links t = Fault_model.degraded_edges t.fm
+let degraded_link_count t = Fault_model.degraded_edge_count t.fm
+let path_delay_factor t p = Fault_model.path_delay_factor t.fm p
+
 let is_faulty t v = Bitset.mem (faults t) v
 let is_link_faulty t u v = Fault_model.edge_failed t.fm u v
 let fault_count t = Fault_model.node_fault_count t.fm

@@ -38,6 +38,29 @@ val fail_link : t -> int -> int -> unit
 val restore_link : t -> int -> int -> unit
 (** Bring a link back up; a no-op if it is not currently down. *)
 
+val degrade_link : t -> int -> int -> factor:float -> unit
+(** Gray failure: the link stays up but traversals cost [factor]
+    times the healthy hop latency. Routes are not cut, so the
+    surviving-graph cache is deliberately {e not} invalidated —
+    degradation is latency-only by construction. Raises
+    [Invalid_argument] on a non-edge or a factor that is not finite
+    and at least 1. *)
+
+val restore_link_delay : t -> int -> int -> unit
+(** Clear any gray failure on the link; a no-op when healthy. *)
+
+val link_delay_factor : t -> int -> int -> float
+(** Current delay factor for the link (1.0 when healthy). *)
+
+val degraded_links : t -> (int * int * float) list
+(** Degraded links as normalised [(min, max, factor)] triples, sorted. *)
+
+val degraded_link_count : t -> int
+
+val path_delay_factor : t -> Path.t -> float
+(** Mean per-hop delay factor over the path — multiply the healthy
+    transit time by this (see {!Fault_model.path_delay_factor}). *)
+
 val is_faulty : t -> int -> bool
 
 val is_link_faulty : t -> int -> int -> bool

@@ -85,7 +85,13 @@ let rec traverse sim net endpoint config msg waypoints on_done =
         | Some p ->
             msg.Message.routes_traversed <- msg.Message.routes_traversed + 1;
             msg.Message.hops <- msg.Message.hops + Path.length p;
-            let transit = config.hop_latency *. float_of_int (Path.length p) in
+            (* Gray failures slow the transit without cutting the
+               route: the healthy transit time scales by the mean
+               per-hop delay factor (1.0 on a clean path). *)
+            let transit =
+              config.hop_latency *. float_of_int (Path.length p)
+              *. Network.path_delay_factor net p
+            in
             Sim.schedule sim ~delay:transit (fun () ->
                 process endpoint sim config ~node:b (fun () ->
                     traverse sim net endpoint config msg rest on_done))
@@ -209,7 +215,8 @@ let broadcast_async sim net config ~origin ~counter_bound =
               incr copies;
               let cost =
                 config.endpoint_overhead
-                +. (config.hop_latency *. float_of_int (Path.length p))
+                +. (config.hop_latency *. float_of_int (Path.length p)
+                   *. Network.path_delay_factor net p)
               in
               Sim.schedule sim ~delay:cost (fun () -> arrive dst (counter + 1))
             end)

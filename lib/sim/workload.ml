@@ -48,6 +48,65 @@ let hotspot ~rng ~n ~hub ~fraction ~count ~horizon =
   in
   List.sort compare entries
 
+(* Zipf(s) over ranks 1..k: rank r carries weight 1/r^s. Sampling is
+   a binary search over the cumulative weights, so a draw is O(log k)
+   and the table is built once per generator call. *)
+let zipf_cumulative ~s k =
+  let cum = Array.make k 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to k - 1 do
+    total := !total +. (1.0 /. (float_of_int (i + 1) ** s));
+    cum.(i) <- !total
+  done;
+  cum
+
+let zipf_draw rng cum =
+  let k = Array.length cum in
+  let x = Random.State.float rng cum.(k - 1) in
+  let lo = ref 0 and hi = ref (k - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cum.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let zipf ~rng ~n ~s ~count ~horizon =
+  if n < 2 then invalid_arg "Workload.zipf: need n >= 2";
+  if not (Float.is_finite s) || s < 0.0 then
+    invalid_arg "Workload.zipf: exponent must be finite and >= 0";
+  let cum = zipf_cumulative ~s n in
+  let entries =
+    List.init count (fun _ ->
+        let time = Random.State.float rng horizon in
+        let dst = zipf_draw rng cum in
+        let rec pick () =
+          let src = Random.State.int rng n in
+          if src = dst then pick () else src
+        in
+        (time, pick (), dst))
+  in
+  List.sort compare entries
+
+let flash_crowd ~rng ~n ~hub ~base ~burst ~at ~width ~horizon =
+  if n < 2 then invalid_arg "Workload.flash_crowd: need n >= 2";
+  if hub < 0 || hub >= n then invalid_arg "Workload.flash_crowd: bad hub";
+  if width < 0.0 then invalid_arg "Workload.flash_crowd: negative width";
+  let baseline =
+    List.init base (fun _ ->
+        let src, dst = random_pair rng n in
+        (Random.State.float rng horizon, src, dst))
+  in
+  let crowd =
+    List.init burst (fun _ ->
+        let time = at +. Random.State.float rng (Float.max width epsilon_float) in
+        let rec pick () =
+          let src = Random.State.int rng n in
+          if src = hub then pick () else src
+        in
+        (time, pick (), hub))
+  in
+  List.sort compare (baseline @ crowd)
+
 let query_pairs ~rng ~alive ~count =
   let pool = Array.of_list alive in
   let n = Array.length pool in
@@ -60,6 +119,23 @@ let query_pairs ~rng ~alive ~count =
           if j = i then pick () else j
         in
         (pool.(i), pool.(pick ())))
+
+let zipf_pairs ~rng ~alive ~s ~count =
+  if not (Float.is_finite s) || s < 0.0 then
+    invalid_arg "Workload.zipf_pairs: exponent must be finite and >= 0";
+  let pool = Array.of_list alive in
+  let n = Array.length pool in
+  if n < 2 then []
+  else begin
+    let cum = zipf_cumulative ~s n in
+    List.init count (fun _ ->
+        let j = zipf_draw rng cum in
+        let rec pick () =
+          let i = Random.State.int rng n in
+          if i = j then pick () else i
+        in
+        (pool.(pick ()), pool.(j)))
+  end
 
 let permutation ~rng ~n ~at =
   let perm = Array.init n Fun.id in

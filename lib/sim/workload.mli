@@ -20,6 +20,44 @@ val hotspot :
 (** Like {!uniform} but each message targets [hub] with probability
     [fraction] (a server node). *)
 
+val zipf :
+  rng:Random.State.t ->
+  n:int ->
+  s:float ->
+  count:int ->
+  horizon:float ->
+  entry list
+(** Heavy-tailed pair popularity: destinations follow a Zipf law with
+    exponent [s] over node ids (node [r] has weight [1/(r+1)^s], so
+    node 0 is the most popular), sources are uniform and distinct
+    from the destination, times uniform in [0, horizon). [s = 0.0]
+    degenerates to {!uniform}. The exponent must be finite and
+    non-negative. *)
+
+val flash_crowd :
+  rng:Random.State.t ->
+  n:int ->
+  hub:int ->
+  base:int ->
+  burst:int ->
+  at:float ->
+  width:float ->
+  horizon:float ->
+  entry list
+(** A bursty arrival ramp: [base] background messages at uniform
+    times in [0, horizon) between uniform random pairs, plus a flash
+    crowd of [burst] messages all targeting [hub], their send times
+    packed uniformly into [[at, at + width)]. With [width] small
+    relative to the horizon this drives arrival rate far above the
+    background level — the admission-shedding scenario. *)
+
+val zipf_pairs :
+  rng:Random.State.t -> alive:int list -> s:float -> count:int -> (int * int) list
+(** {!query_pairs} with Zipf destination popularity: destinations
+    follow a Zipf law with exponent [s] over the positions of the
+    [alive] pool (earlier entries more popular), sources uniform and
+    distinct. [[]] when fewer than two vertices are alive. *)
+
 val query_pairs :
   rng:Random.State.t -> alive:int list -> count:int -> (int * int) list
 (** [count] distinct-endpoint [(src, dst)] pairs drawn uniformly from

@@ -180,6 +180,151 @@ let test_counts () =
   Fault_model.fail_node fm 4;
   Alcotest.(check int) "nodes" 1 (Bitset.cardinal (Fault_model.node_faults fm))
 
+(* ---------------- gray failures ---------------- *)
+
+let test_degrade_basics () =
+  let g = Families.cycle 6 in
+  let fm = Fault_model.create g in
+  Alcotest.(check (float 0.0)) "healthy factor" 1.0
+    (Fault_model.edge_degradation fm 0 1);
+  Fault_model.degrade_edge fm 1 0 ~factor:3.5;
+  Alcotest.(check (float 0.0)) "either order" 3.5
+    (Fault_model.edge_degradation fm 0 1);
+  Alcotest.(check int) "counted" 1 (Fault_model.degraded_edge_count fm);
+  Alcotest.(check int) "hard faults unaffected" 0 (Fault_model.fault_count fm);
+  Fault_model.restore_edge fm 0 1;
+  Alcotest.(check (float 0.0)) "restored" 1.0
+    (Fault_model.edge_degradation fm 0 1);
+  Alcotest.(check int) "empty again" 0 (Fault_model.degraded_edge_count fm)
+
+let test_degrade_validates () =
+  let g = Families.cycle 6 in
+  let fm = Fault_model.create g in
+  Alcotest.check_raises "non-edge"
+    (Invalid_argument "Fault_model.degrade_edge: not an edge") (fun () ->
+      Fault_model.degrade_edge fm 0 3 ~factor:2.0);
+  Alcotest.check_raises "factor below 1"
+    (Invalid_argument "Fault_model.degrade_edge: factor must be finite and >= 1")
+    (fun () -> Fault_model.degrade_edge fm 0 1 ~factor:0.5);
+  Alcotest.check_raises "nan factor"
+    (Invalid_argument "Fault_model.degrade_edge: factor must be finite and >= 1")
+    (fun () -> Fault_model.degrade_edge fm 0 1 ~factor:Float.nan)
+
+let test_degrade_factor_one_is_canonical () =
+  let g = Families.cycle 6 in
+  let fm = Fault_model.create g in
+  let clean = Fault_model.digest fm in
+  Fault_model.degrade_edge fm 0 1 ~factor:1.0;
+  Alcotest.(check int) "factor 1 never recorded" 0
+    (Fault_model.degraded_edge_count fm);
+  Alcotest.(check string) "digest untouched" clean (Fault_model.digest fm);
+  Fault_model.degrade_edge fm 0 1 ~factor:2.0;
+  Fault_model.degrade_edge fm 0 1 ~factor:1.0;
+  Alcotest.(check string) "re-degrading to 1 erases" clean
+    (Fault_model.digest fm)
+
+let test_path_delay_factor_is_mean () =
+  let g = Families.cycle 6 in
+  let fm = Fault_model.create g in
+  Fault_model.degrade_edge fm 0 1 ~factor:4.0;
+  Alcotest.(check (float 1e-9)) "healthy path" 1.0
+    (Fault_model.path_delay_factor fm (Path.of_list [ 2; 3; 4 ]));
+  Alcotest.(check (float 1e-9)) "single degraded hop" 4.0
+    (Fault_model.path_delay_factor fm (Path.of_list [ 0; 1 ]));
+  (* two hops, one at 4x, one healthy: mean 2.5 *)
+  Alcotest.(check (float 1e-9)) "mean over hops" 2.5
+    (Fault_model.path_delay_factor fm (Path.of_list [ 0; 1; 2 ]));
+  Alcotest.(check (float 1e-9)) "trivial path" 1.0
+    (Fault_model.path_delay_factor fm (Path.of_list [ 3 ]))
+
+let test_degrade_digest_section () =
+  let g = Families.cycle 6 in
+  let fm = Fault_model.create g in
+  Fault_model.degrade_edge fm 2 1 ~factor:2.0;
+  Fault_model.degrade_edge fm 4 5 ~factor:8.0;
+  Alcotest.(check string) "sorted canonical slow section"
+    "nodes{} links{} slow{1-2*2,4-5*8}" (Fault_model.digest fm)
+
+(* Shared generator for the gray-failure properties: a random chorded
+   cycle plus a random degradation set (edges of the graph, factors in
+   [1, 16]). *)
+let gray_gen =
+  QCheck.Gen.(
+    let* n = int_range 5 12 in
+    let* extra = int_range 0 n in
+    let* seed = int_range 0 1_000_000 in
+    let rng = Random.State.make [| seed |] in
+    let chords =
+      List.init extra (fun _ -> (Random.State.int rng n, Random.State.int rng n))
+    in
+    let cycle = List.init n (fun i -> (i, (i + 1) mod n)) in
+    let g = Graph.of_edges ~n (cycle @ chords) in
+    let all_edges = Graph.edges g in
+    let m = List.length all_edges in
+    let k = Random.State.int rng (min 5 m) in
+    let degrades =
+      List.map
+        (fun _ ->
+          let u, v = List.nth all_edges (Random.State.int rng m) in
+          (u, v, 1.5 +. Random.State.float rng 14.5))
+        (List.init k Fun.id)
+    in
+    return (g, degrades))
+
+let gray_print (g, degrades) =
+  Format.asprintf "n=%d slow={%a}" (Graph.n g)
+    Fmt.(
+      list ~sep:comma (fun ppf (u, v, f) -> Fmt.pf ppf "%d-%d*%.3g" u v f))
+    degrades
+
+(* Degrade + restore is a digest round trip: applying a wave of
+   degradations and then restoring exactly those links must return the
+   digest to its starting bytes (the chaos harness's convergence gate
+   at the model level). *)
+let prop_degrade_restore_roundtrips_digest =
+  QCheck.Test.make ~name:"degrade+restore round-trips the digest" ~count:120
+    (QCheck.make ~print:gray_print gray_gen)
+    (fun (g, degrades) ->
+      let fm = Fault_model.create g in
+      let before = Fault_model.digest fm in
+      List.iter (fun (u, v, f) -> Fault_model.degrade_edge fm u v ~factor:f) degrades;
+      let during = Fault_model.digest fm in
+      List.iter (fun (u, v, _) -> Fault_model.restore_edge fm u v) degrades;
+      (degrades = [] || during <> before) && Fault_model.digest fm = before)
+
+(* The gray-failure contract: latency degradation never changes
+   reachability verdicts. Whatever the degradation set, [affects],
+   the surviving graph and the surviving diameter must be identical
+   to the healthy model's. *)
+let prop_degraded_links_never_change_verdicts =
+  QCheck.Test.make
+    ~name:"degraded links never change surviving-diameter verdicts" ~count:80
+    (QCheck.make ~print:gray_print gray_gen)
+    (fun (g, degrades) ->
+      let r =
+        (Kernel.make g ~t:(max 1 (Connectivity.vertex_connectivity g - 1)))
+          .Construction.routing
+      in
+      let fm = Fault_model.create g in
+      let healthy_diameter = Fault_model.diameter r fm in
+      let healthy_surviving = Fault_model.surviving r fm in
+      List.iter (fun (u, v, f) -> Fault_model.degrade_edge fm u v ~factor:f) degrades;
+      let routes_unaffected =
+        List.for_all
+          (fun (u, v, _) -> not (Fault_model.affects fm (Path.of_list [ u; v ])))
+          degrades
+      in
+      let gray_surviving = Fault_model.surviving r fm in
+      let n = Graph.n g in
+      let same_arcs = ref true in
+      for x = 0 to n - 1 do
+        let sa = List.sort compare (Array.to_list (Digraph.succ healthy_surviving x)) in
+        let sb = List.sort compare (Array.to_list (Digraph.succ gray_surviving x)) in
+        if sa <> sb then same_arcs := false
+      done;
+      routes_unaffected && !same_arcs
+      && Fault_model.diameter r fm = healthy_diameter)
+
 let () =
   Alcotest.run "fault_model"
     [
@@ -194,7 +339,19 @@ let () =
           Alcotest.test_case "kernel under edge faults" `Slow test_kernel_under_edge_faults;
           Alcotest.test_case "counts" `Quick test_counts;
           Alcotest.test_case "recovery round trip" `Quick test_recovery;
+          Alcotest.test_case "degrade basics" `Quick test_degrade_basics;
+          Alcotest.test_case "degrade validates" `Quick test_degrade_validates;
+          Alcotest.test_case "factor 1 is canonical" `Quick
+            test_degrade_factor_one_is_canonical;
+          Alcotest.test_case "path delay factor is the hop mean" `Quick
+            test_path_delay_factor_is_mean;
+          Alcotest.test_case "digest slow section" `Quick
+            test_degrade_digest_section;
         ]
         @ List.map QCheck_alcotest.to_alcotest
-            [ prop_edge_surviving_supergraph_of_projection ] );
+            [
+              prop_edge_surviving_supergraph_of_projection;
+              prop_degrade_restore_roundtrips_digest;
+              prop_degraded_links_never_change_verdicts;
+            ] );
     ]

@@ -207,6 +207,89 @@ let test_schedule_applies () =
   Alcotest.(check int) "one node fault" 1 (Network.fault_count net);
   Alcotest.(check bool) "link down at end" true (Network.is_link_faulty net 1 0)
 
+let degrades es =
+  List.filter_map
+    (fun e ->
+      match e.Faults.action with
+      | `LinkDegrade (u, v, f) -> Some (e.Faults.at, (u, v), f)
+      | _ -> None)
+    es
+
+let restores es =
+  List.filter_map
+    (fun e ->
+      match e.Faults.action with
+      | `LinkRestore (u, v) -> Some (e.Faults.at, (u, v))
+      | _ -> None)
+    es
+
+let test_gray_flaps () =
+  let rng = Random.State.make [| 11 |] in
+  let g = Families.cycle 6 in
+  let events =
+    Faults.gray_flaps ~rng ~g ~count:3 ~window:(1.0, 2.0) ~dwell:0.5 ~factor:4.0
+  in
+  Alcotest.(check int) "degrade/restore pairs" 6 (List.length events);
+  Alcotest.(check bool) "sorted" true (sorted_by_time events);
+  let d = degrades events and r = restores events in
+  Alcotest.(check int) "three degrades" 3 (List.length d);
+  let d_links = List.sort compare (List.map (fun (_, l, _) -> l) d) in
+  let r_links = List.sort compare (List.map snd r) in
+  Alcotest.(check int) "distinct links" 3
+    (List.length (List.sort_uniq compare d_links));
+  Alcotest.(check bool) "every degrade restored" true (d_links = r_links);
+  List.iter
+    (fun (at, _, f) ->
+      Alcotest.(check (float 0.0)) "factor carried" 4.0 f;
+      Alcotest.(check bool) "in window" true (at >= 1.0 && at <= 2.0))
+    d
+
+let test_region () =
+  let g = Families.cycle 6 in
+  Alcotest.(check (list int)) "radius 0" [ 2 ] (Faults.region g ~center:2 ~radius:0);
+  Alcotest.(check (list int)) "radius 1" [ 1; 2; 3 ]
+    (Faults.region g ~center:2 ~radius:1);
+  Alcotest.(check (list int)) "radius covers all" [ 0; 1; 2; 3; 4; 5 ]
+    (Faults.region g ~center:2 ~radius:3);
+  Alcotest.(check (list (pair int int))) "ball links" [ (1, 2); (2, 3) ]
+    (Faults.region_links g ~center:2 ~radius:1)
+
+let test_regional_waves () =
+  let rng = Random.State.make [| 5 |] in
+  let g = Families.torus 4 4 in
+  let events =
+    Faults.regional_waves ~rng ~g ~waves:2 ~radius:1 ~start:1.0 ~dwell:2.0
+      ~gap:1.0
+  in
+  Alcotest.(check bool) "sorted" true (sorted_by_time events);
+  let d = downs events and u = ups events in
+  Alcotest.(check bool) "downs match ups" true
+    (List.sort compare (List.map snd d) = List.sort compare (List.map snd u));
+  (* wave 1 drops at t=1, recovers at t=3; wave 2 at t=4/6 *)
+  let wave1 = List.filter (fun (at, _) -> at = 1.0) d in
+  let wave2 = List.filter (fun (at, _) -> at = 4.0) d in
+  Alcotest.(check int) "two wave fronts" (List.length d)
+    (List.length wave1 + List.length wave2);
+  (* a radius-1 ball in the 4x4 torus contains the 4 spokes *)
+  Alcotest.(check bool) "correlated blast area" true (List.length wave1 >= 4)
+
+let test_gray_schedule_applies () =
+  let net = edge_net () in
+  let sim = Sim.create () in
+  Faults.schedule_on sim net
+    [
+      { Faults.at = 1.0; action = `LinkDegrade (0, 1, 8.0) };
+      { Faults.at = 2.0; action = `LinkRestore (0, 1) };
+    ];
+  Sim.run ~until:1.5 sim;
+  Alcotest.(check (float 0.0)) "degraded at 1" 8.0
+    (Network.link_delay_factor net 0 1);
+  Alcotest.(check bool) "but never faulty" false
+    (Network.is_link_faulty net 0 1);
+  Sim.run sim;
+  Alcotest.(check (float 0.0)) "restored at 2" 1.0
+    (Network.link_delay_factor net 0 1)
+
 let () =
   Alcotest.run "faults"
     [
@@ -226,5 +309,10 @@ let () =
           Alcotest.test_case "witness waves" `Quick test_witness_waves;
           Alcotest.test_case "link waves" `Quick test_link_waves;
           Alcotest.test_case "schedule applies" `Quick test_schedule_applies;
+          Alcotest.test_case "gray flaps" `Quick test_gray_flaps;
+          Alcotest.test_case "region + region links" `Quick test_region;
+          Alcotest.test_case "regional waves" `Quick test_regional_waves;
+          Alcotest.test_case "gray schedule applies" `Quick
+            test_gray_schedule_applies;
         ] );
     ]

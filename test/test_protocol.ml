@@ -329,6 +329,53 @@ let test_broadcast_async_faulty_origin () =
     (Invalid_argument "Protocol.broadcast_async: faulty origin") (fun () ->
       ignore (Protocol.broadcast_async sim net config ~origin:0 ~counter_bound:3))
 
+(* ---------------- gray failures ---------------- *)
+
+let test_degraded_link_slows_delivery () =
+  let net = edge_net () in
+  Network.degrade_link net 0 1 ~factor:4.0;
+  let sim = Sim.create () in
+  let msg = Protocol.send sim net config ~id:0 ~src:0 ~dst:1 () in
+  Sim.run sim;
+  Alcotest.(check bool) "still delivered" true
+    (msg.Message.status = Message.Delivered);
+  Alcotest.(check int) "no retries: slowed, not cut" 0 msg.Message.retries;
+  (match Message.latency msg with
+  (* endpoint 10 + hop 1 * factor 4 *)
+  | Some l -> Alcotest.(check (float 1e-9)) "4x transit" 14.0 l
+  | None -> Alcotest.fail "no latency")
+
+let test_degraded_transit_is_per_route_mean () =
+  let net = edge_net () in
+  Network.degrade_link net 1 2 ~factor:4.0;
+  let sim = Sim.create () in
+  let msg = Protocol.send sim net config ~id:0 ~src:0 ~dst:3 () in
+  Sim.run sim;
+  Alcotest.(check bool) "delivered" true (msg.Message.status = Message.Delivered);
+  (match Message.latency msg with
+  (* three single-hop edge routes: 3 endpoints + transits 1, 4, 1 *)
+  | Some l -> Alcotest.(check (float 1e-9)) "one slow hop" 36.0 l
+  | None -> Alcotest.fail "no latency");
+  Network.restore_link_delay net 1 2;
+  let sim = Sim.create () in
+  let msg = Protocol.send sim net config ~id:1 ~src:0 ~dst:3 () in
+  Sim.run sim;
+  match Message.latency msg with
+  | Some l -> Alcotest.(check (float 1e-9)) "healthy again" 33.0 l
+  | None -> Alcotest.fail "no latency"
+
+let test_degraded_network_reports_no_faults () =
+  let net = edge_net () in
+  Network.degrade_link net 0 1 ~factor:16.0;
+  Network.degrade_link net 2 3 ~factor:2.0;
+  Alcotest.(check int) "no hard faults" 0 (Network.fault_count net);
+  Alcotest.(check bool) "link not faulty" false (Network.is_link_faulty net 0 1);
+  Alcotest.(check int) "two degraded" 2 (Network.degraded_link_count net);
+  Alcotest.(check (list (pair (pair int int) (float 0.0))))
+    "sorted inventory"
+    [ ((0, 1), 16.0); ((2, 3), 2.0) ]
+    (List.map (fun (u, v, f) -> ((u, v), f)) (Network.degraded_links net))
+
 let () =
   Alcotest.run "protocol"
     [
@@ -362,5 +409,11 @@ let () =
           Alcotest.test_case "async counter bound" `Quick test_broadcast_async_counter_cuts;
           Alcotest.test_case "async under faults" `Quick test_broadcast_async_under_faults;
           Alcotest.test_case "async faulty origin" `Quick test_broadcast_async_faulty_origin;
+          Alcotest.test_case "degraded link slows delivery" `Quick
+            test_degraded_link_slows_delivery;
+          Alcotest.test_case "degraded transit per-route mean" `Quick
+            test_degraded_transit_is_per_route_mean;
+          Alcotest.test_case "degraded network has no faults" `Quick
+            test_degraded_network_reports_no_faults;
         ] );
     ]

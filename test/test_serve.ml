@@ -14,6 +14,7 @@ module Admission = Serve.Admission
 module Engine = Serve.Engine
 module Server = Serve.Server
 module Soak = Serve.Soak
+module Chaos = Serve.Chaos
 module Exit_code = Serve.Exit_code
 
 (* ---------------- sjson ---------------- *)
@@ -94,6 +95,10 @@ let test_wire_roundtrip () =
       Wire.Fault (Wire.Recover_node 5);
       Wire.Fault (Wire.Fail_link (2, 9));
       Wire.Fault (Wire.Recover_link (2, 9));
+      Wire.Fault (Wire.Degrade_link (2, 9, 3.5));
+      (* a factor that exercises the exact float round-trip *)
+      Wire.Fault (Wire.Degrade_link (0, 4, 1.0000000000000002));
+      Wire.Fault (Wire.Restore_link (2, 9));
       Wire.Health;
       Wire.Ready;
       Wire.Stats;
@@ -121,7 +126,12 @@ let test_wire_rejects_garbage () =
   bad {|{"op":"warp"}|};
   bad {|{"op":"route","src":1}|};
   bad {|{"op":"fault","action":"fail"}|};
-  bad {|{"op":"fault","action":"explode","node":1}|}
+  bad {|{"op":"fault","action":"explode","node":1}|};
+  (* gray-failure deltas: link-only, factor finite and >= 1 *)
+  bad {|{"op":"fault","action":"degrade","link":[1,2]}|};
+  bad {|{"op":"fault","action":"degrade","link":[1,2],"factor":0.5}|};
+  bad {|{"op":"fault","action":"degrade","node":1,"factor":2.0}|};
+  bad {|{"op":"fault","action":"restore","node":1}|}
 
 (* ---------------- exit codes ---------------- *)
 
@@ -151,7 +161,11 @@ let test_journal_roundtrip () =
     [
       Wire.Fail_node 3;
       Wire.Fail_link (2, 5);
+      Wire.Degrade_link (1, 4, 3.0625);
+      (* a factor %.12g would mangle: must survive via %.17g *)
+      Wire.Degrade_link (0, 1, 1.0000000000000002);
       Wire.Recover_node 3;
+      Wire.Restore_link (1, 4);
       Wire.Recover_link (2, 5);
     ]
   in
@@ -196,6 +210,16 @@ let test_journal_rejects_bad_line () =
         (String.length e > 0)
   | Ok _ -> Alcotest.fail "malformed line should not load"
 
+let test_journal_rejects_bad_degrade_factor () =
+  with_temp_file "t-journal-badfactor.journal" @@ fun path ->
+  let oc = open_out path in
+  output_string oc (Journal.header ^ "\n");
+  output_string oc "degrade-link 1 2 0.5\n";
+  close_out oc;
+  match Journal.load path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "sub-1 degrade factor should not load"
+
 (* ---------------- admission ---------------- *)
 
 let test_admission_fifo_and_queue_shed () =
@@ -216,6 +240,22 @@ let test_admission_deadline_expiry () =
     (Admission.take q ~now:2.5 = Some (`Expired "old"));
   Alcotest.(check bool) "still within deadline" true
     (Admission.take q ~now:2.5 = Some (`Serve "fresh"))
+
+let test_admission_expires_oldest_deadline_first () =
+  (* The shed-ordering contract pinned in admission.mli: with the
+     uniform config deadline, FIFO order IS oldest-deadline-first, so
+     expiries must drain in arrival order before any fresh request is
+     served. *)
+  let q = Admission.create { Admission.max_queue = 4; deadline = 1.0 } in
+  ignore (Admission.offer q ~now:0.0 "a");
+  ignore (Admission.offer q ~now:0.2 "b");
+  ignore (Admission.offer q ~now:2.0 "c");
+  Alcotest.(check bool) "oldest deadline sheds first" true
+    (Admission.take q ~now:2.5 = Some (`Expired "a"));
+  Alcotest.(check bool) "next oldest second" true
+    (Admission.take q ~now:2.5 = Some (`Expired "b"));
+  Alcotest.(check bool) "fresh request served after the expiries" true
+    (Admission.take q ~now:2.5 = Some (`Serve "c"))
 
 let test_admission_rejects_bad_budget () =
   Alcotest.check_raises "zero budget"
@@ -274,6 +314,31 @@ let test_engine_replay_digest () =
       Alcotest.(check int) "state-changing events counted" 4 changed);
   Alcotest.(check string) "byte-identical fault state" (Engine.digest e1)
     (Engine.digest e2)
+
+let test_engine_degrade_apply () =
+  let _, e = torus_engine () in
+  Alcotest.(check bool) "bad factor rejected" true
+    (Result.is_error (Engine.validate e (Wire.Degrade_link (0, 1, 0.5))));
+  Alcotest.(check bool) "non-edge rejected" true
+    (Result.is_error (Engine.validate e (Wire.Degrade_link (0, 13, 2.0))));
+  Alcotest.(check bool) "restore validates the link too" true
+    (Result.is_error (Engine.validate e (Wire.Restore_link (0, 13))));
+  let clean = Engine.digest e in
+  Alcotest.(check bool) "restore of a healthy link is a no-op" true
+    (Engine.apply e (Wire.Restore_link (0, 1)) = Ok false);
+  Alcotest.(check bool) "first degrade changes state" true
+    (Engine.apply e (Wire.Degrade_link (0, 1, 4.0)) = Ok true);
+  Alcotest.(check bool) "same factor is an idempotent no-op" true
+    (Engine.apply e (Wire.Degrade_link (0, 1, 4.0)) = Ok false);
+  Alcotest.(check bool) "new factor changes state" true
+    (Engine.apply e (Wire.Degrade_link (0, 1, 8.0)) = Ok true);
+  Alcotest.(check bool) "inventory" true
+    (Engine.degraded_links e = [ (0, 1, 8.0) ]);
+  Alcotest.(check bool) "digest moved" true (Engine.digest e <> clean);
+  Alcotest.(check bool) "restore changes state back" true
+    (Engine.apply e (Wire.Restore_link (0, 1)) = Ok true);
+  Alcotest.(check string) "digest byte-identical after restore" clean
+    (Engine.digest e)
 
 let test_engine_route_and_bound () =
   let _, e = torus_engine () in
@@ -414,6 +479,26 @@ let test_server_expires_stale_requests () =
             Sjson.to_bool (field "shed" json) = Some true && not (is_ok json)
         | Error _ -> false)
 
+let test_server_health_reports_shed_and_degraded () =
+  let srv = cycle_server ~max_queue:1 () in
+  let health = Server.handle srv Wire.Health in
+  Alcotest.(check (option int)) "shed starts at 0" (Some 0)
+    (Sjson.to_int (field "shed" health));
+  (match field "degraded_links" health with
+  | Sjson.Arr [] -> ()
+  | _ -> Alcotest.fail "healthy daemon advertises no degraded links");
+  (* overflow the queue so one request sheds, and slow one link *)
+  Server.submit srv (Wire.Route { src = 0; dst = 2 }) ignore;
+  Server.submit srv (Wire.Route { src = 0; dst = 3 }) ignore;
+  Server.pump srv;
+  ignore (Server.handle srv (Wire.Fault (Wire.Degrade_link (0, 1, 2.5))));
+  let health = Server.handle srv Wire.Health in
+  Alcotest.(check (option int)) "shed count surfaced" (Some 1)
+    (Sjson.to_int (field "shed" health));
+  match field "degraded_links" health with
+  | Sjson.Arr [ Sjson.Arr [ Sjson.Int 0; Sjson.Int 1; Sjson.Float 2.5 ] ] -> ()
+  | _ -> Alcotest.fail "degraded link inventory missing from health"
+
 let test_server_drain_refuses_new_work () =
   let srv = cycle_server () in
   let drained = Server.handle srv Wire.Drain in
@@ -456,6 +541,7 @@ let soak_config =
     jobs = None;
     certify = false;
     journal_dir = ".";
+    gray_factor = None;
   }
 
 let test_soak_clean_run () =
@@ -491,6 +577,28 @@ let test_soak_build_failure_is_infra () =
   let outcome = Soak.run ~build ~entries:[ entry [ 7 ] [] ] soak_config in
   Alcotest.(check bool) "infra verdict" true (outcome.Soak.exit = Exit_code.Infra)
 
+let test_soak_gray_wave () =
+  let cfg = { soak_config with Soak.gray_factor = Some 6.0 } in
+  let outcome = Soak.run ~build:torus_build ~entries:[ entry [ 7 ] [] ] cfg in
+  Alcotest.(check bool) "gray failures never breach the contract" true
+    (outcome.Soak.exit = Exit_code.Clean);
+  (match outcome.Soak.reports with
+  | [ r ] ->
+      (* baseline + gray wave + (during + recovered) for the one wave *)
+      Alcotest.(check int) "extra in-budget phase under gray load" (4 * 4)
+        r.Soak.queries;
+      Alcotest.(check bool) "no violations" true (r.Soak.violations = []);
+      Alcotest.(check bool) "digest restored after the wave" true
+        r.Soak.journal_digest_ok
+  | rs ->
+      Alcotest.fail (Printf.sprintf "expected one report, got %d" (List.length rs)));
+  let json = Soak.to_json cfg outcome in
+  match Sjson.member "config" json with
+  | Some cfg_json ->
+      Alcotest.(check bool) "gray factor echoed" true
+        (Sjson.to_float (field "gray_factor" cfg_json) = Some 6.0)
+  | None -> Alcotest.fail "artifact lacks its config echo"
+
 let test_soak_json_artifact () =
   let outcome =
     Soak.run ~build:torus_build ~entries:[ entry [ 7 ] [] ] soak_config
@@ -503,6 +611,70 @@ let test_soak_json_artifact () =
   match Sjson.parse (Sjson.to_string json) with
   | Ok _ -> ()
   | Error e -> Alcotest.fail ("artifact does not re-parse: " ^ e)
+
+(* ---------------- chaos ---------------- *)
+
+let chaos_config =
+  {
+    Chaos.queries = 12;
+    burst = 20;
+    max_queue = 8;
+    deadline_ticks = 16.0;
+    gray_factor = 4.0;
+    radius = 1;
+    zipf_s = 1.0;
+    (* wall-clock gate parked: unit tests must not be timing-sensitive *)
+    slo_p99_ms = 60000.0;
+    min_delivery = 0.2;
+    seed = 5;
+    jobs = None;
+    certify = false;
+    journal_dir = ".";
+  }
+
+let test_chaos_clean_run () =
+  with_temp_file "t-chaos.journal" @@ fun _ ->
+  let c = Kernel.make (Families.torus 5 5) ~t:3 in
+  let o = Chaos.run ~label:"t-chaos" c chaos_config in
+  Alcotest.(check bool) "clean verdict" true (o.Chaos.exit = Exit_code.Clean);
+  Alcotest.(check int) "four recorded beats" 4 (List.length o.Chaos.phases);
+  Alcotest.(check bool) "no violations" true (o.Chaos.violations = []);
+  Alcotest.(check bool) "digest converged" true o.Chaos.digest_converged;
+  Alcotest.(check bool) "journal replay byte-identical" true
+    o.Chaos.journal_digest_ok;
+  (* burst 20 against a queue of 8 must shed *)
+  Alcotest.(check bool) "flash crowd shed" true (o.Chaos.shed > 0);
+  Alcotest.(check bool) "every request accounted" true
+    (o.Chaos.total_requests
+    = List.fold_left (fun a (p : Chaos.phase) -> a + p.requests) 0 o.Chaos.phases);
+  let gray = List.find (fun (p : Chaos.phase) -> p.name = "gray") o.Chaos.phases in
+  Alcotest.(check int) "gray wave slows, never cuts" gray.Chaos.requests
+    gray.Chaos.delivered
+
+let test_chaos_artifact_deterministic () =
+  with_temp_file "t-chaos-det.journal" @@ fun _ ->
+  let c = Kernel.make (Families.torus 5 5) ~t:3 in
+  let o1 = Chaos.run ~label:"t-chaos-det" c chaos_config in
+  let o2 = Chaos.run ~label:"t-chaos-det" c chaos_config in
+  let s1 = Sjson.to_string (Chaos.to_json chaos_config o1) in
+  let s2 = Sjson.to_string (Chaos.to_json chaos_config o2) in
+  Alcotest.(check string) "byte-identical artifacts" s1 s2;
+  (* the certify pre-pass must not perturb the artifact either *)
+  let cfg = { chaos_config with Chaos.certify = true; jobs = Some 2 } in
+  let o3 = Chaos.run ~label:"t-chaos-det" c cfg in
+  let json = Chaos.to_json cfg o3 in
+  Alcotest.(check (option string)) "versioned" (Some "ftr-chaos/1")
+    (Option.bind (Sjson.member "version" json) Sjson.to_str);
+  Alcotest.(check bool) "certified claim echoed" true (o3.Chaos.certified <> None);
+  Alcotest.(check bool) "phases identical with certify on" true
+    (o3.Chaos.phases = o1.Chaos.phases)
+
+let test_chaos_bad_journal_dir_is_infra () =
+  let c = Kernel.make (Families.torus 4 4) ~t:3 in
+  let cfg = { chaos_config with Chaos.journal_dir = "t-no-such-dir-xyz" } in
+  let o = Chaos.run ~label:"t-chaos-infra" c cfg in
+  Alcotest.(check bool) "infra verdict" true (o.Chaos.exit = Exit_code.Infra);
+  Alcotest.(check bool) "reason reported" true (o.Chaos.infra <> None)
 
 (* ---------------- end-to-end: the real daemon ---------------- *)
 
@@ -637,7 +809,21 @@ let test_cli_exit_codes () =
   Alcotest.(check int) "query with nothing to send is usage" 2
     (run_quiet "query --socket t-none.sock");
   Alcotest.(check int) "query against a dead socket is infra" 3
-    (run_quiet "query --socket t-none.sock health")
+    (run_quiet "query --socket t-none.sock health");
+  Alcotest.(check int) "query negative retries is usage" 2
+    (run_quiet "query --socket t-none.sock --retries=-1 health");
+  Alcotest.(check int) "chaos sub-1 gray factor is usage" 2
+    (run_quiet "chaos torus:4x4 --gray-factor 0.5");
+  Alcotest.(check int) "chaos bad min-delivery is usage" 2
+    (run_quiet "chaos torus:4x4 --min-delivery 1.5");
+  Alcotest.(check int) "serve --slo sub-1 gray factor is usage" 2
+    (run_quiet "serve --slo --gray-factor 0.5")
+
+let test_cli_chaos_smoke () =
+  Alcotest.(check int) "short chaos scenario is clean" 0
+    (run_quiet
+       "chaos torus:4x4 --queries 5 --burst 10 --max-queue 4 --seed 3 \
+        --journal-dir .")
 
 let () =
   Alcotest.run "serve"
@@ -665,12 +851,16 @@ let () =
             test_journal_rejects_foreign_file;
           Alcotest.test_case "rejects a bad line" `Quick
             test_journal_rejects_bad_line;
+          Alcotest.test_case "rejects a bad degrade factor" `Quick
+            test_journal_rejects_bad_degrade_factor;
         ] );
       ( "admission",
         [
           Alcotest.test_case "fifo + queue shed" `Quick
             test_admission_fifo_and_queue_shed;
           Alcotest.test_case "deadline expiry" `Quick test_admission_deadline_expiry;
+          Alcotest.test_case "expiries drain oldest-deadline first" `Quick
+            test_admission_expires_oldest_deadline_first;
           Alcotest.test_case "rejects a bad budget" `Quick
             test_admission_rejects_bad_budget;
         ] );
@@ -680,6 +870,8 @@ let () =
             test_engine_validate_and_apply;
           Alcotest.test_case "replay lands on the same digest" `Quick
             test_engine_replay_digest;
+          Alcotest.test_case "gray degrade apply/no-op" `Quick
+            test_engine_degrade_apply;
           Alcotest.test_case "route + degraded flag" `Quick
             test_engine_route_and_bound;
           Alcotest.test_case "detour and unreachable" `Quick
@@ -698,6 +890,8 @@ let () =
             test_server_expires_stale_requests;
           Alcotest.test_case "drain refuses new work" `Quick
             test_server_drain_refuses_new_work;
+          Alcotest.test_case "health reports shed + degraded links" `Quick
+            test_server_health_reports_shed_and_degraded;
         ] );
       ( "soak",
         [
@@ -707,6 +901,16 @@ let () =
           Alcotest.test_case "build failure is infra" `Quick
             test_soak_build_failure_is_infra;
           Alcotest.test_case "slo.json artifact" `Quick test_soak_json_artifact;
+          Alcotest.test_case "gray wave holds the contract" `Quick
+            test_soak_gray_wave;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "clean scenario" `Quick test_chaos_clean_run;
+          Alcotest.test_case "deterministic artifact" `Quick
+            test_chaos_artifact_deterministic;
+          Alcotest.test_case "bad journal dir is infra" `Quick
+            test_chaos_bad_journal_dir_is_infra;
         ] );
       ( "end to end",
         [
@@ -714,5 +918,6 @@ let () =
             test_daemon_end_to_end;
           Alcotest.test_case "SIGTERM drains" `Quick test_daemon_sigterm_drains;
           Alcotest.test_case "exit codes" `Quick test_cli_exit_codes;
+          Alcotest.test_case "chaos smoke" `Quick test_cli_chaos_smoke;
         ] );
     ]

@@ -60,6 +60,83 @@ let test_permutation () =
       Alcotest.(check bool) "no self" true (s <> d))
     entries
 
+let test_zipf_shape () =
+  let entries =
+    Workload.zipf ~rng:(rng ()) ~n:10 ~s:2.0 ~count:400 ~horizon:10.0
+  in
+  Alcotest.(check int) "count honoured" 400 (List.length entries);
+  List.iter
+    (fun (t, s, d) ->
+      Alcotest.(check bool) "in horizon" true (t >= 0.0 && t < 10.0);
+      Alcotest.(check bool) "no self" true (s <> d);
+      Alcotest.(check bool) "in range" true (d >= 0 && d < 10))
+    entries;
+  (* s=2 concentrates hard on node 0: weight 1 / (1 + 1/4 + 1/9 + ...)
+     is ~0.63 of the mass; just check dominance over the tail. *)
+  let hits k = List.length (List.filter (fun (_, _, d) -> d = k) entries) in
+  Alcotest.(check bool) "head dominates tail" true (hits 0 > 4 * hits 9);
+  (* sorted by send time, like every generator here *)
+  let times = List.map (fun (t, _, _) -> t) entries in
+  Alcotest.(check bool) "sorted" true (List.sort compare times = times)
+
+let test_zipf_zero_is_uniformish () =
+  let entries =
+    Workload.zipf ~rng:(rng ()) ~n:8 ~s:0.0 ~count:800 ~horizon:1.0
+  in
+  let hits k = List.length (List.filter (fun (_, _, d) -> d = k) entries) in
+  (* expectation 100 per node; allow generous slack *)
+  for k = 0 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d near uniform" k)
+      true
+      (hits k > 40 && hits k < 180)
+  done
+
+let test_zipf_validates () =
+  Alcotest.check_raises "n too small"
+    (Invalid_argument "Workload.zipf: need n >= 2") (fun () ->
+      ignore (Workload.zipf ~rng:(rng ()) ~n:1 ~s:1.0 ~count:1 ~horizon:1.0));
+  Alcotest.check_raises "bad exponent"
+    (Invalid_argument "Workload.zipf: exponent must be finite and >= 0") (fun () ->
+      ignore (Workload.zipf ~rng:(rng ()) ~n:4 ~s:(-1.0) ~count:1 ~horizon:1.0))
+
+let test_flash_crowd () =
+  let entries =
+    Workload.flash_crowd ~rng:(rng ()) ~n:10 ~hub:2 ~base:50 ~burst:80 ~at:5.0
+      ~width:0.5 ~horizon:10.0
+  in
+  Alcotest.(check int) "base + burst" 130 (List.length entries);
+  let crowd = List.filter (fun (t, _, _) -> t >= 5.0 && t < 5.5) entries in
+  let to_hub = List.filter (fun (_, _, d) -> d = 2) crowd in
+  Alcotest.(check bool) "crowd packed into the window" true
+    (List.length to_hub >= 80);
+  List.iter (fun (_, s, _) -> Alcotest.(check bool) "no self" true (s <> 2)) to_hub;
+  let times = List.map (fun (t, _, _) -> t) entries in
+  Alcotest.(check bool) "merged sorted" true (List.sort compare times = times)
+
+let test_flash_crowd_validates () =
+  Alcotest.check_raises "hub out of range"
+    (Invalid_argument "Workload.flash_crowd: bad hub") (fun () ->
+      ignore
+        (Workload.flash_crowd ~rng:(rng ()) ~n:4 ~hub:9 ~base:1 ~burst:1
+           ~at:0.0 ~width:1.0 ~horizon:1.0))
+
+let test_zipf_pairs () =
+  let alive = [ 2; 3; 5; 7; 9 ] in
+  let pairs = Workload.zipf_pairs ~rng:(rng ()) ~alive ~s:1.5 ~count:300 in
+  Alcotest.(check int) "count honoured" 300 (List.length pairs);
+  List.iter
+    (fun (s, d) ->
+      Alcotest.(check bool) "src alive" true (List.mem s alive);
+      Alcotest.(check bool) "dst alive" true (List.mem d alive);
+      Alcotest.(check bool) "no self" true (s <> d))
+    pairs;
+  (* position 0 of the pool (node 2) is the most popular destination *)
+  let hits k = List.length (List.filter (fun (_, d) -> d = k) pairs) in
+  Alcotest.(check bool) "pool head dominates" true (hits 2 > hits 9);
+  Alcotest.(check (list (pair int int))) "degenerate pool" []
+    (Workload.zipf_pairs ~rng:(rng ()) ~alive:[ 4 ] ~s:1.0 ~count:5)
+
 let () =
   Alcotest.run "workload"
     [
@@ -71,5 +148,13 @@ let () =
           Alcotest.test_case "hotspot pure" `Quick test_hotspot;
           Alcotest.test_case "hotspot mixed" `Quick test_hotspot_mixed;
           Alcotest.test_case "permutation" `Quick test_permutation;
+          Alcotest.test_case "zipf shape" `Quick test_zipf_shape;
+          Alcotest.test_case "zipf s=0 uniformish" `Quick
+            test_zipf_zero_is_uniformish;
+          Alcotest.test_case "zipf validates" `Quick test_zipf_validates;
+          Alcotest.test_case "flash crowd" `Quick test_flash_crowd;
+          Alcotest.test_case "flash crowd validates" `Quick
+            test_flash_crowd_validates;
+          Alcotest.test_case "zipf pairs" `Quick test_zipf_pairs;
         ] );
     ]
