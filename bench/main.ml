@@ -472,6 +472,65 @@ let json_of_rows rows ~quick =
         o.Serve.Chaos.delivery_rate o.Serve.Chaos.digest_converged
         (Serve.Exit_code.describe o.Serve.Chaos.exit)));
   Buffer.add_string buf "  },\n";
+  (* Compact route tables at scale: build time, resident table bytes
+     and per-find latency for the label-computed schemes at n up to
+     2^20, plus a small-n hashtable-vs-compact baseline (the hashtable
+     backend materialises n(n-1) routes, so it cannot even appear in
+     the large rows). All measured directly — one build and a fixed
+     find sweep per row — not through Bechamel. *)
+  (let measure_row ~label build =
+     let t0 = Unix.gettimeofday () in
+     let routing = build () in
+     let build_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+     let g = Routing.graph routing in
+     let n = Graph.n g in
+     let routes = Routing.route_count routing in
+     let table_bytes =
+       match Routing.compact routing with
+       | Some c -> Compact.bytes c
+       | None -> Obj.reachable_words (Obj.repr routing) * (Sys.word_size / 8)
+     in
+     let finds = 100_000 in
+     let t1 = Unix.gettimeofday () in
+     let state = ref 0x2545F491 in
+     for _ = 1 to finds do
+       (* xorshift: cheap enough not to drown the find itself. *)
+       state := !state lxor (!state lsl 13);
+       state := !state lxor (!state lsr 7);
+       state := !state lxor (!state lsl 17);
+       let src = !state land max_int mod n in
+       let dst = (!state lsr 21) land max_int mod n in
+       if src <> dst then ignore (Routing.find routing src dst)
+     done;
+     let find_ns = (Unix.gettimeofday () -. t1) *. 1e9 /. float_of_int finds in
+     Printf.sprintf
+       "    { \"label\": %S, \"backend\": %S, \"n\": %d, \"routes\": %d, \
+        \"build_ms\": %.1f, \"table_bytes\": %d, \"bytes_per_route\": %.6f, \
+        \"find_ns\": %.1f }"
+       label
+       (Routing.backend_name routing)
+       n routes build_ms table_bytes
+       (float_of_int table_bytes /. float_of_int (max 1 routes))
+       find_ns
+   in
+   let rows =
+     [
+       measure_row ~label:"ecube_q7_hashtable" (fun () ->
+           (Hypercube_routing.ecube 7).Construction.routing);
+       measure_row ~label:"ecube_q7_compact" (fun () ->
+           Routing.of_compact (Families.hypercube 7) Routing.Unidirectional
+             (Compact.hypercube 7));
+       measure_row ~label:"hypercube_14_compact" (fun () ->
+           (Compact_family.hypercube 14).Construction.routing);
+       measure_row ~label:"debruijn_17_compact" (fun () ->
+           (Compact_family.de_bruijn 17).Construction.routing);
+       measure_row ~label:"debruijn_20_compact" (fun () ->
+           (Compact_family.de_bruijn 20).Construction.routing);
+     ]
+   in
+   Buffer.add_string buf "  \"compact_tables\": [\n";
+   Buffer.add_string buf (String.concat ",\n" rows);
+   Buffer.add_string buf "\n  ],\n");
   Buffer.add_string buf "  \"seed_baseline\": {\n";
   Buffer.add_string buf "    \"commit\": \"3b75048\",\n";
   Buffer.add_string buf

@@ -10,6 +10,7 @@
      serve     long-lived routing daemon (and its --slo soak gate)
      query     client for a running serve daemon (with transport retries)
      chaos     gray-failure / heavy-traffic scenario against the serve stack
+     compact   label-computed route tables at 10^5-10^6 nodes, sampled certify
      dot       DOT export                                           *)
 
 open Cmdliner
@@ -1705,6 +1706,229 @@ let chaos_cmd =
       $ zipf_arg $ slo_p99_arg $ min_delivery_arg $ certify_arg
       $ journal_dir_arg $ chaos_out_arg $ jobs_arg $ metrics_arg $ trace_arg)
 
+(* ---------------- compact ---------------- *)
+
+let compact_exits =
+  [
+    Cmd.Exit.info 0 ~doc:"built, spot-validated and certified within budget";
+    Cmd.Exit.info 1
+      ~doc:
+        "a breach: a sampled pair pushed past the bound, a spot-validation \
+         failure, or the live heap exceeded $(b,--budget-mb)";
+    Cmd.Exit.info 2 ~doc:"invalid family spec or flag values (usage error)";
+  ]
+
+let compact_cmd =
+  let family_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FAMILY"
+          ~doc:
+            "Compact family spec: hypercube:D, hypercube:D:bi, debruijn:D or \
+             ccc:D (label-computed route tables; no O(n^2) materialisation).")
+  in
+  let bound_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bound"; "d" ] ~docv:"D"
+          ~doc:
+            "Surviving-route-graph diameter bound to certify (default: the \
+             family's claim for $(b,--f)).")
+  in
+  let sets_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "sets" ] ~docv:"N" ~doc:"Random fault sets to sample.")
+  in
+  let pairs_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "pairs" ] ~docv:"N" ~doc:"Sampled vertex pairs probed per fault set.")
+  in
+  let attack_steps_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "attack-steps" ] ~docv:"N"
+          ~doc:
+            "Hill-climbing swap attempts per restart of the sampled adversarial \
+             search (0 disables the search).")
+  in
+  let probe_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "probe-budget" ] ~docv:"N"
+          ~doc:
+            "Route lookups per distance probe (default 2n+1, which makes \
+             probes exact for bounds up to 2).")
+  in
+  let budget_mb_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-mb" ] ~docv:"MB"
+          ~doc:
+            "Fail (exit 1) if the live heap — measured by the GC after a full \
+             major collection — exceeds $(docv) at any stage boundary.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Write the routing (one-line ftr-routing 2 compact header).")
+  in
+  let run spec faults bound sets pairs attack_steps probe_budget budget_mb save
+      seed jobs metrics trace =
+    with_obs metrics trace @@ fun () ->
+    if sets < 0 || pairs <= 0 || attack_steps < 0 then begin
+      Printf.eprintf
+        "compact: --sets/--attack-steps must be non-negative, --pairs positive\n";
+      2
+    end
+    else
+      match Compact_family.of_spec spec with
+      | Error e ->
+          Printf.eprintf "compact: %s\n" e;
+          2
+      | Ok _ as first -> (
+          (* Rebuild inside the try so the build itself is under the
+             memory guard; the first parse only validated the spec. *)
+          ignore first;
+          try
+            let t0 = Unix.gettimeofday () in
+            let c =
+              match Compact_family.of_spec spec with
+              | Ok c -> c
+              | Error e -> failwith e
+            in
+            let build_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+            Budget.check ?limit_mb:budget_mb ~stage:"build" ();
+            let routing = c.Construction.routing in
+            let g = Routing.graph routing in
+            let n = Graph.n g in
+            let f =
+              match faults with
+              | Some f -> f
+              | None -> (Construction.strongest_claim c).Construction.max_faults
+            in
+            let bound =
+              match bound with
+              | Some b -> b
+              | None -> (
+                  match Construction.bound_for c ~f with
+                  | Some b -> b
+                  | None ->
+                      (Construction.strongest_claim c).Construction.diameter_bound)
+            in
+            let table_bytes =
+              match Routing.compact routing with
+              | Some cc -> Compact.bytes cc
+              | None -> 0
+            in
+            Printf.printf "construction        %s\n" c.Construction.name;
+            Printf.printf "vertices / edges    %d / %d\n" n (Graph.m g);
+            Printf.printf "backend             %s\n" (Routing.backend_name routing);
+            Printf.printf "build time          %.1f ms\n" build_ms;
+            Printf.printf "table bytes         %d (%.4f bytes/route)\n" table_bytes
+              (float_of_int table_bytes
+              /. float_of_int (max 1 (Routing.route_count routing)));
+            (* Spot validation: full Routing.validate walks all n(n-1)
+               routes; sample instead, seeded and deterministic. *)
+            let rng = Random.State.make [| seed; 0xC0 |] in
+            let spot = min 2000 (n * (n - 1)) in
+            let bad = ref None in
+            for _ = 1 to spot do
+              if !bad = None && n >= 2 then begin
+                let src = Random.State.int rng n in
+                let d = Random.State.int rng (n - 1) in
+                let dst = if d >= src then d + 1 else d in
+                match Routing.find routing src dst with
+                | None -> bad := Some (src, dst, "no route")
+                | Some p ->
+                    if
+                      Path.source p <> src || Path.target p <> dst
+                      || not (Path.is_valid_in g p)
+                    then bad := Some (src, dst, "invalid route")
+              end
+            done;
+            (match !bad with
+            | Some (src, dst, why) ->
+                failwith (Printf.sprintf "route (%d, %d): %s" src dst why)
+            | None -> Printf.printf "spot validation     ok (%d routes)\n" spot);
+            let rng = Random.State.make [| seed; 0xC1 |] in
+            let v =
+              Tolerance.sampled ?jobs ?probe_budget ~pools:c.Construction.pools
+                routing ~f ~bound ~rng ~sets ~pairs
+            in
+            Printf.printf "sampled certify     f=%d bound=%d worst=%s sets=%d pairs=%d -> %s\n"
+              f bound (dist_cell v.Tolerance.sv_worst) v.Tolerance.sv_sets_checked
+              v.Tolerance.sv_pairs_checked
+              (if v.Tolerance.sv_holds then "ok" else "VIOLATION");
+            if not v.Tolerance.sv_holds then begin
+              Printf.printf "  witness fault set: {%s}\n"
+                (String.concat ","
+                   (List.map string_of_int v.Tolerance.sv_witness_faults));
+              match v.Tolerance.sv_witness_pair with
+              | Some (s, d) -> Printf.printf "  witness pair:      (%d, %d)\n" s d
+              | None -> ()
+            end;
+            let attack_flagged =
+              if attack_steps = 0 then 0
+              else begin
+                let rng = Random.State.make [| seed; 0xC2 |] in
+                let o =
+                  Attack.search_sampled ~steps:attack_steps ?jobs ?probe_budget
+                    ~rng ~pools:c.Construction.pools routing ~f ~bound ~pairs
+                in
+                Printf.printf
+                  "sampled attack      worst=%s flagged=%d probes=%d -> %s\n"
+                  (dist_cell o.Attack.s_worst) o.Attack.s_flagged o.Attack.s_probes
+                  (if o.Attack.s_flagged = 0 then "ok" else "VIOLATION");
+                if o.Attack.s_flagged > 0 then
+                  Printf.printf "  witness fault set: {%s}\n"
+                    (String.concat "," (List.map string_of_int o.Attack.s_witness));
+                o.Attack.s_flagged
+              end
+            in
+            (match save with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                output_string oc (Routing_io.to_string routing);
+                close_out oc;
+                Printf.printf "saved               %s\n" path);
+            Budget.check ?limit_mb:budget_mb ~stage:"certify" ();
+            Printf.printf "live heap           %.1f MB%s\n" (Budget.live_mb ())
+              (match budget_mb with
+              | Some mb -> Printf.sprintf " (budget %d MB)" mb
+              | None -> "");
+            (* Keep the construction reachable across the measurement:
+               without this the GC is entitled to collect the graph and
+               table first, and the guard would measure an empty heap. *)
+            ignore (Sys.opaque_identity c);
+            if v.Tolerance.sv_holds && attack_flagged = 0 then 0 else 1
+          with
+          | Budget.Exceeded _ as e ->
+              Printf.eprintf "compact: %s\n" (Printexc.to_string e);
+              1
+          | Failure msg | Invalid_argument msg ->
+              Printf.eprintf "compact: %s\n" msg;
+              1)
+  in
+  Cmd.v
+    (Cmd.info "compact" ~exits:compact_exits
+       ~doc:
+         "build a compact (label-computed) routing for a structured family at \
+          10^5-10^6 nodes, spot-validate it, and certify its empirical (d, f) \
+          claim with sampled + adversarial probing under a memory budget")
+    Term.(
+      const run $ family_arg $ faults_arg $ bound_arg $ sets_arg $ pairs_arg
+      $ attack_steps_arg $ probe_budget_arg $ budget_mb_arg $ save_arg $ seed_arg
+      $ jobs_arg $ metrics_arg $ trace_arg)
+
 (* ---------------- dot ---------------- *)
 
 let dot_cmd =
@@ -1809,6 +2033,6 @@ let () =
        (Cmd.group (Cmd.info "ftr" ~doc)
           [
             info_cmd; route_cmd; tolerate_cmd; props_cmd; check_cmd; simulate_cmd;
-            attack_cmd; soak_cmd; serve_cmd; query_cmd; chaos_cmd; dot_cmd;
-            lint_artifacts_cmd;
+            attack_cmd; soak_cmd; serve_cmd; query_cmd; chaos_cmd; compact_cmd;
+            dot_cmd; lint_artifacts_cmd;
           ]))

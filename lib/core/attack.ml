@@ -135,7 +135,7 @@ let shrink_ids compiled ~ops ~witness =
           let d = eval candidate in
           if Metrics.distance_le !target d then begin
             target := d;
-            current := List.sort compare candidate;
+            current := List.sort Int.compare candidate;
             changed := true
           end
           else try_drop (u :: kept) rest
@@ -178,7 +178,7 @@ let run_restart ev ~ops ~config ~n ~f ~seed ~budget ~pool =
   let record_if_best d =
     if sc d > sc !best_d then begin
       best_d := d;
-      best_w := List.sort compare (Array.to_list members)
+      best_w := List.sort Int.compare (Array.to_list members)
     end
   in
   let init_set pool =
@@ -400,6 +400,225 @@ let search_mixed ?(config = default_config) ?(jobs = Par.recommended_jobs ()) ~r
   }
 
 (* ------------------------------------------------------------------ *)
+(* Sampled search at scale                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The compiled-evaluator search above materialises every route; a
+   10^5-node compact routing cannot. This variant scores a fault set
+   by probing a fixed sampled pair set with
+   [Surviving.probe_distance] — O(1) state per probe — and
+   hill-climbs over single-node swaps. *)
+
+let c_sampled_probes = Obs.counter "attack.sampled.probes"
+
+type sampled_outcome = {
+  s_worst : Metrics.distance;
+  s_flagged : int;
+  s_witness : int list;
+  s_pair : (int * int) option;
+  s_probes : int;
+  s_restarts_used : int;
+}
+
+let search_sampled ?(restarts = 4) ?(steps = 60)
+    ?(jobs = Par.recommended_jobs ()) ?probe_budget ~rng ?(pools = []) routing
+    ~f ~bound ~pairs =
+  Obs.with_span "attack.search_sampled" @@ fun () ->
+  let g = Routing.graph routing in
+  let n = Graph.n g in
+  let budget = match probe_budget with Some b -> b | None -> (2 * n) + 1 in
+  let f = max 0 (min f (max 0 (n - 2))) in
+  let npairs = max 0 pairs in
+  (* Pairs are drawn from the caller's RNG before any restart seed, so
+     the objective — and hence the outcome — is [jobs]-independent. *)
+  let pair_arr =
+    Array.init npairs (fun _ ->
+        let src = Random.State.int rng n in
+        let d = Random.State.int rng (n - 1) in
+        (src, if d >= src then d + 1 else d))
+  in
+  (* Lexicographic objective packed into one int: pairs pushed past the
+     bound dominate, the capped distance sum breaks ties. *)
+  let cap = bound + 1 in
+  let weight = (npairs * cap) + 1 in
+  let eval_set faults =
+    let flagged = ref 0 and sum = ref 0 in
+    let worst = ref (Metrics.Finite 0) and wp = ref None in
+    Array.iter
+      (fun (src, dst) ->
+        (* Tolerance quantifies over non-faulty pairs only: faulting a
+           sampled endpoint must not count as disconnecting it. *)
+        if not (Bitset.mem faults src || Bitset.mem faults dst) then begin
+          let d =
+            Surviving.probe_distance routing ~faults ~src ~dst ~bound ~budget
+          in
+          (match d with
+          | Metrics.Infinite ->
+              incr flagged;
+              sum := !sum + cap
+          | Metrics.Finite k -> sum := !sum + k);
+          if not (Metrics.distance_le d !worst) then begin
+            worst := d;
+            wp := Some (src, dst)
+          end
+        end)
+      pair_arr;
+    ((!flagged * weight) + !sum, !flagged, !worst, !wp)
+  in
+  let floyd_subset rst k =
+    let chosen = Hashtbl.create (2 * max 1 k) in
+    for j = n - k to n - 1 do
+      let r = Random.State.int rst (j + 1) in
+      let pick = if Hashtbl.mem chosen r then j else r in
+      Hashtbl.replace chosen pick ()
+    done;
+    Hashtbl.fold (fun v () acc -> v :: acc) chosen []
+  in
+  let pool_seeds =
+    Array.of_list
+      (List.filter_map
+         (fun p ->
+           match
+             List.filteri
+               (fun i _ -> i < f)
+               (List.sort_uniq Int.compare
+                  (List.filter (fun v -> v >= 0 && v < n) p))
+           with
+           | [] -> None
+           | prefix -> Some prefix)
+         pools)
+  in
+  if f = 0 || npairs = 0 || restarts <= 0 then begin
+    let _, flagged, worst, wp = eval_set (Bitset.create n) in
+    Obs.add c_sampled_probes npairs;
+    {
+      s_worst = worst;
+      s_flagged = flagged;
+      s_witness = [];
+      s_pair = wp;
+      s_probes = npairs;
+      s_restarts_used = 0;
+    }
+  end
+  else begin
+    (* Restart seeds drawn up front; each restart owns its RNG, fault
+       set and scratch, so restarts are independent [Par] tasks. *)
+    let seeds = Array.init restarts (fun _ -> Random.State.bits rng) in
+    let run ti =
+      let rst = Random.State.make [| seeds.(ti); ti |] in
+      let faults = Bitset.create n in
+      let members = Array.make f 0 in
+      let init =
+        if ti < Array.length pool_seeds then pool_seeds.(ti)
+        else List.sort Int.compare (floyd_subset rst f)
+      in
+      let k = ref 0 in
+      List.iter
+        (fun v ->
+          if not (Bitset.mem faults v) then begin
+            Bitset.add faults v;
+            members.(!k) <- v;
+            incr k
+          end)
+        init;
+      (* Pad a short pool prefix up to exactly f faults. *)
+      while !k < f do
+        let v = Random.State.int rst n in
+        if not (Bitset.mem faults v) then begin
+          Bitset.add faults v;
+          members.(!k) <- v;
+          incr k
+        end
+      done;
+      let probes = ref npairs in
+      let cur_sc, flagged0, worst0, wp0 = eval_set faults in
+      let cur_sc = ref cur_sc in
+      let best_sc = ref !cur_sc in
+      let best = ref (List.sort Int.compare (Array.to_list members)) in
+      let best_fl = ref flagged0 and best_w = ref worst0 and best_p = ref wp0 in
+      for _ = 1 to steps do
+        let oi = Random.State.int rst f in
+        let v = Random.State.int rst n in
+        if not (Bitset.mem faults v) then begin
+          let out = members.(oi) in
+          Bitset.remove faults out;
+          Bitset.add faults v;
+          members.(oi) <- v;
+          probes := !probes + npairs;
+          let sc, fl, w, p = eval_set faults in
+          (* Accept strict improvements always, plateau moves half the
+             time — enough drift to leave flat regions. *)
+          if sc > !cur_sc || (sc = !cur_sc && Random.State.bool rst) then begin
+            cur_sc := sc;
+            if sc > !best_sc then begin
+              best_sc := sc;
+              best := List.sort Int.compare (Array.to_list members);
+              best_fl := fl;
+              best_w := w;
+              best_p := p
+            end
+          end
+          else begin
+            Bitset.remove faults v;
+            Bitset.add faults out;
+            members.(oi) <- out
+          end
+        end
+      done;
+      (!best_sc, !best, !best_fl, !best_w, !best_p, !probes)
+    in
+    let results =
+      Par.run ~jobs ~ntasks:restarts ~init:(fun () -> ()) ~task:(fun () ti -> run ti)
+    in
+    (* Merge in restart order: ties keep the earlier restart. *)
+    let best_sc = ref min_int in
+    let best = ref [] and best_fl = ref 0 in
+    let best_w = ref (Metrics.Finite 0) and best_p = ref None in
+    let probes = ref 0 in
+    Array.iter
+      (fun (sc, w, fl, d, p, pr) ->
+        probes := !probes + pr;
+        if sc > !best_sc then begin
+          best_sc := sc;
+          best := w;
+          best_fl := fl;
+          best_w := d;
+          best_p := p
+        end)
+      results;
+    (* Greedy shrink: drop members (ascending) whose removal keeps the
+       score; deterministic, so the witness stays [jobs]-independent. *)
+    let faults = Bitset.of_list n !best in
+    let kept =
+      List.filter
+        (fun v ->
+          Bitset.remove faults v;
+          probes := !probes + npairs;
+          let sc, fl, w, p = eval_set faults in
+          if sc >= !best_sc then begin
+            best_fl := fl;
+            best_w := w;
+            best_p := p;
+            false
+          end
+          else begin
+            Bitset.add faults v;
+            true
+          end)
+        !best
+    in
+    Obs.add c_sampled_probes !probes;
+    {
+      s_worst = !best_w;
+      s_flagged = !best_fl;
+      s_witness = kept;
+      s_pair = !best_p;
+      s_probes = !probes;
+      s_restarts_used = restarts;
+    }
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Witness corpus                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -416,6 +635,11 @@ module Corpus = struct
     bound : int option;
     found_by : string;
   }
+
+  (* Normalised (min, max) link endpoints, ordered lexicographically. *)
+  let edge_compare (u1, v1) (u2, v2) =
+    let c = Int.compare u1 u2 in
+    if c <> 0 then c else Int.compare v1 v2
 
   (* Version 1 entries are node-only and carry no "version" field (the
      format predates it); version 2 adds "version" and "edge_faults".
@@ -683,7 +907,7 @@ module Corpus = struct
           f = as_int (field obj "f");
           faults =
             (match field obj "faults" with
-            | Arr l -> List.sort compare (List.map as_int l)
+            | Arr l -> List.sort Int.compare (List.map as_int l)
             | _ -> raise (Parse "faults must be an array"));
           edges =
             (if version < 2 then []
@@ -691,7 +915,7 @@ module Corpus = struct
                match List.assoc_opt "edge_faults" obj with
                | None -> []
                | Some (Arr l) ->
-                   List.sort compare
+                   List.sort edge_compare
                      (List.map
                         (function
                           | Arr [ Int u; Int v ] -> (min u v, max u v)
@@ -734,7 +958,7 @@ module Corpus = struct
     else
       Sys.readdir dir |> Array.to_list
       |> List.filter (fun f -> Filename.check_suffix f ".json")
-      |> List.sort compare
+      |> List.sort String.compare
       |> List.map (fun f ->
              let path = Filename.concat dir f in
              (path, load_file path))
@@ -747,8 +971,8 @@ module Corpus = struct
     let e =
       {
         e with
-        faults = List.sort compare e.faults;
-        edges = List.sort compare (List.map (fun (u, v) -> (min u v, max u v)) e.edges);
+        faults = List.sort Int.compare e.faults;
+        edges = List.sort edge_compare (List.map (fun (u, v) -> (min u v, max u v)) e.edges);
       }
     in
     if List.exists (same_witness e) entries then (entries, false)

@@ -105,6 +105,50 @@ val shrink :
     minimal: dropping any single remaining fault strictly lowers the
     diameter below the returned one. *)
 
+(** {1 Sampled search at scale}
+
+    {!search} compiles the route table, which materialises every
+    route; a 10{^5}–10{^6}-node compact routing cannot afford that.
+    The sampled variant scores a candidate fault set by probing a
+    fixed set of sampled pairs with {!Surviving.probe_distance} (O(1)
+    state per probe) and hill-climbs over single-node swaps. *)
+
+type sampled_outcome = {
+  s_worst : Metrics.distance;
+      (** worst probed distance under the witness; [Infinite] means
+          "> bound or probe budget exhausted" *)
+  s_flagged : int;  (** sampled pairs pushed past [bound] by the witness *)
+  s_witness : int list;  (** fault set found, sorted; greedily shrunk *)
+  s_pair : (int * int) option;  (** a pair exhibiting [s_worst] *)
+  s_probes : int;  (** pair probes scheduled ([pairs] per set scored) *)
+  s_restarts_used : int;
+}
+
+val search_sampled :
+  ?restarts:int ->
+  ?steps:int ->
+  ?jobs:int ->
+  ?probe_budget:int ->
+  rng:Random.State.t ->
+  ?pools:int list list ->
+  Routing.t ->
+  f:int ->
+  bound:int ->
+  pairs:int ->
+  sampled_outcome
+(** Maximise (pairs flagged past [bound], capped probed-distance sum)
+    over fault sets of size [min f (n - 2)]. [pairs] sampled ordered
+    pairs are drawn from [rng] up front and fixed for the whole
+    search; each of the [restarts] (default 4) restarts seeds from a
+    pool prefix (its [f] lowest in-range members) or a uniform
+    [f]-subset, then makes [steps] (default 60) single-node swap
+    attempts, accepting improvements always and plateau moves half the
+    time. Restart seeds are drawn before any evaluation and results
+    merge in restart order, so the outcome is identical for every
+    [jobs] value. Pairs with a faulty endpoint never count as flagged
+    (tolerance quantifies over surviving pairs). [probe_budget]
+    defaults to [2n + 1] as in {!Surviving.probe_distance}. *)
+
 (** {1 Witness corpus}
 
     A discovered witness is a regression test waiting to happen: it

@@ -1,0 +1,24 @@
+exception Exceeded of { stage : string; live_mb : float; limit_mb : int }
+
+let () =
+  Printexc.register_printer (function
+    | Exceeded { stage; live_mb; limit_mb } ->
+        Some
+          (Printf.sprintf
+             "Budget.Exceeded: %.1f MB live after %s exceeds --budget-mb %d"
+             live_mb stage limit_mb)
+    | _ -> None)
+
+let live_bytes () =
+  Gc.full_major ();
+  (Gc.stat ()).Gc.live_words * (Sys.word_size / 8)
+
+let live_mb () = float_of_int (live_bytes ()) /. (1024.0 *. 1024.0)
+
+let check ?limit_mb ~stage () =
+  match limit_mb with
+  | None -> ()
+  | Some limit ->
+      let mb = live_mb () in
+      if mb > float_of_int limit then
+        raise (Exceeded { stage; live_mb = mb; limit_mb = limit })

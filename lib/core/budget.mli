@@ -1,0 +1,22 @@
+(** Memory-budget guard for the large-table paths.
+
+    The point of compact tables is to fit 10{^5}–10{^6}-node routings
+    in memory; a guard that measures instead of estimating keeps that
+    claim honest. Measurement is [Gc.live_words] after a forced full
+    major collection — heap words actually retained, independent of
+    allocation rate and of how much the OS has mapped. *)
+
+exception Exceeded of { stage : string; live_mb : float; limit_mb : int }
+(** Registered with a printer, so an uncaught breach reads
+    ["Budget.Exceeded: 812.4 MB live after build exceeds --budget-mb
+    512"]. *)
+
+val live_bytes : unit -> int
+(** Live heap bytes after [Gc.full_major ()]. Costs a full major
+    collection: call at stage boundaries, not in loops. *)
+
+val live_mb : unit -> float
+
+val check : ?limit_mb:int -> stage:string -> unit -> unit
+(** [check ~limit_mb ~stage ()] raises {!Exceeded} when the live heap
+    exceeds the limit; no-op when [limit_mb] is [None] (unbounded). *)

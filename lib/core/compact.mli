@@ -1,0 +1,99 @@
+(** Compact route tables: answer [find] from vertex labels or flat
+    arrays instead of a per-pair hashtable.
+
+    Three shapes, all behind the same interface (and behind
+    {!Routing.t} via [Routing.of_compact]):
+
+    - {b label schemes} for the structured families — hypercube e-cube
+      bit fixing, de Bruijn shift-in with loop erasure, cube-connected
+      cycles walk — O(1) state, routes computed on demand from the two
+      vertex labels;
+    - a {b tree interval scheme} — parent array plus Euler-tour
+      preorder intervals; the next hop toward [v] is found by binary
+      search over the child intervals partitioning the current cell
+      (the partition-map idiom), O(n) words total;
+    - a {b packed} scheme — any explicit table re-encoded into four
+      flat int arrays (entries grouped by source, destinations sorted,
+      vertex sequences concatenated), preserving the route set
+      bit-for-bit while dropping per-entry boxing.
+
+    All schemes are immutable once built. *)
+
+open Ftr_graph
+
+type t
+
+val n : t -> int
+(** Vertex count of the underlying graph. *)
+
+val route_count : t -> int
+(** Number of routed ordered pairs ([n * (n-1)] for the label schemes,
+    which route every pair). *)
+
+val find : t -> int -> int -> Path.t option
+(** The route for an ordered pair; [None] for self pairs, out-of-range
+    vertices, unrouted pairs (packed) or cross-component pairs
+    (tree). The returned path is built on demand — callers that only
+    need existence should use {!mem}. *)
+
+val mem : t -> int -> int -> bool
+
+val iter : (int -> int -> Path.t -> unit) -> t -> unit
+(** Visits routes in ascending [(src, dst)] order. For label schemes
+    this enumerates all [n * (n-1)] pairs — meant for small-n
+    agreement testing, not for million-node tables. *)
+
+val bytes : t -> int
+(** Heap footprint of the scheme state in bytes (excludes the graph,
+    and for label schemes is O(1) by construction). *)
+
+val scheme_name : t -> string
+(** ["packed"], ["hypercube"], ["hypercube-bi"], ["debruijn"],
+    ["ccc"] or ["tree"]. *)
+
+(** {1 Constructors} *)
+
+val pack : n:int -> ((int -> int -> Path.t -> unit) -> unit) -> t
+(** [pack ~n iter] re-encodes the routes produced by [iter] (any
+    order; duplicates raise [Invalid_argument]) into the packed flat
+    form. *)
+
+val hypercube : ?bidirectional:bool -> int -> t
+(** E-cube routing on the [d]-cube, the label twin of
+    [Hypercube_routing.ecube] ([ecube_bidirectional] with
+    [~bidirectional:true]): identical paths, no table. *)
+
+val de_bruijn : int -> t
+(** Shift-in routing on the binary de Bruijn graph of dimension [d]:
+    overlap the longest suffix of [src] with a prefix of [dst], shift
+    in the remaining bits, loop-erase. Routes have length at most
+    [d]. *)
+
+val ccc : int -> t
+(** Cycle-walk routing on the cube-connected cycles of dimension [d]:
+    forward around the small cycle crossing each differing dimension,
+    then the shorter way around to the destination position. Routes
+    have length at most [2d + d/2]. *)
+
+val tree_of_parents : parent:int array -> t
+(** Interval routing over the rooted forest given by [parent]
+    ([parent.(r) = -1] at roots). Pairs in different trees are
+    unrouted. Raises [Invalid_argument] on cycles or out-of-range
+    entries. *)
+
+val bfs_tree : Graph.t -> root:int -> t
+(** [tree_of_parents] over the BFS spanning forest of [g]: one tree
+    grown from [root], then one per remaining component (in ascending
+    vertex order). Pairs within a component are always routed. *)
+
+(** {1 Serial form} *)
+
+val spec : t -> string option
+(** A one-token description from which the scheme can be rebuilt:
+    ["hypercube:10"], ["hypercube:10:bi"], ["debruijn:20"],
+    ["ccc:13"], ["tree:p0,p1,..."]. [None] for packed schemes, which
+    serialise as explicit rows. *)
+
+val of_spec : n:int -> string -> (t, string) result
+(** Rebuild a scheme from {!spec} output, checking it matches a graph
+    on [n] vertices. *)

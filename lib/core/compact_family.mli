@@ -1,0 +1,35 @@
+(** Constructions whose routings are label-computed compact tables.
+
+    The paper's constructions materialise O(n{^2}) routes; the
+    structured families here (hypercube e-cube, de Bruijn shift
+    routing, cube-connected cycles) compute every route from vertex
+    labels in O(1) state, so a 10{^5}–10{^6}-node instance builds in
+    the time it takes to build its graph. Claims are {e empirical}
+    ("empirical (sampled)"): they gate the sampled checkers
+    ({!Tolerance.sampled}, {!Attack.search_sampled}), not a theorem of
+    the paper. Pools are the endpoints' neighborhoods (the minimum
+    cuts of these families), seeding the adversarial side of the
+    sampled sweep. *)
+
+open Ftr_graph
+
+val hypercube : ?bidirectional:bool -> int -> Construction.t
+(** E-cube routing on the [d]-cube ([2^d] vertices, [d] in [1, 20]),
+    as {!Compact.hypercube}. *)
+
+val de_bruijn : int -> Construction.t
+(** Shift routing on the binary de Bruijn graph ([2^d] vertices, [d]
+    in [2, 24]), as {!Compact.de_bruijn}. *)
+
+val ccc : int -> Construction.t
+(** Cycle-walk routing on the cube-connected cycles ([d * 2^d]
+    vertices, [d] in [3, 20)), as {!Compact.ccc}. *)
+
+val tree : ?name:string -> Graph.t -> root:int -> Construction.t
+(** BFS-tree interval routing on an arbitrary graph, as
+    {!Compact.bfs_tree}: O(n) words for all [n(n-1)] in-component
+    routes. No claims — a tree routing tolerates no internal fault. *)
+
+val of_spec : string -> (Construction.t, string) result
+(** Parse ["hypercube:D"], ["hypercube:D:bi"], ["debruijn:D"] or
+    ["ccc:D"] — the CLI vocabulary of [ftr compact]. *)

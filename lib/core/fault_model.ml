@@ -33,8 +33,13 @@ let node_faults t = t.nodes
 let node_fault_count t = Bitset.cardinal t.nodes
 let edge_fault_count t = Hashtbl.length t.edges
 
+(* Normalised (min, max) endpoints, ordered lexicographically. *)
+let edge_compare (u1, v1) (u2, v2) =
+  let c = Int.compare u1 u2 in
+  if c <> 0 then c else Int.compare v1 v2
+
 let edge_faults t =
-  List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) t.edges [])
+  List.sort edge_compare (Hashtbl.fold (fun e () acc -> e :: acc) t.edges [])
 
 let fault_count t = node_fault_count t + edge_fault_count t
 
@@ -55,7 +60,12 @@ let edge_degradation t u v =
   | None -> 1.0
 
 let degraded_edges t =
-  List.sort compare
+  (* The third component is a float factor; Float.compare keeps the
+     order total even if a NaN ever slipped past validation. *)
+  List.sort
+    (fun (u1, v1, f1) (u2, v2, f2) ->
+      let c = edge_compare (u1, v1) (u2, v2) in
+      if c <> 0 then c else Float.compare f1 f2)
     (Hashtbl.fold (fun (u, v) f acc -> (u, v, f) :: acc) t.degraded [])
 
 let degraded_edge_count t = Hashtbl.length t.degraded

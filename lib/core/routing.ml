@@ -2,25 +2,46 @@ open Ftr_graph
 
 type kind = Unidirectional | Bidirectional
 
-type t = {
-  g : Graph.t;
-  kind : kind;
-  table : (int * int, Path.t) Hashtbl.t;
-}
+type backend =
+  | Table of (int * int, Path.t) Hashtbl.t
+  | Compacted of Compact.t
+
+type t = { g : Graph.t; kind : kind; backend : backend }
 
 exception Conflict of { src : int; dst : int; existing : Path.t; proposed : Path.t }
 
-let create g kind = { g; kind; table = Hashtbl.create 256 }
+let create g kind = { g; kind; backend = Table (Hashtbl.create 256) }
+
+let of_compact g kind c =
+  if Compact.n c <> Graph.n g then
+    invalid_arg
+      (Printf.sprintf "Routing.of_compact: scheme is for n=%d, graph has n=%d"
+         (Compact.n c) (Graph.n g));
+  { g; kind; backend = Compacted c }
+
 let graph t = t.g
 let kind t = t.kind
 
+let compact t = match t.backend with Compacted c -> Some c | Table _ -> None
+
+let backend_name t =
+  match t.backend with
+  | Table _ -> "table"
+  | Compacted c -> "compact:" ^ Compact.scheme_name c
+
+let table_exn op t =
+  match t.backend with
+  | Table tbl -> tbl
+  | Compacted _ -> invalid_arg (op ^ ": compact routings are immutable")
+
 let install t p =
+  let tbl = table_exn "Routing.install" t in
   let src = Path.source p and dst = Path.target p in
-  match Hashtbl.find_opt t.table (src, dst) with
+  match Hashtbl.find_opt tbl (src, dst) with
   | Some existing ->
       if not (Path.equal existing p) then
         raise (Conflict { src; dst; existing; proposed = p })
-  | None -> Hashtbl.replace t.table (src, dst) p
+  | None -> Hashtbl.replace tbl (src, dst) p
 
 let add t p =
   if Path.length p < 1 then invalid_arg "Routing.add: trivial path";
@@ -38,6 +59,7 @@ let add_edge_routes t =
     t.g
 
 let complete_reverses t =
+  let tbl = table_exn "Routing.complete_reverses" t in
   (match t.kind with
   | Unidirectional -> ()
   | Bidirectional ->
@@ -45,21 +67,46 @@ let complete_reverses t =
   let missing =
     Hashtbl.fold
       (fun (src, dst) p acc ->
-        if Hashtbl.mem t.table (dst, src) then acc else Path.rev p :: acc)
-      t.table []
+        if Hashtbl.mem tbl (dst, src) then acc else Path.rev p :: acc)
+      tbl []
   in
   List.iter (install t) missing
 
-let find t src dst = Hashtbl.find_opt t.table (src, dst)
-let mem t src dst = Hashtbl.mem t.table (src, dst)
-let iter f t = Hashtbl.iter (fun (src, dst) p -> f src dst p) t.table
-let route_count t = Hashtbl.length t.table
+let find t src dst =
+  match t.backend with
+  | Table tbl -> Hashtbl.find_opt tbl (src, dst)
+  | Compacted c -> Compact.find c src dst
+
+let mem t src dst =
+  match t.backend with
+  | Table tbl -> Hashtbl.mem tbl (src, dst)
+  | Compacted c -> Compact.mem c src dst
+
+let iter f t =
+  match t.backend with
+  | Table tbl -> Hashtbl.iter (fun (src, dst) p -> f src dst p) tbl
+  | Compacted c -> Compact.iter f c
+
+let route_count t =
+  match t.backend with
+  | Table tbl -> Hashtbl.length tbl
+  | Compacted c -> Compact.route_count c
+
+let compact_copy t =
+  match t.backend with
+  | Compacted _ -> t
+  | Table _ ->
+      of_compact t.g t.kind (Compact.pack ~n:(Graph.n t.g) (fun f -> iter f t))
 
 let max_route_length t =
-  Hashtbl.fold (fun _ p acc -> max acc (Path.length p)) t.table 0
+  let acc = ref 0 in
+  iter (fun _ _ p -> if Path.length p > !acc then acc := Path.length p) t;
+  !acc
 
 let total_route_edges t =
-  Hashtbl.fold (fun _ p acc -> acc + Path.length p) t.table 0
+  let acc = ref 0 in
+  iter (fun _ _ p -> acc := !acc + Path.length p) t;
+  !acc
 
 let stretch t =
   (* One BFS per distinct source appearing in the table. *)
@@ -72,12 +119,26 @@ let stretch t =
         Hashtbl.add dists src d;
         d
   in
-  Hashtbl.fold
-    (fun (src, dst) p acc ->
+  let acc = ref 0.0 in
+  iter
+    (fun src dst p ->
       let shortest = (dist_from src).(dst) in
-      if shortest <= 0 then acc
-      else Float.max acc (float_of_int (Path.length p) /. float_of_int shortest))
-    t.table 0.0
+      if shortest <= 0 then
+        (* A routed pair whose destination BFS distance is the -1
+           unreachable sentinel (or 0, a self pair) means the table
+           disagrees with its graph — e.g. a compact scheme attached to
+           the wrong graph. Surfacing it beats silently dropping the
+           pair from the statistic. *)
+        invalid_arg
+          (Printf.sprintf
+             "Routing.stretch: route (%d,%d) but destination is %s — table \
+              inconsistent with graph"
+             src dst
+             (if shortest = 0 then "the source itself" else "unreachable"))
+      else
+        acc := Float.max !acc (float_of_int (Path.length p) /. float_of_int shortest))
+    t;
+  !acc
 
 let validate t =
   let problem = ref None in

@@ -15,6 +15,29 @@ type t
 exception Conflict of { src : int; dst : int; existing : Path.t; proposed : Path.t }
 
 val create : Graph.t -> kind -> t
+(** A fresh mutable hashtable-backed routing. *)
+
+val of_compact : Graph.t -> kind -> Compact.t -> t
+(** Wrap a compact scheme as a routing. The scheme must be sized for
+    the graph ([Invalid_argument] otherwise); path validity against
+    the graph is the scheme's contract and can be audited with
+    {!validate} (small n) or sampled checking ([Tolerance.sampled]).
+    Compact routings are immutable: {!add}, {!add_edge_routes} and
+    {!complete_reverses} raise [Invalid_argument]. Pass the [kind]
+    matching the scheme's symmetry (e.g. [Bidirectional] for
+    [Compact.tree_of_parents] and [Compact.hypercube
+    ~bidirectional:true]). *)
+
+val compact_copy : t -> t
+(** A compact re-encoding of the same route set (packed flat arrays;
+    [find]/[iter]/[route_count] agree with the original bit for bit).
+    Identity on already-compact routings. *)
+
+val compact : t -> Compact.t option
+(** The underlying compact scheme, if this routing has one. *)
+
+val backend_name : t -> string
+(** ["table"] or ["compact:<scheme>"] — for logs and artifacts. *)
 
 val graph : t -> Graph.t
 
@@ -57,7 +80,11 @@ val total_route_edges : t -> int
 val stretch : t -> float
 (** Maximum over routed pairs of [route length / graph distance] — how
     far the fixed routes deviate from shortest paths. [1.0] when every
-    route is shortest; [0.0] for an empty table. *)
+    route is shortest; [0.0] for an empty table. Raises
+    [Invalid_argument] if some routed destination is unreachable from
+    its source (BFS sentinel [-1]) or equal to it: both mean the table
+    is inconsistent with the graph, and are surfaced rather than
+    silently dropped from the statistic. *)
 
 val validate : t -> (unit, string) result
 (** Re-checks every invariant of the table: simple paths of [g],

@@ -4,30 +4,47 @@ let kind_tag = function
   | Routing.Unidirectional -> "uni"
   | Routing.Bidirectional -> "bi"
 
+let kind_of_tag = function
+  | "uni" -> Some Routing.Unidirectional
+  | "bi" -> Some Routing.Bidirectional
+  | _ -> None
+
 let save buf routing =
   let n = Graph.n (Routing.graph routing) in
-  Buffer.add_string buf
-    (Printf.sprintf "ftr-routing 1 %d %s\n" n (kind_tag (Routing.kind routing)));
-  let emit src dst p =
-    Buffer.add_string buf
-      (Printf.sprintf "%d %d %s\n" src dst
-         (String.concat "," (List.map string_of_int (Path.to_list p))))
-  in
-  (* Stable output order; one orientation per pair for bidirectional
-     tables. *)
-  let rows = ref [] in
-  Routing.iter
-    (fun src dst p ->
-      let keep =
-        match Routing.kind routing with
-        | Routing.Unidirectional -> true
-        | Routing.Bidirectional -> src < dst
+  match Option.bind (Routing.compact routing) Compact.spec with
+  | Some spec ->
+      (* Label and tree schemes reconstruct from their spec: one header
+         line instead of O(n^2) rows. *)
+      Buffer.add_string buf
+        (Printf.sprintf "ftr-routing 2 %d %s compact %s\n" n
+           (kind_tag (Routing.kind routing))
+           spec)
+  | None ->
+      Buffer.add_string buf
+        (Printf.sprintf "ftr-routing 1 %d %s\n" n (kind_tag (Routing.kind routing)));
+      let emit src dst p =
+        Buffer.add_string buf
+          (Printf.sprintf "%d %d %s\n" src dst
+             (String.concat "," (List.map string_of_int (Path.to_list p))))
       in
-      if keep then rows := (src, dst, p) :: !rows)
-    routing;
-  List.iter
-    (fun (src, dst, p) -> emit src dst p)
-    (List.sort compare !rows)
+      (* Stable output order; one orientation per pair for bidirectional
+         tables. *)
+      let rows = ref [] in
+      Routing.iter
+        (fun src dst p ->
+          let keep =
+            match Routing.kind routing with
+            | Routing.Unidirectional -> true
+            | Routing.Bidirectional -> src < dst
+          in
+          if keep then rows := (src, dst, p) :: !rows)
+        routing;
+      List.iter
+        (fun (src, dst, p) -> emit src dst p)
+        (List.sort
+           (fun (s1, d1, _) (s2, d2, _) ->
+             if s1 <> s2 then Int.compare s1 s2 else Int.compare d1 d2)
+           !rows)
 
 let to_string routing =
   let buf = Buffer.create 4096 in
@@ -40,14 +57,20 @@ let load g text =
   | [] | [ "" ] -> Error "empty routing file"
   | header :: lines -> (
       match String.split_on_char ' ' header with
+      | [ "ftr-routing"; "2"; n_str; kind_str; "compact"; spec ] -> (
+          match (int_of_string_opt n_str, kind_of_tag kind_str) with
+          | Some n, Some kind when n = Graph.n g -> (
+              if List.exists (fun l -> String.trim l <> "") lines then
+                err "compact routing file must be a single header line"
+              else
+                match Compact.of_spec ~n spec with
+                | Ok c -> Ok (Routing.of_compact g kind c)
+                | Error e -> err "bad compact spec: %s" e)
+          | Some n, Some _ when n <> Graph.n g ->
+              err "vertex count mismatch: file has %d, graph has %d" n (Graph.n g)
+          | _ -> err "malformed header: %s" header)
       | [ "ftr-routing"; "1"; n_str; kind_str ] -> (
-          let kind =
-            match kind_str with
-            | "uni" -> Some Routing.Unidirectional
-            | "bi" -> Some Routing.Bidirectional
-            | _ -> None
-          in
-          match (int_of_string_opt n_str, kind) with
+          match (int_of_string_opt n_str, kind_of_tag kind_str) with
           | Some n, Some kind when n = Graph.n g -> (
               let routing = Routing.create g kind in
               let parse_line idx line =

@@ -11,7 +11,19 @@
     v}
 
     For bidirectional tables only one orientation per pair is stored;
-    the loader restores the symmetric closure. *)
+    the loader restores the symmetric closure.
+
+    Compact routings whose scheme has a one-token spec (labels,
+    trees — see [Compact.spec]) serialise as a single version-2
+    header instead of O(n^2) rows:
+
+    {v
+    ftr-routing 2 <n> <uni|bi> compact <spec>
+    v}
+
+    Packed compact routings have no spec and round-trip through the
+    version-1 row format (loading yields an equivalent hashtable
+    routing; re-compact with [Routing.compact_copy] if needed). *)
 
 open Ftr_graph
 

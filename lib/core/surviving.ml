@@ -175,7 +175,27 @@ let compile routing =
      plus a CSR inverted index edge -> routes traversing it. Routes are
      simple paths, so each traverses an edge at most once and the
      per-route hit counter stays exact when node and edge faults mix. *)
-  let edges = Array.of_list (Graph.edges g) in
+  let edges =
+    (* (min, max) lexicographic, read straight off the CSR rows — no
+       intermediate edge list. *)
+    let csr = Graph.csr g in
+    let off = Graph.Csr.offsets csr and tgt = Graph.Csr.targets csr in
+    (* sized by arcs, not arcs/2: deliberately asymmetric adjacency
+       (tests build it via of_adj_lists) can put more than half the
+       arcs in u < v orientation *)
+    let arr = Array.make (max 1 (Graph.Csr.arcs csr)) (0, 0) in
+    let k = ref 0 in
+    for u = 0 to n - 1 do
+      for i = off.(u) to off.(u + 1) - 1 do
+        let v = tgt.(i) in
+        if u < v then begin
+          arr.(!k) <- (u, v);
+          incr k
+        end
+      done
+    done;
+    if !k = Array.length arr then arr else Array.sub arr 0 !k
+  in
   let m = Array.length edges in
   let edge_ids = Hashtbl.create (max 16 (2 * m)) in
   Array.iteri (fun i e -> Hashtbl.replace edge_ids e i) edges;
@@ -1120,3 +1140,82 @@ let component_diameters routing ~faults =
     end
   done;
   List.rev !components
+
+(* ------------------------------------------------------------------ *)
+(* Sampled probes at scale: bounded route-graph distance straight off
+   [Routing.find], no compilation, no O(routes) state — the only
+   distance primitive that works on million-node compact tables. *)
+
+let probe_distance routing ~faults ~src ~dst ~bound ~budget =
+  let n = Graph.n (Routing.graph routing) in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Surviving.probe_distance: vertex out of range";
+  if Bitset.mem faults src || Bitset.mem faults dst then Metrics.Infinite
+  else if src = dst then Metrics.Finite 0
+  else begin
+    let exception Found of int in
+    let probes = ref (max 1 budget) in
+    let survives x y =
+      !probes > 0
+      && begin
+           decr probes;
+           match Routing.find routing x y with
+           | None -> false
+           | Some p -> not (Path.hits p faults)
+         end
+    in
+    (* Deterministic scan order (a fixed stride start hashed from the
+       pair): verdicts are independent of domain scheduling. *)
+    let start = (((31 * src) + dst) land max_int) mod n in
+    try
+      if bound >= 1 && survives src dst then raise (Found 1);
+      if bound >= 2 && !probes > 0 then begin
+        (* one-intermediate scan with early exit; exact when the budget
+           covers the sweep *)
+        let i = ref 0 in
+        while !i < n && !probes > 0 do
+          let w = start + !i in
+          let w = if w >= n then w - n else w in
+          if w <> src && w <> dst
+             && (not (Bitset.mem faults w))
+             && survives src w && survives w dst
+          then raise (Found 2);
+          incr i
+        done
+      end;
+      if bound >= 3 && !probes > 0 then begin
+        (* layered expansion for deeper bounds; each level first tries
+           the direct hop to dst, then grows the next frontier *)
+        let visited = Bytes.make n '\000' in
+        Bytes.set visited src '\001';
+        Bytes.set visited dst '\001';
+        let frontier = ref [ src ] in
+        let level = ref 0 in
+        while !frontier <> [] && !level + 1 < bound && !probes > 0 do
+          let next = ref [] in
+          List.iter
+            (fun x ->
+              for i = 0 to n - 1 do
+                let w = start + i in
+                let w = if w >= n then w - n else w in
+                if Bytes.get visited w = '\000'
+                   && (not (Bitset.mem faults w))
+                   && survives x w
+                then begin
+                  Bytes.set visited w '\001';
+                  next := w :: !next
+                end
+              done)
+            !frontier;
+          incr level;
+          (* vertices in [next] are at distance level+... from src; the
+             direct-hop test below reaches dst at [!level + 1] arcs *)
+          List.iter
+            (fun x -> if survives x dst then raise (Found (!level + 1)))
+            !next;
+          frontier := !next
+        done
+      end;
+      Metrics.Infinite
+    with Found k -> Metrics.Finite k
+  end

@@ -224,6 +224,33 @@ val slice_exceeds : sliced -> bound:int -> int
     {!diameter_exceeds}. Like the scalar bounded sweep, lanes stop as
     soon as the verdict is provable. *)
 
+(** {1 Sampled probes at scale}
+
+    Million-node compact tables cannot be compiled (the engine
+    materialises every route); the probe below answers bounded
+    route-graph distance queries straight off [Routing.find] with O(1)
+    state. *)
+
+val probe_distance :
+  Routing.t ->
+  faults:Bitset.t ->
+  src:int ->
+  dst:int ->
+  bound:int ->
+  budget:int ->
+  Metrics.distance
+(** Distance from [src] to [dst] in the surviving route graph, probed
+    only as far as [bound]: [Finite k] ([k <= bound]) when a surviving
+    route sequence of [k] routes is found, [Infinite] when the
+    distance provably exceeds [bound] {e or} the probe budget ran out
+    before deciding — conservative in the flagging direction, never
+    optimistic. A probe is one route lookup + fault test; [budget]
+    caps them. Exact for [bound <= 2] whenever [budget >= 2n + 1].
+    Scan order is a pure function of the pair, so verdicts are
+    independent of domain scheduling. [Infinite] for faulty endpoints;
+    [Finite 0] for [src = dst]. Agrees with {!distance} wherever both
+    decide. *)
+
 val component_diameters : Routing.t -> faults:Bitset.t -> (int list * Metrics.distance) list
 (** Open problem (3) of the paper: when more than [t] faults
     disconnect the network, is the routing still "well behaved" inside

@@ -326,7 +326,7 @@ let materialize_sets ~n ~f =
               incr j
             done;
             cur.(!j) <- added;
-            Array.sort compare cur;
+            Array.sort Int.compare cur;
             emit ())
       end)
     (blocks_up_to ~n ~f);
@@ -492,7 +492,7 @@ let adversarial ?(per_pool_cap = 2000) ?jobs ?engine routing ~f ~pools =
   let deduped =
     Seq.filter
       (fun s ->
-        let key = List.sort compare s in
+        let key = List.sort Int.compare s in
         if Hashtbl.mem seen key then false
         else begin
           Hashtbl.add seen key ();
@@ -501,6 +501,147 @@ let adversarial ?(per_pool_cap = 2000) ?jobs ?engine routing ~f ~pools =
       sets
   in
   check_sets ?jobs ?engine routing deduped
+
+(* ------------------------------------------------------------------ *)
+(* Sampled probing at scale.                                          *)
+(* ------------------------------------------------------------------ *)
+
+type sampled_verdict = {
+  sv_holds : bool;
+  sv_worst : Metrics.distance;
+  sv_witness_faults : int list;
+  sv_witness_pair : (int * int) option;
+  sv_sets_checked : int;
+  sv_pairs_checked : int;
+}
+
+let c_sampled_probes = Obs.counter "tolerance.sampled.pairs_probed"
+let c_sampled_sets = Obs.counter "tolerance.sampled.sets_checked"
+
+let sampled ?jobs ?(pools = []) ?probe_budget routing ~f ~bound ~rng ~sets ~pairs
+    =
+  Obs.with_span "tolerance.sampled" @@ fun () ->
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let g = Routing.graph routing in
+  let n = Graph.n g in
+  let budget = match probe_budget with Some b -> b | None -> (2 * n) + 1 in
+  let trivial =
+    {
+      sv_holds = true;
+      sv_worst = Metrics.Finite 0;
+      sv_witness_faults = [];
+      sv_witness_pair = None;
+      sv_sets_checked = 0;
+      sv_pairs_checked = 0;
+    }
+  in
+  if n < 2 then trivial
+  else begin
+    let f = min f (n - 2) in
+    (* Every draw happens before any evaluation, so the candidate list
+       — and hence the verdict — cannot depend on [jobs]. *)
+    let pair_arr =
+      Array.init (max 0 pairs) (fun _ ->
+          let src = Random.State.int rng n in
+          let d = Random.State.int rng (n - 1) in
+          (src, if d >= src then d + 1 else d))
+    in
+    let prefix_of l = List.filteri (fun i _ -> i < f) l in
+    (* Adversarial sets: the [f] lowest neighbors of every sampled
+       endpoint (isolating it outright when its degree is within the
+       fault budget — the paper's cut adversary), then the [f] lowest
+       members of each caller pool. *)
+    let endpoint_sets =
+      Array.to_list pair_arr
+      |> List.concat_map (fun (s, d) -> [ s; d ])
+      |> List.sort_uniq Int.compare
+      |> List.map (fun v -> prefix_of (Array.to_list (Graph.neighbors g v)))
+    in
+    let pool_sets =
+      List.map (fun p -> prefix_of (List.sort_uniq Int.compare p)) pools
+    in
+    let random_sets = ref [] in
+    for _ = 1 to max 0 sets do
+      random_sets := List.sort Int.compare (random_subset rng n f) :: !random_sets
+    done;
+    (* Canonical order: fault-free first, then adversarial, then the
+       random draws; duplicates keep their first position. *)
+    let seen = Hashtbl.create 64 in
+    let set_arr =
+      ([] :: endpoint_sets) @ pool_sets @ List.rev !random_sets
+      |> List.map (List.sort_uniq Int.compare)
+      |> List.filter (fun s ->
+             (not (Hashtbl.mem seen s))
+             && begin
+                  Hashtbl.add seen s ();
+                  true
+                end)
+      |> Array.of_list
+    in
+    let nsets = Array.length set_arr in
+    let npairs = Array.length pair_arr in
+    let count = nsets * npairs in
+    if count = 0 then trivial
+    else begin
+      let chunks =
+        Par.chunk ~jobs ~count
+          ~init:(fun () -> Bitset.create n)
+          ~task:(fun faults ~lo ~hi ->
+            let worst = ref (Metrics.Finite (-1)) in
+            let wfaults = ref [] in
+            let wpair = ref None in
+            let probed = ref 0 in
+            let cur = ref (-1) in
+            for idx = lo to hi - 1 do
+              let si = idx / npairs and pi = idx mod npairs in
+              if si <> !cur then begin
+                if !cur >= 0 then List.iter (Bitset.remove faults) set_arr.(!cur);
+                List.iter (Bitset.add faults) set_arr.(si);
+                cur := si
+              end;
+              let src, dst = pair_arr.(pi) in
+              (* Tolerance quantifies over non-faulty pairs only. *)
+              if not (Bitset.mem faults src || Bitset.mem faults dst) then begin
+                incr probed;
+                let d =
+                  Surviving.probe_distance routing ~faults ~src ~dst ~bound
+                    ~budget
+                in
+                if not (Metrics.distance_le d !worst) then begin
+                  worst := d;
+                  wfaults := set_arr.(si);
+                  wpair := Some (src, dst)
+                end
+              end
+            done;
+            (!worst, !wfaults, !wpair, !probed))
+      in
+      (* Ordered merge, earlier witness wins ties: [jobs]-independent. *)
+      let worst = ref (Metrics.Finite (-1)) in
+      let wfaults = ref [] in
+      let wpair = ref None in
+      let probed = ref 0 in
+      Array.iter
+        (fun (w, wf, wp, p) ->
+          probed := !probed + p;
+          if not (Metrics.distance_le w !worst) then begin
+            worst := w;
+            wfaults := wf;
+            wpair := wp
+          end)
+        chunks;
+      Obs.add c_sampled_probes !probed;
+      Obs.add c_sampled_sets nsets;
+      {
+        sv_holds = Metrics.distance_le !worst (Metrics.Finite bound);
+        sv_worst = (if !worst = Metrics.Finite (-1) then Metrics.Finite 0 else !worst);
+        sv_witness_faults = !wfaults;
+        sv_witness_pair = !wpair;
+        sv_sets_checked = nsets;
+        sv_pairs_checked = !probed;
+      }
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Edge-fault variants.                                               *)

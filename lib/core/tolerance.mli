@@ -102,6 +102,52 @@ val adversarial :
     applies before deduplication, so a set is only skipped when an
     earlier pool already produced it). *)
 
+(** {1 Sampled probing at scale}
+
+    The checkers above compile the route table — every route,
+    materialised. A 10{^5}–10{^6}-node compact routing cannot afford
+    that, so [sampled] works straight off [Routing.find]:
+    {!Surviving.probe_distance} answers bounded route-graph distance
+    queries with O(1) state, and the checker sweeps a sampled pair set
+    against random and adversarial fault sets. The verdict is
+    one-sided: [sv_holds = false] is a genuine (probed) violation
+    witness, while [sv_holds = true] only says no sampled pair under
+    any candidate set was seen to exceed the bound. *)
+
+type sampled_verdict = {
+  sv_holds : bool;
+      (** every probed pair stayed within [bound] under every set *)
+  sv_worst : Metrics.distance;
+      (** worst probed distance ([Infinite] = "> bound or probe budget
+          exhausted" — conservative, see
+          {!Surviving.probe_distance}) *)
+  sv_witness_faults : int list;  (** a fault set achieving [sv_worst] *)
+  sv_witness_pair : (int * int) option;  (** the pair that exhibited it *)
+  sv_sets_checked : int;
+  sv_pairs_checked : int;  (** probes actually performed (faulty-endpoint
+                               pairs are skipped for that set) *)
+}
+
+val sampled :
+  ?jobs:int ->
+  ?pools:int list list ->
+  ?probe_budget:int ->
+  Routing.t ->
+  f:int ->
+  bound:int ->
+  rng:Random.State.t ->
+  sets:int ->
+  pairs:int ->
+  sampled_verdict
+(** Probe [pairs] uniform ordered pairs against: the fault-free set,
+    one adversarial set per sampled endpoint (its [f] lowest-index
+    neighbors — the cut adversary), the [f] lowest members of each
+    caller pool, and [sets] uniform [f]-subsets. All randomness is
+    drawn from [rng] before evaluation and chunks merge in canonical
+    order, so the verdict is identical for every [jobs] value.
+    [probe_budget] (default [2n + 1], which makes each probe exact for
+    [bound <= 2]) caps route lookups per probe. *)
+
 (** {1 Edge-fault checking}
 
     The same machinery over the graph's edge universe: first-class

@@ -79,35 +79,50 @@ let torus3 da db dc =
   done;
   Graph.Builder.to_graph b
 
+(* Direct adjacency-row constructor: sorts, dedupes and drops self-loops
+   from a small candidate array, exactly what [of_edges] would produce
+   but without materialising an edge list — the large structured
+   families build at 10^6 vertices without an O(m) tuple intermediate. *)
+let row_of_candidates x cands =
+  Array.sort Int.compare cands;
+  let k = Array.length cands in
+  let count = ref 0 in
+  for i = 0 to k - 1 do
+    if cands.(i) <> x && (i = 0 || cands.(i) <> cands.(i - 1)) then incr count
+  done;
+  let row = Array.make !count 0 in
+  let j = ref 0 in
+  for i = 0 to k - 1 do
+    if cands.(i) <> x && (i = 0 || cands.(i) <> cands.(i - 1)) then begin
+      row.(!j) <- cands.(i);
+      incr j
+    end
+  done;
+  row
+
 let hypercube d =
   require (d >= 1) "Families.hypercube: d >= 1";
-  require (d < 20) "Families.hypercube: d too large";
+  require (d <= 20) "Families.hypercube: d too large";
   let n = 1 lsl d in
-  let b = Graph.Builder.create n in
-  for x = 0 to n - 1 do
-    for i = 0 to d - 1 do
-      let y = x lxor (1 lsl i) in
-      if x < y then Graph.Builder.add_edge b x y
-    done
-  done;
-  Graph.Builder.to_graph b
+  Graph.of_sorted_adj
+    (Array.init n (fun x ->
+         row_of_candidates x (Array.init d (fun i -> x lxor (1 lsl i)))))
 
 let ccc d =
   require (d >= 3) "Families.ccc: d >= 3";
   require (d < 20) "Families.ccc: d too large";
   let rows = 1 lsl d in
-  let id i x = (x * d) + i in
-  let b = Graph.Builder.create (d * rows) in
-  for x = 0 to rows - 1 do
-    for i = 0 to d - 1 do
-      (* cycle edge within the row's small cycle *)
-      Graph.Builder.add_edge b (id i x) (id ((i + 1) mod d) x);
-      (* hypercube edge along dimension i *)
-      let y = x lxor (1 lsl i) in
-      if x < y then Graph.Builder.add_edge b (id i x) (id i y)
-    done
-  done;
-  Graph.Builder.to_graph b
+  (* vertex (i, x) is x * d + i: cycle edges to (i +- 1 mod d, x) and the
+     hypercube edge to (i, x lxor 2^i) *)
+  Graph.of_sorted_adj
+    (Array.init (d * rows) (fun id ->
+         let i = id mod d and x = id / d in
+         row_of_candidates id
+           [|
+             (x * d) + ((i + 1) mod d);
+             (x * d) + ((i + d - 1) mod d);
+             ((x lxor (1 lsl i)) * d) + i;
+           |]))
 
 let butterfly d =
   require (d >= 3) "Families.butterfly: d >= 3";
@@ -127,14 +142,20 @@ let butterfly d =
 
 let de_bruijn d =
   require (d >= 2) "Families.de_bruijn: d >= 2";
-  require (d < 20) "Families.de_bruijn: d too large";
+  require (d <= 24) "Families.de_bruijn: d too large";
   let n = 1 lsl d in
-  let b = Graph.Builder.create n in
-  for x = 0 to n - 1 do
-    Graph.Builder.add_edge b x ((2 * x) mod n);
-    Graph.Builder.add_edge b x (((2 * x) + 1) mod n)
-  done;
-  Graph.Builder.to_graph b
+  let half = n lsr 1 in
+  (* successors 2x + b mod n plus predecessors y with 2y + b = x mod n,
+     i.e. y in { x >> 1, (x >> 1) + n/2 } *)
+  Graph.of_sorted_adj
+    (Array.init n (fun x ->
+         row_of_candidates x
+           [|
+             (2 * x) land (n - 1);
+             ((2 * x) + 1) land (n - 1);
+             x lsr 1;
+             (x lsr 1) + half;
+           |]))
 
 let shuffle_exchange d =
   require (d >= 2) "Families.shuffle_exchange: d >= 2";

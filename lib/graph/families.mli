@@ -33,7 +33,9 @@ val torus3 : int -> int -> int -> Graph.t
 (** 3-dimensional torus, all dimensions [>= 3]. Connectivity 6. *)
 
 val hypercube : int -> Graph.t
-(** [hypercube d]: [2^d] vertices, connectivity [d]. *)
+(** [hypercube d]: [2^d] vertices, connectivity [d]. Accepts
+    [1 <= d <= 20] (a million-vertex cube builds directly into sorted
+    adjacency rows). *)
 
 val ccc : int -> Graph.t
 (** Cube-connected cycles of dimension [d >= 3]: [d * 2^d] vertices,
@@ -46,7 +48,9 @@ val butterfly : int -> Graph.t
 
 val de_bruijn : int -> Graph.t
 (** Undirected binary de Bruijn graph on [2^d] vertices: [x] is
-    adjacent to [2x mod n] and [2x + 1 mod n]. *)
+    adjacent to [2x mod n] and [2x + 1 mod n]. Accepts
+    [2 <= d <= 24] — the bounded-degree family used for the
+    million-node compact-routing runs. *)
 
 val shuffle_exchange : int -> Graph.t
 (** Shuffle-exchange graph on [2^d] vertices, [d >= 2] (the "d-way

@@ -1,8 +1,17 @@
-type t = { n : int; adj : int array array; m : int }
+type csr = { off : int array; targets : int array }
+
+type t = {
+  n : int;
+  adj : int array array;
+  m : int;
+  mutable csr_cache : csr option;
+}
 
 let check_vertex n v =
   if v < 0 || v >= n then
     invalid_arg (Printf.sprintf "Graph: vertex %d out of [0,%d)" v n)
+
+let make n adj m = { n; adj; m; csr_cache = None }
 
 let of_adj_lists n lists =
   let adj =
@@ -14,7 +23,25 @@ let of_adj_lists n lists =
   in
   ignore n;
   let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
-  { n = Array.length adj; adj; m }
+  make (Array.length adj) adj m
+
+let of_sorted_adj adj =
+  let n = Array.length adj in
+  Array.iteri
+    (fun u row ->
+      let deg = Array.length row in
+      for i = 0 to deg - 1 do
+        let v = row.(i) in
+        check_vertex n v;
+        if v = u then
+          invalid_arg (Printf.sprintf "Graph.of_sorted_adj: self-loop at %d" u);
+        if i > 0 && row.(i - 1) >= v then
+          invalid_arg
+            (Printf.sprintf "Graph.of_sorted_adj: row %d not strictly sorted" u)
+      done)
+    adj;
+  let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
+  make n adj m
 
 let of_edges ~n edges =
   let lists = Array.make n [] in
@@ -29,7 +56,7 @@ let of_edges ~n edges =
     edges;
   of_adj_lists n lists
 
-let empty n = { n; adj = Array.make n [||]; m = 0 }
+let empty n = make n (Array.make n [||]) 0
 
 module Builder = struct
   type t = { n : int; mutable acc : (int * int) list }
@@ -66,6 +93,117 @@ let mem_edge t u v =
       else search lo mid
   in
   search 0 (Array.length a)
+
+module Csr = struct
+  type t = csr
+
+  let of_adj adj =
+    let n = Array.length adj in
+    let off = Array.make (n + 1) 0 in
+    for v = 0 to n - 1 do
+      off.(v + 1) <- off.(v) + Array.length adj.(v)
+    done;
+    let targets = Array.make (max 1 off.(n)) 0 in
+    for v = 0 to n - 1 do
+      Array.blit adj.(v) 0 targets off.(v) (Array.length adj.(v))
+    done;
+    { off; targets }
+
+  let n t = Array.length t.off - 1
+  let arcs t = t.off.(n t)
+  let degree t v = t.off.(v + 1) - t.off.(v)
+  let offsets t = t.off
+  let targets t = t.targets
+
+  let iter_neighbors t v f =
+    for i = t.off.(v) to t.off.(v + 1) - 1 do
+      f t.targets.(i)
+    done
+
+  let fold_neighbors t v f init =
+    let acc = ref init in
+    iter_neighbors t v (fun w -> acc := f !acc w);
+    !acc
+
+  let mem_edge t u v =
+    let lo = ref t.off.(u) and hi = ref t.off.(u + 1) in
+    let found = ref false in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let w = t.targets.(mid) in
+      if w = v then begin
+        found := true;
+        lo := !hi
+      end
+      else if w < v then lo := mid + 1
+      else hi := mid
+    done;
+    !found
+
+  let bytes t =
+    (Array.length t.off + Array.length t.targets + 4) * (Sys.word_size / 8)
+
+  let bfs_into t ~dist ~queue src =
+    Array.fill dist 0 (Array.length dist) (-1);
+    dist.(src) <- 0;
+    queue.(0) <- src;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      let du = dist.(u) in
+      for i = t.off.(u) to t.off.(u + 1) - 1 do
+        let v = t.targets.(i) in
+        if dist.(v) < 0 then begin
+          dist.(v) <- du + 1;
+          queue.(!tail) <- v;
+          incr tail
+        end
+      done
+    done
+
+  let bfs t src =
+    let n = n t in
+    let dist = Array.make n (-1) in
+    let queue = Array.make (max 1 n) 0 in
+    bfs_into t ~dist ~queue src;
+    dist
+
+  let bfs_tree t src =
+    let n = n t in
+    let dist = Array.make n (-1) in
+    let parent = Array.make n (-1) in
+    let queue = Array.make (max 1 n) 0 in
+    dist.(src) <- 0;
+    queue.(0) <- src;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      let du = dist.(u) in
+      for i = t.off.(u) to t.off.(u + 1) - 1 do
+        let v = t.targets.(i) in
+        if dist.(v) < 0 then begin
+          dist.(v) <- du + 1;
+          parent.(v) <- u;
+          queue.(!tail) <- v;
+          incr tail
+        end
+      done
+    done;
+    (dist, parent)
+end
+
+let csr t =
+  match t.csr_cache with
+  | Some c -> c
+  | None ->
+      (* Benign race under domains: the view is immutable and derived
+         solely from [adj], so concurrent initializers compute equal
+         values and the last single-word store wins. *)
+      let c = Csr.of_adj t.adj in
+      t.csr_cache <- Some c;
+      c
 
 let iter_edges f t =
   for u = 0 to t.n - 1 do
@@ -104,7 +242,7 @@ let remove_vertices t s =
       t.adj
   in
   let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
-  { n = t.n; adj; m }
+  make t.n adj m
 
 let add_edges t extra = of_edges ~n:t.n (extra @ edges t)
 

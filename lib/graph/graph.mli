@@ -27,6 +27,15 @@ val of_adj_lists : int -> int list array -> t
     reject the graph. Prefer {!of_edges} or {!Builder} unless you are
     deliberately constructing such an inconsistency (tests do). *)
 
+val of_sorted_adj : int array array -> t
+(** [of_sorted_adj adj] adopts already-sorted adjacency rows without
+    copying — the allocation-light constructor for the large structured
+    families (a 2{^20}-vertex de Bruijn graph builds without an
+    intermediate edge list). Every row must be strictly increasing,
+    in-range, and self-loop free ([Invalid_argument] otherwise); like
+    {!of_adj_lists}, symmetry is trusted. The rows are shared: do not
+    mutate them after construction. *)
+
 (** Incremental construction. *)
 module Builder : sig
   type graph := t
@@ -71,6 +80,60 @@ val max_degree : t -> int
 
 val min_degree : t -> int
 (** Minimum degree; [0] for the empty graph on zero vertices. *)
+
+(** {1 Compressed sparse rows}
+
+    A flat two-array adjacency view: neighbors of [v] occupy
+    [targets.(offsets.(v)) .. targets.(offsets.(v+1) - 1)], sorted.
+    This is what the traversal and compile paths iterate at scale — no
+    per-vertex array headers, no pointer chasing, one contiguous
+    [targets] array for the whole graph. *)
+module Csr : sig
+  type t
+
+  val n : t -> int
+  (** Number of vertices. *)
+
+  val arcs : t -> int
+  (** Number of directed arcs, i.e. [2 * m] for a symmetric graph. *)
+
+  val degree : t -> int -> int
+
+  val offsets : t -> int array
+  (** Length [n + 1]. Shared internal array — do not mutate. *)
+
+  val targets : t -> int array
+  (** Length [arcs] (at least 1). Shared internal array — do not
+      mutate. *)
+
+  val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+  val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+  val mem_edge : t -> int -> int -> bool
+  (** Binary search within the row of the first vertex; no bounds
+      checks beyond array accesses, callers pass in-range vertices. *)
+
+  val bfs : t -> int -> int array
+  (** Distance array from the source; [-1] marks unreachable. *)
+
+  val bfs_tree : t -> int -> int array * int array
+  (** [(dist, parent)] from the source; [-1] marks unreachable /
+      rootless. *)
+
+  val bfs_into : t -> dist:int array -> queue:int array -> int -> unit
+  (** Scratch-reusing BFS: fills [dist] (length [n], overwritten with
+      [-1] first) using [queue] (length at least [n]) — the inner loop
+      for repeated single-source sweeps without per-call allocation. *)
+
+  val bytes : t -> int
+  (** Approximate heap footprint of the view in bytes. *)
+end
+
+val csr : t -> Csr.t
+(** The CSR view of the graph, built on first use and cached (the
+    graph is immutable, so the view never goes stale; concurrent first
+    calls may redundantly compute equal views, which is benign). *)
 
 (** {1 Derived graphs} *)
 

@@ -64,4 +64,8 @@ let degree_histogram g =
       let d = Graph.degree g v in
       Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
     g;
-  List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [])
+  List.sort
+    (fun (d1, c1) (d2, c2) ->
+      let c = Int.compare d1 d2 in
+      if c <> 0 then c else Int.compare c1 c2)
+    (Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [])

@@ -3,19 +3,25 @@ let bfs_parents g ?(allowed = fun _ -> true) src =
   let dist = Array.make n (-1) in
   let parent = Array.make n (-1) in
   if allowed src then begin
-    let q = Queue.create () in
+    let csr = Graph.csr g in
+    let off = Graph.Csr.offsets csr and tgt = Graph.Csr.targets csr in
+    let queue = Array.make (max 1 n) 0 in
     dist.(src) <- 0;
-    Queue.push src q;
-    while not (Queue.is_empty q) do
-      let u = Queue.pop q in
-      Array.iter
-        (fun v ->
-          if dist.(v) < 0 && allowed v then begin
-            dist.(v) <- dist.(u) + 1;
-            parent.(v) <- u;
-            Queue.push v q
-          end)
-        (Graph.neighbors g u)
+    queue.(0) <- src;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      let du = dist.(u) in
+      for i = off.(u) to off.(u + 1) - 1 do
+        let v = tgt.(i) in
+        if dist.(v) < 0 && allowed v then begin
+          dist.(v) <- du + 1;
+          parent.(v) <- u;
+          queue.(!tail) <- v;
+          incr tail
+        end
+      done
     done
   end;
   (dist, parent)

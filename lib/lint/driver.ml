@@ -56,7 +56,7 @@ let collect_files paths =
     else if Filename.check_suffix path ".ml" then files := path :: !files
   in
   List.iter visit paths;
-  List.sort compare !files
+  List.sort String.compare !files
 
 let lint_paths ?(config = Rules.default_config) paths =
   let files = collect_files paths in

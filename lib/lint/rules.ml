@@ -198,11 +198,20 @@ let rec is_floaty e =
 
 let l2_poly_order = [ "compare"; "min"; "max" ]
 
-let l2_sorters =
+(* The sort entry points proper: a bare polymorphic `compare` handed
+   to one of these is flagged unconditionally — the float case is just
+   the worst instance (NaN breaks the total order); on every type it
+   is slower than the monomorphic comparator and hides the intended
+   key. sort_uniq/merge stay on the float-evidence path below: they
+   are pervasively (and harmlessly) used with `compare` on small int
+   lists for set-like normalisation. *)
+let l2_sort_fns =
   [
-    "List.sort"; "List.sort_uniq"; "List.stable_sort"; "List.fast_sort";
-    "List.merge"; "Array.sort"; "Array.stable_sort"; "Array.fast_sort";
+    "List.sort"; "List.stable_sort"; "List.fast_sort";
+    "Array.sort"; "Array.stable_sort"; "Array.fast_sort";
   ]
+
+let l2_sorters = [ "List.sort_uniq"; "List.merge" ] @ l2_sort_fns
 
 let is_bare_compare e =
   match flat_ident e with
@@ -483,6 +492,24 @@ let l2_check ctx f args loc =
           (Printf.sprintf
              "polymorphic `%s` at float type (use Float.%s: NaN poisons \
               polymorphic ordering)" name name)
+      else if List.mem name l2_sort_fns then
+        match pos with
+        | cmp :: rest when is_bare_compare cmp ->
+            (* Syntactic float evidence gets the sharper NaN message;
+               everything else gets the general spell-the-key-out one. *)
+            if List.exists is_floaty rest then
+              emit ctx "L2" loc
+                (Printf.sprintf
+                   "`%s compare` over floats (use Float.compare: NaN poisons \
+                    polymorphic ordering)" name)
+            else
+              emit ctx "L2" loc
+                (Printf.sprintf
+                   "bare `compare` passed to `%s` (spell the key out — \
+                    Int.compare, Float.compare, or an explicit comparator: \
+                    polymorphic compare breaks on NaN and functional values \
+                    and hides the intended order)" name)
+        | _ -> ()
       else if List.mem name l2_sorters then
         match pos with
         | cmp :: rest when is_bare_compare cmp && List.exists is_floaty rest ->

@@ -116,16 +116,27 @@ let parse s =
           | Some 'u' ->
               advance ();
               if !pos + 4 > n then fail "truncated \\u escape";
-              let hex = String.sub s !pos 4 in
-              (match int_of_string_opt ("0x" ^ hex) with
-              | None -> fail "bad \\u escape"
-              | Some code ->
-                  (* Only BMP codepoints below 0x80 round-trip as one
-                     byte; others degrade to '?' — the wire protocol is
-                     ASCII in practice. *)
-                  Buffer.add_char buf
-                    (if code < 0x80 then Char.chr code else '?');
-                  pos := !pos + 4)
+              (* Exactly four hex digits, checked character by
+                 character: int_of_string_opt "0x…" also accepts OCaml
+                 numeric-literal syntax (underscores, a second "0x"),
+                 so "\u00_a" or "\ux20a" would parse as a shorter
+                 number and silently decode the wrong codepoint. *)
+              let hex_val c =
+                match c with
+                | '0' .. '9' -> Char.code c - Char.code '0'
+                | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                | _ -> fail "bad \\u escape"
+              in
+              let code = ref 0 in
+              for i = !pos to !pos + 3 do
+                code := (!code * 16) + hex_val s.[i]
+              done;
+              (* Only BMP codepoints below 0x80 round-trip as one
+                 byte; others degrade to '?' — the wire protocol is
+                 ASCII in practice. *)
+              Buffer.add_char buf (if !code < 0x80 then Char.chr !code else '?');
+              pos := !pos + 4
           | _ -> fail "bad escape");
           loop ()
       | Some c ->

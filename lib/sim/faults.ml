@@ -109,7 +109,10 @@ let region_links g ~center ~radius =
   let ball = region g ~center ~radius in
   let in_ball = Array.make (Graph.n g) false in
   List.iter (fun v -> in_ball.(v) <- true) ball;
-  List.sort compare
+  List.sort
+    (fun (u1, v1) (u2, v2) ->
+      let c = Int.compare u1 u2 in
+      if c <> 0 then c else Int.compare v1 v2)
     (List.filter (fun (u, v) -> in_ball.(u) && in_ball.(v)) (Graph.edges g))
 
 let mixed_churn ~rng ~g ~nodes ~links ~window ~dwell =

@@ -1,5 +1,17 @@
 type entry = float * int * int
 
+(* Injection order: by time, ties broken on (src, dst). Explicit
+   Float.compare, not polymorphic compare: the polymorphic primitive
+   on floats treats NaN unlike any total order (compare nan nan = 0
+   but nan <> nan, and sorting mixed NaN keys is order-dependent), and
+   it boxes every comparison. *)
+let entry_compare (t1, s1, d1) (t2, s2, d2) =
+  let c = Float.compare t1 t2 in
+  if c <> 0 then c
+  else
+    let c = Int.compare s1 s2 in
+    if c <> 0 then c else Int.compare d1 d2
+
 let all_pairs ~n ~spacing =
   let acc = ref [] in
   let k = ref 0 in
@@ -28,7 +40,7 @@ let uniform ~rng ~n ~count ~horizon =
         let src, dst = random_pair rng n in
         (Random.State.float rng horizon, src, dst))
   in
-  List.sort compare entries
+  List.sort entry_compare entries
 
 let hotspot ~rng ~n ~hub ~fraction ~count ~horizon =
   if n < 2 then invalid_arg "Workload.hotspot: need n >= 2";
@@ -46,7 +58,7 @@ let hotspot ~rng ~n ~hub ~fraction ~count ~horizon =
           let src, dst = random_pair rng n in
           (time, src, dst))
   in
-  List.sort compare entries
+  List.sort entry_compare entries
 
 (* Zipf(s) over ranks 1..k: rank r carries weight 1/r^s. Sampling is
    a binary search over the cumulative weights, so a draw is O(log k)
@@ -85,7 +97,7 @@ let zipf ~rng ~n ~s ~count ~horizon =
         in
         (time, pick (), dst))
   in
-  List.sort compare entries
+  List.sort entry_compare entries
 
 let flash_crowd ~rng ~n ~hub ~base ~burst ~at ~width ~horizon =
   if n < 2 then invalid_arg "Workload.flash_crowd: need n >= 2";
@@ -105,7 +117,7 @@ let flash_crowd ~rng ~n ~hub ~base ~burst ~at ~width ~horizon =
         in
         (time, pick (), hub))
   in
-  List.sort compare (baseline @ crowd)
+  List.sort entry_compare (baseline @ crowd)
 
 let query_pairs ~rng ~alive ~count =
   let pool = Array.of_list alive in

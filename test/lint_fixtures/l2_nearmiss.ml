@@ -1,7 +1,11 @@
-(* L2 near-miss: Float.* ordering over floats, polymorphic ordering
-   over ints only. *)
+(* L2 near-miss: Float.* ordering over floats, monomorphic ordering
+   over ints, and the sorters outside the bare-compare list
+   (sort_uniq/merge normalise int keys all over the codebase and stay
+   on the float-evidence path). *)
 let worst a = Float.max a 1.0
 let sign x = Float.compare x 0.0
 let order () = List.sort Float.compare [ 2.0; 1.0 ]
 let ints a = max a 1
-let int_order () = List.sort compare [ 2; 1 ]
+let int_order () = List.sort Int.compare [ 2; 1 ]
+let dedup l = List.sort_uniq compare (l : int list)
+let explicit () = List.sort (fun a b -> Int.compare b a) [ 2; 1 ]

@@ -1,4 +1,8 @@
-(* L2 fixture: polymorphic ordering with syntactic float evidence. *)
+(* L2 fixture: polymorphic ordering with syntactic float evidence,
+   plus bare `compare` handed to a sort function (flagged regardless
+   of element type). *)
 let worst a = max a 1.0
 let sign x = compare x 0.0
 let order () = List.sort compare [ 2.0; 1.0 ]
+let int_order () = List.sort compare [ 2; 1 ]
+let in_place a = Array.sort compare (a : int array)

@@ -344,6 +344,42 @@ let test_evaluate_replays_corpus () =
   Alcotest.(check (list int)) "witness is the stored one" [ 209; 223 ]
     v.Tolerance.witness
 
+(* ---------------- sampled search at scale ---------------- *)
+
+(* A star's hub is the only interesting fault; the sampled hill climb
+   must find it from the endpoint-neighborhood pools and shrink the
+   witness to exactly the hub. *)
+let test_search_sampled_flags_star () =
+  let n = 10 in
+  let g =
+    Ftr_graph.Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+  in
+  let r = Routing.of_compact g Routing.Bidirectional (Compact.bfs_tree g ~root:0) in
+  let o =
+    Attack.search_sampled
+      ~rng:(Random.State.make [| 3 |])
+      ~pools:[ [ 0 ] ] r ~f:2 ~bound:4 ~pairs:24
+  in
+  Alcotest.(check bool) "flagged" true (o.Attack.s_flagged > 0);
+  Alcotest.check distance "worst infinite" Metrics.Infinite o.Attack.s_worst;
+  Alcotest.(check bool) "hub in witness" true (List.mem 0 o.Attack.s_witness);
+  Alcotest.(check bool) "probes accounted" true (o.Attack.s_probes > 0)
+
+(* Outcomes are a function of (routing, config, seed), not of the
+   domain schedule: jobs=1 and jobs=4 must agree field for field. *)
+let test_search_sampled_jobs_independent () =
+  let c = Kernel.make (Families.torus 4 4) ~t:3 in
+  let run jobs =
+    Attack.search_sampled ~jobs
+      ~rng:(Random.State.make [| 17 |])
+      c.Construction.routing ~f:2 ~bound:2 ~pairs:24
+  in
+  let a = run 1 and b = run 4 in
+  Alcotest.(check int) "same flag count" a.Attack.s_flagged b.Attack.s_flagged;
+  Alcotest.check distance "same worst" a.Attack.s_worst b.Attack.s_worst;
+  Alcotest.(check (list int)) "same witness" a.Attack.s_witness b.Attack.s_witness;
+  Alcotest.(check int) "same probes" a.Attack.s_probes b.Attack.s_probes
+
 let () =
   Alcotest.run "attack"
     [
@@ -380,5 +416,12 @@ let () =
             test_search_mixed_reproducible;
           Alcotest.test_case "evaluate replays stored witnesses" `Quick
             test_evaluate_replays_corpus;
+        ] );
+      ( "sampled",
+        [
+          Alcotest.test_case "flags a star hub" `Quick
+            test_search_sampled_flags_star;
+          Alcotest.test_case "jobs-independent" `Quick
+            test_search_sampled_jobs_independent;
         ] );
     ]

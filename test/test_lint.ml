@@ -29,7 +29,7 @@ let without rule =
 let triggers =
   [
     ("L1", "l1_trigger.ml", 6);
-    ("L2", "l2_trigger.ml", 3);
+    ("L2", "l2_trigger.ml", 5);
     ("L3", "l3_trigger.ml", 2);
     ("L3", "l3_chunk.ml", 1);
     ("L4", "l4_trigger.ml", 1);

@@ -72,6 +72,57 @@ let test_empty_table () =
   | Ok loaded -> Alcotest.(check int) "still empty" 0 (Routing.route_count loaded)
   | Error e -> Alcotest.fail e
 
+(* Version-2 persistence: a compact routing with a one-token spec
+   round-trips through a single header line — no O(n^2) rows — and the
+   loader re-validates n and the spec against the given graph. *)
+let test_v2_roundtrip () =
+  let g = Families.hypercube 4 in
+  let r = Routing.of_compact g Routing.Unidirectional (Compact.hypercube 4) in
+  let text = Routing_io.to_string r in
+  Alcotest.(check string) "one header line"
+    "ftr-routing 2 16 uni compact hypercube:4"
+    (String.trim text);
+  match Routing_io.load g text with
+  | Ok loaded ->
+      Alcotest.(check string) "compact backend survives"
+        (Routing.backend_name r) (Routing.backend_name loaded);
+      Alcotest.(check bool) "identical" true (roundtrip_equal r loaded)
+  | Error e -> Alcotest.fail e
+
+let test_v2_bidirectional_roundtrip () =
+  let g = Families.hypercube 3 in
+  let r =
+    Routing.of_compact g Routing.Bidirectional
+      (Compact.hypercube ~bidirectional:true 3)
+  in
+  match Routing_io.load g (Routing_io.to_string r) with
+  | Ok loaded ->
+      Alcotest.(check bool) "identical" true (roundtrip_equal r loaded)
+  | Error e -> Alcotest.fail e
+
+let test_v2_load_errors () =
+  let g = Families.cycle 6 in
+  (* header says n=16 but the graph has 6 vertices *)
+  fails g "ftr-routing 2 16 uni compact hypercube:4" "mismatch";
+  fails g "ftr-routing 2 6 uni compact hypercube:4" "";
+  fails g "ftr-routing 2 6 uni compact nonsense:9" "";
+  fails (Families.hypercube 4) "ftr-routing 2 16 uni compact hypercube:4\n0 1 0,1\n"
+    ""
+
+(* A packed compact routing has no spec: it must fall back to the
+   version-1 row format and load as an equivalent table. *)
+let test_packed_falls_back_to_v1 () =
+  let g = Families.cycle 12 in
+  let c = Bipolar.make_unidirectional g ~t:1 in
+  let packed = Routing.compact_copy c.Construction.routing in
+  let text = Routing_io.to_string packed in
+  Alcotest.(check string) "v1 header" "ftr-routing 1 12 uni"
+    (List.hd (String.split_on_char '\n' text));
+  match Routing_io.load g text with
+  | Ok loaded ->
+      Alcotest.(check bool) "identical" true (roundtrip_equal packed loaded)
+  | Error e -> Alcotest.fail e
+
 let test_deterministic_output () =
   let g = Families.torus 4 4 in
   let c = Kernel.make g ~t:3 in
@@ -89,6 +140,12 @@ let () =
           Alcotest.test_case "header" `Quick test_header;
           Alcotest.test_case "load errors" `Quick test_load_errors;
           Alcotest.test_case "empty table" `Quick test_empty_table;
+          Alcotest.test_case "v2 compact roundtrip" `Quick test_v2_roundtrip;
+          Alcotest.test_case "v2 bidirectional roundtrip" `Quick
+            test_v2_bidirectional_roundtrip;
+          Alcotest.test_case "v2 load errors" `Quick test_v2_load_errors;
+          Alcotest.test_case "packed falls back to v1" `Quick
+            test_packed_falls_back_to_v1;
           Alcotest.test_case "deterministic" `Quick test_deterministic_output;
         ] );
     ]

@@ -66,6 +66,36 @@ let test_sjson_parse_errors () =
   bad "[1,]";
   bad "\"unterminated"
 
+(* \u escapes are exactly four hex digits. The old decoder fed
+   "0x" ^ hex to int_of_string_opt, whose OCaml-literal syntax also
+   accepts underscores and a second 0x/0o/0b prefix — so junk like
+   "\u00_a" decoded as 0xA instead of being rejected. *)
+let test_sjson_unicode_escapes () =
+  let ok wire expected =
+    match Sjson.parse wire with
+    | Ok (Sjson.Str s) -> Alcotest.(check string) wire expected s
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%S parsed to a non-string" wire)
+    | Error e -> Alcotest.failf "%S should parse: %s" wire e
+  in
+  let bad wire =
+    match Sjson.parse wire with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" wire)
+  in
+  ok "\"\\u0041\"" "A";
+  ok "\"\\u006a\"" "j";
+  ok "\"\\u006A\"" "j";
+  ok "\"\\u0000\"" "\000";
+  (* non-ASCII degrades to '?' (documented: the wire is ASCII) *)
+  ok "\"\\u20ac\"" "?";
+  bad "\"\\u00_a\"";
+  bad "\"\\u0x41\"";
+  bad "\"\\u004\"";
+  bad "\"\\u004g\"";
+  bad "\"\\u 041\"";
+  bad "\"\\u+041\"";
+  bad "\"\\u-041\""
+
 let test_sjson_accessors () =
   match Sjson.parse {|{"i":7,"f":2.5,"s":"hi","b":true,"l":[3,4]}|} with
   | Error e -> Alcotest.fail e
@@ -834,6 +864,7 @@ let () =
           Alcotest.test_case "non-finite floats" `Quick test_sjson_nonfinite_floats;
           Alcotest.test_case "roundtrip" `Quick test_sjson_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_sjson_parse_errors;
+          Alcotest.test_case "unicode escapes" `Quick test_sjson_unicode_escapes;
           Alcotest.test_case "accessors" `Quick test_sjson_accessors;
         ] );
       ( "wire",

@@ -93,6 +93,97 @@ let test_respects () =
   let inf = { v with Tolerance.worst = Metrics.Infinite } in
   Alcotest.(check bool) "infinite fails" false (Tolerance.respects inf ~bound:1000)
 
+(* ---------------- sampled probing at scale ---------------- *)
+
+(* probe_distance answers off Routing.find with O(1) state; at
+   bound <= 2 with the full budget it must agree exactly with the
+   compiled engine's route-graph distance, truncated at the bound. *)
+let test_probe_agrees_with_compiled () =
+  let c = Kernel.make (Families.torus 4 4) ~t:3 in
+  let r = c.Construction.routing in
+  let n = Graph.n (Routing.graph r) in
+  let budget = (2 * n) + 1 in
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 50 do
+    let faults = Bitset.create n in
+    for _ = 1 to 2 do
+      Bitset.add faults (Random.State.int rng n)
+    done;
+    let src = Random.State.int rng n and dst = Random.State.int rng n in
+    if src <> dst && (not (Bitset.mem faults src)) && not (Bitset.mem faults dst)
+    then
+      List.iter
+        (fun bound ->
+          let probed =
+            Surviving.probe_distance r ~faults ~src ~dst ~bound ~budget
+          in
+          let exact = Surviving.distance r ~faults src dst in
+          let expected =
+            match exact with
+            | Metrics.Finite k when k <= bound -> Metrics.Finite k
+            | _ -> Metrics.Infinite
+          in
+          Alcotest.check distance
+            (Printf.sprintf "pair (%d,%d) bound %d" src dst bound)
+            expected probed)
+        [ 1; 2 ]
+  done
+
+(* A star's only routes run through the hub: one hub fault breaks
+   every leaf pair, and the endpoint-neighborhood adversarial sets
+   (every leaf's neighborhood is exactly {hub}) must find it. *)
+let star_routing () =
+  let n = 8 in
+  let g = Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1))) in
+  Routing.of_compact g Routing.Bidirectional (Compact.bfs_tree g ~root:0)
+
+let test_sampled_flags_star_hub () =
+  let r = star_routing () in
+  let v =
+    Tolerance.sampled r ~f:1 ~bound:5
+      ~rng:(Random.State.make [| 7 |])
+      ~sets:4 ~pairs:16
+  in
+  Alcotest.(check bool) "violation found" false v.Tolerance.sv_holds;
+  Alcotest.(check (list int)) "hub is the witness" [ 0 ]
+    v.Tolerance.sv_witness_faults;
+  Alcotest.check distance "worst is infinite" Metrics.Infinite
+    v.Tolerance.sv_worst
+
+(* A fault-tolerant table passes: kernel torus at its claimed (6, 3)
+   budget (Theorem 3). The default probe budget of 2n + 1 is sized for
+   bound <= 2; deep bounds on tiny graphs need more probes or the
+   checker conservatively flags on exhaustion, so spend them here. *)
+let test_sampled_accepts_strong_routing () =
+  let c = Kernel.make (Families.torus 5 5) ~t:3 in
+  let v =
+    Tolerance.sampled ~probe_budget:10_000 c.Construction.routing ~f:3 ~bound:6
+      ~rng:(Random.State.make [| 11 |])
+      ~sets:32 ~pairs:40
+  in
+  Alcotest.(check bool) "holds" true v.Tolerance.sv_holds;
+  Alcotest.(check bool) "work accounted" true
+    (v.Tolerance.sv_sets_checked > 0 && v.Tolerance.sv_pairs_checked > 0)
+
+(* Verdicts are a function of the rng, never of the schedule. *)
+let test_sampled_jobs_independent () =
+  let run routing jobs =
+    Tolerance.sampled ~jobs routing ~f:2 ~bound:2
+      ~rng:(Random.State.make [| 23 |])
+      ~sets:16 ~pairs:24
+  in
+  List.iter
+    (fun routing ->
+      let a = run routing 1 and b = run routing 4 in
+      Alcotest.(check bool) "same holds" a.Tolerance.sv_holds b.Tolerance.sv_holds;
+      Alcotest.check distance "same worst" a.Tolerance.sv_worst
+        b.Tolerance.sv_worst;
+      Alcotest.(check (list int)) "same witness" a.Tolerance.sv_witness_faults
+        b.Tolerance.sv_witness_faults;
+      Alcotest.(check (option (pair int int))) "same pair"
+        a.Tolerance.sv_witness_pair b.Tolerance.sv_witness_pair)
+    [ (Kernel.make (Families.torus 4 4) ~t:3).Construction.routing; star_routing () ]
+
 let () =
   Alcotest.run "tolerance"
     [
@@ -110,5 +201,15 @@ let () =
             test_adversarial_dedupes_across_pools;
           Alcotest.test_case "evaluate mode switch" `Quick test_evaluate_switches_modes;
           Alcotest.test_case "respects" `Quick test_respects;
+        ] );
+      ( "sampled",
+        [
+          Alcotest.test_case "probe agrees with compiled" `Quick
+            test_probe_agrees_with_compiled;
+          Alcotest.test_case "flags a star hub" `Quick test_sampled_flags_star_hub;
+          Alcotest.test_case "accepts a strong routing" `Quick
+            test_sampled_accepts_strong_routing;
+          Alcotest.test_case "jobs-independent" `Quick
+            test_sampled_jobs_independent;
         ] );
     ]

@@ -137,6 +137,35 @@ let test_zipf_pairs () =
   Alcotest.(check (list (pair int int))) "degenerate pool" []
     (Workload.zipf_pairs ~rng:(rng ()) ~alive:[ 4 ] ~s:1.0 ~count:5)
 
+(* Determinism pin for the sort fix: the generators order entries with
+   an explicit (time, src, dst) comparator, so two runs from the same
+   seed are byte-identical — Marshal catches any float-key or
+   tie-break instability that structural spot checks would miss. *)
+let prop_zipf_deterministic =
+  QCheck.Test.make ~name:"zipf workload is byte-identical across runs" ~count:50
+    QCheck.(
+      triple (int_range 2 40) (int_range 0 1_000_000) (int_range 0 300))
+    (fun (n, seed, count) ->
+      let run () =
+        Workload.zipf
+          ~rng:(Random.State.make [| seed |])
+          ~n ~s:1.2 ~count ~horizon:50.0
+      in
+      Marshal.to_string (run ()) [] = Marshal.to_string (run ()) [])
+
+let prop_uniform_deterministic =
+  QCheck.Test.make ~name:"uniform workload is byte-identical across runs"
+    ~count:50
+    QCheck.(
+      triple (int_range 2 40) (int_range 0 1_000_000) (int_range 0 300))
+    (fun (n, seed, count) ->
+      let run () =
+        Workload.uniform
+          ~rng:(Random.State.make [| seed |])
+          ~n ~count ~horizon:50.0
+      in
+      Marshal.to_string (run ()) [] = Marshal.to_string (run ()) [])
+
 let () =
   Alcotest.run "workload"
     [
@@ -157,4 +186,7 @@ let () =
             test_flash_crowd_validates;
           Alcotest.test_case "zipf pairs" `Quick test_zipf_pairs;
         ] );
+      ( "determinism",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_zipf_deterministic; prop_uniform_deterministic ] );
     ]
