@@ -531,6 +531,46 @@ let json_of_rows rows ~quick =
    Buffer.add_string buf "  \"compact_tables\": [\n";
    Buffer.add_string buf (String.concat ",\n" rows);
    Buffer.add_string buf "\n  ],\n");
+  (* Lint pass: the same ftr-lint v2 run CI gates on, measured cold
+     (empty cache) and warm (every unchanged file replayed from the
+     digest-keyed cache), plus findings per rule so a rule suddenly
+     going quiet — or noisy — shows up as a bench diff. Temp cache:
+     the bench must never touch a working tree's real cache. *)
+  (let cache_file = Filename.temp_file "ftr-lint-bench" ".cache" in
+   Sys.remove cache_file;
+   let timed_lint () =
+     let t0 = Unix.gettimeofday () in
+     let report = Ftr_lint.Driver.lint_paths ~cache_file [ "lib"; "bin" ] in
+     ((Unix.gettimeofday () -. t0) *. 1000.0, report)
+   in
+   let cold_ms, cold = timed_lint () in
+   let warm_ms, warm = timed_lint () in
+   (try Sys.remove cache_file with Sys_error _ -> ());
+   let per_rule =
+     let tbl = Hashtbl.create 8 in
+     let bump rule =
+       Hashtbl.replace tbl rule
+         (1 + Option.value ~default:0 (Hashtbl.find_opt tbl rule))
+     in
+     List.iter (fun (d : Ftr_lint.Diagnostic.t) -> bump d.rule) cold.diagnostics;
+     List.iter
+       (fun (s : Ftr_lint.Diagnostic.suppressed) -> bump s.diag.rule)
+       cold.suppressions;
+     List.sort
+       (fun (a, _) (b, _) -> String.compare a b)
+       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+   in
+   Buffer.add_string buf "  \"lint_pass\": {\n";
+   Buffer.add_string buf
+     (Printf.sprintf
+        "    \"files\": %d, \"cold_ms\": %.1f, \"cached_ms\": %.1f, \
+         \"files_cached_warm\": %d,\n"
+        cold.files_scanned cold_ms warm_ms warm.files_cached);
+   Buffer.add_string buf
+     (Printf.sprintf "    \"findings_per_rule\": { %s }\n"
+        (String.concat ", "
+           (List.map (fun (r, c) -> Printf.sprintf "%S: %d" r c) per_rule)));
+   Buffer.add_string buf "  },\n");
   Buffer.add_string buf "  \"seed_baseline\": {\n";
   Buffer.add_string buf "    \"commit\": \"3b75048\",\n";
   Buffer.add_string buf

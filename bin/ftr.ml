@@ -1961,7 +1961,12 @@ let lint_artifacts_cmd =
       value
       & opt (some string) None
       & info [ "routing" ] ~docv:"FILE"
-          ~doc:"Also certify an ftr-routing table; requires $(b,--graph).")
+          ~doc:
+            "Also certify an ftr-routing table. With $(b,--graph) every route \
+             is validated against the graph; without it only the header line \
+             is certified (version, vertex count, kind tag, and — for the \
+             version-2 compact format — the spec parse and its \
+             n-consistency).")
   in
   let routing_graph_arg =
     let graph_conv = Arg.conv' Ftr_analysis.Graph_spec.conv in
@@ -1983,13 +1988,10 @@ let lint_artifacts_cmd =
   in
   let run paths routing_file routing_graph =
     match (routing_file, routing_graph) with
-    | Some _, None ->
-        Printf.eprintf "--routing requires --graph GRAPH\n";
-        2
     | _ when paths = [] && routing_file = None ->
         Printf.eprintf
-          "nothing to certify: give corpus PATHs and/or --routing FILE --graph \
-           GRAPH\n";
+          "nothing to certify: give corpus PATHs and/or --routing FILE \
+           [--graph GRAPH]\n";
         2
     | _ ->
         let problems = ref 0 in
@@ -2010,7 +2012,13 @@ let lint_artifacts_cmd =
             let routes, ps = Certify.certify_routing_file ~graph:g file in
             report ps;
             Printf.printf "certified %s: %d route(s)\n" file routes
-        | _ -> ());
+        | Some file, None -> (
+            (* No graph to route over: certify what the header alone
+               promises (all of it, for v2 compact tables). *)
+            match Certify.certify_routing_header file with
+            | Ok desc -> Printf.printf "certified %s: header ok (%s)\n" file desc
+            | Error ps -> report ps)
+        | None, _ -> ());
         if !problems = 0 then 0
         else begin
           Printf.printf "%d problem(s)\n" !problems;

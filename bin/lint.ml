@@ -1,11 +1,15 @@
-(* ftr-lint: the repo's static-analysis gate (DESIGN.md section 10).
+(* ftr-lint: the repo's static-analysis gate (DESIGN.md section 15).
 
-   Usage: lint [--json FILE] [--rules L1,L2,...] PATH...
+   Usage: lint [--json FILE] [--rules L1,...,L8] [--cache FILE]
+               [--cmt-root DIR] PATH...
 
-   Lints every .ml file under the given paths with the five ftr rules,
-   prints one editor-clickable line per diagnostic, optionally writes
-   the ftr-lint/1 JSON report, and exits 1 if any unsuppressed
-   diagnostic remains. Argument parsing is by hand: the lint must not
+   Lints every .ml file under the given paths on its typedtree with
+   the eight ftr rules, prints one editor-clickable line per
+   diagnostic, optionally writes the ftr-lint/2 JSON report, and exits
+   1 if any unsuppressed diagnostic remains. --cache replays results
+   for unchanged files (cold and warm runs emit identical reports);
+   --cmt-root overrides where .cmt files are searched (default:
+   _build/default). Argument parsing is by hand: the lint must not
    grow dependencies the analyses it polices do not have. *)
 
 module Diagnostic = Ftr_lint.Diagnostic
@@ -13,17 +17,27 @@ module Rules = Ftr_lint.Rules
 module Driver = Ftr_lint.Driver
 
 let usage () =
-  prerr_endline "usage: lint [--json FILE] [--rules L1,L2,...] PATH...";
+  prerr_endline
+    "usage: lint [--json FILE] [--rules L1,...,L8] [--cache FILE] [--cmt-root \
+     DIR] PATH...";
   exit 2
 
 let () =
   let json_out = ref None in
+  let cache_file = ref None in
+  let cmt_root = ref None in
   let rules = ref Rules.all_rules in
   let paths = ref [] in
   let rec parse = function
     | [] -> ()
     | "--json" :: file :: rest ->
         json_out := Some file;
+        parse rest
+    | "--cache" :: file :: rest ->
+        cache_file := Some file;
+        parse rest
+    | "--cmt-root" :: dir :: rest ->
+        cmt_root := Some dir;
         parse rest
     | "--rules" :: spec :: rest ->
         let requested = String.split_on_char ',' spec in
@@ -38,7 +52,7 @@ let () =
         end;
         rules := requested;
         parse rest
-    | ("--json" | "--rules") :: [] -> usage ()
+    | ("--json" | "--rules" | "--cache" | "--cmt-root") :: [] -> usage ()
     | ("--help" | "-h") :: _ -> usage ()
     | path :: rest ->
         paths := path :: !paths;
@@ -52,7 +66,10 @@ let () =
     exit 2
   end;
   let config = { Rules.default_config with Rules.rules = !rules } in
-  let report = Driver.lint_paths ~config (List.rev !paths) in
+  let report =
+    Driver.lint_paths ~config ?cache_file:!cache_file ?cmt_root:!cmt_root
+      (List.rev !paths)
+  in
   List.iter
     (fun d -> Format.printf "%a@." Diagnostic.pp_human d)
     report.Diagnostic.diagnostics;
@@ -64,6 +81,7 @@ let () =
       close_out oc);
   let n = List.length report.Diagnostic.diagnostics in
   let s = List.length report.Diagnostic.suppressions in
-  Printf.printf "ftr-lint: %d file(s), %d diagnostic(s), %d suppressed\n"
-    report.Diagnostic.files_scanned n s;
+  Printf.printf
+    "ftr-lint: %d file(s), %d cached, %d diagnostic(s), %d suppressed\n"
+    report.Diagnostic.files_scanned report.Diagnostic.files_cached n s;
   exit (if n > 0 then 1 else 0)

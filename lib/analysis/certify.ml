@@ -259,6 +259,54 @@ let certify_corpus_paths ~build paths =
 (* Routing files                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Header-only certification: everything line 1 promises that can be
+   checked without the graph. For version-2 compact tables that is
+   almost everything — the spec must parse, its embedded vertex count
+   must agree with the header's [n], and nothing may follow the
+   header. Per-edge validation still needs the graph and stays in
+   [certify_routing_file]. *)
+let certify_routing_header path =
+  let fail ?where fmt =
+    Printf.ksprintf (fun message -> Error [ { artifact = path; where; message } ]) fmt
+  in
+  let where = Some "line 1" in
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> fail "%s" msg
+  | text -> (
+      match String.split_on_char '\n' (String.trim text) with
+      | [] | [ "" ] -> fail "empty routing file"
+      | header :: rest -> (
+          let vertex_count n_str k =
+            match int_of_string_opt n_str with
+            | None -> fail ?where "vertex count %S is not an integer" n_str
+            | Some n when n < 0 -> fail ?where "negative vertex count %d" n
+            | Some n -> k n
+          in
+          let kind kind_str k =
+            match Routing_io.kind_of_tag kind_str with
+            | None -> fail ?where "unknown kind %S (expected uni or bi)" kind_str
+            | Some _ -> k ()
+          in
+          match String.split_on_char ' ' header with
+          | [ "ftr-routing"; "2"; n_str; kind_str; "compact"; spec ] ->
+              vertex_count n_str (fun n ->
+                  kind kind_str (fun () ->
+                      if List.exists (fun l -> String.trim l <> "") rest then
+                        fail ?where
+                          "compact routing file must be a single header line"
+                      else
+                        match Compact.of_spec ~n spec with
+                        | Error e -> fail ?where "bad compact spec: %s" e
+                        | Ok _ ->
+                            Ok (Printf.sprintf "v2 compact, n=%d, %s" n kind_str)))
+          | [ "ftr-routing"; "1"; n_str; kind_str ] ->
+              vertex_count n_str (fun n ->
+                  kind kind_str (fun () ->
+                      Ok (Printf.sprintf "v1 rows, n=%d, %s" n kind_str)))
+          | "ftr-routing" :: version :: _ ->
+              fail ?where "unknown ftr-routing version %S" version
+          | _ -> fail ?where "not an ftr-routing header"))
+
 let certify_routing_file ~graph path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error msg -> (0, [ { artifact = path; where = None; message = msg } ])

@@ -56,6 +56,16 @@ val certify_corpus_files :
 val certify_corpus_paths : build:build -> string list -> outcome
 (** Load and certify corpus files and/or directories of them. *)
 
+val certify_routing_header : string -> (string, problem list) result
+(** Graph-free certification of an ftr-routing file's header line.
+    Versions 1 and 2 are recognised; for the version-2 compact header
+    ([ftr-routing 2 <n> <kind> compact <spec>]) the spec must parse,
+    its embedded vertex count must equal the header's [n], the kind
+    tag must be known, and no non-blank rows may follow. Problems
+    carry [where = Some "line 1"] so {!pp_problem} prints file:line.
+    On success returns a short description of the header (e.g.
+    ["v2 compact, n=16, bi"]). *)
+
 val certify_routing_file : graph:Graph.t -> string -> int * problem list
 (** Certify one ftr-routing file against its graph. Returns the number
     of routes certified and any problems; parse failures carry the

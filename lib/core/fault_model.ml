@@ -104,6 +104,9 @@ let endpoint_projection t =
   let s = Bitset.copy t.nodes in
   Hashtbl.iter (fun (u, _) () -> Bitset.add s u) t.edges;
   s
+[@@lint.ordered
+  "Bitset.add is commutative and idempotent: the projected set is \
+   independent of the table's iteration order"]
 
 let surviving routing t =
   let b = Digraph.Builder.create (Graph.n t.g) in

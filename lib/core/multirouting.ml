@@ -21,7 +21,10 @@ let add t p =
   install t (Path.rev p)
 
 let route_count t = Hashtbl.fold (fun _ ps acc -> acc + List.length ps) t.table 0
+[@@lint.ordered "integer addition is commutative and associative"]
+
 let max_width t = Hashtbl.fold (fun _ ps acc -> max acc (List.length ps)) t.table 0
+[@@lint.ordered "max over ints is commutative and associative"]
 
 let surviving t ~faults =
   let b = Digraph.Builder.create (Graph.n t.g) in
@@ -31,6 +34,9 @@ let surviving t ~faults =
         Digraph.Builder.add_arc b src dst)
     t.table;
   Digraph.Builder.to_digraph b
+[@@lint.ordered
+  "Digraph.of_edges sort_uniqs every adjacency list, so the digraph is \
+   independent of arc insertion order"]
 
 let diameter t ~faults = Surviving.diameter_of_digraph (surviving t ~faults) ~faults
 

@@ -27,6 +27,11 @@
 
 open Ftr_graph
 
+val kind_of_tag : string -> Routing.kind option
+(** Parse a header kind tag: ["uni"] or ["bi"]. Exposed so header-only
+    certifiers ({!Ftr_analysis.Certify}) agree with the loader on what
+    counts as a known kind. *)
+
 val save : Buffer.t -> Routing.t -> unit
 
 val to_string : Routing.t -> string

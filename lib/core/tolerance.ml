@@ -462,7 +462,7 @@ let random_subset rng n f =
     let pick = if Hashtbl.mem chosen r then j else r in
     Hashtbl.replace chosen pick ()
   done;
-  Hashtbl.fold (fun v () acc -> v :: acc) chosen []
+  Hashtbl.fold (fun v () acc -> v :: acc) chosen [] |> List.sort Int.compare
 
 let random ?jobs ?engine routing ~f ~rng ~samples =
   let n = Graph.n (Routing.graph routing) in

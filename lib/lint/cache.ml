@@ -1,0 +1,187 @@
+(* Per-file lint result cache.
+
+   Keyed on (source digest, rules version, config fingerprint): a file
+   whose bytes have not changed gets its previous diagnostics replayed
+   without reading a typedtree, so warm CI runs pay only a digest per
+   file. The rules version and config fingerprint live in the header —
+   any rules or config change throws the whole cache away, which is
+   the correct granularity (rule semantics are global).
+
+   Format, one record per line, written sorted by path:
+
+     ftr-lint-cache/2 <rules_version> <config_fingerprint>
+     F <source_digest_hex> <path>
+     D <rule> <line> <col> <end_line> <end_col> <fingerprint> <msg>
+     S <rule> <line> <col> <end_line> <end_col> <fingerprint> <just> <msg>
+
+   D/S lines belong to the preceding F line. Message and
+   justification fields are escaped so they cannot contain spaces or
+   newlines; every other field is space-free by construction. A
+   malformed or version-mismatched file is treated as an empty cache,
+   never an error: the cache is an accelerator, not a correctness
+   dependency. *)
+
+type entry = {
+  digest : string; (* hex MD5 of the source bytes *)
+  diags : Diagnostic.t list;
+  suppressed : Diagnostic.suppressed list;
+}
+
+type t = (string, entry) Hashtbl.t (* path -> entry *)
+
+let create () : t = Hashtbl.create 64
+
+(* \xHH for space, backslash and control bytes: round-trips any
+   message through the space-separated line format. *)
+let encode s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\\' || Char.code c < 0x20 then
+        Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+      else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let decode s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let escaped =
+      if s.[!i] = '\\' && !i + 3 < n && s.[!i + 1] = 'x' then
+        int_of_string_opt ("0x" ^ String.sub s (!i + 2) 2)
+      else None
+    in
+    match escaped with
+    | Some code ->
+        Buffer.add_char buf (Char.chr code);
+        i := !i + 4
+    | None ->
+        Buffer.add_char buf s.[!i];
+        incr i
+  done;
+  Buffer.contents buf
+
+let header ~config_fp =
+  Printf.sprintf "ftr-lint-cache/2 %s %s" Rules.rules_version config_fp
+
+(* [Exit] on malformed integers lands in the load loop's handler,
+   which drops the whole cache. *)
+let int_field s = match int_of_string_opt s with Some i -> i | None -> raise Exit
+
+let diag_of_fields ~file rule line col eline ecol fp msg =
+  {
+    Diagnostic.rule;
+    file;
+    line = int_field line;
+    col = int_field col;
+    end_line = int_field eline;
+    end_col = int_field ecol;
+    fingerprint = (if fp = "-" then "" else fp);
+    message = decode msg;
+  }
+
+let load ~config_fp path : t =
+  let cache = create () in
+  (match open_in path with
+  | exception Sys_error _ -> ()
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match input_line ic with
+          | exception End_of_file -> ()
+          | first when first <> header ~config_fp -> ()
+          | _ -> (
+              let current = ref None in
+              let flush () =
+                match !current with
+                | None -> ()
+                | Some (p, digest, diags, supp) ->
+                    Hashtbl.replace cache p
+                      {
+                        digest;
+                        diags = List.rev diags;
+                        suppressed = List.rev supp;
+                      }
+              in
+              try
+                while true do
+                  let line = input_line ic in
+                  match String.split_on_char ' ' line with
+                  | [ "F"; digest; p ] ->
+                      flush ();
+                      current := Some (decode p, digest, [], [])
+                  | [ "D"; rule; l; c; el; ec; fp; msg ] -> (
+                      match !current with
+                      | None -> raise Exit
+                      | Some (p, digest, diags, supp) ->
+                          let d =
+                            diag_of_fields ~file:p rule l c el ec fp msg
+                          in
+                          current := Some (p, digest, d :: diags, supp))
+                  | [ "S"; rule; l; c; el; ec; fp; just; msg ] -> (
+                      match !current with
+                      | None -> raise Exit
+                      | Some (p, digest, diags, supp) ->
+                          let d =
+                            diag_of_fields ~file:p rule l c el ec fp msg
+                          in
+                          let s =
+                            { Diagnostic.diag = d; justification = decode just }
+                          in
+                          current := Some (p, digest, diags, s :: supp))
+                  | _ -> raise Exit
+                done
+              with
+              | End_of_file -> flush ()
+              | Exit | Failure _ ->
+                  (* Malformed record: drop everything — a partial
+                     cache could silently hide findings. *)
+                  Hashtbl.reset cache)));
+  cache
+
+let find (cache : t) ~file ~digest =
+  match Hashtbl.find_opt cache file with
+  | Some e when e.digest = digest -> Some (e.diags, e.suppressed)
+  | _ -> None
+
+let store (cache : t) ~file ~digest diags suppressed =
+  Hashtbl.replace cache file { digest; diags; suppressed }
+
+let diag_fields (d : Diagnostic.t) =
+  Printf.sprintf "%s %d %d %d %d %s %s" d.rule d.line d.col d.end_line
+    d.end_col
+    (if d.fingerprint = "" then "-" else d.fingerprint)
+    (encode d.message)
+
+let save (cache : t) ~config_fp path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (header ~config_fp);
+      output_char oc '\n';
+      let entries =
+        Hashtbl.fold (fun p e acc -> (p, e) :: acc) cache []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        (* [@lint.ordered "sorted by path before writing"] *)
+      in
+      List.iter
+        (fun (p, e) ->
+          Printf.fprintf oc "F %s %s\n" e.digest (encode p);
+          List.iter
+            (fun d -> Printf.fprintf oc "D %s\n" (diag_fields d))
+            e.diags;
+          List.iter
+            (fun (s : Diagnostic.suppressed) ->
+              Printf.fprintf oc "S %s %d %d %d %d %s %s %s\n" s.diag.rule
+                s.diag.line s.diag.col s.diag.end_line s.diag.end_col
+                (if s.diag.fingerprint = "" then "-" else s.diag.fingerprint)
+                (encode s.justification)
+                (encode s.diag.message))
+            e.suppressed)
+        entries);
+  Sys.rename tmp path

@@ -1,0 +1,26 @@
+(** Per-file lint result cache, keyed on source digest + rules
+    version + config fingerprint. A version or config change discards
+    the whole cache; a malformed file loads as empty (the cache is an
+    accelerator, never a correctness dependency). Cold and warm runs
+    produce identical reports by construction: a hit replays the
+    exact diagnostics the cold run stored. *)
+
+type t
+
+val create : unit -> t
+
+val load : config_fp:string -> string -> t
+(** Read a cache file; empty on missing, malformed, or
+    version/config mismatch. *)
+
+val find :
+  t -> file:string -> digest:string ->
+  (Diagnostic.t list * Diagnostic.suppressed list) option
+(** Hit only when the stored source digest matches. *)
+
+val store :
+  t -> file:string -> digest:string ->
+  Diagnostic.t list -> Diagnostic.suppressed list -> unit
+
+val save : t -> config_fp:string -> string -> unit
+(** Write atomically (tmp + rename), entries sorted by path. *)

@@ -1,18 +1,25 @@
 (* Diagnostics for the ftr-lint static-analysis pass.
 
-   A diagnostic pins a rule violation to a source span. Rendering is
-   deterministic: diagnostics sort by (file, line, col, rule) so the
-   human listing and the ftr-lint/1 JSON are stable across runs and
-   [--jobs] values, like every other machine-readable artifact in the
-   repo. *)
+   A diagnostic pins a rule violation to a source span and carries a
+   *fingerprint*: a short content hash of (rule, file basename,
+   trimmed text of the flagged line, same-line occurrence index).
+   Line and column numbers drift every time code is inserted above a
+   finding; the fingerprint does not, so suppression baselines and
+   cached results survive ordinary edits elsewhere in the file.
+
+   Rendering is deterministic: diagnostics sort by (file, line, col,
+   rule) so the human listing and the ftr-lint/2 JSON are stable
+   across runs and [--jobs] values, like every other machine-readable
+   artifact in the repo. *)
 
 type t = {
-  rule : string;  (* "L1".."L5", or "L0" for lint-usage errors *)
+  rule : string;  (* "L1".."L8"; "L0" usage, "P0" parse, "T0" typing *)
   file : string;
   line : int;  (* 1-based *)
   col : int;  (* 0-based, matching compiler locations *)
   end_line : int;
   end_col : int;
+  fingerprint : string;  (* 12 hex chars, line-drift stable *)
   message : string;
 }
 
@@ -20,6 +27,9 @@ type suppressed = { diag : t; justification : string }
 
 type report = {
   files_scanned : int;
+  files_cached : int;
+      (* served from the lint cache; informational only — never
+         serialized, so cold and warm runs emit identical JSON *)
   diagnostics : t list;  (* unsuppressed: these fail the build *)
   suppressions : suppressed list;  (* allowed by [@lint.allow "Lx: why"] *)
 }
@@ -30,7 +40,18 @@ let compare_diag a b =
 
 let sort ds = List.sort compare_diag ds
 
-let of_location ~rule ~message (loc : Location.t) =
+(* The preimage deliberately excludes the directory (reports must
+   survive a file moving between trees with the same basename, as
+   fixture copies in tests do) and the line *number* (the whole
+   point). [index] disambiguates repeated identical lines. *)
+let fingerprint ~rule ~file ~line_text ~index =
+  let preimage =
+    String.concat "\x00"
+      [ rule; Filename.basename file; String.trim line_text; string_of_int index ]
+  in
+  String.sub (Digest.to_hex (Digest.string preimage)) 0 12
+
+let of_location ~rule ~message ?(fingerprint = "") (loc : Location.t) =
   {
     rule;
     file = loc.loc_start.pos_fname;
@@ -38,6 +59,7 @@ let of_location ~rule ~message (loc : Location.t) =
     col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
     end_line = loc.loc_end.pos_lnum;
     end_col = loc.loc_end.pos_cnum - loc.loc_end.pos_bol;
+    fingerprint;
     message;
   }
 
@@ -64,14 +86,15 @@ let json_escape s =
 let diag_fields d =
   Printf.sprintf
     "\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \"col\": %d, \
-     \"end_line\": %d, \"end_col\": %d, \"message\": \"%s\""
+     \"end_line\": %d, \"end_col\": %d, \"fingerprint\": \"%s\", \
+     \"message\": \"%s\""
     (json_escape d.rule) (json_escape d.file) d.line d.col d.end_line d.end_col
-    (json_escape d.message)
+    (json_escape d.fingerprint) (json_escape d.message)
 
 let to_json report =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"format\": \"ftr-lint/1\",\n";
+  Buffer.add_string buf "  \"format\": \"ftr-lint/2\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"files_scanned\": %d,\n" report.files_scanned);
   let emit_list name render items =

@@ -1,18 +1,24 @@
-(** Diagnostics and the [ftr-lint/1] report format.
+(** Diagnostics and the [ftr-lint/2] report format.
 
     A diagnostic pins a rule violation to a source span; a report
     bundles the unsuppressed diagnostics (which fail the build) with
     the [@lint.allow]-suppressed ones and their justifications.
+    Each finding carries a line-drift-stable fingerprint (hash of
+    rule, file basename, flagged-line text, occurrence index), so
+    baselines and caches survive edits elsewhere in the file.
     Rendering is deterministic: diagnostics sort by
     (file, line, col, rule). *)
 
 type t = {
-  rule : string;  (** "L1".."L5"; "L0" for lint-usage errors, "P0" for parse errors *)
+  rule : string;
+      (** "L1".."L8"; "L0" for lint-usage errors, "P0" for parse
+          errors, "T0" for typing errors *)
   file : string;
   line : int;  (** 1-based *)
   col : int;  (** 0-based, matching compiler locations *)
   end_line : int;
   end_col : int;
+  fingerprint : string;  (** 12 hex chars; see {!fingerprint} *)
   message : string;
 }
 
@@ -20,11 +26,23 @@ type suppressed = { diag : t; justification : string }
 
 type report = {
   files_scanned : int;
+  files_cached : int;
+      (** how many files were served from the lint cache —
+          informational, never serialized into the JSON, so cold and
+          warm runs emit byte-identical reports *)
   diagnostics : t list;
   suppressions : suppressed list;
 }
 
-val of_location : rule:string -> message:string -> Location.t -> t
+val fingerprint :
+  rule:string -> file:string -> line_text:string -> index:int -> string
+(** First 12 hex chars of the MD5 of
+    [rule / basename file / trimmed line_text / occurrence index].
+    Stable under line insertion/deletion elsewhere in the file and
+    under directory moves. *)
+
+val of_location :
+  rule:string -> message:string -> ?fingerprint:string -> Location.t -> t
 
 val sort : t list -> t list
 
@@ -32,4 +50,4 @@ val pp_human : Format.formatter -> t -> unit
 (** [file:line:col: [rule] message] — one line, editor-clickable. *)
 
 val to_json : report -> string
-(** The [ftr-lint/1] JSON document (see DESIGN.md section 10). *)
+(** The [ftr-lint/2] JSON document (see DESIGN.md section 15). *)

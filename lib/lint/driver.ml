@@ -1,4 +1,11 @@
-(* File discovery, parsing, and report assembly for ftr-lint. *)
+(* File discovery, typedtree loading, caching, and report assembly
+   for ftr-lint v2.
+
+   Per file: digest the source, consult the cache (a hit skips even
+   the .cmt read), otherwise load a typedtree (Typed_load) and run the
+   rules over it. Parse/typing failures become P0/T0 diagnostics — a
+   file the lint cannot analyse fails the gate rather than silently
+   passing it. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -6,36 +13,39 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let parse_source ~file source =
-  let lexbuf = Lexing.from_string source in
-  Location.init lexbuf file;
-  match Parse.implementation lexbuf with
-  | ast -> Ok ast
-  | exception exn ->
-      let message =
-        match Location.error_of_exn exn with
-        | Some (`Ok report) -> Format.asprintf "%a" Location.print_report report
-        | _ -> Printexc.to_string exn
-      in
-      Error message
+let error_diag ~rule ~file message =
+  {
+    Diagnostic.rule;
+    file;
+    line = 1;
+    col = 0;
+    end_line = 1;
+    end_col = 0;
+    fingerprint = "";
+    message;
+  }
 
-let lint_file ?(config = Rules.default_config) file =
+let lint_source ~config ~cmt_root ~file ~source =
+  match Typed_load.load ~cmt_root ~file ~source with
+  | Error (Typed_load.Parse msg) ->
+      ([ error_diag ~rule:"P0" ~file ("parse error: " ^ msg) ], [])
+  | Error (Typed_load.Typing msg) ->
+      ([ error_diag ~rule:"T0" ~file ("typing error: " ^ msg) ], [])
+  | Ok loaded ->
+      Rules.run ~config ~file ~source ~resolve:loaded.Typed_load.resolve
+        loaded.Typed_load.structure
+
+let lint_file ?(config = Rules.default_config) ?cmt_root file =
+  let cmt_root =
+    match cmt_root with Some _ as r -> r | None -> Typed_load.default_cmt_root ()
+  in
   let source = read_file file in
-  match parse_source ~file source with
-  | Error message ->
-      ( [
-          {
-            Diagnostic.rule = "P0";
-            file;
-            line = 1;
-            col = 0;
-            end_line = 1;
-            end_col = 0;
-            message = "parse error: " ^ String.trim message;
-          };
-        ],
-        [] )
-  | Ok structure -> Rules.run ~config ~file ~source structure
+  lint_source ~config ~cmt_root ~file ~source
+
+let normalize_path p =
+  if String.length p > 2 && String.sub p 0 2 = "./" then
+    String.sub p 2 (String.length p - 2)
+  else p
 
 (* Recursively collect the .ml files under each path (a path may also
    name a single file). Hidden directories and _build are skipped; the
@@ -53,22 +63,48 @@ let collect_files paths =
             && entry <> "node_modules"
           then visit (Filename.concat path entry))
         (Sys.readdir path)
-    else if Filename.check_suffix path ".ml" then files := path :: !files
+    else if Filename.check_suffix path ".ml" then
+      files := normalize_path path :: !files
   in
   List.iter visit paths;
   List.sort String.compare !files
 
-let lint_paths ?(config = Rules.default_config) paths =
+let lint_paths ?(config = Rules.default_config) ?cache_file ?cmt_root paths =
+  let cmt_root =
+    match cmt_root with Some _ as r -> r | None -> Typed_load.default_cmt_root ()
+  in
+  let config_fp = Rules.config_fingerprint config in
+  let cache =
+    match cache_file with
+    | None -> Cache.create ()
+    | Some path -> Cache.load ~config_fp path
+  in
   let files = collect_files paths in
+  let cached = ref 0 in
   let diagnostics, suppressions =
     List.fold_left
       (fun (ds, ss) file ->
-        let d, s = lint_file ~config file in
+        let source = read_file file in
+        let digest = Digest.to_hex (Digest.string source) in
+        let d, s =
+          match Cache.find cache ~file ~digest with
+          | Some hit ->
+              incr cached;
+              hit
+          | None ->
+              let d, s = lint_source ~config ~cmt_root ~file ~source in
+              Cache.store cache ~file ~digest d s;
+              (d, s)
+        in
         (ds @ d, ss @ s))
       ([], []) files
   in
+  (match cache_file with
+  | Some path -> Cache.save cache ~config_fp path
+  | None -> ());
   {
     Diagnostic.files_scanned = List.length files;
+    files_cached = !cached;
     diagnostics = Diagnostic.sort diagnostics;
     suppressions;
   }

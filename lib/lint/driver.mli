@@ -1,16 +1,29 @@
-(** File discovery and report assembly for ftr-lint. *)
+(** File discovery, typedtree loading, caching, and report assembly
+    for ftr-lint v2. *)
 
 val lint_file :
   ?config:Rules.config ->
+  ?cmt_root:string ->
   string ->
   Diagnostic.t list * Diagnostic.suppressed list
 (** Lint one [.ml] file. A file that fails to parse yields a single
-    ["P0"] diagnostic rather than an exception. *)
+    ["P0"] diagnostic, a file that fails to typecheck a ["T0"],
+    rather than an exception. [cmt_root] defaults to
+    {!Typed_load.default_cmt_root}. *)
 
 val collect_files : string list -> string list
 (** The [.ml] files under the given files/directories (recursive,
-    skipping [_build] and hidden directories), sorted. *)
+    skipping [_build] and hidden directories), sorted, with leading
+    ["./"] stripped so paths match [.cmt] source names. *)
 
-val lint_paths : ?config:Rules.config -> string list -> Diagnostic.report
+val lint_paths :
+  ?config:Rules.config ->
+  ?cache_file:string ->
+  ?cmt_root:string ->
+  string list ->
+  Diagnostic.report
 (** Lint every [.ml] file under the given paths and assemble the
-    sorted [ftr-lint/1] report. *)
+    sorted [ftr-lint/2] report. With [cache_file], per-file results
+    are replayed for unchanged sources and the updated cache is
+    written back atomically; cold and warm runs produce identical
+    reports. *)

@@ -1,17 +1,30 @@
-(* The five ftr-specific lint rules, run over a file's parsetree.
+(* The ftr-specific lint rules, run over a file's *typedtree*.
 
-   Everything here is syntactic: the pass never type-checks, so each
-   rule is written to be conservative on the patterns this repo
-   actually uses (see DESIGN.md section 10 for the contract of each
-   rule and its known blind spots).
+   v2 of the pass (DESIGN.md section 15): every rule sees resolved
+   paths and real types, so L1 no longer misses a locally rebound
+   [List.hd], L2 detects float ordering from [Types.type_expr] instead
+   of syntactic guesses, and the new dataflow layer (L6/L7) tracks
+   values through let-bindings, returns and a one-level call summary.
 
-   Suppression: any expression, value binding or structure item may
-   carry [@lint.allow "Lx: justification"]. The rule id must be
-   followed by a colon and a non-empty justification; a bare
-   [@lint.allow "Lx"] is itself an error (rule L0), so every accepted
-   risk is documented at the site that takes it. *)
+   Rules:
+   - L1 partiality; L2 float/bare-compare ordering; L4 unsafe-op
+     containment; L5 literal Obs names — ported from v1, now resolved
+     and (L2) type-aware.
+   - L6 determinism-taint: iteration-order and environment sources
+     must not reach Sjson/digest/counter sinks or Par merges.
+   - L7 domain-race: type-detected mutable state captured by a Par
+     task and mutated through a helper call (what the old syntactic
+     L3 provably missed). L3 keeps the direct-mutation checks, now on
+     resolved names and Ident stamps.
+   - L8 exit-code contract for files under [bin_paths].
 
-open Parsetree
+   Suppression: any expression or value binding may carry
+   [@lint.allow "Lx: justification"]. A provably ordered fold carries
+   [@lint.ordered "proof"] instead, which records a justified L6
+   suppression and cuts the taint. A missing justification is itself
+   an error (rule L0). *)
+
+open Typedtree
 
 type config = {
   rules : string list;  (* enabled rule ids *)
@@ -23,15 +36,19 @@ type config = {
          provided the enclosing definition carries a
          "(* bounds: ... *)" proof comment *)
   unsafe_bigarray_ok : string list;
-      (* L4 containment for Bigarray unsafe accessors specifically.
-         They are kept on a separate, tighter allowlist than plain
-         [unsafe_ok]: an out-of-bounds Bigarray access is a wild
-         off-heap read/write, not merely a heap-corrupting one, so a
-         file cleared for Array.unsafe_* is not thereby cleared for
-         Bigarray.*.unsafe_*. Same proof-comment requirement. *)
+      (* L4 containment for Bigarray unsafe accessors specifically:
+         a separate, tighter allowlist than [unsafe_ok] (out-of-bounds
+         Bigarray access is a wild off-heap read/write). *)
+  bin_paths : string list;
+      (* L8: directories whose files are executable entry points and
+         owe the documented exit-code contract (0/1/2/3). *)
 }
 
-let all_rules = [ "L1"; "L2"; "L3"; "L4"; "L5" ]
+let all_rules = [ "L1"; "L2"; "L3"; "L4"; "L5"; "L6"; "L7"; "L8" ]
+
+(* Bumped whenever a rule's semantics change: cached per-file results
+   are keyed on it, so a rules change invalidates every cache. *)
+let rules_version = "2.0.0"
 
 let default_config =
   {
@@ -39,6 +56,7 @@ let default_config =
     allow_partial = [];
     unsafe_ok = [ "lib/graph/bitset.ml"; "lib/core/surviving.ml" ];
     unsafe_bigarray_ok = [ "lib/core/surviving.ml" ];
+    bin_paths = [ "bin" ];
   }
 
 let path_matches file suffix =
@@ -47,48 +65,86 @@ let path_matches file suffix =
      && String.ends_with ~suffix file
      && file.[String.length file - String.length suffix - 1] = '/')
 
+let path_under dir file =
+  file = dir
+  || String.starts_with ~prefix:(dir ^ "/") file
+  || path_matches file dir
+
+let config_fingerprint c =
+  let fields =
+    ("rules" :: c.rules)
+    @ ("allow_partial" :: c.allow_partial)
+    @ ("unsafe_ok" :: c.unsafe_ok)
+    @ ("unsafe_bigarray_ok" :: c.unsafe_bigarray_ok)
+    @ ("bin_paths" :: c.bin_paths)
+  in
+  String.sub (Digest.to_hex (Digest.string (String.concat "\x00" fields))) 0 12
+
 (* ------------------------------------------------------------------ *)
-(* Shared syntactic helpers                                           *)
+(* Resolved-name helpers                                              *)
 (* ------------------------------------------------------------------ *)
 
-let flat_ident e =
-  match e.pexp_desc with
-  | Pexp_ident { txt; _ } -> (
-      match Longident.flatten txt with
-      | exception _ -> None
-      | parts -> Some (String.concat "." parts))
-  | _ -> None
+(* "Ftr_core__Par" -> ["Ftr_core"; "Par"]: dune's wrapped-library
+   mangling must not hide a module from name matching. *)
+let split_dunder s =
+  let n = String.length s in
+  let rec go start i acc =
+    if i + 1 >= n then List.rev (String.sub s start (n - start) :: acc)
+    else if s.[i] = '_' && s.[i + 1] = '_' then
+      go (i + 2) (i + 2) (String.sub s start (i - start) :: acc)
+    else go start (i + 1) acc
+  in
+  if n = 0 then [] else go 0 0 []
 
-let strip_stdlib name =
-  match String.split_on_char '.' name with
-  | "Stdlib" :: rest when rest <> [] -> String.concat "." rest
-  | _ -> name
+let components name =
+  let parts =
+    List.concat_map split_dunder (String.split_on_char '.' name)
+    |> List.filter (fun s -> s <> "")
+  in
+  match parts with "Stdlib" :: rest when rest <> [] -> rest | parts -> parts
 
-let last_component name =
-  match List.rev (String.split_on_char '.' name) with
-  | last :: _ -> last
+(* Canonical spelling of a resolved path: components joined by ".",
+   [Stdlib] and library-wrapper prefixes stripped. *)
+let norm name = String.concat "." (components name)
+
+(* The last module.value pair: matches repo modules however the
+   library wrapper qualifies them ("Ftr_core.Par.run", fixture-local
+   "Par.run" -> "Par.run"). *)
+let last2 name =
+  match List.rev (components name) with
+  | f :: m :: _ -> m ^ "." ^ f
+  | [ x ] -> x
   | [] -> name
 
-let module_prefix name =
-  match String.split_on_char '.' name with
-  | [ _ ] -> None
-  | m :: _ -> Some m
-  | [] -> None
+let last_component name =
+  match List.rev (components name) with x :: _ -> x | [] -> name
+
+let path_of e =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some p | _ -> None
+
+let resolved_name e = Option.map (fun p -> norm (Path.name p)) (path_of e)
 
 (* The base identifier under a chain of field projections: for
-   [state.tbl] that is [state]. Used by L3 to decide whether a mutated
-   value is captured. *)
-let rec head_ident e =
-  match e.pexp_desc with
-  | Pexp_ident { txt = Longident.Lident x; _ } -> Some x
-  | Pexp_field (e, _) -> head_ident e
-  | Pexp_constraint (e, _) -> head_ident e
+   [state.tbl] that is [state]. *)
+let rec head_id e =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> Some id
+  | Texp_field (e, _, _) -> head_id e
   | _ -> None
 
-let string_const e =
-  match e.pexp_desc with
-  | Pexp_constant (Pconst_string (s, _, _)) -> Some s
-  | _ -> None
+let uname = Ident.unique_name
+
+module SSet = Set.Make (String)
+
+let positional args =
+  List.filter_map
+    (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+    args
+
+let arg_exprs args = List.filter_map (fun (_, a) -> a) args
+
+let tcase_parts (type k) (c : k Typedtree.case) =
+  (Typedtree.pat_bound_idents c.c_lhs, c.c_guard, c.c_rhs)
 
 (* ------------------------------------------------------------------ *)
 (* Suppression attributes                                             *)
@@ -96,21 +152,25 @@ let string_const e =
 
 type allow = { rule : string; justification : string option; at : Location.t }
 
-let allows_of_attributes (attrs : attributes) =
+let string_payload (a : Parsetree.attribute) =
+  match a.attr_payload with
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+      match e.pexp_desc with
+      | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+      | _ -> None)
+  | _ -> None
+
+let allows_of_attributes (attrs : Parsetree.attributes) =
   List.filter_map
-    (fun a ->
+    (fun (a : Parsetree.attribute) ->
       if a.attr_name.txt <> "lint.allow" then None
       else
-        let payload =
-          match a.attr_payload with
-          | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> string_const e
-          | _ -> None
-        in
-        match payload with
+        match string_payload a with
         | None -> Some { rule = "?"; justification = None; at = a.attr_loc }
         | Some s -> (
             match String.index_opt s ':' with
-            | None -> Some { rule = String.trim s; justification = None; at = a.attr_loc }
+            | None ->
+                Some { rule = String.trim s; justification = None; at = a.attr_loc }
             | Some i ->
                 let rule = String.trim (String.sub s 0 i) in
                 let just =
@@ -120,12 +180,19 @@ let allows_of_attributes (attrs : attributes) =
                 Some { rule; justification; at = a.attr_loc }))
     attrs
 
+(* [@lint.ordered "proof"]: the L6 escape hatch for provably
+   key-sorted (or commutative) folds. Returns (proof, attr loc). *)
+let ordered_of (attrs : Parsetree.attributes) =
+  List.find_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt <> "lint.ordered" then None
+      else Some (string_payload a, a.attr_loc))
+    attrs
+
 (* ------------------------------------------------------------------ *)
-(* Rule L1: partiality                                                *)
+(* Rule tables                                                        *)
 (* ------------------------------------------------------------------ *)
 
-(* Partial operations with total *_opt (or matched) replacements; the
-   crash classes PR 4's sweep found reaching users. *)
 let l1_banned =
   [
     ("Option.get", "match on the option (Option.value / explicit branch)");
@@ -138,73 +205,8 @@ let l1_banned =
     ("bool_of_string", "bool_of_string_opt");
   ]
 
-let l1_check_ident name =
-  let name = strip_stdlib name in
-  List.assoc_opt name l1_banned
-  |> Option.map (fun subst ->
-         Printf.sprintf "partial `%s` (use %s)" name subst)
-
-let is_raise_not_found f args =
-  match flat_ident f with
-  | Some ("raise" | "Stdlib.raise" | "raise_notrace" | "Stdlib.raise_notrace") -> (
-      match args with
-      | [ (Asttypes.Nolabel, arg) ] -> (
-          match arg.pexp_desc with
-          | Pexp_construct ({ txt; _ }, None) -> (
-              match Longident.flatten txt with
-              | [ "Not_found" ] | [ "Stdlib"; "Not_found" ] -> true
-              | _ -> false
-              | exception _ -> false)
-          | _ -> false)
-      | _ -> false)
-  | _ -> false
-
-(* ------------------------------------------------------------------ *)
-(* Rule L2: polymorphic ordering at float type                        *)
-(* ------------------------------------------------------------------ *)
-
-let float_returning =
-  [
-    "+."; "-."; "*."; "/."; "**"; "~-."; "~+."; "float_of_int"; "float_of_string";
-    "abs_float"; "sqrt"; "exp"; "log"; "log10"; "cos"; "sin"; "tan"; "atan";
-    "atan2"; "ceil"; "floor"; "mod_float"; "min_float"; "max_float";
-  ]
-
-(* Syntactic evidence that an expression is a float (or a float list /
-   array literal). No types: this under-approximates, which is the
-   right direction for a lint that gates CI. *)
-let rec is_floaty e =
-  match e.pexp_desc with
-  | Pexp_constant (Pconst_float _) -> true
-  | Pexp_apply (f, _) -> (
-      match flat_ident f with
-      | Some name ->
-          let name = strip_stdlib name in
-          List.mem name float_returning
-          || (match module_prefix name with Some "Float" -> true | _ -> false)
-      | None -> false)
-  | Pexp_constraint (_, t) -> (
-      match t.ptyp_desc with
-      | Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []) -> true
-      | _ -> false)
-  | Pexp_construct ({ txt = Longident.Lident "::"; _ }, Some arg) -> (
-      match arg.pexp_desc with
-      | Pexp_tuple [ hd; _ ] -> is_floaty hd
-      | _ -> false)
-  | Pexp_array (hd :: _) -> is_floaty hd
-  | Pexp_ifthenelse (_, e1, _) -> is_floaty e1
-  | Pexp_let (_, _, body) | Pexp_sequence (_, body) -> is_floaty body
-  | _ -> false
-
 let l2_poly_order = [ "compare"; "min"; "max" ]
 
-(* The sort entry points proper: a bare polymorphic `compare` handed
-   to one of these is flagged unconditionally — the float case is just
-   the worst instance (NaN breaks the total order); on every type it
-   is slower than the monomorphic comparator and hides the intended
-   key. sort_uniq/merge stay on the float-evidence path below: they
-   are pervasively (and harmlessly) used with `compare` on small int
-   lists for set-like normalisation. *)
 let l2_sort_fns =
   [
     "List.sort"; "List.stable_sort"; "List.fast_sort";
@@ -213,90 +215,136 @@ let l2_sort_fns =
 
 let l2_sorters = [ "List.sort_uniq"; "List.merge" ] @ l2_sort_fns
 
-let is_bare_compare e =
-  match flat_ident e with
-  | Some name -> strip_stdlib name = "compare"
-  | None -> false
-
-(* ------------------------------------------------------------------ *)
-(* Rule L4: unsafe-op containment                                     *)
-(* ------------------------------------------------------------------ *)
-
-let l4_unsafe_name name =
-  let name = strip_stdlib name in
-  if name = "Obj.magic" then true
-  else String.starts_with ~prefix:"unsafe_" (last_component name)
-
-(* Syntactic classification of an unsafe op as a Bigarray accessor:
-   some component of the module path names the Bigarray layer (the
-   array-kind submodules occur both qualified [Bigarray.Array1] and
-   opened/aliased [Array1]). *)
 let l4_bigarray_modules = [ "Bigarray"; "Array1"; "Array2"; "Array3"; "Genarray" ]
-
-let l4_is_bigarray name =
-  match List.rev (String.split_on_char '.' (strip_stdlib name)) with
-  | _ :: modpath -> List.exists (fun m -> List.mem m l4_bigarray_modules) modpath
-  | [] -> false
-
-(* ------------------------------------------------------------------ *)
-(* Rule L5: observability names must be literals                      *)
-(* ------------------------------------------------------------------ *)
 
 let l5_registrars = [ "Obs.counter"; "Obs.gauge"; "Obs.span"; "Obs.with_span" ]
 
-(* ------------------------------------------------------------------ *)
-(* Rule L3: Par capture-safety                                        *)
-(* ------------------------------------------------------------------ *)
-
-(* Entry points whose closure arguments run on other domains. *)
 let l3_fanouts = [ "Par.run"; "Par.map"; "Par.chunk" ]
-
-(* Modules whose operations are domain-safe on captured state. *)
 let l3_safe_modules = [ "Atomic"; "Obs"; "Domain" ]
-
 let l3_mutators_by_module = [ "Hashtbl"; "Buffer"; "Queue"; "Stack" ]
 
-let rec pattern_vars p acc =
-  match p.ppat_desc with
-  | Ppat_var { txt; _ } -> txt :: acc
-  | Ppat_alias (p, { txt; _ }) -> pattern_vars p (txt :: acc)
-  | Ppat_tuple ps -> List.fold_left (fun acc p -> pattern_vars p acc) acc ps
-  | Ppat_construct (_, Some (_, p)) -> pattern_vars p acc
-  | Ppat_variant (_, Some p) -> pattern_vars p acc
-  | Ppat_record (fields, _) ->
-      List.fold_left (fun acc (_, p) -> pattern_vars p acc) acc fields
-  | Ppat_array ps -> List.fold_left (fun acc p -> pattern_vars p acc) acc ps
-  | Ppat_or (a, b) -> pattern_vars a (pattern_vars b acc)
-  | Ppat_constraint (p, _) | Ppat_lazy p | Ppat_open (_, p) | Ppat_exception p ->
-      pattern_vars p acc
-  | _ -> acc
+(* --- L6 taint lattice ---------------------------------------------- *)
 
-module StringSet = Set.Make (String)
+(* [`Order] taints (table iteration order) additionally trip the
+   escape rule — an unsorted fold result leaving a function is already
+   a latent bug. [`Env] taints (time, randomness, domain id, GC
+   statistics) are legal in gauges/spans/logs and only fire when they
+   reach a deterministic-artifact sink or a Par merge. *)
+type taint_cls = Order | Env
+
+type taint = taint_cls * string * Location.t
+
+let l6_sources =
+  [
+    ("Hashtbl.fold", (Order, "Hashtbl.fold iteration order"));
+    ("Hashtbl.iter", (Order, "Hashtbl.iter iteration order"));
+    ("Sys.time", (Env, "wall-clock time (`Sys.time`)"));
+    ("Unix.gettimeofday", (Env, "wall-clock time (`Unix.gettimeofday`)"));
+    ("Unix.time", (Env, "wall-clock time (`Unix.time`)"));
+    ("Domain.self", (Env, "the current domain id (`Domain.self`)"));
+    ("Gc.stat", (Env, "GC statistics (`Gc.stat`)"));
+    ("Gc.quick_stat", (Env, "GC statistics (`Gc.quick_stat`)"));
+    ("Gc.minor_words", (Env, "GC statistics (`Gc.minor_words`)"));
+    ("Gc.allocated_bytes", (Env, "GC statistics (`Gc.allocated_bytes`)"));
+    ("Gc.counters", (Env, "GC statistics (`Gc.counters`)"));
+  ]
+
+let source_of name =
+  match List.assoc_opt name l6_sources with
+  | Some s -> Some s
+  | None ->
+      if
+        String.starts_with ~prefix:"Random." name
+        && not (String.starts_with ~prefix:"Random.State." name)
+      then Some (Env, "`Random.*` outside a threaded Random.State")
+      else None
+
+(* Order-erasing operations: their results are canonical regardless of
+   input order. *)
+let l6_sanitizers =
+  [
+    "List.sort"; "List.sort_uniq"; "List.stable_sort"; "List.fast_sort";
+    "List.length"; "Hashtbl.length"; "Hashtbl.stats";
+  ]
+
+(* In-place sorts: calling one *cleans* the container argument. *)
+let l6_inplace_sorts = [ "Array.sort"; "Array.stable_sort"; "Array.fast_sort" ]
+
+let is_digest name = String.starts_with ~prefix:"Digest." (norm name)
+
+(* Mutator naming convention: calls whose last component is a mutator
+   verb taint (or race on) their first argument. This is what lets the
+   pass see [Bitset.add acc u] or [Digraph.Builder.add_arc b u v]
+   inside a Hashtbl.iter without knowing those modules. *)
+let verb_mutator name =
+  let last = last_component name in
+  name = ":="
+  || List.exists
+       (fun p -> String.starts_with ~prefix:p last)
+       [
+         "add"; "set"; "replace"; "remove"; "push"; "pop"; "clear"; "fill";
+         "blit"; "reset"; "incr"; "decr"; "update"; "grow";
+       ]
+
+let in_module modules name =
+  List.exists (fun m -> List.mem m (components name)) modules
 
 (* ------------------------------------------------------------------ *)
-(* Traversal                                                          *)
+(* One-level call summaries                                           *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  s_params : string list list;  (* unique names, one list per position *)
+  s_returns : (taint_cls * string) option;  (* result tainted regardless *)
+  s_from_params : bool;  (* tainted args taint the result *)
+  s_mutates : int list;  (* parameter positions the body mutates *)
+  s_source_alias : (taint_cls * string) option;  (* eta-alias of a source *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Traversal context                                                  *)
 (* ------------------------------------------------------------------ *)
 
 type ctx = {
   config : config;
   file : string;
-  lines : string array;  (* source lines, for L4 proof comments *)
+  lines : string array;  (* source lines: L4 proof comments, fingerprints *)
+  resolve : Env.t -> Env.t;  (* cmt env reconstruction, or identity *)
+  l8_active : bool;
+  mutable quiet : bool;  (* summary pass: analyse, emit nothing *)
   mutable allows : allow list;  (* active, justified suppressions *)
   mutable item_bounds : int * int;  (* enclosing structure item lines *)
-  mutable par_owned : StringSet.t;
+  mutable stderr_locs : Location.t list;  (* stderr prints, this item *)
+  mutable par_owned : SSet.t;
+  summaries : (string, summary) Hashtbl.t;
+  bodies : (string, expression) Hashtbl.t;  (* helper-as-task lookup *)
+  fp_seen : (string, int) Hashtbl.t;  (* fingerprint occurrence index *)
   mutable diags : Diagnostic.t list;
   mutable suppressed : Diagnostic.suppressed list;
 }
 
 let rule_enabled ctx rule = rule = "L0" || List.mem rule ctx.config.rules
 
+let line_text ctx line =
+  if line >= 1 && line <= Array.length ctx.lines then ctx.lines.(line - 1)
+  else ""
+
+let fp_of ctx rule (loc : Location.t) =
+  let text = line_text ctx loc.loc_start.pos_lnum in
+  let key = rule ^ "\x00" ^ String.trim text in
+  let index = Option.value ~default:0 (Hashtbl.find_opt ctx.fp_seen key) in
+  Hashtbl.replace ctx.fp_seen key (index + 1);
+  Diagnostic.fingerprint ~rule ~file:ctx.file ~line_text:text ~index
+
 let emit ctx rule loc message =
-  if rule_enabled ctx rule then begin
-    let d = Diagnostic.of_location ~rule ~message loc in
+  if rule_enabled ctx rule && not ctx.quiet then begin
+    let fingerprint = fp_of ctx rule loc in
+    let d = Diagnostic.of_location ~rule ~message ~fingerprint loc in
     match List.find_opt (fun (a : allow) -> a.rule = rule) ctx.allows with
     | Some a ->
         let justification = Option.value a.justification ~default:"" in
-        ctx.suppressed <- { Diagnostic.diag = d; justification } :: ctx.suppressed
+        ctx.suppressed <-
+          { Diagnostic.diag = d; justification } :: ctx.suppressed
     | None ->
         if
           rule = "L1"
@@ -305,30 +353,41 @@ let emit ctx rule loc message =
         else ctx.diags <- d :: ctx.diags
   end
 
-(* Push the justified [@lint.allow] attributes for the extent of [k];
-   an allow without a justification never suppresses anything — it is
-   its own (L0) diagnostic instead. *)
-let with_allows ctx attrs k =
+let record_suppressed ctx rule loc message justification =
+  if rule_enabled ctx rule && not ctx.quiet then begin
+    let fingerprint = fp_of ctx rule loc in
+    let d = Diagnostic.of_location ~rule ~message ~fingerprint loc in
+    ctx.suppressed <- { Diagnostic.diag = d; justification } :: ctx.suppressed
+  end
+
+(* Push the justified [@lint.allow] attributes for the extent of [k].
+   [report] is true only in the main (pass-1) traversal: the dataflow
+   passes re-walk the same attributes and must not duplicate the L0
+   hygiene errors. *)
+let with_allows ?(report = true) ctx attrs k =
   let pushed =
     List.filter_map
       (fun (a : allow) ->
         if a.rule = "?" then begin
-          emit ctx "L0" a.at
-            "[@lint.allow] expects a string payload \"Lx: justification\"";
+          if report then
+            emit ctx "L0" a.at
+              "[@lint.allow] expects a string payload \"Lx: justification\"";
           None
         end
         else if not (List.mem a.rule all_rules) then begin
-          emit ctx "L0" a.at
-            (Printf.sprintf "[@lint.allow]: unknown rule %S" a.rule);
+          if report then
+            emit ctx "L0" a.at
+              (Printf.sprintf "[@lint.allow]: unknown rule %S" a.rule);
           None
         end
         else
           match a.justification with
           | None ->
-              emit ctx "L0" a.at
-                (Printf.sprintf
-                   "unjustified [@lint.allow %S]: write \"%s: why this site is \
-                    safe\"" a.rule a.rule);
+              if report then
+                emit ctx "L0" a.at
+                  (Printf.sprintf
+                     "unjustified [@lint.allow %S]: write \"%s: why this site \
+                      is safe\"" a.rule a.rule);
               None
           | Some _ -> Some a)
       (allows_of_attributes attrs)
@@ -337,8 +396,88 @@ let with_allows ctx attrs k =
   ctx.allows <- pushed @ ctx.allows;
   Fun.protect ~finally:(fun () -> ctx.allows <- saved) k
 
-(* L4: does the enclosing definition (or the few lines just above it)
-   carry a "(* bounds: ... *)" proof comment? *)
+(* ------------------------------------------------------------------ *)
+(* Type queries                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let expand ctx env ty =
+  let env = ctx.resolve env in
+  (env, try Ctype.expand_head env ty with _ -> ty)
+
+let is_float_ty ctx env ty =
+  let _, ty = expand ctx env ty in
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [], _) -> Path.same p Predef.path_float
+  | _ -> false
+
+let is_unit_ty ctx e =
+  let _, ty = expand ctx e.exp_env e.exp_type in
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Path.same p Predef.path_unit
+  | _ -> false
+
+(* Is this expression's type the serve layer's JSON dialect? Detected
+   from the type path, not the constructor spelling. *)
+let is_sjson_ty ctx e =
+  let _, ty = expand ctx e.exp_env e.exp_type in
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> (
+      match List.rev (components (Path.name p)) with
+      | "t" :: m :: _ -> m = "Sjson"
+      | _ -> false)
+  | _ -> false
+
+(* Type-aware mutability (the heart of L7): what makes a value racy to
+   share across domains, detected from [Types.type_expr]. [Atomic.t]
+   is the sanctioned exception. *)
+let rec type_mutability ctx env ty depth =
+  if depth <= 0 then None
+  else
+    let env, ty = expand ctx env ty in
+    match Types.get_desc ty with
+    | Types.Ttuple tys ->
+        List.find_map (fun t -> type_mutability ctx env t (depth - 1)) tys
+    | Types.Tconstr (p, _, _) -> (
+        let n = norm (Path.name p) in
+        let l2c = last2 n in
+        if n = "ref" then Some "ref"
+        else if n = "bytes" then Some "Bytes.t"
+        else if n = "array" then Some "array"
+        else if l2c = "Atomic.t" then None
+        else if l2c = "Hashtbl.t" then Some "Hashtbl.t"
+        else if l2c = "Buffer.t" then Some "Buffer.t"
+        else if l2c = "Queue.t" then Some "Queue.t"
+        else if l2c = "Stack.t" then Some "Stack.t"
+        else if
+          List.mem "Bigarray" (components n)
+          || List.mem l2c [ "Array1.t"; "Array2.t"; "Array3.t"; "Genarray.t" ]
+        then Some "Bigarray"
+        else
+          match Env.find_type p env with
+          | decl -> (
+              match decl.Types.type_kind with
+              | Types.Type_record (lds, _)
+                when List.exists
+                       (fun ld -> ld.Types.ld_mutable = Asttypes.Mutable)
+                       lds ->
+                  Some (Printf.sprintf "record with mutable fields (%s)" l2c)
+              | _ -> None)
+          | exception _ -> None)
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* L4: unsafe-op containment (ported; names now resolved)             *)
+(* ------------------------------------------------------------------ *)
+
+let l4_unsafe_name name =
+  let name = norm name in
+  name = "Obj.magic" || String.starts_with ~prefix:"unsafe_" (last_component name)
+
+let l4_is_bigarray name =
+  match List.rev (components name) with
+  | _ :: modpath -> List.exists (fun m -> List.mem m l4_bigarray_modules) modpath
+  | [] -> false
+
 let span_has_bounds ctx =
   let start_line, end_line = ctx.item_bounds in
   let lo = max 1 (start_line - 4) in
@@ -357,6 +496,7 @@ let span_has_bounds ctx =
   !found
 
 let l4_flag ctx name loc =
+  let name = norm name in
   let kind, allowlist =
     if l4_is_bigarray name then ("Bigarray unsafe", ctx.config.unsafe_bigarray_ok)
     else ("unsafe", ctx.config.unsafe_ok)
@@ -373,73 +513,175 @@ let l4_flag ctx name loc =
       (Printf.sprintf "%s `%s` outside the containment files (%s)" kind name
          (String.concat ", " allowlist))
 
-let positional args =
-  List.filter_map
-    (function Asttypes.Nolabel, a -> Some a | _ -> None)
-    args
+(* ------------------------------------------------------------------ *)
+(* L8: exit-code contract                                             *)
+(* ------------------------------------------------------------------ *)
 
-(* --- L3 closure walk ---------------------------------------------- *)
+let is_stderr_print f args =
+  match resolved_name f with
+  | None -> false
+  | Some n ->
+      List.mem n
+        [
+          "prerr_string"; "prerr_endline"; "prerr_newline"; "prerr_char";
+          "prerr_bytes"; "prerr_int"; "prerr_float";
+        ]
+      || last2 n = "Printf.eprintf"
+      || last2 n = "Format.eprintf"
+      || (last2 n = "Printf.fprintf" || last2 n = "Format.fprintf"
+          || n = "output_string" || n = "output_char")
+         && (match positional args with
+            | ch :: _ -> (
+                match resolved_name ch with
+                | Some "stderr" -> true
+                | Some m -> last2 m = "Format.err_formatter"
+                | None -> false)
+            | [] -> false)
 
-let add_pattern p bound =
-  List.fold_left (fun acc v -> StringSet.add v acc) bound (pattern_vars p [])
+let stderr_locs_of_item si =
+  let locs = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.exp_desc with
+          | Texp_apply (f, args) when is_stderr_print f args ->
+              locs := e.exp_loc :: !locs
+          | _ -> ());
+          Tast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.structure_item it si;
+  !locs
 
-let rec l3_walk ctx bound e =
-  with_allows ctx e.pexp_attributes @@ fun () ->
-  let free x = not (StringSet.mem x bound || StringSet.mem x ctx.par_owned) in
+(* The leaf codes an [exit] argument can evaluate to. [`Delegated]
+   marks the sanctioned indirections (Exit_code.to_int, Cmdliner's
+   eval family), which own the contract themselves. *)
+let rec exit_leaves e =
+  match e.exp_desc with
+  | Texp_constant (Asttypes.Const_int n) -> [ `Code n ]
+  | Texp_ifthenelse (_, a, Some b) -> exit_leaves a @ exit_leaves b
+  | Texp_ifthenelse (_, a, None) -> exit_leaves a
+  | Texp_match (_, cases, _) ->
+      List.concat_map (fun c -> exit_leaves c.c_rhs) cases
+  | Texp_let (_, _, body) | Texp_sequence (_, body) | Texp_open (_, body) ->
+      exit_leaves body
+  | Texp_apply (f, _) -> (
+      match resolved_name f with
+      | Some n
+        when last2 n = "Exit_code.to_int" || last2 n = "Cmd.eval'"
+             || last2 n = "Cmd.eval" ->
+          [ `Delegated ]
+      | _ -> [ `Opaque ])
+  | _ -> [ `Opaque ]
+
+let l8_check ctx e args =
+  match positional args with
+  | [ arg ] ->
+      let stderr_before =
+        List.exists
+          (fun (l : Location.t) ->
+            l.loc_start.pos_cnum <= e.exp_loc.loc_start.pos_cnum)
+          ctx.stderr_locs
+      in
+      List.iter
+        (function
+          | `Code n when n < 0 || n > 3 ->
+              emit ctx "L8" e.exp_loc
+                (Printf.sprintf
+                   "undocumented exit code %d (contract: 0 ok, 1 breach, 2 \
+                    usage, 3 infra)" n)
+          | `Code n when n >= 2 && not stderr_before ->
+              emit ctx "L8" e.exp_loc
+                (Printf.sprintf
+                   "exit %d without a stderr diagnostic earlier in this \
+                    handler — usage/infra exits must explain themselves on \
+                    stderr first" n)
+          | `Code _ | `Delegated -> ()
+          | `Opaque ->
+              emit ctx "L8" e.exp_loc
+                "exit with an unanalyzable code: use a literal 0/1/2/3 or \
+                 route it through Exit_code.to_int")
+        (exit_leaves arg)
+  | _ ->
+      emit ctx "L8" e.exp_loc
+        "exit applied without a literal code expression (partial application \
+         hides the exit-code contract)"
+
+(* ------------------------------------------------------------------ *)
+(* L3/L7: Par capture-safety on the typedtree                         *)
+(* ------------------------------------------------------------------ *)
+
+let add_ids ids set = List.fold_left (fun s id -> SSet.add (uname id) s) set ids
+
+let rec closure_walk ctx bound e =
+  with_allows ~report:false ctx e.exp_attributes @@ fun () ->
+  let free id =
+    not (SSet.mem (uname id) bound || SSet.mem (uname id) ctx.par_owned)
+  in
   let children bound =
     let it =
       {
-        Ast_iterator.default_iterator with
-        expr = (fun _ e' -> l3_walk ctx bound e');
+        Tast_iterator.default_iterator with
+        expr = (fun _ e' -> closure_walk ctx bound e');
       }
     in
-    Ast_iterator.default_iterator.expr it e
+    Tast_iterator.default_iterator.expr it e
   in
-  match e.pexp_desc with
-  | Pexp_let (rf, vbs, body) ->
+  match e.exp_desc with
+  | Texp_let (rf, vbs, body) ->
       let bound' =
-        List.fold_left (fun acc vb -> add_pattern vb.pvb_pat acc) bound vbs
+        List.fold_left
+          (fun acc vb -> add_ids (pat_bound_idents vb.vb_pat) acc)
+          bound vbs
       in
       let inner = if rf = Asttypes.Recursive then bound' else bound in
-      List.iter (fun vb -> l3_walk ctx inner vb.pvb_expr) vbs;
-      l3_walk ctx bound' body
-  | Pexp_fun (_, default, pat, body) ->
-      Option.iter (l3_walk ctx bound) default;
-      l3_walk ctx (add_pattern pat bound) body
-  | Pexp_function cases -> List.iter (l3_case ctx bound) cases
-  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
-      l3_walk ctx bound scrut;
-      List.iter (l3_case ctx bound) cases
-  | Pexp_for (pat, lo, hi, _, body) ->
-      l3_walk ctx bound lo;
-      l3_walk ctx bound hi;
-      l3_walk ctx (add_pattern pat bound) body
-  | Pexp_setfield (obj, _, v) ->
-      (match head_ident obj with
-      | Some x when free x ->
-          emit ctx "L3" e.pexp_loc
+      List.iter (fun vb -> closure_walk ctx inner vb.vb_expr) vbs;
+      closure_walk ctx bound' body
+  | Texp_function { cases; _ } -> List.iter (closure_case ctx bound) cases
+  | Texp_match (scrut, cases, _) ->
+      closure_walk ctx bound scrut;
+      List.iter (closure_case ctx bound) cases
+  | Texp_try (body, cases) ->
+      closure_walk ctx bound body;
+      List.iter (closure_case ctx bound) cases
+  | Texp_for (id, _, lo, hi, _, body) ->
+      closure_walk ctx bound lo;
+      closure_walk ctx bound hi;
+      closure_walk ctx (SSet.add (uname id) bound) body
+  | Texp_setfield (obj, _, _, v) ->
+      (match head_id obj with
+      | Some id when free id ->
+          emit ctx "L3" e.exp_loc
             (Printf.sprintf
                "mutable field of captured `%s` assigned inside a Par task \
                 (capture immutable data, Atomic.t, or tag the binding \
-                [@par.owned])" x)
+                [@par.owned])" (Ident.name id))
       | _ -> ());
-      l3_walk ctx bound obj;
-      l3_walk ctx bound v
-  | Pexp_apply (f, args) -> (
-      let fname = Option.map strip_stdlib (flat_ident f) in
+      closure_walk ctx bound obj;
+      closure_walk ctx bound v
+  | Texp_apply ({ exp_desc = Texp_apply (inner_f, inner_args); _ }, args) ->
+      (* `x |> mutate tbl` reaches the typedtree as `(mutate tbl) x`:
+         flatten so the callee checks below see the real function. *)
+      closure_walk ctx bound
+        { e with exp_desc = Texp_apply (inner_f, inner_args @ args) }
+  | Texp_apply (f, args) -> (
+      let fname = resolved_name f in
       let first_head =
-        match positional args with a :: _ -> head_ident a | [] -> None
+        match positional args with a :: _ -> head_id a | [] -> None
       in
       let flag_first what =
         match first_head with
-        | Some x when free x ->
-            emit ctx "L3" e.pexp_loc
+        | Some id when free id ->
+            emit ctx "L3" e.exp_loc
               (Printf.sprintf
                  "%s `%s` inside a Par task (use Atomic.t, task-local state \
-                  from ~init, or tag the binding [@par.owned])" what x)
+                  from ~init, or tag the binding [@par.owned])" what
+                 (Ident.name id))
         | _ -> ()
       in
-      let walk_args () = List.iter (fun (_, a) -> l3_walk ctx bound a) args in
+      let walk_args () = List.iter (closure_walk ctx bound) (arg_exprs args) in
       match fname with
       | Some "!" ->
           flag_first "dereference of captured ref";
@@ -450,54 +692,549 @@ let rec l3_walk ctx bound e =
       | Some ("incr" | "decr") ->
           flag_first "mutation of captured ref";
           walk_args ()
-      | Some ("Array.set" | "Array.unsafe_set" | "Bytes.set"
-             | "Bytes.unsafe_set" | "Array.fill" | "Array.blit") ->
+      | Some
+          (( "Array.set" | "Array.unsafe_set" | "Bytes.set" | "Bytes.unsafe_set"
+           | "Array.fill" | "Array.blit" ) as n) ->
+          ignore n;
           flag_first "mutation of captured array";
           walk_args ()
       | Some name
-        when match module_prefix name with
-             | Some m -> List.mem m l3_mutators_by_module
-             | None -> false ->
+        when List.exists
+               (fun m -> List.mem m (components name))
+               l3_mutators_by_module
+             && verb_mutator name ->
           flag_first (Printf.sprintf "captured mutable state passed to `%s`" name);
           walk_args ()
-      | Some name
-        when match module_prefix name with
-             | Some m -> List.mem m l3_safe_modules
-             | None -> false ->
+      | Some name when in_module l3_safe_modules name ->
           (* Atomic/Obs/Domain operations are the sanctioned way to
              share state across tasks. *)
           walk_args ()
       | _ ->
-          l3_walk ctx bound f;
+          (* L7: a captured mutable value handed to a same-file helper
+             that mutates that parameter — the interprocedural case
+             the old syntactic L3 could not see. *)
+          (match f.exp_desc with
+          | Texp_ident (Path.Pident fid, _, _) -> (
+              match Hashtbl.find_opt ctx.summaries (uname fid) with
+              | Some s when s.s_mutates <> [] ->
+                  List.iteri
+                    (fun j a ->
+                      if List.mem j s.s_mutates then
+                        match head_id a with
+                        | Some id when free id -> (
+                            match
+                              type_mutability ctx a.exp_env a.exp_type 3
+                            with
+                            | Some what ->
+                                emit ctx "L7" e.exp_loc
+                                  (Printf.sprintf
+                                     "captured %s `%s` is mutated by `%s` \
+                                      inside a Par task (parameter %d) — use \
+                                      Atomic.t, task-local state from ~init, \
+                                      or tag the binding [@par.owned]" what
+                                     (Ident.name id) (Ident.name fid) j)
+                            | None -> ())
+                        | _ -> ())
+                    (positional args)
+              | _ -> ())
+          | _ -> closure_walk ctx bound f);
           walk_args ())
   | _ -> children bound
 
-and l3_case ctx bound (c : case) =
-  let bound' = add_pattern c.pc_lhs bound in
-  Option.iter (l3_walk ctx bound') c.pc_guard;
-  l3_walk ctx bound' c.pc_rhs
+and closure_case : type k. ctx -> SSet.t -> k case -> unit =
+ fun ctx bound c ->
+  let ids, guard, rhs = tcase_parts c in
+  let bound' = add_ids ids bound in
+  Option.iter (closure_walk ctx bound') guard;
+  closure_walk ctx bound' rhs
 
-let l3_closure ctx e = l3_walk ctx StringSet.empty e
+(* Closure arguments of a Par fanout: literal functions, or same-file
+   helpers passed by name (their stored bodies are walked with their
+   own parameters bound). *)
+let capture_check ctx args =
+  if rule_enabled ctx "L3" || rule_enabled ctx "L7" then
+    List.iter
+      (fun a ->
+        match a.exp_desc with
+        | Texp_function _ -> closure_walk ctx SSet.empty a
+        | Texp_ident (Path.Pident id, _, _) -> (
+            match Hashtbl.find_opt ctx.bodies (uname id) with
+            | Some body -> closure_walk ctx SSet.empty body
+            | None -> ())
+        | _ -> ())
+      (arg_exprs args)
 
-(* --- per-expression rule checks ----------------------------------- *)
+(* ------------------------------------------------------------------ *)
+(* L6: determinism taint                                              *)
+(* ------------------------------------------------------------------ *)
 
-let l2_check ctx f args loc =
-  match flat_ident f with
+(* The taint evaluator returns the taint of the expression's value (if
+   any) while emitting sink diagnostics along the way.
+
+   - [tainted] maps Ident unique names to their taint; stamps are
+     unique per file, so shadowing needs no scope discipline.
+   - [iter] is set while walking the callback of a Hashtbl.iter/fold:
+     effects on idents bound *outside* the callback become
+     order-tainted, and sink calls fire immediately.
+   - [locals] tracks idents bound since entering that callback. *)
+
+let or_taint a b = match a with Some _ -> a | None -> b ()
+
+let sink_message (cls, desc, _) sink =
+  ignore cls;
+  Printf.sprintf
+    "value depending on %s flows into %s — deterministic artifacts must not \
+     depend on it; canonicalise first (sort, threaded Random.State) or \
+     suppress with [@lint.allow \"L6: why\"]" desc sink
+
+let rec teval ctx ~iter ~locals tainted e : taint option =
+  with_allows ~report:false ctx e.exp_attributes @@ fun () ->
+  match ordered_of e.exp_attributes with
+  | Some (Some proof, _) when String.trim proof <> "" -> (
+      match teval_desc ctx ~iter ~locals tainted e with
+      | Some (_, desc, loc) ->
+          record_suppressed ctx "L6" loc
+            (Printf.sprintf "value depends on %s; accepted as ordered" desc)
+            (String.trim proof);
+          None
+      | None -> None)
+  | _ -> teval_desc ctx ~iter ~locals tainted e
+
+and teval_desc ctx ~iter ~locals tainted e =
+  let te x = teval ctx ~iter ~locals tainted x in
+  let discard x = ignore (te x) in
+  let first_taint es = List.fold_left (fun t x -> or_taint t (fun () -> te x)) None es in
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> Hashtbl.find_opt tainted (uname id)
+  | Texp_ident _ | Texp_constant _ -> None
+  | Texp_let (_, vbs, body) ->
+      let locals =
+        List.fold_left
+          (fun locals vb ->
+            let t = teval_vb ctx ~iter ~locals tainted vb in
+            let ids = pat_bound_idents vb.vb_pat in
+            (match t with
+            | Some ti ->
+                List.iter (fun id -> Hashtbl.replace tainted (uname id) ti) ids
+            | None -> ());
+            add_ids ids locals)
+          locals vbs
+      in
+      teval ctx ~iter ~locals tainted body
+  | Texp_function { cases; _ } ->
+      (* A closure's taint is its body's: a thunk wrapping an unsorted
+         fold stays tainted through [locked (fun () -> ...)]. *)
+      List.fold_left
+        (fun t c ->
+          let ids, guard, rhs = tcase_parts c in
+          let locals = add_ids ids locals in
+          Option.iter (fun g -> ignore (teval ctx ~iter ~locals tainted g)) guard;
+          or_taint t (fun () -> teval ctx ~iter ~locals tainted rhs))
+        None cases
+  | Texp_apply (f, args) -> teval_apply ctx ~iter ~locals tainted e f args
+  | Texp_match (scrut, cases, _) ->
+      let ts = te scrut in
+      List.fold_left
+        (fun t c ->
+          let ids, guard, rhs = tcase_parts c in
+          (match ts with
+          | Some ti ->
+              List.iter (fun id -> Hashtbl.replace tainted (uname id) ti) ids
+          | None -> ());
+          let locals = add_ids ids locals in
+          Option.iter (fun g -> ignore (teval ctx ~iter ~locals tainted g)) guard;
+          or_taint t (fun () -> teval ctx ~iter ~locals tainted rhs))
+        None cases
+  | Texp_try (body, cases) ->
+      let tb = te body in
+      List.fold_left
+        (fun t c ->
+          let ids, guard, rhs = tcase_parts c in
+          let locals = add_ids ids locals in
+          Option.iter (fun g -> ignore (teval ctx ~iter ~locals tainted g)) guard;
+          or_taint t (fun () -> teval ctx ~iter ~locals tainted rhs))
+        tb cases
+  | Texp_ifthenelse (c, a, b) ->
+      discard c;
+      let ta = te a in
+      or_taint ta (fun () -> Option.fold ~none:None ~some:te b)
+  | Texp_sequence (a, b) ->
+      discard a;
+      te b
+  | Texp_tuple es | Texp_array es -> first_taint es
+  | Texp_construct (_, _, es) -> (
+      match first_taint es with
+      | Some t when is_sjson_ty ctx e ->
+          emit ctx "L6" e.exp_loc (sink_message t "an `Sjson` value");
+          None
+      | t -> t)
+  | Texp_variant (_, eo) -> Option.fold ~none:None ~some:te eo
+  | Texp_record { fields; extended_expression; _ } ->
+      let t =
+        Array.fold_left
+          (fun t (_, def) ->
+            match def with
+            | Overridden (_, e') -> or_taint t (fun () -> te e')
+            | _ -> t)
+          None fields
+      in
+      or_taint t (fun () -> Option.fold ~none:None ~some:te extended_expression)
+  | Texp_field (b, _, _) -> te b
+  | Texp_setfield (obj, _, _, v) ->
+      let tv = te v in
+      (match head_id obj with
+      | Some id -> (
+          let u = uname id in
+          match (tv, iter) with
+          | Some ti, _ -> Hashtbl.replace tainted u ti
+          | None, Some ti when not (SSet.mem u locals) ->
+              Hashtbl.replace tainted u ti
+          | _ -> ())
+      | None -> ());
+      discard obj;
+      None
+  | Texp_while (c, b) ->
+      discard c;
+      discard b;
+      None
+  | Texp_for (id, _, lo, hi, _, body) ->
+      discard lo;
+      discard hi;
+      ignore (teval ctx ~iter ~locals:(SSet.add (uname id) locals) tainted body);
+      None
+  | Texp_open (_, b) -> te b
+  | _ ->
+      (* Anything unhandled: walk the children so sinks inside are
+         still seen; the value itself is treated as clean. *)
+      let it =
+        {
+          Tast_iterator.default_iterator with
+          expr = (fun _ e' -> ignore (teval ctx ~iter ~locals tainted e'));
+        }
+      in
+      Tast_iterator.default_iterator.expr it e;
+      None
+
+and teval_vb ctx ~iter ~locals tainted vb =
+  with_allows ~report:false ctx vb.vb_attributes @@ fun () ->
+  match ordered_of vb.vb_attributes with
+  | Some (Some proof, _) when String.trim proof <> "" -> (
+      match teval ctx ~iter ~locals tainted vb.vb_expr with
+      | Some (_, desc, loc) ->
+          record_suppressed ctx "L6" loc
+            (Printf.sprintf "value depends on %s; accepted as ordered" desc)
+            (String.trim proof);
+          None
+      | None -> None)
+  | _ -> teval ctx ~iter ~locals tainted vb.vb_expr
+
+and teval_apply ctx ~iter ~locals tainted e f args =
+  match f.exp_desc with
+  (* The typechecker turns `x |> g a` into `(g a) x`: flatten curried
+     application heads so the callee is always the real function. *)
+  | Texp_apply (inner_f, inner_args) ->
+      teval_apply ctx ~iter ~locals tainted e inner_f (inner_args @ args)
+  | _ -> teval_apply_flat ctx ~iter ~locals tainted e f args
+
+and teval_apply_flat ctx ~iter ~locals tainted e f args =
+  let te x = teval ctx ~iter ~locals tainted x in
+  let pos = positional args in
+  let fname = resolved_name f in
+  match fname with
+  (* Re-associate the pipe operators so `tbl |> Hashtbl.fold f` and
+     `Digest.string @@ spell x` see through them. *)
+  | Some "|>" -> (
+      match pos with
+      | [ x; ({ exp_desc = Texp_ident _; _ } as fn) ] when List.length args = 2 ->
+          teval_apply ctx ~iter ~locals tainted e fn [ (Asttypes.Nolabel, Some x) ]
+      | [ x; { exp_desc = Texp_apply (fn, inner); _ } ] when List.length args = 2
+        ->
+          (* `fold ... |> List.sort cmp`: the RHS is a partial
+             application — append the piped value to its arguments. *)
+          teval_apply ctx ~iter ~locals tainted e fn
+            (inner @ [ (Asttypes.Nolabel, Some x) ])
+      | _ -> List.fold_left (fun t x -> or_taint t (fun () -> te x)) None pos)
+  | Some "@@" -> (
+      match pos with
+      | [ ({ exp_desc = Texp_ident _; _ } as fn); x ] when List.length args = 2 ->
+          teval_apply ctx ~iter ~locals tainted e fn [ (Asttypes.Nolabel, Some x) ]
+      | [ { exp_desc = Texp_apply (fn, inner); _ }; x ] when List.length args = 2
+        ->
+          teval_apply ctx ~iter ~locals tainted e fn
+            (inner @ [ (Asttypes.Nolabel, Some x) ])
+      | _ -> List.fold_left (fun t x -> or_taint t (fun () -> te x)) None pos)
+  | Some n when source_of n <> None -> (
+      let cls, desc =
+        match source_of n with Some cd -> cd | None -> assert false
+      in
+      let hashtbl_iteration = n = "Hashtbl.iter" || n = "Hashtbl.fold" in
+      let iter' =
+        if hashtbl_iteration then Some (cls, desc, e.exp_loc) else iter
+      in
+      List.iter
+        (fun a ->
+          match a.exp_desc with
+          | Texp_function _ when hashtbl_iteration ->
+              (* The callback runs once per binding in table order:
+                 fresh [locals], outer mutations become tainted. *)
+              ignore (teval ctx ~iter:iter' ~locals:SSet.empty tainted a)
+          | _ -> ignore (te a))
+        (arg_exprs args);
+      match n with
+      | "Hashtbl.iter" -> None
+      | _ -> Some (cls, desc, e.exp_loc))
+  | Some n when List.mem n l6_inplace_sorts ->
+      List.iter (fun a -> ignore (te a)) pos;
+      (* In-place sort canonicalises the container. *)
+      (match List.rev pos with
+      | a :: _ ->
+          Option.iter (fun id -> Hashtbl.remove tainted (uname id)) (head_id a)
+      | [] -> ());
+      None
+  | Some n when List.mem n l6_sanitizers ->
+      List.iter (fun a -> ignore (te a)) pos;
+      None
+  | Some n when in_module [ "Sjson" ] n || is_digest n ->
+      let t =
+        List.fold_left (fun t a -> or_taint t (fun () -> te a)) None
+          (arg_exprs args)
+      in
+      (match t with
+      | Some t -> emit ctx "L6" e.exp_loc (sink_message t ("`" ^ n ^ "`"))
+      | None -> ());
+      None
+  | Some n when List.mem (last2 n) l3_fanouts ->
+      capture_check ctx args;
+      let t =
+        List.fold_left (fun t a -> or_taint t (fun () -> te a)) None
+          (arg_exprs args)
+      in
+      (match t with
+      | Some (_, desc, _) ->
+          emit ctx "L6" e.exp_loc
+            (Printf.sprintf
+               "Par task input or result depends on %s — the ordered merge \
+                makes it part of the deterministic output; canonicalise \
+                before the fanout or annotate [@lint.ordered]" desc)
+      | None -> ());
+      None
+  | Some n when in_module l3_safe_modules n ->
+      (if last2 n = "Obs.add" then
+         match pos with
+         | [ _; k ] -> (
+             match te k with
+             | Some (_, desc, _) ->
+                 emit ctx "L6" e.exp_loc
+                   (Printf.sprintf
+                      "counter incremented by a value depending on %s — \
+                       counters must be byte-identical across --jobs; use a \
+                       gauge or canonicalise" desc)
+             | None -> ())
+         | _ -> ());
+      List.iter (fun a -> ignore (te a)) (arg_exprs args);
+      None
+  | _ -> (
+      (match f.exp_desc with Texp_ident _ -> () | _ -> ignore (te f));
+      let argts = List.map (fun a -> (a, te a)) (arg_exprs args) in
+      let first_tainted =
+        List.find_map (fun (_, t) -> Option.map Fun.id t) argts
+      in
+      (* Mutator-verb heuristic: taint the mutated container when fed
+         a tainted value, or when mutated at all from inside an
+         iteration callback. *)
+      (match fname with
+      | Some n when verb_mutator n -> (
+          match pos with
+          | a0 :: _ -> (
+              match head_id a0 with
+              | Some id -> (
+                  let u = uname id in
+                  match (first_tainted, iter) with
+                  | Some ti, _ -> Hashtbl.replace tainted u ti
+                  | None, Some ti when not (SSet.mem u locals) ->
+                      Hashtbl.replace tainted u ti
+                  | _ -> ())
+              | None -> ())
+          | [] -> ())
+      | _ -> ());
+      let summ =
+        match f.exp_desc with
+        | Texp_ident (Path.Pident id, _, _) ->
+            Hashtbl.find_opt ctx.summaries (uname id)
+        | _ -> None
+      in
+      match summ with
+      | Some s -> (
+          match s.s_source_alias with
+          | Some (cls, desc) -> Some (cls, desc, e.exp_loc)
+          | None -> (
+              match s.s_returns with
+              | Some (cls, desc) -> Some (cls, desc, e.exp_loc)
+              | None -> if s.s_from_params then first_tainted else None))
+      | None ->
+          (* Unknown callee: conservatively propagate any tainted
+             argument into the result. *)
+          first_tainted)
+
+(* ------------------------------------------------------------------ *)
+(* Summaries (pass 0)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Peel the curried parameters off a function body. Stops at the first
+   multi-case or guarded level (a [function] match is analysed as the
+   remaining body). *)
+let rec peel_params e acc =
+  match e.exp_desc with
+  | Texp_function { cases = [ c ]; _ } -> (
+      let ids, guard, rhs = tcase_parts c in
+      match guard with
+      | None -> peel_params rhs (List.map uname ids :: acc)
+      | Some _ -> (List.rev acc, e))
+  | _ -> (List.rev acc, e)
+
+let param_position params id =
+  let u = uname id in
+  let rec go j = function
+    | [] -> None
+    | p :: rest -> if List.mem u p then Some j else go (j + 1) rest
+  in
+  go 0 params
+
+let collect_mutates params body =
+  let muts = ref [] in
+  let note id =
+    match param_position params id with
+    | Some j -> if not (List.mem j !muts) then muts := j :: !muts
+    | None -> ()
+  in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.exp_desc with
+          | Texp_setfield (obj, _, _, _) -> Option.iter note (head_id obj)
+          | Texp_apply (f, args) -> (
+              match resolved_name f with
+              | Some n
+                when n = ":=" || n = "incr" || n = "decr"
+                     || List.mem n
+                          [
+                            "Array.set"; "Array.unsafe_set"; "Array.fill";
+                            "Array.blit"; "Bytes.set"; "Bytes.unsafe_set";
+                            "Bytes.fill"; "Bytes.blit";
+                          ]
+                     || (List.exists
+                           (fun m -> List.mem m (components n))
+                           l3_mutators_by_module
+                        && verb_mutator n) -> (
+                  match positional args with
+                  | a :: _ -> Option.iter note (head_id a)
+                  | [] -> ())
+              | _ -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it body;
+  List.sort Int.compare !muts
+
+let summarize ctx vb =
+  match vb.vb_pat.pat_desc with
+  | Tpat_var (id, _) ->
+      let params, body = peel_params vb.vb_expr [] in
+      let s_source_alias =
+        match body.exp_desc with
+        | Texp_ident (p, _, _) -> source_of (norm (Path.name p))
+        | _ -> None
+      in
+      let run_taint preload =
+        let tainted = Hashtbl.create 8 in
+        List.iter (fun (u, t) -> Hashtbl.replace tainted u t) preload;
+        teval ctx ~iter:None ~locals:SSet.empty tainted body
+      in
+      (* A justified [@lint.ordered] on the binding vouches for the
+         whole body: the summary must be clean too, or every caller
+         would re-report the taint the annotation discharged. *)
+      let vouched =
+        match ordered_of vb.vb_attributes with
+        | Some (Some _, _) -> true
+        | _ -> false
+      in
+      let s_returns =
+        if vouched then None
+        else Option.map (fun (c, d, _) -> (c, d)) (run_taint [])
+      in
+      let s_source_alias = if vouched then None else s_source_alias in
+      let s_from_params =
+        params <> []
+        && (match s_returns with Some _ -> false | None -> true)
+        &&
+        let preload =
+          List.concat_map
+            (fun us ->
+              List.map (fun u -> (u, (Env, "function parameter", vb.vb_loc))) us)
+            params
+        in
+        Option.is_some (run_taint preload)
+      in
+      let s_mutates = collect_mutates params vb.vb_expr in
+      Some
+        ( uname id,
+          { s_params = params; s_returns; s_from_params; s_mutates; s_source_alias },
+          vb.vb_expr )
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: per-expression rule checks                                 *)
+(* ------------------------------------------------------------------ *)
+
+let l1_check ctx e =
+  match resolved_name e with
   | None -> ()
   | Some name -> (
-      let name = strip_stdlib name in
+      (match List.assoc_opt name l1_banned with
+      | Some subst ->
+          emit ctx "L1" e.exp_loc
+            (Printf.sprintf "partial `%s` (use %s)" name subst)
+      | None -> ());
+      if l4_unsafe_name name then l4_flag ctx name e.exp_loc)
+
+let is_raise_not_found f args =
+  match resolved_name f with
+  | Some ("raise" | "raise_notrace") -> (
+      match positional args with
+      | [ { exp_desc = Texp_construct (_, cd, []); _ } ] ->
+          cd.Types.cstr_name = "Not_found"
+      | _ -> false)
+  | _ -> false
+
+let comparator_at_float ctx cmp =
+  let _, ty = expand ctx cmp.exp_env cmp.exp_type in
+  match Types.get_desc ty with
+  | Types.Tarrow (_, t1, _, _) -> is_float_ty ctx cmp.exp_env t1
+  | _ -> false
+
+let is_bare_compare cmp =
+  match resolved_name cmp with Some "compare" -> true | _ -> false
+
+let l2_check ctx f args loc =
+  match resolved_name f with
+  | None -> ()
+  | Some name ->
       let pos = positional args in
-      if List.mem name l2_poly_order && List.exists is_floaty pos then
+      if
+        List.mem name l2_poly_order
+        && List.exists (fun a -> is_float_ty ctx a.exp_env a.exp_type) pos
+      then
         emit ctx "L2" loc
           (Printf.sprintf
              "polymorphic `%s` at float type (use Float.%s: NaN poisons \
               polymorphic ordering)" name name)
-      else if List.mem name l2_sort_fns then
+      else if List.mem name l2_sort_fns then (
         match pos with
-        | cmp :: rest when is_bare_compare cmp ->
-            (* Syntactic float evidence gets the sharper NaN message;
-               everything else gets the general spell-the-key-out one. *)
-            if List.exists is_floaty rest then
+        | cmp :: _ when is_bare_compare cmp ->
+            if comparator_at_float ctx cmp then
               emit ctx "L2" loc
                 (Printf.sprintf
                    "`%s compare` over floats (use Float.compare: NaN poisons \
@@ -509,117 +1246,201 @@ let l2_check ctx f args loc =
                     Int.compare, Float.compare, or an explicit comparator: \
                     polymorphic compare breaks on NaN and functional values \
                     and hides the intended order)" name)
-        | _ -> ()
+        | _ -> ())
       else if List.mem name l2_sorters then
         match pos with
-        | cmp :: rest when is_bare_compare cmp && List.exists is_floaty rest ->
+        | cmp :: _ when is_bare_compare cmp && comparator_at_float ctx cmp ->
             emit ctx "L2" loc
               (Printf.sprintf
                  "`%s compare` over floats (use Float.compare: NaN poisons \
                   polymorphic ordering)" name)
-        | _ -> ())
+        | _ -> ()
 
 let l5_check ctx f args =
-  match flat_ident f with
-  | Some name when List.mem (strip_stdlib name) l5_registrars -> (
+  match resolved_name f with
+  | Some name when List.mem (last2 name) l5_registrars -> (
       match positional args with
-      | arg :: _ when string_const arg = None ->
-          emit ctx "L5" arg.pexp_loc
+      | arg :: _
+        when (match arg.exp_desc with
+             | Texp_constant (Asttypes.Const_string _) -> false
+             | _ -> true) ->
+          emit ctx "L5" arg.exp_loc
             (Printf.sprintf
                "`%s` requires a literal name: dynamic names grow the registry \
                 without bound and break the jobs-determinism of counter JSON"
-               (strip_stdlib name))
+               (last2 name))
       | _ -> ())
   | _ -> ()
 
-let l3_dispatch ctx f args =
-  match flat_ident f with
-  | Some name when List.mem (strip_stdlib name) l3_fanouts ->
-      List.iter
-        (fun (_, a) ->
-          match a.pexp_desc with
-          | Pexp_fun _ | Pexp_function _ -> l3_closure ctx a
-          | _ -> ())
-        args
-  | _ -> ()
-
 let check_expr ctx e =
-  match e.pexp_desc with
-  | Pexp_ident _ -> (
-      match flat_ident e with
-      | Some name ->
-          (match l1_check_ident name with
-          | Some msg -> emit ctx "L1" e.pexp_loc msg
-          | None -> ());
-          if l4_unsafe_name name then l4_flag ctx name e.pexp_loc
-      | None -> ())
-  | Pexp_apply (f, args) ->
+  (match ordered_of e.exp_attributes with
+  | Some (payload, at)
+    when payload = None || String.trim (Option.value ~default:"" payload) = ""
+    ->
+      emit ctx "L0" at
+        "bare [@lint.ordered]: write [@lint.ordered \"why this order is \
+         canonical\"]"
+  | _ -> ());
+  match e.exp_desc with
+  | Texp_ident _ -> l1_check ctx e
+  | Texp_apply (f, args) ->
       if is_raise_not_found f args then
-        emit ctx "L1" e.pexp_loc
+        emit ctx "L1" e.exp_loc
           "naked `raise Not_found` (raise a diagnostic exception or return an \
            option)";
-      l2_check ctx f args e.pexp_loc;
+      l2_check ctx f args e.exp_loc;
       l5_check ctx f args;
-      l3_dispatch ctx f args
+      if ctx.l8_active && resolved_name f = Some "exit" then l8_check ctx e args
   | _ -> ()
 
-(* --- whole-file entry point --------------------------------------- *)
+(* ------------------------------------------------------------------ *)
+(* Whole-file entry point                                             *)
+(* ------------------------------------------------------------------ *)
 
 let collect_par_owned structure =
-  let owned = ref StringSet.empty in
-  let tag attrs pat =
-    if List.exists (fun a -> a.attr_name.txt = "par.owned") attrs then
-      owned :=
-        List.fold_left (fun acc v -> StringSet.add v acc) !owned
-          (pattern_vars pat [])
+  let owned = ref SSet.empty in
+  let tag (attrs : Parsetree.attributes) pat =
+    if
+      List.exists
+        (fun (a : Parsetree.attribute) -> a.attr_name.txt = "par.owned")
+        attrs
+    then owned := add_ids (pat_bound_idents pat) !owned
   in
   let it =
     {
-      Ast_iterator.default_iterator with
+      Tast_iterator.default_iterator with
       value_binding =
         (fun it vb ->
-          tag vb.pvb_attributes vb.pvb_pat;
-          tag vb.pvb_pat.ppat_attributes vb.pvb_pat;
-          Ast_iterator.default_iterator.value_binding it vb);
+          tag vb.vb_attributes vb.vb_pat;
+          tag vb.vb_pat.pat_attributes vb.vb_pat;
+          Tast_iterator.default_iterator.value_binding it vb);
     }
   in
   it.structure it structure;
   !owned
 
-let run ~config ~file ~source structure =
+(* Passes 0 and 2 recurse into nested module structures the same way,
+   collecting value bindings and module-level expressions. *)
+let rec fold_struct_items f str =
+  List.iter
+    (fun si ->
+      match si.str_desc with
+      | Tstr_value (_, vbs) -> List.iter (fun vb -> f (`Vb vb)) vbs
+      | Tstr_eval (e, attrs) -> f (`Eval (e, attrs))
+      | Tstr_module mb -> fold_modexpr f mb.mb_expr
+      | Tstr_recmodule mbs -> List.iter (fun mb -> fold_modexpr f mb.mb_expr) mbs
+      | Tstr_include incl -> fold_modexpr f incl.incl_mod
+      | _ -> ())
+    str.str_items
+
+and fold_modexpr f me =
+  match me.mod_desc with
+  | Tmod_structure s -> fold_struct_items f s
+  | Tmod_constraint (me, _, _, _) -> fold_modexpr f me
+  | Tmod_functor (_, me) -> fold_modexpr f me
+  | _ -> ()
+
+let analyze_vb ctx vb =
+  with_allows ~report:false ctx vb.vb_attributes @@ fun () ->
+  let _, body = peel_params vb.vb_expr [] in
+  let tainted = Hashtbl.create 8 in
+  match teval_vb ctx ~iter:None ~locals:SSet.empty tainted
+          { vb with vb_expr = body }
+  with
+  | Some (Order, desc, loc) when not (is_unit_ty ctx body) ->
+      let bname =
+        match vb.vb_pat.pat_desc with
+        | Tpat_var (id, _) -> "`" ^ Ident.name id ^ "`"
+        | _ -> "this binding"
+      in
+      emit ctx "L6" loc
+        (Printf.sprintf
+           "value built in %s escapes %s — callers see table order; sort it \
+            (List.sort with an explicit comparator) or annotate the \
+            computation [@lint.ordered \"why the order is canonical\"]" desc
+           bname)
+  | _ -> ()
+
+let run ~config ~file ~source ~resolve structure =
   let lines = Array.of_list (String.split_on_char '\n' source) in
   let ctx =
     {
       config;
       file;
       lines;
+      resolve;
+      l8_active =
+        List.mem "L8" config.rules
+        && List.exists (fun d -> path_under d file) config.bin_paths;
+      quiet = false;
       allows = [];
       item_bounds = (1, Array.length lines);
+      stderr_locs = [];
       par_owned = collect_par_owned structure;
+      summaries = Hashtbl.create 32;
+      bodies = Hashtbl.create 32;
+      fp_seen = Hashtbl.create 32;
       diags = [];
       suppressed = [];
     }
   in
+  (* Pass 0 (quiet): one-level call summaries. Each summary is
+     computed against an empty summary table, so call-site knowledge
+     is exactly one level deep. *)
+  ctx.quiet <- true;
+  let collected = ref [] in
+  fold_struct_items
+    (function
+      | `Vb vb -> (
+          match summarize ctx vb with
+          | Some entry -> collected := entry :: !collected
+          | None -> ())
+      | `Eval _ -> ())
+    structure;
+  List.iter
+    (fun (u, s, body) ->
+      Hashtbl.replace ctx.summaries u s;
+      Hashtbl.replace ctx.bodies u body)
+    !collected;
+  ctx.quiet <- false;
+  (* Pass 1: attribute hygiene and the per-expression rules
+     (L1/L2/L4/L5/L8). *)
   let it =
     {
-      Ast_iterator.default_iterator with
+      Tast_iterator.default_iterator with
       expr =
         (fun it e ->
-          with_allows ctx e.pexp_attributes @@ fun () ->
+          with_allows ctx e.exp_attributes @@ fun () ->
           check_expr ctx e;
-          Ast_iterator.default_iterator.expr it e);
+          Tast_iterator.default_iterator.expr it e);
       structure_item =
         (fun it si ->
-          let saved = ctx.item_bounds in
+          let saved_bounds = ctx.item_bounds in
+          let saved_stderr = ctx.stderr_locs in
           ctx.item_bounds <-
-            (si.pstr_loc.loc_start.pos_lnum, si.pstr_loc.loc_end.pos_lnum);
-          Ast_iterator.default_iterator.structure_item it si;
-          ctx.item_bounds <- saved);
+            (si.str_loc.loc_start.pos_lnum, si.str_loc.loc_end.pos_lnum);
+          if ctx.l8_active then ctx.stderr_locs <- stderr_locs_of_item si;
+          Tast_iterator.default_iterator.structure_item it si;
+          ctx.item_bounds <- saved_bounds;
+          ctx.stderr_locs <- saved_stderr);
       value_binding =
         (fun it vb ->
-          with_allows ctx vb.pvb_attributes @@ fun () ->
-          Ast_iterator.default_iterator.value_binding it vb);
+          with_allows ctx vb.vb_attributes @@ fun () ->
+          Tast_iterator.default_iterator.value_binding it vb);
     }
   in
   it.structure it structure;
+  (* Pass 2: dataflow — L6 taint with escape/sink/merge checks, and
+     the L3/L7 capture analysis at each Par fanout. *)
+  if
+    List.exists (fun r -> List.mem r config.rules) [ "L3"; "L6"; "L7" ]
+  then
+    fold_struct_items
+      (function
+        | `Vb vb -> analyze_vb ctx vb
+        | `Eval (e, attrs) ->
+            with_allows ~report:false ctx attrs (fun () ->
+                ignore
+                  (teval ctx ~iter:None ~locals:SSet.empty (Hashtbl.create 8) e)))
+      structure;
   (List.rev ctx.diags, List.rev ctx.suppressed)

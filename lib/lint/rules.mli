@@ -1,29 +1,49 @@
-(** The five ftr-specific static-analysis rules (DESIGN.md section 10):
+(** The ftr-specific static-analysis rules, v2: run over a file's
+    {e typedtree} (DESIGN.md section 15), so every rule sees resolved
+    paths and real types.
 
     - L1 partiality: [Option.get], [List.hd]/[tl]/[nth],
       [Hashtbl.find], [Failure]-raising [*_of_string], naked
-      [raise Not_found].
-    - L2 float ordering: polymorphic [compare]/[min]/[max]/sorts with
-      syntactic float evidence (NaN poisons polymorphic ordering).
+      [raise Not_found] — on resolved paths, so local shadowing
+      cannot hide them.
+    - L2 float ordering: polymorphic [compare]/[min]/[max] applied at
+      float type (detected from [Types.type_expr]), and bare
+      [compare] handed to the sort entry points.
     - L3 Par capture-safety: closures passed to
-      [Par.run]/[Par.map]/[Par.chunk] must not dereference or mutate
-      captured [ref]s, mutable fields, arrays, [Hashtbl.t] or
-      [Buffer.t]; [Atomic]/[Obs] operations and bindings tagged
-      [[@par.owned]] are exempt.
+      [Par.run]/[Par.map]/[Par.chunk] must not directly dereference
+      or mutate captured mutable state; [Atomic]/[Obs]/[Domain]
+      operations and [[@par.owned]] bindings are exempt.
     - L4 unsafe containment: [*.unsafe_*] and [Obj.magic] only in the
-      [unsafe_ok] files and only under a ["(* bounds: ... *)"] proof
-      comment; Bigarray unsafe accessors (wild off-heap access when
-      out of bounds) are held to the tighter [unsafe_bigarray_ok]
-      list under the same comment requirement.
+      [unsafe_ok] files under a ["(* bounds: ... *)"] proof comment;
+      Bigarray unsafe accessors answer to the tighter
+      [unsafe_bigarray_ok] list.
     - L5 obs-name constancy: [Obs.counter]/[gauge]/[span]/[with_span]
       require literal name arguments.
+    - L6 determinism taint: iteration-order sources
+      ([Hashtbl.iter]/[fold]) and environment sources ([Random.*]
+      without a threaded [State.t], wall-clock, [Domain.self],
+      [Gc.stat]) are tracked through let-bindings, returns and a
+      one-level call summary until they reach a sink ([Sjson] values
+      or functions, [Digest.*], counter increments, an ordered [Par]
+      merge); order taints additionally must not escape a top-level
+      binding. [[@lint.ordered "proof"]] cuts the taint and records a
+      justified suppression.
+    - L7 domain-race: type-detected mutable state ([ref], [Hashtbl.t],
+      [Bytes.t], arrays, [Buffer]/[Queue]/[Stack], Bigarray, records
+      with mutable fields — from [Types.type_expr], not names)
+      captured by a Par task and mutated through a same-file helper
+      call, which the old syntactic L3 could not see.
+    - L8 exit-code contract: [exit] in [bin_paths] files must use a
+      documented code (0 ok / 1 breach / 2 usage / 3 infra) or
+      delegate to [Exit_code.to_int]/[Cmd.eval']; codes 2 and 3 must
+      be preceded by a stderr diagnostic in the same handler.
 
     Suppression: [[@lint.allow "Lx: justification"]] on an expression
     or value binding. A missing justification is itself an error
     (rule L0). *)
 
 type config = {
-  rules : string list;  (** enabled rule ids, e.g. [["L1"; "L4"]] *)
+  rules : string list;  (** enabled rule ids, e.g. [["L1"; "L6"]] *)
   allow_partial : string list;
       (** L1 allowlist: path suffixes where partial ops are accepted *)
   unsafe_ok : string list;
@@ -31,24 +51,36 @@ type config = {
           under a bounds comment *)
   unsafe_bigarray_ok : string list;
       (** L4 containment for Bigarray unsafe accessors — a separate,
-          tighter list than [unsafe_ok]; a file cleared for
-          [Array.unsafe_*] is not thereby cleared for
-          [Bigarray.*.unsafe_*] *)
+          tighter list than [unsafe_ok] *)
+  bin_paths : string list;
+      (** L8: directories whose files owe the exit-code contract *)
 }
 
 val all_rules : string list
+(** ["L1"] .. ["L8"]. *)
+
+val rules_version : string
+(** Bumped whenever rule semantics change; part of the cache key, so
+    a rules change invalidates every cached per-file result. *)
 
 val default_config : config
 (** All rules on; empty L1 allowlist; unsafe ops contained to
     [lib/graph/bitset.ml] and [lib/core/surviving.ml], Bigarray
-    unsafe accessors to [lib/core/surviving.ml] only. *)
+    unsafe accessors to [lib/core/surviving.ml]; [bin_paths] =
+    [["bin"]]. *)
+
+val config_fingerprint : config -> string
+(** Short stable hash of every config field; part of the cache key. *)
 
 val run :
   config:config ->
   file:string ->
   source:string ->
-  Parsetree.structure ->
+  resolve:(Env.t -> Env.t) ->
+  Typedtree.structure ->
   Diagnostic.t list * Diagnostic.suppressed list
-(** Run every enabled rule over one parsed file. [source] is the raw
-    text (needed for L4's proof-comment check). Returns the failing
-    diagnostics and the suppressed ones, in traversal order. *)
+(** Run every enabled rule over one typed file. [source] is the raw
+    text (L4 proof comments, fingerprints); [resolve] reconstructs
+    usable environments from summarised ones when the tree came from
+    a [.cmt] (see {!Typed_load}). Returns the failing diagnostics and
+    the suppressed ones, in traversal order. *)

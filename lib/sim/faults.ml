@@ -10,7 +10,7 @@ type action =
 
 type event = { at : float; action : action }
 
-let by_time = List.stable_sort (fun a b -> compare a.at b.at)
+let by_time = List.stable_sort (fun a b -> Float.compare a.at b.at)
 let crash_set_at ~at nodes = List.map (fun v -> { at; action = `Crash v }) nodes
 
 let link_set_at ~at links =

@@ -1,4 +1,8 @@
 (* L3 fixture: Par.chunk tasks run on other domains too. *)
+module Par = struct
+  let chunk ~jobs:_ ~count:_ ~init ~task = task (init ()) ~lo:0 ~hi:0
+end
+
 let total = ref 0
 
 let sum () =

@@ -1,6 +1,10 @@
 (* L3 near-miss: Atomic.t, task-local refs, and [@par.owned]-tagged
    captures are all sanctioned; mutation outside a Par task is not the
    rule's business. *)
+module Par = struct
+  let map f xs = List.map f xs
+end
+
 let total = Atomic.make 0
 let sum xs = Par.map (fun x -> Atomic.set total x) xs
 

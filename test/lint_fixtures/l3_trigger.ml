@@ -1,4 +1,11 @@
-(* L3 fixture: Par closures mutating / dereferencing captured refs. *)
+(* L3 fixture: Par closures mutating / dereferencing captured refs.
+   The Par stub makes the file self-contained for the typechecker; the
+   rules match the resolved `Par.map`/`Par.run` paths either way. *)
+module Par = struct
+  let map f xs = List.map f xs
+  let run f = f ()
+end
+
 let total = ref 0
 let sum xs = Par.map (fun x -> total := x) xs
 let read () = Par.run (fun () -> !total)

@@ -1,3 +1,8 @@
 (* L5 fixture: dynamic observability names. *)
+module Obs = struct
+  let counter (_ : string) = ()
+  let gauge (_ : string) = ()
+end
+
 let c name = Obs.counter name
 let g () = Obs.gauge ("queue." ^ "depth")

@@ -1,0 +1,14 @@
+(* L6 near-miss: the l6_trigger.ml computations with the taint
+   properly discharged — an explicit sort before the digest, a sort
+   before the keys escape, and a commutative fold vouched for by a
+   justified [@@lint.ordered]. *)
+let digest_of tbl =
+  let parts = Hashtbl.fold (fun k v acc -> (k ^ "=" ^ v) :: acc) tbl [] in
+  let parts = List.sort String.compare parts in
+  Digest.string (String.concat ";" parts)
+
+let keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare
+
+let cardinality tbl = Hashtbl.fold (fun _ _ acc -> acc + 1) tbl 0
+[@@lint.ordered "integer addition is commutative and associative"]

@@ -1,0 +1,8 @@
+(* L6 fixture: determinism taint. [digest_of] is the canonical leak —
+   an unordered Hashtbl.fold feeding a digest; [keys] leaks table
+   order to its callers. l6_nearmiss.ml is the same code key-sorted. *)
+let digest_of tbl =
+  let parts = Hashtbl.fold (fun k v acc -> (k ^ "=" ^ v) :: acc) tbl [] in
+  Digest.string (String.concat ";" parts)
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

@@ -1,0 +1,22 @@
+(* L7 near-miss: helpers that only read the capture, Atomic state
+   (mutable by design, safe across domains), and [@par.owned]
+   captures routed through a mutating helper. *)
+module Par = struct
+  let run f = f ()
+end
+
+let peek r = !r
+let bump r = incr r
+let tick a = Atomic.incr a
+
+let reads () =
+  let hits = ref 0 in
+  Par.run (fun () -> peek hits)
+
+let atomic () =
+  let hits = Atomic.make 0 in
+  Par.run (fun () -> tick hits);
+  Atomic.get hits
+
+let[@par.owned] owned = ref 0
+let tagged () = Par.run (fun () -> bump owned)

@@ -1,0 +1,13 @@
+(* L7 fixture: the captured ref is mutated through a same-file helper,
+   so no mutation is syntactically visible inside the task — the
+   interprocedural case the old syntactic L3 provably missed. *)
+module Par = struct
+  let run f = f ()
+end
+
+let bump r = incr r
+
+let count () =
+  let hits = ref 0 in
+  Par.run (fun () -> bump hits);
+  !hits

@@ -1,0 +1,13 @@
+(* L8 near-miss: every exit uses a documented code (0 ok / 1 breach /
+   2 usage / 3 infra) and the error codes print to stderr first. *)
+let ok () = exit 0
+
+let breach () = exit 1
+
+let usage () =
+  prerr_endline "usage: frob FILE";
+  exit 2
+
+let infra msg =
+  Printf.eprintf "frob: %s\n" msg;
+  exit 3

@@ -1,0 +1,5 @@
+(* L8 fixture: an exit code outside the documented 0/1/2/3 contract,
+   and a usage exit with no stderr diagnostic before it. *)
+let fail () = exit 9
+
+let usage () = exit 2

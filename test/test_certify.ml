@@ -159,6 +159,62 @@ let test_routing_file_non_edge_rejected () =
         (contains_substring p.Certify.message "line 3")
   | ps -> Alcotest.failf "expected 1 problem, got %d" (List.length ps)
 
+(* ---- header-only certification (no graph) ---- *)
+
+let header_problems text =
+  with_routing_file text @@ fun path ->
+  match Certify.certify_routing_header path with
+  | Ok _ -> []
+  | Error ps -> ps
+
+let test_header_v2_certifies () =
+  with_routing_file "ftr-routing 2 8 uni compact hypercube:3\n" @@ fun path ->
+  match Certify.certify_routing_header path with
+  | Ok desc ->
+      Alcotest.(check bool)
+        "description mentions v2" true
+        (contains_substring desc "v2 compact")
+  | Error ps -> Alcotest.failf "expected ok, got %d problem(s)" (List.length ps)
+
+let test_header_v1_certifies () =
+  with_routing_file "ftr-routing 1 4 bi\n0 1 0,1\n" @@ fun path ->
+  match Certify.certify_routing_header path with
+  | Ok desc ->
+      Alcotest.(check bool) "description mentions v1" true
+        (contains_substring desc "v1 rows")
+  | Error ps -> Alcotest.failf "expected ok, got %d problem(s)" (List.length ps)
+
+let check_single_line1_problem name text fragment =
+  match header_problems text with
+  | [ p ] ->
+      Alcotest.(check (option string)) (name ^ " carries line 1") (Some "line 1")
+        p.Certify.where;
+      Alcotest.(check bool)
+        (name ^ " message") true
+        (contains_substring p.Certify.message fragment)
+  | ps -> Alcotest.failf "%s: expected 1 problem, got %d" name (List.length ps)
+
+let test_header_unknown_kind () =
+  check_single_line1_problem "unknown kind"
+    "ftr-routing 2 8 tri compact hypercube:3\n" "unknown kind"
+
+let test_header_bad_spec () =
+  check_single_line1_problem "bad spec" "ftr-routing 2 8 uni compact warp:3\n"
+    "bad compact spec"
+
+let test_header_n_mismatch () =
+  (* hypercube:3 embeds n=8; the header claims 16. *)
+  check_single_line1_problem "n mismatch"
+    "ftr-routing 2 16 uni compact hypercube:3\n" "n=8"
+
+let test_header_trailing_rows () =
+  check_single_line1_problem "trailing rows"
+    "ftr-routing 2 8 uni compact hypercube:3\n0 1 0,1\n" "single header line"
+
+let test_header_unknown_version () =
+  check_single_line1_problem "unknown version" "ftr-routing 3 8 uni\n"
+    "unknown ftr-routing version"
+
 let () =
   Alcotest.run "certify"
     [
@@ -182,5 +238,20 @@ let () =
           Alcotest.test_case "valid table certifies" `Quick test_routing_file_certifies;
           Alcotest.test_case "non-edge step rejected" `Quick
             test_routing_file_non_edge_rejected;
+        ] );
+      ( "headers",
+        [
+          Alcotest.test_case "v2 compact header certifies" `Quick
+            test_header_v2_certifies;
+          Alcotest.test_case "v1 header certifies" `Quick test_header_v1_certifies;
+          Alcotest.test_case "unknown kind rejected at line 1" `Quick
+            test_header_unknown_kind;
+          Alcotest.test_case "bad spec rejected" `Quick test_header_bad_spec;
+          Alcotest.test_case "spec/header n mismatch rejected" `Quick
+            test_header_n_mismatch;
+          Alcotest.test_case "trailing rows rejected" `Quick
+            test_header_trailing_rows;
+          Alcotest.test_case "unknown version rejected" `Quick
+            test_header_unknown_version;
         ] );
     ]
